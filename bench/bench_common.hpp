@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark binaries: workload loading and the
+// paper-vs-measured reporting format used by EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+
+namespace ara::bench {
+
+inline std::vector<std::filesystem::path> lu_sources() {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(fs::path(ARA_WORKLOADS_DIR) / "lu")) {
+    if (e.path().extension() == ".f") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+inline std::unique_ptr<driver::Compiler> compile_lu() {
+  auto cc = std::make_unique<driver::Compiler>();
+  for (const auto& f : lu_sources()) {
+    if (!cc->add_file(f)) {
+      std::fprintf(stderr, "cannot read %s\n", f.string().c_str());
+      std::exit(1);
+    }
+  }
+  if (!cc->compile()) {
+    std::fprintf(stderr, "%s", cc->diagnostics().render().c_str());
+    std::exit(1);
+  }
+  return cc;
+}
+
+inline std::unique_ptr<driver::Compiler> compile_workload(const char* relative) {
+  auto cc = std::make_unique<driver::Compiler>();
+  const auto path = std::filesystem::path(ARA_WORKLOADS_DIR) / relative;
+  if (!cc->add_file(path)) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    std::exit(1);
+  }
+  if (!cc->compile()) {
+    std::fprintf(stderr, "%s", cc->diagnostics().render().c_str());
+    std::exit(1);
+  }
+  return cc;
+}
+
+/// One line of the paper-vs-measured report.
+inline void report(const char* what, const std::string& paper, const std::string& measured) {
+  const bool match = paper == measured;
+  std::printf("  %-46s paper=%-24s measured=%-24s %s\n", what, paper.c_str(), measured.c_str(),
+              match ? "MATCH" : "(see EXPERIMENTS.md)");
+}
+
+inline std::string fmt_rows(const rgn::RegionRow& r) {
+  return r.lb + ":" + r.ub + ":" + r.stride;
+}
+
+}  // namespace ara::bench

@@ -1,0 +1,88 @@
+// §III ablation: "Fourier-Motzkin linear system solver, which has worst case
+// exponential time, is needed to compare Regions". This bench measures FM
+// feasibility time against variable and constraint counts — the practical
+// cost of the Regions method's precision, and one of the design trade-offs
+// DESIGN.md calls out (our dimension variables stay few, so real queries sit
+// on the flat part of the curve).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "regions/linsys.hpp"
+
+namespace {
+
+using namespace ara::regions;
+
+/// Dense random system: every constraint touches every variable, the shape
+/// that triggers FM's quadratic-per-step growth.
+LinSystem dense_system(std::size_t nvars, std::size_t ncons, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::int64_t> coef(-3, 3);
+  std::uniform_int_distribution<std::int64_t> rhs(0, 50);
+  LinSystem sys;
+  for (std::size_t v = 0; v < nvars; ++v) {
+    const std::string name = "x" + std::to_string(v);
+    sys.add(make_ge(LinExpr::var(name), LinExpr(0)));
+    sys.add(make_le(LinExpr::var(name), LinExpr(40)));
+  }
+  for (std::size_t c = 0; c < ncons; ++c) {
+    LinExpr e(-rhs(rng));
+    for (std::size_t v = 0; v < nvars; ++v) {
+      e += LinExpr::var("x" + std::to_string(v), coef(rng));
+    }
+    sys.add(Constraint{e, Constraint::Rel::Le0});
+  }
+  return sys;
+}
+
+void print_reproduction() {
+  std::printf("=== FM scaling (the §III cost note) ===\n");
+  std::printf("  feasibility of dense systems; constraints grow after each elimination\n");
+  std::printf("  %-8s %-12s %-14s\n", "vars", "constraints", "feasible?");
+  for (std::size_t nvars : {2u, 3u, 4u, 5u, 6u}) {
+    const LinSystem sys = dense_system(nvars, 4, 7);
+    std::printf("  %-8zu %-12zu %-14s\n", nvars, sys.size(),
+                sys.feasible() ? "yes" : "no");
+  }
+  std::printf("  (timings below show the super-linear growth in vars)\n\n");
+}
+
+void BM_FmFeasible(benchmark::State& state) {
+  const std::size_t nvars = static_cast<std::size_t>(state.range(0));
+  const std::size_t ncons = static_cast<std::size_t>(state.range(1));
+  const LinSystem sys = dense_system(nvars, ncons, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.feasible());
+  }
+}
+BENCHMARK(BM_FmFeasible)
+    ->ArgsProduct({{2, 3, 4, 5, 6}, {4, 6}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FmEliminateOne(benchmark::State& state) {
+  const LinSystem sys = dense_system(static_cast<std::size_t>(state.range(0)), 6, 11);
+  for (auto _ : state) {
+    auto out = sys.eliminated("x0");
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_FmEliminateOne)->DenseRange(2, 6, 2)->Unit(benchmark::kMicrosecond);
+
+void BM_ConstBounds(benchmark::State& state) {
+  const LinSystem sys = dense_system(static_cast<std::size_t>(state.range(0)), 6, 3);
+  for (auto _ : state) {
+    auto b = sys.const_bounds("x0");
+    benchmark::DoNotOptimize(b.lower.has_value());
+  }
+}
+BENCHMARK(BM_ConstBounds)->DenseRange(2, 6, 2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

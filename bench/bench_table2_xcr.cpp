@@ -1,0 +1,96 @@
+// Table II / Fig 12 reproduction: the one-dimensional array analysis rows
+// for XCR in LU's verify.
+//
+// Paper (Table II):
+//   XCR verify.o USE    refs 4, dims 1, 1:5:1, esize 8, double, 5, 5, 40,
+//                       b79edfa0, density 10
+//   XCR verify.o FORMAL refs 1, same shape, density 2
+// Fig 12 additionally shows CLASS (char, DEF 9, density 900) and XCE rows
+// with a distinct Mem_Loc.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dragon/table.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+void print_reproduction() {
+  auto cc = ara::bench::compile_lu();
+  const auto result = cc->analyze();
+
+  std::printf("=== Table II / Fig 12: XCR in verify ===\n");
+  const ara::rgn::RegionRow* use = nullptr;
+  const ara::rgn::RegionRow* formal = nullptr;
+  const ara::rgn::RegionRow* class_def = nullptr;
+  const ara::rgn::RegionRow* xce_use = nullptr;
+  std::size_t use_rows = 0;
+  for (const auto& row : result.rows) {
+    if (!ara::iequals(row.scope, "verify")) continue;
+    if (ara::iequals(row.array, "xcr") && row.mode == "USE") {
+      use = &row;
+      ++use_rows;
+    }
+    if (ara::iequals(row.array, "xcr") && row.mode == "FORMAL") formal = &row;
+    if (ara::iequals(row.array, "class") && row.mode == "DEF" && class_def == nullptr) {
+      class_def = &row;
+    }
+    if (ara::iequals(row.array, "xce") && row.mode == "USE" && xce_use == nullptr) {
+      xce_use = &row;
+    }
+  }
+  if (use == nullptr || formal == nullptr || class_def == nullptr || xce_use == nullptr) {
+    std::printf("  MISSING ROWS\n");
+    return;
+  }
+  ara::bench::report("XCR USE references", "4", std::to_string(use->references));
+  ara::bench::report("XCR USE region", "1:5:1", ara::bench::fmt_rows(*use));
+  ara::bench::report("XCR element size / type", "8 double",
+                     std::to_string(use->element_size) + " " + use->data_type);
+  ara::bench::report("XCR dim/tot/bytes", "5/5/40",
+                     use->dim_size + "/" + std::to_string(use->tot_size) + "/" +
+                         std::to_string(use->size_bytes));
+  ara::bench::report("XCR USE access density", "10", std::to_string(use->acc_density));
+  ara::bench::report("XCR FORMAL references", "1", std::to_string(formal->references));
+  ara::bench::report("XCR FORMAL access density", "2", std::to_string(formal->acc_density));
+  ara::bench::report("XCR FORMAL Mem_Loc == USE Mem_Loc", "yes",
+                     formal->mem_loc == use->mem_loc ? "yes" : "NO");
+  ara::bench::report("XCE Mem_Loc distinct from XCR", "yes",
+                     xce_use->mem_loc != use->mem_loc ? "yes" : "NO");
+  ara::bench::report("CLASS DEF references", "9", std::to_string(class_def->references));
+  ara::bench::report("CLASS access density", "900", std::to_string(class_def->acc_density));
+  ara::bench::report("file column", "verify.o", use->file);
+
+  std::printf("\n%s\n", ara::dragon::ArrayTable(result.rows).render("verify", "xcr").c_str());
+}
+
+void BM_VerifyScopeFilter(benchmark::State& state) {
+  auto cc = ara::bench::compile_lu();
+  const auto result = cc->analyze();
+  const ara::dragon::ArrayTable table(result.rows);
+  for (auto _ : state) {
+    auto rows = table.rows_for_scope("verify");
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_VerifyScopeFilter)->Unit(benchmark::kMicrosecond);
+
+void BM_FindXcr(benchmark::State& state) {
+  auto cc = ara::bench::compile_lu();
+  const auto result = cc->analyze();
+  const ara::dragon::ArrayTable table(result.rows);
+  for (auto _ : state) {
+    auto hits = table.find("xcr");
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_FindXcr)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table III / Fig 14 reproduction: the multidimensional analysis rows for
+// the global array U in LU's rhs.
+//
+// Paper (Table III / §V-B Case 2): "array U is a global four dimensional
+// double array with these dimension sizes (64|65|65|5), and a total byte
+// storage of 10816000 ... It has been used 110 times, which makes it a
+// hotspot ... the regions of each dimension that have been accessed in one
+// loop in rhs.f source file are (1:3,1:5,1:10,1:4)."
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "dragon/table.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+void print_reproduction() {
+  auto cc = ara::bench::compile_lu();
+  const auto result = cc->analyze();
+
+  std::printf("=== Table III / Fig 14: global U in rhs ===\n");
+  std::size_t use_rows_rhs = 0;
+  const ara::rgn::RegionRow* sample = nullptr;
+  bool fig14_region = false;
+  for (const auto& row : result.rows) {
+    if (row.scope != "@" || !ara::iequals(row.array, "u") || row.mode != "USE") continue;
+    if (row.file != "rhs.o") continue;
+    ++use_rows_rhs;
+    sample = &row;
+    fig14_region |= row.lb == "1|1|1|1" && row.ub == "3|5|10|4";
+  }
+  if (sample == nullptr) {
+    std::printf("  MISSING ROWS\n");
+    return;
+  }
+  ara::bench::report("U USE references in rhs.o", "110", std::to_string(use_rows_rhs));
+  ara::bench::report("U dimensions", "4", std::to_string(sample->dims));
+  ara::bench::report("U dim sizes (row-major)", "64|65|65|5", sample->dim_size);
+  ara::bench::report("U total elements", "1352000", std::to_string(sample->tot_size));
+  ara::bench::report("U bytes", "10816000", std::to_string(sample->size_bytes));
+  ara::bench::report("U element size / type", "8 double",
+                     std::to_string(sample->element_size) + " " + sample->data_type);
+  ara::bench::report("U access density", "0", std::to_string(sample->acc_density));
+  ara::bench::report("Fig 14 region (1:3,1:5,1:10,1:4) present", "yes",
+                     fig14_region ? "yes" : "NO");
+
+  // Hotspot claim: U has the highest USE reference count among globals.
+  std::uint64_t max_refs = 0;
+  std::string max_array;
+  for (const auto& row : result.rows) {
+    if (row.scope == "@" && row.mode == "USE" && row.references > max_refs) {
+      max_refs = row.references;
+      max_array = row.array;
+    }
+  }
+  ara::bench::report("hotspot global by USE refs", "u", ara::to_lower(max_array));
+  std::printf("\n");
+}
+
+void BM_LuFullAnalysis(benchmark::State& state) {
+  auto cc = ara::bench::compile_lu();
+  for (auto _ : state) {
+    auto result = cc->analyze();
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+}
+BENCHMARK(BM_LuFullAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_LuRgnSerialization(benchmark::State& state) {
+  auto cc = ara::bench::compile_lu();
+  const auto result = cc->analyze();
+  for (auto _ : state) {
+    auto text = ara::rgn::write_rgn(result.rows);
+    benchmark::DoNotOptimize(text.size());
+  }
+  state.counters["rows"] = static_cast<double>(result.rows.size());
+}
+BENCHMARK(BM_LuRgnSerialization)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,235 @@
+#include "cfg/cfg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ara::cfg {
+
+std::string_view to_string(BlockKind k) {
+  switch (k) {
+    case BlockKind::Entry:
+      return "entry";
+    case BlockKind::Exit:
+      return "exit";
+    case BlockKind::Body:
+      return "body";
+    case BlockKind::LoopHead:
+      return "loop";
+    case BlockKind::Branch:
+      return "branch";
+    case BlockKind::Join:
+      return "join";
+  }
+  return "?";
+}
+
+std::uint32_t Cfg::new_block(BlockKind kind) {
+  BasicBlock bb;
+  bb.id = static_cast<std::uint32_t>(blocks_.size());
+  bb.kind = kind;
+  blocks_.push_back(std::move(bb));
+  return blocks_.back().id;
+}
+
+void Cfg::add_edge(std::uint32_t from, std::uint32_t to) {
+  auto& succs = blocks_[from].succs;
+  if (std::find(succs.begin(), succs.end(), to) != succs.end()) return;
+  succs.push_back(to);
+  blocks_[to].preds.push_back(from);
+}
+
+// Not in an anonymous namespace: Cfg befriends ara::cfg::Builder.
+class Builder {
+ public:
+  explicit Builder(Cfg& cfg) : cfg_(cfg) {}
+
+  /// Lowers a BLOCK's statements starting from `cur`; returns the block
+  /// control falls out of (or exit() if the sequence always returns).
+  std::uint32_t seq(const ir::WN& block, std::uint32_t cur) {
+    for (std::size_t i = 0; i < block.kid_count(); ++i) {
+      const ir::WN* s = block.kid(i);
+      switch (s->opr()) {
+        case ir::Opr::DoLoop: {
+          const std::uint32_t head = cfg_.new_block(BlockKind::LoopHead);
+          note_line(head, *s);
+          cfg_.blocks_[head].stmts.push_back(s);
+          cfg_.add_edge(cur, head);
+          const std::uint32_t body = cfg_.new_block(BlockKind::Body);
+          cfg_.add_edge(head, body);
+          const std::uint32_t body_end = seq(*s->loop_body(), body);
+          if (body_end != cfg_.exit()) cfg_.add_edge(body_end, head);  // back edge
+          cur = cfg_.new_block(BlockKind::Join);
+          cfg_.add_edge(head, cur);  // loop exit
+          break;
+        }
+        case ir::Opr::If: {
+          const std::uint32_t cond = cfg_.new_block(BlockKind::Branch);
+          note_line(cond, *s);
+          cfg_.blocks_[cond].stmts.push_back(s);
+          cfg_.add_edge(cur, cond);
+          const std::uint32_t then_bb = cfg_.new_block(BlockKind::Body);
+          cfg_.add_edge(cond, then_bb);
+          const std::uint32_t then_end = seq(*s->kid(1), then_bb);
+          const std::uint32_t else_bb = cfg_.new_block(BlockKind::Body);
+          cfg_.add_edge(cond, else_bb);
+          const std::uint32_t else_end = seq(*s->kid(2), else_bb);
+          const std::uint32_t join = cfg_.new_block(BlockKind::Join);
+          if (then_end != cfg_.exit()) cfg_.add_edge(then_end, join);
+          if (else_end != cfg_.exit()) cfg_.add_edge(else_end, join);
+          cur = join;
+          break;
+        }
+        case ir::Opr::Return:
+          cfg_.blocks_[cur].stmts.push_back(s);
+          note_line(cur, *s);
+          cfg_.add_edge(cur, cfg_.exit());
+          // Anything after an unconditional return is unreachable; park it
+          // in a fresh block with no predecessors.
+          cur = cfg_.new_block(BlockKind::Body);
+          break;
+        default:
+          cfg_.blocks_[cur].stmts.push_back(s);
+          note_line(cur, *s);
+          break;
+      }
+    }
+    return cur;
+  }
+
+ private:
+  void note_line(std::uint32_t bb, const ir::WN& wn) {
+    const std::uint32_t line = wn.linenum().line;
+    if (line == 0) return;
+    BasicBlock& b = cfg_.blocks_[bb];
+    if (b.first_line == 0 || line < b.first_line) b.first_line = line;
+    if (line > b.last_line) b.last_line = line;
+  }
+
+  Cfg& cfg_;
+};
+
+Cfg Cfg::build(const ir::ProcedureIR& proc, const ir::SymbolTable& symtab) {
+  Cfg cfg;
+  cfg.proc_name_ = symtab.st(proc.proc_st).name;
+  cfg.entry_ = cfg.new_block(BlockKind::Entry);
+  cfg.exit_ = cfg.new_block(BlockKind::Exit);
+  const std::uint32_t first = cfg.new_block(BlockKind::Body);
+  cfg.add_edge(cfg.entry_, first);
+  Builder builder(cfg);
+  const ir::WN* body = proc.tree ? proc.tree->kid(proc.tree->kid_count() - 1) : nullptr;
+  const std::uint32_t last = body ? builder.seq(*body, first) : first;
+  if (last != cfg.exit_) cfg.add_edge(last, cfg.exit_);
+  return cfg;
+}
+
+std::size_t Cfg::edge_count() const {
+  std::size_t n = 0;
+  for (const BasicBlock& b : blocks_) n += b.succs.size();
+  return n;
+}
+
+std::vector<std::uint32_t> Cfg::reverse_postorder() const {
+  std::vector<std::uint32_t> post;
+  std::vector<bool> seen(blocks_.size(), false);
+  auto dfs = [&](auto&& self, std::uint32_t n) -> void {
+    seen[n] = true;
+    for (std::uint32_t s : blocks_[n].succs) {
+      if (!seen[s]) self(self, s);
+    }
+    post.push_back(n);
+  };
+  dfs(dfs, entry_);
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+std::vector<std::uint32_t> Cfg::immediate_dominators() const {
+  // Cooper–Harvey–Kennedy iterative dominators over reverse postorder.
+  const std::vector<std::uint32_t> rpo = reverse_postorder();
+  std::vector<std::uint32_t> rpo_index(blocks_.size(), UINT32_MAX);
+  for (std::uint32_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  constexpr std::uint32_t kUndef = UINT32_MAX;
+  std::vector<std::uint32_t> idom(blocks_.size(), kUndef);
+  idom[entry_] = entry_;
+
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t n : rpo) {
+      if (n == entry_) continue;
+      std::uint32_t new_idom = kUndef;
+      for (std::uint32_t p : blocks_[n].preds) {
+        if (rpo_index[p] == UINT32_MAX || idom[p] == kUndef) continue;  // unreachable
+        new_idom = new_idom == kUndef ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kUndef && idom[n] != new_idom) {
+        idom[n] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool Cfg::dominates(std::uint32_t a, std::uint32_t b) const {
+  const std::vector<std::uint32_t> idom = immediate_dominators();
+  std::uint32_t cur = b;
+  for (std::size_t guard = 0; guard <= blocks_.size(); ++guard) {
+    if (cur == a) return true;
+    if (cur == entry_) return false;
+    if (idom[cur] == UINT32_MAX) return false;  // unreachable block
+    cur = idom[cur];
+  }
+  return false;
+}
+
+std::string Cfg::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << proc_name_ << "\" {\n  node [shape=box];\n";
+  for (const BasicBlock& b : blocks_) {
+    os << "  B" << b.id << " [label=\"B" << b.id << " " << to_string(b.kind);
+    if (b.first_line != 0) os << "\\nlines " << b.first_line << "-" << b.last_line;
+    os << "\"];\n";
+  }
+  for (const BasicBlock& b : blocks_) {
+    for (std::uint32_t s : b.succs) os << "  B" << b.id << " -> B" << s << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::vector<Cfg> build_all(const ir::Program& program) {
+  std::vector<Cfg> out;
+  out.reserve(program.procedures.size());
+  for (const ir::ProcedureIR& p : program.procedures) {
+    out.push_back(Cfg::build(p, program.symtab));
+  }
+  return out;
+}
+
+std::string write_cfg(const std::vector<Cfg>& cfgs) {
+  std::ostringstream os;
+  os << "CFG 1\n";
+  for (const Cfg& cfg : cfgs) {
+    os << "proc " << cfg.proc_name() << " blocks=" << cfg.blocks().size()
+       << " edges=" << cfg.edge_count() << '\n';
+    for (const BasicBlock& b : cfg.blocks()) {
+      os << "  B" << b.id << ' ' << to_string(b.kind) << " lines=" << b.first_line << '-'
+         << b.last_line << " ->";
+      for (std::uint32_t s : b.succs) os << ' ' << s;
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ara::cfg

@@ -1,0 +1,79 @@
+// Control-flow graphs. The first Dragon release exported control-flow
+// analysis results through "CFG IPL ... previously added at the high levels
+// of WHIRL" (§IV-A) and the current tool still ships "control flow graphs
+// for each procedure" (Fig 5). Our WHIRL subset is fully structured (DO/IF,
+// no gotos), so construction is syntax-directed; dominators are computed
+// with the standard iterative data-flow algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ara::cfg {
+
+enum class BlockKind : std::uint8_t {
+  Entry,
+  Exit,
+  Body,      // straight-line statements
+  LoopHead,  // DO_LOOP test
+  Branch,    // IF condition
+  Join,      // control-flow merge
+};
+
+[[nodiscard]] std::string_view to_string(BlockKind k);
+
+struct BasicBlock {
+  std::uint32_t id = 0;
+  BlockKind kind = BlockKind::Body;
+  std::vector<const ir::WN*> stmts;    // statements anchoring this block
+  std::vector<std::uint32_t> succs;
+  std::vector<std::uint32_t> preds;
+  std::uint32_t first_line = 0;
+  std::uint32_t last_line = 0;
+};
+
+class Cfg {
+ public:
+  /// Builds the CFG of one procedure.
+  [[nodiscard]] static Cfg build(const ir::ProcedureIR& proc, const ir::SymbolTable& symtab);
+
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  [[nodiscard]] std::uint32_t entry() const { return entry_; }
+  [[nodiscard]] std::uint32_t exit() const { return exit_; }
+  [[nodiscard]] const std::string& proc_name() const { return proc_name_; }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Immediate dominator of each block (entry's idom is itself). Computed
+  /// lazily on first call.
+  [[nodiscard]] std::vector<std::uint32_t> immediate_dominators() const;
+
+  /// True when `a` dominates `b`.
+  [[nodiscard]] bool dominates(std::uint32_t a, std::uint32_t b) const;
+
+  /// Reverse postorder over forward edges from the entry.
+  [[nodiscard]] std::vector<std::uint32_t> reverse_postorder() const;
+
+  /// Graphviz rendering (one digraph per procedure).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  friend class Builder;
+  std::uint32_t new_block(BlockKind kind);
+  void add_edge(std::uint32_t from, std::uint32_t to);
+
+  std::string proc_name_;
+  std::vector<BasicBlock> blocks_;
+  std::uint32_t entry_ = 0;
+  std::uint32_t exit_ = 0;
+};
+
+/// Serializes all procedures' CFGs into the `.cfg` text format.
+[[nodiscard]] std::string write_cfg(const std::vector<Cfg>& cfgs);
+
+/// Builds CFGs for every procedure in the program.
+[[nodiscard]] std::vector<Cfg> build_all(const ir::Program& program);
+
+}  // namespace ara::cfg

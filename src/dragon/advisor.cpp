@@ -1,0 +1,459 @@
+#include "dragon/advisor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ipa/local.hpp"
+#include "ipa/wn_affine.hpp"
+#include "regions/convex_region.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::dragon {
+
+using ipa::AccessRecord;
+using regions::AccessMode;
+using regions::ConvexRegion;
+using regions::Region;
+
+namespace {
+
+bool is_access_mode(const AccessRecord& r) {
+  return r.mode == AccessMode::Def || r.mode == AccessMode::Use;
+}
+
+/// Renders a region as a language-appropriate sub-array clause operand:
+/// Fortran `u(1:3,1:5)`; C `aarr[2:6]` (per-dimension [lo:hi]).
+std::string subarray_text(const std::string& name, const Region& hull, Language lang) {
+  std::ostringstream os;
+  os << name;
+  if (lang == Language::Fortran) {
+    os << '(';
+    for (std::size_t i = 0; i < hull.rank(); ++i) {
+      if (i != 0) os << ',';
+      os << hull.dim(i).lb.str() << ':' << hull.dim(i).ub.str();
+    }
+    os << ')';
+  } else {
+    for (std::size_t i = 0; i < hull.rank(); ++i) {
+      os << '[' << hull.dim(i).lb.str() << ':' << hull.dim(i).ub.str() << ']';
+    }
+  }
+  return os.str();
+}
+
+/// Per-dimension [min,max] hull of all constant regions; nullopt when any
+/// region has symbolic/unknown bounds or ranks differ.
+std::optional<Region> const_hull(const std::vector<Region>& rs) {
+  std::optional<Region> acc;
+  for (const Region& r : rs) {
+    if (!r.all_const()) return std::nullopt;
+    if (!acc) {
+      acc = r;
+      continue;
+    }
+    acc = Region::hull(*acc, r);
+    if (!acc) return std::nullopt;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<ResizeAdvice> advise_resize(const ir::Program& program,
+                                        const ipa::AnalysisResult& result) {
+  // Accessed hull per array symbol (DEF/USE/IDEF/IUSE), all scopes.
+  std::map<ir::StIdx, std::vector<Region>> accessed;
+  std::map<ir::StIdx, bool> analyzable;
+  for (const AccessRecord& rec : result.records) {
+    if (!is_access_mode(rec)) continue;
+    const ir::Ty& ty = program.symtab.ty(program.symtab.st(rec.array).ty);
+    if (!ty.is_array()) continue;
+    accessed[rec.array].push_back(rec.region);
+  }
+
+  std::vector<ResizeAdvice> out;
+  for (ir::StIdx idx : program.symtab.all_sts()) {
+    const ir::St& st = program.symtab.st(idx);
+    if (st.sclass == ir::StClass::Proc || st.storage == ir::StStorage::Formal) continue;
+    const ir::Ty& ty = program.symtab.ty(st.ty);
+    if (!ty.is_array()) continue;
+    const auto bytes = ty.size_bytes();
+    if (!bytes) continue;  // variable-length: nothing to shrink statically
+
+    const auto it = accessed.find(idx);
+    if (it == accessed.end()) {
+      ResizeAdvice a;
+      a.array = st.name;
+      a.unused = true;
+      a.saved_bytes = *bytes;
+      for (const ir::ArrayDim& d : ty.dims) a.declared.push_back(d.extent().value_or(0));
+      a.message = "array '" + st.name + "' is never accessed; removing it frees " +
+                  std::to_string(a.saved_bytes) + " bytes";
+      out.push_back(std::move(a));
+      continue;
+    }
+    const auto hull = const_hull(it->second);
+    if (!hull || hull->rank() != ty.rank()) continue;
+
+    ResizeAdvice a;
+    a.array = st.name;
+    bool shrinks = false;
+    std::int64_t new_elems = 1;
+    for (std::size_t i = 0; i < ty.rank(); ++i) {
+      const std::int64_t decl_lb = ty.dims[i].lb.value_or(0);
+      const std::int64_t decl_ub = ty.dims[i].ub.value_or(0);
+      const std::int64_t hi =
+          std::max(*hull->dim(i).lb.const_value(), *hull->dim(i).ub.const_value());
+      a.declared.push_back(decl_ub - decl_lb + 1);
+      // Keep the declared lower bound as the anchor; shrink the top.
+      const std::int64_t new_extent = std::max<std::int64_t>(hi - decl_lb + 1, 0);
+      a.suggested.push_back(std::min(new_extent, a.declared.back()));
+      if (a.suggested.back() < a.declared.back()) shrinks = true;
+      new_elems *= a.suggested.back();
+    }
+    if (!shrinks) continue;
+    a.saved_bytes = *bytes - new_elems * ty.element_size();
+    std::ostringstream msg;
+    msg << "array '" << st.name << "' only ever accesses ";
+    msg << hull->str() << "; redefining its extents to (";
+    for (std::size_t i = 0; i < a.suggested.size(); ++i) {
+      if (i != 0) msg << ',';
+      msg << a.suggested[i];
+    }
+    msg << ") saves " << a.saved_bytes << " bytes";
+    a.message = msg.str();
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+namespace {
+
+/// Collects (array st -> mode -> regions) from a subtree summary.
+struct LoopAccess {
+  std::map<ir::StIdx, std::vector<Region>> defs;
+  std::map<ir::StIdx, std::vector<Region>> uses;
+  std::set<ir::StIdx> scalar_defs;
+};
+
+LoopAccess collect(const ipa::LocalSummary& s, const ir::Program& program) {
+  LoopAccess out;
+  for (const AccessRecord& rec : s.records) {
+    const ir::Ty& ty = program.symtab.ty(program.symtab.st(rec.array).ty);
+    if (!ty.is_array()) {
+      if (rec.mode == AccessMode::Def) out.scalar_defs.insert(rec.array);
+      continue;
+    }
+    if (rec.mode == AccessMode::Def) out.defs[rec.array].push_back(rec.region);
+    if (rec.mode == AccessMode::Use) out.uses[rec.array].push_back(rec.region);
+  }
+  return out;
+}
+
+/// True when a DEF region list may overlap any region in `others`.
+bool may_overlap(const std::vector<Region>& defs, const std::vector<Region>& others) {
+  for (const Region& d : defs) {
+    const ConvexRegion cd = ConvexRegion::from_region(d);
+    for (const Region& o : others) {
+      if (!ConvexRegion::certainly_disjoint(cd, ConvexRegion::from_region(o))) return true;
+    }
+  }
+  return false;
+}
+
+bool same_affine(const ir::WN& a, const ir::WN& b, const ir::SymbolTable& symtab) {
+  const auto ea = ipa::wn_to_affine(a, symtab);
+  const auto eb = ipa::wn_to_affine(b, symtab);
+  return ea && eb && *ea == *eb;
+}
+
+}  // namespace
+
+std::vector<FusionAdvice> advise_fusion(const ir::Program& program,
+                                        const ipa::AnalysisResult& result) {
+  std::vector<FusionAdvice> out;
+  ipa::LocalAnalyzer local(program);
+
+  for (std::uint32_t n = 0; n < result.callgraph.size(); ++n) {
+    const ipa::CGNode& node = result.callgraph.node(n);
+    if (!node.proc->tree) continue;
+    node.proc->tree->walk([&](const ir::WN& wn) {
+      if (wn.opr() != ir::Opr::Block) return true;
+      for (std::size_t i = 0; i + 1 < wn.kid_count(); ++i) {
+        const ir::WN* l1 = wn.kid(i);
+        const ir::WN* l2 = wn.kid(i + 1);
+        if (l1->opr() != ir::Opr::DoLoop || l2->opr() != ir::Opr::DoLoop) continue;
+        // Identical iteration spaces are required for a direct merge.
+        if (!same_affine(*l1->loop_init(), *l2->loop_init(), program.symtab) ||
+            !same_affine(*l1->loop_end(), *l2->loop_end(), program.symtab) ||
+            !same_affine(*l1->loop_step(), *l2->loop_step(), program.symtab)) {
+          continue;
+        }
+        const LoopAccess a1 = collect(local.analyze_subtree(*l1, node), program);
+        const LoopAccess a2 = collect(local.analyze_subtree(*l2, node), program);
+        // Conservative dependence test: nothing DEFed in one loop may be
+        // touched in the other, and no scalar reductions may be shared.
+        bool dependent = false;
+        for (const auto& [st, defs] : a1.defs) {
+          const auto u2 = a2.uses.find(st);
+          const auto d2 = a2.defs.find(st);
+          if ((u2 != a2.uses.end() && may_overlap(defs, u2->second)) ||
+              (d2 != a2.defs.end() && may_overlap(defs, d2->second))) {
+            dependent = true;
+          }
+        }
+        for (const auto& [st, defs] : a2.defs) {
+          const auto u1 = a1.uses.find(st);
+          if (u1 != a1.uses.end() && may_overlap(defs, u1->second)) dependent = true;
+        }
+        for (ir::StIdx s : a1.scalar_defs) {
+          if (a2.scalar_defs.count(s) != 0) dependent = true;
+        }
+        if (dependent) continue;
+
+        // Fusion pays off when the loops re-read the same data: shared
+        // arrays whose USE regions coincide (the XCR pattern of Fig 13).
+        FusionAdvice adv;
+        for (const auto& [st, uses1] : a1.uses) {
+          const auto it = a2.uses.find(st);
+          if (it == a2.uses.end()) continue;
+          const auto h1 = const_hull(uses1);
+          const auto h2 = const_hull(it->second);
+          if (h1 && h2 && *h1 == *h2) {
+            adv.shared_arrays.push_back(program.symtab.st(st).name);
+            const auto elems = h1->element_count();
+            const std::int64_t esize =
+                program.symtab.ty(program.symtab.st(st).ty).element_size();
+            if (elems) adv.refetched_bytes += *elems * esize;
+          }
+        }
+        if (adv.shared_arrays.empty()) continue;
+        adv.proc = program.symtab.st(node.proc_st).name;
+        adv.first_loop_line = l1->linenum().line;
+        adv.second_loop_line = l2->linenum().line;
+        std::ostringstream msg;
+        msg << "loops at lines " << adv.first_loop_line << " and " << adv.second_loop_line
+            << " of " << adv.proc << " read the same region of "
+            << join(adv.shared_arrays, ", ")
+            << " with no dependence; merge them and insert a single `!$omp parallel do` "
+               "before the fused loop (avoids re-fetching "
+            << adv.refetched_bytes << " bytes and one parallel-region startup)";
+        adv.message = msg.str();
+        out.push_back(std::move(adv));
+      }
+      return true;
+    });
+  }
+  return out;
+}
+
+std::vector<OffloadAdvice> advise_offload(const ir::Program& program,
+                                          const ipa::AnalysisResult& result,
+                                          const gpusim::TransferModel& xfer,
+                                          const gpusim::KernelModel& kernel) {
+  std::vector<OffloadAdvice> out;
+  ipa::LocalAnalyzer local(program);
+
+  for (std::uint32_t n = 0; n < result.callgraph.size(); ++n) {
+    const ipa::CGNode& node = result.callgraph.node(n);
+    if (!node.proc->tree) continue;
+    const Language lang = program.sources.language(node.proc->file);
+    // Outermost loops only: walk prunes below each DO_LOOP it visits.
+    node.proc->tree->walk([&](const ir::WN& wn) {
+      if (wn.opr() != ir::Opr::DoLoop) return true;
+      const LoopAccess access = collect(local.analyze_subtree(wn, node), program);
+
+      std::vector<std::string> copyin, copyout, copy;
+      std::int64_t full_bytes = 0;
+      std::int64_t region_total = 0;
+      std::int64_t chunks_total = 0;
+      std::int64_t kernel_elems = 0;
+      for (const auto& [st, uses] : access.uses) {
+        const ir::Ty& ty = program.symtab.ty(program.symtab.st(st).ty);
+        const bool defed = access.defs.count(st) != 0;
+        std::vector<Region> all = uses;
+        if (defed) {
+          const auto& defs = access.defs.at(st);
+          all.insert(all.end(), defs.begin(), defs.end());
+        }
+        const auto hull = const_hull(all);
+        const auto bytes = ty.size_bytes();
+        if (!hull || !bytes) continue;
+        const std::string clause =
+            subarray_text(program.symtab.st(st).name, *hull, lang);
+        (defed ? copy : copyin).push_back(clause);
+        full_bytes += *bytes;
+        const std::int64_t rb = gpusim::region_bytes(*hull, ty.element_size());
+        region_total += rb;
+        chunks_total += gpusim::contiguous_chunks(*hull, ty);
+        kernel_elems += hull->element_count().value_or(0);
+      }
+      for (const auto& [st, defs] : access.defs) {
+        if (access.uses.count(st) != 0) continue;  // already in copy
+        const ir::Ty& ty = program.symtab.ty(program.symtab.st(st).ty);
+        const auto hull = const_hull(defs);
+        const auto bytes = ty.size_bytes();
+        if (!hull || !bytes) continue;
+        copyout.push_back(subarray_text(program.symtab.st(st).name, *hull, lang));
+        full_bytes += *bytes;
+        region_total += gpusim::region_bytes(*hull, ty.element_size());
+        chunks_total += gpusim::contiguous_chunks(*hull, ty);
+        kernel_elems += hull->element_count().value_or(0);
+      }
+      if (region_total == 0 || region_total >= full_bytes) return false;
+
+      OffloadAdvice adv;
+      adv.proc = program.symtab.st(node.proc_st).name;
+      adv.loop_line = wn.linenum().line;
+      std::ostringstream dir;
+      dir << (lang == Language::Fortran ? "!$acc region" : "#pragma acc region for");
+      auto emit_clause = [&dir](const char* name, const std::vector<std::string>& items) {
+        if (items.empty()) return;
+        dir << ' ' << name << '(' << join(items, ", ") << ')';
+      };
+      emit_clause("copyin", copyin);
+      emit_clause("copyout", copyout);
+      emit_clause("copy", copy);
+      adv.directive = dir.str();
+      adv.full_bytes = full_bytes;
+      adv.region_bytes = region_total;
+      gpusim::OffloadScenario scenario;
+      scenario.full_bytes = full_bytes;
+      scenario.region_bytes = region_total;
+      scenario.region_chunks = chunks_total;
+      scenario.kernel_elements = kernel_elems;
+      adv.est_speedup = gpusim::simulate_offload(scenario, xfer, kernel).speedup;
+      out.push_back(std::move(adv));
+      return false;  // don't descend into inner loops
+    });
+  }
+  return out;
+}
+
+std::vector<ParallelCallAdvice> advise_parallel_calls(const ir::Program& program,
+                                                      const ipa::AnalysisResult& result) {
+  std::vector<ParallelCallAdvice> out;
+
+  // Interprocedural side effects per call site, keyed by (caller, line).
+  struct SiteEffects {
+    std::map<ir::StIdx, std::vector<Region>> defs;
+    std::map<ir::StIdx, std::vector<Region>> uses;
+  };
+  std::map<std::pair<ir::StIdx, std::uint32_t>, SiteEffects> sites;
+  for (const AccessRecord& rec : result.records) {
+    if (!rec.interproc) continue;
+    auto& site = sites[{rec.scope_proc, rec.line}];
+    (rec.mode == AccessMode::Def ? site.defs : site.uses)[rec.array].push_back(rec.region);
+  }
+
+  for (std::uint32_t n = 0; n < result.callgraph.size(); ++n) {
+    const ipa::CGNode& node = result.callgraph.node(n);
+    if (!node.proc->tree) continue;
+    node.proc->tree->walk([&](const ir::WN& wn) {
+      if (wn.opr() != ir::Opr::DoLoop) return true;
+      // Direct calls in the loop body.
+      std::vector<const ir::WN*> calls;
+      const ir::WN* body = wn.loop_body();
+      for (std::size_t i = 0; i < body->kid_count(); ++i) {
+        if (body->kid(i)->opr() == ir::Opr::Call) calls.push_back(body->kid(i));
+      }
+      if (calls.size() < 2) return true;
+
+      ParallelCallAdvice adv;
+      adv.proc = program.symtab.st(node.proc_st).name;
+      adv.loop_line = wn.linenum().line;
+      adv.parallelizable = true;
+      std::ostringstream reason;
+      for (const ir::WN* c : calls) {
+        adv.callees.push_back(program.symtab.st(c->st_idx()).name);
+      }
+      for (std::size_t i = 0; i < calls.size() && adv.parallelizable; ++i) {
+        for (std::size_t j = i + 1; j < calls.size() && adv.parallelizable; ++j) {
+          const auto si = sites.find({node.proc_st, calls[i]->linenum().line});
+          const auto sj = sites.find({node.proc_st, calls[j]->linenum().line});
+          if (si == sites.end() || sj == sites.end()) continue;
+          auto check = [&](const std::map<ir::StIdx, std::vector<Region>>& defs,
+                           const SiteEffects& other) {
+            for (const auto& [st, d] : defs) {
+              const auto ou = other.uses.find(st);
+              const auto od = other.defs.find(st);
+              if ((ou != other.uses.end() && may_overlap(d, ou->second)) ||
+                  (od != other.defs.end() && may_overlap(d, od->second))) {
+                adv.parallelizable = false;
+                reason << "calls at lines " << calls[i]->linenum().line << " and "
+                       << calls[j]->linenum().line << " conflict on '"
+                       << program.symtab.st(st).name << "'";
+                return;
+              }
+            }
+          };
+          check(si->second.defs, sj->second);
+          if (adv.parallelizable) check(sj->second.defs, si->second);
+        }
+      }
+      if (adv.parallelizable) {
+        reason << "interprocedural DEF/USE regions of " << join(adv.callees, ", ")
+               << " are pairwise disjoint; the calls can run concurrently "
+                  "(e.g. inside `!$omp parallel sections`)";
+      }
+      adv.reason = reason.str();
+      out.push_back(std::move(adv));
+      return true;
+    });
+  }
+  return out;
+}
+
+std::vector<RemoteAccessAdvice> advise_remote(const ir::Program& program,
+                                              const ipa::AnalysisResult& result) {
+  struct Group {
+    std::uint64_t refs = 0;
+    std::vector<Region> regions;
+    ir::StIdx array = ir::kInvalidSt;
+  };
+  std::map<std::tuple<ir::StIdx, std::string, AccessMode, std::string>, Group> groups;
+  for (const AccessRecord& rec : result.records) {
+    if (!rec.remote) continue;
+    const std::string proc =
+        rec.scope_proc != ir::kInvalidSt ? program.symtab.st(rec.scope_proc).name : "@";
+    Group& g = groups[{rec.scope_proc, proc, rec.mode, rec.image}];
+    g.array = rec.array;
+    g.refs += rec.refs;
+    g.regions.push_back(rec.region);
+  }
+
+  std::vector<RemoteAccessAdvice> out;
+  for (const auto& [key, g] : groups) {
+    const auto& [scope_st, proc, mode, image] = key;
+    RemoteAccessAdvice adv;
+    adv.proc = proc;
+    adv.array = program.symtab.st(g.array).name;
+    adv.image = image;
+    adv.mode = mode == AccessMode::Def ? "RDEF" : "RUSE";
+    adv.references = g.refs;
+    const ir::Ty& ty = program.symtab.ty(program.symtab.st(g.array).ty);
+    if (const auto hull = const_hull(g.regions)) {
+      adv.region = hull->str();
+      const auto elems = hull->element_count();
+      if (elems) adv.bytes = *elems * ty.element_size();
+    } else if (!g.regions.empty()) {
+      adv.region = g.regions.front().str();
+    }
+    std::ostringstream msg;
+    msg << adv.references << " remote " << (mode == AccessMode::Def ? "PUT" : "GET")
+        << (adv.references == 1 ? "" : "s") << " of " << adv.array << " to image [" << image
+        << "] in " << proc;
+    if (!adv.region.empty()) {
+      msg << "; aggregate into one bulk " << (mode == AccessMode::Def ? "PUT" : "GET")
+          << " of " << adv.array << adv.region << "[" << image << "]";
+      if (adv.bytes > 0) msg << " (" << adv.bytes << " bytes, one communication startup)";
+    }
+    adv.message = msg.str();
+    out.push_back(std::move(adv));
+  }
+  return out;
+}
+
+}  // namespace ara::dragon

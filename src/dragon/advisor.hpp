@@ -1,0 +1,97 @@
+// Optimization advisors: the automated form of the manual workflows the
+// paper's case studies walk through. Each advisor consumes the analysis
+// result and proposes concrete source-level actions:
+//
+//   * advise_resize        — §V-A: "the user can redefine array aarr to be
+//                            (int aarr[8]) instead of (int aarr[20]) since
+//                            the remaining elements have not been used
+//                            anywhere in the program".
+//   * advise_fusion        — Fig 13: two adjacent loops read the same XCR
+//                            region with no dependence; merge them and insert
+//                            a single `!$omp parallel do`.
+//   * advise_offload       — Fig 14 / Table III/IV: generate the sub-array
+//                            `copyin`/`copyout` directive covering exactly
+//                            the accessed portions, with a cost-model
+//                            speedup estimate.
+//   * advise_parallel_calls— Fig 1: calls inside a loop whose interprocedural
+//                            DEF/USE regions are provably disjoint "can
+//                            concurrently and safely be parallelized".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/transfer_model.hpp"
+#include "ipa/analyzer.hpp"
+
+namespace ara::dragon {
+
+struct ResizeAdvice {
+  std::string array;
+  bool unused = false;                     // never accessed at all
+  std::vector<std::int64_t> declared;      // extents, source order
+  std::vector<std::int64_t> suggested;     // shrunk extents, source order
+  std::int64_t saved_bytes = 0;
+  std::string message;
+};
+
+[[nodiscard]] std::vector<ResizeAdvice> advise_resize(const ir::Program& program,
+                                                      const ipa::AnalysisResult& result);
+
+struct FusionAdvice {
+  std::string proc;
+  std::uint32_t first_loop_line = 0;
+  std::uint32_t second_loop_line = 0;
+  std::vector<std::string> shared_arrays;  // arrays re-read across the loops
+  std::int64_t refetched_bytes = 0;        // bytes loaded twice today
+  std::string message;                     // includes the `!$omp parallel do` suggestion
+};
+
+[[nodiscard]] std::vector<FusionAdvice> advise_fusion(const ir::Program& program,
+                                                      const ipa::AnalysisResult& result);
+
+struct OffloadAdvice {
+  std::string proc;
+  std::uint32_t loop_line = 0;
+  std::string directive;              // the full acc directive text
+  std::int64_t full_bytes = 0;        // copyin(whole arrays)
+  std::int64_t region_bytes = 0;      // copyin(accessed portions)
+  double est_speedup = 0;             // whole-array vs sub-array transfer+kernel
+};
+
+[[nodiscard]] std::vector<OffloadAdvice> advise_offload(
+    const ir::Program& program, const ipa::AnalysisResult& result,
+    const gpusim::TransferModel& xfer = {}, const gpusim::KernelModel& kernel = {});
+
+struct ParallelCallAdvice {
+  std::string proc;
+  std::uint32_t loop_line = 0;
+  std::vector<std::string> callees;
+  bool parallelizable = false;
+  std::string reason;
+};
+
+[[nodiscard]] std::vector<ParallelCallAdvice> advise_parallel_calls(
+    const ir::Program& program, const ipa::AnalysisResult& result);
+
+/// §VI PGAS extension: "support the analysis and visualization of remote
+/// array accesses". Groups the coarray RUSE/RDEF records per (procedure,
+/// array, image expression) and, when the accessed region is known, suggests
+/// aggregating the fine-grained one-sided transfers into one bulk GET/PUT of
+/// the whole region — the classic CAF communication-vectorization advice.
+struct RemoteAccessAdvice {
+  std::string proc;
+  std::string array;
+  std::string image;            // the co-subscript expression, e.g. "me + 1"
+  std::string mode;             // RUSE or RDEF
+  std::uint64_t references = 0; // remote accesses in this group
+  std::string region;           // hull of the accessed region (may be symbolic)
+  std::int64_t bytes = 0;       // bytes covered by the hull (0 if unknown)
+  std::string message;
+};
+
+[[nodiscard]] std::vector<RemoteAccessAdvice> advise_remote(const ir::Program& program,
+                                                            const ipa::AnalysisResult& result);
+
+}  // namespace ara::dragon

@@ -1,0 +1,56 @@
+#include "dragon/browser.hpp"
+
+#include "dragon/syntax.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ara::dragon {
+
+std::vector<GrepHit> SourceBrowser::grep(const std::string& needle) const {
+  std::vector<GrepHit> hits;
+  const SourceManager& sm = program_.sources;
+  for (FileId f = 1; f <= sm.file_count(); ++f) {
+    for (std::uint32_t ln : sm.grep(f, needle)) {
+      GrepHit hit;
+      hit.file = sm.name(f);
+      hit.line = ln;
+      hit.text = std::string(*sm.line(f, ln));
+      hits.push_back(std::move(hit));
+    }
+  }
+  return hits;
+}
+
+std::string SourceBrowser::locate(const rgn::RegionRow& row) const {
+  const SourceManager& sm = program_.sources;
+  for (FileId f = 1; f <= sm.file_count(); ++f) {
+    if (sm.object_name(f) != row.file) continue;
+    if (const auto text = sm.line(f, row.line)) {
+      std::ostringstream os;
+      os << sm.name(f) << ':' << row.line << ": " << *text;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+std::string SourceBrowser::listing(const std::string& file,
+                                   const std::vector<std::uint32_t>& mark, bool ansi,
+                                   std::string_view focus) const {
+  const SourceManager& sm = program_.sources;
+  const auto id = sm.find(file);
+  if (!id) return "";
+  const Language lang = sm.language(*id);
+  std::ostringstream os;
+  const std::size_t n = sm.line_count(*id);
+  for (std::uint32_t ln = 1; ln <= n; ++ln) {
+    const bool marked = std::find(mark.begin(), mark.end(), ln) != mark.end();
+    const std::string_view raw = *sm.line(*id, ln);
+    os << (marked ? '>' : ' ') << ' ' << ln << '\t'
+       << (ansi ? highlight_line(raw, lang, focus) : std::string(raw)) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ara::dragon

@@ -1,0 +1,43 @@
+// Dragon's source browsing pane (Fig 7): "the developer has the ability to
+// distinctly visualize the source code in order to refer to any particular
+// global array or an array parameter", with a "find / UNIX-like grep
+// feature" that lists every statement mentioning an array.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "rgn/region_row.hpp"
+
+namespace ara::dragon {
+
+struct GrepHit {
+  std::string file;
+  std::uint32_t line = 0;
+  std::string text;
+};
+
+class SourceBrowser {
+ public:
+  explicit SourceBrowser(const ir::Program& program) : program_(program) {}
+
+  /// All statements in all files whose text mentions `needle` (Fig 7's
+  /// grep box).
+  [[nodiscard]] std::vector<GrepHit> grep(const std::string& needle) const;
+
+  /// The source line an .rgn row points at (the click-to-locate feature).
+  [[nodiscard]] std::string locate(const rgn::RegionRow& row) const;
+
+  /// A numbered listing of `file` with `mark` lines flagged by '>' (the
+  /// GUI's highlighted statements). With `ansi`, applies the Dragon syntax
+  /// highlighter; `focus` paints one identifier green (the searched array).
+  [[nodiscard]] std::string listing(const std::string& file,
+                                    const std::vector<std::uint32_t>& mark = {},
+                                    bool ansi = false, std::string_view focus = {}) const;
+
+ private:
+  const ir::Program& program_;
+};
+
+}  // namespace ara::dragon

@@ -1,0 +1,25 @@
+#include "dragon/dot.hpp"
+
+#include <sstream>
+
+namespace ara::dragon {
+
+std::string callgraph_dot(const rgn::DgnProject& project) {
+  std::ostringstream os;
+  os << "digraph \"" << project.name << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const rgn::DgnProc& p : project.procedures) {
+    os << "  \"" << p.name << "\" [label=\"" << p.name << "\"";
+    if (p.is_entry) os << ", peripheries=2";
+    os << "];\n";
+  }
+  for (const rgn::DgnEdge& e : project.edges) {
+    os << "  \"" << e.caller << "\" -> \"" << e.callee << "\"";
+    if (e.line != 0) os << " [label=\"" << e.line << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ara::dragon

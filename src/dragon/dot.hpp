@@ -1,0 +1,16 @@
+// Graphviz export. "Dragon ... uses Graphviz library to represent code
+// structure information in a scalable graphical form" (§V); Fig 11 shows the
+// LU call graph. We emit DOT text that any graphviz renders.
+#pragma once
+
+#include <string>
+
+#include "rgn/dgn.hpp"
+
+namespace ara::dragon {
+
+/// The Fig 11 call graph: one node per procedure (entry nodes are doubled
+/// boxes), one edge per call site, labelled with the source line.
+[[nodiscard]] std::string callgraph_dot(const rgn::DgnProject& project);
+
+}  // namespace ara::dragon

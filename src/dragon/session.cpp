@@ -1,0 +1,55 @@
+#include "dragon/session.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "dragon/dot.hpp"
+
+namespace ara::dragon {
+
+namespace {
+
+std::optional<std::string> slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Session::Session(rgn::DgnProject project, std::vector<rgn::RegionRow> rows)
+    : project_(std::move(project)), table_(std::move(rows)) {}
+
+std::optional<Session> Session::load(const std::filesystem::path& dgn_path, std::string* error) {
+  const auto dgn_text = slurp(dgn_path);
+  if (!dgn_text) {
+    if (error != nullptr) *error = "cannot read " + dgn_path.string();
+    return std::nullopt;
+  }
+  rgn::DgnProject project;
+  if (!rgn::parse_dgn(*dgn_text, project, error)) return std::nullopt;
+
+  std::filesystem::path rgn_path = dgn_path;
+  rgn_path.replace_extension(".rgn");
+  const auto rgn_text = slurp(rgn_path);
+  if (!rgn_text) {
+    if (error != nullptr) *error = "cannot read " + rgn_path.string();
+    return std::nullopt;
+  }
+  std::vector<rgn::RegionRow> rows;
+  if (!rgn::parse_rgn(*rgn_text, rows, error)) return std::nullopt;
+  return Session(std::move(project), std::move(rows));
+}
+
+std::vector<std::string> Session::procedure_pane() const {
+  std::vector<std::string> pane;
+  pane.emplace_back("@");
+  for (const rgn::DgnProc& p : project_.procedures) pane.push_back(p.name);
+  return pane;
+}
+
+std::string Session::callgraph_dot() const { return dragon::callgraph_dot(project_); }
+
+}  // namespace ara::dragon

@@ -1,0 +1,45 @@
+// A Dragon session: the programmatic equivalent of "invoke our Dragon tool
+// and load the .dgn project" (§V-B step 3). Loads the .dgn/.rgn pair either
+// from disk or from in-memory analysis output and exposes the GUI's views:
+// the procedure tree, the array analysis graph, the call graph and find.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dragon/table.hpp"
+#include "rgn/dgn.hpp"
+
+namespace ara::dragon {
+
+class Session {
+ public:
+  /// Loads <stem>.dgn and <stem>.rgn from disk. Returns nullopt (with
+  /// `error` set) on parse failure.
+  [[nodiscard]] static std::optional<Session> load(const std::filesystem::path& dgn_path,
+                                                   std::string* error = nullptr);
+
+  /// Builds a session directly from analysis output.
+  Session(rgn::DgnProject project, std::vector<rgn::RegionRow> rows);
+
+  [[nodiscard]] const rgn::DgnProject& project() const { return project_; }
+  [[nodiscard]] const ArrayTable& table() const { return table_; }
+
+  /// Procedure list as the left pane shows it: "@" then the procedures.
+  [[nodiscard]] std::vector<std::string> procedure_pane() const;
+
+  /// The Fig 11 call-graph DOT.
+  [[nodiscard]] std::string callgraph_dot() const;
+
+  /// Number of procedures (Fig 11 reports "the LU benchmark has 24
+  /// procedures" at the bottom of the window).
+  [[nodiscard]] std::size_t procedure_count() const { return project_.procedures.size(); }
+
+ private:
+  rgn::DgnProject project_;
+  ArrayTable table_;
+};
+
+}  // namespace ara::dragon

@@ -1,0 +1,95 @@
+#include "dragon/syntax.hpp"
+
+#include <cctype>
+#include <set>
+
+#include "support/string_utils.hpp"
+
+namespace ara::dragon {
+
+namespace {
+
+const std::set<std::string>& fortran_keywords() {
+  static const std::set<std::string> kw = {
+      "subroutine", "program", "function", "end",    "do",     "enddo",  "if",
+      "then",       "else",    "endif",    "call",   "return", "common", "integer",
+      "real",       "double",  "precision", "character", "logical", "dimension",
+      "continue",
+  };
+  return kw;
+}
+
+const std::set<std::string>& c_keywords() {
+  static const std::set<std::string> kw = {
+      "void", "int",  "double", "float",  "char", "long", "short", "unsigned",
+      "for",  "if",   "else",   "return", "while",
+  };
+  return kw;
+}
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+bool is_keyword(std::string_view word, Language lang) {
+  if (lang == Language::Fortran) return fortran_keywords().count(to_lower(word)) != 0;
+  return c_keywords().count(std::string(word)) != 0;
+}
+
+std::string highlight_line(std::string_view line, Language lang, std::string_view focus,
+                           const SyntaxStyle& style) {
+  std::string out;
+  std::size_t i = 0;
+
+  // Whole-line / trailing comments swallow the rest of the line.
+  auto comment_starts = [&](std::size_t pos) {
+    if (lang == Language::Fortran) return line[pos] == '!';
+    return line[pos] == '/' && pos + 1 < line.size() && line[pos + 1] == '/';
+  };
+
+  while (i < line.size()) {
+    const char c = line[i];
+    if (comment_starts(i)) {
+      out += style.comment;
+      out += line.substr(i);
+      out += style.reset;
+      return out;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < line.size() && ident_char(line[j])) ++j;
+      const std::string_view word = line.substr(i, j - i);
+      if (!focus.empty() && iequals(word, focus)) {
+        out += style.focus;
+        out += word;
+        out += style.reset;
+      } else if (is_keyword(word, lang)) {
+        out += style.keyword;
+        out += word;
+        out += style.reset;
+      } else {
+        out += word;
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < line.size() &&
+             (std::isdigit(static_cast<unsigned char>(line[j])) || line[j] == '.')) {
+        ++j;
+      }
+      out += style.number;
+      out += line.substr(i, j - i);
+      out += style.reset;
+      i = j;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace ara::dragon

@@ -1,0 +1,34 @@
+// Syntax highlighting — one of the Dragon GUI features the paper lists
+// ("GUI features include: support for multiple platforms, syntax
+// highlighting, source code analysis, ...", §V). The console rendition emits
+// ANSI colour escapes: keywords bold blue, comments dim, numeric literals
+// cyan, and (optionally) one array-of-interest in green, matching the find
+// feature's green highlighting.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/source_manager.hpp"
+
+namespace ara::dragon {
+
+struct SyntaxStyle {
+  std::string keyword = "\x1b[1;34m";  // bold blue
+  std::string comment = "\x1b[2m";     // dim
+  std::string number = "\x1b[36m";     // cyan
+  std::string focus = "\x1b[32m";      // green: the array being tracked
+  std::string reset = "\x1b[0m";
+};
+
+/// True when `word` is a keyword of the given language (case-insensitive for
+/// Fortran, exact for C).
+[[nodiscard]] bool is_keyword(std::string_view word, Language lang);
+
+/// Highlights one source line. `focus` (may be empty) is an identifier to
+/// paint with the focus colour — the array the user searched for.
+[[nodiscard]] std::string highlight_line(std::string_view line, Language lang,
+                                         std::string_view focus = {},
+                                         const SyntaxStyle& style = {});
+
+}  // namespace ara::dragon

@@ -1,0 +1,102 @@
+#include "dragon/table.hpp"
+
+#include <algorithm>
+
+#include "support/string_utils.hpp"
+#include "support/text_table.hpp"
+
+namespace ara::dragon {
+
+ArrayTable::ArrayTable(std::vector<rgn::RegionRow> rows) : rows_(std::move(rows)) {}
+
+std::vector<std::string> ArrayTable::scopes() const {
+  std::vector<std::string> out;
+  bool has_globals = false;
+  for (const rgn::RegionRow& r : rows_) {
+    if (r.scope == "@") {
+      has_globals = true;
+      continue;
+    }
+    if (std::find(out.begin(), out.end(), r.scope) == out.end()) out.push_back(r.scope);
+  }
+  if (has_globals) out.insert(out.begin(), "@");
+  return out;
+}
+
+std::vector<rgn::RegionRow> ArrayTable::rows_for_scope(const std::string& scope) const {
+  std::vector<rgn::RegionRow> out;
+  for (const rgn::RegionRow& r : rows_) {
+    if (iequals(r.scope, scope)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ArrayTable::find(const std::string& name) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (iequals(rows_[i].array, name)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::string> ArrayTable::arrays_in_scope(const std::string& scope) const {
+  std::vector<std::string> out;
+  for (const rgn::RegionRow& r : rows_) {
+    if (!iequals(r.scope, scope)) continue;
+    const auto match = std::find_if(out.begin(), out.end(),
+                                    [&](const std::string& s) { return iequals(s, r.array); });
+    if (match == out.end()) out.push_back(r.array);
+  }
+  return out;
+}
+
+std::vector<rgn::RegionRow> ArrayTable::hotspots(std::size_t top_n, bool arrays_only) const {
+  std::vector<rgn::RegionRow> sorted;
+  for (const rgn::RegionRow& r : rows_) {
+    if (arrays_only && r.tot_size <= 1) continue;
+    sorted.push_back(r);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const rgn::RegionRow& a, const rgn::RegionRow& b) {
+                     return rgn::access_density_exact(a.references, a.size_bytes) >
+                            rgn::access_density_exact(b.references, b.size_bytes);
+                   });
+  // One row per (array, mode): keep the first (densest) occurrence.
+  std::vector<rgn::RegionRow> out;
+  for (const rgn::RegionRow& r : sorted) {
+    const bool dup = std::any_of(out.begin(), out.end(), [&](const rgn::RegionRow& o) {
+      return iequals(o.array, r.array) && o.mode == r.mode && o.scope == r.scope;
+    });
+    if (!dup) out.push_back(r);
+    if (out.size() >= top_n) break;
+  }
+  return out;
+}
+
+std::string ArrayTable::render(const std::string& scope, const std::string& highlight,
+                               bool ansi) const {
+  const auto scoped = rows_for_scope(scope);
+  // The Image column only appears when the scope has remote (coarray) rows.
+  bool has_remote = false;
+  for (const rgn::RegionRow& r : scoped) has_remote |= !r.image.empty();
+
+  TextTable table;
+  std::vector<std::string> header{"Array", "File", "Mode", "Refs", "Dims", "LB", "UB",
+                                  "Stride", "Esize", "Data_type", "Dim_size", "Tot_size",
+                                  "Size_bytes", "Mem_Loc", "Acc_density"};
+  if (has_remote) header.emplace_back("Image");
+  table.set_header(std::move(header));
+  for (const rgn::RegionRow& r : scoped) {
+    const bool hl = !highlight.empty() && iequals(r.array, highlight);
+    std::vector<std::string> cells{r.array, r.file, r.mode, std::to_string(r.references),
+                                   std::to_string(r.dims), r.lb, r.ub, r.stride,
+                                   std::to_string(r.element_size), r.data_type, r.dim_size,
+                                   std::to_string(r.tot_size), std::to_string(r.size_bytes),
+                                   r.mem_loc, std::to_string(r.acc_density)};
+    if (has_remote) cells.push_back(r.image);
+    table.add_row(std::move(cells), hl);
+  }
+  return table.render(ansi);
+}
+
+}  // namespace ara::dragon

@@ -1,0 +1,50 @@
+// Dragon's array analysis graph (Fig 6): a tabular view of the .rgn rows
+// with a procedure/scope list on the left ("The @ symbol at the top of this
+// column indicates global arrays"), per-scope filtering, and the find
+// feature that highlights all accesses to a named array in green.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rgn/region_row.hpp"
+
+namespace ara::dragon {
+
+class ArrayTable {
+ public:
+  explicit ArrayTable(std::vector<rgn::RegionRow> rows);
+
+  [[nodiscard]] const std::vector<rgn::RegionRow>& rows() const { return rows_; }
+
+  /// Scope list for the left column: "@" first (when global rows exist),
+  /// then procedure names in first-appearance order.
+  [[nodiscard]] std::vector<std::string> scopes() const;
+
+  /// Rows for one scope ("@" = globals), i.e. the click on a procedure name.
+  [[nodiscard]] std::vector<rgn::RegionRow> rows_for_scope(const std::string& scope) const;
+
+  /// The find button: row indices (into rows()) whose Array matches `name`
+  /// case-insensitively — these are the rows the GUI highlights.
+  [[nodiscard]] std::vector<std::size_t> find(const std::string& name) const;
+
+  /// Distinct array names in a scope.
+  [[nodiscard]] std::vector<std::string> arrays_in_scope(const std::string& scope) const;
+
+  /// Hotspot ranking: rows ordered by exact access density, densest first
+  /// ("it helps the user to identify the hotspot arrays in the program").
+  /// `arrays_only` drops scalar rows (tot_size <= 1), which otherwise
+  /// dominate the ranking with their 1-byte denominators.
+  [[nodiscard]] std::vector<rgn::RegionRow> hotspots(std::size_t top_n = 10,
+                                                     bool arrays_only = false) const;
+
+  /// Renders the Fig 9-style table; rows matching `highlight` (array name,
+  /// may be empty) are marked, as the GUI marks find results.
+  [[nodiscard]] std::string render(const std::string& scope, const std::string& highlight = "",
+                                   bool ansi = false) const;
+
+ private:
+  std::vector<rgn::RegionRow> rows_;
+};
+
+}  // namespace ara::dragon

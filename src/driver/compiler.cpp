@@ -1,0 +1,100 @@
+#include "driver/compiler.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "cfg/cfg.hpp"
+#include "frontend/compile.hpp"
+#include "rgn/dgn.hpp"
+
+namespace ara::driver {
+
+Compiler::Compiler() : Compiler(CompilerOptions{}) {}
+
+Compiler::Compiler(CompilerOptions opts)
+    : opts_(opts), program_(std::make_unique<ir::Program>()), diags_(&program_->sources) {}
+
+void Compiler::add_source(std::string name, std::string text, Language lang) {
+  program_->sources.add(std::move(name), std::move(text), lang);
+}
+
+bool Compiler::add_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string ext = path.extension().string();
+  const Language lang = (ext == ".c" || ext == ".h") ? Language::C : Language::Fortran;
+  add_source(path.filename().string(), buf.str(), lang);
+  return true;
+}
+
+bool Compiler::compile() {
+  compiled_ = fe::compile_program(*program_, diags_);
+  if (compiled_) {
+    // Re-run layout with the configured bases (compile_program used defaults).
+    ir::assign_layout(*program_, opts_.layout);
+  }
+  return compiled_;
+}
+
+ipa::AnalysisResult Compiler::analyze(const ipa::AnalyzeOptions& opts) const {
+  return ipa::analyze(*program_, opts);
+}
+
+rgn::DgnProject build_dgn_project(const ir::Program& program,
+                                  const ipa::AnalysisResult& result, const std::string& name) {
+  rgn::DgnProject project;
+  project.name = name;
+  for (FileId f = 1; f <= program.sources.file_count(); ++f) {
+    project.files.push_back(program.sources.name(f));
+    project.languages.emplace_back(to_string(program.sources.language(f)));
+  }
+  for (std::uint32_t i = 0; i < result.callgraph.size(); ++i) {
+    const ipa::CGNode& node = result.callgraph.node(i);
+    rgn::DgnProc p;
+    p.name = program.symtab.st(node.proc_st).name;
+    p.file = program.sources.name(node.proc->file);
+    p.line = program.symtab.st(node.proc_st).loc.line;
+    p.is_entry = node.is_root;
+    project.procedures.push_back(std::move(p));
+  }
+  for (std::uint32_t i = 0; i < result.callgraph.size(); ++i) {
+    const ipa::CGNode& node = result.callgraph.node(i);
+    for (const ipa::CallSite& cs : node.callsites) {
+      rgn::DgnEdge e;
+      e.caller = program.symtab.st(node.proc_st).name;
+      e.callee = program.symtab.st(result.callgraph.node(cs.callee).proc_st).name;
+      e.line = cs.loc.line;
+      project.edges.push_back(std::move(e));
+    }
+  }
+  return project;
+}
+
+bool export_dragon_files(const ir::Program& program, const ipa::AnalysisResult& result,
+                         const std::filesystem::path& dir, const std::string& name,
+                         std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = "cannot create " + dir.string() + ": " + ec.message();
+    return false;
+  }
+  auto write = [&](const std::filesystem::path& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + path.string();
+      return false;
+    }
+    return true;
+  };
+  if (!write(dir / (name + ".rgn"), rgn::write_rgn(result.rows))) return false;
+  if (!write(dir / (name + ".dgn"), rgn::write_dgn(build_dgn_project(program, result, name)))) {
+    return false;
+  }
+  return write(dir / (name + ".cfg"), cfg::write_cfg(cfg::build_all(program)));
+}
+
+}  // namespace ara::driver

@@ -1,0 +1,45 @@
+#include "frontend/ast.hpp"
+
+namespace ara::fe {
+
+ExprPtr make_int(std::int64_t v, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::IntLit;
+  e->int_val = v;
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr make_var(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::VarRef;
+  e->name = std::move(name);
+  e->loc = loc;
+  return e;
+}
+
+ExprPtr clone(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->loc = e.loc;
+  out->int_val = e.int_val;
+  out->float_val = e.float_val;
+  out->name = e.name;
+  out->op = e.op;
+  out->args.reserve(e.args.size());
+  for (const ExprPtr& a : e.args) out->args.push_back(a ? clone(*a) : nullptr);
+  if (e.coindex) out->coindex = clone(*e.coindex);
+  return out;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->op = op;
+  e->loc = loc;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+}  // namespace ara::fe

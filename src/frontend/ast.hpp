@@ -1,0 +1,135 @@
+// Language-neutral AST produced by both parsers and consumed by sema and
+// lowering. Array dimension declarations keep their source-form bounds
+// (Fortran `A(1:200, 1:200)` keeps lb=1; C `a[20]` is 0..19); conversion to
+// WHIRL's row-major zero-based form happens at lowering, and Dragon converts
+// back for display ("we modify the bounds, which are obtained from the
+// compiler side, in Dragon ... to make our tool aware of the application's
+// source code language", §V-B).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/mtype.hpp"
+#include "support/source_location.hpp"
+#include "support/source_manager.hpp"
+
+namespace ara::fe {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  And,
+  Or,
+};
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  FloatLit,
+  StringLit,
+  VarRef,    // scalar variable, or whole-array mention (e.g. as an actual arg)
+  ArrayRef,  // subscripted reference; args = source-order subscripts
+  Binary,    // args = {lhs, rhs}
+  Unary,     // Neg or Not; args = {operand}
+  CallExpr,  // intrinsic/function call in expression position; args = actuals
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  std::string name;  // VarRef/ArrayRef/CallExpr; Unary uses "-" or "!"
+  BinOp op = BinOp::Add;
+  std::vector<ExprPtr> args;
+  /// Coarray co-subscript: `a(i)[img]` reads/writes image `img`'s copy (the
+  /// paper's §VI PGAS extension). Null for ordinary accesses.
+  ExprPtr coindex;
+};
+
+[[nodiscard]] ExprPtr make_int(std::int64_t v, SourceLoc loc);
+[[nodiscard]] ExprPtr make_var(std::string name, SourceLoc loc);
+[[nodiscard]] ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc);
+
+/// Deep copy (Expr holds unique_ptr children, so it is move-only by default).
+[[nodiscard]] ExprPtr clone(const Expr& e);
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  Assign,  // lhs = rhs; lhs is VarRef or ArrayRef
+  Do,      // counted loop
+  If,
+  CallStmt,  // subroutine call / void function call
+  Return,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  // Assign
+  ExprPtr lhs;
+  ExprPtr rhs;
+  // Do
+  std::string do_var;
+  ExprPtr do_init;
+  ExprPtr do_limit;
+  ExprPtr do_step;  // null = 1
+  std::vector<StmtPtr> body;
+  // If
+  ExprPtr cond;
+  std::vector<StmtPtr> else_body;  // body = then branch
+  // Call
+  std::string callee;
+  std::vector<ExprPtr> call_args;
+};
+
+/// One declared dimension: bounds as expressions (null ub = assumed-size /
+/// variable-length; null lb = language default: 1 in Fortran, 0 in C).
+struct DimSpec {
+  ExprPtr lb;
+  ExprPtr ub;
+};
+
+struct VarDecl {
+  std::string name;
+  ir::Mtype mtype = ir::Mtype::I4;
+  std::vector<DimSpec> dims;  // empty = scalar
+  bool is_coarray = false;    // declared with a codimension, e.g. a(10)[*]
+  bool is_global = false;     // C file scope, or named in a Fortran COMMON
+  SourceLoc loc;
+};
+
+struct ProcDecl {
+  std::string name;
+  bool is_program = false;  // Fortran PROGRAM / C main
+  std::vector<std::string> params;  // formal names, in order
+  std::vector<VarDecl> decls;       // formals' type decls + locals
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+/// One parsed source file.
+struct ModuleAst {
+  FileId file = kInvalidFileId;
+  Language lang = Language::Fortran;
+  std::vector<VarDecl> globals;  // C file-scope variables / Fortran COMMON
+  std::vector<ProcDecl> procs;
+};
+
+}  // namespace ara::fe

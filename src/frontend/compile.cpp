@@ -1,0 +1,41 @@
+#include "frontend/compile.hpp"
+
+#include "frontend/lower.hpp"
+#include "frontend/parser_c.hpp"
+#include "frontend/parser_fortran.hpp"
+#include "frontend/sema.hpp"
+#include "ir/layout.hpp"
+#include "ir/verifier.hpp"
+
+namespace ara::fe {
+
+bool compile_program(ir::Program& program, DiagnosticEngine& diags) {
+  std::vector<ModuleAst> modules;
+  for (FileId f = 1; f <= program.sources.file_count(); ++f) {
+    switch (program.sources.language(f)) {
+      case Language::Fortran:
+        modules.push_back(parse_fortran(program.sources, f, diags));
+        break;
+      case Language::C:
+        modules.push_back(parse_c(program.sources, f, diags));
+        break;
+    }
+  }
+  if (diags.has_errors()) return false;
+
+  Sema sema(program, diags);
+  SemaResult resolved = sema.run(modules);
+  if (diags.has_errors()) return false;
+
+  Lowerer lowerer(program, diags);
+  for (const ProcScope& scope : resolved.scopes) lowerer.lower_proc(scope);
+
+  ir::assign_layout(program);
+
+  for (const std::string& err : ir::verify_program(program)) {
+    diags.error(SourceLoc{}, "IR verifier: " + err);
+  }
+  return !diags.has_errors();
+}
+
+}  // namespace ara::fe

@@ -1,0 +1,16 @@
+// Front-end entry point: parse + sema + lowering for every source buffer
+// registered in the program's SourceManager, mirroring OpenUH's FE stage
+// (Fig 3: sources -> VH WHIRL -> H WHIRL, where IPA operates).
+#pragma once
+
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ara::fe {
+
+/// Compiles all registered sources into program.procedures / program.symtab
+/// and assigns the static data layout. Returns false if any error diagnostic
+/// was emitted (the program may be partially populated).
+bool compile_program(ir::Program& program, DiagnosticEngine& diags);
+
+}  // namespace ara::fe

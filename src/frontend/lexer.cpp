@@ -1,0 +1,368 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "support/string_utils.hpp"
+
+namespace ara::fe {
+
+namespace {
+
+std::string_view kTokNames[] = {
+    "eof",  "newline", "identifier", "integer literal", "float literal", "string literal",
+    "(",    ")",       "[",          "]",               "{",             "}",
+    ",",    ";",       ":",          "::",              "=",             "+",
+    "-",    "*",       "/",          "%",               "&",             "==",
+    "!=",   "<",       ">",          "<=",              ">=",            "&&",
+    "||",   "!",       "+=",         "-=",              "++",            "div",
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+std::string_view tok_name(Tok t) { return kTokNames[static_cast<std::size_t>(t)]; }
+
+Lexer::Lexer(const SourceManager& sm, FileId file, DiagnosticEngine& diags)
+    : sm_(sm), file_(file), diags_(diags), text_(sm.text(file)), lang_(sm.language(file)) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+SourceLoc Lexer::here() const { return SourceLoc{file_, line_, col_}; }
+
+void Lexer::push(std::vector<Token>& out, Tok kind, SourceLoc loc, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.loc = loc;
+  t.text = std::move(text);
+  out.push_back(std::move(t));
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  while (!at_end()) lex_one(out);
+  // Guarantee a trailing Newline before Eof in Fortran mode so the parser can
+  // always expect a statement terminator.
+  if (lang_ == Language::Fortran && (out.empty() || out.back().kind != Tok::Newline)) {
+    push(out, Tok::Newline, here());
+  }
+  push(out, Tok::Eof, here());
+  return out;
+}
+
+void Lexer::lex_one(std::vector<Token>& out) {
+  const SourceLoc loc = here();
+  const char c = peek();
+
+  if (c == '\n') {
+    advance();
+    if (lang_ == Language::Fortran) {
+      // Continuation: a trailing '&' swallows the newline.
+      if (!out.empty() && out.back().kind == Tok::Amp) {
+        out.pop_back();
+        return;
+      }
+      if (!out.empty() && out.back().kind != Tok::Newline) push(out, Tok::Newline, loc);
+    }
+    return;
+  }
+  if (std::isspace(static_cast<unsigned char>(c))) {
+    advance();
+    return;
+  }
+  // Comments.
+  if (lang_ == Language::Fortran && c == '!') {
+    // A line that is "!$omp ..." or similar is still a comment to us.
+    while (!at_end() && peek() != '\n') advance();
+    return;
+  }
+  if (lang_ == Language::C && c == '/' && peek(1) == '/') {
+    while (!at_end() && peek() != '\n') advance();
+    return;
+  }
+  if (lang_ == Language::C && c == '/' && peek(1) == '*') {
+    advance();
+    advance();
+    while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+    if (!at_end()) {
+      advance();
+      advance();
+    } else {
+      diags_.error(loc, "unterminated block comment");
+    }
+    return;
+  }
+  if (lang_ == Language::C && c == '#') {
+    // Preprocessor-ish lines (e.g. #pragma) are skipped; directives the tool
+    // suggests are inserted by the advisor, not parsed back.
+    while (!at_end() && peek() != '\n') advance();
+    return;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    lex_number(out);
+    return;
+  }
+  if (ident_start(c)) {
+    lex_ident(out);
+    return;
+  }
+  if (c == '"' || (lang_ == Language::Fortran && c == '\'')) {
+    advance();
+    lex_string(out, c);
+    return;
+  }
+  if (lang_ == Language::Fortran && c == '.') {
+    lex_dot_operator(out);
+    return;
+  }
+
+  advance();
+  switch (c) {
+    case '(':
+      push(out, Tok::LParen, loc);
+      return;
+    case ')':
+      push(out, Tok::RParen, loc);
+      return;
+    case '[':
+      push(out, Tok::LBracket, loc);
+      return;
+    case ']':
+      push(out, Tok::RBracket, loc);
+      return;
+    case '{':
+      push(out, Tok::LBrace, loc);
+      return;
+    case '}':
+      push(out, Tok::RBrace, loc);
+      return;
+    case ',':
+      push(out, Tok::Comma, loc);
+      return;
+    case ';':
+      push(out, Tok::Semicolon, loc);
+      return;
+    case ':':
+      if (peek() == ':') {
+        advance();
+        push(out, Tok::ColonColon, loc);
+      } else {
+        push(out, Tok::Colon, loc);
+      }
+      return;
+    case '=':
+      if (peek() == '=') {
+        advance();
+        push(out, Tok::EqEq, loc);
+      } else {
+        push(out, Tok::Assign, loc);
+      }
+      return;
+    case '+':
+      if (peek() == '=') {
+        advance();
+        push(out, Tok::PlusEq, loc);
+      } else if (peek() == '+') {
+        advance();
+        push(out, Tok::PlusPlus, loc);
+      } else {
+        push(out, Tok::Plus, loc);
+      }
+      return;
+    case '-':
+      if (peek() == '=') {
+        advance();
+        push(out, Tok::MinusEq, loc);
+      } else {
+        push(out, Tok::Minus, loc);
+      }
+      return;
+    case '*':
+      push(out, Tok::Star, loc);
+      return;
+    case '/':
+      if (lang_ == Language::Fortran && peek() == '=') {
+        advance();
+        push(out, Tok::NotEq, loc);  // Fortran /=
+      } else {
+        push(out, Tok::Slash, loc);
+      }
+      return;
+    case '%':
+      push(out, Tok::Percent, loc);
+      return;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        push(out, Tok::AndAnd, loc);
+      } else {
+        push(out, Tok::Amp, loc);
+      }
+      return;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        push(out, Tok::OrOr, loc);
+      } else {
+        diags_.error(loc, "unexpected '|'");
+      }
+      return;
+    case '!':
+      if (peek() == '=') {
+        advance();
+        push(out, Tok::NotEq, loc);
+      } else {
+        push(out, Tok::Not, loc);
+      }
+      return;
+    case '<':
+      if (peek() == '=') {
+        advance();
+        push(out, Tok::Le, loc);
+      } else {
+        push(out, Tok::Lt, loc);
+      }
+      return;
+    case '>':
+      if (peek() == '=') {
+        advance();
+        push(out, Tok::Ge, loc);
+      } else {
+        push(out, Tok::Gt, loc);
+      }
+      return;
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      return;
+  }
+}
+
+void Lexer::lex_number(std::vector<Token>& out) {
+  const SourceLoc loc = here();
+  std::string spelling;
+  bool is_float = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) spelling += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    spelling += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) spelling += advance();
+  } else if (peek() == '.' && !ident_start(peek(1)) && peek(1) != '.') {
+    // "1." style float, but not "1..and." (Fortran dot-operator follows).
+    is_float = true;
+    spelling += advance();
+  }
+  // Exponent: 1e5, 1.5d-3 (Fortran d exponent).
+  const char e = peek();
+  if (e == 'e' || e == 'E' || ((e == 'd' || e == 'D') && lang_ == Language::Fortran)) {
+    const char sign = peek(1);
+    const char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+    if (std::isdigit(static_cast<unsigned char>(digit))) {
+      is_float = true;
+      spelling += 'e';
+      advance();
+      if (sign == '+' || sign == '-') spelling += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) spelling += advance();
+    }
+  }
+  Token t;
+  t.loc = loc;
+  t.text = spelling;
+  if (is_float) {
+    t.kind = Tok::FloatLit;
+    t.float_val = std::stod(spelling);
+  } else {
+    t.kind = Tok::IntLit;
+    t.int_val = std::stoll(spelling);
+  }
+  out.push_back(std::move(t));
+}
+
+void Lexer::lex_ident(std::vector<Token>& out) {
+  const SourceLoc loc = here();
+  std::string spelling;
+  while (ident_char(peek())) spelling += advance();
+  push(out, Tok::Ident, loc, std::move(spelling));
+}
+
+void Lexer::lex_string(std::vector<Token>& out, char quote) {
+  const SourceLoc loc = here();
+  std::string value;
+  while (!at_end() && peek() != quote && peek() != '\n') value += advance();
+  if (at_end() || peek() != quote) {
+    diags_.error(loc, "unterminated string literal");
+  } else {
+    advance();
+  }
+  push(out, Tok::StringLit, loc, std::move(value));
+}
+
+void Lexer::lex_dot_operator(std::vector<Token>& out) {
+  const SourceLoc loc = here();
+  advance();  // '.'
+  std::string word;
+  while (ident_char(peek())) word += advance();
+  if (peek() == '.') {
+    advance();
+  } else {
+    diags_.error(loc, "malformed .op. operator");
+  }
+  const std::string lower = to_lower(word);
+  Tok kind;
+  if (lower == "lt") {
+    kind = Tok::Lt;
+  } else if (lower == "le") {
+    kind = Tok::Le;
+  } else if (lower == "gt") {
+    kind = Tok::Gt;
+  } else if (lower == "ge") {
+    kind = Tok::Ge;
+  } else if (lower == "eq") {
+    kind = Tok::EqEq;
+  } else if (lower == "ne") {
+    kind = Tok::NotEq;
+  } else if (lower == "and") {
+    kind = Tok::AndAnd;
+  } else if (lower == "or") {
+    kind = Tok::OrOr;
+  } else if (lower == "not") {
+    kind = Tok::Not;
+  } else if (lower == "true") {
+    Token t;
+    t.kind = Tok::IntLit;
+    t.int_val = 1;
+    t.loc = loc;
+    t.text = ".true.";
+    out.push_back(std::move(t));
+    return;
+  } else if (lower == "false") {
+    Token t;
+    t.kind = Tok::IntLit;
+    t.int_val = 0;
+    t.loc = loc;
+    t.text = ".false.";
+    out.push_back(std::move(t));
+    return;
+  } else {
+    diags_.error(loc, "unknown operator ." + word + ".");
+    return;
+  }
+  push(out, kind, loc);
+}
+
+}  // namespace ara::fe

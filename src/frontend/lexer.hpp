@@ -1,0 +1,47 @@
+// Lexer for both input languages. Fortran mode is case-preserving but the
+// parser compares identifiers case-insensitively; `!` starts a comment, `&`
+// at end of line continues the statement, and `.lt. .le. .gt. .ge. .eq.
+// .ne. .and. .or. .not.` are recognized alongside the symbolic operators.
+// C mode handles `// and /* */` comments and compound operators.
+#pragma once
+
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+#include "support/source_manager.hpp"
+
+namespace ara::fe {
+
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, FileId file, DiagnosticEngine& diags);
+
+  /// Tokenizes the whole buffer. Fortran mode emits Newline tokens as
+  /// statement separators (collapsing blank/comment lines); C mode does not.
+  [[nodiscard]] std::vector<Token> tokenize();
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] SourceLoc here() const;
+
+  void lex_one(std::vector<Token>& out);
+  void lex_number(std::vector<Token>& out);
+  void lex_ident(std::vector<Token>& out);
+  void lex_string(std::vector<Token>& out, char quote);
+  void lex_dot_operator(std::vector<Token>& out);
+  void push(std::vector<Token>& out, Tok kind, SourceLoc loc, std::string text = {});
+
+  const SourceManager& sm_;
+  FileId file_;
+  DiagnosticEngine& diags_;
+  std::string_view text_;
+  Language lang_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace ara::fe

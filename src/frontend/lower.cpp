@@ -1,0 +1,321 @@
+#include "frontend/lower.hpp"
+
+#include <algorithm>
+
+#include "support/string_utils.hpp"
+
+namespace ara::fe {
+
+using ir::Mtype;
+using ir::Opr;
+using ir::StIdx;
+using ir::WN;
+using ir::WNPtr;
+
+StIdx Lowerer::resolve(const std::string& name, const ProcScope& scope) const {
+  const auto it = scope.names.find(to_lower(name));
+  return it == scope.names.end() ? ir::kInvalidSt : it->second;
+}
+
+Mtype Lowerer::expr_mtype(const Expr& expr, const ProcScope& scope) const {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return Mtype::I8;
+    case ExprKind::FloatLit:
+      return Mtype::F8;
+    case ExprKind::StringLit:
+      return Mtype::I1;
+    case ExprKind::VarRef:
+    case ExprKind::ArrayRef: {
+      const StIdx st = resolve(expr.name, scope);
+      if (st == ir::kInvalidSt) return Mtype::I8;
+      return program_.symtab.ty(program_.symtab.st(st).ty).mtype;
+    }
+    case ExprKind::Unary:
+      return expr_mtype(*expr.args[0], scope);
+    case ExprKind::Binary: {
+      const Mtype a = expr_mtype(*expr.args[0], scope);
+      const Mtype b = expr_mtype(*expr.args[1], scope);
+      switch (expr.op) {
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Gt:
+        case BinOp::Le:
+        case BinOp::Ge:
+        case BinOp::And:
+        case BinOp::Or:
+          return Mtype::I4;
+        default:
+          break;
+      }
+      if (ir::mtype_is_float(a) || ir::mtype_is_float(b)) return Mtype::F8;
+      return Mtype::I8;
+    }
+    case ExprKind::CallExpr: {
+      const std::string name = to_lower(expr.name);
+      if (name == "int" || name == "nint" || name == "mod" || name == "this_image" ||
+          name == "num_images") {
+        return Mtype::I8;
+      }
+      if (expr.args.empty()) return Mtype::F8;
+      return expr_mtype(*expr.args[0], scope);
+    }
+  }
+  return Mtype::I8;
+}
+
+void Lowerer::lower_proc(const ProcScope& scope) {
+  WNPtr body = lower_block(scope.decl->body, scope);
+  WNPtr entry = build_.func_entry(scope.proc_st, scope.formals, std::move(body));
+  entry->set_linenum(scope.decl->loc);
+
+  ir::ProcedureIR proc;
+  proc.proc_st = scope.proc_st;
+  proc.file = scope.file;
+  proc.tree = std::move(entry);
+  program_.procedures.push_back(std::move(proc));
+}
+
+WNPtr Lowerer::lower_block(const std::vector<StmtPtr>& stmts, const ProcScope& scope) {
+  WNPtr block = build_.block();
+  for (const StmtPtr& s : stmts) {
+    if (!s) continue;
+    if (WNPtr wn = lower_stmt(*s, scope)) block->attach(std::move(wn));
+  }
+  return block;
+}
+
+WNPtr Lowerer::lower_stmt(const Stmt& stmt, const ProcScope& scope) {
+  switch (stmt.kind) {
+    case StmtKind::Assign: {
+      WNPtr rhs = lower_expr(*stmt.rhs, scope);
+      WNPtr out;
+      if (stmt.lhs->kind == ExprKind::VarRef) {
+        const StIdx st = resolve(stmt.lhs->name, scope);
+        if (st == ir::kInvalidSt) return nullptr;
+        out = build_.stid(st, std::move(rhs));
+      } else {
+        WNPtr addr = lower_array_address(*stmt.lhs, scope);
+        if (!addr) return nullptr;
+        if (stmt.lhs->coindex) {
+          // Remote coarray PUT: a(i)[img] = ... (§VI PGAS extension).
+          addr = build_.coindex(std::move(addr), lower_expr(*stmt.lhs->coindex, scope));
+        }
+        out = build_.istore(std::move(rhs), std::move(addr), expr_mtype(*stmt.lhs, scope));
+      }
+      out->set_linenum(stmt.loc);
+      return out;
+    }
+    case StmtKind::Do: {
+      const StIdx ivar = resolve(stmt.do_var, scope);
+      if (ivar == ir::kInvalidSt) return nullptr;
+      WNPtr init = lower_expr(*stmt.do_init, scope);
+      WNPtr limit = lower_expr(*stmt.do_limit, scope);
+      WNPtr step = stmt.do_step ? lower_expr(*stmt.do_step, scope)
+                                : build_.intconst(1, Mtype::I8);
+      WNPtr body = lower_block(stmt.body, scope);
+      WNPtr out =
+          build_.do_loop(ivar, std::move(init), std::move(limit), std::move(step), std::move(body));
+      out->set_linenum(stmt.loc);
+      return out;
+    }
+    case StmtKind::If: {
+      WNPtr cond = lower_expr(*stmt.cond, scope);
+      WNPtr then_b = lower_block(stmt.body, scope);
+      WNPtr else_b = lower_block(stmt.else_body, scope);
+      WNPtr out = build_.if_stmt(std::move(cond), std::move(then_b), std::move(else_b));
+      out->set_linenum(stmt.loc);
+      return out;
+    }
+    case StmtKind::CallStmt: {
+      const auto callee = program_.symtab.find_proc(stmt.callee);
+      if (!callee) return nullptr;  // diagnosed by sema
+      std::vector<WNPtr> args;
+      for (const ExprPtr& a : stmt.call_args) {
+        if (a) args.push_back(lower_call_arg(*a, scope));
+      }
+      WNPtr out = build_.call(*callee, std::move(args));
+      out->set_linenum(stmt.loc);
+      return out;
+    }
+    case StmtKind::Return: {
+      WNPtr out = build_.ret();
+      out->set_linenum(stmt.loc);
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+WNPtr Lowerer::lower_call_arg(const Expr& arg, const ProcScope& scope) {
+  // Whole arrays are passed as addresses; a formal array is already an
+  // address value (LDID), an owned array's address is taken with LDA. A
+  // Fortran element actual (call f(a(1,j))) also passes an address — the
+  // ARRAY node itself.
+  if (arg.kind == ExprKind::VarRef) {
+    const StIdx st = resolve(arg.name, scope);
+    if (st != ir::kInvalidSt) {
+      const ir::St& sym = program_.symtab.st(st);
+      if (program_.symtab.ty(sym.ty).is_array()) {
+        WNPtr base = sym.storage == ir::StStorage::Formal ? build_.ldid(st) : build_.lda(st);
+        base->set_linenum(arg.loc);
+        return base;
+      }
+    }
+  }
+  if (arg.kind == ExprKind::ArrayRef && scope.lang == Language::Fortran) {
+    if (WNPtr addr = lower_array_address(arg, scope)) {
+      addr->set_linenum(arg.loc);
+      return addr;
+    }
+  }
+  return lower_expr(arg, scope);
+}
+
+WNPtr Lowerer::lower_array_address(const Expr& ref, const ProcScope& scope) {
+  const StIdx st = resolve(ref.name, scope);
+  if (st == ir::kInvalidSt) return nullptr;
+  const ir::St& sym = program_.symtab.st(st);
+  const ir::Ty& ty = program_.symtab.ty(sym.ty);
+  if (!ty.is_array()) return nullptr;
+
+  const std::size_t n = ty.rank();
+  if (ref.args.size() != n) return nullptr;  // diagnosed by sema
+
+  // Collect per-dimension (extent kid, zero-based index kid) in source order,
+  // then reverse for Fortran so kid order is row-major.
+  std::vector<WNPtr> dim_kids(n);
+  std::vector<WNPtr> idx_kids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ir::ArrayDim& d = ty.dims[i];
+    // Extent kid: constant, a named scalar's value, or 0 when unknown (the
+    // paper displays variable-length arrays with total size zero).
+    if (const auto e = d.extent()) {
+      dim_kids[i] = build_.intconst(*e, Mtype::I8);
+    } else if (!d.ub_sym.empty()) {
+      const StIdx ub_st = resolve(d.ub_sym, scope);
+      WNPtr ub = ub_st != ir::kInvalidSt ? build_.ldid(ub_st) : build_.intconst(0, Mtype::I8);
+      if (d.lb.has_value() && *d.lb != 1) {
+        // extent = ub - lb + 1
+        ub = build_.binop(Opr::Sub, std::move(ub), build_.intconst(*d.lb - 1, Mtype::I8),
+                          Mtype::I8);
+      } else if (!d.lb.has_value() || *d.lb == 1) {
+        // Fortran default lb=1: extent == ub.
+      }
+      dim_kids[i] = std::move(ub);
+    } else {
+      dim_kids[i] = build_.intconst(0, Mtype::I8);
+    }
+    // Index kid: subscript adjusted to a zero lower bound.
+    WNPtr idx = lower_expr(*ref.args[i], scope);
+    std::int64_t lb_const = d.lb.value_or(0);
+    if (!d.lb.has_value() && d.lb_sym.empty()) lb_const = 0;
+    if (lb_const != 0) {
+      idx = build_.binop(Opr::Sub, std::move(idx), build_.intconst(lb_const, Mtype::I8),
+                         Mtype::I8);
+    } else if (!d.lb_sym.empty()) {
+      const StIdx lb_st = resolve(d.lb_sym, scope);
+      if (lb_st != ir::kInvalidSt) {
+        idx = build_.binop(Opr::Sub, std::move(idx), build_.ldid(lb_st), Mtype::I8);
+      }
+    }
+    idx_kids[i] = std::move(idx);
+  }
+  if (!ty.row_major) {
+    std::reverse(dim_kids.begin(), dim_kids.end());
+    std::reverse(idx_kids.begin(), idx_kids.end());
+  }
+
+  WNPtr base = sym.storage == ir::StStorage::Formal ? build_.ldid(st) : build_.lda(st);
+  const std::int64_t esize = ty.noncontiguous ? -ty.element_size() : ty.element_size();
+  WNPtr array = build_.array(std::move(base), std::move(dim_kids), std::move(idx_kids), esize);
+  array->set_linenum(ref.loc);
+  return array;
+}
+
+WNPtr Lowerer::lower_intrinsic(const Expr& call, const ProcScope& scope) {
+  const std::string name = to_lower(call.name);
+  const Mtype t = expr_mtype(call, scope);
+  // n-ary max/min fold into binary chains; mod maps to the MOD operator;
+  // conversions are CVTs; the rest become INTRINSIC nodes.
+  if ((name == "max" || name == "min") && call.args.size() >= 2) {
+    const Opr op = name == "max" ? Opr::Max : Opr::Min;
+    WNPtr acc = lower_expr(*call.args[0], scope);
+    for (std::size_t i = 1; i < call.args.size(); ++i) {
+      acc = build_.binop(op, std::move(acc), lower_expr(*call.args[i], scope), t);
+    }
+    return acc;
+  }
+  if (name == "mod" && call.args.size() == 2) {
+    return build_.binop(Opr::Mod, lower_expr(*call.args[0], scope),
+                        lower_expr(*call.args[1], scope), Mtype::I8);
+  }
+  if ((name == "dble" || name == "real" || name == "float") && call.args.size() == 1) {
+    return build_.cvt(lower_expr(*call.args[0], scope), Mtype::F8);
+  }
+  if ((name == "int" || name == "nint") && call.args.size() == 1) {
+    return build_.cvt(lower_expr(*call.args[0], scope), Mtype::I8);
+  }
+  std::vector<WNPtr> args;
+  for (const ExprPtr& a : call.args) args.push_back(lower_expr(*a, scope));
+  return build_.intrinsic(name, std::move(args), t);
+}
+
+WNPtr Lowerer::lower_expr(const Expr& expr, const ProcScope& scope) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+      return build_.intconst(expr.int_val, Mtype::I8);
+    case ExprKind::FloatLit:
+      return build_.fconst(expr.float_val, Mtype::F8);
+    case ExprKind::StringLit: {
+      // Strings only appear as DEFs of character scalars in our subset;
+      // model the value as the first character's code.
+      const std::int64_t v = expr.name.empty() ? 0 : static_cast<unsigned char>(expr.name[0]);
+      return build_.intconst(v, Mtype::I1);
+    }
+    case ExprKind::VarRef: {
+      const StIdx st = resolve(expr.name, scope);
+      if (st == ir::kInvalidSt) return build_.intconst(0, Mtype::I8);
+      WNPtr out = build_.ldid(st);
+      out->set_linenum(expr.loc);
+      return out;
+    }
+    case ExprKind::ArrayRef: {
+      WNPtr addr = lower_array_address(expr, scope);
+      if (!addr) return build_.intconst(0, Mtype::I8);
+      if (expr.coindex) {
+        // Remote coarray GET.
+        addr = build_.coindex(std::move(addr), lower_expr(*expr.coindex, scope));
+      }
+      return build_.iload(std::move(addr), expr_mtype(expr, scope));
+    }
+    case ExprKind::Unary: {
+      WNPtr v = lower_expr(*expr.args[0], scope);
+      if (expr.name == "-") return build_.neg(std::move(v), expr_mtype(expr, scope));
+      auto wn = std::make_unique<WN>(Opr::Lnot, Mtype::I4);
+      wn->attach(std::move(v));
+      return wn;
+    }
+    case ExprKind::Binary: {
+      static constexpr Opr kOps[] = {Opr::Add, Opr::Sub, Opr::Mpy, Opr::Div, Opr::Mod,
+                                     Opr::Eq,  Opr::Ne,  Opr::Lt,  Opr::Gt,  Opr::Le,
+                                     Opr::Ge,  Opr::Land, Opr::Lior};
+      const Opr op = kOps[static_cast<std::size_t>(expr.op)];
+      return build_.binop(op, lower_expr(*expr.args[0], scope), lower_expr(*expr.args[1], scope),
+                          expr_mtype(expr, scope));
+    }
+    case ExprKind::CallExpr: {
+      if (is_intrinsic(expr.name)) return lower_intrinsic(expr, scope);
+      // User function in expression position: lower as INTRINSIC-like call
+      // node so uses of array actuals still surface in the tree.
+      std::vector<WNPtr> args;
+      for (const ExprPtr& a : expr.args) args.push_back(lower_call_arg(*a, scope));
+      return build_.intrinsic(to_lower(expr.name), std::move(args),
+                              expr_mtype(expr, scope));
+    }
+  }
+  return build_.intconst(0, Mtype::I8);
+}
+
+}  // namespace ara::fe

@@ -1,0 +1,39 @@
+// Lowering: resolved AST -> H-WHIRL. Array references become explicit
+// OPR_ARRAY nodes in the (row-major, zero-based) form the paper documents:
+// Fortran's column-major source dims are reversed into row-major kid order
+// and every index expression is adjusted "so that the array index has a zero
+// lower bound" (§IV-C). Dragon later undoes both adjustments for display.
+#pragma once
+
+#include "frontend/sema.hpp"
+#include "ir/program.hpp"
+#include "ir/wn_builder.hpp"
+
+namespace ara::fe {
+
+class Lowerer {
+ public:
+  Lowerer(ir::Program& program, DiagnosticEngine& diags)
+      : program_(program), diags_(diags), build_(program.symtab) {}
+
+  /// Lowers one procedure into a FUNC_ENTRY tree and appends it to the
+  /// program's procedure list.
+  void lower_proc(const ProcScope& scope);
+
+ private:
+  [[nodiscard]] ir::WNPtr lower_stmt(const Stmt& stmt, const ProcScope& scope);
+  [[nodiscard]] ir::WNPtr lower_block(const std::vector<StmtPtr>& stmts, const ProcScope& scope);
+  [[nodiscard]] ir::WNPtr lower_expr(const Expr& expr, const ProcScope& scope);
+  [[nodiscard]] ir::WNPtr lower_array_address(const Expr& ref, const ProcScope& scope);
+  [[nodiscard]] ir::WNPtr lower_call_arg(const Expr& arg, const ProcScope& scope);
+  [[nodiscard]] ir::WNPtr lower_intrinsic(const Expr& call, const ProcScope& scope);
+
+  [[nodiscard]] ir::StIdx resolve(const std::string& name, const ProcScope& scope) const;
+  [[nodiscard]] ir::Mtype expr_mtype(const Expr& expr, const ProcScope& scope) const;
+
+  ir::Program& program_;
+  DiagnosticEngine& diags_;
+  ir::WNBuilder build_;
+};
+
+}  // namespace ara::fe

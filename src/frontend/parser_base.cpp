@@ -1,0 +1,224 @@
+#include "frontend/parser_base.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace ara::fe {
+
+const Token& ParserBase::peek(std::size_t ahead) const {
+  const std::size_t i = cursor_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& ParserBase::advance() {
+  const Token& t = peek();
+  if (cursor_ + 1 < tokens_.size()) ++cursor_;
+  return t;
+}
+
+bool ParserBase::accept(Tok kind) {
+  if (!at(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& ParserBase::expect(Tok kind, std::string_view what) {
+  if (at(kind)) return advance();
+  diags_.error(peek().loc, "expected " + std::string(tok_name(kind)) + " " + std::string(what) +
+                               ", got '" + std::string(tok_name(peek().kind)) + "'");
+  return peek();
+}
+
+bool ParserBase::at_kw(std::string_view kw) const {
+  return at(Tok::Ident) && iequals(peek().text, kw);
+}
+
+bool ParserBase::accept_kw(std::string_view kw) {
+  if (!at_kw(kw)) return false;
+  advance();
+  return true;
+}
+
+void ParserBase::expect_kw(std::string_view kw) {
+  if (!accept_kw(kw)) {
+    diags_.error(peek().loc, "expected '" + std::string(kw) + "'");
+  }
+}
+
+ExprPtr ParserBase::parse_or() {
+  ExprPtr lhs = parse_and();
+  while (at(Tok::OrOr)) {
+    const SourceLoc loc = advance().loc;
+    lhs = make_binary(BinOp::Or, std::move(lhs), parse_and(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr ParserBase::parse_and() {
+  ExprPtr lhs = parse_cmp();
+  while (at(Tok::AndAnd)) {
+    const SourceLoc loc = advance().loc;
+    lhs = make_binary(BinOp::And, std::move(lhs), parse_cmp(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr ParserBase::parse_cmp() {
+  ExprPtr lhs = parse_add();
+  while (true) {
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::EqEq:
+        op = BinOp::Eq;
+        break;
+      case Tok::NotEq:
+        op = BinOp::Ne;
+        break;
+      case Tok::Lt:
+        op = BinOp::Lt;
+        break;
+      case Tok::Gt:
+        op = BinOp::Gt;
+        break;
+      case Tok::Le:
+        op = BinOp::Le;
+        break;
+      case Tok::Ge:
+        op = BinOp::Ge;
+        break;
+      default:
+        return lhs;
+    }
+    const SourceLoc loc = advance().loc;
+    lhs = make_binary(op, std::move(lhs), parse_add(), loc);
+  }
+}
+
+ExprPtr ParserBase::parse_add() {
+  ExprPtr lhs = parse_mul();
+  while (at(Tok::Plus) || at(Tok::Minus)) {
+    const BinOp op = at(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+    const SourceLoc loc = advance().loc;
+    lhs = make_binary(op, std::move(lhs), parse_mul(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr ParserBase::parse_mul() {
+  ExprPtr lhs = parse_unary();
+  while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+    const BinOp op = at(Tok::Star) ? BinOp::Mul : at(Tok::Slash) ? BinOp::Div : BinOp::Mod;
+    const SourceLoc loc = advance().loc;
+    lhs = make_binary(op, std::move(lhs), parse_unary(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr ParserBase::parse_unary() {
+  if (at(Tok::Minus) || at(Tok::Not)) {
+    const Token& t = advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->name = t.kind == Tok::Minus ? "-" : "!";
+    e->loc = t.loc;
+    e->args.push_back(parse_unary());
+    return e;
+  }
+  if (at(Tok::Plus)) {  // unary plus is a no-op
+    advance();
+    return parse_unary();
+  }
+  return parse_primary();
+}
+
+ExprPtr ParserBase::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::IntLit: {
+      advance();
+      return make_int(t.int_val, t.loc);
+    }
+    case Tok::FloatLit: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::FloatLit;
+      e->float_val = t.float_val;
+      e->loc = t.loc;
+      return e;
+    }
+    case Tok::StringLit: {
+      advance();
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::StringLit;
+      e->name = t.text;
+      e->loc = t.loc;
+      return e;
+    }
+    case Tok::LParen: {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect(Tok::RParen, "to close parenthesized expression");
+      return inner;
+    }
+    case Tok::Ident: {
+      advance();
+      return parse_postfix(make_var(t.text, t.loc));
+    }
+    default:
+      diags_.error(t.loc, "expected expression");
+      advance();
+      return make_int(0, t.loc);
+  }
+}
+
+ExprPtr ParserBase::parse_postfix(ExprPtr base) {
+  // Fortran: name(args) — array element or function reference (sema decides).
+  if (lang_ == Language::Fortran && at(Tok::LParen)) {
+    const SourceLoc loc = advance().loc;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::ArrayRef;
+    e->name = base->name;
+    e->loc = loc;
+    if (!at(Tok::RParen)) {
+      do {
+        e->args.push_back(parse_expr());
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close subscript/argument list");
+    // Coarray co-subscript: a(i)[img] addresses image img's copy.
+    if (at(Tok::LBracket)) {
+      advance();
+      e->coindex = parse_expr();
+      expect(Tok::RBracket, "to close co-subscript");
+    }
+    return e;
+  }
+  // C: calls and [i][j] chains.
+  if (lang_ == Language::C && at(Tok::LParen)) {
+    const SourceLoc loc = advance().loc;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::CallExpr;
+    e->name = base->name;
+    e->loc = loc;
+    if (!at(Tok::RParen)) {
+      do {
+        e->args.push_back(parse_expr());
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close call");
+    return e;
+  }
+  if (lang_ == Language::C && at(Tok::LBracket)) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::ArrayRef;
+    e->name = base->name;
+    e->loc = base->loc;
+    while (accept(Tok::LBracket)) {
+      e->args.push_back(parse_expr());
+      expect(Tok::RBracket, "to close subscript");
+    }
+    return e;
+  }
+  return base;
+}
+
+}  // namespace ara::fe

@@ -1,0 +1,57 @@
+// Shared parser machinery: token cursor, error recovery and the expression
+// grammar (precedence climbing), which both language parsers reuse. In
+// Fortran mode `name(a, b)` is syntactically ambiguous between an array
+// element and a function reference; the parser emits ArrayRef and sema
+// re-classifies it as CallExpr when `name` resolves to a procedure or
+// intrinsic.
+#pragma once
+
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ara::fe {
+
+class ParserBase {
+ protected:
+  ParserBase(std::vector<Token> tokens, DiagnosticEngine& diags, Language lang)
+      : tokens_(std::move(tokens)), diags_(diags), lang_(lang) {}
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  [[nodiscard]] bool at(Tok kind) const { return peek().kind == kind; }
+  [[nodiscard]] bool at_end() const { return at(Tok::Eof); }
+  const Token& advance();
+  bool accept(Tok kind);
+  /// Consumes `kind` or reports an error (and stays put).
+  const Token& expect(Tok kind, std::string_view what);
+
+  /// Case-insensitive keyword tests on identifier tokens.
+  [[nodiscard]] bool at_kw(std::string_view kw) const;
+  bool accept_kw(std::string_view kw);
+  void expect_kw(std::string_view kw);
+
+  // --- expression grammar -------------------------------------------------
+  [[nodiscard]] ExprPtr parse_expr() { return parse_or(); }
+
+  DiagnosticEngine& diags() { return diags_; }
+  [[nodiscard]] Language lang() const { return lang_; }
+
+ private:
+  [[nodiscard]] ExprPtr parse_or();
+  [[nodiscard]] ExprPtr parse_and();
+  [[nodiscard]] ExprPtr parse_cmp();
+  [[nodiscard]] ExprPtr parse_add();
+  [[nodiscard]] ExprPtr parse_mul();
+  [[nodiscard]] ExprPtr parse_unary();
+  [[nodiscard]] ExprPtr parse_primary();
+  [[nodiscard]] ExprPtr parse_postfix(ExprPtr base);
+
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  Language lang_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ara::fe

@@ -1,0 +1,360 @@
+#include "frontend/parser_c.hpp"
+
+#include "frontend/lexer.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::fe {
+
+ModuleAst parse_c(const SourceManager& sm, FileId file, DiagnosticEngine& diags) {
+  Lexer lexer(sm, file, diags);
+  CParser parser(lexer.tokenize(), file, diags);
+  return parser.parse_module();
+}
+
+bool CParser::at_type_keyword() const {
+  if (!at(Tok::Ident)) return false;
+  const std::string& w = peek().text;
+  return w == "void" || w == "int" || w == "double" || w == "float" || w == "char" ||
+         w == "long" || w == "short" || w == "unsigned";
+}
+
+ir::Mtype CParser::parse_type() {
+  const Token& t = expect(Tok::Ident, "type name");
+  const std::string& w = t.text;
+  if (w == "void") return ir::Mtype::Void;
+  if (w == "int") return ir::Mtype::I4;
+  if (w == "double") return ir::Mtype::F8;
+  if (w == "float") return ir::Mtype::F4;
+  if (w == "char") return ir::Mtype::I1;
+  if (w == "short") return ir::Mtype::I2;
+  if (w == "long") {
+    accept_kw("long");  // "long long"
+    accept_kw("int");
+    return ir::Mtype::I8;
+  }
+  if (w == "unsigned") {
+    accept_kw("int");
+    return ir::Mtype::U4;
+  }
+  diags().error(t.loc, "unknown type '" + w + "'");
+  return ir::Mtype::I4;
+}
+
+std::vector<DimSpec> CParser::parse_array_suffix(bool allow_empty_first) {
+  std::vector<DimSpec> dims;
+  bool first = true;
+  while (accept(Tok::LBracket)) {
+    DimSpec d;
+    d.lb = nullptr;  // C lower bound defaults to 0
+    if (at(Tok::RBracket)) {
+      if (!(first && allow_empty_first)) {
+        diags().error(peek().loc, "only the first array extent may be omitted");
+      }
+      // ub stays null: assumed extent
+    } else {
+      // Declared as a[N]: indices run 0..N-1.
+      ExprPtr n = parse_expr();
+      d.ub = make_binary(BinOp::Sub, std::move(n), make_int(1, peek().loc), peek().loc);
+    }
+    expect(Tok::RBracket, "to close array extent");
+    dims.push_back(std::move(d));
+    first = false;
+  }
+  return dims;
+}
+
+ModuleAst CParser::parse_module() {
+  ModuleAst mod;
+  mod.file = file_;
+  mod.lang = Language::C;
+  while (!at_end()) parse_external(mod);
+  return mod;
+}
+
+void CParser::parse_external(ModuleAst& mod) {
+  if (!at_type_keyword()) {
+    diags().error(peek().loc, "expected declaration");
+    advance();
+    return;
+  }
+  const ir::Mtype type = parse_type();
+  const Token& name_tok = expect(Tok::Ident, "declarator name");
+  std::string name = name_tok.text;
+  const SourceLoc loc = name_tok.loc;
+
+  if (at(Tok::LParen)) {
+    parse_function_rest(mod, type, std::move(name), loc);
+    return;
+  }
+  // Global variable(s).
+  do {
+    VarDecl v;
+    v.name = name;
+    v.mtype = type;
+    v.loc = loc;
+    v.is_global = true;
+    v.dims = parse_array_suffix(/*allow_empty_first=*/false);
+    if (accept(Tok::Assign)) { auto ignored = parse_expr(); (void)ignored; }  // initializers are ignored
+    mod.globals.push_back(std::move(v));
+    if (!accept(Tok::Comma)) break;
+    name = expect(Tok::Ident, "declarator name").text;
+  } while (true);
+  expect(Tok::Semicolon, "after declaration");
+}
+
+void CParser::parse_function_rest(ModuleAst& mod, ir::Mtype /*ret*/, std::string name,
+                                  SourceLoc loc) {
+  ProcDecl proc;
+  proc.name = std::move(name);
+  proc.loc = loc;
+  proc.is_program = iequals(proc.name, "main");
+
+  expect(Tok::LParen, "after function name");
+  if (!at(Tok::RParen)) {
+    if (at_kw("void") && peek(1).is(Tok::RParen)) {
+      advance();
+    } else {
+      do {
+        VarDecl p;
+        p.mtype = parse_type();
+        const Token& pn = expect(Tok::Ident, "parameter name");
+        p.name = pn.text;
+        p.loc = pn.loc;
+        p.dims = parse_array_suffix(/*allow_empty_first=*/true);
+        proc.params.push_back(p.name);
+        proc.decls.push_back(std::move(p));
+      } while (accept(Tok::Comma));
+    }
+  }
+  expect(Tok::RParen, "to close parameter list");
+  expect(Tok::LBrace, "to open function body");
+  proc.body = parse_block(proc);
+  mod.procs.push_back(std::move(proc));
+}
+
+std::vector<StmtPtr> CParser::parse_block(ProcDecl& proc) {
+  std::vector<StmtPtr> body;
+  while (!at(Tok::RBrace) && !at_end()) parse_stmt_into(proc, body);
+  expect(Tok::RBrace, "to close block");
+  return body;
+}
+
+void CParser::parse_stmt_into(ProcDecl& proc, std::vector<StmtPtr>& out) {
+  // Local declaration?
+  if (at_type_keyword()) {
+    const ir::Mtype type = parse_type();
+    do {
+      VarDecl v;
+      v.mtype = type;
+      const Token& n = expect(Tok::Ident, "declarator name");
+      v.name = n.text;
+      v.loc = n.loc;
+      v.dims = parse_array_suffix(/*allow_empty_first=*/false);
+      const bool is_array = !v.dims.empty();
+      proc.decls.push_back(std::move(v));
+      if (accept(Tok::Assign)) {
+        if (is_array) diags().error(n.loc, "array initializers are not supported");
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Assign;
+        s->loc = n.loc;
+        s->lhs = make_var(n.text, n.loc);
+        s->rhs = parse_expr();
+        out.push_back(std::move(s));
+      }
+    } while (accept(Tok::Comma));
+    expect(Tok::Semicolon, "after declaration");
+    return;
+  }
+  if (at_kw("for")) {
+    out.push_back(parse_for(proc));
+    return;
+  }
+  if (at_kw("if")) {
+    out.push_back(parse_if(proc));
+    return;
+  }
+  if (at_kw("return")) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Return;
+    s->loc = advance().loc;
+    if (!at(Tok::Semicolon)) { auto ignored = parse_expr(); (void)ignored; }  // value of the C return is ignored
+    expect(Tok::Semicolon, "after return");
+    out.push_back(std::move(s));
+    return;
+  }
+  if (accept(Tok::LBrace)) {
+    // Flatten nested bare blocks.
+    std::vector<StmtPtr> inner = parse_block(proc);
+    for (StmtPtr& s : inner) out.push_back(std::move(s));
+    return;
+  }
+  if (accept(Tok::Semicolon)) return;  // empty statement
+  StmtPtr s = parse_simple();
+  expect(Tok::Semicolon, "after statement");
+  if (s) out.push_back(std::move(s));
+}
+
+StmtPtr CParser::parse_simple() {
+  ExprPtr e = parse_expr();
+  const SourceLoc loc = e->loc;
+  if (e->kind == ExprKind::CallExpr && !at(Tok::Assign) && !at(Tok::PlusEq) &&
+      !at(Tok::MinusEq)) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::CallStmt;
+    s->loc = loc;
+    s->callee = e->name;
+    s->call_args = std::move(e->args);
+    return s;
+  }
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->loc = loc;
+  if (accept(Tok::PlusPlus)) {
+    s->lhs = clone(*e);
+    s->rhs = make_binary(BinOp::Add, std::move(e), make_int(1, loc), loc);
+    return s;
+  }
+  if (at(Tok::PlusEq) || at(Tok::MinusEq)) {
+    const BinOp op = at(Tok::PlusEq) ? BinOp::Add : BinOp::Sub;
+    advance();
+    s->lhs = clone(*e);
+    s->rhs = make_binary(op, std::move(e), parse_expr(), loc);
+    return s;
+  }
+  expect(Tok::Assign, "in statement");
+  if (e->kind != ExprKind::VarRef && e->kind != ExprKind::ArrayRef) {
+    diags().error(loc, "left-hand side of assignment must be a variable or array element");
+  }
+  s->lhs = std::move(e);
+  s->rhs = parse_expr();
+  return s;
+}
+
+StmtPtr CParser::parse_for(ProcDecl& proc) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Do;
+  s->loc = peek().loc;
+  expect_kw("for");
+  expect(Tok::LParen, "after for");
+
+  // init: [type] var = expr
+  if (at_type_keyword()) {
+    VarDecl v;
+    v.mtype = parse_type();
+    const Token& n = expect(Tok::Ident, "loop variable");
+    v.name = n.text;
+    v.loc = n.loc;
+    proc.decls.push_back(std::move(v));
+    s->do_var = n.text;
+  } else {
+    s->do_var = expect(Tok::Ident, "loop variable").text;
+  }
+  expect(Tok::Assign, "in for-init");
+  s->do_init = parse_expr();
+  expect(Tok::Semicolon, "after for-init");
+
+  // condition: var < limit | var <= limit | var > limit | var >= limit
+  const Token& cv = expect(Tok::Ident, "loop variable in condition");
+  if (!iequals(cv.text, s->do_var)) {
+    diags().error(cv.loc, "for-condition must test the loop variable");
+  }
+  bool descending = false;
+  std::int64_t exclusive_adjust = 0;
+  if (accept(Tok::Lt)) {
+    exclusive_adjust = -1;
+  } else if (accept(Tok::Le)) {
+  } else if (accept(Tok::Gt)) {
+    descending = true;
+    exclusive_adjust = 1;
+  } else if (accept(Tok::Ge)) {
+    descending = true;
+  } else {
+    diags().error(peek().loc, "for-condition must be a comparison");
+  }
+  ExprPtr limit = parse_expr();
+  if (exclusive_adjust != 0) {
+    limit = make_binary(exclusive_adjust < 0 ? BinOp::Sub : BinOp::Add, std::move(limit),
+                        make_int(1, s->loc), s->loc);
+  }
+  s->do_limit = std::move(limit);
+  expect(Tok::Semicolon, "after for-condition");
+
+  // increment: var++ | var += k | var -= k | var = var + k | var = var - k
+  const Token& iv = expect(Tok::Ident, "loop variable in increment");
+  if (!iequals(iv.text, s->do_var)) {
+    diags().error(iv.loc, "for-increment must update the loop variable");
+  }
+  if (accept(Tok::PlusPlus)) {
+    s->do_step = make_int(1, iv.loc);
+  } else if (accept(Tok::PlusEq)) {
+    s->do_step = parse_expr();
+  } else if (accept(Tok::MinusEq)) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->name = "-";
+    e->loc = iv.loc;
+    e->args.push_back(parse_expr());
+    s->do_step = std::move(e);
+  } else {
+    expect(Tok::Assign, "in for-increment");
+    // var = var + k  /  var = var - k
+    ExprPtr rhs = parse_expr();
+    bool recognized = false;
+    if (rhs->kind == ExprKind::Binary && (rhs->op == BinOp::Add || rhs->op == BinOp::Sub)) {
+      Expr* l = rhs->args[0].get();
+      if (l->kind == ExprKind::VarRef && iequals(l->name, s->do_var)) {
+        if (rhs->op == BinOp::Add) {
+          s->do_step = std::move(rhs->args[1]);
+        } else {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::Unary;
+          e->name = "-";
+          e->loc = iv.loc;
+          e->args.push_back(std::move(rhs->args[1]));
+          s->do_step = std::move(e);
+        }
+        recognized = true;
+      }
+    }
+    if (!recognized) {
+      diags().error(iv.loc, "unsupported for-increment form");
+      s->do_step = make_int(1, iv.loc);
+    }
+  }
+  if (descending && s->do_step && s->do_step->kind == ExprKind::IntLit && s->do_step->int_val > 0) {
+    diags().warning(s->loc, "descending for-loop with positive step");
+  }
+  expect(Tok::RParen, "to close for header");
+
+  if (accept(Tok::LBrace)) {
+    s->body = parse_block(proc);
+  } else {
+    parse_stmt_into(proc, s->body);
+  }
+  return s;
+}
+
+StmtPtr CParser::parse_if(ProcDecl& proc) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::If;
+  s->loc = peek().loc;
+  expect_kw("if");
+  expect(Tok::LParen, "after if");
+  s->cond = parse_expr();
+  expect(Tok::RParen, "to close if condition");
+  if (accept(Tok::LBrace)) {
+    s->body = parse_block(proc);
+  } else {
+    parse_stmt_into(proc, s->body);
+  }
+  if (accept_kw("else")) {
+    if (accept(Tok::LBrace)) {
+      s->else_body = parse_block(proc);
+    } else {
+      parse_stmt_into(proc, s->else_body);
+    }
+  }
+  return s;
+}
+
+}  // namespace ara::fe

@@ -1,0 +1,39 @@
+// Recursive-descent parser for the C-like input subset: file-scope variable
+// and function definitions, block-scoped declarations, canonical `for` loops
+// (mapped onto the counted Do form), if/else, calls, assignments (including
+// += / -= / ++), and multi-dimensional arrays `a[64][65]` (row-major,
+// zero-based). Array formals may omit the first extent (`int a[]`).
+#pragma once
+
+#include "frontend/parser_base.hpp"
+
+namespace ara::fe {
+
+class CParser : private ParserBase {
+ public:
+  CParser(std::vector<Token> tokens, FileId file, DiagnosticEngine& diags)
+      : ParserBase(std::move(tokens), diags, Language::C), file_(file) {}
+
+  [[nodiscard]] ModuleAst parse_module();
+
+ private:
+  [[nodiscard]] bool at_type_keyword() const;
+  [[nodiscard]] ir::Mtype parse_type();
+  [[nodiscard]] std::vector<DimSpec> parse_array_suffix(bool allow_empty_first);
+
+  void parse_external(ModuleAst& mod);
+  void parse_function_rest(ModuleAst& mod, ir::Mtype ret, std::string name, SourceLoc loc);
+
+  [[nodiscard]] std::vector<StmtPtr> parse_block(ProcDecl& proc);
+  void parse_stmt_into(ProcDecl& proc, std::vector<StmtPtr>& out);
+  [[nodiscard]] StmtPtr parse_for(ProcDecl& proc);
+  [[nodiscard]] StmtPtr parse_if(ProcDecl& proc);
+  [[nodiscard]] StmtPtr parse_simple();  // assignment or call, without ';'
+
+  FileId file_;
+};
+
+/// Convenience: lex + parse one C file.
+[[nodiscard]] ModuleAst parse_c(const SourceManager& sm, FileId file, DiagnosticEngine& diags);
+
+}  // namespace ara::fe

@@ -1,0 +1,326 @@
+#include "frontend/parser_fortran.hpp"
+
+#include "frontend/lexer.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::fe {
+
+namespace {
+
+bool is_type_keyword(std::string_view w) {
+  return iequals(w, "integer") || iequals(w, "real") || iequals(w, "double") ||
+         iequals(w, "character") || iequals(w, "logical");
+}
+
+}  // namespace
+
+ModuleAst parse_fortran(const SourceManager& sm, FileId file, DiagnosticEngine& diags) {
+  Lexer lexer(sm, file, diags);
+  FortranParser parser(lexer.tokenize(), file, diags);
+  return parser.parse_module();
+}
+
+void FortranParser::skip_newlines() {
+  while (accept(Tok::Newline)) {
+  }
+}
+
+void FortranParser::expect_stmt_end() {
+  if (!accept(Tok::Newline) && !at_end()) {
+    diags().error(peek().loc, "expected end of statement");
+    // Recover: skip to the next line.
+    while (!at(Tok::Newline) && !at_end()) advance();
+    accept(Tok::Newline);
+  }
+}
+
+ModuleAst FortranParser::parse_module() {
+  ModuleAst mod;
+  mod.file = file_;
+  mod.lang = Language::Fortran;
+  module_ = &mod;
+  skip_newlines();
+  while (!at_end()) {
+    mod.procs.push_back(parse_unit());
+    skip_newlines();
+  }
+  module_ = nullptr;
+  return mod;
+}
+
+ProcDecl FortranParser::parse_unit() {
+  ProcDecl proc;
+  proc.loc = peek().loc;
+  pending_common_.clear();
+
+  if (accept_kw("program")) {
+    proc.is_program = true;
+    proc.name = expect(Tok::Ident, "program name").text;
+  } else if (accept_kw("subroutine") || accept_kw("function")) {
+    proc.name = expect(Tok::Ident, "procedure name").text;
+    if (accept(Tok::LParen)) {
+      if (!at(Tok::RParen)) {
+        do {
+          proc.params.push_back(expect(Tok::Ident, "formal parameter").text);
+        } while (accept(Tok::Comma));
+      }
+      expect(Tok::RParen, "to close formal list");
+    }
+  } else {
+    diags().error(peek().loc, "expected PROGRAM, SUBROUTINE or FUNCTION");
+    advance();
+  }
+  expect_stmt_end();
+
+  current_proc_ = &proc;
+  proc.body = parse_body({"end"});
+  current_proc_ = nullptr;
+
+  expect_kw("end");
+  // Optional "end subroutine [name]" / "end program [name]".
+  if (at_kw("subroutine") || at_kw("program") || at_kw("function")) advance();
+  if (at(Tok::Ident)) advance();
+  expect_stmt_end();
+
+  // Variables listed in COMMON become globals.
+  for (VarDecl& d : proc.decls) {
+    for (const std::string& g : pending_common_) {
+      if (iequals(d.name, g)) d.is_global = true;
+    }
+  }
+  return proc;
+}
+
+std::vector<DimSpec> FortranParser::parse_dims() {
+  std::vector<DimSpec> dims;
+  expect(Tok::LParen, "to open dimension list");
+  do {
+    DimSpec d;
+    if (accept(Tok::Star)) {
+      // assumed-size: lb defaults to 1, ub unknown
+    } else {
+      ExprPtr first = parse_expr();
+      if (accept(Tok::Colon)) {
+        d.lb = std::move(first);
+        if (accept(Tok::Star)) {
+          // a(0:*) — explicit lower bound, assumed upper
+        } else {
+          d.ub = parse_expr();
+        }
+      } else {
+        d.ub = std::move(first);  // lb defaults to 1
+      }
+    }
+    dims.push_back(std::move(d));
+  } while (accept(Tok::Comma));
+  expect(Tok::RParen, "to close dimension list");
+  return dims;
+}
+
+void FortranParser::parse_entity_list(ProcDecl& proc, ir::Mtype mtype,
+                                      const std::vector<DimSpec>* common_dims) {
+  do {
+    VarDecl v;
+    v.loc = peek().loc;
+    v.name = expect(Tok::Ident, "variable name").text;
+    v.mtype = mtype;
+    if (at(Tok::LParen)) {
+      v.dims = parse_dims();
+    }
+    // Codimension: `a(10)[*]` or `a(10)[n]` declares a coarray (CAF, §VI).
+    if (accept(Tok::LBracket)) {
+      v.is_coarray = true;
+      if (!accept(Tok::Star)) {
+        auto ignored = parse_expr();
+        (void)ignored;
+      }
+      expect(Tok::RBracket, "to close codimension");
+    }
+    if (v.dims.empty() && common_dims != nullptr) {
+      // DIMENSION(...) attribute applies to entities without their own dims.
+      for (const DimSpec& d : *common_dims) {
+        DimSpec copy;
+        if (d.lb) copy.lb = clone(*d.lb);
+        if (d.ub) copy.ub = clone(*d.ub);
+        v.dims.push_back(std::move(copy));
+      }
+    }
+    proc.decls.push_back(std::move(v));
+  } while (accept(Tok::Comma));
+}
+
+bool FortranParser::parse_decl(ProcDecl& proc) {
+  if (at_kw("common")) {
+    advance();
+    expect(Tok::Slash, "before COMMON block name");
+    expect(Tok::Ident, "COMMON block name");
+    expect(Tok::Slash, "after COMMON block name");
+    do {
+      pending_common_.push_back(expect(Tok::Ident, "COMMON member").text);
+    } while (accept(Tok::Comma));
+    expect_stmt_end();
+    return true;
+  }
+  if (!at(Tok::Ident) || !is_type_keyword(peek().text)) return false;
+
+  ir::Mtype mtype = ir::Mtype::I4;
+  if (accept_kw("integer")) {
+    mtype = ir::Mtype::I4;
+    if (accept(Tok::Star)) {  // integer*8
+      const Token& w = expect(Tok::IntLit, "integer kind");
+      mtype = w.int_val == 8 ? ir::Mtype::I8 : ir::Mtype::I4;
+    }
+  } else if (accept_kw("real")) {
+    mtype = ir::Mtype::F4;
+    if (accept(Tok::Star)) {  // real*8
+      const Token& w = expect(Tok::IntLit, "real kind");
+      if (w.int_val == 8) mtype = ir::Mtype::F8;
+    } else if (at(Tok::LParen) && peek(1).is(Tok::IntLit) && peek(2).is(Tok::RParen)) {
+      advance();  // real(8)
+      if (advance().int_val == 8) mtype = ir::Mtype::F8;
+      advance();
+    }
+  } else if (accept_kw("double")) {
+    expect_kw("precision");
+    mtype = ir::Mtype::F8;
+  } else if (accept_kw("character")) {
+    mtype = ir::Mtype::I1;
+  } else if (accept_kw("logical")) {
+    mtype = ir::Mtype::I4;
+  }
+
+  std::vector<DimSpec> attr_dims;
+  bool has_attr_dims = false;
+  if (accept(Tok::Comma)) {
+    expect_kw("dimension");
+    attr_dims = parse_dims();
+    has_attr_dims = true;
+  }
+  accept(Tok::ColonColon);  // the :: is optional in our subset
+
+  parse_entity_list(proc, mtype, has_attr_dims ? &attr_dims : nullptr);
+  expect_stmt_end();
+  return true;
+}
+
+std::vector<StmtPtr> FortranParser::parse_body(std::initializer_list<std::string_view> stops) {
+  std::vector<StmtPtr> body;
+  while (true) {
+    skip_newlines();
+    if (at_end()) return body;
+    bool stop = false;
+    for (std::string_view s : stops) {
+      if (at_kw(s)) stop = true;
+    }
+    // "enddo"/"endif" also terminate any enclosing body that stops at "end".
+    for (std::string_view s : stops) {
+      if (s == "end" && (at_kw("enddo") || at_kw("endif"))) stop = true;
+    }
+    if (stop) return body;
+    if (current_proc_ != nullptr && parse_decl(*current_proc_)) continue;
+    if (StmtPtr s = parse_stmt()) body.push_back(std::move(s));
+  }
+}
+
+StmtPtr FortranParser::parse_stmt() {
+  if (at_kw("do")) return parse_do();
+  if (at_kw("if")) return parse_if();
+  if (at_kw("call")) return parse_call();
+  if (at_kw("return")) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Return;
+    s->loc = advance().loc;
+    expect_stmt_end();
+    return s;
+  }
+  if (at_kw("continue")) {  // no-op statement
+    advance();
+    expect_stmt_end();
+    return nullptr;
+  }
+  return parse_assignment();
+}
+
+StmtPtr FortranParser::parse_do() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Do;
+  s->loc = peek().loc;
+  expect_kw("do");
+  s->do_var = expect(Tok::Ident, "loop variable").text;
+  expect(Tok::Assign, "in DO statement");
+  s->do_init = parse_expr();
+  expect(Tok::Comma, "between DO bounds");
+  s->do_limit = parse_expr();
+  if (accept(Tok::Comma)) s->do_step = parse_expr();
+  expect_stmt_end();
+
+  s->body = parse_body({"end", "enddo"});
+  if (!accept_kw("enddo")) {
+    expect_kw("end");
+    expect_kw("do");
+  }
+  expect_stmt_end();
+  return s;
+}
+
+StmtPtr FortranParser::parse_if() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::If;
+  s->loc = peek().loc;
+  expect_kw("if");
+  expect(Tok::LParen, "after IF");
+  s->cond = parse_expr();
+  expect(Tok::RParen, "to close IF condition");
+
+  if (accept_kw("then")) {
+    expect_stmt_end();
+    s->body = parse_body({"else", "end", "endif"});
+    if (accept_kw("else")) {
+      expect_stmt_end();
+      s->else_body = parse_body({"end", "endif"});
+    }
+    if (!accept_kw("endif")) {
+      expect_kw("end");
+      expect_kw("if");
+    }
+    expect_stmt_end();
+    return s;
+  }
+  // Logical IF: a single statement on the same line.
+  if (StmtPtr inner = parse_stmt()) s->body.push_back(std::move(inner));
+  return s;
+}
+
+StmtPtr FortranParser::parse_call() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::CallStmt;
+  s->loc = peek().loc;
+  expect_kw("call");
+  s->callee = expect(Tok::Ident, "subroutine name").text;
+  if (accept(Tok::LParen)) {
+    if (!at(Tok::RParen)) {
+      do {
+        s->call_args.push_back(parse_expr());
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "to close CALL arguments");
+  }
+  expect_stmt_end();
+  return s;
+}
+
+StmtPtr FortranParser::parse_assignment() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Assign;
+  s->loc = peek().loc;
+  s->lhs = parse_expr();
+  if (s->lhs->kind != ExprKind::VarRef && s->lhs->kind != ExprKind::ArrayRef) {
+    diags().error(s->loc, "left-hand side of assignment must be a variable or array element");
+  }
+  expect(Tok::Assign, "in assignment");
+  s->rhs = parse_expr();
+  expect_stmt_end();
+  return s;
+}
+
+}  // namespace ara::fe

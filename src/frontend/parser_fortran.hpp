@@ -1,0 +1,48 @@
+// Recursive-descent parser for the Fortran-like input subset: PROGRAM /
+// SUBROUTINE / FUNCTION units, typed declarations with dimension bounds
+// `A(1:200, 1:200)`, COMMON blocks (globals), DO loops with optional stride,
+// block and logical IF, CALL, RETURN. One statement per line; `&` continues.
+#pragma once
+
+#include "frontend/parser_base.hpp"
+
+namespace ara::fe {
+
+class FortranParser : private ParserBase {
+ public:
+  FortranParser(std::vector<Token> tokens, FileId file, DiagnosticEngine& diags)
+      : ParserBase(std::move(tokens), diags, Language::Fortran), file_(file) {}
+
+  [[nodiscard]] ModuleAst parse_module();
+
+ private:
+  void skip_newlines();
+  void expect_stmt_end();
+
+  [[nodiscard]] ProcDecl parse_unit();
+  /// Returns true if a declaration was parsed (type decl or COMMON).
+  bool parse_decl(ProcDecl& proc);
+  void parse_entity_list(ProcDecl& proc, ir::Mtype mtype, const std::vector<DimSpec>* common_dims);
+  [[nodiscard]] std::vector<DimSpec> parse_dims();
+
+  [[nodiscard]] StmtPtr parse_stmt();
+  [[nodiscard]] StmtPtr parse_do();
+  [[nodiscard]] StmtPtr parse_if();
+  [[nodiscard]] StmtPtr parse_call();
+  [[nodiscard]] StmtPtr parse_assignment();
+
+  /// Parses statements until one of the given (case-insensitive) terminator
+  /// keywords is at the cursor; the terminator is left unconsumed.
+  [[nodiscard]] std::vector<StmtPtr> parse_body(std::initializer_list<std::string_view> stops);
+
+  FileId file_;
+  std::vector<std::string> pending_common_;  // names listed in COMMON blocks
+  ModuleAst* module_ = nullptr;
+  ProcDecl* current_proc_ = nullptr;  // receives declarations parsed in bodies
+};
+
+/// Convenience: lex + parse one Fortran file.
+[[nodiscard]] ModuleAst parse_fortran(const SourceManager& sm, FileId file,
+                                      DiagnosticEngine& diags);
+
+}  // namespace ara::fe

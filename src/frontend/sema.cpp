@@ -1,0 +1,359 @@
+#include "frontend/sema.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace ara::fe {
+
+namespace {
+
+const std::set<std::string>& intrinsics() {
+  static const std::set<std::string> kIntrinsics = {
+      "abs",  "sqrt", "exp",  "log",  "sin",  "cos", "tan", "sign",
+      "max",  "min",  "mod",  "dble", "real", "int", "nint", "float",
+      "this_image", "num_images",
+  };
+  return kIntrinsics;
+}
+
+}  // namespace
+
+bool is_intrinsic(std::string_view name) { return intrinsics().count(to_lower(name)) != 0; }
+
+SemaResult Sema::run(std::vector<ModuleAst>& modules) {
+  SemaResult out;
+  declare_procedures(modules);
+  declare_globals(modules);
+  for (ModuleAst& mod : modules) {
+    for (ProcDecl& proc : mod.procs) analyze_proc(mod, proc, out);
+  }
+  return out;
+}
+
+void Sema::declare_procedures(const std::vector<ModuleAst>& modules) {
+  for (const ModuleAst& mod : modules) {
+    for (const ProcDecl& proc : mod.procs) {
+      const std::string key = to_lower(proc.name);
+      if (procs_.count(key) != 0) {
+        diags_.error(proc.loc, "redefinition of procedure '" + proc.name + "'");
+        continue;
+      }
+      ir::St st;
+      st.name = proc.name;
+      st.sclass = ir::StClass::Proc;
+      st.storage = ir::StStorage::Global;
+      st.ty = program_.symtab.make_scalar_ty(ir::Mtype::Void);
+      st.loc = proc.loc;
+      st.file = mod.file;
+      procs_[key] = program_.symtab.make_st(std::move(st));
+    }
+  }
+}
+
+std::optional<std::int64_t> Sema::fold(const Expr* e) const {
+  if (e == nullptr) return std::nullopt;
+  switch (e->kind) {
+    case ExprKind::IntLit:
+      return e->int_val;
+    case ExprKind::Unary: {
+      const auto v = fold(e->args[0].get());
+      if (!v) return std::nullopt;
+      return e->name == "-" ? std::optional(-*v) : std::nullopt;
+    }
+    case ExprKind::Binary: {
+      const auto a = fold(e->args[0].get());
+      const auto b = fold(e->args[1].get());
+      if (!a || !b) return std::nullopt;
+      switch (e->op) {
+        case BinOp::Add:
+          return *a + *b;
+        case BinOp::Sub:
+          return *a - *b;
+        case BinOp::Mul:
+          return *a * *b;
+        case BinOp::Div:
+          return *b == 0 ? std::nullopt : std::optional(*a / *b);
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+ir::TyIdx Sema::make_ty(const VarDecl& decl, Language lang, const ProcScope& /*scope*/) {
+  if (decl.dims.empty()) return program_.symtab.make_scalar_ty(decl.mtype);
+  std::vector<ir::ArrayDim> dims;
+  for (const DimSpec& d : decl.dims) {
+    ir::ArrayDim out;
+    // Lower bound: explicit, or the language default (Fortran 1, C 0).
+    if (d.lb) {
+      if (const auto v = fold(d.lb.get())) {
+        out.lb = *v;
+      } else if (d.lb->kind == ExprKind::VarRef) {
+        out.lb_sym = to_lower(d.lb->name);
+      }
+    } else {
+      out.lb = lang == Language::Fortran ? 1 : 0;
+    }
+    // Upper bound: may be absent (assumed-size) or symbolic.
+    if (d.ub) {
+      if (const auto v = fold(d.ub.get())) {
+        out.ub = *v;
+      } else if (d.ub->kind == ExprKind::VarRef) {
+        out.ub_sym = to_lower(d.ub->name);
+      } else if (lang == Language::C && d.ub->kind == ExprKind::Binary &&
+                 d.ub->op == BinOp::Sub && d.ub->args[0]->kind == ExprKind::VarRef) {
+        // C extents were rewritten to N-1 by the parser; a symbolic N shows
+        // up as (name - 1), which we cannot carry exactly — leave unknown.
+      }
+    }
+    dims.push_back(std::move(out));
+  }
+  return program_.symtab.make_array_ty(decl.mtype, std::move(dims), lang == Language::C,
+                                       /*noncontiguous=*/false, decl.is_coarray);
+}
+
+ir::StIdx Sema::implicit_scalar(const std::string& name, Language lang, ir::StIdx owner,
+                                FileId file, SourceLoc loc, ProcScope& scope) {
+  if (lang == Language::C) {
+    diags_.error(loc, "use of undeclared identifier '" + name + "'");
+  } else {
+    diags_.note(loc, "implicit declaration of '" + name + "' (Fortran implicit typing)");
+  }
+  // Fortran implicit rule: i..n are INTEGER, the rest REAL.
+  const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(name[0])));
+  const ir::Mtype mtype =
+      (lang == Language::C || (c >= 'i' && c <= 'n')) ? ir::Mtype::I4 : ir::Mtype::F4;
+  ir::St st;
+  st.name = name;
+  st.sclass = ir::StClass::Var;
+  st.storage = ir::StStorage::Local;
+  st.ty = program_.symtab.make_scalar_ty(mtype);
+  st.owner_proc = owner;
+  st.loc = loc;
+  st.file = file;
+  const ir::StIdx idx = program_.symtab.make_st(std::move(st));
+  scope.names[to_lower(name)] = idx;
+  return idx;
+}
+
+void Sema::declare_globals(std::vector<ModuleAst>& modules) {
+  // C file-scope variables and Fortran COMMON members unify by name across
+  // all compilation units — the paper's "@" scope lists them program-wide.
+  ProcScope dummy;
+  auto declare = [&](const VarDecl& decl, Language lang, FileId file) {
+    const std::string key = to_lower(decl.name);
+    const auto it = globals_.find(key);
+    if (it != globals_.end()) {
+      const ir::Ty& prev = program_.symtab.ty(program_.symtab.st(it->second).ty);
+      const std::size_t new_rank = decl.dims.size();
+      if (prev.is_array() != (new_rank > 0) || (prev.is_array() && prev.rank() != new_rank)) {
+        diags_.warning(decl.loc,
+                       "global '" + decl.name + "' redeclared with a different shape");
+      }
+      return;
+    }
+    ir::St st;
+    st.name = decl.name;
+    st.sclass = ir::StClass::Var;
+    st.storage = ir::StStorage::Global;
+    st.ty = make_ty(decl, lang, dummy);
+    st.loc = decl.loc;
+    st.file = file;
+    globals_[key] = program_.symtab.make_st(std::move(st));
+  };
+  for (ModuleAst& mod : modules) {
+    for (const VarDecl& g : mod.globals) declare(g, mod.lang, mod.file);
+    for (const ProcDecl& proc : mod.procs) {
+      for (const VarDecl& d : proc.decls) {
+        if (d.is_global) declare(d, mod.lang, mod.file);
+      }
+    }
+  }
+}
+
+void Sema::analyze_proc(ModuleAst& mod, ProcDecl& proc, SemaResult& out) {
+  ProcScope scope;
+  scope.decl = &proc;
+  scope.file = mod.file;
+  scope.lang = mod.lang;
+  scope.proc_st = procs_.at(to_lower(proc.name));
+
+  // Formals first, in parameter order.
+  std::uint32_t pos = 0;
+  for (const std::string& param : proc.params) {
+    ++pos;
+    const VarDecl* decl = nullptr;
+    for (const VarDecl& d : proc.decls) {
+      if (iequals(d.name, param)) {
+        decl = &d;
+        break;
+      }
+    }
+    ir::St st;
+    st.name = param;
+    st.sclass = ir::StClass::Formal;
+    st.storage = ir::StStorage::Formal;
+    st.owner_proc = scope.proc_st;
+    st.formal_pos = pos;
+    st.file = mod.file;
+    if (decl != nullptr) {
+      st.ty = make_ty(*decl, mod.lang, scope);
+      st.loc = decl->loc;
+      if (decl->is_global) {
+        diags_.error(decl->loc, "formal parameter '" + param + "' cannot be in COMMON");
+      }
+    } else {
+      diags_.note(proc.loc, "formal '" + param + "' has no type declaration; using implicit");
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(param[0])));
+      const ir::Mtype mtype =
+          (mod.lang == Language::C || (c >= 'i' && c <= 'n')) ? ir::Mtype::I4 : ir::Mtype::F4;
+      st.ty = program_.symtab.make_scalar_ty(mtype);
+      st.loc = proc.loc;
+    }
+    const ir::StIdx idx = program_.symtab.make_st(std::move(st));
+    scope.names[to_lower(param)] = idx;
+    scope.formals.push_back(idx);
+  }
+
+  // Locals (declarations that are neither formals nor COMMON/global).
+  for (const VarDecl& d : proc.decls) {
+    const std::string key = to_lower(d.name);
+    if (scope.names.count(key) != 0) continue;  // formal already bound
+    if (d.is_global) {
+      scope.names[key] = globals_.at(key);
+      continue;
+    }
+    ir::St st;
+    st.name = d.name;
+    st.sclass = ir::StClass::Var;
+    st.storage = ir::StStorage::Local;
+    st.ty = make_ty(d, mod.lang, scope);
+    st.owner_proc = scope.proc_st;
+    st.loc = d.loc;
+    st.file = mod.file;
+    scope.names[key] = program_.symtab.make_st(std::move(st));
+  }
+
+  for (StmtPtr& s : proc.body) {
+    if (s) resolve_stmt(*s, scope, mod.lang);
+  }
+  out.scopes.push_back(std::move(scope));
+}
+
+void Sema::resolve_stmt(Stmt& stmt, ProcScope& scope, Language lang) {
+  switch (stmt.kind) {
+    case StmtKind::Assign:
+      resolve_expr(*stmt.lhs, scope, lang);
+      resolve_expr(*stmt.rhs, scope, lang);
+      if (stmt.lhs->kind == ExprKind::CallExpr) {
+        diags_.error(stmt.lhs->loc, "cannot assign to a function call");
+      }
+      break;
+    case StmtKind::Do: {
+      const std::string key = to_lower(stmt.do_var);
+      if (scope.names.count(key) == 0) {
+        implicit_scalar(stmt.do_var, lang, scope.proc_st, scope.file, stmt.loc, scope);
+      }
+      resolve_expr(*stmt.do_init, scope, lang);
+      resolve_expr(*stmt.do_limit, scope, lang);
+      if (stmt.do_step) resolve_expr(*stmt.do_step, scope, lang);
+      for (StmtPtr& s : stmt.body) {
+        if (s) resolve_stmt(*s, scope, lang);
+      }
+      break;
+    }
+    case StmtKind::If:
+      resolve_expr(*stmt.cond, scope, lang);
+      for (StmtPtr& s : stmt.body) {
+        if (s) resolve_stmt(*s, scope, lang);
+      }
+      for (StmtPtr& s : stmt.else_body) {
+        if (s) resolve_stmt(*s, scope, lang);
+      }
+      break;
+    case StmtKind::CallStmt: {
+      if (procs_.count(to_lower(stmt.callee)) == 0 && !is_intrinsic(stmt.callee)) {
+        diags_.error(stmt.loc, "call to unknown procedure '" + stmt.callee + "'");
+      }
+      for (ExprPtr& a : stmt.call_args) {
+        if (a) resolve_expr(*a, scope, lang);
+      }
+      break;
+    }
+    case StmtKind::Return:
+      break;
+  }
+}
+
+void Sema::resolve_expr(Expr& expr, ProcScope& scope, Language lang) {
+  switch (expr.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::StringLit:
+      return;
+    case ExprKind::Binary:
+    case ExprKind::Unary:
+      for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
+      return;
+    case ExprKind::VarRef: {
+      const std::string key = to_lower(expr.name);
+      if (scope.names.count(key) != 0) return;
+      const auto git = globals_.find(key);
+      if (git != globals_.end()) {
+        scope.names[key] = git->second;
+        return;
+      }
+      implicit_scalar(expr.name, lang, scope.proc_st, scope.file, expr.loc, scope);
+      return;
+    }
+    case ExprKind::ArrayRef: {
+      const std::string key = to_lower(expr.name);
+      // Resolve the base name: local/global array, procedure or intrinsic.
+      ir::StIdx base = ir::kInvalidSt;
+      if (const auto it = scope.names.find(key); it != scope.names.end()) {
+        base = it->second;
+      } else if (const auto git = globals_.find(key); git != globals_.end()) {
+        scope.names[key] = git->second;
+        base = git->second;
+      }
+      if (base == ir::kInvalidSt) {
+        if (is_intrinsic(expr.name) || procs_.count(key) != 0) {
+          expr.kind = ExprKind::CallExpr;  // Fortran name(args) was a call
+          for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
+          return;
+        }
+        diags_.error(expr.loc, "reference to undeclared array '" + expr.name + "'");
+        implicit_scalar(expr.name, lang, scope.proc_st, scope.file, expr.loc, scope);
+        for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
+        return;
+      }
+      const ir::Ty& ty = program_.symtab.ty(program_.symtab.st(base).ty);
+      if (expr.coindex) {
+        if (!ty.coarray) {
+          diags_.error(expr.loc, "'" + expr.name + "' is not a coarray");
+        }
+        resolve_expr(*expr.coindex, scope, lang);
+      }
+      if (!ty.is_array()) {
+        diags_.error(expr.loc, "'" + expr.name + "' is not an array");
+      } else if (ty.rank() != expr.args.size()) {
+        diags_.error(expr.loc, "'" + expr.name + "' has rank " + std::to_string(ty.rank()) +
+                                   " but is subscripted with " +
+                                   std::to_string(expr.args.size()) + " indices");
+      }
+      for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
+      return;
+    }
+    case ExprKind::CallExpr: {
+      if (procs_.count(to_lower(expr.name)) == 0 && !is_intrinsic(expr.name)) {
+        diags_.error(expr.loc, "call to unknown function '" + expr.name + "'");
+      }
+      for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
+      return;
+    }
+  }
+}
+
+}  // namespace ara::fe

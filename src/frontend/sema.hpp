@@ -1,0 +1,68 @@
+// Semantic analysis: builds the ST/TY tables from the parsed modules,
+// resolves every identifier, unifies globals (C file-scope variables and
+// Fortran COMMON members) across compilation units, applies Fortran implicit
+// typing as a fallback, and re-classifies the parser's ambiguous Fortran
+// `name(args)` nodes into array references, procedure calls or intrinsics.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "ir/program.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ara::fe {
+
+/// Resolved name bindings for one procedure, consumed by lowering.
+struct ProcScope {
+  ir::StIdx proc_st = ir::kInvalidSt;
+  const ProcDecl* decl = nullptr;
+  FileId file = kInvalidFileId;
+  Language lang = Language::Fortran;
+  /// lowercase name -> symbol (formals, locals and referenced globals)
+  std::map<std::string, ir::StIdx> names;
+  std::vector<ir::StIdx> formals;  // in parameter order
+};
+
+struct SemaResult {
+  std::vector<ProcScope> scopes;  // parallel to the flattened proc list
+};
+
+/// True for the supported intrinsic functions (abs, sqrt, max, ...).
+[[nodiscard]] bool is_intrinsic(std::string_view name);
+
+class Sema {
+ public:
+  Sema(ir::Program& program, DiagnosticEngine& diags) : program_(program), diags_(diags) {}
+
+  /// Runs over all modules; returns scopes for every procedure. Also
+  /// re-writes ambiguous Fortran ArrayRef nodes into CallExpr where the name
+  /// resolves to a procedure or intrinsic.
+  [[nodiscard]] SemaResult run(std::vector<ModuleAst>& modules);
+
+ private:
+  void declare_procedures(const std::vector<ModuleAst>& modules);
+  void declare_globals(std::vector<ModuleAst>& modules);
+  void analyze_proc(ModuleAst& mod, ProcDecl& proc, SemaResult& out);
+
+  [[nodiscard]] ir::TyIdx make_ty(const VarDecl& decl, Language lang, const ProcScope& scope);
+  ir::StIdx implicit_scalar(const std::string& name, Language lang,
+                                          ir::StIdx owner, FileId file, SourceLoc loc,
+                                          ProcScope& scope);
+
+  void resolve_stmt(Stmt& stmt, ProcScope& scope, Language lang);
+  void resolve_expr(Expr& expr, ProcScope& scope, Language lang);
+
+  /// Constant-folds a dimension bound expression; nullopt if not constant.
+  [[nodiscard]] std::optional<std::int64_t> fold(const Expr* e) const;
+
+  ir::Program& program_;
+  DiagnosticEngine& diags_;
+  std::map<std::string, ir::StIdx> procs_;    // lowercase name -> Proc ST
+  std::map<std::string, ir::StIdx> globals_;  // lowercase name -> global ST
+};
+
+}  // namespace ara::fe

@@ -1,0 +1,67 @@
+// Token definitions shared by the Fortran-like and C-like lexers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace ara::fe {
+
+enum class Tok : std::uint8_t {
+  Eof,
+  Newline,    // statement separator (significant in Fortran mode)
+  Ident,
+  IntLit,
+  FloatLit,
+  StringLit,
+  // punctuation
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Colon,
+  ColonColon,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,      // & (Fortran continuation is consumed by the lexer; this is C address-of, unused)
+  // comparisons
+  EqEq,
+  NotEq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  // logical
+  AndAnd,
+  OrOr,
+  Not,
+  // compound assignment (C)
+  PlusEq,
+  MinusEq,
+  PlusPlus,
+  Div,  // placeholder to keep switch exhaustive; unused
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;       // identifier / literal spelling
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  SourceLoc loc;
+
+  [[nodiscard]] bool is(Tok k) const { return kind == k; }
+};
+
+[[nodiscard]] std::string_view tok_name(Tok t);
+
+}  // namespace ara::fe

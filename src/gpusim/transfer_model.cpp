@@ -1,0 +1,72 @@
+#include "gpusim/transfer_model.hpp"
+
+namespace ara::gpusim {
+
+double TransferModel::transfer_time(std::int64_t bytes, std::int64_t chunks) const {
+  if (bytes <= 0) return 0.0;
+  if (chunks < 1) chunks = 1;
+  const double gather = chunks > 1 ? per_chunk_s * static_cast<double>(chunks) : 0.0;
+  return latency_s + gather + static_cast<double>(bytes) / bandwidth_Bps;
+}
+
+std::int64_t region_bytes(const regions::Region& region, std::int64_t elem_size) {
+  const auto n = region.element_count();
+  if (!n) return 0;
+  return *n * (elem_size < 0 ? -elem_size : elem_size);
+}
+
+std::int64_t contiguous_chunks(const regions::Region& region, const ir::Ty& ty) {
+  if (!region.all_const() || !ty.is_array() || region.rank() != ty.rank()) return 1;
+  // Walk dimensions from the fastest-varying (innermost in storage order)
+  // outward. As long as a dimension is fully covered with stride 1, runs
+  // coalesce; the first partially-covered dimension ends coalescing and all
+  // remaining dimensions multiply the chunk count.
+  const std::size_t n = ty.rank();
+  std::int64_t chunks = 1;
+  bool coalescing = true;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Source-order position of the k-th fastest-varying dimension: C
+    // (row-major) stores the last source dim fastest; Fortran the first.
+    const std::size_t i = ty.row_major ? n - 1 - k : k;
+    const regions::DimAccess& d = region.dim(i);
+    const std::int64_t count = d.count().value_or(1);
+    const auto extent = ty.dims[i].extent();
+    const bool full = extent && d.stride == 1 && count == *extent;
+    if (coalescing) {
+      if (full) continue;  // whole dimension: still one run
+      // Partial dimension: one run per non-adjacent step if strided,
+      // otherwise the partial range is still a single run at this level.
+      chunks *= d.stride == 1 || d.stride == -1 ? 1 : count;
+      coalescing = false;
+    } else {
+      chunks *= count;
+    }
+  }
+  return chunks;
+}
+
+OffloadResult simulate_offload(const OffloadScenario& scenario, const TransferModel& xfer,
+                               const KernelModel& kernel_in) {
+  KernelModel kernel = kernel_in;
+  if (kernel.elements == 0) kernel.elements = scenario.kernel_elements;
+  OffloadResult out;
+  const double k = kernel.kernel_time();
+  const double iters = scenario.iterations < 1 ? 1 : scenario.iterations;
+  out.t_full = iters * (xfer.transfer_time(scenario.full_bytes, 1) + k);
+  out.t_region =
+      iters * (xfer.transfer_time(scenario.region_bytes, scenario.region_chunks) + k);
+  out.speedup = out.t_region > 0 ? out.t_full / out.t_region : 0.0;
+  return out;
+}
+
+double FusionModel::time_unfused(std::int64_t shared_bytes) const {
+  return 2 * omp_startup_s +
+         2 * static_cast<double>(shared_bytes) / mem_bandwidth_Bps + compute_time_s;
+}
+
+double FusionModel::time_fused(std::int64_t shared_bytes) const {
+  return omp_startup_s + static_cast<double>(shared_bytes) / mem_bandwidth_Bps +
+         compute_time_s;
+}
+
+}  // namespace ara::gpusim

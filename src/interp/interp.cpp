@@ -1,0 +1,535 @@
+#include "interp/interp.hpp"
+
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "regions/convex_region.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::interp {
+
+using ir::Opr;
+using ir::StIdx;
+using ir::WN;
+using regions::AccessMode;
+
+// ---------------------------------------------------------------------------
+// DynamicSummary
+// ---------------------------------------------------------------------------
+
+void DynamicSummary::record(StIdx array, AccessMode mode, const regions::Point& src_indices,
+                            int thread) {
+  DynEntry& e = entries_[{array, mode}];
+  ++e.refs;
+  e.touched.record(mode, src_indices);
+  e.exact.record(mode, src_indices);
+  e.per_thread[thread].record(mode, src_indices);
+  ++e.refs_per_thread[thread];
+}
+
+const DynEntry* DynamicSummary::entry(StIdx array, AccessMode mode) const {
+  const auto it = entries_.find({array, mode});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::int64_t DynamicSummary::dynamic_density_pct(StIdx array, AccessMode mode,
+                                                 const ir::Program& program) const {
+  const DynEntry* e = entry(array, mode);
+  if (e == nullptr) return 0;
+  const auto bytes = program.symtab.ty(program.symtab.st(array).ty).size_bytes();
+  if (!bytes || *bytes <= 0) return 0;
+  return static_cast<std::int64_t>(e->refs * 100 / static_cast<std::uint64_t>(*bytes));
+}
+
+bool DynamicSummary::threads_disjoint(StIdx array, AccessMode mode) const {
+  const DynEntry* e = entry(array, mode);
+  if (e == nullptr || e->per_thread.size() < 2) return false;
+  std::vector<const regions::Region*> secs;
+  for (const auto& [tid, section] : e->per_thread) {
+    const auto& sec = section.section(mode);
+    if (!sec) continue;
+    secs.push_back(&*sec);
+  }
+  for (std::size_t i = 0; i < secs.size(); ++i) {
+    for (std::size_t j = i + 1; j < secs.size(); ++j) {
+      if (!regions::Region::certainly_disjoint(*secs[i], *secs[j])) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Storage {
+  std::vector<double> data;
+};
+
+struct Ref {
+  Storage* st = nullptr;
+  std::int64_t offset = 0;
+};
+
+}  // namespace
+
+struct Interpreter::Impl {
+  const ir::Program& program;
+  InterpOptions opts;
+  std::map<StIdx, Storage> globals;
+
+  struct Frame {
+    std::map<StIdx, Storage> locals;
+    std::map<StIdx, Ref> formals;
+    std::deque<Storage> temps;  // copy-in storage for expression actuals
+    int loop_depth = 0;
+  };
+  std::deque<Frame> stack;
+  std::unique_ptr<Frame> retained_root;  // kept after run() for inspection
+
+  DynamicSummary* summary = nullptr;
+  std::uint64_t steps = 0;
+  bool failed = false;
+  bool returning = false;
+  std::string error;
+  int current_thread = 0;
+
+  explicit Impl(const ir::Program& p, InterpOptions o) : program(p), opts(o) {}
+
+  void fail(const std::string& what) {
+    if (!failed) error = what;
+    failed = true;
+  }
+
+  bool budget() {
+    if (++steps > opts.max_steps) {
+      fail("step budget exhausted (" + std::to_string(opts.max_steps) + ")");
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t storage_size(const ir::Ty& ty) const {
+    const auto n = ty.total_elements();
+    if (n && *n > 0) return static_cast<std::size_t>(*n);
+    // Variable-length arrays get a bounded arena; bounds checks catch abuse.
+    return ty.is_array() ? 65536 : 1;
+  }
+
+  Ref resolve(StIdx st) {
+    const ir::St& sym = program.symtab.st(st);
+    if (sym.storage == ir::StStorage::Global) {
+      auto [it, inserted] = globals.try_emplace(st);
+      if (inserted) it->second.data.assign(storage_size(program.symtab.ty(sym.ty)), 0.0);
+      return Ref{&it->second, 0};
+    }
+    Frame& frame = stack.back();
+    if (sym.storage == ir::StStorage::Formal) {
+      const auto it = frame.formals.find(st);
+      if (it != frame.formals.end()) return it->second;
+      // Unbound formal (direct run of a procedure with formals).
+      auto [lit, inserted] = frame.locals.try_emplace(st);
+      if (inserted) lit->second.data.assign(storage_size(program.symtab.ty(sym.ty)), 0.0);
+      return Ref{&lit->second, 0};
+    }
+    auto [it, inserted] = frame.locals.try_emplace(st);
+    if (inserted) it->second.data.assign(storage_size(program.symtab.ty(sym.ty)), 0.0);
+    return Ref{&it->second, 0};
+  }
+
+  double load(const Ref& ref) {
+    if (ref.st == nullptr || ref.offset < 0 ||
+        ref.offset >= static_cast<std::int64_t>(ref.st->data.size())) {
+      fail("load out of bounds");
+      return 0.0;
+    }
+    return ref.st->data[static_cast<std::size_t>(ref.offset)];
+  }
+
+  void store(const Ref& ref, double v) {
+    if (ref.st == nullptr || ref.offset < 0 ||
+        ref.offset >= static_cast<std::int64_t>(ref.st->data.size())) {
+      fail("store out of bounds");
+      return;
+    }
+    ref.st->data[static_cast<std::size_t>(ref.offset)] = v;
+  }
+
+  static std::int64_t as_int(double v) { return static_cast<std::int64_t>(std::llround(v)); }
+
+  /// Evaluates an ARRAY node to the element reference plus the source-order
+  /// indices (for the dynamic recorder).
+  struct ElementAddr {
+    Ref ref;
+    StIdx base = ir::kInvalidSt;
+    regions::Point src_indices;
+    bool ok = false;
+  };
+
+  ElementAddr eval_array(const WN& arr) {
+    ElementAddr out;
+    const WN* base = arr.array_base();
+    out.base = base->st_idx();
+    const Ref base_ref = resolve(out.base);
+    const ir::Ty& ty = program.symtab.ty(program.symtab.st(out.base).ty);
+    const std::size_t n = arr.num_dim();
+
+    std::vector<std::int64_t> h(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      h[i] = as_int(eval(*arr.array_dim(i)));
+      y[i] = as_int(eval(*arr.array_index(i)));
+      if (failed) return out;
+    }
+    std::int64_t flat = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t mult = 1;
+      for (std::size_t j = i + 1; j < n; ++j) mult *= h[j];
+      flat += y[i] * mult;
+      if (opts.check_bounds && h[i] > 0 && (y[i] < 0 || y[i] >= h[i])) {
+        std::ostringstream os;
+        os << "subscript out of range on '" << program.symtab.st(out.base).name << "': index "
+           << (i + 1) << " is " << y[i] << ", extent " << h[i];
+        fail(os.str());
+        return out;
+      }
+    }
+    out.ref = Ref{base_ref.st, base_ref.offset + flat};
+
+    // Source-order indices with declared lower bounds restored.
+    out.src_indices.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t kid = (!ty.is_array() || ty.row_major) ? i : n - 1 - i;
+      std::int64_t lb = 0;
+      if (ty.is_array() && i < ty.dims.size()) lb = ty.dims[i].lb.value_or(0);
+      out.src_indices[i] = y[kid] + lb;
+    }
+    out.ok = true;
+    return out;
+  }
+
+  void note_access(const ElementAddr& addr, AccessMode mode) {
+    if (summary != nullptr && addr.ok) {
+      summary->record(addr.base, mode, addr.src_indices, current_thread);
+    }
+  }
+
+  double eval_intrinsic(const WN& wn) {
+    const std::string& name = wn.str_val();
+    auto arg = [&](std::size_t i) { return eval(*wn.kid(i)->kid(0)); };
+    if (name == "sqrt") return std::sqrt(arg(0));
+    if (name == "abs") return std::fabs(arg(0));
+    if (name == "exp") return std::exp(arg(0));
+    if (name == "log") return std::log(arg(0));
+    if (name == "sin") return std::sin(arg(0));
+    if (name == "cos") return std::cos(arg(0));
+    if (name == "tan") return std::tan(arg(0));
+    if (name == "sign" && wn.kid_count() == 2) {
+      const double a = std::fabs(arg(0));
+      return arg(1) >= 0 ? a : -a;
+    }
+    if (name == "this_image") return 1.0;  // single-image simulation
+    if (name == "num_images") return 1.0;
+    fail("unsupported intrinsic '" + name + "'");
+    return 0.0;
+  }
+
+  double eval(const WN& wn) {
+    if (failed) return 0.0;
+    switch (wn.opr()) {
+      case Opr::Intconst:
+        return static_cast<double>(wn.const_val());
+      case Opr::Fconst:
+        return wn.flt_val();
+      case Opr::Ldid:
+        return load(resolve(wn.st_idx()));
+      case Opr::Lda:
+        return 0.0;  // addresses are handled structurally
+      case Opr::Iload: {
+        const WN* address = wn.kid(0);
+        if (address->opr() == Opr::Coindex) {
+          // Single-image simulation: a remote GET reads the local copy.
+          (void)eval(*address->kid(1));
+          address = address->kid(0);
+        }
+        const ElementAddr addr = eval_array(*address);
+        if (!addr.ok) return 0.0;
+        note_access(addr, AccessMode::Use);
+        return load(addr.ref);
+      }
+      case Opr::Cvt: {
+        const double v = eval(*wn.kid(0));
+        return ir::mtype_is_integral(wn.rtype()) ? std::trunc(v) : v;
+      }
+      case Opr::Neg:
+        return -eval(*wn.kid(0));
+      case Opr::Lnot:
+        return eval(*wn.kid(0)) == 0.0 ? 1.0 : 0.0;
+      case Opr::Add:
+        return eval(*wn.kid(0)) + eval(*wn.kid(1));
+      case Opr::Sub:
+        return eval(*wn.kid(0)) - eval(*wn.kid(1));
+      case Opr::Mpy:
+        return eval(*wn.kid(0)) * eval(*wn.kid(1));
+      case Opr::Div: {
+        const double a = eval(*wn.kid(0));
+        const double b = eval(*wn.kid(1));
+        if (ir::mtype_is_integral(wn.rtype())) {
+          if (as_int(b) == 0) {
+            fail("integer division by zero");
+            return 0.0;
+          }
+          return static_cast<double>(as_int(a) / as_int(b));
+        }
+        return a / b;
+      }
+      case Opr::Mod: {
+        const std::int64_t b = as_int(eval(*wn.kid(1)));
+        if (b == 0) {
+          fail("modulo by zero");
+          return 0.0;
+        }
+        return static_cast<double>(as_int(eval(*wn.kid(0))) % b);
+      }
+      case Opr::Max:
+        return std::max(eval(*wn.kid(0)), eval(*wn.kid(1)));
+      case Opr::Min:
+        return std::min(eval(*wn.kid(0)), eval(*wn.kid(1)));
+      case Opr::Eq:
+        return eval(*wn.kid(0)) == eval(*wn.kid(1)) ? 1.0 : 0.0;
+      case Opr::Ne:
+        return eval(*wn.kid(0)) != eval(*wn.kid(1)) ? 1.0 : 0.0;
+      case Opr::Lt:
+        return eval(*wn.kid(0)) < eval(*wn.kid(1)) ? 1.0 : 0.0;
+      case Opr::Gt:
+        return eval(*wn.kid(0)) > eval(*wn.kid(1)) ? 1.0 : 0.0;
+      case Opr::Le:
+        return eval(*wn.kid(0)) <= eval(*wn.kid(1)) ? 1.0 : 0.0;
+      case Opr::Ge:
+        return eval(*wn.kid(0)) >= eval(*wn.kid(1)) ? 1.0 : 0.0;
+      case Opr::Land:
+        return (eval(*wn.kid(0)) != 0.0 && eval(*wn.kid(1)) != 0.0) ? 1.0 : 0.0;
+      case Opr::Lior:
+        return (eval(*wn.kid(0)) != 0.0 || eval(*wn.kid(1)) != 0.0) ? 1.0 : 0.0;
+      case Opr::Intrinsic:
+        return eval_intrinsic(wn);
+      case Opr::Parm:
+        return eval(*wn.kid(0));
+      default:
+        fail(std::string("cannot evaluate operator ") + std::string(ir::opr_name(wn.opr())));
+        return 0.0;
+    }
+  }
+
+  void exec_call(const WN& call) {
+    const ir::ProcedureIR* callee = program.find_procedure(call.st_idx());
+    if (callee == nullptr || !callee->tree) {
+      fail("call to unknown procedure '" + program.symtab.st(call.st_idx()).name + "'");
+      return;
+    }
+    Frame frame;
+    // Bind formals positionally: FUNC_ENTRY kids 0..n-2 are IDNAMEs.
+    const std::size_t nformals = callee->tree->kid_count() - 1;
+    for (std::size_t i = 0; i < nformals && i < call.kid_count(); ++i) {
+      const StIdx formal = callee->tree->kid(i)->st_idx();
+      const WN* actual = call.kid(i)->kid(0);
+      Ref bound;
+      switch (actual->opr()) {
+        case Opr::Lda:
+        case Opr::Ldid: {
+          if (actual->st_idx() != ir::kInvalidSt) {
+            bound = resolve(actual->st_idx());
+          }
+          break;
+        }
+        case Opr::Array: {
+          const ElementAddr addr = eval_array(*actual);
+          if (!addr.ok) return;
+          bound = addr.ref;
+          break;
+        }
+        default: {
+          // Expression actual: copy-in temporary.
+          frame.temps.emplace_back();
+          frame.temps.back().data.assign(1, eval(*actual));
+          bound = Ref{&frame.temps.back(), 0};
+          break;
+        }
+      }
+      if (failed) return;
+      frame.formals.emplace(formal, bound);
+    }
+    stack.push_back(std::move(frame));
+    const bool saved_returning = returning;
+    returning = false;
+    exec_block(*callee->tree->kid(callee->tree->kid_count() - 1));
+    returning = saved_returning;
+    stack.pop_back();
+  }
+
+  void exec_stmt(const WN& wn) {
+    if (failed || returning || !budget()) return;
+    switch (wn.opr()) {
+      case Opr::Stid: {
+        const double v = eval(*wn.kid(0));
+        if (failed) return;
+        store(resolve(wn.st_idx()), ir::mtype_is_integral(wn.desc()) ? std::trunc(v) : v);
+        return;
+      }
+      case Opr::Istore: {
+        const double v = eval(*wn.kid(0));
+        if (failed) return;
+        const WN* address = wn.kid(1);
+        if (address->opr() == Opr::Coindex) {
+          (void)eval(*address->kid(1));
+          address = address->kid(0);
+        }
+        const ElementAddr addr = eval_array(*address);
+        if (!addr.ok) return;
+        note_access(addr, AccessMode::Def);
+        store(addr.ref, v);
+        return;
+      }
+      case Opr::DoLoop: {
+        const StIdx ivar = wn.loop_idname()->st_idx();
+        const double init = eval(*wn.loop_init());
+        const double limit = eval(*wn.loop_end());
+        const double step = eval(*wn.loop_step());
+        if (failed) return;
+        if (step == 0.0) {
+          fail("zero loop step");
+          return;
+        }
+        Frame& frame = stack.back();
+        const bool outermost = frame.loop_depth == 0;
+        ++frame.loop_depth;
+        const int saved_thread = current_thread;
+        std::int64_t iter = 0;
+        for (double i = init; step > 0 ? i <= limit : i >= limit; i += step, ++iter) {
+          if (outermost && opts.virtual_threads > 1) {
+            current_thread = static_cast<int>(iter % opts.virtual_threads);
+          }
+          store(resolve(ivar), i);
+          exec_block(*wn.loop_body());
+          if (failed || returning) break;
+          if (!budget()) break;
+        }
+        current_thread = saved_thread;
+        --stack.back().loop_depth;
+        return;
+      }
+      case Opr::If: {
+        const double cond = eval(*wn.kid(0));
+        if (failed) return;
+        exec_block(cond != 0.0 ? *wn.kid(1) : *wn.kid(2));
+        return;
+      }
+      case Opr::Call:
+        exec_call(wn);
+        return;
+      case Opr::Return:
+        returning = true;
+        return;
+      case Opr::Pragma:
+        return;  // directives are advice, not semantics
+      default:
+        fail(std::string("cannot execute operator ") + std::string(ir::opr_name(wn.opr())));
+        return;
+    }
+  }
+
+  void exec_block(const WN& block) {
+    for (std::size_t i = 0; i < block.kid_count(); ++i) {
+      if (failed || returning) return;
+      exec_stmt(*block.kid(i));
+    }
+  }
+};
+
+Interpreter::Interpreter(const ir::Program& program, InterpOptions options)
+    : impl_(std::make_unique<Impl>(program, options)) {}
+
+Interpreter::~Interpreter() = default;
+
+InterpResult Interpreter::run(std::string_view proc_name, DynamicSummary* summary) {
+  InterpResult result;
+  const ir::ProcedureIR* proc = impl_->program.find_procedure(proc_name);
+  if (proc == nullptr || !proc->tree) {
+    result.error = "no procedure '" + std::string(proc_name) + "'";
+    return result;
+  }
+  impl_->summary = summary;
+  impl_->failed = false;
+  impl_->returning = false;
+  impl_->steps = 0;
+  impl_->error.clear();
+  impl_->stack.clear();
+  impl_->stack.emplace_back();
+  impl_->exec_block(*proc->tree->kid(proc->tree->kid_count() - 1));
+  result.steps = impl_->steps;
+  result.ok = !impl_->failed;
+  result.error = impl_->error;
+  // Retain the root frame so tests can inspect entry-procedure locals.
+  impl_->retained_root = std::make_unique<Impl::Frame>(std::move(impl_->stack.back()));
+  impl_->stack.clear();
+  return result;
+}
+
+std::optional<double> Interpreter::scalar_value(std::string_view name) const {
+  for (ir::StIdx idx : impl_->program.symtab.all_sts()) {
+    const ir::St& st = impl_->program.symtab.st(idx);
+    if (st.sclass == ir::StClass::Proc || !iequals(st.name, name)) continue;
+    if (st.storage == ir::StStorage::Global) {
+      const auto it = impl_->globals.find(idx);
+      if (it != impl_->globals.end() && !it->second.data.empty()) return it->second.data[0];
+    }
+    if (impl_->retained_root) {
+      const auto it = impl_->retained_root->locals.find(idx);
+      if (it != impl_->retained_root->locals.end() && !it->second.data.empty()) {
+        return it->second.data[0];
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Interpreter::array_element(std::string_view name,
+                                                 const std::vector<std::int64_t>& idx) const {
+  for (ir::StIdx st_idx : impl_->program.symtab.all_sts()) {
+    const ir::St& st = impl_->program.symtab.st(st_idx);
+    if (st.sclass == ir::StClass::Proc || !iequals(st.name, name)) continue;
+    const ir::Ty& ty = impl_->program.symtab.ty(st.ty);
+    if (!ty.is_array() || ty.rank() != idx.size()) continue;
+
+    const Storage* storage = nullptr;
+    if (const auto git = impl_->globals.find(st_idx); git != impl_->globals.end()) {
+      storage = &git->second;
+    } else if (impl_->retained_root) {
+      const auto lit = impl_->retained_root->locals.find(st_idx);
+      if (lit != impl_->retained_root->locals.end()) storage = &lit->second;
+    }
+    if (storage == nullptr) continue;
+
+    // Zero-base, reorder to storage (row-major kid) order, flatten.
+    const std::size_t n = ty.rank();
+    std::vector<std::int64_t> y(n), h(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t src = ty.row_major ? i : n - 1 - i;
+      y[i] = idx[src] - ty.dims[src].lb.value_or(0);
+      h[i] = ty.dims[src].extent().value_or(0);
+    }
+    std::int64_t flat = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t mult = 1;
+      for (std::size_t j = i + 1; j < n; ++j) mult *= h[j];
+      flat += y[i] * mult;
+    }
+    if (flat < 0 || flat >= static_cast<std::int64_t>(storage->data.size())) return std::nullopt;
+    return storage->data[static_cast<std::size_t>(flat)];
+  }
+  return std::nullopt;
+}
+
+}  // namespace ara::interp

@@ -1,0 +1,104 @@
+// A WHIRL tree interpreter with dynamic access recording — the paper's §VI
+// future work: "enhancing our tool and OpenUH to provide dynamic array
+// region information, in order to better understand the actual array access
+// patterns on an OpenMP thread basis. ... We will record the information
+// necessary to represent an accessed region including the thread which has
+// accessed it."
+//
+// The interpreter executes the lowered program directly (values are doubles;
+// subscripts and loop counters round exactly for the integer ranges real
+// programs use), records every array element touch per access mode and per
+// *virtual thread* (iterations of each outermost loop are attributed
+// round-robin across `virtual_threads`, modelling a static OpenMP
+// schedule), and enforces bounds and step budgets so runaway or out-of-range
+// programs fail loudly instead of corrupting the measurement.
+//
+// The dynamic summary is also the oracle for the static analysis: every
+// dynamically touched element must lie inside some statically reported
+// region of the same (array, mode) — the over-approximation property the
+// integration tests check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "regions/methods.hpp"
+
+namespace ara::interp {
+
+/// Per-(array, mode) dynamic access summary. `touched` is the widened
+/// regular-section view (cheap, used for display and per-thread
+/// disjointness); `exact` is the reference-list view (Fig 2's most accurate
+/// method) holding precisely the touched elements — the oracle the property
+/// tests compare the static analysis against.
+struct DynEntry {
+  std::uint64_t refs = 0;                       // element touches
+  regions::RegularSection touched;              // widened over all touches
+  regions::ReferenceList exact;                 // exact touched-element set
+  std::map<int, regions::RegularSection> per_thread;
+  std::map<int, std::uint64_t> refs_per_thread;
+};
+
+class DynamicSummary {
+ public:
+  void record(ir::StIdx array, regions::AccessMode mode, const regions::Point& src_indices,
+              int thread);
+
+  [[nodiscard]] const std::map<std::pair<ir::StIdx, regions::AccessMode>, DynEntry>& entries()
+      const {
+    return entries_;
+  }
+  [[nodiscard]] const DynEntry* entry(ir::StIdx array, regions::AccessMode mode) const;
+
+  /// Dynamic access density: element touches per byte (×100, truncated),
+  /// the runtime analogue of the paper's AD column.
+  [[nodiscard]] std::int64_t dynamic_density_pct(ir::StIdx array, regions::AccessMode mode,
+                                                 const ir::Program& program) const;
+
+  /// True when threads touch pairwise-disjoint regions of `array` under
+  /// `mode` — the privatization signal §VI aims at ("this feature may
+  /// improve data privatization in OpenMP codes").
+  [[nodiscard]] bool threads_disjoint(ir::StIdx array, regions::AccessMode mode) const;
+
+ private:
+  std::map<std::pair<ir::StIdx, regions::AccessMode>, DynEntry> entries_;
+};
+
+struct InterpOptions {
+  std::uint64_t max_steps = 100'000'000;  // statement budget
+  int virtual_threads = 1;                // OpenMP-style round-robin attribution
+  bool check_bounds = true;               // fail on out-of-range subscripts
+};
+
+struct InterpResult {
+  bool ok = false;
+  std::string error;       // set when !ok
+  std::uint64_t steps = 0; // statements executed
+};
+
+class Interpreter {
+ public:
+  Interpreter(const ir::Program& program, InterpOptions options = {});
+  ~Interpreter();
+
+  /// Executes the named procedure (no arguments; it must have no formals).
+  InterpResult run(std::string_view proc_name, DynamicSummary* summary = nullptr);
+
+  /// Value of a global/last-frame scalar after run(); nullopt if unknown.
+  [[nodiscard]] std::optional<double> scalar_value(std::string_view name) const;
+
+  /// Element of a global array (source-order 1-based-or-declared indices).
+  [[nodiscard]] std::optional<double> array_element(std::string_view name,
+                                                    const std::vector<std::int64_t>& idx) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ara::interp

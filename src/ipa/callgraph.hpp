@@ -1,0 +1,59 @@
+// The IPA call graph: "each node in this graph represents a procedure and
+// the caller-callee relationships are expressed by the edges. This call
+// graph should be traversed to extract the necessary array analysis
+// information" (§IV-A). Each node carries the procedure's WHIRL tree and
+// symbol-table handle, as in Fig 4 / Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ara::ipa {
+
+struct CallSite {
+  const ir::WN* call = nullptr;  // the CALL node
+  std::uint32_t callee = 0;      // index into CallGraph::nodes()
+  SourceLoc loc;
+};
+
+struct CGNode {
+  ir::StIdx proc_st = ir::kInvalidSt;
+  const ir::ProcedureIR* proc = nullptr;
+  std::vector<CallSite> callsites;     // out-edges, in source order
+  std::vector<std::uint32_t> callers;  // in-edges (node indices, deduplicated)
+  bool is_root = false;                // no callers (program entry)
+};
+
+class CallGraph {
+ public:
+  [[nodiscard]] static CallGraph build(const ir::Program& program);
+
+  [[nodiscard]] const std::vector<CGNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const CGNode& node(std::uint32_t i) const { return nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+
+  [[nodiscard]] std::optional<std::uint32_t> find(ir::StIdx proc_st) const;
+  [[nodiscard]] std::optional<std::uint32_t> find(std::string_view name,
+                                                  const ir::Program& program) const;
+
+  /// Pre-order from the roots (Algorithm 1 traverses the call graph
+  /// pre-order); unreachable nodes are appended at the end.
+  [[nodiscard]] std::vector<std::uint32_t> preorder() const;
+
+  /// Callees-before-callers order for bottom-up summary propagation. Cycles
+  /// (recursion) are broken arbitrarily; `has_cycle` reports whether any
+  /// back edge was seen, in which case propagation must iterate.
+  [[nodiscard]] std::vector<std::uint32_t> bottom_up() const;
+  [[nodiscard]] bool has_cycle() const { return has_cycle_; }
+
+ private:
+  std::vector<CGNode> nodes_;
+  bool has_cycle_ = false;
+};
+
+}  // namespace ara::ipa

@@ -1,0 +1,221 @@
+#include "ipa/interproc.hpp"
+
+#include <algorithm>
+
+#include "ipa/wn_affine.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::ipa {
+
+using regions::AccessMode;
+using regions::Bound;
+using regions::DimAccess;
+using regions::LinExpr;
+using regions::Region;
+
+InterprocAnalyzer::CalleeInfo InterprocAnalyzer::collect_info(ir::StIdx proc_st) const {
+  CalleeInfo info;
+  std::vector<std::pair<std::uint32_t, ir::StIdx>> formals;
+  for (ir::StIdx idx : program_.symtab.all_sts()) {
+    const ir::St& st = program_.symtab.st(idx);
+    if (st.owner_proc != proc_st) continue;
+    const bool is_array = program_.symtab.ty(st.ty).is_array();
+    if (st.storage == ir::StStorage::Formal) {
+      formals.emplace_back(st.formal_pos, idx);
+      if (!is_array) info.formal_scalar_pos[to_lower(st.name)] = st.formal_pos - 1;
+    } else if (st.storage == ir::StStorage::Local && !is_array) {
+      info.local_scalar[to_lower(st.name)] = true;
+    }
+  }
+  std::sort(formals.begin(), formals.end());
+  for (const auto& [pos, idx] : formals) info.formals.push_back(idx);
+  return info;
+}
+
+Region InterprocAnalyzer::translate_region(
+    const Region& r, const std::map<std::string, std::optional<LinExpr>>& subst,
+    const std::map<std::string, bool>& callee_locals) const {
+  Region out;
+  for (const DimAccess& d : r.dims()) {
+    auto translate_bound = [&](const Bound& b) -> Bound {
+      if (!b.known()) return b;
+      LinExpr e = b.expr;
+      // Substitute formal scalars; poison callee locals.
+      for (const auto& [name, coef] : b.expr.terms()) {
+        if (const auto it = subst.find(name); it != subst.end()) {
+          if (!it->second) return Bound::unprojected();
+          e = e.substituted(name, *it->second);
+        } else if (callee_locals.count(name) != 0) {
+          return Bound::unprojected();
+        }
+      }
+      return Bound::affine(b.kind, std::move(e));
+    };
+    DimAccess nd;
+    nd.lb = translate_bound(d.lb);
+    nd.ub = translate_bound(d.ub);
+    nd.stride = d.stride;
+    out.push_dim(std::move(nd));
+  }
+  return out;
+}
+
+InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) const {
+  InterprocResult result;
+  result.side_effects.resize(cg_.size());
+  for (std::size_t i = 0; i < cg_.size(); ++i) {
+    result.side_effects[i] = locals[i].side_effects;
+  }
+
+  std::vector<CalleeInfo> infos;
+  infos.reserve(cg_.size());
+  for (std::uint32_t i = 0; i < cg_.size(); ++i) infos.push_back(collect_info(cg_.node(i).proc_st));
+
+  const std::vector<std::uint32_t> order = cg_.bottom_up();
+  const int max_passes = cg_.has_cycle() ? 5 : 1;
+
+  // One call-site translation: map the callee's (array, mode) effects into
+  // the caller's symbols; returns the translated effects.
+  auto translate_call = [&](std::uint32_t caller, const CallSite& cs)
+      -> std::vector<std::tuple<ir::StIdx, AccessMode, ModeRegions>> {
+    std::vector<std::tuple<ir::StIdx, AccessMode, ModeRegions>> out;
+    const CalleeInfo& callee_info = infos[cs.callee];
+
+    // Actual arguments by position.
+    std::vector<const ir::WN*> actuals;
+    for (std::size_t i = 0; i < cs.call->kid_count(); ++i) {
+      const ir::WN* parm = cs.call->kid(i);
+      actuals.push_back(parm->kid_count() > 0 ? parm->kid(0) : nullptr);
+    }
+
+    // Formal-scalar substitution environment.
+    std::map<std::string, std::optional<LinExpr>> subst;
+    for (const auto& [name, pos] : callee_info.formal_scalar_pos) {
+      if (pos < actuals.size() && actuals[pos] != nullptr) {
+        subst[name] = wn_to_affine(*actuals[pos], program_.symtab);
+      } else {
+        subst[name] = std::nullopt;
+      }
+    }
+
+    for (const auto& [key, mr] : result.side_effects[cs.callee].effects) {
+      const auto& [callee_st, mode] = key;
+      const ir::St& st = program_.symtab.st(callee_st);
+      ir::StIdx caller_st = ir::kInvalidSt;
+      if (st.storage == ir::StStorage::Global) {
+        caller_st = callee_st;
+      } else if (st.storage == ir::StStorage::Formal) {
+        const std::size_t pos = st.formal_pos - 1;
+        if (pos < actuals.size() && actuals[pos] != nullptr) {
+          const ir::WN* a = actuals[pos];
+          if ((a->opr() == ir::Opr::Lda || a->opr() == ir::Opr::Ldid) &&
+              a->st_idx() != ir::kInvalidSt &&
+              program_.symtab.ty(program_.symtab.st(a->st_idx()).ty).is_array()) {
+            caller_st = a->st_idx();
+            if (program_.symtab.ty(st.ty).is_array()) {
+              const auto it = result.formal_binding.find(callee_st);
+              if (it == result.formal_binding.end()) {
+                result.formal_binding[callee_st] = caller_st;
+              } else if (it->second != caller_st) {
+                it->second = ir::kInvalidSt;  // ambiguous
+              }
+            }
+          }
+        }
+      }
+      if (caller_st == ir::kInvalidSt) continue;
+
+      ModeRegions translated;
+      translated.refs = mr.refs;
+      for (const Region& r : mr.regions) {
+        translated.merge(translate_region(r, subst, callee_info.local_scalar), 0);
+      }
+      out.emplace_back(caller_st, mode, std::move(translated));
+    }
+    (void)caller;
+    return out;
+  };
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (std::uint32_t n : order) {
+      SideEffects next = locals[n].side_effects;
+      for (const CallSite& cs : cg_.node(n).callsites) {
+        for (auto& [st, mode, mr] : translate_call(n, cs)) {
+          next.effects[{st, mode}].merge_all(mr);
+        }
+      }
+      if (!(next == result.side_effects[n])) {
+        result.side_effects[n] = std::move(next);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Also record formal bindings for call sites whose callee never touches the
+  // formal (pure pass-through): walk all call sites once more.
+  for (std::uint32_t n = 0; n < cg_.size(); ++n) {
+    for (const CallSite& cs : cg_.node(n).callsites) {
+      const CalleeInfo& info = infos[cs.callee];
+      for (std::size_t pos = 0; pos < info.formals.size(); ++pos) {
+        const ir::StIdx formal = info.formals[pos];
+        if (!program_.symtab.ty(program_.symtab.st(formal).ty).is_array()) continue;
+        std::size_t parm_index = pos;
+        if (parm_index >= cs.call->kid_count()) continue;
+        const ir::WN* parm = cs.call->kid(parm_index);
+        const ir::WN* a = parm->kid_count() > 0 ? parm->kid(0) : nullptr;
+        if (a == nullptr) continue;
+        if ((a->opr() == ir::Opr::Lda || a->opr() == ir::Opr::Ldid) &&
+            a->st_idx() != ir::kInvalidSt &&
+            program_.symtab.ty(program_.symtab.st(a->st_idx()).ty).is_array()) {
+          const auto it = result.formal_binding.find(formal);
+          if (it == result.formal_binding.end()) {
+            result.formal_binding[formal] = a->st_idx();
+          } else if (it->second != a->st_idx()) {
+            it->second = ir::kInvalidSt;
+          }
+        }
+      }
+    }
+  }
+
+  // Generate IDEF/IUSE rows per call site from the callee's final effects.
+  for (std::uint32_t n = 0; n < cg_.size(); ++n) {
+    for (const CallSite& cs : cg_.node(n).callsites) {
+      for (auto& [st, mode, mr] : translate_call(n, cs)) {
+        bool first = true;
+        for (Region& r : mr.regions) {
+          AccessRecord rec;
+          rec.array = st;
+          rec.mode = mode;
+          rec.interproc = true;
+          rec.region = std::move(r);
+          rec.refs = first ? mr.refs : 0;
+          first = false;
+          rec.scope_proc = cg_.node(n).proc_st;
+          rec.file = cg_.node(cs.callee).proc->file;
+          rec.line = cs.loc.line;
+          result.interproc_records.push_back(std::move(rec));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t InterprocAnalyzer::resolve_addr(
+    ir::StIdx st, const ir::Program& program,
+    const std::map<ir::StIdx, ir::StIdx>& formal_binding) {
+  ir::StIdx cur = st;
+  for (int depth = 0; depth < 16; ++depth) {
+    const ir::St& sym = program.symtab.st(cur);
+    if (sym.storage != ir::StStorage::Formal) return sym.addr;
+    const auto it = formal_binding.find(cur);
+    if (it == formal_binding.end() || it->second == ir::kInvalidSt) return 0;
+    cur = it->second;
+  }
+  return 0;
+}
+
+}  // namespace ara::ipa

@@ -1,0 +1,64 @@
+// IPA: the main interprocedural phase. Propagates each procedure's array
+// side effects bottom-up over the call graph, mapping formals to actuals in
+// the Creusillet style ("later expanded by Creusillet to support mapping
+// formal to actual parameters", §III): at every call site the callee's
+// DEF/USE regions on its formal arrays are rewritten onto the caller's
+// actual arrays, and symbolic bounds naming callee formal scalars are
+// substituted with the actual argument expressions. The per-call-site
+// results are the IDEF/IUSE rows of Fig 1. Recursion is handled by iterating
+// to a fixpoint (region lists are bounded, so this terminates).
+#pragma once
+
+#include <map>
+
+#include "ipa/callgraph.hpp"
+#include "ipa/local.hpp"
+
+namespace ara::ipa {
+
+struct InterprocResult {
+  /// Transitive side effects per call-graph node index.
+  std::vector<SideEffects> side_effects;
+  /// IDEF/IUSE records generated at call sites (caller scope).
+  std::vector<AccessRecord> interproc_records;
+  /// Formal array -> the one actual array bound to it (when unambiguous);
+  /// used to resolve a FORMAL row's Mem_Loc to the actual's address.
+  std::map<ir::StIdx, ir::StIdx> formal_binding;
+};
+
+class InterprocAnalyzer {
+ public:
+  InterprocAnalyzer(const ir::Program& program, const CallGraph& cg)
+      : program_(program), cg_(cg) {}
+
+  [[nodiscard]] InterprocResult run(const std::vector<LocalSummary>& locals) const;
+
+  /// Resolves a formal's storage address by chasing its (unambiguous)
+  /// actual-binding chain; 0 when unbound or ambiguous.
+  [[nodiscard]] static std::uint64_t resolve_addr(
+      ir::StIdx st, const ir::Program& program,
+      const std::map<ir::StIdx, ir::StIdx>& formal_binding);
+
+ private:
+  struct CalleeInfo {
+    std::vector<ir::StIdx> formals;               // by position (0-based)
+    std::map<std::string, std::size_t> formal_scalar_pos;  // lowercase name -> position
+    std::map<std::string, bool> local_scalar;     // lowercase names of local scalars
+  };
+
+  [[nodiscard]] CalleeInfo collect_info(ir::StIdx proc_st) const;
+
+  /// Rewrites one callee region into the caller's context. `subst` maps
+  /// callee formal-scalar names to the actual argument's affine value (or
+  /// nullopt when the actual is not affine); names in `callee_locals` are
+  /// meaningless to the caller and poison their bound to UNPROJECTED.
+  [[nodiscard]] regions::Region translate_region(
+      const regions::Region& r,
+      const std::map<std::string, std::optional<regions::LinExpr>>& subst,
+      const std::map<std::string, bool>& callee_locals) const;
+
+  const ir::Program& program_;
+  const CallGraph& cg_;
+};
+
+}  // namespace ara::ipa

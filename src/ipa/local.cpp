@@ -1,0 +1,329 @@
+#include "ipa/local.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ipa/wn_affine.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::ipa {
+
+using regions::AccessMode;
+using regions::Bound;
+using regions::BoundKind;
+using regions::DimAccess;
+using regions::LinExpr;
+using regions::Region;
+
+regions::Region declared_region(const ir::Ty& ty) {
+  Region r;
+  for (const ir::ArrayDim& d : ty.dims) {
+    DimAccess da;
+    if (d.lb.has_value()) {
+      da.lb = Bound::constant(*d.lb);
+    } else if (!d.lb_sym.empty()) {
+      da.lb = Bound::affine(BoundKind::Subscr, LinExpr::var(d.lb_sym));
+    } else {
+      da.lb = Bound::unprojected();
+    }
+    if (d.ub.has_value()) {
+      da.ub = Bound::constant(*d.ub);
+    } else if (!d.ub_sym.empty()) {
+      da.ub = Bound::affine(BoundKind::Subscr, LinExpr::var(d.ub_sym));
+    } else {
+      da.ub = Bound::unprojected();
+    }
+    da.stride = 1;
+    r.push_dim(std::move(da));
+  }
+  return r;
+}
+
+LocalSummary LocalAnalyzer::analyze(const CGNode& node) const {
+  Walk walk;
+  walk.node = &node;
+
+  // FORMAL rows: every array formal contributes its declared extent; the
+  // paper's tables also show scalar formals (e.g. CLASS in Fig 12), so
+  // scalars get a rank-0 record too.
+  const ir::SymbolTable& symtab = program_.symtab;
+  for (ir::StIdx idx : symtab.all_sts()) {
+    const ir::St& st = symtab.st(idx);
+    if (st.owner_proc != node.proc_st || st.storage != ir::StStorage::Formal) continue;
+    AccessRecord rec;
+    rec.array = idx;
+    rec.mode = AccessMode::Formal;
+    rec.region = declared_region(symtab.ty(st.ty));
+    rec.scope_proc = node.proc_st;
+    rec.file = node.proc->file;
+    rec.line = st.loc.line;
+    add_record(std::move(rec), walk);
+  }
+
+  if (node.proc->tree) visit(*node.proc->tree, walk);
+  return std::move(walk.out);
+}
+
+LocalSummary LocalAnalyzer::analyze_subtree(const ir::WN& root, const CGNode& node) const {
+  Walk walk;
+  walk.node = &node;
+  visit(root, walk);
+  return std::move(walk.out);
+}
+
+void LocalAnalyzer::add_record(AccessRecord rec, Walk& walk) const {
+  // Side effects cover DEF/USE of symbols visible to callers.
+  const ir::St& st = program_.symtab.st(rec.array);
+  const bool visible =
+      st.storage == ir::StStorage::Global || st.storage == ir::StStorage::Formal;
+  if (visible && (rec.mode == AccessMode::Def || rec.mode == AccessMode::Use)) {
+    walk.out.side_effects.effects[{rec.array, rec.mode}].merge(rec.region, rec.refs);
+  }
+  walk.out.records.push_back(std::move(rec));
+}
+
+void LocalAnalyzer::visit_kids(const ir::WN& wn, Walk& walk) const {
+  for (std::size_t i = 0; i < wn.kid_count(); ++i) visit(*wn.kid(i), walk);
+}
+
+void LocalAnalyzer::visit(const ir::WN& wn, Walk& walk) const {
+  switch (wn.opr()) {
+    case ir::Opr::Istore:
+      visit(*wn.kid(0), walk);  // rhs first: its loads are USEs
+      if (wn.kid(1)->opr() == ir::Opr::Array) {
+        record_array(*wn.kid(1), AccessMode::Def, walk);
+      } else if (wn.kid(1)->opr() == ir::Opr::Coindex) {
+        // Remote coarray PUT (§VI): record against the co-indexed image.
+        record_array(*wn.kid(1)->kid(0), AccessMode::Def, walk, wn.kid(1)->kid(1));
+        visit(*wn.kid(1)->kid(1), walk);
+      }
+      return;
+    case ir::Opr::Iload:
+      if (wn.kid(0)->opr() == ir::Opr::Array) {
+        record_array(*wn.kid(0), AccessMode::Use, walk);
+      } else if (wn.kid(0)->opr() == ir::Opr::Coindex) {
+        record_array(*wn.kid(0)->kid(0), AccessMode::Use, walk, wn.kid(0)->kid(1));
+        visit(*wn.kid(0)->kid(1), walk);
+      }
+      return;
+    case ir::Opr::Stid:
+      record_scalar(wn, AccessMode::Def, walk);
+      visit(*wn.kid(0), walk);
+      return;
+    case ir::Opr::Ldid:
+      record_scalar(wn, AccessMode::Use, walk);
+      return;
+    case ir::Opr::DoLoop: {
+      LoopCtx ctx;
+      ctx.var = to_lower(program_.symtab.st(wn.loop_idname()->st_idx()).name);
+      ctx.init = wn_to_affine(*wn.loop_init(), program_.symtab);
+      ctx.limit = wn_to_affine(*wn.loop_end(), program_.symtab);
+      const auto step = wn_to_affine(*wn.loop_step(), program_.symtab);
+      if (step && step->is_constant() && step->constant() != 0) ctx.step = step->constant();
+      // Bound expressions may themselves read arrays/scalars.
+      visit(*wn.loop_init(), walk);
+      visit(*wn.loop_end(), walk);
+      visit(*wn.loop_step(), walk);
+      walk.loops.push_back(std::move(ctx));
+      visit(*wn.loop_body(), walk);
+      walk.loops.pop_back();
+      return;
+    }
+    case ir::Opr::Call:
+      record_call(wn, walk);
+      return;
+    case ir::Opr::Array:
+      // A bare ARRAY outside ILOAD/ISTORE/PARM (address expression): treat
+      // conservatively as a USE of the element region.
+      record_array(wn, AccessMode::Use, walk);
+      return;
+    default:
+      visit_kids(wn, walk);
+      return;
+  }
+}
+
+void LocalAnalyzer::record_scalar(const ir::WN& wn, AccessMode mode, Walk& walk) const {
+  if (wn.st_idx() == ir::kInvalidSt) return;
+  const ir::St& st = program_.symtab.st(wn.st_idx());
+  if (st.sclass == ir::StClass::Proc) return;
+  if (program_.symtab.ty(st.ty).is_array()) return;
+  // Only caller-visible scalars appear in the table (locals would flood it).
+  if (st.storage != ir::StStorage::Global && st.storage != ir::StStorage::Formal) return;
+  AccessRecord rec;
+  rec.array = wn.st_idx();
+  rec.mode = mode;
+  rec.region = Region{};  // rank 0
+  rec.scope_proc = walk.node->proc_st;
+  rec.file = walk.node->proc->file;
+  rec.line = wn.linenum().line;
+  add_record(std::move(rec), walk);
+}
+
+regions::DimAccess LocalAnalyzer::project_subscript(LinExpr subscript,
+                                                    const std::vector<LoopCtx>& loops) const {
+  // Count the loop variables the subscript (transitively) depends on: inner
+  // loop bounds may reference outer induction variables (triangular loops),
+  // so walk innermost-out accumulating reachable variables.
+  std::size_t nvars = 0;
+  {
+    LinExpr reach = subscript;
+    for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+      if (reach.coef(it->var) == 0) continue;
+      ++nvars;
+      if (!it->affine()) return DimAccess{Bound::messy(), Bound::messy(), 1};
+      reach = reach.substituted(it->var, *it->init + *it->limit);
+    }
+  }
+
+  /// Value of L's induction variable on its final trip: exact when the
+  /// bounds are constant, otherwise the loop limit (a <=step-sized
+  /// over-approximation).
+  auto last_of = [](const LoopCtx& L) {
+    const std::int64_t step = L.step.value_or(1);
+    if (L.init->is_constant() && L.limit->is_constant() && L.step.has_value() && step != 0) {
+      const std::int64_t trips = (L.limit->constant() - L.init->constant()) / step;
+      if (trips >= 0) return LinExpr(L.init->constant() + trips * step);
+    }
+    return *L.limit;
+  };
+
+  LinExpr lb = subscript;
+  LinExpr ub = subscript;
+  std::int64_t stride = 0;
+
+  if (nvars == 1) {
+    // Single induction variable: preserve the traversal direction — LB is
+    // the value on the first trip, UB on the last, stride = c * step (may be
+    // negative; the earlier Dragon lost exactly this, §II).
+    for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+      const LoopCtx& L = *it;
+      const std::int64_t c = lb.coef(L.var);
+      if (c == 0) continue;
+      stride = c * L.step.value_or(1);
+      lb = lb.substituted(L.var, *L.init);
+      ub = ub.substituted(L.var, last_of(L));
+      break;
+    }
+    // Bounds may still mention outer loop variables (triangular); fall
+    // through to the multi-variable min/max pass for those.
+  }
+  // Multi-variable (or residual) projection: substitute each variable at
+  // its extreme trips so LB is minimal and UB maximal; the stride collapses
+  // to the gcd of the per-variable contributions (always positive).
+  for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+    const LoopCtx& L = *it;
+    const std::int64_t step = L.step.value_or(1);
+    const LinExpr last = last_of(L);
+    const std::int64_t c_lb = lb.coef(L.var);
+    if (c_lb != 0) {
+      if (nvars > 1) {
+        const std::int64_t contrib = c_lb * step;
+        const std::int64_t mag = contrib < 0 ? -contrib : contrib;
+        stride = stride == 0 ? mag : std::gcd(stride < 0 ? -stride : stride, mag);
+      }
+      lb = lb.substituted(L.var, c_lb * step > 0 ? *L.init : last);
+    }
+    const std::int64_t c_ub = ub.coef(L.var);
+    if (c_ub != 0) ub = ub.substituted(L.var, c_ub * step > 0 ? last : *L.init);
+  }
+
+  DimAccess d;
+  // Bound provenance per the OpenUH taxonomy (§IV-C): a single induction
+  // variable yields IVAR bounds; multiple coupled variables were linearized
+  // (LINDEX); a loop-free subscript is SUBSCR. Constants fold to CONST
+  // inside Bound::affine.
+  const BoundKind kind =
+      nvars > 1 ? BoundKind::LIndex : (nvars == 1 ? BoundKind::IVar : BoundKind::Subscr);
+  d.lb = Bound::affine(kind, std::move(lb));
+  d.ub = Bound::affine(kind, std::move(ub));
+  if (nvars == 1 && stride != 0) {
+    d.stride = stride;  // signed: preserves direction
+  } else {
+    d.stride = stride < 0 ? -stride : stride;
+    if (d.stride == 0) d.stride = 1;
+  }
+  return d;
+}
+
+void LocalAnalyzer::record_array(const ir::WN& arr, AccessMode mode, Walk& walk,
+                                 const ir::WN* image) const {
+  const ir::WN* base = arr.array_base();
+  if (base->st_idx() == ir::kInvalidSt) return;
+  const ir::StIdx array_st = base->st_idx();
+  const ir::Ty& ty = program_.symtab.ty(program_.symtab.st(array_st).ty);
+  const std::size_t n = arr.num_dim();
+
+  AccessRecord rec;
+  rec.array = array_st;
+  rec.mode = mode;
+  rec.scope_proc = walk.node->proc_st;
+  rec.file = walk.node->proc->file;
+  rec.line = arr.linenum().line;
+  if (image != nullptr) {
+    rec.remote = true;
+    const auto img = wn_to_affine(*image, program_.symtab);
+    rec.image = img ? img->str() : "?";
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Source dimension i corresponds to row-major kid i for C, reversed for
+    // Fortran (lowering reversed the source order; cf. §V-B: Dragon converts
+    // the compiler's row-major zero-based form back to source form).
+    const std::size_t kid = (!ty.is_array() || ty.row_major) ? i : n - 1 - i;
+    const ir::WN* index = arr.array_index(kid);
+    const auto affine = wn_to_affine(*index, program_.symtab);
+    if (!affine) {
+      rec.region.push_dim(DimAccess{Bound::messy(), Bound::messy(), 1});
+      continue;
+    }
+    // Back to source indexing: lowering produced zero-based indices by
+    // subtracting the declared lower bound.
+    LinExpr src = *affine;
+    if (ty.is_array() && i < ty.dims.size()) {
+      const ir::ArrayDim& d = ty.dims[i];
+      if (d.lb.has_value()) {
+        src += LinExpr(*d.lb);
+      } else if (!d.lb_sym.empty()) {
+        src += LinExpr::var(d.lb_sym);
+      }
+    }
+    rec.region.push_dim(project_subscript(std::move(src), walk.loops));
+  }
+
+  add_record(std::move(rec), walk);
+
+  // Subscript expressions can contain further array reads (a(b(i))).
+  for (std::size_t i = 0; i < n; ++i) visit(*arr.array_index(i), walk);
+}
+
+void LocalAnalyzer::record_call(const ir::WN& call, Walk& walk) const {
+  for (std::size_t i = 0; i < call.kid_count(); ++i) {
+    const ir::WN* parm = call.kid(i);
+    if (parm->opr() != ir::Opr::Parm || parm->kid_count() == 0) continue;
+    const ir::WN* arg = parm->kid(0);
+    const bool whole_array =
+        (arg->opr() == ir::Opr::Lda || arg->opr() == ir::Opr::Ldid) &&
+        arg->st_idx() != ir::kInvalidSt &&
+        program_.symtab.ty(program_.symtab.st(arg->st_idx()).ty).is_array();
+    if (whole_array) {
+      AccessRecord rec;
+      rec.array = arg->st_idx();
+      rec.mode = AccessMode::Passed;
+      rec.region = declared_region(program_.symtab.ty(program_.symtab.st(arg->st_idx()).ty));
+      rec.scope_proc = walk.node->proc_st;
+      rec.file = walk.node->proc->file;
+      rec.line = call.linenum().line;
+      add_record(std::move(rec), walk);
+      continue;
+    }
+    if (arg->opr() == ir::Opr::Array) {
+      // Element actual: the passed region is that element (sub-array start).
+      record_array(*arg, AccessMode::Passed, walk);
+      continue;
+    }
+    visit(*arg, walk);
+  }
+}
+
+}  // namespace ara::ipa

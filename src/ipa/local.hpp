@@ -1,0 +1,70 @@
+// IPL: the local information-gathering phase. "IPL (the local
+// interprocedural analysis part) first gathers data flow analysis and
+// procedure summary information from each compilation unit, and the
+// information is summarized for each procedure" (§IV-A). For every
+// procedure's WHIRL tree this pass:
+//   * summarizes each explicit ARRAY reference into a triplet region,
+//     projecting enclosing DO-loop induction variables through the subscript
+//     (preserving exact strides — `a(2*i)` in `do i=1,n,3` yields stride 6 —
+//     and negative directions, both of which the earlier Dragon lost);
+//   * emits FORMAL records for array formals (their declared extent) and
+//     PASSED records at call sites for whole-array and element actuals;
+//   * records DEF/USE of scalar formals and globals (rank-0 regions), which
+//     is how rows like LU's CLASS (Fig 12) appear;
+//   * accumulates the procedure's side effects on formals and globals for
+//     the interprocedural phase.
+#pragma once
+
+#include "ipa/callgraph.hpp"
+#include "ipa/summary.hpp"
+
+namespace ara::ipa {
+
+/// Builds the triplet region covering an array's declared extent (used for
+/// FORMAL and PASSED rows). Symbolic bounds (`a(n)`) stay symbolic; unknown
+/// (assumed-size) bounds are UNPROJECTED.
+[[nodiscard]] regions::Region declared_region(const ir::Ty& ty);
+
+class LocalAnalyzer {
+ public:
+  explicit LocalAnalyzer(const ir::Program& program) : program_(program) {}
+
+  [[nodiscard]] LocalSummary analyze(const CGNode& node) const;
+
+  /// Analyzes an arbitrary subtree (e.g. one loop nest) in the context of
+  /// `node`'s procedure, without the FORMAL rows. Used by Dragon's advisors
+  /// to summarize what a single loop touches.
+  [[nodiscard]] LocalSummary analyze_subtree(const ir::WN& root, const CGNode& node) const;
+
+ private:
+  struct LoopCtx {
+    std::string var;  // lowercase induction variable name
+    std::optional<regions::LinExpr> init;
+    std::optional<regions::LinExpr> limit;
+    std::optional<std::int64_t> step;  // nullopt = non-constant step
+    [[nodiscard]] bool affine() const { return init && limit; }
+  };
+
+  struct Walk {
+    const CGNode* node = nullptr;
+    LocalSummary out;
+    std::vector<LoopCtx> loops;
+  };
+
+  void visit(const ir::WN& wn, Walk& walk) const;
+  void visit_kids(const ir::WN& wn, Walk& walk) const;
+  void record_array(const ir::WN& arr, regions::AccessMode mode, Walk& walk,
+                    const ir::WN* image = nullptr) const;
+  void record_scalar(const ir::WN& wn, regions::AccessMode mode, Walk& walk) const;
+  void record_call(const ir::WN& call, Walk& walk) const;
+  void add_record(AccessRecord rec, Walk& walk) const;
+
+  /// Projects all enclosing loop variables out of one source-order subscript
+  /// expression, producing the dimension's triplet.
+  [[nodiscard]] regions::DimAccess project_subscript(regions::LinExpr subscript,
+                                                     const std::vector<LoopCtx>& loops) const;
+
+  const ir::Program& program_;
+};
+
+}  // namespace ara::ipa

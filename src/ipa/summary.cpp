@@ -1,0 +1,37 @@
+#include "ipa/summary.hpp"
+
+#include <algorithm>
+
+namespace ara::ipa {
+
+void ModeRegions::merge(const regions::Region& r, std::uint64_t ref_count) {
+  refs += ref_count;
+  if (std::find(regions.begin(), regions.end(), r) != regions.end()) return;
+  regions.push_back(r);
+  if (regions.size() <= kMaxRegions) return;
+  // Collapse constant regions of equal rank into their hull.
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      if (const auto h = regions::Region::hull(regions[i], regions[j])) {
+        regions[i] = *h;
+        regions.erase(regions.begin() + static_cast<std::ptrdiff_t>(j));
+        return;
+      }
+    }
+  }
+  // Nothing hullable (symbolic bounds): drop the oldest to bound memory.
+  regions.erase(regions.begin());
+}
+
+void ModeRegions::merge_all(const ModeRegions& other) {
+  std::uint64_t incoming = other.refs;
+  for (const regions::Region& r : other.regions) {
+    // merge() adds refs per call; spread them across the first region to keep
+    // the total exact.
+    merge(r, incoming);
+    incoming = 0;
+  }
+  if (other.regions.empty()) refs += incoming;
+}
+
+}  // namespace ara::ipa

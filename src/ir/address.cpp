@@ -1,0 +1,104 @@
+#include "ir/address.hpp"
+
+#include <cstdlib>
+
+namespace ara::ir {
+
+std::optional<std::int64_t> eval_const(const WN& wn) {
+  switch (wn.opr()) {
+    case Opr::Intconst:
+      return wn.const_val();
+    case Opr::Neg: {
+      const auto v = eval_const(*wn.kid(0));
+      return v ? std::optional(-*v) : std::nullopt;
+    }
+    case Opr::Cvt:
+      return eval_const(*wn.kid(0));
+    case Opr::Add:
+    case Opr::Sub:
+    case Opr::Mpy:
+    case Opr::Div:
+    case Opr::Mod:
+    case Opr::Max:
+    case Opr::Min: {
+      const auto a = eval_const(*wn.kid(0));
+      const auto b = eval_const(*wn.kid(1));
+      if (!a || !b) return std::nullopt;
+      switch (wn.opr()) {
+        case Opr::Add:
+          return *a + *b;
+        case Opr::Sub:
+          return *a - *b;
+        case Opr::Mpy:
+          return *a * *b;
+        case Opr::Div:
+          return *b == 0 ? std::nullopt : std::optional(*a / *b);
+        case Opr::Mod:
+          return *b == 0 ? std::nullopt : std::optional(*a % *b);
+        case Opr::Max:
+          return std::max(*a, *b);
+        case Opr::Min:
+          return std::min(*a, *b);
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+std::optional<std::uint64_t> base_address(const WN& base, const Program& program) {
+  if (base.opr() != Opr::Lda && base.opr() != Opr::Ldid) return std::nullopt;
+  if (base.st_idx() == kInvalidSt) return std::nullopt;
+  return program.symtab.st(base.st_idx()).addr;
+}
+
+std::optional<std::uint64_t> address_with_indices(const WN& array, const Program& program,
+                                                  std::span<const std::int64_t> y) {
+  if (array.opr() != Opr::Array) return std::nullopt;
+  const std::size_t n = array.num_dim();
+  if (y.size() != n) return std::nullopt;
+  const auto base = base_address(*array.array_base(), program);
+  if (!base) return std::nullopt;
+
+  // h_i = dimension sizes (kids 1..n).
+  std::vector<std::int64_t> h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = eval_const(*array.array_dim(i));
+    if (!v) return std::nullopt;
+    h[i] = *v;
+  }
+  // base + z * sum_i ( y_i * prod_{j>i} h_j )
+  const std::int64_t z = std::llabs(array.element_size());
+  std::int64_t linear = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t mult = 1;
+    for (std::size_t j = i + 1; j < n; ++j) mult *= h[j];
+    linear += y[i] * mult;
+  }
+  return *base + static_cast<std::uint64_t>(z * linear);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> eval_array_address(const WN& array, const Program& program) {
+  if (array.opr() != Opr::Array) return std::nullopt;
+  const std::size_t n = array.num_dim();
+  std::vector<std::int64_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = eval_const(*array.array_index(i));
+    if (!v) return std::nullopt;
+    y[i] = *v;
+  }
+  return address_with_indices(array, program, y);
+}
+
+std::optional<std::uint64_t> eval_array_address_at(const WN& array, const Program& program,
+                                                   std::span<const std::int64_t> indices) {
+  return address_with_indices(array, program, indices);
+}
+
+}  // namespace ara::ir

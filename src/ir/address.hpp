@@ -1,0 +1,34 @@
+// Address arithmetic for ARRAY nodes: the paper documents that OPR_ARRAY
+// "uses (row-major, zero-based) to return an address" computed as
+//   base + z * sum_{i=1..n} ( y_i * prod_{j=i+1..n} h_j )
+// where h are the dimension-size kids, y the index kids and z the element
+// size (§IV-C). This module evaluates that formula for constant trees, which
+// the tests use to validate lowering against independently computed layouts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "ir/program.hpp"
+#include "ir/wn.hpp"
+
+namespace ara::ir {
+
+/// Evaluates an expression tree of INTCONST / ADD / SUB / MPY / NEG /
+/// MAX / MIN / DIV / MOD nodes; nullopt if any other operator appears.
+[[nodiscard]] std::optional<std::int64_t> eval_const(const WN& wn);
+
+/// Computes the byte address an ARRAY node denotes when all dimension-size
+/// and index kids are constant. The base symbol's St::addr provides `base`.
+/// Returns nullopt for non-constant kids or a non-LDA/LDID base.
+[[nodiscard]] std::optional<std::uint64_t> eval_array_address(const WN& array,
+                                                              const Program& program);
+
+/// Same formula with caller-supplied zero-based indices (row-major order),
+/// ignoring the node's own index kids. Used by property tests to compare an
+/// ARRAY node against a reference layout.
+[[nodiscard]] std::optional<std::uint64_t> eval_array_address_at(
+    const WN& array, const Program& program, std::span<const std::int64_t> indices);
+
+}  // namespace ara::ir

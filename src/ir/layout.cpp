@@ -1,0 +1,47 @@
+#include "ir/layout.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ara::ir {
+
+namespace {
+
+std::uint64_t align_up(std::uint64_t v, std::uint64_t a) { return (v + a - 1) / a * a; }
+
+}  // namespace
+
+void assign_layout(Program& program, const LayoutOptions& opts) {
+  std::uint64_t global_cursor = opts.global_base;
+  // One cursor for all locals: in a real process distinct frames give
+  // distinct addresses, and Mem_Loc exists precisely to tell arrays apart
+  // ("find arrays pointing to the same memory location"), so locals of
+  // different procedures must never collide.
+  std::uint64_t local_cursor = opts.local_base;
+
+  for (StIdx idx : program.symtab.all_sts()) {
+    St& st = program.symtab.st_mutable(idx);
+    if (st.sclass == StClass::Proc) continue;
+    if (st.storage == StStorage::Formal) {
+      st.addr = 0;  // no storage; aliases the actual argument
+      continue;
+    }
+    const Ty& ty = program.symtab.ty(st.ty);
+    const std::uint64_t align = std::max<std::uint64_t>(
+        opts.min_align, static_cast<std::uint64_t>(ty.element_size() ? ty.element_size() : 1));
+    const auto bytes = ty.size_bytes();
+    const std::uint64_t size = bytes && *bytes > 0 ? static_cast<std::uint64_t>(*bytes) : align;
+
+    if (st.storage == StStorage::Global) {
+      global_cursor = align_up(global_cursor, align);
+      st.addr = global_cursor;
+      global_cursor += size;
+    } else {
+      local_cursor = align_up(local_cursor, align);
+      st.addr = local_cursor;
+      local_cursor += size;
+    }
+  }
+}
+
+}  // namespace ara::ir

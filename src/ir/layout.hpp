@@ -1,0 +1,26 @@
+// Static data layout: assigns a memory address to every variable so the tool
+// can report the Mem_Loc column ("the memory address of this array in
+// hexadecimal; it helps the user to find arrays pointing to the same memory
+// location", §V-A). Globals are laid out in one arena, each procedure's
+// locals in another, mimicking the static-data / stack split of the paper's
+// examples (aarr at 55599870; LU arrays at b79edfa0 / b7fcefe0).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+
+namespace ara::ir {
+
+struct LayoutOptions {
+  std::uint64_t global_base = 0xb7000000;
+  std::uint64_t local_base = 0x55500000;
+  std::uint64_t min_align = 8;
+};
+
+/// Assigns St::addr for every Var/Formal symbol. Formals receive no storage
+/// (addr 0); IPA later resolves a formal's Mem_Loc to its bound actual.
+/// Variable-length arrays get an address but contribute a zero extent.
+void assign_layout(Program& program, const LayoutOptions& opts = {});
+
+}  // namespace ara::ir

@@ -1,0 +1,96 @@
+#include "ir/mlower.hpp"
+
+namespace ara::ir {
+
+namespace {
+
+WNPtr clone_shallow(const WN& wn) {
+  auto out = std::make_unique<WN>(wn.opr(), wn.rtype(), wn.desc());
+  out->set_linenum(wn.linenum());
+  out->set_offset(wn.offset());
+  out->set_element_size(wn.element_size());
+  out->set_const_val(wn.const_val());
+  out->set_flt_val(wn.flt_val());
+  out->set_st_idx(wn.st_idx());
+  out->set_str_val(wn.str_val());
+  return out;
+}
+
+WNPtr make_int(std::int64_t v) {
+  auto wn = std::make_unique<WN>(Opr::Intconst, Mtype::I8);
+  wn->set_const_val(v);
+  return wn;
+}
+
+WNPtr make_bin(Opr op, WNPtr a, WNPtr b) {
+  auto wn = std::make_unique<WN>(op, Mtype::U8);
+  wn->attach(std::move(a));
+  wn->attach(std::move(b));
+  return wn;
+}
+
+/// The documented ARRAY address formula, spelled out as ADD/MPY nodes.
+WNPtr lower_array(const WN& arr) {
+  const std::size_t n = arr.num_dim();
+  WNPtr base = lower_tree_to_m(*arr.array_base());
+  WNPtr linear;  // sum_i ( y_i * prod_{j>i} h_j )
+  for (std::size_t i = 0; i < n; ++i) {
+    WNPtr term = lower_tree_to_m(*arr.array_index(i));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      term = make_bin(Opr::Mpy, std::move(term), lower_tree_to_m(*arr.array_dim(j)));
+    }
+    linear = linear ? make_bin(Opr::Add, std::move(linear), std::move(term)) : std::move(term);
+  }
+  if (!linear) linear = make_int(0);
+  const std::int64_t z =
+      arr.element_size() < 0 ? -arr.element_size() : arr.element_size();
+  WNPtr scaled = make_bin(Opr::Mpy, make_int(z), std::move(linear));
+  WNPtr addr = make_bin(Opr::Add, std::move(base), std::move(scaled));
+  addr->set_linenum(arr.linenum());
+  return addr;
+}
+
+}  // namespace
+
+WNPtr clone_tree(const WN& wn) {
+  WNPtr out = clone_shallow(wn);
+  for (std::size_t i = 0; i < wn.kid_count(); ++i) out->attach(clone_tree(*wn.kid(i)));
+  return out;
+}
+
+WNPtr lower_tree_to_m(const WN& wn) {
+  if (wn.opr() == Opr::Array) return lower_array(wn);
+  if (wn.opr() == Opr::Coindex) {
+    // At M level the one-sided transfer is just another address computation;
+    // the image operand folds into an ADD (the runtime does the windowing).
+    return make_bin(Opr::Add, lower_tree_to_m(*wn.kid(0)), lower_tree_to_m(*wn.kid(1)));
+  }
+  WNPtr out = clone_shallow(wn);
+  for (std::size_t i = 0; i < wn.kid_count(); ++i) out->attach(lower_tree_to_m(*wn.kid(i)));
+  return out;
+}
+
+Program lower_program_to_m(const Program& program) {
+  Program out;
+  out.sources = program.sources;
+  out.symtab = program.symtab;
+  for (const ProcedureIR& p : program.procedures) {
+    ProcedureIR lowered;
+    lowered.proc_st = p.proc_st;
+    lowered.file = p.file;
+    if (p.tree) lowered.tree = lower_tree_to_m(*p.tree);
+    out.procedures.push_back(std::move(lowered));
+  }
+  return out;
+}
+
+std::size_t count_array_nodes(const WN& wn) {
+  std::size_t n = 0;
+  wn.walk([&n](const WN& node) {
+    if (node.opr() == Opr::Array) ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace ara::ir

@@ -1,0 +1,31 @@
+// H-WHIRL -> M-WHIRL lowering. WHIRL "consists of five levels" (§IV-B) and
+// the paper's extension deliberately operates at the high levels "since the
+// form of array subscripting is preserved via ARRAY operator"; at lower
+// levels "arrays lose their structures" (§II, on why hardware counters can't
+// do this job). This pass makes that concrete: every ARRAY (and COINDEX)
+// node is replaced by the explicit address arithmetic it denotes,
+//
+//     base + esize * sum_i( y_i * prod_{j>i} h_j )
+//
+// after which the region analysis can no longer see any array reference —
+// the ablation bench_whirl_levels measures exactly that drop.
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace ara::ir {
+
+/// Deep copy of a WHIRL tree.
+[[nodiscard]] WNPtr clone_tree(const WN& wn);
+
+/// Lowers one tree: ARRAY/COINDEX nodes become ADD/MPY address expressions.
+[[nodiscard]] WNPtr lower_tree_to_m(const WN& wn);
+
+/// Lowers a whole program (sources and symbol tables are shared state and
+/// copied verbatim; only the trees change).
+[[nodiscard]] Program lower_program_to_m(const Program& program);
+
+/// Counts ARRAY nodes in a tree (0 after lowering).
+[[nodiscard]] std::size_t count_array_nodes(const WN& wn);
+
+}  // namespace ara::ir

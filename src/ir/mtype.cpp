@@ -1,0 +1,53 @@
+#include "ir/mtype.hpp"
+
+namespace ara::ir {
+
+std::string_view mtype_name(Mtype t) {
+  switch (t) {
+    case Mtype::Void:
+      return "V";
+    case Mtype::I1:
+      return "I1";
+    case Mtype::I2:
+      return "I2";
+    case Mtype::I4:
+      return "I4";
+    case Mtype::I8:
+      return "I8";
+    case Mtype::U4:
+      return "U4";
+    case Mtype::U8:
+      return "U8";
+    case Mtype::F4:
+      return "F4";
+    case Mtype::F8:
+      return "F8";
+  }
+  return "?";
+}
+
+std::string_view mtype_source_name(Mtype t) {
+  switch (t) {
+    case Mtype::Void:
+      return "void";
+    case Mtype::I1:
+      return "char";
+    case Mtype::I2:
+      return "short";
+    case Mtype::I4:
+      return "int";
+    case Mtype::I8:
+      return "long";
+    case Mtype::U4:
+      return "unsigned";
+    case Mtype::U8:
+      return "unsigned long";
+    case Mtype::F4:
+      return "float";
+    case Mtype::F8:
+      return "double";
+  }
+  return "?";
+}
+
+}  // namespace ara::ir

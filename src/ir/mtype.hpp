@@ -1,0 +1,58 @@
+// Machine types. WHIRL expresses operand/result types as "mtypes"; the
+// subset here covers the types appearing in the paper's tables (char, int,
+// double, float, ...). Element sizes feed the Size_bytes / Element_Size
+// columns of the array analysis graph.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ara::ir {
+
+enum class Mtype : std::uint8_t {
+  Void,
+  I1,  // 8-bit integer (char)
+  I2,  // 16-bit integer
+  I4,  // 32-bit integer (int)
+  I8,  // 64-bit integer
+  U4,
+  U8,
+  F4,  // float
+  F8,  // double
+};
+
+/// Size in bytes of a value of this mtype. Void has size 0.
+[[nodiscard]] constexpr std::size_t mtype_size(Mtype t) {
+  switch (t) {
+    case Mtype::Void:
+      return 0;
+    case Mtype::I1:
+      return 1;
+    case Mtype::I2:
+      return 2;
+    case Mtype::I4:
+    case Mtype::U4:
+    case Mtype::F4:
+      return 4;
+    case Mtype::I8:
+    case Mtype::U8:
+    case Mtype::F8:
+      return 8;
+  }
+  return 0;
+}
+
+/// WHIRL-style mtype mnemonic (I4, F8, ...).
+[[nodiscard]] std::string_view mtype_name(Mtype t);
+
+/// The Data_Type column of the paper's table uses source-language names
+/// ("int", "double", "char", ...).
+[[nodiscard]] std::string_view mtype_source_name(Mtype t);
+
+[[nodiscard]] constexpr bool mtype_is_float(Mtype t) { return t == Mtype::F4 || t == Mtype::F8; }
+[[nodiscard]] constexpr bool mtype_is_integral(Mtype t) {
+  return t == Mtype::I1 || t == Mtype::I2 || t == Mtype::I4 || t == Mtype::I8 || t == Mtype::U4 ||
+         t == Mtype::U8;
+}
+
+}  // namespace ara::ir

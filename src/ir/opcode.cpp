@@ -1,0 +1,87 @@
+#include "ir/opcode.hpp"
+
+namespace ara::ir {
+
+std::string_view opr_name(Opr op) {
+  switch (op) {
+    case Opr::FuncEntry:
+      return "FUNC_ENTRY";
+    case Opr::Block:
+      return "BLOCK";
+    case Opr::Idname:
+      return "IDNAME";
+    case Opr::Stid:
+      return "STID";
+    case Opr::Istore:
+      return "ISTORE";
+    case Opr::DoLoop:
+      return "DO_LOOP";
+    case Opr::DoWhile:
+      return "DO_WHILE";
+    case Opr::If:
+      return "IF";
+    case Opr::Call:
+      return "CALL";
+    case Opr::Return:
+      return "RETURN";
+    case Opr::Pragma:
+      return "PRAGMA";
+    case Opr::Ldid:
+      return "LDID";
+    case Opr::Lda:
+      return "LDA";
+    case Opr::Iload:
+      return "ILOAD";
+    case Opr::Array:
+      return "ARRAY";
+    case Opr::Parm:
+      return "PARM";
+    case Opr::Intconst:
+      return "INTCONST";
+    case Opr::Fconst:
+      return "FCONST";
+    case Opr::Add:
+      return "ADD";
+    case Opr::Sub:
+      return "SUB";
+    case Opr::Mpy:
+      return "MPY";
+    case Opr::Div:
+      return "DIV";
+    case Opr::Mod:
+      return "MOD";
+    case Opr::Neg:
+      return "NEG";
+    case Opr::Max:
+      return "MAX";
+    case Opr::Min:
+      return "MIN";
+    case Opr::Eq:
+      return "EQ";
+    case Opr::Ne:
+      return "NE";
+    case Opr::Lt:
+      return "LT";
+    case Opr::Gt:
+      return "GT";
+    case Opr::Le:
+      return "LE";
+    case Opr::Ge:
+      return "GE";
+    case Opr::Land:
+      return "LAND";
+    case Opr::Lior:
+      return "LIOR";
+    case Opr::Lnot:
+      return "LNOT";
+    case Opr::Cvt:
+      return "CVT";
+    case Opr::Intrinsic:
+      return "INTRINSIC";
+    case Opr::Coindex:
+      return "COINDEX";
+  }
+  return "?";
+}
+
+}  // namespace ara::ir

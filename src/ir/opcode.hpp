@@ -1,0 +1,135 @@
+// WHIRL operators. This is the subset of Open64/OpenUH's operator set needed
+// to express the paper's input programs at H-WHIRL, where "array references
+// must be explicit" via the n-ary OPR_ARRAY operator (§III, §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ara::ir {
+
+enum class Opr : std::uint8_t {
+  // Structure
+  FuncEntry,  // kid0 = body BLOCK; symbol = procedure ST
+  Block,      // statement list
+  Idname,     // formal parameter declaration (st_idx names the formal)
+
+  // Statements
+  Stid,     // store to scalar symbol; kid0 = rhs
+  Istore,   // store through address; kid0 = rhs, kid1 = address (ARRAY)
+  DoLoop,   // kid0=index IDNAME, kid1=init, kid2=comp (end), kid3=incr, kid4=body BLOCK
+  DoWhile,  // kid0 = condition, kid1 = body BLOCK
+  If,       // kid0 = condition, kid1 = then BLOCK, kid2 = else BLOCK
+  Call,     // subroutine / function call; kids = PARM nodes; symbol = callee ST
+  Return,
+  Pragma,  // carries a directive string (e.g. OpenMP / acc), payload in str_val
+
+  // Expressions
+  Ldid,      // load scalar symbol
+  Lda,       // address of symbol (array base)
+  Iload,     // load through address; kid0 = address (usually ARRAY)
+  Array,     // n-ary: kid0 = base LDA/LDID, kids 1..n = dim sizes, kids n+1..2n = indices
+  Parm,      // call argument wrapper; kid0 = value
+  Intconst,  // const_val
+  Fconst,    // flt_val
+  Add,
+  Sub,
+  Mpy,
+  Div,
+  Mod,
+  Neg,
+  Max,
+  Min,
+  // Comparisons (yield I4 0/1)
+  Eq,
+  Ne,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  // Logical
+  Land,
+  Lior,
+  Lnot,
+  Cvt,  // type conversion; kid0 = value
+  Intrinsic,  // intrinsic function (sqrt, abs, ...); name in str_val, kids = PARM
+  Coindex,    // remote coarray address: kid0 = ARRAY, kid1 = image expression
+};
+
+[[nodiscard]] std::string_view opr_name(Opr op);
+
+[[nodiscard]] constexpr bool opr_is_stmt(Opr op) {
+  switch (op) {
+    case Opr::Stid:
+    case Opr::Istore:
+    case Opr::DoLoop:
+    case Opr::DoWhile:
+    case Opr::If:
+    case Opr::Call:
+    case Opr::Return:
+    case Opr::Pragma:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr bool opr_is_expr(Opr op) {
+  switch (op) {
+    case Opr::Ldid:
+    case Opr::Lda:
+    case Opr::Iload:
+    case Opr::Array:
+    case Opr::Parm:
+    case Opr::Intconst:
+    case Opr::Fconst:
+    case Opr::Add:
+    case Opr::Sub:
+    case Opr::Mpy:
+    case Opr::Div:
+    case Opr::Mod:
+    case Opr::Neg:
+    case Opr::Max:
+    case Opr::Min:
+    case Opr::Eq:
+    case Opr::Ne:
+    case Opr::Lt:
+    case Opr::Gt:
+    case Opr::Le:
+    case Opr::Ge:
+    case Opr::Land:
+    case Opr::Lior:
+    case Opr::Lnot:
+    case Opr::Cvt:
+    case Opr::Intrinsic:
+    case Opr::Coindex:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] constexpr bool opr_is_binary(Opr op) {
+  switch (op) {
+    case Opr::Add:
+    case Opr::Sub:
+    case Opr::Mpy:
+    case Opr::Div:
+    case Opr::Mod:
+    case Opr::Max:
+    case Opr::Min:
+    case Opr::Eq:
+    case Opr::Ne:
+    case Opr::Lt:
+    case Opr::Gt:
+    case Opr::Le:
+    case Opr::Ge:
+    case Opr::Land:
+    case Opr::Lior:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ara::ir

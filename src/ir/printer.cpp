@@ -1,0 +1,55 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace ara::ir {
+
+namespace {
+
+void dump(const WN& wn, const SymbolTable& symtab, int depth, std::ostringstream& os) {
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << opr_name(wn.opr());
+  if (wn.rtype() != Mtype::Void) os << ' ' << mtype_name(wn.rtype());
+  if (wn.st_idx() != kInvalidSt && wn.st_idx() <= symtab.st_count()) {
+    os << " <" << symtab.st(wn.st_idx()).name << '>';
+  }
+  switch (wn.opr()) {
+    case Opr::Intconst:
+      os << ' ' << wn.const_val();
+      break;
+    case Opr::Fconst:
+      os << ' ' << wn.flt_val();
+      break;
+    case Opr::Array:
+      os << " esize=" << wn.element_size() << " ndim=" << wn.num_dim();
+      break;
+    case Opr::Pragma:
+    case Opr::Intrinsic:
+      os << " \"" << wn.str_val() << '"';
+      break;
+    default:
+      break;
+  }
+  if (wn.linenum().valid()) os << "  {line " << wn.linenum().line << '}';
+  os << '\n';
+  for (std::size_t i = 0; i < wn.kid_count(); ++i) dump(*wn.kid(i), symtab, depth + 1, os);
+}
+
+}  // namespace
+
+std::string dump_tree(const WN& root, const SymbolTable& symtab) {
+  std::ostringstream os;
+  dump(root, symtab, 0, os);
+  return os.str();
+}
+
+std::string dump_program(const Program& program) {
+  std::ostringstream os;
+  for (const ProcedureIR& p : program.procedures) {
+    os << "=== " << program.symtab.st(p.proc_st).name << " ("
+       << program.sources.name(p.file) << ") ===\n";
+    if (p.tree) os << dump_tree(*p.tree, program.symtab);
+  }
+  return os.str();
+}
+
+}  // namespace ara::ir

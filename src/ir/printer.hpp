@@ -1,0 +1,14 @@
+// Text dump of WHIRL trees in the spirit of Open64's ir_b2a: one node per
+// line, indentation for nesting, symbol names resolved through the ST table.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ara::ir {
+
+[[nodiscard]] std::string dump_tree(const WN& root, const SymbolTable& symtab);
+[[nodiscard]] std::string dump_program(const Program& program);
+
+}  // namespace ara::ir

@@ -1,0 +1,26 @@
+#include "ir/program.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace ara::ir {
+
+const ProcedureIR* Program::find_procedure(std::string_view name) const {
+  for (const ProcedureIR& p : procedures) {
+    if (iequals(symtab.st(p.proc_st).name, name)) return &p;
+  }
+  return nullptr;
+}
+
+const ProcedureIR* Program::find_procedure(StIdx proc_st) const {
+  for (const ProcedureIR& p : procedures) {
+    if (p.proc_st == proc_st) return &p;
+  }
+  return nullptr;
+}
+
+std::string Program::owner_name(StIdx st) const {
+  const StIdx owner = symtab.st(st).owner_proc;
+  return owner == kInvalidSt ? std::string() : symtab.st(owner).name;
+}
+
+}  // namespace ara::ir

@@ -1,0 +1,37 @@
+// A whole-program WHIRL container: every procedure's tree plus the shared
+// symbol tables and source buffers. This is what the front end produces and
+// what IPA consumes (cf. Fig 4: the IPA extension walks the call graph whose
+// nodes carry the procedure's WHIRL tree and symbol table indices).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ir/symtab.hpp"
+#include "ir/wn.hpp"
+#include "support/source_manager.hpp"
+
+namespace ara::ir {
+
+/// One compiled procedure: its entry symbol and its WHIRL tree.
+struct ProcedureIR {
+  StIdx proc_st = kInvalidSt;
+  FileId file = kInvalidFileId;
+  WNPtr tree;  // FUNC_ENTRY node
+};
+
+struct Program {
+  SourceManager sources;
+  SymbolTable symtab;
+  std::vector<ProcedureIR> procedures;
+
+  [[nodiscard]] const ProcedureIR* find_procedure(std::string_view name) const;
+  [[nodiscard]] const ProcedureIR* find_procedure(StIdx proc_st) const;
+
+  /// Name of the procedure owning this ST, or "" for globals.
+  [[nodiscard]] std::string owner_name(StIdx st) const;
+};
+
+}  // namespace ara::ir

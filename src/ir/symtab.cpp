@@ -1,0 +1,92 @@
+#include "ir/symtab.hpp"
+
+#include <stdexcept>
+
+#include "support/string_utils.hpp"
+
+namespace ara::ir {
+
+std::optional<std::int64_t> Ty::total_elements() const {
+  if (!is_array()) return 1;
+  std::int64_t total = 1;
+  for (const ArrayDim& d : dims) {
+    const auto e = d.extent();
+    if (!e || *e < 0) return std::nullopt;
+    total *= *e;
+  }
+  return total;
+}
+
+std::optional<std::int64_t> Ty::size_bytes() const {
+  const auto n = total_elements();
+  if (!n) return std::nullopt;
+  return *n * element_size();
+}
+
+SymbolTable::SymbolTable() {
+  tys_.emplace_back();  // slot 0 invalid
+  sts_.emplace_back();
+}
+
+TyIdx SymbolTable::make_scalar_ty(Mtype m) {
+  // Scalar types are interned.
+  for (std::size_t i = 1; i < tys_.size(); ++i) {
+    if (tys_[i].kind == TyKind::Scalar && tys_[i].mtype == m) return static_cast<TyIdx>(i);
+  }
+  Ty t;
+  t.kind = TyKind::Scalar;
+  t.mtype = m;
+  tys_.push_back(std::move(t));
+  return static_cast<TyIdx>(tys_.size() - 1);
+}
+
+TyIdx SymbolTable::make_array_ty(Mtype elem, std::vector<ArrayDim> dims, bool row_major,
+                                 bool noncontiguous, bool coarray) {
+  Ty t;
+  t.kind = TyKind::Array;
+  t.mtype = elem;
+  t.dims = std::move(dims);
+  t.row_major = row_major;
+  t.noncontiguous = noncontiguous;
+  t.coarray = coarray;
+  tys_.push_back(std::move(t));
+  return static_cast<TyIdx>(tys_.size() - 1);
+}
+
+StIdx SymbolTable::make_st(St st) {
+  sts_.push_back(std::move(st));
+  return static_cast<StIdx>(sts_.size() - 1);
+}
+
+const Ty& SymbolTable::ty(TyIdx idx) const {
+  if (idx == kInvalidTy || idx >= tys_.size()) throw std::out_of_range("bad TyIdx");
+  return tys_[idx];
+}
+
+const St& SymbolTable::st(StIdx idx) const {
+  if (idx == kInvalidSt || idx >= sts_.size()) throw std::out_of_range("bad StIdx");
+  return sts_[idx];
+}
+
+St& SymbolTable::st_mutable(StIdx idx) {
+  if (idx == kInvalidSt || idx >= sts_.size()) throw std::out_of_range("bad StIdx");
+  return sts_[idx];
+}
+
+std::vector<StIdx> SymbolTable::all_sts() const {
+  std::vector<StIdx> out;
+  out.reserve(sts_.size() - 1);
+  for (std::size_t i = 1; i < sts_.size(); ++i) out.push_back(static_cast<StIdx>(i));
+  return out;
+}
+
+std::optional<StIdx> SymbolTable::find_proc(std::string_view name) const {
+  for (std::size_t i = 1; i < sts_.size(); ++i) {
+    if (sts_[i].sclass == StClass::Proc && iequals(sts_[i].name, name)) {
+      return static_cast<StIdx>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ara::ir

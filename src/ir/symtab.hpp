@@ -1,0 +1,131 @@
+// Symbol (ST) and type (TY) tables. The paper's extraction walks WHIRL nodes
+// and follows their ST_IDX / TY_IDX fields into the symbol tables to recover
+// array names, dimension counts, per-dimension sizes, element sizes and data
+// types (§IV-B, Table I). This module is that substrate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/mtype.hpp"
+#include "support/source_location.hpp"
+
+namespace ara::ir {
+
+/// Index into the TY table. 0 is invalid.
+using TyIdx = std::uint32_t;
+/// Index into the ST table. 0 is invalid.
+using StIdx = std::uint32_t;
+
+inline constexpr TyIdx kInvalidTy = 0;
+inline constexpr StIdx kInvalidSt = 0;
+
+/// One array dimension with declared bounds, in *source* order and source
+/// indexing (Fortran `A(1:200)` keeps lb=1; C `a[20]` has lb=0, ub=19).
+/// Non-constant (variable-length / assumed-size) bounds are nullopt; the
+/// paper displays the total size of such arrays as zero (§IV-C).
+struct ArrayDim {
+  std::optional<std::int64_t> lb;
+  std::optional<std::int64_t> ub;
+  /// When a bound is not a compile-time constant but is a plain scalar
+  /// variable (e.g. `a(n)` for a formal n), its name is recorded here so the
+  /// region analysis can still produce a symbolic triplet bound.
+  std::string lb_sym;
+  std::string ub_sym;
+
+  [[nodiscard]] bool constant() const { return lb.has_value() && ub.has_value(); }
+  /// Extent (number of elements); nullopt when bounds are not constant.
+  [[nodiscard]] std::optional<std::int64_t> extent() const {
+    if (!constant()) return std::nullopt;
+    return *ub - *lb + 1;
+  }
+  friend bool operator==(const ArrayDim&, const ArrayDim&) = default;
+};
+
+enum class TyKind : std::uint8_t { Scalar, Array };
+
+/// A type table entry.
+struct Ty {
+  TyKind kind = TyKind::Scalar;
+  Mtype mtype = Mtype::Void;       // scalar type, or array element type
+  std::vector<ArrayDim> dims;      // arrays only, source order
+  bool row_major = true;           // C: true; Fortran: false (column-major)
+  bool noncontiguous = false;      // F90 dope-vector view; element_size shown negative
+  bool coarray = false;            // declared with a codimension (CAF)
+
+  [[nodiscard]] bool is_array() const { return kind == TyKind::Array; }
+  [[nodiscard]] std::size_t rank() const { return dims.size(); }
+
+  /// Element size in bytes (always positive; the WHIRL ARRAY node negates it
+  /// for non-contiguous arrays, cf. §IV-C).
+  [[nodiscard]] std::int64_t element_size() const {
+    return static_cast<std::int64_t>(mtype_size(mtype));
+  }
+
+  /// Total number of elements; nullopt if any bound is non-constant.
+  [[nodiscard]] std::optional<std::int64_t> total_elements() const;
+
+  /// Total allocated bytes; nullopt if any bound is non-constant.
+  [[nodiscard]] std::optional<std::int64_t> size_bytes() const;
+};
+
+enum class StClass : std::uint8_t {
+  Var,     // scalar or array variable
+  Formal,  // procedure formal parameter
+  Proc,    // procedure entry
+};
+
+enum class StStorage : std::uint8_t {
+  Global,  // file-scope / COMMON / SAVE
+  Local,   // procedure-local
+  Formal,  // parameter (no storage of its own; aliases the actual)
+};
+
+/// A symbol table entry.
+struct St {
+  std::string name;
+  StClass sclass = StClass::Var;
+  StStorage storage = StStorage::Local;
+  TyIdx ty = kInvalidTy;
+  StIdx owner_proc = kInvalidSt;  // enclosing procedure; 0 for globals/procs
+  SourceLoc loc;                  // declaration position
+  FileId file = kInvalidFileId;   // defining file (for the File column)
+  std::uint32_t formal_pos = 0;   // 1-based position among formals (Formal only)
+  std::uint64_t addr = 0;         // static address assigned by DataLayout (Mem_Loc)
+};
+
+/// Flat program-wide symbol/type tables (our equivalent of Open64's
+/// global+local symtab stack). Scoped name resolution is the front end's job;
+/// the tables only provide identity and attributes.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  TyIdx make_scalar_ty(Mtype m);
+  TyIdx make_array_ty(Mtype elem, std::vector<ArrayDim> dims, bool row_major,
+                      bool noncontiguous = false, bool coarray = false);
+
+  StIdx make_st(St st);
+
+  [[nodiscard]] const Ty& ty(TyIdx idx) const;
+  [[nodiscard]] const St& st(StIdx idx) const;
+  [[nodiscard]] St& st_mutable(StIdx idx);
+
+  [[nodiscard]] std::size_t ty_count() const { return tys_.size() - 1; }
+  [[nodiscard]] std::size_t st_count() const { return sts_.size() - 1; }
+
+  /// Iterates all valid StIdx values (1..st_count).
+  [[nodiscard]] std::vector<StIdx> all_sts() const;
+
+  /// First procedure ST with this (case-insensitive) name, if any.
+  [[nodiscard]] std::optional<StIdx> find_proc(std::string_view name) const;
+
+ private:
+  std::vector<Ty> tys_;  // slot 0 unused
+  std::vector<St> sts_;  // slot 0 unused
+};
+
+}  // namespace ara::ir

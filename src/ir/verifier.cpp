@@ -1,0 +1,194 @@
+#include "ir/verifier.hpp"
+
+#include <sstream>
+
+namespace ara::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const SymbolTable& symtab) : symtab_(symtab) {}
+
+  std::vector<std::string> run(const WN& root) {
+    if (root.opr() != Opr::FuncEntry) fail(root, "root must be FUNC_ENTRY");
+    visit(root);
+    return std::move(errors_);
+  }
+
+ private:
+  void fail(const WN& wn, std::string_view what) {
+    std::ostringstream os;
+    os << opr_name(wn.opr()) << ": " << what;
+    errors_.push_back(os.str());
+  }
+
+  void check_st(const WN& wn) {
+    if (wn.st_idx() == kInvalidSt || wn.st_idx() > symtab_.st_count()) {
+      fail(wn, "invalid ST_IDX");
+    }
+  }
+
+  void expect_kids(const WN& wn, std::size_t n) {
+    if (wn.kid_count() != n) {
+      std::ostringstream os;
+      os << "expected " << n << " kids, has " << wn.kid_count();
+      fail(wn, os.str());
+    }
+  }
+
+  void expect_expr_kids(const WN& wn) {
+    for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+      if (!opr_is_expr(wn.kid(i)->opr())) fail(wn, "kid is not an expression");
+    }
+  }
+
+  void visit(const WN& wn) {
+    switch (wn.opr()) {
+      case Opr::FuncEntry: {
+        check_st(wn);
+        if (wn.kid_count() == 0) {
+          fail(wn, "missing body");
+          break;
+        }
+        for (std::size_t i = 0; i + 1 < wn.kid_count(); ++i) {
+          if (wn.kid(i)->opr() != Opr::Idname) fail(wn, "formal kid is not IDNAME");
+        }
+        if (wn.kid(wn.kid_count() - 1)->opr() != Opr::Block) fail(wn, "body is not BLOCK");
+        break;
+      }
+      case Opr::Block:
+        for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+          if (!opr_is_stmt(wn.kid(i)->opr())) fail(wn, "BLOCK kid is not a statement");
+        }
+        break;
+      case Opr::Stid:
+        check_st(wn);
+        expect_kids(wn, 1);
+        expect_expr_kids(wn);
+        break;
+      case Opr::Istore:
+        expect_kids(wn, 2);
+        if (wn.kid_count() == 2 && wn.kid(1)->opr() != Opr::Array &&
+            wn.kid(1)->opr() != Opr::Coindex) {
+          fail(wn, "ISTORE address kid must be ARRAY/COINDEX at H-WHIRL");
+        }
+        break;
+      case Opr::Iload:
+        expect_kids(wn, 1);
+        if (wn.kid_count() == 1 && wn.kid(0)->opr() != Opr::Array &&
+            wn.kid(0)->opr() != Opr::Coindex) {
+          fail(wn, "ILOAD address kid must be ARRAY/COINDEX at H-WHIRL");
+        }
+        break;
+      case Opr::Coindex:
+        expect_kids(wn, 2);
+        if (wn.kid_count() == 2 && wn.kid(0)->opr() != Opr::Array) {
+          fail(wn, "COINDEX kid0 must be ARRAY");
+        }
+        break;
+      case Opr::Array: {
+        // kid_count == 2n+1 (paper: num_dim = kid_count >> 1)
+        if (wn.kid_count() < 3 || wn.kid_count() % 2 == 0) {
+          fail(wn, "ARRAY kid_count must be odd and >= 3");
+          break;
+        }
+        const WN* base = wn.array_base();
+        if (base->opr() != Opr::Lda && base->opr() != Opr::Ldid) {
+          fail(wn, "ARRAY base must be LDA or LDID");
+        } else if (base->st_idx() == kInvalidSt) {
+          fail(wn, "ARRAY base has no symbol");
+        }
+        if (wn.element_size() == 0) fail(wn, "ARRAY element_size is zero");
+        expect_expr_kids(wn);
+        break;
+      }
+      case Opr::DoLoop: {
+        expect_kids(wn, 5);
+        if (wn.kid_count() == 5) {
+          if (wn.loop_idname()->opr() != Opr::Idname) fail(wn, "kid0 must be IDNAME");
+          if (wn.loop_body()->opr() != Opr::Block) fail(wn, "kid4 must be BLOCK");
+        }
+        break;
+      }
+      case Opr::DoWhile:
+        expect_kids(wn, 2);
+        if (wn.kid_count() == 2 && wn.kid(1)->opr() != Opr::Block) fail(wn, "kid1 must be BLOCK");
+        break;
+      case Opr::If:
+        expect_kids(wn, 3);
+        if (wn.kid_count() == 3) {
+          if (wn.kid(1)->opr() != Opr::Block) fail(wn, "then kid must be BLOCK");
+          if (wn.kid(2)->opr() != Opr::Block) fail(wn, "else kid must be BLOCK");
+        }
+        break;
+      case Opr::Call:
+        check_st(wn);
+        for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+          if (wn.kid(i)->opr() != Opr::Parm) fail(wn, "CALL kid is not PARM");
+        }
+        break;
+      case Opr::Intrinsic:
+        if (wn.str_val().empty()) fail(wn, "INTRINSIC has no name");
+        for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+          if (wn.kid(i)->opr() != Opr::Parm) fail(wn, "INTRINSIC kid is not PARM");
+        }
+        break;
+      case Opr::Parm:
+        expect_kids(wn, 1);
+        break;
+      case Opr::Ldid:
+      case Opr::Lda:
+      case Opr::Idname:
+        check_st(wn);
+        expect_kids(wn, 0);
+        break;
+      case Opr::Intconst:
+      case Opr::Fconst:
+      case Opr::Return:
+        expect_kids(wn, 0);
+        break;
+      case Opr::Pragma:
+        if (wn.str_val().empty()) fail(wn, "PRAGMA has no payload");
+        break;
+      case Opr::Neg:
+      case Opr::Lnot:
+      case Opr::Cvt:
+        expect_kids(wn, 1);
+        break;
+      default:
+        if (opr_is_binary(wn.opr())) expect_kids(wn, 2);
+        break;
+    }
+    for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+      if (wn.kid(i)->parent() != &wn) fail(wn, "kid parent link broken");
+      visit(*wn.kid(i));
+    }
+  }
+
+  const SymbolTable& symtab_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify_tree(const WN& root, const SymbolTable& symtab) {
+  return Verifier(symtab).run(root);
+}
+
+std::vector<std::string> verify_program(const Program& program) {
+  std::vector<std::string> all;
+  for (const ProcedureIR& p : program.procedures) {
+    if (!p.tree) {
+      all.push_back("procedure without tree: " + program.symtab.st(p.proc_st).name);
+      continue;
+    }
+    auto errs = verify_tree(*p.tree, program.symtab);
+    for (std::string& e : errs) {
+      all.push_back(program.symtab.st(p.proc_st).name + ": " + e);
+    }
+  }
+  return all;
+}
+
+}  // namespace ara::ir

@@ -1,0 +1,19 @@
+// Structural verifier for WHIRL trees. Catches malformed IR early — every
+// front-end lowering and every hand-built test tree runs through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace ara::ir {
+
+/// Returns a list of human-readable violations; empty means the tree is
+/// well-formed.
+[[nodiscard]] std::vector<std::string> verify_tree(const WN& root, const SymbolTable& symtab);
+
+/// Verifies every procedure in the program.
+[[nodiscard]] std::vector<std::string> verify_program(const Program& program);
+
+}  // namespace ara::ir

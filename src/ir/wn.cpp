@@ -1,0 +1,39 @@
+#include "ir/wn.hpp"
+
+namespace ara::ir {
+
+WN* WN::attach(WNPtr child) {
+  child->parent_ = this;
+  kids_.push_back(std::move(child));
+  return kids_.back().get();
+}
+
+const WN* WN::prev() const {
+  if (parent_ == nullptr) return nullptr;
+  const WN* last = nullptr;
+  for (std::size_t i = 0; i < parent_->kid_count(); ++i) {
+    const WN* k = parent_->kid(i);
+    if (k == this) return last;
+    last = k;
+  }
+  return nullptr;
+}
+
+const WN* WN::next() const {
+  if (parent_ == nullptr) return nullptr;
+  for (std::size_t i = 0; i + 1 < parent_->kid_count(); ++i) {
+    if (parent_->kid(i) == this) return parent_->kid(i + 1);
+  }
+  return nullptr;
+}
+
+std::size_t WN::tree_size() const {
+  std::size_t n = 0;
+  walk([&n](const WN&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace ara::ir

@@ -1,0 +1,125 @@
+// The WHIRL node (WN). Each vertex of the tree IR is one WN, carrying the
+// fields the paper's tool consumes (Table I): prev/next sibling pointers,
+// linenum, offset, element size, operator, result type, kid count, and — via
+// ST_IDX into the symbol table — the array name, dimensions and attributes.
+//
+// The ARRAY operator follows the Open64 layout the paper documents (§IV-C):
+//   kid 0        : base address (LDA of the array symbol, or LDID of a formal)
+//   kids 1..n    : size of each dimension (row-major order; multipliers for
+//                  non-contiguous arrays)
+//   kids n+1..2n : zero-based index expressions for dimensions 0..n-1
+// so kid_count == 2n+1 and num_dim == kid_count >> 1. element_size is the
+// element size in bytes, negative for non-contiguous Fortran-90 arrays.
+// ARRAY returns the address  base + z * sum_i( y_i * prod_{j>i} h_j ).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/mtype.hpp"
+#include "ir/opcode.hpp"
+#include "ir/symtab.hpp"
+#include "support/source_location.hpp"
+
+namespace ara::ir {
+
+class WN;
+using WNPtr = std::unique_ptr<WN>;
+
+class WN {
+ public:
+  WN(Opr opr, Mtype rtype, Mtype desc = Mtype::Void) : opr_(opr), rtype_(rtype), desc_(desc) {}
+
+  WN(const WN&) = delete;
+  WN& operator=(const WN&) = delete;
+
+  [[nodiscard]] Opr opr() const { return opr_; }
+  [[nodiscard]] Mtype rtype() const { return rtype_; }
+  [[nodiscard]] Mtype desc() const { return desc_; }
+
+  // --- Table I fields ---------------------------------------------------
+  [[nodiscard]] SourceLoc linenum() const { return linenum_; }
+  void set_linenum(SourceLoc loc) { linenum_ = loc; }
+
+  [[nodiscard]] std::int64_t offset() const { return offset_; }
+  void set_offset(std::int64_t v) { offset_ = v; }
+
+  /// Element size for ARRAY (negative means non-contiguous, §IV-C).
+  [[nodiscard]] std::int64_t element_size() const { return element_size_; }
+  void set_element_size(std::int64_t v) { element_size_ = v; }
+
+  [[nodiscard]] std::int64_t const_val() const { return const_val_; }
+  void set_const_val(std::int64_t v) { const_val_ = v; }
+
+  [[nodiscard]] double flt_val() const { return flt_val_; }
+  void set_flt_val(double v) { flt_val_ = v; }
+
+  [[nodiscard]] StIdx st_idx() const { return st_idx_; }
+  void set_st_idx(StIdx idx) { st_idx_ = idx; }
+
+  /// Pragma payload / intrinsic name.
+  [[nodiscard]] const std::string& str_val() const { return str_val_; }
+  void set_str_val(std::string s) { str_val_ = std::move(s); }
+
+  [[nodiscard]] std::size_t kid_count() const { return kids_.size(); }
+  [[nodiscard]] WN* kid(std::size_t i) { return kids_.at(i).get(); }
+  [[nodiscard]] const WN* kid(std::size_t i) const { return kids_.at(i).get(); }
+
+  /// Appends a kid, taking ownership; returns the raw pointer for chaining.
+  WN* attach(WNPtr child);
+
+  [[nodiscard]] WN* parent() { return parent_; }
+  [[nodiscard]] const WN* parent() const { return parent_; }
+
+  /// Previous/next sibling in the parent's kid list (the prev/next pointers
+  /// of Table I; Open64 links BLOCK statements the same way).
+  [[nodiscard]] const WN* prev() const;
+  [[nodiscard]] const WN* next() const;
+
+  // --- ARRAY accessors (num_dim, array_dim, array_index, array_base) ----
+  /// Number of dimensions, inferred from kid-count shifted right by 1.
+  [[nodiscard]] std::size_t num_dim() const { return kid_count() >> 1; }
+  [[nodiscard]] const WN* array_base() const { return kid(0); }
+  [[nodiscard]] const WN* array_dim(std::size_t i) const { return kid(1 + i); }
+  [[nodiscard]] const WN* array_index(std::size_t i) const { return kid(1 + num_dim() + i); }
+  [[nodiscard]] WN* array_index(std::size_t i) { return kids_.at(1 + num_dim() + i).get(); }
+
+  // --- DO_LOOP accessors -------------------------------------------------
+  [[nodiscard]] const WN* loop_idname() const { return kid(0); }
+  [[nodiscard]] const WN* loop_init() const { return kid(1); }
+  [[nodiscard]] const WN* loop_end() const { return kid(2); }
+  [[nodiscard]] const WN* loop_step() const { return kid(3); }
+  [[nodiscard]] const WN* loop_body() const { return kid(4); }
+
+  /// Depth-first pre-order visit; the visitor returns false to prune the
+  /// subtree below the current node.
+  template <typename F>
+  void walk(F&& visit) const {
+    if (!visit(*this)) return;
+    for (const WNPtr& k : kids_) {
+      if (k) k->walk(visit);
+    }
+  }
+
+  /// Counts all nodes in this subtree (including this one).
+  [[nodiscard]] std::size_t tree_size() const;
+
+ private:
+  Opr opr_;
+  Mtype rtype_;
+  Mtype desc_;
+  SourceLoc linenum_;
+  std::int64_t offset_ = 0;
+  std::int64_t element_size_ = 0;
+  std::int64_t const_val_ = 0;
+  double flt_val_ = 0.0;
+  StIdx st_idx_ = kInvalidSt;
+  std::string str_val_;
+  WN* parent_ = nullptr;
+  std::vector<WNPtr> kids_;
+};
+
+}  // namespace ara::ir

@@ -1,0 +1,154 @@
+#include "ir/wn_builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ara::ir {
+
+Mtype WNBuilder::st_mtype(StIdx st) const { return symtab_.ty(symtab_.st(st).ty).mtype; }
+
+WNPtr WNBuilder::intconst(std::int64_t v, Mtype t) const {
+  auto wn = std::make_unique<WN>(Opr::Intconst, t);
+  wn->set_const_val(v);
+  return wn;
+}
+
+WNPtr WNBuilder::fconst(double v, Mtype t) const {
+  auto wn = std::make_unique<WN>(Opr::Fconst, t);
+  wn->set_flt_val(v);
+  return wn;
+}
+
+WNPtr WNBuilder::ldid(StIdx st) const {
+  auto wn = std::make_unique<WN>(Opr::Ldid, st_mtype(st), st_mtype(st));
+  wn->set_st_idx(st);
+  return wn;
+}
+
+WNPtr WNBuilder::lda(StIdx st) const {
+  auto wn = std::make_unique<WN>(Opr::Lda, Mtype::U8);
+  wn->set_st_idx(st);
+  return wn;
+}
+
+WNPtr WNBuilder::idname(StIdx st) const {
+  auto wn = std::make_unique<WN>(Opr::Idname, st_mtype(st));
+  wn->set_st_idx(st);
+  return wn;
+}
+
+WNPtr WNBuilder::binop(Opr op, WNPtr lhs, WNPtr rhs, Mtype t) const {
+  if (!opr_is_binary(op)) throw std::invalid_argument("binop: not a binary operator");
+  auto wn = std::make_unique<WN>(op, t);
+  wn->attach(std::move(lhs));
+  wn->attach(std::move(rhs));
+  return wn;
+}
+
+WNPtr WNBuilder::neg(WNPtr v, Mtype t) const {
+  auto wn = std::make_unique<WN>(Opr::Neg, t);
+  wn->attach(std::move(v));
+  return wn;
+}
+
+WNPtr WNBuilder::cvt(WNPtr v, Mtype to) const {
+  auto wn = std::make_unique<WN>(Opr::Cvt, to, v->rtype());
+  wn->attach(std::move(v));
+  return wn;
+}
+
+WNPtr WNBuilder::array(WNPtr base, std::vector<WNPtr> dims, std::vector<WNPtr> indices,
+                       std::int64_t element_size) const {
+  if (dims.size() != indices.size()) throw std::invalid_argument("array: rank mismatch");
+  auto wn = std::make_unique<WN>(Opr::Array, Mtype::U8);
+  wn->set_element_size(element_size);
+  wn->attach(std::move(base));
+  for (WNPtr& d : dims) wn->attach(std::move(d));
+  for (WNPtr& i : indices) wn->attach(std::move(i));
+  return wn;
+}
+
+WNPtr WNBuilder::coindex(WNPtr array, WNPtr image) const {
+  auto wn = std::make_unique<WN>(Opr::Coindex, Mtype::U8);
+  wn->attach(std::move(array));
+  wn->attach(std::move(image));
+  return wn;
+}
+
+WNPtr WNBuilder::iload(WNPtr address, Mtype t) const {
+  auto wn = std::make_unique<WN>(Opr::Iload, t, t);
+  wn->attach(std::move(address));
+  return wn;
+}
+
+WNPtr WNBuilder::istore(WNPtr value, WNPtr address, Mtype t) const {
+  auto wn = std::make_unique<WN>(Opr::Istore, Mtype::Void, t);
+  wn->attach(std::move(value));
+  wn->attach(std::move(address));
+  return wn;
+}
+
+WNPtr WNBuilder::stid(StIdx st, WNPtr value) const {
+  auto wn = std::make_unique<WN>(Opr::Stid, Mtype::Void, st_mtype(st));
+  wn->set_st_idx(st);
+  wn->attach(std::move(value));
+  return wn;
+}
+
+WNPtr WNBuilder::block() const { return std::make_unique<WN>(Opr::Block, Mtype::Void); }
+
+WNPtr WNBuilder::do_loop(StIdx index_var, WNPtr init, WNPtr end, WNPtr step, WNPtr body) const {
+  auto wn = std::make_unique<WN>(Opr::DoLoop, Mtype::Void);
+  wn->attach(idname(index_var));
+  wn->attach(std::move(init));
+  wn->attach(std::move(end));
+  wn->attach(std::move(step));
+  wn->attach(std::move(body));
+  return wn;
+}
+
+WNPtr WNBuilder::if_stmt(WNPtr cond, WNPtr then_block, WNPtr else_block) const {
+  auto wn = std::make_unique<WN>(Opr::If, Mtype::Void);
+  wn->attach(std::move(cond));
+  wn->attach(std::move(then_block));
+  wn->attach(else_block ? std::move(else_block) : block());
+  return wn;
+}
+
+WNPtr WNBuilder::parm(WNPtr value) const {
+  auto wn = std::make_unique<WN>(Opr::Parm, value->rtype());
+  wn->attach(std::move(value));
+  return wn;
+}
+
+WNPtr WNBuilder::call(StIdx callee, std::vector<WNPtr> args) const {
+  auto wn = std::make_unique<WN>(Opr::Call, Mtype::Void);
+  wn->set_st_idx(callee);
+  for (WNPtr& a : args) wn->attach(parm(std::move(a)));
+  return wn;
+}
+
+WNPtr WNBuilder::intrinsic(std::string name, std::vector<WNPtr> args, Mtype t) const {
+  auto wn = std::make_unique<WN>(Opr::Intrinsic, t);
+  wn->set_str_val(std::move(name));
+  for (WNPtr& a : args) wn->attach(parm(std::move(a)));
+  return wn;
+}
+
+WNPtr WNBuilder::ret() const { return std::make_unique<WN>(Opr::Return, Mtype::Void); }
+
+WNPtr WNBuilder::pragma(std::string text) const {
+  auto wn = std::make_unique<WN>(Opr::Pragma, Mtype::Void);
+  wn->set_str_val(std::move(text));
+  return wn;
+}
+
+WNPtr WNBuilder::func_entry(StIdx proc, std::vector<StIdx> formals, WNPtr body) const {
+  auto wn = std::make_unique<WN>(Opr::FuncEntry, Mtype::Void);
+  wn->set_st_idx(proc);
+  for (StIdx f : formals) wn->attach(idname(f));
+  wn->attach(std::move(body));
+  return wn;
+}
+
+}  // namespace ara::ir

@@ -1,0 +1,63 @@
+// Convenience constructors for WHIRL trees. The front end's lowering and the
+// unit tests build IR exclusively through these, which keeps the structural
+// invariants (checked by the verifier) in one place.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/wn.hpp"
+
+namespace ara::ir {
+
+class WNBuilder {
+ public:
+  explicit WNBuilder(const SymbolTable& symtab) : symtab_(symtab) {}
+
+  [[nodiscard]] WNPtr intconst(std::int64_t v, Mtype t = Mtype::I8) const;
+  [[nodiscard]] WNPtr fconst(double v, Mtype t = Mtype::F8) const;
+  [[nodiscard]] WNPtr ldid(StIdx st) const;
+  [[nodiscard]] WNPtr lda(StIdx st) const;
+  [[nodiscard]] WNPtr idname(StIdx st) const;
+  [[nodiscard]] WNPtr binop(Opr op, WNPtr lhs, WNPtr rhs, Mtype t) const;
+  [[nodiscard]] WNPtr neg(WNPtr v, Mtype t) const;
+  [[nodiscard]] WNPtr cvt(WNPtr v, Mtype to) const;
+
+  /// ARRAY node per the documented layout: kid0 = base, kids 1..n = dim
+  /// sizes, kids n+1..2n = zero-based index expressions. `dims` and
+  /// `indices` must be in row-major order (outermost dimension first);
+  /// Fortran lowering reverses its source order before calling this.
+  /// `element_size` is negated by the caller for non-contiguous arrays.
+  [[nodiscard]] WNPtr array(WNPtr base, std::vector<WNPtr> dims, std::vector<WNPtr> indices,
+                            std::int64_t element_size) const;
+
+  /// Remote coarray address (the §VI PGAS extension): kid0 = the local
+  /// ARRAY address form, kid1 = the image expression.
+  [[nodiscard]] WNPtr coindex(WNPtr array, WNPtr image) const;
+
+  [[nodiscard]] WNPtr iload(WNPtr address, Mtype t) const;
+  [[nodiscard]] WNPtr istore(WNPtr value, WNPtr address, Mtype t) const;
+  [[nodiscard]] WNPtr stid(StIdx st, WNPtr value) const;
+  [[nodiscard]] WNPtr block() const;
+
+  /// DO_LOOP with kids (IDNAME index, init, end-comparison value, step, body).
+  /// Represents `for (i = init; i <= end; i += step)` when step > 0 and
+  /// `i >= end` when step < 0, matching a Fortran DO.
+  [[nodiscard]] WNPtr do_loop(StIdx index_var, WNPtr init, WNPtr end, WNPtr step,
+                              WNPtr body) const;
+
+  [[nodiscard]] WNPtr if_stmt(WNPtr cond, WNPtr then_block, WNPtr else_block) const;
+  [[nodiscard]] WNPtr parm(WNPtr value) const;
+  [[nodiscard]] WNPtr call(StIdx callee, std::vector<WNPtr> args) const;
+  [[nodiscard]] WNPtr intrinsic(std::string name, std::vector<WNPtr> args, Mtype t) const;
+  [[nodiscard]] WNPtr ret() const;
+  [[nodiscard]] WNPtr pragma(std::string text) const;
+  [[nodiscard]] WNPtr func_entry(StIdx proc, std::vector<StIdx> formals, WNPtr body) const;
+
+ private:
+  [[nodiscard]] Mtype st_mtype(StIdx st) const;
+
+  const SymbolTable& symtab_;
+};
+
+}  // namespace ara::ir

@@ -1,0 +1,54 @@
+// Loop-carried dependence testing — the LNO-side consumer of region
+// analysis ("array region analysis ... mainly supports the transformations
+// done in latter phases of optimizations, such as data dependencies analysis
+// that happens in the Loop Nest Optimizer", §IV-A) and the substrate for
+// auto-parallelization candidates (§I, §IV-A's APO module).
+//
+// The test is exact for affine subscripts: a DO loop over i carries a
+// dependence on array A iff there exist two distinct iterations i1 < i2 and
+// inner-iteration vectors such that some DEF instance at i1 and some access
+// instance at i2 (or vice versa) address the same element. That is a linear
+// system — subscript equalities per dimension, loop bounds for both
+// instances (inner variables renamed apart), and i1 <= i2 - 1 — decided by
+// Fourier–Motzkin feasibility. Rational feasibility makes the test
+// conservative in exactly the safe direction: "no dependence" is a proof.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ipa/callgraph.hpp"
+#include "regions/linsys.hpp"
+
+namespace ara::lno {
+
+enum class LoopVerdict : std::uint8_t {
+  Parallelizable,     // no carried dependence found
+  ArrayDependence,    // two instances may touch the same element
+  ScalarDependence,   // a scalar is read before written within an iteration
+  CallInLoop,         // the paper's APO restriction: "function calls inside
+                      // loops can not be handled by this module"
+  NotAnalyzable,      // messy subscripts / non-affine bounds
+};
+
+[[nodiscard]] std::string_view to_string(LoopVerdict v);
+
+struct LoopAnalysis {
+  std::string proc;
+  std::uint32_t line = 0;        // loop header line
+  std::string index_var;
+  LoopVerdict verdict = LoopVerdict::NotAnalyzable;
+  std::string detail;            // offending array/scalar or reason
+  std::string directive;        // "!$omp parallel do" when parallelizable
+};
+
+/// Analyzes one DO_LOOP node (must belong to `node`'s procedure).
+[[nodiscard]] LoopAnalysis analyze_loop(const ir::WN& loop, const ipa::CGNode& node,
+                                        const ir::Program& program);
+
+/// Analyzes every outermost loop of every procedure.
+[[nodiscard]] std::vector<LoopAnalysis> find_parallel_loops(const ir::Program& program,
+                                                            const ipa::CallGraph& cg);
+
+}  // namespace ara::lno

@@ -1,0 +1,12 @@
+#include "regions/access.hpp"
+
+namespace ara::regions {
+
+std::optional<AccessMode> access_mode_from_string(std::string_view s) {
+  for (AccessMode m : kAllAccessModes) {
+    if (s == to_string(m)) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ara::regions

@@ -1,0 +1,36 @@
+// Access modes. The paper groups every array region under one of four modes:
+// "Access mode can be one of USE, DEF, FORMAL or PASSED. A statement S is a
+// definition of v iff S is an assignment statement with left-hand side v. S
+// is a use of v iff during execution of S, right-hand side v is read. FORMAL
+// refers to the array as found in the function definition (parameter), while
+// PASSED refers to the actual value passed (argument)." (§I)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ara::regions {
+
+enum class AccessMode : std::uint8_t { Use, Def, Formal, Passed };
+
+[[nodiscard]] constexpr std::string_view to_string(AccessMode m) {
+  switch (m) {
+    case AccessMode::Use:
+      return "USE";
+    case AccessMode::Def:
+      return "DEF";
+    case AccessMode::Formal:
+      return "FORMAL";
+    case AccessMode::Passed:
+      return "PASSED";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::optional<AccessMode> access_mode_from_string(std::string_view s);
+
+inline constexpr AccessMode kAllAccessModes[] = {AccessMode::Use, AccessMode::Def,
+                                                 AccessMode::Formal, AccessMode::Passed};
+
+}  // namespace ara::regions

@@ -1,0 +1,28 @@
+#include "regions/bound.hpp"
+
+namespace ara::regions {
+
+std::string_view to_string(BoundKind k) {
+  switch (k) {
+    case BoundKind::Const:
+      return "CONST";
+    case BoundKind::IVar:
+      return "IVAR";
+    case BoundKind::LIndex:
+      return "LINDEX";
+    case BoundKind::Subscr:
+      return "SUBSCR";
+    case BoundKind::Messy:
+      return "MESSY";
+    case BoundKind::Unprojected:
+      return "UNPROJECTED";
+  }
+  return "?";
+}
+
+std::string Bound::str() const {
+  if (!known()) return std::string(to_string(kind));
+  return expr.str();
+}
+
+}  // namespace ara::regions

@@ -1,0 +1,59 @@
+// Region bounds. OpenUH's ARA maps each bound to one of four value kinds
+// (CONST, IVAR, LINDEX, SUBSCR) and marks bounds whose expressions "cannot be
+// linearized" as MESSY or UNPROJECTED (§IV-C, citing [18]). We keep that
+// taxonomy: the kind records provenance, and — when representable — the
+// affine expression carries the value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "regions/linexpr.hpp"
+
+namespace ara::regions {
+
+enum class BoundKind : std::uint8_t {
+  Const,        // a compile-time constant
+  IVar,         // derived from a loop induction variable's bound
+  LIndex,       // a linearized index expression
+  Subscr,       // taken directly from a subscript expression
+  Messy,        // not affine; no expression available
+  Unprojected,  // projection failed (e.g. FM could not isolate the variable)
+};
+
+[[nodiscard]] std::string_view to_string(BoundKind k);
+
+struct Bound {
+  BoundKind kind = BoundKind::Messy;
+  LinExpr expr;  // meaningful unless kind is Messy/Unprojected
+
+  [[nodiscard]] static Bound constant(std::int64_t v) {
+    return Bound{BoundKind::Const, LinExpr(v)};
+  }
+  [[nodiscard]] static Bound affine(BoundKind k, LinExpr e) {
+    // A symbolic bound that folded to a constant is a constant.
+    if (e.is_constant()) return Bound{BoundKind::Const, std::move(e)};
+    return Bound{k, std::move(e)};
+  }
+  [[nodiscard]] static Bound messy() { return Bound{BoundKind::Messy, LinExpr()}; }
+  [[nodiscard]] static Bound unprojected() { return Bound{BoundKind::Unprojected, LinExpr()}; }
+
+  [[nodiscard]] bool known() const {
+    return kind != BoundKind::Messy && kind != BoundKind::Unprojected;
+  }
+  [[nodiscard]] bool is_const() const { return kind == BoundKind::Const; }
+  [[nodiscard]] std::optional<std::int64_t> const_value() const {
+    if (!known() || !expr.is_constant()) return std::nullopt;
+    return expr.constant();
+  }
+
+  /// Display form: constants as numbers, affine bounds as expressions,
+  /// messy/unprojected as their tag (the GUI shows these markers verbatim).
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Bound&, const Bound&) = default;
+};
+
+}  // namespace ara::regions

@@ -1,0 +1,66 @@
+#include "regions/convex_region.hpp"
+
+namespace ara::regions {
+
+ConvexRegion ConvexRegion::from_region(const Region& r) {
+  LinSystem sys;
+  for (std::size_t i = 0; i < r.rank(); ++i) {
+    const DimAccess& d = r.dim(i);
+    const LinExpr v = LinExpr::var(dim_var(i));
+    // With a negative stride the written triplet runs downward (lb >= ub);
+    // constrain with the normalized interval.
+    const bool descending = d.stride < 0;
+    if (d.lb.known()) {
+      Constraint c = descending ? make_le(v, d.lb.expr) : make_ge(v, d.lb.expr);
+      sys.add(std::move(c));
+    }
+    if (d.ub.known()) {
+      Constraint c = descending ? make_ge(v, d.ub.expr) : make_le(v, d.ub.expr);
+      sys.add(std::move(c));
+    }
+  }
+  return ConvexRegion(r.rank(), std::move(sys));
+}
+
+ConvexRegion ConvexRegion::intersect(const ConvexRegion& other) const {
+  ConvexRegion out(*this);
+  out.rank_ = std::max(rank_, other.rank_);
+  out.sys_.add_all(other.sys_);
+  return out;
+}
+
+bool ConvexRegion::certainly_disjoint(const ConvexRegion& a, const ConvexRegion& b) {
+  if (a.rank() != b.rank()) return false;
+  return a.intersect(b).empty();
+}
+
+Region ConvexRegion::to_region() const {
+  Region out;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    const std::string v = dim_var(i);
+    DimAccess d;
+    // Prefer symbolic unit bounds (they keep parametric expressions like m);
+    // fall back to FM-derived constant bounds.
+    auto [lo, hi] = sys_.unit_bounds(v, [](std::string_view name) { return !is_dim_var(name); });
+    const auto cb = sys_.const_bounds(v);
+    if (lo) {
+      d.lb = Bound::affine(BoundKind::Subscr, *lo);
+    } else if (cb.lower) {
+      d.lb = Bound::constant(*cb.lower);
+    } else {
+      d.lb = Bound::unprojected();
+    }
+    if (hi) {
+      d.ub = Bound::affine(BoundKind::Subscr, *hi);
+    } else if (cb.upper) {
+      d.ub = Bound::constant(*cb.upper);
+    } else {
+      d.ub = Bound::unprojected();
+    }
+    d.stride = 1;
+    out.push_dim(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace ara::regions

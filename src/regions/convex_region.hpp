@@ -1,0 +1,63 @@
+// Convex regions in the sense of Triolet/Creusillet: the set of accessed
+// index vectors expressed as a linear-constraint system over one variable per
+// array dimension (plus free symbolic parameters such as formal scalars).
+// Comparing regions — the disjointness test behind the Fig 1 "P1 and P2 can
+// safely run in parallel" conclusion — reduces to Fourier–Motzkin
+// feasibility. Strides are not expressible convexly; the triplet form
+// (Region) carries them, and conversions here are over-approximations in the
+// stride component only.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "regions/linsys.hpp"
+#include "regions/region.hpp"
+
+namespace ara::regions {
+
+class ConvexRegion {
+ public:
+  ConvexRegion() = default;
+  ConvexRegion(std::size_t rank, LinSystem sys) : rank_(rank), sys_(std::move(sys)) {}
+
+  /// Canonical name of the i-th dimension variable inside the system.
+  [[nodiscard]] static std::string dim_var(std::size_t i) { return "$" + std::to_string(i); }
+  [[nodiscard]] static bool is_dim_var(std::string_view name) {
+    return !name.empty() && name.front() == '$';
+  }
+
+  /// Builds the convex form of a triplet region. Known bounds become
+  /// lb <= $i <= ub constraints; MESSY/UNPROJECTED dimensions stay
+  /// unconstrained (a sound over-approximation). Strides are dropped.
+  [[nodiscard]] static ConvexRegion from_region(const Region& r);
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] const LinSystem& system() const { return sys_; }
+
+  /// Adds a constraint relating dimension variables and/or parameters.
+  void add(Constraint c) { sys_.add(std::move(c)); }
+
+  [[nodiscard]] ConvexRegion intersect(const ConvexRegion& other) const;
+
+  /// Rational emptiness via FM. empty() == true is a proof of emptiness.
+  [[nodiscard]] bool empty() const { return !sys_.feasible(); }
+
+  /// True only when the intersection is provably empty — the sound test for
+  /// "these two procedures' accesses cannot touch the same element".
+  [[nodiscard]] static bool certainly_disjoint(const ConvexRegion& a, const ConvexRegion& b);
+
+  /// Projects each dimension variable back to a triplet. Constant bounds are
+  /// recovered through FM; affine parametric bounds are read off
+  /// unit-coefficient constraints; dimensions with neither become
+  /// UNPROJECTED. All strides are 1 (lost by the convex form).
+  [[nodiscard]] Region to_region() const;
+
+  [[nodiscard]] std::string str() const { return sys_.str(); }
+
+ private:
+  std::size_t rank_ = 0;
+  LinSystem sys_;
+};
+
+}  // namespace ara::regions

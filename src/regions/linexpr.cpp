@@ -1,0 +1,99 @@
+#include "regions/linexpr.hpp"
+
+#include <sstream>
+
+namespace ara::regions {
+
+LinExpr LinExpr::var(std::string name, std::int64_t coef) {
+  LinExpr e;
+  if (coef != 0) e.terms_.emplace(std::move(name), coef);
+  return e;
+}
+
+std::int64_t LinExpr::coef(std::string_view name) const {
+  const auto it = terms_.find(std::string(name));
+  return it == terms_.end() ? 0 : it->second;
+}
+
+void LinExpr::prune(const std::string& name) {
+  const auto it = terms_.find(name);
+  if (it != terms_.end() && it->second == 0) terms_.erase(it);
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
+  c0_ += rhs.c0_;
+  for (const auto& [name, c] : rhs.terms_) {
+    terms_[name] += c;
+    prune(name);
+  }
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& rhs) {
+  c0_ -= rhs.c0_;
+  for (const auto& [name, c] : rhs.terms_) {
+    terms_[name] -= c;
+    prune(name);
+  }
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(std::int64_t k) {
+  if (k == 0) {
+    c0_ = 0;
+    terms_.clear();
+    return *this;
+  }
+  c0_ *= k;
+  for (auto& [name, c] : terms_) c *= k;
+  return *this;
+}
+
+LinExpr LinExpr::substituted(std::string_view name, const LinExpr& repl) const {
+  const std::int64_t k = coef(name);
+  if (k == 0) return *this;
+  LinExpr out = *this;
+  out.terms_.erase(std::string(name));
+  out += repl * k;
+  return out;
+}
+
+std::optional<std::int64_t> LinExpr::evaluate(
+    const std::map<std::string, std::int64_t>& env) const {
+  std::int64_t v = c0_;
+  for (const auto& [name, c] : terms_) {
+    const auto it = env.find(name);
+    if (it == env.end()) return std::nullopt;
+    v += c * it->second;
+  }
+  return v;
+}
+
+std::string LinExpr::str() const {
+  if (is_constant()) return std::to_string(c0_);
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, c] : terms_) {
+    if (first) {
+      if (c == -1) {
+        os << '-';
+      } else if (c != 1) {
+        os << c << '*';
+      }
+      first = false;
+    } else {
+      os << (c < 0 ? " - " : " + ");
+      const std::int64_t a = c < 0 ? -c : c;
+      if (a != 1) os << a << '*';
+    }
+    os << name;
+  }
+  if (c0_ > 0) {
+    os << " + " << c0_;
+  } else if (c0_ < 0) {
+    os << " - " << -c0_;
+  }
+  return os.str();
+}
+
+}  // namespace ara::regions

@@ -1,0 +1,71 @@
+// Affine (linear + constant) integer expressions over named variables.
+// Subscript expressions, loop bounds and region bounds are all LinExprs; the
+// Regions method (§III) "groups array elements into a region using linear
+// constraints determined by the subscripts of arrays".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ara::regions {
+
+class LinExpr {
+ public:
+  LinExpr() = default;
+  explicit LinExpr(std::int64_t c) : c0_(c) {}
+
+  /// coef * name
+  [[nodiscard]] static LinExpr var(std::string name, std::int64_t coef = 1);
+
+  [[nodiscard]] std::int64_t constant() const { return c0_; }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& terms() const { return terms_; }
+
+  [[nodiscard]] bool is_constant() const { return terms_.empty(); }
+  [[nodiscard]] bool is_zero() const { return is_constant() && c0_ == 0; }
+
+  /// Coefficient of `name` (0 if absent).
+  [[nodiscard]] std::int64_t coef(std::string_view name) const;
+  [[nodiscard]] bool references(std::string_view name) const { return coef(name) != 0; }
+
+  /// True when every variable term satisfies `pred(name)`.
+  template <typename Pred>
+  [[nodiscard]] bool vars_all(Pred&& pred) const {
+    for (const auto& [name, c] : terms_) {
+      if (!pred(name)) return false;
+    }
+    return true;
+  }
+
+  LinExpr& operator+=(const LinExpr& rhs);
+  LinExpr& operator-=(const LinExpr& rhs);
+  LinExpr& operator*=(std::int64_t k);
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, std::int64_t k) { return a *= k; }
+  friend LinExpr operator*(std::int64_t k, LinExpr a) { return a *= k; }
+  friend LinExpr operator-(LinExpr a) { return a *= -1; }
+
+  friend bool operator==(const LinExpr&, const LinExpr&) = default;
+
+  /// Replaces `name` with `repl` (which may itself be symbolic).
+  [[nodiscard]] LinExpr substituted(std::string_view name, const LinExpr& repl) const;
+
+  /// Evaluates under an environment; nullopt if a variable is unbound.
+  [[nodiscard]] std::optional<std::int64_t> evaluate(
+      const std::map<std::string, std::int64_t>& env) const;
+
+  /// "2*i + j - 1"-style rendering; a pure constant prints its value.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void prune(const std::string& name);
+
+  std::int64_t c0_ = 0;
+  std::map<std::string, std::int64_t> terms_;  // name -> nonzero coefficient
+};
+
+}  // namespace ara::regions

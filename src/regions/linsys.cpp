@@ -1,0 +1,210 @@
+#include "regions/linsys.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+namespace ara::regions {
+
+std::string Constraint::str() const {
+  return expr.str() + (rel == Rel::Le0 ? " <= 0" : " == 0");
+}
+
+Constraint make_le(const LinExpr& a, const LinExpr& b) {
+  return Constraint{a - b, Constraint::Rel::Le0};
+}
+Constraint make_ge(const LinExpr& a, const LinExpr& b) {
+  return Constraint{b - a, Constraint::Rel::Le0};
+}
+Constraint make_eq(const LinExpr& a, const LinExpr& b) {
+  return Constraint{a - b, Constraint::Rel::Eq0};
+}
+
+void LinSystem::add_all(const LinSystem& other) {
+  constraints_.insert(constraints_.end(), other.constraints_.begin(), other.constraints_.end());
+}
+
+std::vector<std::string> LinSystem::variables() const {
+  std::set<std::string> names;
+  for (const Constraint& c : constraints_) {
+    for (const auto& [name, coef] : c.expr.terms()) names.insert(name);
+  }
+  return {names.begin(), names.end()};
+}
+
+LinSystem LinSystem::eliminated(std::string_view name) const {
+  // If an equality has coefficient +/-1 on the variable, substitute — exact
+  // and avoids the quadratic FM blowup.
+  for (const Constraint& c : constraints_) {
+    if (c.rel != Constraint::Rel::Eq0) continue;
+    const std::int64_t k = c.expr.coef(name);
+    if (k != 1 && k != -1) continue;
+    // k*name + rest == 0  =>  name == -rest/k == -k*rest (k is +/-1).
+    LinExpr rest = c.expr - LinExpr::var(std::string(name), k);
+    const LinExpr value = rest * -k;
+    LinSystem out;
+    for (const Constraint& other : constraints_) {
+      if (&other == &c) continue;
+      Constraint subst{other.expr.substituted(name, value), other.rel};
+      out.add(std::move(subst));
+    }
+    out.simplify();
+    return out;
+  }
+
+  std::vector<LinExpr> uppers;  // a > 0 : a*x + r <= 0
+  std::vector<LinExpr> lowers;  // a < 0 : a*x + r <= 0
+  LinSystem out;
+  for (const Constraint& c : constraints_) {
+    const std::int64_t a = c.expr.coef(name);
+    if (a == 0) {
+      out.add(c);
+      continue;
+    }
+    if (c.rel == Constraint::Rel::Eq0) {
+      // Expand equality into <= pair.
+      if (a > 0) {
+        uppers.push_back(c.expr);
+        lowers.push_back(-c.expr);
+      } else {
+        lowers.push_back(c.expr);
+        uppers.push_back(-c.expr);
+      }
+      continue;
+    }
+    (a > 0 ? uppers : lowers).push_back(c.expr);
+  }
+
+  // Combine each (upper, lower) pair: e1 = a*x + r1 (a>0), e2 = b*x + r2
+  // (b<0). Then (-b)*e1 + a*e2 eliminates x: a*r2 - b*r1 <= 0.
+  for (const LinExpr& e1 : uppers) {
+    const std::int64_t a = e1.coef(name);
+    for (const LinExpr& e2 : lowers) {
+      const std::int64_t b = e2.coef(name);
+      const std::int64_t g = std::gcd(a, -b);
+      LinExpr combined = e1 * ((-b) / g) + e2 * (a / g);
+      out.add(Constraint{std::move(combined), Constraint::Rel::Le0});
+    }
+  }
+  out.simplify();
+  // Sound growth cap (see kMaxConstraints): dropping constraints can only
+  // make the system easier to satisfy, never refute a satisfiable one.
+  if (out.constraints_.size() > kMaxConstraints) {
+    out.constraints_.resize(kMaxConstraints);
+  }
+  return out;
+}
+
+bool LinSystem::feasible() const {
+  LinSystem cur = *this;
+  // Eliminate variables one at a time; order by fewest occurrences to keep
+  // the intermediate systems small (greedy min-fill heuristic).
+  while (true) {
+    auto vars = cur.variables();
+    if (vars.empty()) break;
+    std::string best = vars.front();
+    std::size_t best_count = static_cast<std::size_t>(-1);
+    for (const std::string& v : vars) {
+      std::size_t count = 0;
+      for (const Constraint& c : cur.constraints_) {
+        if (c.expr.references(v)) ++count;
+      }
+      if (count < best_count) {
+        best_count = count;
+        best = v;
+      }
+    }
+    cur = cur.eliminated(best);
+  }
+  for (const Constraint& c : cur.constraints_) {
+    const std::int64_t v = c.expr.constant();
+    if (c.rel == Constraint::Rel::Le0 && v > 0) return false;
+    if (c.rel == Constraint::Rel::Eq0 && v != 0) return false;
+  }
+  return true;
+}
+
+LinSystem::ConstBounds LinSystem::const_bounds(std::string_view name) const {
+  LinSystem cur = *this;
+  while (true) {
+    auto vars = cur.variables();
+    std::erase(vars, std::string(name));
+    if (vars.empty()) break;
+    cur = cur.eliminated(vars.front());
+  }
+  ConstBounds out;
+  auto floor_div = [](std::int64_t a, std::int64_t b) {
+    // b > 0
+    std::int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+    return q;
+  };
+  auto ceil_div = [&floor_div](std::int64_t a, std::int64_t b) { return -floor_div(-a, b); };
+  for (const Constraint& c : cur.constraints_) {
+    const std::int64_t a = c.expr.coef(name);
+    if (a == 0) continue;
+    const std::int64_t r = c.expr.constant();
+    if (a > 0 || c.rel == Constraint::Rel::Eq0) {
+      // a*x + r <= 0 (a>0)  =>  x <= floor(-r/a)
+      const std::int64_t coef = a > 0 ? a : -a;
+      const std::int64_t rr = a > 0 ? r : -r;
+      const std::int64_t ub = floor_div(-rr, coef);
+      if (!out.upper || ub < *out.upper) out.upper = ub;
+    }
+    if (a < 0 || c.rel == Constraint::Rel::Eq0) {
+      // a*x + r <= 0 (a<0)  =>  x >= ceil(r/(-a))
+      const std::int64_t coef = a < 0 ? -a : a;
+      const std::int64_t rr = a < 0 ? r : -r;
+      const std::int64_t lb = ceil_div(rr, coef);
+      if (!out.lower || lb > *out.lower) out.lower = lb;
+    }
+  }
+  return out;
+}
+
+void LinSystem::simplify() {
+  // Normalize by the gcd of all coefficients (constant included for
+  // equalities; for <= the constant may shrink only by the variable gcd,
+  // which keeps the constraint equivalent over the rationals and no looser
+  // over the integers).
+  for (Constraint& c : constraints_) {
+    std::int64_t g = 0;
+    for (const auto& [name, coef] : c.expr.terms()) {
+      g = std::gcd(g, coef < 0 ? -coef : coef);
+    }
+    if (g > 1 && c.expr.constant() % g == 0) {
+      LinExpr scaled;
+      for (const auto& [name, coef] : c.expr.terms()) {
+        scaled += LinExpr::var(name, coef / g);
+      }
+      scaled += LinExpr(c.expr.constant() / g);
+      c.expr = std::move(scaled);
+    }
+  }
+  std::vector<Constraint> kept;
+  for (Constraint& c : constraints_) {
+    if (c.expr.is_constant()) {
+      // Trivially true constraints vanish; trivially false ones are kept so
+      // feasibility still detects the contradiction.
+      const bool trivially_true = c.rel == Constraint::Rel::Le0 ? c.expr.constant() <= 0
+                                                                : c.expr.constant() == 0;
+      if (trivially_true) continue;
+    }
+    if (std::find(kept.begin(), kept.end(), c) == kept.end()) kept.push_back(std::move(c));
+  }
+  constraints_ = std::move(kept);
+}
+
+std::string LinSystem::str() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << constraints_[i].str();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace ara::regions

@@ -1,0 +1,129 @@
+// Systems of linear constraints and Fourier–Motzkin elimination. The paper's
+// Regions method "expresses the set of array accesses as a convex region in a
+// geometrical space" and needs a "Fourier-Motzkin linear system solver, which
+// has worst case exponential time, to compare Regions" (§III). We implement
+// FM over the rationals (scaled to integers), which is exact for rational
+// feasibility and therefore a sound *conservative* disjointness test for
+// integer index spaces: infeasible => certainly disjoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "regions/linexpr.hpp"
+
+namespace ara::regions {
+
+/// One constraint: expr <= 0 or expr == 0.
+struct Constraint {
+  LinExpr expr;
+  enum class Rel : std::uint8_t { Le0, Eq0 } rel = Rel::Le0;
+
+  [[nodiscard]] std::string str() const;
+  friend bool operator==(const Constraint&, const Constraint&) = default;
+};
+
+/// a <= b
+[[nodiscard]] Constraint make_le(const LinExpr& a, const LinExpr& b);
+/// a >= b
+[[nodiscard]] Constraint make_ge(const LinExpr& a, const LinExpr& b);
+/// a == b
+[[nodiscard]] Constraint make_eq(const LinExpr& a, const LinExpr& b);
+
+class LinSystem {
+ public:
+  LinSystem() = default;
+  explicit LinSystem(std::vector<Constraint> cs) : constraints_(std::move(cs)) {}
+
+  void add(Constraint c) { constraints_.push_back(std::move(c)); }
+  void add_all(const LinSystem& other);
+
+  [[nodiscard]] const std::vector<Constraint>& constraints() const { return constraints_; }
+  [[nodiscard]] std::size_t size() const { return constraints_.size(); }
+  [[nodiscard]] bool empty() const { return constraints_.empty(); }
+
+  /// All variables referenced by any constraint, sorted.
+  [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// Fourier–Motzkin elimination of `name`: returns the projection of this
+  /// system onto the remaining variables. Equalities with the variable are
+  /// expanded into inequality pairs first (or substituted when the
+  /// coefficient is +/-1, which is lossless and cheaper).
+  [[nodiscard]] LinSystem eliminated(std::string_view name) const;
+
+  /// Rational feasibility via repeated FM elimination. False means the
+  /// constraint set is certainly empty.
+  [[nodiscard]] bool feasible() const;
+
+  /// Constant bounds of `name` implied by the system (projecting away every
+  /// other variable). Either side may be absent (unbounded).
+  struct ConstBounds {
+    std::optional<std::int64_t> lower;
+    std::optional<std::int64_t> upper;
+  };
+  [[nodiscard]] ConstBounds const_bounds(std::string_view name) const;
+
+  /// Symbolic bounds for `name` readable directly off unit-coefficient
+  /// constraints whose other terms all satisfy `is_param` (i.e. they mention
+  /// only symbolic parameters, not other dimension/index variables).
+  /// Returns {lower, upper} LinExprs when found.
+  template <typename Pred>
+  [[nodiscard]] std::pair<std::optional<LinExpr>, std::optional<LinExpr>> unit_bounds(
+      std::string_view name, Pred&& is_param) const {
+    std::optional<LinExpr> lo, hi;
+    for (const Constraint& c : constraints_) {
+      const std::int64_t k = c.expr.coef(name);
+      if (k != 1 && k != -1) continue;
+      // expr = k*name + rest; k=1: name <= -rest; k=-1: name >= rest.
+      LinExpr rest = c.expr - LinExpr::var(std::string(name), k);
+      if (!rest.vars_all(is_param)) continue;
+      if (k == 1) {
+        LinExpr ub = -rest;
+        if (!hi || (ub.is_constant() && hi->is_constant() && ub.constant() < hi->constant())) {
+          hi = std::move(ub);
+        }
+        if (c.rel == Constraint::Rel::Eq0) {
+          LinExpr lb = -rest;
+          if (!lo || (lb.is_constant() && lo->is_constant() && lb.constant() > lo->constant())) {
+            lo = std::move(lb);
+          }
+        }
+      } else {
+        LinExpr lb = rest;
+        if (!lo || (lb.is_constant() && lo->is_constant() && lb.constant() > lo->constant())) {
+          lo = std::move(lb);
+        }
+        if (c.rel == Constraint::Rel::Eq0) {
+          LinExpr ub = rest;
+          if (!hi || (ub.is_constant() && hi->is_constant() && ub.constant() < hi->constant())) {
+            hi = std::move(ub);
+          }
+        }
+      }
+    }
+    return {std::move(lo), std::move(hi)};
+  }
+
+  /// Drops syntactically duplicated and trivially true constraints, after
+  /// normalizing each constraint by the gcd of its coefficients (so scalar
+  /// multiples dedupe).
+  void simplify();
+
+  /// Growth cap applied after each FM elimination step. Dense systems grow
+  /// quadratically per step (the paper's "worst case exponential time"
+  /// warning, §III); when the projection exceeds this, excess constraints
+  /// are dropped. Dropping constraints only *enlarges* the solution set, so
+  /// feasibility stays a sound over-approximation: "infeasible" remains a
+  /// proof, which is the direction every client (disjointness, dependence)
+  /// relies on.
+  static constexpr std::size_t kMaxConstraints = 512;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace ara::regions

@@ -1,0 +1,65 @@
+#include "regions/methods.hpp"
+
+namespace ara::regions {
+
+std::size_t ReferenceList::bytes_used() const {
+  std::size_t bytes = 0;
+  for (const Set& s : lists_) {
+    for (const Point& p : s) bytes += p.size() * sizeof(std::int64_t);
+  }
+  return bytes;
+}
+
+void RegularSection::record(AccessMode mode, const Point& p) {
+  std::optional<Region>& sec = sections_[static_cast<std::size_t>(mode)];
+  if (!sec) {
+    Region r;
+    for (std::int64_t x : p) r.push_dim(DimAccess::exact(x));
+    sec = std::move(r);
+    return;
+  }
+  // Widen each dimension to cover the new point.
+  Region& r = *sec;
+  for (std::size_t i = 0; i < r.rank() && i < p.size(); ++i) {
+    DimAccess& d = r.dim(i);
+    const std::int64_t lo = *d.lb.const_value();
+    const std::int64_t hi = *d.ub.const_value();
+    const std::int64_t x = p[i];
+    if (x >= lo && x <= hi) {
+      // Inside the interval: tighten the stride lattice if x is off-lattice.
+      if (d.stride > 1 && (x - lo) % d.stride != 0) {
+        d.stride = std::gcd(d.stride, (x - lo) % d.stride);
+        if (d.stride == 0) d.stride = 1;
+      }
+      continue;
+    }
+    const std::int64_t dist = x < lo ? lo - x : x - hi;
+    std::int64_t stride = d.stride;
+    if (lo == hi) {
+      // First widening of a degenerate section establishes the stride.
+      stride = dist;
+    } else {
+      stride = std::gcd(stride, dist);
+      if (stride == 0) stride = 1;
+    }
+    d.lb = Bound::constant(std::min(lo, x));
+    d.ub = Bound::constant(std::max(hi, x));
+    d.stride = stride;
+  }
+}
+
+bool RegularSection::may_access(AccessMode mode, const Point& p) const {
+  const std::optional<Region>& sec = sections_[static_cast<std::size_t>(mode)];
+  if (!sec) return false;
+  return sec->contains_point(p);
+}
+
+std::size_t RegularSection::bytes_used() const {
+  std::size_t bytes = 0;
+  for (const std::optional<Region>& sec : sections_) {
+    if (sec) bytes += sec->rank() * 3 * sizeof(std::int64_t);  // lb, ub, stride per dim
+  }
+  return bytes;
+}
+
+}  // namespace ara::regions

@@ -1,0 +1,91 @@
+// The array-analysis technique taxonomy of Fig 2, implemented side by side so
+// the efficiency/accuracy trade-off the figure sketches can be measured
+// (bench_fig2_techniques):
+//
+//   * ClassicSummary       — "two bits to represent array summaries": DEF/USE
+//                            flags for the whole array; most storage-
+//                            efficient, least precise (§III).
+//   * ReferenceList        — Linearization / Atom-Images style: every touched
+//                            element is recorded; exact but memory-hungry.
+//   * RegularSection       — Havlak–Kennedy bounded regular sections: one
+//                            [lb:ub:stride] triplet per dimension, merged
+//                            conservatively.
+//   * ConvexRegion/Region  — the linear-constraint Regions method (see
+//                            convex_region.hpp), most precise for
+//                            non-rectangular shapes but needs FM to compare.
+//
+// All four expose the same probe API (record / may_access / bytes_used) used
+// by the comparison bench and by property tests that check the accuracy
+// ordering: ReferenceList ⊆ RegularSection ⊆ Classic coverage.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "regions/access.hpp"
+#include "regions/region.hpp"
+
+namespace ara::regions {
+
+/// Index vector of one element access.
+using Point = std::vector<std::int64_t>;
+
+/// Classic method: one bit per mode, whole-array granularity.
+class ClassicSummary {
+ public:
+  void record(AccessMode mode, const Point& /*unused*/) {
+    if (mode == AccessMode::Def) def_ = true;
+    if (mode == AccessMode::Use) use_ = true;
+  }
+  [[nodiscard]] bool may_access(AccessMode mode, const Point& /*unused*/) const {
+    return mode == AccessMode::Def ? def_ : use_;
+  }
+  [[nodiscard]] bool defined() const { return def_; }
+  [[nodiscard]] bool used() const { return use_; }
+  [[nodiscard]] static std::size_t bytes_used() { return 1; }  // two bits, rounded up
+
+ private:
+  bool def_ = false;
+  bool use_ = false;
+};
+
+/// Reference-list method: stores every referenced element.
+class ReferenceList {
+ public:
+  void record(AccessMode mode, const Point& p) { list(mode).insert(p); }
+  [[nodiscard]] bool may_access(AccessMode mode, const Point& p) const {
+    return list(mode).count(p) != 0;
+  }
+  [[nodiscard]] std::size_t element_count(AccessMode mode) const { return list(mode).size(); }
+  [[nodiscard]] std::size_t bytes_used() const;
+
+ private:
+  using Set = std::set<Point>;
+  [[nodiscard]] Set& list(AccessMode mode) { return lists_[static_cast<std::size_t>(mode)]; }
+  [[nodiscard]] const Set& list(AccessMode mode) const {
+    return lists_[static_cast<std::size_t>(mode)];
+  }
+  Set lists_[4];
+};
+
+/// Bounded regular sections: a single triplet region per mode, widened on
+/// each recorded access. Merging follows the Havlak–Kennedy rules: bounds
+/// take min/max, strides merge by gcd of the strides and the offset between
+/// the sections' phases.
+class RegularSection {
+ public:
+  void record(AccessMode mode, const Point& p);
+  [[nodiscard]] bool may_access(AccessMode mode, const Point& p) const;
+  [[nodiscard]] const std::optional<Region>& section(AccessMode mode) const {
+    return sections_[static_cast<std::size_t>(mode)];
+  }
+  [[nodiscard]] std::size_t bytes_used() const;
+
+ private:
+  std::optional<Region> sections_[4];
+};
+
+}  // namespace ara::regions

@@ -1,0 +1,135 @@
+#include "regions/region.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace ara::regions {
+
+std::optional<std::int64_t> DimAccess::count() const {
+  const auto lo = lb.const_value();
+  const auto hi = ub.const_value();
+  if (!lo || !hi || stride == 0) return std::nullopt;
+  const std::int64_t span = *hi - *lo;
+  const std::int64_t s = stride < 0 ? -stride : stride;
+  if (stride > 0 && span < 0) return 0;
+  if (stride < 0 && span > 0) return 0;
+  return (span < 0 ? -span : span) / s + 1;
+}
+
+std::string DimAccess::str() const {
+  std::ostringstream os;
+  os << '[' << lb.str() << ':' << ub.str() << ':' << stride << ']';
+  return os.str();
+}
+
+bool Region::all_const() const {
+  for (const DimAccess& d : dims_) {
+    if (!d.const_bounds()) return false;
+  }
+  return true;
+}
+
+bool Region::any_messy() const {
+  for (const DimAccess& d : dims_) {
+    if (!d.lb.known() || !d.ub.known()) return true;
+  }
+  return false;
+}
+
+std::optional<std::int64_t> Region::element_count() const {
+  std::int64_t total = 1;
+  for (const DimAccess& d : dims_) {
+    const auto n = d.count();
+    if (!n) return std::nullopt;
+    total *= *n;
+  }
+  return total;
+}
+
+bool Region::contains_point(const std::vector<std::int64_t>& point) const {
+  if (point.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const auto lo = dims_[i].lb.const_value();
+    const auto hi = dims_[i].ub.const_value();
+    if (!lo || !hi) return false;
+    const std::int64_t x = point[i];
+    const std::int64_t s = dims_[i].stride;
+    if (s >= 0) {
+      if (x < *lo || x > *hi) return false;
+      if (s > 1 && (x - *lo) % s != 0) return false;
+    } else {
+      if (x > *lo || x < *hi) return false;
+      if ((*lo - x) % (-s) != 0) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Normalized [min, max] interval of a constant DimAccess (handles negative
+/// strides where lb > ub).
+std::optional<std::pair<std::int64_t, std::int64_t>> interval(const DimAccess& d) {
+  const auto lo = d.lb.const_value();
+  const auto hi = d.ub.const_value();
+  if (!lo || !hi) return std::nullopt;
+  return std::pair{std::min(*lo, *hi), std::max(*lo, *hi)};
+}
+
+}  // namespace
+
+bool Region::certainly_disjoint(const Region& a, const Region& b) {
+  if (a.rank() != b.rank()) return false;  // incomparable: be conservative
+  for (std::size_t i = 0; i < a.rank(); ++i) {
+    const auto ia = interval(a.dim(i));
+    const auto ib = interval(b.dim(i));
+    if (!ia || !ib) continue;  // unknown bounds: cannot conclude from this dim
+    if (ia->second < ib->first || ib->second < ia->first) return true;
+    // Same interval but incompatible stride lattices, e.g. [0:10:2] vs
+    // [1:11:2]: disjoint iff the residues never coincide.
+    const DimAccess& da = a.dim(i);
+    const DimAccess& db = b.dim(i);
+    if (da.stride > 1 && db.stride > 1) {
+      const std::int64_t g = std::gcd(da.stride, db.stride);
+      const std::int64_t ra = *da.lb.const_value() % g;
+      const std::int64_t rb = *db.lb.const_value() % g;
+      if (((ra - rb) % g + g) % g != 0) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Region> Region::hull(const Region& a, const Region& b) {
+  if (a.rank() != b.rank() || !a.all_const() || !b.all_const()) return std::nullopt;
+  Region out;
+  for (std::size_t i = 0; i < a.rank(); ++i) {
+    const auto ia = interval(a.dim(i));
+    const auto ib = interval(b.dim(i));
+    DimAccess d;
+    d.lb = Bound::constant(std::min(ia->first, ib->first));
+    d.ub = Bound::constant(std::max(ia->second, ib->second));
+    const std::int64_t sa = std::abs(a.dim(i).stride);
+    const std::int64_t sb = std::abs(b.dim(i).stride);
+    d.stride = std::gcd(sa == 0 ? 1 : sa, sb == 0 ? 1 : sb);
+    // If the two pieces' phases differ, fall back to stride 1 so the hull
+    // stays an over-approximation.
+    const std::int64_t la = std::min(*a.dim(i).lb.const_value(), *a.dim(i).ub.const_value());
+    const std::int64_t lo_b = std::min(*b.dim(i).lb.const_value(), *b.dim(i).ub.const_value());
+    if (d.stride > 1 && ((la - lo_b) % d.stride + d.stride) % d.stride != 0) d.stride = 1;
+    out.push_dim(d);
+  }
+  return out;
+}
+
+std::string Region::str() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << dims_[i].lb.str() << ':' << dims_[i].ub.str() << ':' << dims_[i].stride;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace ara::regions

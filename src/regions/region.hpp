@@ -1,0 +1,84 @@
+// An array region in triplet notation: per dimension [LB : UB : Stride]
+// (§I). Unlike the earlier Dragon version — where "array accesses in loops
+// were normalized, which prevents showing the exact stride values" and
+// "negative bounds and strides" were lost — bounds here may be negative and
+// strides are carried exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "regions/bound.hpp"
+
+namespace ara::regions {
+
+/// One dimension's accessed triplet.
+struct DimAccess {
+  Bound lb;
+  Bound ub;
+  std::int64_t stride = 1;
+
+  [[nodiscard]] static DimAccess exact(std::int64_t point) {
+    return DimAccess{Bound::constant(point), Bound::constant(point), 1};
+  }
+  [[nodiscard]] static DimAccess range(std::int64_t lb, std::int64_t ub, std::int64_t stride = 1) {
+    return DimAccess{Bound::constant(lb), Bound::constant(ub), stride};
+  }
+
+  [[nodiscard]] bool const_bounds() const { return lb.is_const() && ub.is_const(); }
+
+  /// Number of accessed elements for constant bounds; nullopt otherwise.
+  [[nodiscard]] std::optional<std::int64_t> count() const;
+
+  /// "[lb:ub:stride]" rendering.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const DimAccess&, const DimAccess&) = default;
+};
+
+/// A (rank-n) region: one DimAccess per dimension, in source order.
+class Region {
+ public:
+  Region() = default;
+  explicit Region(std::vector<DimAccess> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] const std::vector<DimAccess>& dims() const { return dims_; }
+  [[nodiscard]] const DimAccess& dim(std::size_t i) const { return dims_.at(i); }
+  [[nodiscard]] DimAccess& dim(std::size_t i) { return dims_.at(i); }
+  void push_dim(DimAccess d) { dims_.push_back(std::move(d)); }
+
+  [[nodiscard]] bool all_const() const;
+  [[nodiscard]] bool any_messy() const;
+
+  /// Elements covered (respecting strides) when all bounds are constant.
+  [[nodiscard]] std::optional<std::int64_t> element_count() const;
+
+  /// Exact containment test for constant regions (stride-aware).
+  [[nodiscard]] bool contains_point(const std::vector<std::int64_t>& point) const;
+
+  /// Conservative disjointness for constant regions: true only when some
+  /// dimension's [lb,ub] intervals cannot intersect, or when stride lattices
+  /// provably miss each other. (The convex-region test handles the symbolic
+  /// case.) False means "may overlap".
+  [[nodiscard]] static bool certainly_disjoint(const Region& a, const Region& b);
+
+  /// Smallest constant triplet region containing both (per-dimension hull;
+  /// strides combine by gcd — the union of two regions "is approximated
+  /// since in some cases it does not form a convex hull", §III). Requires
+  /// equal rank and constant bounds; nullopt otherwise.
+  [[nodiscard]] static std::optional<Region> hull(const Region& a, const Region& b);
+
+  /// True when the two regions have identical bounds and strides.
+  friend bool operator==(const Region&, const Region&) = default;
+
+  /// "(1:100:1, 1:100:1)" rendering, as in the paper's Fig 1 discussion.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<DimAccess> dims_;
+};
+
+}  // namespace ara::regions

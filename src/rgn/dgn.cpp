@@ -1,0 +1,114 @@
+#include "rgn/dgn.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "support/string_utils.hpp"
+
+namespace ara::rgn {
+
+const DgnProc* DgnProject::find_proc(const std::string& name) const {
+  for (const DgnProc& p : procedures) {
+    if (iequals(p.name, name)) return &p;
+  }
+  return nullptr;
+}
+
+std::string write_dgn(const DgnProject& project) {
+  std::ostringstream os;
+  os << "DGN 1\n";
+  os << "project " << project.name << '\n';
+  os << "[files]\n";
+  for (std::size_t i = 0; i < project.files.size(); ++i) {
+    os << project.files[i] << '|'
+       << (i < project.languages.size() ? project.languages[i] : "Fortran") << '\n';
+  }
+  os << "[procedures]\n";
+  for (const DgnProc& p : project.procedures) {
+    os << p.name << '|' << p.file << '|' << p.line << '|' << (p.is_entry ? 1 : 0) << '\n';
+  }
+  os << "[edges]\n";
+  for (const DgnEdge& e : project.edges) {
+    os << e.caller << '|' << e.callee << '|' << e.line << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+bool to_u32(const std::string& s, std::uint32_t& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+bool parse_dgn(const std::string& text, DgnProject& out, std::string* error) {
+  auto fail = [&](std::size_t line_no, std::string_view why) {
+    if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + std::string(why);
+    return false;
+  };
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  enum class Section { None, Files, Procs, Edges } section = Section::None;
+  bool saw_magic = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string trimmed{trim(line)};
+    if (trimmed.empty()) continue;
+    if (!saw_magic) {
+      if (trimmed != "DGN 1") return fail(line_no, "missing DGN magic");
+      saw_magic = true;
+      continue;
+    }
+    if (trimmed.rfind("project ", 0) == 0) {
+      out.name = trimmed.substr(8);
+      continue;
+    }
+    if (trimmed == "[files]") {
+      section = Section::Files;
+      continue;
+    }
+    if (trimmed == "[procedures]") {
+      section = Section::Procs;
+      continue;
+    }
+    if (trimmed == "[edges]") {
+      section = Section::Edges;
+      continue;
+    }
+    const std::vector<std::string> parts = split(trimmed, '|');
+    switch (section) {
+      case Section::Files:
+        if (parts.size() != 2) return fail(line_no, "bad [files] entry");
+        out.files.push_back(parts[0]);
+        out.languages.push_back(parts[1]);
+        break;
+      case Section::Procs: {
+        if (parts.size() != 4) return fail(line_no, "bad [procedures] entry");
+        DgnProc p;
+        p.name = parts[0];
+        p.file = parts[1];
+        if (!to_u32(parts[2], p.line)) return fail(line_no, "bad procedure line");
+        p.is_entry = parts[3] == "1";
+        out.procedures.push_back(std::move(p));
+        break;
+      }
+      case Section::Edges: {
+        if (parts.size() != 3) return fail(line_no, "bad [edges] entry");
+        DgnEdge e;
+        e.caller = parts[0];
+        e.callee = parts[1];
+        if (!to_u32(parts[2], e.line)) return fail(line_no, "bad edge line");
+        out.edges.push_back(std::move(e));
+        break;
+      }
+      case Section::None:
+        return fail(line_no, "entry outside any section");
+    }
+  }
+  return saw_magic || fail(0, "empty .dgn file");
+}
+
+}  // namespace ara::rgn

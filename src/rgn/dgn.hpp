@@ -1,0 +1,45 @@
+// The `.dgn` project file. Compiling with `-dragon` makes OpenUH emit
+// ".dgn, .cfg and .rgn files" (§V-B step 2); the user then "invokes Dragon
+// and loads the .dgn project". Our .dgn carries the program inventory: source
+// files, procedures, and the IPA call graph (nodes = procedures, edges =
+// call sites), which Dragon renders as Fig 11.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ara::rgn {
+
+struct DgnProc {
+  std::string name;
+  std::string file;  // source file name
+  std::uint32_t line = 0;
+  bool is_entry = false;  // a main program / root of the call graph
+  friend bool operator==(const DgnProc&, const DgnProc&) = default;
+};
+
+struct DgnEdge {
+  std::string caller;
+  std::string callee;
+  std::uint32_t line = 0;  // call-site line in the caller
+  friend bool operator==(const DgnEdge&, const DgnEdge&) = default;
+};
+
+struct DgnProject {
+  std::string name;
+  std::vector<std::string> files;      // registered source files
+  std::vector<std::string> languages;  // parallel to files ("Fortran"/"C")
+  std::vector<DgnProc> procedures;
+  std::vector<DgnEdge> edges;
+
+  [[nodiscard]] const DgnProc* find_proc(const std::string& name) const;
+  friend bool operator==(const DgnProject&, const DgnProject&) = default;
+};
+
+[[nodiscard]] std::string write_dgn(const DgnProject& project);
+[[nodiscard]] bool parse_dgn(const std::string& text, DgnProject& out,
+                             std::string* error = nullptr);
+
+}  // namespace ara::rgn

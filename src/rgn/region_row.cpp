@@ -1,0 +1,88 @@
+#include "rgn/region_row.hpp"
+
+#include <charconv>
+
+#include "support/csv.hpp"
+
+namespace ara::rgn {
+
+namespace {
+
+constexpr std::size_t kColumns = 19;
+
+const char* kHeader[kColumns] = {
+    "Scope",      "Array",    "File",     "Mode",     "References", "Dims",
+    "LB",         "UB",       "Stride",   "Element_size", "Data_type", "Dim_size",
+    "Tot_size",   "Size_bytes", "Mem_Loc", "Acc_density", "Image",    "Line",
+    "Version",
+};
+
+template <typename T>
+bool parse_int(const std::string& s, T& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::int64_t access_density_pct(std::uint64_t refs, std::int64_t bytes) {
+  if (bytes <= 0) return 0;
+  return static_cast<std::int64_t>(refs * 100 / static_cast<std::uint64_t>(bytes));
+}
+
+double access_density_exact(std::uint64_t refs, std::int64_t bytes) {
+  if (bytes <= 0) return 0.0;
+  return static_cast<double>(refs) / static_cast<double>(bytes);
+}
+
+std::string write_rgn(const std::vector<RegionRow>& rows) {
+  CsvWriter w;
+  std::vector<std::string> header(kHeader, kHeader + kColumns);
+  w.row(header);
+  for (const RegionRow& r : rows) {
+    w.row({r.scope, r.array, r.file, r.mode, std::to_string(r.references),
+           std::to_string(r.dims), r.lb, r.ub, r.stride, std::to_string(r.element_size),
+           r.data_type, r.dim_size, std::to_string(r.tot_size), std::to_string(r.size_bytes),
+           r.mem_loc, std::to_string(r.acc_density), r.image, std::to_string(r.line), "2"});
+  }
+  return w.str();
+}
+
+bool parse_rgn(const std::string& text, std::vector<RegionRow>& out, std::string* error) {
+  const auto rows = parse_csv(text);
+  auto fail = [&](std::size_t line, std::string_view why) {
+    if (error != nullptr) *error = "line " + std::to_string(line + 1) + ": " + std::string(why);
+    return false;
+  };
+  if (rows.empty()) return fail(0, "empty .rgn file");
+  if (rows[0].size() != kColumns || rows[0][0] != kHeader[0]) {
+    return fail(0, "bad .rgn header");
+  }
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& f = rows[i];
+    if (f.size() != kColumns) return fail(i, "wrong column count");
+    RegionRow r;
+    r.scope = f[0];
+    r.array = f[1];
+    r.file = f[2];
+    r.mode = f[3];
+    if (!parse_int(f[4], r.references)) return fail(i, "bad References");
+    if (!parse_int(f[5], r.dims)) return fail(i, "bad Dims");
+    r.lb = f[6];
+    r.ub = f[7];
+    r.stride = f[8];
+    if (!parse_int(f[9], r.element_size)) return fail(i, "bad Element_size");
+    r.data_type = f[10];
+    r.dim_size = f[11];
+    if (!parse_int(f[12], r.tot_size)) return fail(i, "bad Tot_size");
+    if (!parse_int(f[13], r.size_bytes)) return fail(i, "bad Size_bytes");
+    r.mem_loc = f[14];
+    if (!parse_int(f[15], r.acc_density)) return fail(i, "bad Acc_density");
+    r.image = f[16];
+    if (!parse_int(f[17], r.line)) return fail(i, "bad Line");
+    out.push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace ara::rgn

@@ -1,0 +1,67 @@
+// The row format of the `.rgn` comma-separated file the compiler extension
+// emits ("We output these information to a comma separated plain file .rgn,
+// where each row maintains information about each region per access mode",
+// §IV-C) and that Dragon's array analysis graph displays (Fig 9's columns:
+// Array, File, Mode, References, Dims, LB, UB, Stride, Element size,
+// Data_type, Dim_size, Tot_size, Size_bytes, Mem_Loc, Acc_density).
+//
+// Conventions reproduced from the paper:
+//  * one row per region per access mode; References is the total count for
+//    the row's (scope, array, mode) group (Fig 9 repeats it on every row);
+//  * multi-dimensional LB/UB/Stride and Dim_size pack per-dimension values
+//    with '|' (the paper renders Dim_size as "64|65|65|5"); LB/UB/Stride are
+//    in *source* order while Dim_size is in WHIRL row-major order, exactly
+//    as Fig 14 shows;
+//  * Mode adds the interprocedural variants IDEF/IUSE used in Fig 1
+//    ("Call P1(A,j)  !DEF of A(1:100,1:100)");
+//  * Acc_density is the integer (truncated) percentage
+//    floor(100 * References / Size_bytes); variable-length arrays display
+//    size zero and density zero;
+//  * Mem_Loc is lowercase hex without 0x; a FORMAL's Mem_Loc resolves to the
+//    address of the actual bound to it, "to find arrays pointing to the same
+//    memory location".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ara::rgn {
+
+struct RegionRow {
+  std::string scope;      // enclosing procedure name, or "@" for globals
+  std::string array;      // array name
+  std::string file;       // object-file name of the accessing TU (e.g. verify.o)
+  std::string mode;       // USE / DEF / FORMAL / PASSED / IUSE / IDEF
+  std::uint64_t references = 0;
+  std::uint32_t dims = 0;
+  std::string lb;          // per-dim '|'-packed, source order
+  std::string ub;
+  std::string stride;
+  std::int64_t element_size = 0;  // negative = non-contiguous (F90)
+  std::string data_type;          // int / double / char / ...
+  std::string dim_size;           // per-dim '|'-packed, row-major order
+  std::int64_t tot_size = 0;      // total elements (0 when variable-length)
+  std::int64_t size_bytes = 0;    // allocated bytes (0 when variable-length)
+  std::string mem_loc;            // hex, no 0x
+  std::int64_t acc_density = 0;   // floor(100 * references / size_bytes)
+  std::string image;              // coarray co-subscript (RUSE/RDEF rows only)
+  std::uint32_t line = 0;         // source line of the access (browsing aid)
+
+  friend bool operator==(const RegionRow&, const RegionRow&) = default;
+};
+
+/// floor(100 * refs / bytes); 0 when bytes == 0 (variable-length arrays).
+[[nodiscard]] std::int64_t access_density_pct(std::uint64_t refs, std::int64_t bytes);
+
+/// Exact (floating) access density for ranking hotspots; 0 when bytes == 0.
+[[nodiscard]] double access_density_exact(std::uint64_t refs, std::int64_t bytes);
+
+/// Serializes rows to `.rgn` CSV text (header line + one line per row).
+[[nodiscard]] std::string write_rgn(const std::vector<RegionRow>& rows);
+
+/// Parses `.rgn` CSV text; returns false on malformed input.
+[[nodiscard]] bool parse_rgn(const std::string& text, std::vector<RegionRow>& out,
+                             std::string* error = nullptr);
+
+}  // namespace ara::rgn

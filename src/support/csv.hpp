@@ -1,0 +1,29 @@
+// Minimal CSV reader/writer. The paper's compiler extension emits the array
+// analysis results as "a comma separated plain file .rgn, where each row
+// maintains information about each region per access mode" (§IV-C); Dragon
+// parses it back. Fields containing separators or quotes are quoted per
+// RFC 4180.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ara {
+
+class CsvWriter {
+ public:
+  /// Appends one row; fields are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Parses CSV text into rows of fields. Handles quoted fields, embedded
+/// separators, escaped quotes ("") and both \n and \r\n line endings.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace ara

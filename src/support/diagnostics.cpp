@@ -1,0 +1,42 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+#include "support/source_manager.hpp"
+
+namespace ara {
+
+std::string_view to_string(Severity sev) {
+  switch (sev) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLoc loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    if (d.loc.valid() && sm_ != nullptr) {
+      os << sm_->name(d.loc.file) << ':' << d.loc.line << ':' << d.loc.col << ": ";
+    }
+    os << to_string(d.severity) << ": " << d.message << '\n';
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace ara

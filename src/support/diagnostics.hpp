@@ -1,0 +1,50 @@
+// Diagnostic engine shared by all compiler phases.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace ara {
+
+class SourceManager;
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity sev);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Collects diagnostics; phases report through this and callers inspect or
+/// render afterwards. Throwing is reserved for internal invariant violations.
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(const SourceManager* sm = nullptr) : sm_(sm) {}
+
+  void report(Severity sev, SourceLoc loc, std::string message);
+  void error(SourceLoc loc, std::string message) { report(Severity::Error, loc, std::move(message)); }
+  void warning(SourceLoc loc, std::string message) { report(Severity::Warning, loc, std::move(message)); }
+  void note(SourceLoc loc, std::string message) { report(Severity::Note, loc, std::move(message)); }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// Renders "file:line:col: severity: message" lines.
+  [[nodiscard]] std::string render() const;
+
+  void clear();
+
+ private:
+  const SourceManager* sm_;
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace ara

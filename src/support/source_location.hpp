@@ -1,0 +1,35 @@
+// Source positions shared by the front end, the IR (WN.linenum carries source
+// position information, cf. Table I of the paper) and Dragon's source browser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ara {
+
+/// Identifies a file registered with a SourceManager. 0 is "no file".
+using FileId = std::uint32_t;
+
+inline constexpr FileId kInvalidFileId = 0;
+
+/// A (file, line, column) source position. Lines and columns are 1-based;
+/// 0 means "unknown".
+struct SourceLoc {
+  FileId file = kInvalidFileId;
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+
+  [[nodiscard]] bool valid() const { return file != kInvalidFileId && line != 0; }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// A half-open [begin, end) range of source positions.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace ara

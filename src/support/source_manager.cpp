@@ -1,0 +1,84 @@
+#include "support/source_manager.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ara {
+
+std::string_view to_string(Language lang) {
+  switch (lang) {
+    case Language::Fortran:
+      return "Fortran";
+    case Language::C:
+      return "C";
+  }
+  return "?";
+}
+
+FileId SourceManager::add(std::string name, std::string text, Language lang) {
+  File f{std::move(name), std::move(text), lang, {}};
+  f.line_starts.push_back(0);
+  for (std::size_t i = 0; i < f.text.size(); ++i) {
+    if (f.text[i] == '\n') f.line_starts.push_back(i + 1);
+  }
+  files_.push_back(std::move(f));
+  return static_cast<FileId>(files_.size());  // ids start at 1
+}
+
+const SourceManager::File& SourceManager::get(FileId id) const {
+  if (id == kInvalidFileId || id > files_.size()) {
+    throw std::out_of_range("SourceManager: bad FileId");
+  }
+  return files_[id - 1];
+}
+
+const std::string& SourceManager::name(FileId id) const { return get(id).name; }
+const std::string& SourceManager::text(FileId id) const { return get(id).text; }
+Language SourceManager::language(FileId id) const { return get(id).lang; }
+
+std::string SourceManager::object_name(FileId id) const {
+  const std::string& n = get(id).name;
+  const std::size_t slash = n.find_last_of('/');
+  std::string base = slash == std::string::npos ? n : n.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base.resize(dot);
+  return base + ".o";
+}
+
+std::optional<std::string_view> SourceManager::line(FileId id, std::uint32_t line_no) const {
+  const File& f = get(id);
+  if (line_no == 0 || line_no > line_count(id)) return std::nullopt;
+  const std::size_t begin = f.line_starts[line_no - 1];
+  std::size_t end = line_no < f.line_starts.size() ? f.line_starts[line_no] : f.text.size();
+  // Trim the trailing newline (and a carriage return, if present).
+  while (end > begin && (f.text[end - 1] == '\n' || f.text[end - 1] == '\r')) --end;
+  return std::string_view(f.text).substr(begin, end - begin);
+}
+
+std::size_t SourceManager::line_count(FileId id) const {
+  const File& f = get(id);
+  // A trailing newline opens an empty final "line"; don't count it.
+  if (!f.text.empty() && f.text.back() == '\n') return f.line_starts.size() - 1;
+  return f.text.empty() ? 0 : f.line_starts.size();
+}
+
+std::vector<std::uint32_t> SourceManager::grep(FileId id, std::string_view needle) const {
+  std::vector<std::uint32_t> hits;
+  if (needle.empty()) return hits;
+  const std::size_t n = line_count(id);
+  for (std::uint32_t ln = 1; ln <= n; ++ln) {
+    if (auto text = line(id, ln); text && text->find(needle) != std::string_view::npos) {
+      hits.push_back(ln);
+    }
+  }
+  return hits;
+}
+
+std::optional<FileId> SourceManager::find(std::string_view name) const {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].name == name) return static_cast<FileId>(i + 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ara

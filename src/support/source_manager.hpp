@@ -1,0 +1,62 @@
+// Owns the text of every compilation unit and maps SourceLocs back to lines.
+// Dragon's source-browsing / grep features (paper §V-A, Fig 7) are built on
+// the line access provided here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace ara {
+
+/// Language of a source buffer. The paper's tool accepts Fortran 77/90, C and
+/// C++ (§I); we support a Fortran-like and a C-like subset.
+enum class Language { Fortran, C };
+
+[[nodiscard]] std::string_view to_string(Language lang);
+
+/// Registry of source buffers. Buffers are immutable once added; FileIds are
+/// stable for the lifetime of the manager.
+class SourceManager {
+ public:
+  /// Registers a buffer and returns its id (ids start at 1).
+  FileId add(std::string name, std::string text, Language lang);
+
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+  [[nodiscard]] const std::string& name(FileId id) const;
+  [[nodiscard]] const std::string& text(FileId id) const;
+  [[nodiscard]] Language language(FileId id) const;
+
+  /// The paper's `.rgn` rows carry an object-file column ("matrix.o",
+  /// "verify.o"); this derives that name from the source name.
+  [[nodiscard]] std::string object_name(FileId id) const;
+
+  /// 1-based line access; returns nullopt when out of range.
+  [[nodiscard]] std::optional<std::string_view> line(FileId id, std::uint32_t line_no) const;
+  [[nodiscard]] std::size_t line_count(FileId id) const;
+
+  /// All 1-based line numbers whose text contains `needle` (Dragon's
+  /// UNIX-like grep feature, Fig 7).
+  [[nodiscard]] std::vector<std::uint32_t> grep(FileId id, std::string_view needle) const;
+
+  /// Looks up a registered file by name; nullopt if absent.
+  [[nodiscard]] std::optional<FileId> find(std::string_view name) const;
+
+ private:
+  struct File {
+    std::string name;
+    std::string text;
+    Language lang;
+    std::vector<std::size_t> line_starts;  // byte offset of each line start
+  };
+
+  [[nodiscard]] const File& get(FileId id) const;
+
+  std::vector<File> files_;
+};
+
+}  // namespace ara

@@ -1,0 +1,94 @@
+#include "support/string_utils.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ara {
+
+namespace {
+char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+char upper(char c) { return static_cast<char>(std::toupper(static_cast<unsigned char>(c))); }
+}  // namespace
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), lower);
+  return out;
+}
+
+std::string to_upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), upper);
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) { return lower(x) == lower(y); });
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(begin));
+      return parts;
+    }
+    parts.emplace_back(s.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with_icase(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && iequals(s.substr(0, prefix.size()), prefix);
+}
+
+std::string to_hex(std::uint64_t value) {
+  if (value == 0) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  while (value != 0) {
+    out.push_back(kDigits[value & 0xF]);
+    value >>= 4;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool from_hex(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace ara

@@ -1,0 +1,52 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ara {
+
+void TextTable::add_row(std::vector<std::string> row, bool highlight) {
+  rows_.push_back(Row{std::move(row), highlight});
+}
+
+std::string TextTable::render(bool ansi) const {
+  // Column widths over header + all rows.
+  std::size_t ncols = header_.size();
+  for (const Row& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) width[i] = std::max(width[i], cells[i].size());
+  };
+  account(header_);
+  for (const Row& r : rows_) account(r.cells);
+
+  auto emit_cells = [&](std::ostringstream& os, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << cell << std::string(width[i] - cell.size(), ' ');
+      if (i + 1 < ncols) os << " | ";
+    }
+  };
+
+  std::ostringstream os;
+  if (!header_.empty()) {
+    std::ostringstream line;
+    emit_cells(line, header_);
+    os << "  " << line.str() << '\n';
+    std::size_t total = 2;  // leading marker column
+    for (std::size_t i = 0; i < ncols; ++i) total += width[i] + (i + 1 < ncols ? 3 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const Row& r : rows_) {
+    std::ostringstream line;
+    emit_cells(line, r.cells);
+    if (r.highlight && ansi) {
+      os << "  \x1b[32m" << line.str() << "\x1b[0m\n";
+    } else {
+      os << (r.highlight ? "* " : "  ") << line.str() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ara

@@ -1,0 +1,36 @@
+// Column-aligned text table renderer. Dragon's Qt GUI displays array region
+// information "in a tabular structure" (Fig 6, Fig 9, Fig 12, Fig 14); our
+// console Dragon renders the same rows through this class. Rows can be
+// highlighted, mirroring the GUI's green find-highlighting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ara {
+
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Adds a row; `highlight` marks it (the GUI highlights find matches green).
+  void add_row(std::vector<std::string> row, bool highlight = false);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with box-drawing separators. When `ansi` is set, highlighted
+  /// rows are wrapped in a green escape sequence; otherwise they are marked
+  /// with a leading '*'.
+  [[nodiscard]] std::string render(bool ansi = false) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool highlight = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ara

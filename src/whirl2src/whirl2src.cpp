@@ -1,0 +1,415 @@
+#include "whirl2src/whirl2src.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/address.hpp"
+
+namespace ara::whirl2src {
+
+namespace {
+
+using ir::Mtype;
+using ir::Opr;
+using ir::WN;
+
+const char* c_op(Opr op) {
+  switch (op) {
+    case Opr::Add:
+      return "+";
+    case Opr::Sub:
+      return "-";
+    case Opr::Mpy:
+      return "*";
+    case Opr::Div:
+      return "/";
+    case Opr::Mod:
+      return "%";
+    case Opr::Eq:
+      return "==";
+    case Opr::Ne:
+      return "!=";
+    case Opr::Lt:
+      return "<";
+    case Opr::Gt:
+      return ">";
+    case Opr::Le:
+      return "<=";
+    case Opr::Ge:
+      return ">=";
+    case Opr::Land:
+      return "&&";
+    case Opr::Lior:
+      return "||";
+    default:
+      return "?";
+  }
+}
+
+const char* f_op(Opr op) {
+  switch (op) {
+    case Opr::Eq:
+      return ".eq.";
+    case Opr::Ne:
+      return ".ne.";
+    case Opr::Lt:
+      return ".lt.";
+    case Opr::Gt:
+      return ".gt.";
+    case Opr::Le:
+      return ".le.";
+    case Opr::Ge:
+      return ".ge.";
+    case Opr::Land:
+      return ".and.";
+    case Opr::Lior:
+      return ".or.";
+    default:
+      return c_op(op);
+  }
+}
+
+class Emitter {
+ public:
+  Emitter(const ir::Program& program, Language lang) : program_(program), lang_(lang) {}
+
+  std::string emit_proc(const ir::ProcedureIR& proc) {
+    os_.str("");
+    const ir::St& st = program_.symtab.st(proc.proc_st);
+    if (lang_ == Language::C) {
+      os_ << "void " << st.name << "(";
+      emit_formals(proc, /*c=*/true);
+      os_ << ") {\n";
+      emit_local_decls(proc, /*c=*/true);
+      emit_block(*body_of(proc), 1);
+      os_ << "}\n";
+    } else {
+      os_ << "subroutine " << st.name << "(";
+      emit_formals(proc, /*c=*/false);
+      os_ << ")\n";
+      emit_local_decls(proc, /*c=*/false);
+      emit_block(*body_of(proc), 1);
+      os_ << "end subroutine " << st.name << "\n";
+    }
+    return os_.str();
+  }
+
+ private:
+  static const WN* body_of(const ir::ProcedureIR& proc) {
+    return proc.tree->kid(proc.tree->kid_count() - 1);
+  }
+
+  void indent(int depth) { os_ << std::string(static_cast<std::size_t>(depth) * 2, ' '); }
+
+  void emit_formals(const ir::ProcedureIR& proc, bool c) {
+    bool first = true;
+    for (std::size_t i = 0; i + 1 < proc.tree->kid_count(); ++i) {
+      const WN* idname = proc.tree->kid(i);
+      const ir::St& st = program_.symtab.st(idname->st_idx());
+      const ir::Ty& ty = program_.symtab.ty(st.ty);
+      if (!first) os_ << ", ";
+      first = false;
+      if (c) {
+        os_ << ir::mtype_source_name(ty.mtype) << ' ' << st.name;
+        for (const ir::ArrayDim& d : ty.dims) {
+          os_ << '[';
+          if (const auto e = d.extent()) os_ << *e;
+          os_ << ']';
+        }
+      } else {
+        os_ << st.name;
+      }
+    }
+  }
+
+  void declare_fortran(const ir::St& st, const ir::Ty& ty) {
+    indent(1);
+    if (ty.mtype == Mtype::F8) {
+      os_ << "double precision";
+    } else if (ty.mtype == Mtype::F4) {
+      os_ << "real";
+    } else if (ty.mtype == Mtype::I1) {
+      os_ << "character";
+    } else {
+      os_ << "integer";
+    }
+    os_ << " :: " << st.name;
+    if (ty.is_array()) {
+      os_ << '(';
+      for (std::size_t i = 0; i < ty.dims.size(); ++i) {
+        if (i != 0) os_ << ", ";
+        const ir::ArrayDim& d = ty.dims[i];
+        if (d.lb.has_value() && *d.lb != 1) os_ << *d.lb << ':';
+        if (d.ub.has_value()) {
+          os_ << *d.ub;
+        } else if (!d.ub_sym.empty()) {
+          os_ << d.ub_sym;
+        } else {
+          os_ << '*';
+        }
+      }
+      os_ << ')';
+      if (ty.coarray) os_ << " [*]";
+    }
+    os_ << '\n';
+  }
+
+  void emit_local_decls(const ir::ProcedureIR& proc, bool c) {
+    for (ir::StIdx idx : program_.symtab.all_sts()) {
+      const ir::St& st = program_.symtab.st(idx);
+      if (st.owner_proc != proc.proc_st) continue;
+      if (st.sclass == ir::StClass::Proc) continue;
+      const ir::Ty& ty = program_.symtab.ty(st.ty);
+      if (c) {
+        if (st.storage == ir::StStorage::Formal) continue;  // in the signature
+        indent(1);
+        os_ << ir::mtype_source_name(ty.mtype) << ' ' << st.name;
+        for (const ir::ArrayDim& d : ty.dims) {
+          os_ << '[' << d.extent().value_or(0) << ']';
+        }
+        os_ << ";\n";
+      } else {
+        declare_fortran(st, ty);
+      }
+    }
+  }
+
+  void emit_block(const WN& block, int depth) {
+    for (std::size_t i = 0; i < block.kid_count(); ++i) emit_stmt(*block.kid(i), depth);
+  }
+
+  void emit_stmt(const WN& wn, int depth) {
+    const bool c = lang_ == Language::C;
+    switch (wn.opr()) {
+      case Opr::Stid:
+        indent(depth);
+        os_ << program_.symtab.st(wn.st_idx()).name << " = ";
+        emit_expr(*wn.kid(0));
+        os_ << (c ? ";\n" : "\n");
+        return;
+      case Opr::Istore:
+        indent(depth);
+        emit_expr(*wn.kid(1));  // ARRAY prints as a reference
+        os_ << " = ";
+        emit_expr(*wn.kid(0));
+        os_ << (c ? ";\n" : "\n");
+        return;
+      case Opr::DoLoop: {
+        const std::string var = program_.symtab.st(wn.loop_idname()->st_idx()).name;
+        indent(depth);
+        if (c) {
+          os_ << "for (" << var << " = ";
+          emit_expr(*wn.loop_init());
+          os_ << "; " << var << " <= ";
+          emit_expr(*wn.loop_end());
+          os_ << "; " << var << " += ";
+          emit_expr(*wn.loop_step());
+          os_ << ") {\n";
+          emit_block(*wn.loop_body(), depth + 1);
+          indent(depth);
+          os_ << "}\n";
+        } else {
+          os_ << "do " << var << " = ";
+          emit_expr(*wn.loop_init());
+          os_ << ", ";
+          emit_expr(*wn.loop_end());
+          const auto step = ir::eval_const(*wn.loop_step());
+          if (!step || *step != 1) {
+            os_ << ", ";
+            emit_expr(*wn.loop_step());
+          }
+          os_ << '\n';
+          emit_block(*wn.loop_body(), depth + 1);
+          indent(depth);
+          os_ << "end do\n";
+        }
+        return;
+      }
+      case Opr::If:
+        indent(depth);
+        os_ << (c ? "if (" : "if (");
+        emit_expr(*wn.kid(0));
+        os_ << (c ? ") {\n" : ") then\n");
+        emit_block(*wn.kid(1), depth + 1);
+        if (wn.kid(2)->kid_count() > 0) {
+          indent(depth);
+          os_ << (c ? "} else {\n" : "else\n");
+          emit_block(*wn.kid(2), depth + 1);
+        }
+        indent(depth);
+        os_ << (c ? "}\n" : "end if\n");
+        return;
+      case Opr::Call: {
+        indent(depth);
+        if (!c) os_ << "call ";
+        os_ << program_.symtab.st(wn.st_idx()).name << '(';
+        for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+          if (i != 0) os_ << ", ";
+          emit_expr(*wn.kid(i)->kid(0));
+        }
+        os_ << (c ? ");\n" : ")\n");
+        return;
+      }
+      case Opr::Return:
+        indent(depth);
+        os_ << (c ? "return;\n" : "return\n");
+        return;
+      case Opr::Pragma:
+        indent(depth);
+        os_ << (c ? "#pragma " : "!$") << wn.str_val() << '\n';
+        return;
+      default:
+        indent(depth);
+        os_ << "/* unsupported stmt " << ir::opr_name(wn.opr()) << " */\n";
+        return;
+    }
+  }
+
+  void emit_array_ref(const WN& arr) {
+    const ir::St& st = program_.symtab.st(arr.array_base()->st_idx());
+    const ir::Ty& ty = program_.symtab.ty(st.ty);
+    os_ << st.name;
+    const std::size_t n = arr.num_dim();
+    if (lang_ == Language::C) {
+      for (std::size_t i = 0; i < n; ++i) {
+        os_ << '[';
+        emit_expr(*arr.array_index(i));
+        os_ << ']';
+      }
+      return;
+    }
+    // Fortran: undo the row-major reversal and the zero-based adjustment.
+    os_ << '(';
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != 0) os_ << ", ";
+      const std::size_t kid = ty.row_major ? i : n - 1 - i;
+      const WN* index = arr.array_index(kid);
+      std::int64_t lb = 1;
+      if (ty.is_array() && i < ty.dims.size()) lb = ty.dims[i].lb.value_or(1);
+      if (lb == 0) {
+        emit_expr(*index);
+      } else {
+        // index + lb, folding the constant when the index itself ends in a
+        // matching "- lb" (the common lowering shape).
+        if (const auto v = ir::eval_const(*index)) {
+          os_ << *v + lb;
+        } else if (index->opr() == Opr::Sub && index->kid(1)->opr() == Opr::Intconst &&
+                   index->kid(1)->const_val() == lb) {
+          emit_expr(*index->kid(0));
+        } else {
+          emit_expr(*index);
+          os_ << " + " << lb;
+        }
+      }
+    }
+    os_ << ')';
+  }
+
+  void emit_expr(const WN& wn) {
+    switch (wn.opr()) {
+      case Opr::Intconst:
+        os_ << wn.const_val();
+        return;
+      case Opr::Fconst:
+        os_ << wn.flt_val();
+        return;
+      case Opr::Ldid:
+      case Opr::Lda:
+        os_ << program_.symtab.st(wn.st_idx()).name;
+        return;
+      case Opr::Array:
+        emit_array_ref(wn);
+        return;
+      case Opr::Coindex:
+        emit_expr(*wn.kid(0));
+        os_ << '[';
+        emit_expr(*wn.kid(1));
+        os_ << ']';
+        return;
+      case Opr::Iload:
+        emit_expr(*wn.kid(0));
+        return;
+      case Opr::Neg:
+        os_ << "-(";
+        emit_expr(*wn.kid(0));
+        os_ << ')';
+        return;
+      case Opr::Lnot:
+        os_ << (lang_ == Language::C ? "!(" : ".not.(");
+        emit_expr(*wn.kid(0));
+        os_ << ')';
+        return;
+      case Opr::Cvt:
+        emit_expr(*wn.kid(0));
+        return;
+      case Opr::Max:
+      case Opr::Min:
+        os_ << (wn.opr() == Opr::Max ? "max(" : "min(");
+        emit_expr(*wn.kid(0));
+        os_ << ", ";
+        emit_expr(*wn.kid(1));
+        os_ << ')';
+        return;
+      case Opr::Intrinsic: {
+        os_ << wn.str_val() << '(';
+        for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+          if (i != 0) os_ << ", ";
+          emit_expr(*wn.kid(i)->kid(0));
+        }
+        os_ << ')';
+        return;
+      }
+      case Opr::Parm:
+        emit_expr(*wn.kid(0));
+        return;
+      default:
+        if (ir::opr_is_binary(wn.opr())) {
+          os_ << '(';
+          emit_expr(*wn.kid(0));
+          os_ << ' ' << (lang_ == Language::C ? c_op(wn.opr()) : f_op(wn.opr())) << ' ';
+          emit_expr(*wn.kid(1));
+          os_ << ')';
+          return;
+        }
+        os_ << "/*?" << ir::opr_name(wn.opr()) << "*/";
+        return;
+    }
+  }
+
+  const ir::Program& program_;
+  Language lang_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string whirl2c(const ir::ProcedureIR& proc, const ir::Program& program) {
+  return Emitter(program, Language::C).emit_proc(proc);
+}
+
+std::string whirl2f(const ir::ProcedureIR& proc, const ir::Program& program) {
+  return Emitter(program, Language::Fortran).emit_proc(proc);
+}
+
+std::string emit_program(const ir::Program& program, Language lang) {
+  std::ostringstream os;
+  // Globals first (C syntax only; Fortran globals live in COMMON decls that
+  // the per-procedure declarations repeat).
+  if (lang == Language::C) {
+    for (ir::StIdx idx : program.symtab.all_sts()) {
+      const ir::St& st = program.symtab.st(idx);
+      if (st.sclass != ir::StClass::Var || st.storage != ir::StStorage::Global) continue;
+      const ir::Ty& ty = program.symtab.ty(st.ty);
+      os << ir::mtype_source_name(ty.mtype) << ' ' << st.name;
+      for (const ir::ArrayDim& d : ty.dims) os << '[' << d.extent().value_or(0) << ']';
+      os << ";\n";
+    }
+    os << '\n';
+  }
+  for (const ir::ProcedureIR& p : program.procedures) {
+    os << (lang == Language::C ? whirl2c(p, program) : whirl2f(p, program)) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ara::whirl2src

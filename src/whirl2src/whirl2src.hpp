@@ -1,0 +1,25 @@
+// WHIRL -> source back-translation. OpenUH "can be treated as a source to
+// source compiler ... very high and high level WHIRL can be translated back
+// to C and Fortran source codes via WHIRL2c, WHIRL2f and WHIRL2f90 tools.
+// However, this could incur minor loss of semantics." (§IV-A). Dragon's
+// source pane uses this when original sources are unavailable, and the tests
+// use it to check that lowering round-trips array subscripts (row-major
+// zero-based WHIRL back to source-order, source-based indices).
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace ara::whirl2src {
+
+/// Emits one procedure as C-like source.
+[[nodiscard]] std::string whirl2c(const ir::ProcedureIR& proc, const ir::Program& program);
+
+/// Emits one procedure as Fortran-like source.
+[[nodiscard]] std::string whirl2f(const ir::ProcedureIR& proc, const ir::Program& program);
+
+/// Emits the entire program in the given language.
+[[nodiscard]] std::string emit_program(const ir::Program& program, Language lang);
+
+}  // namespace ara::whirl2src

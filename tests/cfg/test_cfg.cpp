@@ -1,0 +1,187 @@
+#include "cfg/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+
+namespace ara::cfg {
+namespace {
+
+struct Compiled {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+};
+
+std::unique_ptr<Compiled> compile(const std::string& text) {
+  auto out = std::make_unique<Compiled>();
+  out->program.sources.add("t.f", text, Language::Fortran);
+  EXPECT_TRUE(fe::compile_program(out->program, out->diags)) << out->diags.render();
+  return out;
+}
+
+Cfg build_one(const ir::Program& p) { return Cfg::build(p.procedures.at(0), p.symtab); }
+
+TEST(Cfg, StraightLineIsEntryBodyExit) {
+  auto c = compile("subroutine s\n  integer :: i\n  i = 1\n  i = 2\nend subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  EXPECT_EQ(cfg.proc_name(), "s");
+  ASSERT_EQ(cfg.blocks().size(), 3u);  // entry, exit, body
+  EXPECT_EQ(cfg.blocks()[cfg.entry()].kind, BlockKind::Entry);
+  EXPECT_EQ(cfg.blocks()[cfg.exit()].kind, BlockKind::Exit);
+  // The body block holds both statements and flows to exit.
+  const BasicBlock& body = cfg.blocks()[2];
+  EXPECT_EQ(body.stmts.size(), 2u);
+  EXPECT_EQ(body.succs, (std::vector<std::uint32_t>{cfg.exit()}));
+}
+
+TEST(Cfg, IfProducesDiamond) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  if (i .gt. 0) then\n"
+      "    i = 1\n"
+      "  else\n"
+      "    i = 2\n"
+      "  end if\n"
+      "  i = 3\n"
+      "end subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  const BasicBlock* branch = nullptr;
+  for (const BasicBlock& b : cfg.blocks()) {
+    if (b.kind == BlockKind::Branch) branch = &b;
+  }
+  ASSERT_NE(branch, nullptr);
+  EXPECT_EQ(branch->succs.size(), 2u);
+  // Both arms converge on a join block.
+  const std::uint32_t then_bb = branch->succs[0];
+  const std::uint32_t else_bb = branch->succs[1];
+  ASSERT_EQ(cfg.blocks()[then_bb].succs.size(), 1u);
+  ASSERT_EQ(cfg.blocks()[else_bb].succs.size(), 1u);
+  EXPECT_EQ(cfg.blocks()[then_bb].succs[0], cfg.blocks()[else_bb].succs[0]);
+}
+
+TEST(Cfg, LoopHasBackEdge) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i, n\n"
+      "  do i = 1, 10\n"
+      "    n = n + i\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  const BasicBlock* head = nullptr;
+  for (const BasicBlock& b : cfg.blocks()) {
+    if (b.kind == BlockKind::LoopHead) head = &b;
+  }
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->succs.size(), 2u);  // into body, past the loop
+  // Some block inside the body branches back to the head.
+  bool back_edge = false;
+  for (const BasicBlock& b : cfg.blocks()) {
+    if (&b == head) continue;
+    for (std::uint32_t s : b.succs) back_edge |= s == head->id && b.id > head->id;
+  }
+  EXPECT_TRUE(back_edge);
+}
+
+TEST(Cfg, ReturnJumpsToExit) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  if (i .gt. 0) then\n"
+      "    return\n"
+      "  end if\n"
+      "  i = 1\n"
+      "end subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  // The exit block has at least two predecessors: the return and fallthrough.
+  EXPECT_GE(cfg.blocks()[cfg.exit()].preds.size(), 2u);
+}
+
+TEST(Cfg, EntryDominatesEverything) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i, n\n"
+      "  do i = 1, 4\n"
+      "    if (i .gt. 2) then\n"
+      "      n = 1\n"
+      "    end if\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  for (std::uint32_t b : cfg.reverse_postorder()) {
+    EXPECT_TRUE(cfg.dominates(cfg.entry(), b));
+  }
+}
+
+TEST(Cfg, LoopHeadDominatesBody) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i, n\n"
+      "  do i = 1, 4\n"
+      "    n = n + 1\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  std::uint32_t head = 0;
+  for (const BasicBlock& b : cfg.blocks()) {
+    if (b.kind == BlockKind::LoopHead) head = b.id;
+  }
+  const std::uint32_t body = cfg.blocks()[head].succs[0];
+  EXPECT_TRUE(cfg.dominates(head, body));
+  EXPECT_FALSE(cfg.dominates(body, head));
+}
+
+TEST(Cfg, BranchDoesNotDominateJoin) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  if (i .gt. 0) then\n"
+      "    i = 1\n"
+      "  end if\n"
+      "  i = 2\n"
+      "end subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  std::uint32_t branch = 0;
+  for (const BasicBlock& b : cfg.blocks()) {
+    if (b.kind == BlockKind::Branch) branch = b.id;
+  }
+  const std::uint32_t then_bb = cfg.blocks()[branch].succs[0];
+  EXPECT_TRUE(cfg.dominates(branch, then_bb));
+  // The then-arm does not dominate the join (the else path skips it).
+  const std::uint32_t join = cfg.blocks()[then_bb].succs.empty()
+                                 ? cfg.exit()
+                                 : cfg.blocks()[then_bb].succs[0];
+  EXPECT_FALSE(cfg.dominates(then_bb, join));
+}
+
+TEST(Cfg, DotOutputNamesAllBlocks) {
+  auto c = compile("subroutine s\n  integer :: i\n  i = 1\nend subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  const std::string dot = cfg.to_dot();
+  for (const BasicBlock& b : cfg.blocks()) {
+    EXPECT_NE(dot.find("B" + std::to_string(b.id)), std::string::npos);
+  }
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Cfg, WriterListsAllProcedures) {
+  auto c = compile("subroutine s\nend\nsubroutine t\nend\n");
+  const auto cfgs = build_all(c->program);
+  ASSERT_EQ(cfgs.size(), 2u);
+  const std::string text = write_cfg(cfgs);
+  EXPECT_NE(text.find("proc s "), std::string::npos);
+  EXPECT_NE(text.find("proc t "), std::string::npos);
+  EXPECT_EQ(text.rfind("CFG 1", 0), 0u);
+}
+
+TEST(Cfg, LineRangesCoverStatements) {
+  auto c = compile("subroutine s\n  integer :: i\n  i = 1\n  i = 2\nend subroutine s\n");
+  const Cfg cfg = build_one(c->program);
+  const BasicBlock& body = cfg.blocks()[2];
+  EXPECT_EQ(body.first_line, 3u);
+  EXPECT_EQ(body.last_line, 4u);
+}
+
+}  // namespace
+}  // namespace ara::cfg

@@ -1,0 +1,310 @@
+#include "dragon/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+
+namespace ara::dragon {
+namespace {
+
+struct Analyzed {
+  driver::Compiler cc;
+  ipa::AnalysisResult result;
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string& text, Language lang = Language::Fortran) {
+  auto out = std::make_unique<Analyzed>();
+  out->cc.add_source(lang == Language::C ? "t.c" : "t.f", text, lang);
+  EXPECT_TRUE(out->cc.compile()) << out->cc.diagnostics().render();
+  out->result = out->cc.analyze();
+  return out;
+}
+
+// ---- resize advisor ------------------------------------------------------
+
+TEST(ResizeAdvisor, ShrinksTheAarrExample) {
+  // §V-A: aarr[20] is only accessed up to index 8 -> suggest 9 elements.
+  auto a = analyze(
+      "int aarr[20];\n"
+      "void main(void) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 8; i++) aarr[i + 1] = aarr[i];\n"
+      "}",
+      Language::C);
+  const auto advice = advise_resize(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].array, "aarr");
+  EXPECT_FALSE(advice[0].unused);
+  EXPECT_EQ(advice[0].declared, (std::vector<std::int64_t>{20}));
+  EXPECT_EQ(advice[0].suggested, (std::vector<std::int64_t>{9}));
+  EXPECT_EQ(advice[0].saved_bytes, (20 - 9) * 4);
+}
+
+TEST(ResizeAdvisor, ReportsUnusedArrays) {
+  auto a = analyze("int dead[50];\nvoid main(void) { int i; i = 0; }", Language::C);
+  const auto advice = advise_resize(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_TRUE(advice[0].unused);
+  EXPECT_EQ(advice[0].saved_bytes, 200);
+}
+
+TEST(ResizeAdvisor, FullyUsedArraysGetNoAdvice) {
+  auto a = analyze(
+      "int v[8];\nvoid main(void) { int i; for (i = 0; i < 8; i++) v[i] = i; }",
+      Language::C);
+  EXPECT_TRUE(advise_resize(a->cc.program(), a->result).empty());
+}
+
+TEST(ResizeAdvisor, SymbolicAccessesSuppressAdvice) {
+  auto a = analyze(
+      "subroutine s(n)\n"
+      "  integer :: n, i\n"
+      "  integer :: v(100)\n"
+      "  do i = 1, n\n"
+      "    v(i) = 0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  EXPECT_TRUE(advise_resize(a->cc.program(), a->result).empty());
+}
+
+TEST(ResizeAdvisor, MultiDimensionalShrink) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(10, 10), i, j\n"
+      "  do i = 1, 4\n"
+      "    do j = 1, 6\n"
+      "      v(i, j) = 0\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto advice = advise_resize(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].suggested, (std::vector<std::int64_t>{4, 6}));
+}
+
+// ---- fusion advisor ------------------------------------------------------
+
+TEST(FusionAdvisor, AdjacentSameRegionLoopsFuse) {
+  auto a = analyze(
+      "subroutine verify(xcr)\n"
+      "  double precision :: xcr(5), d(5), s\n"
+      "  integer :: m\n"
+      "  s = 0.0\n"
+      "  do m = 1, 5\n"
+      "    d(m) = xcr(m)\n"
+      "  end do\n"
+      "  do m = 1, 5\n"
+      "    s = s + xcr(m)\n"
+      "  end do\n"
+      "end subroutine verify\n");
+  const auto advice = advise_fusion(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].proc, "verify");
+  EXPECT_EQ(advice[0].shared_arrays, (std::vector<std::string>{"xcr"}));
+  EXPECT_EQ(advice[0].refetched_bytes, 40);
+  EXPECT_NE(advice[0].message.find("!$omp parallel do"), std::string::npos);
+}
+
+TEST(FusionAdvisor, DifferentBoundsDoNotFuse) {
+  auto a = analyze(
+      "subroutine s(xcr)\n"
+      "  double precision :: xcr(5), d(5), t(5)\n"
+      "  integer :: m\n"
+      "  do m = 1, 5\n"
+      "    d(m) = xcr(m)\n"
+      "  end do\n"
+      "  do m = 1, 4\n"
+      "    t(m) = xcr(m)\n"
+      "  end do\n"
+      "end subroutine s\n");
+  EXPECT_TRUE(advise_fusion(a->cc.program(), a->result).empty());
+}
+
+TEST(FusionAdvisor, FlowDependenceBlocksFusion) {
+  // Loop 1 defines d; loop 2 reads it: not fusable under our conservative
+  // test (the def region overlaps the use region).
+  auto a = analyze(
+      "subroutine s(xcr)\n"
+      "  double precision :: xcr(5), d(5), t(5)\n"
+      "  integer :: m\n"
+      "  do m = 1, 5\n"
+      "    d(m) = xcr(m)\n"
+      "  end do\n"
+      "  do m = 1, 5\n"
+      "    t(m) = d(m) + xcr(m)\n"
+      "  end do\n"
+      "end subroutine s\n");
+  EXPECT_TRUE(advise_fusion(a->cc.program(), a->result).empty());
+}
+
+TEST(FusionAdvisor, DisjointDefRegionsStillFuse) {
+  // Loop 1 defines d(1:5), loop 2 reads d(6:10): provably disjoint.
+  auto a = analyze(
+      "subroutine s(xcr)\n"
+      "  double precision :: xcr(5), d(10), t(5)\n"
+      "  integer :: m\n"
+      "  do m = 1, 5\n"
+      "    d(m) = xcr(m)\n"
+      "  end do\n"
+      "  do m = 1, 5\n"
+      "    t(m) = d(m + 5) + xcr(m)\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto advice = advise_fusion(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].shared_arrays, (std::vector<std::string>{"xcr"}));
+}
+
+// ---- offload advisor -----------------------------------------------------
+
+TEST(OffloadAdvisor, EmitsSubArrayCopyin) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: u(5, 65, 65, 64), t\n"
+      "  common /cvar/ u\n"
+      "  integer :: i, j, k, m\n"
+      "  t = 0.0\n"
+      "  do k = 1, 4\n"
+      "    do j = 1, 10\n"
+      "      do i = 1, 5\n"
+      "        do m = 1, 3\n"
+      "          t = t + u(m, i, j, k)\n"
+      "        end do\n"
+      "      end do\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto advice = advise_offload(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  // The paper's directive: !$acc region copyin(u(1:3,1:5,1:10,1:4)).
+  EXPECT_EQ(advice[0].directive, "!$acc region copyin(u(1:3,1:5,1:10,1:4))");
+  EXPECT_EQ(advice[0].full_bytes, 10816000);
+  EXPECT_EQ(advice[0].region_bytes, 600 * 8);
+  EXPECT_GT(advice[0].est_speedup, 10.0);
+}
+
+TEST(OffloadAdvisor, CSyntaxUsesPragma) {
+  auto a = analyze(
+      "int aarr[20];\nint barr[20];\n"
+      "void main(void) { int i; for (i = 2; i < 8; i += 2) barr[i] = aarr[i]; }",
+      Language::C);
+  const auto advice = advise_offload(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].directive.rfind("#pragma acc region for", 0), 0u);
+  EXPECT_NE(advice[0].directive.find("copyin(aarr[2:6])"), std::string::npos);
+  EXPECT_NE(advice[0].directive.find("copyout(barr[2:6])"), std::string::npos);
+}
+
+TEST(OffloadAdvisor, DefAndUseBecomesCopy) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: v(100)\n"
+      "  common /c/ v\n"
+      "  integer :: i\n"
+      "  do i = 1, 10\n"
+      "    v(i) = v(i) + 1.0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto advice = advise_offload(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_NE(advice[0].directive.find("copy(v(1:10))"), std::string::npos);
+  EXPECT_EQ(advice[0].directive.find("copyin"), std::string::npos);
+}
+
+TEST(OffloadAdvisor, WholeArrayAccessGivesNoAdvice) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: v(10)\n"
+      "  common /c/ v\n"
+      "  integer :: i\n"
+      "  do i = 1, 10\n"
+      "    v(i) = 1.0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  EXPECT_TRUE(advise_offload(a->cc.program(), a->result).empty());
+}
+
+// ---- parallel-calls advisor ------------------------------------------------
+
+const char* kFig1 =
+    "subroutine p1(a, j)\n"
+    "  integer, dimension(1:200, 1:200) :: a\n"
+    "  integer :: j, i, k\n"
+    "  do i = 1, 100\n"
+    "    do k = 1, 100\n"
+    "      a(i, k) = i + k + j\n"
+    "    end do\n"
+    "  end do\n"
+    "end subroutine p1\n"
+    "subroutine p2(a, j)\n"
+    "  integer, dimension(1:200, 1:200) :: a\n"
+    "  integer :: j, i, k, s\n"
+    "  do i = 101, 200\n"
+    "    do k = 101, 200\n"
+    "      s = s + a(i, k)\n"
+    "    end do\n"
+    "  end do\n"
+    "end subroutine p2\n"
+    "subroutine add\n"
+    "  integer, dimension(1:200, 1:200) :: a\n"
+    "  integer :: m, j\n"
+    "  m = 10\n"
+    "  do j = 1, m\n"
+    "    call p1(a, j)\n"
+    "    call p2(a, j)\n"
+    "  end do\n"
+    "end subroutine add\n";
+
+TEST(ParallelCallsAdvisor, Fig1IsParallelizable) {
+  auto a = analyze(kFig1);
+  const auto advice = advise_parallel_calls(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].proc, "add");
+  EXPECT_EQ(advice[0].callees, (std::vector<std::string>{"p1", "p2"}));
+  EXPECT_TRUE(advice[0].parallelizable);
+}
+
+TEST(ParallelCallsAdvisor, OverlappingRegionsConflict) {
+  auto a = analyze(
+      "subroutine w1(a)\n"
+      "  integer :: a(100), i\n"
+      "  do i = 1, 60\n"
+      "    a(i) = i\n"
+      "  end do\n"
+      "end subroutine w1\n"
+      "subroutine w2(a)\n"
+      "  integer :: a(100), i, s\n"
+      "  do i = 50, 100\n"
+      "    s = s + a(i)\n"
+      "  end do\n"
+      "end subroutine w2\n"
+      "subroutine driver\n"
+      "  integer :: a(100), j\n"
+      "  do j = 1, 10\n"
+      "    call w1(a)\n"
+      "    call w2(a)\n"
+      "  end do\n"
+      "end subroutine driver\n");
+  const auto advice = advise_parallel_calls(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_FALSE(advice[0].parallelizable);
+  EXPECT_NE(advice[0].reason.find("conflict"), std::string::npos);
+}
+
+TEST(ParallelCallsAdvisor, SingleCallLoopsIgnored) {
+  auto a = analyze(
+      "subroutine leaf(a)\n"
+      "  integer :: a(10)\n"
+      "  a(1) = 0\n"
+      "end subroutine leaf\n"
+      "subroutine driver\n"
+      "  integer :: a(10), j\n"
+      "  do j = 1, 10\n"
+      "    call leaf(a)\n"
+      "  end do\n"
+      "end subroutine driver\n");
+  EXPECT_TRUE(advise_parallel_calls(a->cc.program(), a->result).empty());
+}
+
+}  // namespace
+}  // namespace ara::dragon

@@ -1,0 +1,81 @@
+#include "dragon/browser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+
+namespace ara::dragon {
+namespace {
+
+struct Compiled {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+};
+
+std::unique_ptr<Compiled> compile() {
+  auto out = std::make_unique<Compiled>();
+  out->program.sources.add("verify.f",
+                           "subroutine verify(xcr)\n"
+                           "  double precision :: xcr(5), s\n"
+                           "  integer :: m\n"
+                           "  s = 0.0\n"
+                           "  do m = 1, 5\n"
+                           "    s = s + xcr(m)\n"
+                           "  end do\n"
+                           "end subroutine verify\n",
+                           Language::Fortran);
+  EXPECT_TRUE(fe::compile_program(out->program, out->diags)) << out->diags.render();
+  return out;
+}
+
+TEST(Browser, GrepFindsAllStatements) {
+  auto c = compile();
+  SourceBrowser browser(c->program);
+  const auto hits = browser.grep("xcr");
+  ASSERT_EQ(hits.size(), 3u);  // decl, formal list and the use
+  EXPECT_EQ(hits[0].file, "verify.f");
+  EXPECT_EQ(hits[0].line, 1u);
+  EXPECT_NE(hits[2].text.find("xcr(m)"), std::string::npos);
+}
+
+TEST(Browser, LocateResolvesRowToSourceLine) {
+  auto c = compile();
+  SourceBrowser browser(c->program);
+  rgn::RegionRow row;
+  row.file = "verify.o";
+  row.line = 6;
+  const std::string loc = browser.locate(row);
+  EXPECT_NE(loc.find("verify.f:6"), std::string::npos);
+  EXPECT_NE(loc.find("xcr(m)"), std::string::npos);
+}
+
+TEST(Browser, LocateUnknownFileIsEmpty) {
+  auto c = compile();
+  SourceBrowser browser(c->program);
+  rgn::RegionRow row;
+  row.file = "nosuch.o";
+  row.line = 1;
+  EXPECT_TRUE(browser.locate(row).empty());
+}
+
+TEST(Browser, ListingMarksRequestedLines) {
+  auto c = compile();
+  SourceBrowser browser(c->program);
+  const std::string text = browser.listing("verify.f", {6});
+  EXPECT_NE(text.find("> 6"), std::string::npos);
+  EXPECT_NE(text.find("  1"), std::string::npos);
+  EXPECT_TRUE(browser.listing("nosuch.f").empty());
+}
+
+
+TEST(Browser, AnsiListingHighlightsFocusArray) {
+  auto c = compile();
+  SourceBrowser browser(c->program);
+  const std::string text = browser.listing("verify.f", {6}, /*ansi=*/true, "xcr");
+  EXPECT_NE(text.find("\x1b[32mxcr\x1b[0m"), std::string::npos);  // focus green
+  EXPECT_NE(text.find("\x1b[1;34m"), std::string::npos);           // keywords styled
+  EXPECT_NE(text.find("> 6"), std::string::npos);                   // mark preserved
+}
+
+}  // namespace
+}  // namespace ara::dragon

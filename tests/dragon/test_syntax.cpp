@@ -1,0 +1,62 @@
+#include "dragon/syntax.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::dragon {
+namespace {
+
+TEST(Syntax, KeywordsPerLanguage) {
+  EXPECT_TRUE(is_keyword("SUBROUTINE", Language::Fortran));
+  EXPECT_TRUE(is_keyword("do", Language::Fortran));
+  EXPECT_FALSE(is_keyword("for", Language::Fortran));
+  EXPECT_TRUE(is_keyword("for", Language::C));
+  EXPECT_FALSE(is_keyword("FOR", Language::C));  // C keywords are case-sensitive
+  EXPECT_FALSE(is_keyword("xcr", Language::Fortran));
+}
+
+TEST(Syntax, HighlightsKeywordsAndNumbers) {
+  const SyntaxStyle s;
+  const std::string out = highlight_line("do i = 1, 100", Language::Fortran);
+  EXPECT_NE(out.find(s.keyword + "do" + s.reset), std::string::npos);
+  EXPECT_NE(out.find(s.number + "1" + s.reset), std::string::npos);
+  EXPECT_NE(out.find(s.number + "100" + s.reset), std::string::npos);
+}
+
+TEST(Syntax, FocusIdentifierIsGreen) {
+  const SyntaxStyle s;
+  const std::string out =
+      highlight_line("xcrdif(m) = abs(xcr(m))", Language::Fortran, "xcr");
+  EXPECT_NE(out.find(s.focus + "xcr" + s.reset), std::string::npos);
+  // xcrdif is a different identifier: never painted as focus.
+  EXPECT_EQ(out.find(s.focus + "xcrdif"), std::string::npos);
+}
+
+TEST(Syntax, CommentsAreDimmedToLineEnd) {
+  const SyntaxStyle s;
+  const std::string f = highlight_line("x = 1 ! do not touch", Language::Fortran);
+  EXPECT_NE(f.find(s.comment + "! do not touch" + s.reset), std::string::npos);
+  // The 'do' inside the comment is not a keyword hit.
+  EXPECT_EQ(f.find(s.keyword + "do"), std::string::npos);
+  const std::string c = highlight_line("i = 2; // for later", Language::C);
+  EXPECT_NE(c.find(s.comment + "// for later" + s.reset), std::string::npos);
+}
+
+TEST(Syntax, PlainTextSurvivesUnchanged) {
+  // Stripping the escapes must give back the original line.
+  const std::string line = "u(m, i, j, k) = 0.5 * (flux(m) + q)";
+  std::string out = highlight_line(line, Language::Fortran, "u");
+  std::string stripped;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == '\x1b') {
+      while (i < out.size() && out[i] != 'm') ++i;
+      continue;
+    }
+    stripped += out[i];
+  }
+  EXPECT_EQ(stripped, line);
+}
+
+TEST(Syntax, EmptyLine) { EXPECT_EQ(highlight_line("", Language::C), ""); }
+
+}  // namespace
+}  // namespace ara::dragon

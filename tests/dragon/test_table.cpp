@@ -1,0 +1,96 @@
+#include "dragon/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::dragon {
+namespace {
+
+rgn::RegionRow row(const std::string& scope, const std::string& array, const std::string& mode,
+                   std::uint64_t refs, std::int64_t bytes) {
+  rgn::RegionRow r;
+  r.scope = scope;
+  r.array = array;
+  r.mode = mode;
+  r.references = refs;
+  r.size_bytes = bytes;
+  r.acc_density = rgn::access_density_pct(refs, bytes);
+  r.file = "t.o";
+  return r;
+}
+
+ArrayTable sample_table() {
+  return ArrayTable({
+      row("@", "u", "USE", 110, 10816000),
+      row("@", "u", "DEF", 12, 10816000),
+      row("verify", "xcr", "USE", 4, 40),
+      row("verify", "xcr", "FORMAL", 1, 40),
+      row("verify", "xce", "USE", 4, 40),
+      row("rhs", "flux", "DEF", 20, 2600),
+  });
+}
+
+TEST(ArrayTable, ScopesListGlobalsFirst) {
+  const auto scopes = sample_table().scopes();
+  ASSERT_GE(scopes.size(), 3u);
+  EXPECT_EQ(scopes[0], "@");
+  EXPECT_EQ(scopes[1], "verify");
+  EXPECT_EQ(scopes[2], "rhs");
+}
+
+TEST(ArrayTable, RowsForScopeFilters) {
+  const ArrayTable t = sample_table();
+  EXPECT_EQ(t.rows_for_scope("@").size(), 2u);
+  EXPECT_EQ(t.rows_for_scope("verify").size(), 3u);
+  EXPECT_EQ(t.rows_for_scope("VERIFY").size(), 3u);  // case-insensitive
+  EXPECT_TRUE(t.rows_for_scope("nosuch").empty());
+}
+
+TEST(ArrayTable, FindHighlightsAllMatches) {
+  const ArrayTable t = sample_table();
+  const auto hits = t.find("xcr");
+  ASSERT_EQ(hits.size(), 2u);
+  for (std::size_t i : hits) EXPECT_EQ(t.rows()[i].array, "xcr");
+  EXPECT_TRUE(t.find("nosuch").empty());
+}
+
+TEST(ArrayTable, ArraysInScopeDeduplicated) {
+  const auto arrays = sample_table().arrays_in_scope("verify");
+  EXPECT_EQ(arrays, (std::vector<std::string>{"xcr", "xce"}));
+}
+
+TEST(ArrayTable, HotspotsRankByExactDensity) {
+  const auto hot = sample_table().hotspots(3);
+  ASSERT_GE(hot.size(), 2u);
+  // xcr USE: 4/40 = 0.1 is the densest.
+  EXPECT_EQ(hot[0].array, "xcr");
+  EXPECT_EQ(hot[0].mode, "USE");
+  // Exact density ranks xce (0.1) above flux (20/2600 ≈ 0.0077).
+  EXPECT_EQ(hot[1].array, "xce");
+}
+
+TEST(ArrayTable, HotspotsDeduplicateByArrayAndMode) {
+  ArrayTable t({
+      row("@", "a", "USE", 10, 10),
+      row("@", "a", "USE", 10, 10),
+      row("@", "b", "USE", 1, 10),
+  });
+  const auto hot = t.hotspots(5);
+  EXPECT_EQ(hot.size(), 2u);
+}
+
+TEST(ArrayTable, RenderMarksHighlightedArray) {
+  const std::string out = sample_table().render("verify", "xcr");
+  EXPECT_NE(out.find("* xcr"), std::string::npos);
+  EXPECT_NE(out.find("  xce"), std::string::npos);
+}
+
+TEST(ArrayTable, RenderShowsPaperColumns) {
+  const std::string out = sample_table().render("@");
+  for (const char* col : {"Array", "Mode", "Refs", "LB", "UB", "Stride", "Dim_size",
+                          "Size_bytes", "Mem_Loc", "Acc_density"}) {
+    EXPECT_NE(out.find(col), std::string::npos) << col;
+  }
+}
+
+}  // namespace
+}  // namespace ara::dragon

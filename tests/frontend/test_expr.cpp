@@ -1,0 +1,96 @@
+// Expression grammar tests: precedence, associativity and the evaluation
+// semantics end to end (parse -> lower -> interpret -> compare with the C++
+// compiler's own arithmetic).
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "interp/interp.hpp"
+
+namespace ara::fe {
+namespace {
+
+/// Compiles `x = <expr>` in C and returns the interpreted value of x.
+double eval_c(const std::string& expr) {
+  ir::Program program;
+  DiagnosticEngine diags(nullptr);
+  program.sources.add("t.c", "double x;\nvoid main(void) { x = " + expr + "; }", Language::C);
+  EXPECT_TRUE(compile_program(program, diags)) << diags.render();
+  interp::Interpreter interp(program);
+  const auto r = interp.run("main", nullptr);
+  EXPECT_TRUE(r.ok) << r.error;
+  return interp.scalar_value("x").value_or(-999);
+}
+
+double eval_f(const std::string& expr) {
+  ir::Program program;
+  DiagnosticEngine diags(nullptr);
+  program.sources.add(
+      "t.f", "subroutine s\n  double precision :: x\n  common /c/ x\n  x = " + expr + "\nend\n",
+      Language::Fortran);
+  EXPECT_TRUE(compile_program(program, diags)) << diags.render();
+  interp::Interpreter interp(program);
+  const auto r = interp.run("s", nullptr);
+  EXPECT_TRUE(r.ok) << r.error;
+  return interp.scalar_value("x").value_or(-999);
+}
+
+TEST(Expr, MultiplicationBindsTighterThanAddition) {
+  EXPECT_EQ(eval_c("2 + 3 * 4"), 14);
+  EXPECT_EQ(eval_c("(2 + 3) * 4"), 20);
+  EXPECT_EQ(eval_f("2 + 3 * 4"), 14);
+}
+
+TEST(Expr, LeftAssociativity) {
+  EXPECT_EQ(eval_c("20 - 5 - 3"), 12);
+  EXPECT_EQ(eval_c("100.0 / 10 / 2"), 5);
+  EXPECT_EQ(eval_f("20 - 5 - 3"), 12);
+}
+
+TEST(Expr, UnaryMinusAndDoubleNegation) {
+  EXPECT_EQ(eval_c("-3 + 10"), 7);
+  EXPECT_EQ(eval_c("- - 5"), 5);
+  EXPECT_EQ(eval_f("-(2 * 3)"), -6);
+}
+
+TEST(Expr, ComparisonYieldsZeroOne) {
+  EXPECT_EQ(eval_c("3 < 5"), 1);
+  EXPECT_EQ(eval_c("3 > 5"), 0);
+  EXPECT_EQ(eval_f("3 .le. 3"), 1);
+  EXPECT_EQ(eval_f("3 .ne. 3"), 0);
+}
+
+TEST(Expr, LogicalOperatorsAndPrecedence) {
+  // && binds tighter than ||.
+  EXPECT_EQ(eval_c("1 || 0 && 0"), 1);
+  EXPECT_EQ(eval_c("(1 || 0) && 0"), 0);
+  EXPECT_EQ(eval_f("1 .or. 0 .and. 0"), 1);
+}
+
+TEST(Expr, ComparisonBindsTighterThanLogical) {
+  EXPECT_EQ(eval_c("2 < 3 && 4 < 5"), 1);
+  EXPECT_EQ(eval_f("2 .lt. 3 .and. 5 .lt. 4"), 0);
+}
+
+TEST(Expr, ModuloAndIntegerDivision) {
+  EXPECT_EQ(eval_f("mod(17, 5)"), 2);
+  EXPECT_EQ(eval_c("17 % 5"), 2);
+}
+
+TEST(Expr, IntrinsicNesting) {
+  EXPECT_EQ(eval_f("max(1.0, min(9.0, 4.0))"), 4);
+  EXPECT_EQ(eval_f("abs(-7.5)"), 7.5);
+  EXPECT_EQ(eval_f("sqrt(16.0)"), 4);
+}
+
+TEST(Expr, FloatLiteralForms) {
+  EXPECT_DOUBLE_EQ(eval_f("1.5d2"), 150.0);
+  EXPECT_DOUBLE_EQ(eval_c("2.5e-1"), 0.25);
+  EXPECT_DOUBLE_EQ(eval_f("0.125"), 0.125);
+}
+
+TEST(Expr, DeeplyNestedParentheses) {
+  EXPECT_EQ(eval_c("((((1 + 2)) * ((3))))"), 9);
+}
+
+}  // namespace
+}  // namespace ara::fe

@@ -1,0 +1,155 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ara::fe {
+namespace {
+
+std::vector<Token> lex(const std::string& text, Language lang) {
+  SourceManager sm;
+  const FileId f = sm.add(lang == Language::C ? "t.c" : "t.f", text, lang);
+  DiagnosticEngine diags(&sm);
+  Lexer lexer(sm, f, diags);
+  auto tokens = lexer.tokenize();
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return tokens;
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& tokens) {
+  std::vector<Tok> out;
+  for (const Token& t : tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerFortran, BasicStatement) {
+  const auto t = lex("a = b + 1\n", Language::Fortran);
+  EXPECT_EQ(kinds(t), (std::vector<Tok>{Tok::Ident, Tok::Assign, Tok::Ident, Tok::Plus,
+                                        Tok::IntLit, Tok::Newline, Tok::Eof}));
+}
+
+TEST(LexerFortran, DotOperators) {
+  const auto t = lex("if (a .lt. b .and. c .ge. d)\n", Language::Fortran);
+  const auto k = kinds(t);
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::Lt), k.end());
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::AndAnd), k.end());
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::Ge), k.end());
+}
+
+TEST(LexerFortran, DotTrueFalseAreIntLiterals) {
+  const auto t = lex("x = .true.\ny = .false.\n", Language::Fortran);
+  ASSERT_GE(t.size(), 6u);
+  EXPECT_EQ(t[2].kind, Tok::IntLit);
+  EXPECT_EQ(t[2].int_val, 1);
+}
+
+TEST(LexerFortran, CommentsAreSkipped) {
+  const auto t = lex("! full line comment\nx = 1 ! trailing\n", Language::Fortran);
+  EXPECT_EQ(kinds(t), (std::vector<Tok>{Tok::Ident, Tok::Assign, Tok::IntLit, Tok::Newline,
+                                        Tok::Eof}));
+}
+
+TEST(LexerFortran, ContinuationJoinsLines) {
+  const auto t = lex("x = 1 + &\n    2\n", Language::Fortran);
+  // No Newline between "+" and "2".
+  EXPECT_EQ(kinds(t), (std::vector<Tok>{Tok::Ident, Tok::Assign, Tok::IntLit, Tok::Plus,
+                                        Tok::IntLit, Tok::Newline, Tok::Eof}));
+}
+
+TEST(LexerFortran, BlankLinesCollapse) {
+  const auto t = lex("x = 1\n\n\ny = 2\n", Language::Fortran);
+  std::size_t newlines = 0;
+  for (const Token& tok : t) newlines += tok.kind == Tok::Newline ? 1 : 0;
+  EXPECT_EQ(newlines, 2u);
+}
+
+TEST(LexerFortran, DExponentFloats) {
+  const auto t = lex("x = 1.5d-3\n", Language::Fortran);
+  ASSERT_EQ(t[2].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(t[2].float_val, 1.5e-3);
+}
+
+TEST(LexerFortran, SlashEqualsIsNotEqual) {
+  const auto t = lex("if (a /= b)\n", Language::Fortran);
+  const auto k = kinds(t);
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::NotEq), k.end());
+}
+
+TEST(LexerFortran, SingleQuoteStrings) {
+  const auto t = lex("class = 'U'\n", Language::Fortran);
+  ASSERT_EQ(t[2].kind, Tok::StringLit);
+  EXPECT_EQ(t[2].text, "U");
+}
+
+TEST(LexerFortran, MissingNewlineAtEofIsSynthesized) {
+  const auto t = lex("x = 1", Language::Fortran);
+  EXPECT_EQ(t[t.size() - 2].kind, Tok::Newline);
+  EXPECT_EQ(t.back().kind, Tok::Eof);
+}
+
+TEST(LexerC, OperatorsAndBrackets) {
+  const auto t = lex("a[i] += b && c || !d;", Language::C);
+  const auto k = kinds(t);
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::LBracket), k.end());
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::PlusEq), k.end());
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::AndAnd), k.end());
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::OrOr), k.end());
+  EXPECT_NE(std::find(k.begin(), k.end(), Tok::Not), k.end());
+}
+
+TEST(LexerC, NoNewlineTokens) {
+  const auto t = lex("int x;\nint y;\n", Language::C);
+  for (const Token& tok : t) EXPECT_NE(tok.kind, Tok::Newline);
+}
+
+TEST(LexerC, LineAndBlockComments) {
+  const auto t = lex("x = 1; // c1\n/* c2\nc3 */ y = 2;", Language::C);
+  std::size_t idents = 0;
+  for (const Token& tok : t) idents += tok.kind == Tok::Ident ? 1 : 0;
+  EXPECT_EQ(idents, 2u);
+}
+
+TEST(LexerC, PreprocessorLinesSkipped) {
+  const auto t = lex("#pragma acc region\nx = 1;", Language::C);
+  EXPECT_EQ(t[0].kind, Tok::Ident);
+  EXPECT_EQ(t[0].text, "x");
+}
+
+TEST(LexerC, PlusPlusAndArrows) {
+  const auto t = lex("i++;", Language::C);
+  EXPECT_EQ(t[1].kind, Tok::PlusPlus);
+}
+
+TEST(LexerC, LineColumnsTracked) {
+  const auto t = lex("x = 1;\n  y = 2;", Language::C);
+  // "y" is line 2, column 3.
+  const Token* y = nullptr;
+  for (const Token& tok : t) {
+    if (tok.kind == Tok::Ident && tok.text == "y") y = &tok;
+  }
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->loc.line, 2u);
+  EXPECT_EQ(y->loc.col, 3u);
+}
+
+TEST(LexerErrors, UnterminatedString) {
+  SourceManager sm;
+  const FileId f = sm.add("t.f", "x = 'oops\n", Language::Fortran);
+  DiagnosticEngine diags(&sm);
+  Lexer lexer(sm, f, diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerErrors, UnknownDotOperator) {
+  SourceManager sm;
+  const FileId f = sm.add("t.f", "x = a .foo. b\n", Language::Fortran);
+  DiagnosticEngine diags(&sm);
+  Lexer lexer(sm, f, diags);
+  (void)lexer.tokenize();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace ara::fe

@@ -1,0 +1,231 @@
+// Lowering tests: the ARRAY node must come out in the documented row-major,
+// zero-based form, with Fortran dimensions reversed and index expressions
+// adjusted by the declared lower bound (§IV-C, §V-B).
+#include "frontend/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "ir/address.hpp"
+#include "ir/verifier.hpp"
+
+namespace ara::fe {
+namespace {
+
+struct Compiled {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+  bool ok = false;
+};
+
+std::unique_ptr<Compiled> compile(const std::string& text, Language lang) {
+  auto out = std::make_unique<Compiled>();
+  out->program.sources.add(lang == Language::C ? "t.c" : "t.f", text, lang);
+  out->ok = compile_program(out->program, out->diags);
+  return out;
+}
+
+/// First node of the given operator in pre-order, or nullptr.
+const ir::WN* find_op(const ir::WN& root, ir::Opr op) {
+  const ir::WN* found = nullptr;
+  root.walk([&](const ir::WN& wn) {
+    if (found == nullptr && wn.opr() == op) found = &wn;
+    return found == nullptr;
+  });
+  return found;
+}
+
+TEST(Lower, EveryProcedureVerifies) {
+  auto c = compile(
+      "subroutine s(a, n)\n"
+      "  integer :: n, i\n"
+      "  double precision :: a(n)\n"
+      "  do i = 1, n\n"
+      "    a(i) = 0.0\n"
+      "  end do\n"
+      "  if (n .gt. 0) then\n"
+      "    call s(a, n - 1)\n"
+      "  end if\n"
+      "  return\n"
+      "end subroutine s\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  EXPECT_TRUE(ir::verify_program(c->program).empty());
+}
+
+TEST(Lower, FortranArrayIsReversedToRowMajor) {
+  // a(1:10, 1:20): source dims (10,20); WHIRL kid order must be (20,10) and
+  // index kids (j-1, i-1) for a(i,j).
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: a(10, 20), i, j\n"
+      "  a(i, j) = 1\n"
+      "end subroutine s\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* arr = find_op(*c->program.procedures[0].tree, ir::Opr::Array);
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->num_dim(), 2u);
+  EXPECT_EQ(arr->array_dim(0)->const_val(), 20);  // reversed
+  EXPECT_EQ(arr->array_dim(1)->const_val(), 10);
+  // Index kid 0 is (j - 1): a SUB of LDID j and 1.
+  const ir::WN* idx0 = arr->array_index(0);
+  ASSERT_EQ(idx0->opr(), ir::Opr::Sub);
+  EXPECT_EQ(c->program.symtab.st(idx0->kid(0)->st_idx()).name, "j");
+  EXPECT_EQ(idx0->kid(1)->const_val(), 1);
+}
+
+TEST(Lower, CArrayKeepsOrderAndZeroBase) {
+  auto c = compile("int a[4][6];\nvoid main(void) { int i; a[i][2] = 0; }", Language::C);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* arr = find_op(*c->program.procedures[0].tree, ir::Opr::Array);
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->array_dim(0)->const_val(), 4);
+  EXPECT_EQ(arr->array_dim(1)->const_val(), 6);
+  EXPECT_EQ(arr->array_index(0)->opr(), ir::Opr::Ldid);  // i, no adjustment
+  EXPECT_EQ(arr->array_index(1)->const_val(), 2);
+}
+
+TEST(Lower, ElementSizeComesFromTheType) {
+  auto c = compile("double d[8];\nchar t[8];\nvoid main(void) { d[0] = 1.0; t[0] = 1; }",
+                   Language::C);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* body = c->program.procedures[0].tree->kid(0);
+  const ir::WN* first = find_op(*body->kid(0), ir::Opr::Array);
+  const ir::WN* second = find_op(*body->kid(1), ir::Opr::Array);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->element_size(), 8);
+  EXPECT_EQ(second->element_size(), 1);
+}
+
+TEST(Lower, ConstantSubscriptAddressMatchesFormula) {
+  // The WHIRL ARRAY node of u(2,3) in a Fortran u(5,4) must denote
+  // base + 8 * ((3-1)*5 + (2-1)) under the row-major formula.
+  auto c = compile(
+      "subroutine s\n"
+      "  double precision :: u(5, 4)\n"
+      "  u(2, 3) = 1.0\n"
+      "end subroutine s\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* arr = find_op(*c->program.procedures[0].tree, ir::Opr::Array);
+  ASSERT_NE(arr, nullptr);
+  const auto addr = ir::eval_array_address(*arr, c->program);
+  ASSERT_TRUE(addr.has_value());
+  const ir::St* u = nullptr;
+  for (ir::StIdx idx : c->program.symtab.all_sts()) {
+    if (c->program.symtab.st(idx).name == "u") u = &c->program.symtab.st(idx);
+  }
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(*addr, u->addr + 8u * ((3 - 1) * 5 + (2 - 1)));
+}
+
+TEST(Lower, WholeArrayActualIsAnAddress) {
+  auto c = compile(
+      "subroutine callee(v)\n"
+      "  double precision :: v(5)\n"
+      "end subroutine callee\n"
+      "subroutine caller\n"
+      "  double precision :: x(5)\n"
+      "  call callee(x)\n"
+      "end subroutine caller\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* call = find_op(*c->program.procedures[1].tree, ir::Opr::Call);
+  ASSERT_NE(call, nullptr);
+  ASSERT_EQ(call->kid_count(), 1u);
+  EXPECT_EQ(call->kid(0)->kid(0)->opr(), ir::Opr::Lda);
+}
+
+TEST(Lower, FormalArrayBaseIsLdid) {
+  // A formal array is already an address value: base must be LDID.
+  auto c = compile(
+      "subroutine s(v)\n"
+      "  double precision :: v(5)\n"
+      "  v(1) = 0.0\n"
+      "end subroutine s\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* arr = find_op(*c->program.procedures[0].tree, ir::Opr::Array);
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->array_base()->opr(), ir::Opr::Ldid);
+}
+
+TEST(Lower, ElementActualPassesTheArrayNode) {
+  auto c = compile(
+      "subroutine callee(x)\n"
+      "  double precision :: x\n"
+      "end subroutine callee\n"
+      "subroutine caller\n"
+      "  double precision :: a(5)\n"
+      "  call callee(a(3))\n"
+      "end subroutine caller\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* call = find_op(*c->program.procedures[1].tree, ir::Opr::Call);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->kid(0)->kid(0)->opr(), ir::Opr::Array);
+}
+
+TEST(Lower, DoLoopKidsAreInitEndStep) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i, n, a(100)\n"
+      "  do i = 2, n - 1, 3\n"
+      "    a(i) = i\n"
+      "  end do\n"
+      "end subroutine s\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* loop = find_op(*c->program.procedures[0].tree, ir::Opr::DoLoop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->loop_init()->const_val(), 2);
+  EXPECT_EQ(loop->loop_end()->opr(), ir::Opr::Sub);
+  EXPECT_EQ(loop->loop_step()->const_val(), 3);
+}
+
+TEST(Lower, IntrinsicsLowered) {
+  auto c = compile(
+      "subroutine s\n"
+      "  double precision :: x\n"
+      "  integer :: i\n"
+      "  x = max(x, 1.0)\n"
+      "  x = sqrt(x)\n"
+      "  i = mod(i, 3)\n"
+      "  x = dble(i)\n"
+      "end subroutine s\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN& tree = *c->program.procedures[0].tree;
+  EXPECT_NE(find_op(tree, ir::Opr::Max), nullptr);
+  EXPECT_NE(find_op(tree, ir::Opr::Intrinsic), nullptr);  // sqrt
+  EXPECT_NE(find_op(tree, ir::Opr::Mod), nullptr);
+  EXPECT_NE(find_op(tree, ir::Opr::Cvt), nullptr);  // dble
+}
+
+TEST(Lower, VariableLengthDimLowersToExtentExpression) {
+  auto c = compile(
+      "subroutine s(a, n)\n"
+      "  integer :: n, i\n"
+      "  double precision :: a(n)\n"
+      "  a(1) = 0.0\n"
+      "end subroutine s\n",
+      Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* arr = find_op(*c->program.procedures[0].tree, ir::Opr::Array);
+  ASSERT_NE(arr, nullptr);
+  // The extent kid reads n at run time.
+  EXPECT_EQ(arr->array_dim(0)->opr(), ir::Opr::Ldid);
+}
+
+TEST(Lower, LinenumsPropagate) {
+  auto c = compile("int a[5];\nvoid main(void) {\n  a[1] = 2;\n}", Language::C);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::WN* store = find_op(*c->program.procedures[0].tree, ir::Opr::Istore);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->linenum().line, 3u);
+}
+
+}  // namespace
+}  // namespace ara::fe

@@ -1,0 +1,157 @@
+#include "frontend/parser_c.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::fe {
+namespace {
+
+ModuleAst parse_ok(const std::string& text) {
+  SourceManager sm;
+  const FileId f = sm.add("t.c", text, Language::C);
+  DiagnosticEngine diags(&sm);
+  ModuleAst mod = parse_c(sm, f, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return mod;
+}
+
+bool parse_fails(const std::string& text) {
+  SourceManager sm;
+  const FileId f = sm.add("t.c", text, Language::C);
+  DiagnosticEngine diags(&sm);
+  (void)parse_c(sm, f, diags);
+  return diags.has_errors();
+}
+
+TEST(CParser, GlobalArrays) {
+  const ModuleAst mod = parse_ok("int aarr[20];\ndouble u[64][65][65][5];\n");
+  ASSERT_EQ(mod.globals.size(), 2u);
+  EXPECT_TRUE(mod.globals[0].is_global);
+  EXPECT_EQ(mod.globals[0].name, "aarr");
+  ASSERT_EQ(mod.globals[0].dims.size(), 1u);
+  // a[20] is recorded as ub = 20-1 (the parser builds the Sub expression).
+  EXPECT_EQ(mod.globals[0].dims[0].lb, nullptr);  // C default lb 0
+  EXPECT_EQ(mod.globals[1].dims.size(), 4u);
+}
+
+TEST(CParser, MultipleDeclaratorsPerLine) {
+  const ModuleAst mod = parse_ok("int a, b[4], c;\n");
+  ASSERT_EQ(mod.globals.size(), 3u);
+  EXPECT_TRUE(mod.globals[0].dims.empty());
+  EXPECT_EQ(mod.globals[1].dims.size(), 1u);
+}
+
+TEST(CParser, FunctionWithParams) {
+  const ModuleAst mod = parse_ok("void f(int a[], double b[][65], int n) { }");
+  ASSERT_EQ(mod.procs.size(), 1u);
+  const ProcDecl& p = mod.procs[0];
+  EXPECT_EQ(p.params, (std::vector<std::string>{"a", "b", "n"}));
+  ASSERT_EQ(p.decls.size(), 3u);
+  EXPECT_EQ(p.decls[0].dims.size(), 1u);
+  EXPECT_EQ(p.decls[0].dims[0].ub, nullptr);  // int a[] assumed size
+  EXPECT_EQ(p.decls[1].dims.size(), 2u);
+  EXPECT_EQ(p.decls[1].dims[0].ub, nullptr);
+  ASSERT_NE(p.decls[1].dims[1].ub, nullptr);
+}
+
+TEST(CParser, MainIsProgram) {
+  const ModuleAst mod = parse_ok("void main(void) { }");
+  EXPECT_TRUE(mod.procs[0].is_program);
+}
+
+TEST(CParser, ForLoopLtBecomesInclusiveLimit) {
+  const ModuleAst mod = parse_ok("void f(void) { int i; for (i = 0; i < 8; i++) { i = i; } }");
+  const Stmt& loop = *mod.procs[0].body[0];
+  ASSERT_EQ(loop.kind, StmtKind::Do);
+  EXPECT_EQ(loop.do_var, "i");
+  EXPECT_EQ(loop.do_init->int_val, 0);
+  // i < 8 becomes limit 8-1 (a Sub node).
+  EXPECT_EQ(loop.do_limit->kind, ExprKind::Binary);
+  EXPECT_EQ(loop.do_limit->op, BinOp::Sub);
+  EXPECT_EQ(loop.do_step->int_val, 1);
+}
+
+TEST(CParser, ForLoopLeKeepsLimit) {
+  const ModuleAst mod = parse_ok("void f(void) { int i; for (i = 1; i <= 5; i += 2) ; }");
+  const Stmt& loop = *mod.procs[0].body[0];
+  EXPECT_EQ(loop.do_limit->int_val, 5);
+  EXPECT_EQ(loop.do_step->int_val, 2);
+}
+
+TEST(CParser, ForLoopIEqIPlusK) {
+  const ModuleAst mod = parse_ok("void f(void) { int i; for (i = 0; i < 9; i = i + 3) ; }");
+  EXPECT_EQ(mod.procs[0].body[0]->do_step->int_val, 3);
+}
+
+TEST(CParser, DescendingForLoop) {
+  const ModuleAst mod = parse_ok("void f(void) { int i; for (i = 9; i >= 0; i -= 1) ; }");
+  const Stmt& loop = *mod.procs[0].body[0];
+  EXPECT_EQ(loop.do_limit->int_val, 0);
+  EXPECT_EQ(loop.do_step->kind, ExprKind::Unary);  // negated
+}
+
+TEST(CParser, ForDeclaresLoopVariable) {
+  const ModuleAst mod = parse_ok("void f(void) { for (int i = 0; i < 2; i++) ; }");
+  bool found = false;
+  for (const VarDecl& d : mod.procs[0].decls) found |= d.name == "i";
+  EXPECT_TRUE(found);
+}
+
+TEST(CParser, LocalDeclWithInitializerEmitsAssign) {
+  const ModuleAst mod = parse_ok("void f(void) { int i = 7; }");
+  ASSERT_EQ(mod.procs[0].body.size(), 1u);
+  const Stmt& s = *mod.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::Assign);
+  EXPECT_EQ(s.rhs->int_val, 7);
+}
+
+TEST(CParser, IfElseAndBlocks) {
+  const ModuleAst mod = parse_ok(
+      "void f(void) { int i; if (i == 0) { i = 1; i = 2; } else i = 3; }");
+  const Stmt& s = *mod.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  EXPECT_EQ(s.body.size(), 2u);
+  EXPECT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(CParser, CallStatement) {
+  const ModuleAst mod = parse_ok("void f(void) { g(1, 2); }");
+  const Stmt& s = *mod.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::CallStmt);
+  EXPECT_EQ(s.callee, "g");
+  EXPECT_EQ(s.call_args.size(), 2u);
+}
+
+TEST(CParser, CompoundAssignAndIncrement) {
+  const ModuleAst mod = parse_ok("void f(void) { int i; i += 2; i++; i -= 3; }");
+  ASSERT_EQ(mod.procs[0].body.size(), 3u);
+  for (const StmtPtr& s : mod.procs[0].body) {
+    EXPECT_EQ(s->kind, StmtKind::Assign);
+    EXPECT_EQ(s->rhs->kind, ExprKind::Binary);
+  }
+}
+
+TEST(CParser, MultiDimArrayRef) {
+  const ModuleAst mod = parse_ok(
+      "double u[4][5];\nvoid f(void) { int i, j; u[i][j] = u[j][i]; }");
+  const Stmt& s = *mod.procs[0].body[0];
+  EXPECT_EQ(s.lhs->kind, ExprKind::ArrayRef);
+  EXPECT_EQ(s.lhs->args.size(), 2u);
+}
+
+TEST(CParser, NestedBareBlocksFlatten) {
+  const ModuleAst mod = parse_ok("void f(void) { int i; { i = 1; { i = 2; } } }");
+  EXPECT_EQ(mod.procs[0].body.size(), 2u);
+}
+
+TEST(CParserErrors, MissingSemicolon) { EXPECT_TRUE(parse_fails("void f(void) { int i i }")); }
+
+TEST(CParserErrors, BadForCondition) {
+  EXPECT_TRUE(parse_fails("void f(void) { int i, j; for (i = 0; j < 3; i++) ; }"));
+}
+
+TEST(CParserErrors, AssignToCall) {
+  EXPECT_TRUE(parse_fails("void f(void) { g() = 1; }"));
+}
+
+}  // namespace
+}  // namespace ara::fe

@@ -1,0 +1,236 @@
+#include "frontend/parser_fortran.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::fe {
+namespace {
+
+ModuleAst parse_ok(const std::string& text) {
+  SourceManager sm;
+  const FileId f = sm.add("t.f", text, Language::Fortran);
+  DiagnosticEngine diags(&sm);
+  ModuleAst mod = parse_fortran(sm, f, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return mod;
+}
+
+bool parse_fails(const std::string& text) {
+  SourceManager sm;
+  const FileId f = sm.add("t.f", text, Language::Fortran);
+  DiagnosticEngine diags(&sm);
+  (void)parse_fortran(sm, f, diags);
+  return diags.has_errors();
+}
+
+TEST(FortranParser, SubroutineWithFormals) {
+  const ModuleAst mod = parse_ok(
+      "subroutine verify(xcr, xce)\n"
+      "  double precision :: xcr(5), xce(5)\n"
+      "end subroutine verify\n");
+  ASSERT_EQ(mod.procs.size(), 1u);
+  const ProcDecl& p = mod.procs[0];
+  EXPECT_EQ(p.name, "verify");
+  EXPECT_EQ(p.params, (std::vector<std::string>{"xcr", "xce"}));
+  ASSERT_EQ(p.decls.size(), 2u);
+  EXPECT_EQ(p.decls[0].mtype, ir::Mtype::F8);
+  ASSERT_EQ(p.decls[0].dims.size(), 1u);
+}
+
+TEST(FortranParser, ProgramUnit) {
+  const ModuleAst mod = parse_ok("program applu\n  integer :: i\nend program applu\n");
+  ASSERT_EQ(mod.procs.size(), 1u);
+  EXPECT_TRUE(mod.procs[0].is_program);
+  EXPECT_EQ(mod.procs[0].name, "applu");
+}
+
+TEST(FortranParser, MultipleUnitsPerFile) {
+  const ModuleAst mod = parse_ok(
+      "subroutine a\nend\n"
+      "subroutine b\nend subroutine\n"
+      "subroutine c\nend subroutine c\n");
+  EXPECT_EQ(mod.procs.size(), 3u);
+}
+
+TEST(FortranParser, DimensionAttributeForm) {
+  const ModuleAst mod = parse_ok(
+      "subroutine add\n"
+      "  integer, dimension(1:200, 1:200) :: a, b\n"
+      "end subroutine add\n");
+  ASSERT_EQ(mod.procs[0].decls.size(), 2u);
+  EXPECT_EQ(mod.procs[0].decls[0].dims.size(), 2u);
+  EXPECT_EQ(mod.procs[0].decls[1].dims.size(), 2u);
+  ASSERT_NE(mod.procs[0].decls[0].dims[0].lb, nullptr);
+  EXPECT_EQ(mod.procs[0].decls[0].dims[0].lb->int_val, 1);
+  EXPECT_EQ(mod.procs[0].decls[0].dims[0].ub->int_val, 200);
+}
+
+TEST(FortranParser, BoundForms) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: a(10), b(0:7), c(*), d(2:*)\n"
+      "end subroutine s\n");
+  const auto& dims_a = mod.procs[0].decls[0].dims;
+  EXPECT_EQ(dims_a[0].lb, nullptr);  // defaults to 1
+  EXPECT_EQ(dims_a[0].ub->int_val, 10);
+  const auto& dims_b = mod.procs[0].decls[1].dims;
+  EXPECT_EQ(dims_b[0].lb->int_val, 0);
+  EXPECT_EQ(dims_b[0].ub->int_val, 7);
+  const auto& dims_c = mod.procs[0].decls[2].dims;
+  EXPECT_EQ(dims_c[0].lb, nullptr);
+  EXPECT_EQ(dims_c[0].ub, nullptr);  // assumed size
+  const auto& dims_d = mod.procs[0].decls[3].dims;
+  EXPECT_EQ(dims_d[0].lb->int_val, 2);
+  EXPECT_EQ(dims_d[0].ub, nullptr);
+}
+
+TEST(FortranParser, TypeSpellings) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  integer*8 :: i8\n"
+      "  real :: r\n"
+      "  real*8 :: r8\n"
+      "  real(8) :: rr8\n"
+      "  double precision :: d\n"
+      "  character :: c\n"
+      "  logical :: l\n"
+      "end subroutine s\n");
+  const auto& d = mod.procs[0].decls;
+  ASSERT_EQ(d.size(), 8u);
+  EXPECT_EQ(d[0].mtype, ir::Mtype::I4);
+  EXPECT_EQ(d[1].mtype, ir::Mtype::I8);
+  EXPECT_EQ(d[2].mtype, ir::Mtype::F4);
+  EXPECT_EQ(d[3].mtype, ir::Mtype::F8);
+  EXPECT_EQ(d[4].mtype, ir::Mtype::F8);
+  EXPECT_EQ(d[5].mtype, ir::Mtype::F8);
+  EXPECT_EQ(d[6].mtype, ir::Mtype::I1);
+  EXPECT_EQ(d[7].mtype, ir::Mtype::I4);
+}
+
+TEST(FortranParser, CommonMarksGlobals) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  double precision :: u(5), r(5)\n"
+      "  integer :: i\n"
+      "  common /cvar/ u, r\n"
+      "end subroutine s\n");
+  const auto& d = mod.procs[0].decls;
+  EXPECT_TRUE(d[0].is_global);
+  EXPECT_TRUE(d[1].is_global);
+  EXPECT_FALSE(d[2].is_global);
+}
+
+TEST(FortranParser, DoLoopWithStep) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: i, n\n"
+      "  do i = 10, 1, -1\n"
+      "    n = n + i\n"
+      "  end do\n"
+      "  do i = 1, 8, 2\n"
+      "    n = n - i\n"
+      "  enddo\n"
+      "end subroutine s\n");
+  ASSERT_EQ(mod.procs[0].body.size(), 2u);
+  const Stmt& loop = *mod.procs[0].body[0];
+  EXPECT_EQ(loop.kind, StmtKind::Do);
+  EXPECT_EQ(loop.do_var, "i");
+  ASSERT_NE(loop.do_step, nullptr);
+  EXPECT_EQ(loop.do_step->kind, ExprKind::Unary);  // -1
+  const Stmt& loop2 = *mod.procs[0].body[1];
+  EXPECT_EQ(loop2.do_step->int_val, 2);
+}
+
+TEST(FortranParser, BlockIfElse) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  if (i .gt. 0) then\n"
+      "    i = 1\n"
+      "  else\n"
+      "    i = 2\n"
+      "  end if\n"
+      "  if (i .eq. 1) then\n"
+      "    i = 3\n"
+      "  endif\n"
+      "end subroutine s\n");
+  const Stmt& s1 = *mod.procs[0].body[0];
+  EXPECT_EQ(s1.kind, StmtKind::If);
+  EXPECT_EQ(s1.body.size(), 1u);
+  EXPECT_EQ(s1.else_body.size(), 1u);
+  const Stmt& s2 = *mod.procs[0].body[1];
+  EXPECT_TRUE(s2.else_body.empty());
+}
+
+TEST(FortranParser, LogicalIf) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  if (i .lt. 0) i = 0\n"
+      "end subroutine s\n");
+  const Stmt& s = *mod.procs[0].body[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  ASSERT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.body[0]->kind, StmtKind::Assign);
+  EXPECT_TRUE(s.else_body.empty());
+}
+
+TEST(FortranParser, CallForms) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: a(5), j\n"
+      "  call p1(a, j)\n"
+      "  call init\n"
+      "end subroutine s\n");
+  EXPECT_EQ(mod.procs[0].body[0]->kind, StmtKind::CallStmt);
+  EXPECT_EQ(mod.procs[0].body[0]->callee, "p1");
+  EXPECT_EQ(mod.procs[0].body[0]->call_args.size(), 2u);
+  EXPECT_TRUE(mod.procs[0].body[1]->call_args.empty());
+}
+
+TEST(FortranParser, NestedLoopsAndArrayRefAmbiguity) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: a(10,10), i, j\n"
+      "  do i = 1, 10\n"
+      "    do j = 1, 10\n"
+      "      a(i, j) = max(i, j)\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const Stmt& outer = *mod.procs[0].body[0];
+  const Stmt& inner = *outer.body[0];
+  const Stmt& assign = *inner.body[0];
+  EXPECT_EQ(assign.lhs->kind, ExprKind::ArrayRef);
+  // max(i,j) parses as ArrayRef too; sema re-classifies it to CallExpr.
+  EXPECT_EQ(assign.rhs->kind, ExprKind::ArrayRef);
+  EXPECT_EQ(assign.rhs->name, "max");
+}
+
+TEST(FortranParser, ContinueIsNoop) {
+  const ModuleAst mod = parse_ok(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  continue\n"
+      "  i = 1\n"
+      "end subroutine s\n");
+  EXPECT_EQ(mod.procs[0].body.size(), 1u);
+}
+
+TEST(FortranParser, ReturnStatement) {
+  const ModuleAst mod = parse_ok("subroutine s\n  return\nend subroutine s\n");
+  EXPECT_EQ(mod.procs[0].body[0]->kind, StmtKind::Return);
+}
+
+TEST(FortranParserErrors, MissingEnd) { EXPECT_TRUE(parse_fails("subroutine s\n  x = 1\n")); }
+
+TEST(FortranParserErrors, AssignToExpression) {
+  EXPECT_TRUE(parse_fails("subroutine s\n  integer :: i\n  i + 1 = 2\nend subroutine\n"));
+}
+
+TEST(FortranParserErrors, MalformedDo) {
+  EXPECT_TRUE(parse_fails("subroutine s\n  do i 1, 10\n  end do\nend subroutine\n"));
+}
+
+}  // namespace
+}  // namespace ara::fe

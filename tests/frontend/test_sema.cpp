@@ -1,0 +1,193 @@
+#include "frontend/sema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::fe {
+namespace {
+
+struct Compiled {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+  bool ok = false;
+};
+
+std::unique_ptr<Compiled> compile(const std::string& name, const std::string& text,
+                                  Language lang) {
+  auto out = std::make_unique<Compiled>();
+  out->program.sources.add(name, text, lang);
+  out->ok = compile_program(out->program, out->diags);
+  return out;
+}
+
+std::unique_ptr<Compiled> compile2(const std::string& t1, const std::string& t2) {
+  auto out = std::make_unique<Compiled>();
+  out->program.sources.add("a.f", t1, Language::Fortran);
+  out->program.sources.add("b.f", t2, Language::Fortran);
+  out->ok = compile_program(out->program, out->diags);
+  return out;
+}
+
+const ir::St* find_st(const ir::Program& p, std::string_view name, ir::StClass sclass) {
+  for (ir::StIdx idx : p.symtab.all_sts()) {
+    const ir::St& st = p.symtab.st(idx);
+    if (st.sclass == sclass && iequals(st.name, name)) return &st;
+  }
+  return nullptr;
+}
+
+TEST(Sema, FormalsGetDeclaredTypesAndPositions) {
+  auto c = compile("t.f",
+                   "subroutine verify(xcr, xce, n)\n"
+                   "  double precision :: xcr(5), xce(5)\n"
+                   "  integer :: n\n"
+                   "end subroutine verify\n",
+                   Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::St* xcr = find_st(c->program, "xcr", ir::StClass::Formal);
+  ASSERT_NE(xcr, nullptr);
+  EXPECT_EQ(xcr->formal_pos, 1u);
+  EXPECT_TRUE(c->program.symtab.ty(xcr->ty).is_array());
+  const ir::St* n = find_st(c->program, "n", ir::StClass::Formal);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->formal_pos, 3u);
+  EXPECT_FALSE(c->program.symtab.ty(n->ty).is_array());
+}
+
+TEST(Sema, CommonGlobalsUnifyAcrossFiles) {
+  auto c = compile2(
+      "subroutine a\n  double precision :: u(5)\n  common /c/ u\n  u(1) = 0.0\nend\n",
+      "subroutine b\n  double precision :: u(5)\n  common /c/ u\n  u(2) = 0.0\nend\n");
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  std::size_t globals = 0;
+  for (ir::StIdx idx : c->program.symtab.all_sts()) {
+    const ir::St& st = c->program.symtab.st(idx);
+    if (st.sclass == ir::StClass::Var && st.storage == ir::StStorage::Global) ++globals;
+  }
+  EXPECT_EQ(globals, 1u);  // one ST shared by both units
+}
+
+TEST(Sema, ShapeMismatchAcrossFilesWarns) {
+  auto c = compile2(
+      "subroutine a\n  double precision :: u(5)\n  common /c/ u\nend\n",
+      "subroutine b\n  double precision :: u(5,5)\n  common /c/ u\nend\n");
+  bool warned = false;
+  for (const Diagnostic& d : c->diags.all()) {
+    warned |= d.severity == Severity::Warning && d.message.find("shape") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Sema, ImplicitTypingRule) {
+  auto c = compile("t.f",
+                   "subroutine s\n"
+                   "  i = 1\n"
+                   "  x = 2.0\n"
+                   "end subroutine s\n",
+                   Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::St* i = find_st(c->program, "i", ir::StClass::Var);
+  const ir::St* x = find_st(c->program, "x", ir::StClass::Var);
+  ASSERT_NE(i, nullptr);
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(c->program.symtab.ty(i->ty).mtype, ir::Mtype::I4);
+  EXPECT_EQ(c->program.symtab.ty(x->ty).mtype, ir::Mtype::F4);
+}
+
+TEST(Sema, UndeclaredInCIsAnError) {
+  auto c = compile("t.c", "void f(void) { x = 1; }", Language::C);
+  EXPECT_FALSE(c->ok);
+}
+
+TEST(Sema, RankMismatchIsAnError) {
+  auto c = compile("t.f",
+                   "subroutine s\n"
+                   "  integer :: a(5, 5)\n"
+                   "  a(1) = 0\n"
+                   "end subroutine s\n",
+                   Language::Fortran);
+  EXPECT_FALSE(c->ok);
+}
+
+TEST(Sema, SubscriptingAScalarIsAnError) {
+  auto c = compile("t.f",
+                   "subroutine s\n  integer :: x\n  x(3) = 1\nend subroutine s\n",
+                   Language::Fortran);
+  EXPECT_FALSE(c->ok);
+}
+
+TEST(Sema, IntrinsicCallIsNotAnArray) {
+  auto c = compile("t.f",
+                   "subroutine s\n"
+                   "  double precision :: x\n"
+                   "  x = sqrt(abs(x))\n"
+                   "  x = max(x, 1.0, 2.0)\n"
+                   "end subroutine s\n",
+                   Language::Fortran);
+  EXPECT_TRUE(c->ok) << c->diags.render();
+}
+
+TEST(Sema, UserFunctionReferenceResolves) {
+  auto c = compile("t.f",
+                   "subroutine s\n"
+                   "  integer :: x\n"
+                   "  call helper(x)\n"
+                   "end subroutine s\n"
+                   "subroutine helper(y)\n"
+                   "  integer :: y\n"
+                   "end subroutine helper\n",
+                   Language::Fortran);
+  EXPECT_TRUE(c->ok) << c->diags.render();
+}
+
+TEST(Sema, CallToUnknownProcedureIsAnError) {
+  auto c = compile("t.f", "subroutine s\n  call nosuch(1)\nend subroutine s\n",
+                   Language::Fortran);
+  EXPECT_FALSE(c->ok);
+}
+
+TEST(Sema, DuplicateProcedureIsAnError) {
+  auto c = compile("t.f", "subroutine s\nend\nsubroutine s\nend\n", Language::Fortran);
+  EXPECT_FALSE(c->ok);
+}
+
+TEST(Sema, SymbolicFormalDimsRecorded) {
+  auto c = compile("t.f",
+                   "subroutine s(a, n)\n"
+                   "  integer :: n\n"
+                   "  double precision :: a(n)\n"
+                   "end subroutine s\n",
+                   Language::Fortran);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::St* a = find_st(c->program, "a", ir::StClass::Formal);
+  ASSERT_NE(a, nullptr);
+  const ir::Ty& ty = c->program.symtab.ty(a->ty);
+  EXPECT_EQ(ty.dims[0].ub_sym, "n");
+  EXPECT_FALSE(ty.size_bytes().has_value());
+}
+
+TEST(Sema, CGlobalsAreGlobalStorage) {
+  auto c = compile("t.c", "int aarr[20];\nvoid main(void) { aarr[0] = 1; }", Language::C);
+  ASSERT_TRUE(c->ok) << c->diags.render();
+  const ir::St* a = find_st(c->program, "aarr", ir::StClass::Var);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->storage, ir::StStorage::Global);
+  EXPECT_EQ(c->program.symtab.ty(a->ty).dims[0].lb, 0);
+  EXPECT_EQ(c->program.symtab.ty(a->ty).dims[0].ub, 19);
+}
+
+TEST(Sema, FortranAmbiguousNameResolvesToArray) {
+  // `v(3)` must resolve to the local array, not to procedure v.
+  auto c = compile("t.f",
+                   "subroutine s\n"
+                   "  integer :: v(5)\n"
+                   "  v(3) = 1\n"
+                   "end subroutine s\n",
+                   Language::Fortran);
+  EXPECT_TRUE(c->ok) << c->diags.render();
+}
+
+}  // namespace
+}  // namespace ara::fe

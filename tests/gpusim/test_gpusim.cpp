@@ -1,0 +1,150 @@
+#include "gpusim/transfer_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::gpusim {
+namespace {
+
+using regions::DimAccess;
+using regions::Region;
+
+ir::Ty make_u_type() {
+  // u(5,65,65,64) double, Fortran storage order.
+  ir::Ty ty;
+  ty.kind = ir::TyKind::Array;
+  ty.mtype = ir::Mtype::F8;
+  ty.dims = {ir::ArrayDim{1, 5, "", ""}, ir::ArrayDim{1, 65, "", ""},
+             ir::ArrayDim{1, 65, "", ""}, ir::ArrayDim{1, 64, "", ""}};
+  ty.row_major = false;
+  return ty;
+}
+
+TEST(TransferModel, ZeroBytesIsFree) {
+  const TransferModel m;
+  EXPECT_EQ(m.transfer_time(0), 0.0);
+}
+
+TEST(TransferModel, MonotoneInBytes) {
+  const TransferModel m;
+  EXPECT_LT(m.transfer_time(1000), m.transfer_time(1000000));
+}
+
+TEST(TransferModel, GatherCostsGrowWithChunks) {
+  const TransferModel m;
+  EXPECT_LT(m.transfer_time(4800, 1), m.transfer_time(4800, 200));
+}
+
+TEST(RegionBytes, CountsStridedElementsOnly) {
+  const Region r({DimAccess::range(2, 6, 2)});  // {2,4,6}
+  EXPECT_EQ(region_bytes(r, 4), 12);
+  EXPECT_EQ(region_bytes(r, -4), 12);  // non-contiguous esize is signed
+}
+
+TEST(RegionBytes, SymbolicRegionIsZero) {
+  Region r({DimAccess{regions::Bound::affine(regions::BoundKind::Subscr,
+                                             regions::LinExpr::var("n")),
+                      regions::Bound::constant(5), 1}});
+  EXPECT_EQ(region_bytes(r, 8), 0);
+}
+
+TEST(ContiguousChunks, FullArrayIsOneChunk) {
+  const ir::Ty ty = make_u_type();
+  const Region full({DimAccess::range(1, 5), DimAccess::range(1, 65), DimAccess::range(1, 65),
+                     DimAccess::range(1, 64)});
+  EXPECT_EQ(contiguous_chunks(full, ty), 1);
+}
+
+TEST(ContiguousChunks, PartialInnerDimSplits) {
+  const ir::Ty ty = make_u_type();
+  // The Fig 14 region: 1:3 of the fastest-varying dim (extent 5) is partial,
+  // so every (i,j,k) combination is its own run: 5*10*4 = 200.
+  const Region fig14({DimAccess::range(1, 3), DimAccess::range(1, 5), DimAccess::range(1, 10),
+                      DimAccess::range(1, 4)});
+  EXPECT_EQ(contiguous_chunks(fig14, ty), 200);
+}
+
+TEST(ContiguousChunks, FullInnerPartialOuterCoalesces) {
+  const ir::Ty ty = make_u_type();
+  // Full first (fastest) dim, partial second: runs coalesce across dim 1.
+  const Region r({DimAccess::range(1, 5), DimAccess::range(1, 10), DimAccess::range(1, 65),
+                  DimAccess::range(1, 64)});
+  // dim0 full -> coalesce; dim1 partial contiguous -> single run there;
+  // remaining dims multiply: 65 * 64.
+  EXPECT_EQ(contiguous_chunks(r, ty), 65 * 64);
+}
+
+TEST(ContiguousChunks, StridedInnerDimCountsEachElement) {
+  ir::Ty ty;
+  ty.kind = ir::TyKind::Array;
+  ty.mtype = ir::Mtype::F8;
+  ty.dims = {ir::ArrayDim{0, 19, "", ""}};
+  ty.row_major = true;
+  const Region strided({DimAccess::range(2, 6, 2)});
+  EXPECT_EQ(contiguous_chunks(strided, ty), 3);
+}
+
+TEST(SimulateOffload, SubArrayWinsWhenRegionIsSmall) {
+  OffloadScenario s;
+  s.full_bytes = 10816000;   // all of u
+  s.region_bytes = 4800;     // the Fig 14 portion
+  s.region_chunks = 200;
+  s.kernel_elements = 600;
+  const OffloadResult r = simulate_offload(s);
+  EXPECT_GT(r.speedup, 10.0);  // "a huge speedup" (§V-B)
+  EXPECT_LT(r.t_region, r.t_full);
+}
+
+TEST(SimulateOffload, SpeedupShrinksAsKernelDominates) {
+  OffloadScenario s;
+  s.full_bytes = 10816000;
+  s.region_bytes = 4800;
+  s.region_chunks = 200;
+  KernelModel cheap{2.0e-9, 600};
+  KernelModel heavy{2.0e-9, 600};
+  heavy.time_per_element_s = 1e-3;  // compute-bound
+  const double fast = simulate_offload(s, TransferModel{}, cheap).speedup;
+  const double slow = simulate_offload(s, TransferModel{}, heavy).speedup;
+  EXPECT_GT(fast, slow);
+  EXPECT_NEAR(slow, 1.0, 0.1);
+}
+
+TEST(SimulateOffload, IterationsScaleBothSides) {
+  OffloadScenario s;
+  s.full_bytes = 1000000;
+  s.region_bytes = 1000;
+  const OffloadResult once = simulate_offload(s);
+  s.iterations = 10;
+  const OffloadResult ten = simulate_offload(s);
+  EXPECT_NEAR(ten.t_full, 10 * once.t_full, 1e-9);
+  EXPECT_NEAR(ten.speedup, once.speedup, 1e-9);
+}
+
+TEST(SimulateOffload, EqualBytesMeansNoSpeedup) {
+  OffloadScenario s;
+  s.full_bytes = 1000;
+  s.region_bytes = 1000;
+  EXPECT_NEAR(simulate_offload(s).speedup, 1.0, 1e-9);
+}
+
+TEST(FusionModel, FusedIsAlwaysFaster) {
+  const FusionModel m;
+  for (std::int64_t bytes : {std::int64_t{0}, std::int64_t{40}, std::int64_t{4096}, std::int64_t{1 << 20}}) {
+    EXPECT_LT(m.time_fused(bytes), m.time_unfused(bytes));
+  }
+}
+
+TEST(FusionModel, SavingApproachesTwoXForLargeData) {
+  const FusionModel m;
+  const double ratio = m.time_unfused(1 << 28) / m.time_fused(1 << 28);
+  EXPECT_NEAR(ratio, 2.0, 0.01);
+}
+
+TEST(FusionModel, ComputeTimeDilutesTheBenefit) {
+  FusionModel m;
+  m.compute_time_s = 1.0;
+  const double ratio = m.time_unfused(4096) / m.time_fused(4096);
+  EXPECT_NEAR(ratio, 1.0, 0.001);
+}
+
+}  // namespace
+}  // namespace ara::gpusim

@@ -1,0 +1,272 @@
+// IPA tests: formal->actual region mapping (Creusillet-style), formal-scalar
+// substitution, transitive propagation, recursion fixpoints and Mem_Loc
+// binding resolution.
+#include "ipa/interproc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::ipa {
+namespace {
+
+using regions::AccessMode;
+
+struct Analyzed {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+  CallGraph cg;
+  InterprocResult result;
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string& text) {
+  auto out = std::make_unique<Analyzed>();
+  out->program.sources.add("t.f", text, Language::Fortran);
+  EXPECT_TRUE(fe::compile_program(out->program, out->diags)) << out->diags.render();
+  out->cg = CallGraph::build(out->program);
+  LocalAnalyzer local(out->program);
+  std::vector<LocalSummary> locals;
+  for (std::uint32_t i = 0; i < out->cg.size(); ++i) {
+    locals.push_back(local.analyze(out->cg.node(i)));
+  }
+  InterprocAnalyzer inter(out->program, out->cg);
+  out->result = inter.run(locals);
+  return out;
+}
+
+const regions::Region* effect_of(const Analyzed& a, const char* proc, const char* array,
+                                 AccessMode mode) {
+  const auto idx = a.cg.find(proc, a.program);
+  if (!idx) return nullptr;
+  for (const auto& [key, mr] : a.result.side_effects[*idx].effects) {
+    if (key.second == mode && iequals(a.program.symtab.st(key.first).name, array)) {
+      return mr.regions.empty() ? nullptr : &mr.regions.front();
+    }
+  }
+  return nullptr;
+}
+
+const char* kFig1 =
+    "subroutine p1(a, j)\n"
+    "  integer, dimension(1:200, 1:200) :: a\n"
+    "  integer :: j, i, k\n"
+    "  do i = 1, 100\n"
+    "    do k = 1, 100\n"
+    "      a(i, k) = i + k + j\n"
+    "    end do\n"
+    "  end do\n"
+    "end subroutine p1\n"
+    "subroutine p2(a, j)\n"
+    "  integer, dimension(1:200, 1:200) :: a\n"
+    "  integer :: j, i, k, s\n"
+    "  do i = 101, 200\n"
+    "    do k = 101, 200\n"
+    "      s = s + a(i, k)\n"
+    "    end do\n"
+    "  end do\n"
+    "end subroutine p2\n"
+    "subroutine add\n"
+    "  integer, dimension(1:200, 1:200) :: a\n"
+    "  integer :: m, j\n"
+    "  m = 10\n"
+    "  do j = 1, m\n"
+    "    call p1(a, j)\n"
+    "    call p2(a, j)\n"
+    "  end do\n"
+    "end subroutine add\n";
+
+TEST(Interproc, Fig1EffectsPropagateToCaller) {
+  auto a = analyze(kFig1);
+  const regions::Region* def = effect_of(*a, "add", "a", AccessMode::Def);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->str(), "(1:100:1, 1:100:1)");
+  const regions::Region* use = effect_of(*a, "add", "a", AccessMode::Use);
+  ASSERT_NE(use, nullptr);
+  EXPECT_EQ(use->str(), "(101:200:1, 101:200:1)");
+}
+
+TEST(Interproc, Fig1CallSiteRecordsAreIDefIUse) {
+  auto a = analyze(kFig1);
+  std::size_t idef = 0;
+  std::size_t iuse = 0;
+  for (const AccessRecord& rec : a->result.interproc_records) {
+    if (!rec.interproc) continue;
+    if (rec.mode == AccessMode::Def) ++idef;
+    if (rec.mode == AccessMode::Use) ++iuse;
+  }
+  EXPECT_EQ(idef, 1u);  // one DEF effect at the p1 call site
+  EXPECT_EQ(iuse, 1u);
+}
+
+TEST(Interproc, FormalBindingResolvesAddresses) {
+  auto a = analyze(kFig1);
+  // p1's formal a is bound to add's local a; resolve_addr chases the chain.
+  ir::StIdx formal = ir::kInvalidSt;
+  ir::StIdx actual = ir::kInvalidSt;
+  for (ir::StIdx idx : a->program.symtab.all_sts()) {
+    const ir::St& st = a->program.symtab.st(idx);
+    if (st.name != "a") continue;
+    if (st.storage == ir::StStorage::Formal &&
+        a->program.symtab.st(st.owner_proc).name == "p1") {
+      formal = idx;
+    }
+    if (st.storage == ir::StStorage::Local) actual = idx;
+  }
+  ASSERT_NE(formal, ir::kInvalidSt);
+  ASSERT_NE(actual, ir::kInvalidSt);
+  EXPECT_EQ(InterprocAnalyzer::resolve_addr(formal, a->program, a->result.formal_binding),
+            a->program.symtab.st(actual).addr);
+}
+
+TEST(Interproc, FormalScalarSubstitution) {
+  // callee touches v(1:n); caller passes n=7 — the caller-side region must
+  // read (1:7).
+  auto a = analyze(
+      "subroutine callee(v, n)\n"
+      "  integer :: n, i\n"
+      "  double precision :: v(100)\n"
+      "  do i = 1, n\n"
+      "    v(i) = 0.0\n"
+      "  end do\n"
+      "end subroutine callee\n"
+      "subroutine caller\n"
+      "  double precision :: x(100)\n"
+      "  call callee(x, 7)\n"
+      "end subroutine caller\n");
+  const regions::Region* def = effect_of(*a, "caller", "x", AccessMode::Def);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->str(), "(1:7:1)");
+}
+
+TEST(Interproc, SymbolicActualSubstitutes) {
+  auto a = analyze(
+      "subroutine callee(v, n)\n"
+      "  integer :: n, i\n"
+      "  double precision :: v(100)\n"
+      "  do i = 1, n\n"
+      "    v(i) = 0.0\n"
+      "  end do\n"
+      "end subroutine callee\n"
+      "subroutine caller(m)\n"
+      "  integer :: m\n"
+      "  double precision :: x(100)\n"
+      "  call callee(x, m - 1)\n"
+      "end subroutine caller\n");
+  const regions::Region* def = effect_of(*a, "caller", "x", AccessMode::Def);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->dim(0).ub.str(), "m - 1");
+}
+
+TEST(Interproc, CalleeLocalNamesArePoisoned) {
+  // The callee's bound depends on its own local t, meaningless to callers:
+  // the translated bound must be UNPROJECTED, not silently wrong.
+  auto a = analyze(
+      "subroutine callee(v)\n"
+      "  integer :: t, i\n"
+      "  double precision :: v(100)\n"
+      "  t = 10\n"
+      "  do i = 1, t\n"
+      "    v(i) = 0.0\n"
+      "  end do\n"
+      "end subroutine callee\n"
+      "subroutine caller\n"
+      "  double precision :: x(100)\n"
+      "  call callee(x)\n"
+      "end subroutine caller\n");
+  const regions::Region* def = effect_of(*a, "caller", "x", AccessMode::Def);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->dim(0).ub.kind, regions::BoundKind::Unprojected);
+}
+
+TEST(Interproc, GlobalsPropagateTransitively) {
+  auto a = analyze(
+      "subroutine leaf\n"
+      "  double precision :: g(50)\n"
+      "  integer :: i\n"
+      "  common /blk/ g\n"
+      "  do i = 1, 50\n"
+      "    g(i) = 0.0\n"
+      "  end do\n"
+      "end subroutine leaf\n"
+      "subroutine mid\n"
+      "  call leaf\n"
+      "end subroutine mid\n"
+      "subroutine top\n"
+      "  call mid\n"
+      "end subroutine top\n");
+  const regions::Region* def = effect_of(*a, "top", "g", AccessMode::Def);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->str(), "(1:50:1)");
+}
+
+TEST(Interproc, RecursionReachesAFixpoint) {
+  auto a = analyze(
+      "subroutine r(v, n)\n"
+      "  integer :: n\n"
+      "  double precision :: v(10)\n"
+      "  v(n) = 0.0\n"
+      "  if (n .gt. 1) then\n"
+      "    call r(v, n - 1)\n"
+      "  end if\n"
+      "end subroutine r\n");
+  EXPECT_TRUE(a->cg.has_cycle());
+  const auto idx = a->cg.find("r", a->program);
+  ASSERT_TRUE(idx.has_value());
+  // The summary exists and is bounded (no runaway region lists).
+  for (const auto& [key, mr] : a->result.side_effects[*idx].effects) {
+    EXPECT_LE(mr.regions.size(), ModeRegions::kMaxRegions);
+  }
+}
+
+TEST(Interproc, AmbiguousBindingResolvesToZero) {
+  auto a = analyze(
+      "subroutine callee(v)\n"
+      "  double precision :: v(5)\n"
+      "  v(1) = 0.0\n"
+      "end subroutine callee\n"
+      "subroutine caller\n"
+      "  double precision :: x(5), y(5)\n"
+      "  call callee(x)\n"
+      "  call callee(y)\n"
+      "end subroutine caller\n");
+  ir::StIdx formal = ir::kInvalidSt;
+  for (ir::StIdx idx : a->program.symtab.all_sts()) {
+    const ir::St& st = a->program.symtab.st(idx);
+    if (st.name == "v" && st.storage == ir::StStorage::Formal) formal = idx;
+  }
+  ASSERT_NE(formal, ir::kInvalidSt);
+  EXPECT_EQ(InterprocAnalyzer::resolve_addr(formal, a->program, a->result.formal_binding), 0u);
+}
+
+TEST(Interproc, PassThroughFormalChainsResolve) {
+  auto a = analyze(
+      "subroutine inner(w)\n"
+      "  double precision :: w(5)\n"
+      "  w(1) = 0.0\n"
+      "end subroutine inner\n"
+      "subroutine outer(v)\n"
+      "  double precision :: v(5)\n"
+      "  call inner(v)\n"
+      "end subroutine outer\n"
+      "subroutine top\n"
+      "  double precision :: x(5)\n"
+      "  call outer(x)\n"
+      "end subroutine top\n");
+  // inner's DEF must surface at top via outer.
+  const regions::Region* def = effect_of(*a, "top", "x", AccessMode::Def);
+  ASSERT_NE(def, nullptr);
+  // And w's address chain (w -> v -> x) resolves to x.
+  ir::StIdx w = ir::kInvalidSt;
+  ir::StIdx x = ir::kInvalidSt;
+  for (ir::StIdx idx : a->program.symtab.all_sts()) {
+    const ir::St& st = a->program.symtab.st(idx);
+    if (st.name == "w") w = idx;
+    if (st.name == "x") x = idx;
+  }
+  EXPECT_EQ(InterprocAnalyzer::resolve_addr(w, a->program, a->result.formal_binding),
+            a->program.symtab.st(x).addr);
+}
+
+}  // namespace
+}  // namespace ara::ipa

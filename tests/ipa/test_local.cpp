@@ -1,0 +1,319 @@
+// IPL tests: per-reference region summarization with exact strides, negative
+// directions, triangular loops, MESSY subscripts, FORMAL and PASSED rows —
+// the behaviours §IV-C and the Dragon tables depend on.
+#include "ipa/local.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::ipa {
+namespace {
+
+using regions::AccessMode;
+
+struct Analyzed {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+  CallGraph cg;
+  std::vector<LocalSummary> summaries;
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string& text, Language lang = Language::Fortran) {
+  auto out = std::make_unique<Analyzed>();
+  out->program.sources.add(lang == Language::C ? "t.c" : "t.f", text, lang);
+  EXPECT_TRUE(fe::compile_program(out->program, out->diags)) << out->diags.render();
+  out->cg = CallGraph::build(out->program);
+  LocalAnalyzer local(out->program);
+  for (std::uint32_t i = 0; i < out->cg.size(); ++i) {
+    out->summaries.push_back(local.analyze(out->cg.node(i)));
+  }
+  return out;
+}
+
+/// Records for array `name` under `mode` in procedure index `proc`.
+std::vector<const AccessRecord*> records_of(const Analyzed& a, std::size_t proc,
+                                            const std::string& name, AccessMode mode) {
+  std::vector<const AccessRecord*> out;
+  for (const AccessRecord& rec : a.summaries.at(proc).records) {
+    if (rec.mode == mode && iequals(a.program.symtab.st(rec.array).name, name)) {
+      out.push_back(&rec);
+    }
+  }
+  return out;
+}
+
+TEST(Local, SimpleLoopProjectsToFullRange) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(100), i\n"
+      "  do i = 1, 100\n"
+      "    v(i) = i\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(1:100:1)");
+}
+
+TEST(Local, StrideIsPreservedNotNormalized) {
+  // The earlier Dragon "normalized" loops, losing strides; ours must show
+  // a(2*i) over do i=1,10,3 as [2:20:6] exactly.
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(100), i\n"
+      "  do i = 1, 10, 3\n"
+      "    v(2 * i) = 0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(2:20:6)");
+}
+
+TEST(Local, NegativeStrideLoop) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(100), i, t\n"
+      "  do i = 10, 1, -1\n"
+      "    t = v(i)\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto uses = records_of(*a, 0, "v", AccessMode::Use);
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0]->region.str(), "(10:1:-1)");
+}
+
+TEST(Local, DescendingSubscriptInAscendingLoop) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(100), i\n"
+      "  do i = 1, 5\n"
+      "    v(11 - i) = 0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(10:6:-1)");
+}
+
+TEST(Local, ExactLastIterationNotLoopLimit) {
+  // for (i = 2; i < 8; i += 2): accessed {2,4,6} — UB must be 6, not 7,
+  // matching the aarr row [2:6:2] of Fig 9.
+  auto a = analyze(
+      "int v[20];\n"
+      "void main(void) { int i; for (i = 2; i < 8; i += 2) v[i] = 0; }",
+      Language::C);
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(2:6:2)");
+}
+
+TEST(Local, SymbolicBoundsSurvive) {
+  auto a = analyze(
+      "subroutine s(n)\n"
+      "  integer :: n, i\n"
+      "  integer :: v(100)\n"
+      "  do i = 2, n - 1\n"
+      "    v(i) = 0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.dim(0).lb.str(), "2");
+  EXPECT_EQ(defs[0]->region.dim(0).ub.str(), "n - 1");
+  EXPECT_EQ(defs[0]->region.dim(0).ub.kind, regions::BoundKind::IVar);
+}
+
+TEST(Local, TriangularLoopsResolveOuterVariable) {
+  // do i = 1, 10; do j = i, 10: v(j) covers 1..10 after both projections.
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(100), i, j\n"
+      "  do i = 1, 10\n"
+      "    do j = i, 10\n"
+      "      v(j) = 0\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(1:10:1)");
+}
+
+TEST(Local, CoupledSubscriptOverApproximates) {
+  // v(i+j) for i,j in 1..3: exact set {2..6}; the triplet covers it.
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(100), i, j\n"
+      "  do i = 1, 3\n"
+      "    do j = 1, 3\n"
+      "      v(i + j) = 0\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.dim(0).lb.str(), "2");
+  EXPECT_EQ(defs[0]->region.dim(0).ub.str(), "6");
+}
+
+TEST(Local, NonAffineSubscriptIsMessy) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(100), b(100), i\n"
+      "  do i = 1, 10\n"
+      "    v(b(i)) = 0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.dim(0).lb.kind, regions::BoundKind::Messy);
+  // ... and the inner read of b is still recorded as a USE.
+  EXPECT_EQ(records_of(*a, 0, "b", AccessMode::Use).size(), 1u);
+}
+
+TEST(Local, RhsReadsCountAsUses) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(10), i\n"
+      "  do i = 2, 9\n"
+      "    v(i) = v(i - 1) + v(i + 1)\n"
+      "  end do\n"
+      "end subroutine s\n");
+  EXPECT_EQ(records_of(*a, 0, "v", AccessMode::Def).size(), 1u);
+  const auto uses = records_of(*a, 0, "v", AccessMode::Use);
+  ASSERT_EQ(uses.size(), 2u);
+  EXPECT_EQ(uses[0]->region.str(), "(1:8:1)");
+  EXPECT_EQ(uses[1]->region.str(), "(3:10:1)");
+}
+
+TEST(Local, FortranMultiDimSourceOrderRestored) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: u(5, 65), t\n"
+      "  integer :: m, i\n"
+      "  do i = 1, 10\n"
+      "    do m = 1, 3\n"
+      "      t = t + u(m, i)\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto uses = records_of(*a, 0, "u", AccessMode::Use);
+  ASSERT_EQ(uses.size(), 1u);
+  // Source order: first dim 1:3 (m), second 1:10 (i) — as Fig 14 reports.
+  EXPECT_EQ(uses[0]->region.str(), "(1:3:1, 1:10:1)");
+}
+
+TEST(Local, FormalRowCarriesDeclaredExtent) {
+  auto a = analyze(
+      "subroutine verify(xcr)\n"
+      "  double precision :: xcr(5)\n"
+      "end subroutine verify\n");
+  const auto formals = records_of(*a, 0, "xcr", AccessMode::Formal);
+  ASSERT_EQ(formals.size(), 1u);
+  EXPECT_EQ(formals[0]->region.str(), "(1:5:1)");
+}
+
+TEST(Local, AssumedSizeFormalIsUnprojected) {
+  auto a = analyze(
+      "subroutine s(v)\n"
+      "  double precision :: v(*)\n"
+      "end subroutine s\n");
+  const auto formals = records_of(*a, 0, "v", AccessMode::Formal);
+  ASSERT_EQ(formals.size(), 1u);
+  EXPECT_EQ(formals[0]->region.dim(0).lb.str(), "1");
+  EXPECT_EQ(formals[0]->region.dim(0).ub.kind, regions::BoundKind::Unprojected);
+}
+
+TEST(Local, PassedRowsAtCallSites) {
+  auto a = analyze(
+      "subroutine callee(v)\n"
+      "  double precision :: v(8)\n"
+      "end subroutine callee\n"
+      "subroutine caller\n"
+      "  double precision :: x(8)\n"
+      "  call callee(x)\n"
+      "  call callee(x)\n"
+      "end subroutine caller\n");
+  const auto caller = a->cg.find("caller", a->program);
+  ASSERT_TRUE(caller.has_value());
+  const auto passed = records_of(*a, *caller, "x", AccessMode::Passed);
+  EXPECT_EQ(passed.size(), 2u);  // one per call site
+  EXPECT_EQ(passed[0]->region.str(), "(1:8:1)");
+}
+
+TEST(Local, ScalarFormalDefUseRecorded) {
+  // The CLASS row of Fig 12: scalar formals show DEF/USE records too.
+  auto a = analyze(
+      "subroutine s(class)\n"
+      "  character :: class\n"
+      "  class = 'U'\n"
+      "  if (class .eq. 'A') then\n"
+      "    class = 'B'\n"
+      "  end if\n"
+      "end subroutine s\n");
+  EXPECT_EQ(records_of(*a, 0, "class", AccessMode::Def).size(), 2u);
+  EXPECT_EQ(records_of(*a, 0, "class", AccessMode::Use).size(), 1u);
+}
+
+TEST(Local, LocalScalarsDoNotFloodTheTable) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: i, t\n"
+      "  do i = 1, 3\n"
+      "    t = i\n"
+      "  end do\n"
+      "end subroutine s\n");
+  EXPECT_EQ(records_of(*a, 0, "t", AccessMode::Def).size(), 0u);
+  EXPECT_EQ(records_of(*a, 0, "i", AccessMode::Use).size(), 0u);
+}
+
+TEST(Local, SideEffectsOnlyCoverVisibleSymbols) {
+  auto a = analyze(
+      "subroutine s(v)\n"
+      "  double precision :: v(8), local(8)\n"
+      "  integer :: i\n"
+      "  do i = 1, 8\n"
+      "    v(i) = 0.0\n"
+      "    local(i) = 0.0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const LocalSummary& sum = a->summaries[0];
+  bool v_effect = false;
+  bool local_effect = false;
+  for (const auto& [key, mr] : sum.side_effects.effects) {
+    const std::string& name = a->program.symtab.st(key.first).name;
+    if (name == "v") v_effect = true;
+    if (name == "local") local_effect = true;
+  }
+  EXPECT_TRUE(v_effect);
+  EXPECT_FALSE(local_effect);
+}
+
+TEST(Local, LoopBoundReadsAreUses) {
+  auto a = analyze(
+      "subroutine s(n)\n"
+      "  integer :: n, i, v(10)\n"
+      "  do i = 1, n\n"
+      "    v(i) = 0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  EXPECT_EQ(records_of(*a, 0, "n", AccessMode::Use).size(), 1u);
+}
+
+TEST(Local, ZeroTripLoopStillSummarized) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  integer :: v(10), i\n"
+      "  do i = 5, 1\n"
+      "    v(i) = 0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "v", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);  // conservative: the record exists
+}
+
+}  // namespace
+}  // namespace ara::ipa

@@ -1,0 +1,155 @@
+// CAF/PGAS remote-access tests (the §VI extension): coarray declarations,
+// co-indexed GET/PUT lowering, RUSE/RDEF rows with the image column, and the
+// aggregation advisor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dragon/advisor.hpp"
+#include "driver/compiler.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara {
+namespace {
+
+struct Analyzed {
+  driver::Compiler cc;
+  ipa::AnalysisResult result;
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string& text) {
+  auto out = std::make_unique<Analyzed>();
+  out->cc.add_source("t.f", text, Language::Fortran);
+  EXPECT_TRUE(out->cc.compile()) << out->cc.diagnostics().render();
+  out->result = out->cc.analyze();
+  return out;
+}
+
+const char* kHalo =
+    "subroutine halo(me, np)\n"
+    "  integer :: me, np, i\n"
+    "  double precision :: u(0:65) [*]\n"
+    "  common /field/ u\n"
+    "  if (me .gt. 1) then\n"
+    "    u(0) = u(64) [me - 1]\n"
+    "  end if\n"
+    "  if (me .lt. np) then\n"
+    "    u(65) = u(1) [me + 1]\n"
+    "  end if\n"
+    "  do i = 1, 8\n"
+    "    u(i) [np] = 0.0\n"
+    "  end do\n"
+    "end subroutine halo\n";
+
+std::vector<const rgn::RegionRow*> rows(const ipa::AnalysisResult& r, const std::string& mode) {
+  std::vector<const rgn::RegionRow*> out;
+  for (const rgn::RegionRow& row : r.rows) {
+    if (row.mode == mode) out.push_back(&row);
+  }
+  return out;
+}
+
+TEST(Remote, CoarrayDeclarationParsesAndMarksTy) {
+  auto a = analyze(kHalo);
+  bool found = false;
+  for (ir::StIdx idx : a->cc.program().symtab.all_sts()) {
+    const ir::St& st = a->cc.program().symtab.st(idx);
+    if (iequals(st.name, "u") && st.sclass == ir::StClass::Var) {
+      EXPECT_TRUE(a->cc.program().symtab.ty(st.ty).coarray);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Remote, RemoteGetsBecomeRuseRows) {
+  auto a = analyze(kHalo);
+  const auto ruse = rows(a->result, "RUSE");
+  ASSERT_EQ(ruse.size(), 2u);
+  // Image expressions survive into the Image column.
+  std::vector<std::string> images{ruse[0]->image, ruse[1]->image};
+  std::sort(images.begin(), images.end());  // ASCII: '+' sorts before '-'
+  EXPECT_EQ(images[0], "me + 1");
+  EXPECT_EQ(images[1], "me - 1");
+  EXPECT_EQ(ruse[0]->array, "u");
+}
+
+TEST(Remote, RemotePutsBecomeRdefRows) {
+  auto a = analyze(kHalo);
+  const auto rdef = rows(a->result, "RDEF");
+  ASSERT_EQ(rdef.size(), 1u);
+  EXPECT_EQ(rdef[0]->image, "np");
+  // The loop-projected region of the PUT: u(1:8) on image np.
+  EXPECT_EQ(rdef[0]->lb, "1");
+  EXPECT_EQ(rdef[0]->ub, "8");
+}
+
+TEST(Remote, LocalAccessesOfACoarrayStayLocal) {
+  auto a = analyze(kHalo);
+  // u(0) = ... and u(65) = ... are local DEFs.
+  const auto defs = rows(a->result, "DEF");
+  bool u_def = false;
+  for (const auto* r : defs) u_def |= iequals(r->array, "u") && r->image.empty();
+  EXPECT_TRUE(u_def);
+}
+
+TEST(Remote, CoindexOnNonCoarrayIsAnError) {
+  driver::Compiler cc;
+  cc.add_source("t.f",
+                "subroutine s\n"
+                "  double precision :: v(8)\n"
+                "  v(1) = v(2) [3]\n"
+                "end subroutine s\n",
+                Language::Fortran);
+  EXPECT_FALSE(cc.compile());
+}
+
+TEST(Remote, RgnRoundTripKeepsTheImageColumn) {
+  auto a = analyze(kHalo);
+  std::vector<rgn::RegionRow> parsed;
+  std::string error;
+  ASSERT_TRUE(rgn::parse_rgn(rgn::write_rgn(a->result.rows), parsed, &error)) << error;
+  EXPECT_EQ(parsed, a->result.rows);
+}
+
+TEST(Remote, AdvisorAggregatesElementwiseTransfers) {
+  auto a = analyze(
+      "subroutine gather(np)\n"
+      "  integer :: np, p\n"
+      "  double precision :: u(0:65) [*]\n"
+      "  common /field/ u\n"
+      "  double precision :: edges(64)\n"
+      "  do p = 1, 8\n"
+      "    edges(p) = u(p) [2]\n"
+      "  end do\n"
+      "end subroutine gather\n");
+  const auto advice = dragon::advise_remote(a->cc.program(), a->result);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].array, "u");
+  EXPECT_EQ(advice[0].image, "2");
+  EXPECT_EQ(advice[0].mode, "RUSE");
+  EXPECT_EQ(advice[0].references, 1u);  // one syntactic remote ref...
+  EXPECT_EQ(advice[0].region, "(1:8:1)");  // ...covering the projected region
+  EXPECT_EQ(advice[0].bytes, 64);
+  EXPECT_NE(advice[0].message.find("aggregate"), std::string::npos);
+  EXPECT_NE(advice[0].message.find("u(1:8:1)[2]"), std::string::npos);
+}
+
+TEST(Remote, AdvisorSeparatesImages) {
+  auto a = analyze(kHalo);
+  const auto advice = dragon::advise_remote(a->cc.program(), a->result);
+  // Three distinct (mode, image) groups: GET me-1, GET me+1, PUT np.
+  EXPECT_EQ(advice.size(), 3u);
+}
+
+TEST(Remote, SymbolicImageExpressionsRender) {
+  auto a = analyze(kHalo);
+  bool found = false;
+  for (const auto& adv : dragon::advise_remote(a->cc.program(), a->result)) {
+    found |= adv.image == "me + 1";
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ara

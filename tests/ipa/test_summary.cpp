@@ -1,0 +1,75 @@
+#include "ipa/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::ipa {
+namespace {
+
+using regions::DimAccess;
+using regions::Region;
+
+Region box(std::int64_t lo, std::int64_t hi) { return Region({DimAccess::range(lo, hi)}); }
+
+TEST(ModeRegions, MergeDeduplicatesIdenticalRegions) {
+  ModeRegions mr;
+  mr.merge(box(1, 5), 1);
+  mr.merge(box(1, 5), 1);
+  EXPECT_EQ(mr.regions.size(), 1u);
+  EXPECT_EQ(mr.refs, 2u);  // references accumulate even when regions dedupe
+}
+
+TEST(ModeRegions, DistinctRegionsAreKeptApart) {
+  // The paper's tables show one row per region (aarr has 0:7 AND 1:8).
+  ModeRegions mr;
+  mr.merge(box(0, 7), 1);
+  mr.merge(box(1, 8), 1);
+  EXPECT_EQ(mr.regions.size(), 2u);
+}
+
+TEST(ModeRegions, CapCollapsesIntoHulls) {
+  ModeRegions mr;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    mr.merge(box(i * 10, i * 10 + 5), 1);
+  }
+  EXPECT_LE(mr.regions.size(), ModeRegions::kMaxRegions);
+  EXPECT_EQ(mr.refs, 20u);
+  // Everything that went in is still covered by some kept region (the
+  // union approximation of §III).
+  for (std::int64_t i = 0; i < 20; ++i) {
+    bool covered = false;
+    for (const Region& r : mr.regions) covered |= r.contains_point({i * 10});
+    EXPECT_TRUE(covered) << "lost point " << i * 10;
+  }
+}
+
+TEST(ModeRegions, MergeAllPreservesTotalRefs) {
+  ModeRegions a;
+  a.merge(box(1, 5), 3);
+  ModeRegions b;
+  b.merge(box(6, 9), 4);
+  b.merge(box(1, 5), 2);
+  a.merge_all(b);
+  EXPECT_EQ(a.refs, 9u);
+  EXPECT_EQ(a.regions.size(), 2u);
+}
+
+TEST(ModeRegions, MergeAllOfEmptySummaryAddsRefsOnly) {
+  ModeRegions a;
+  a.merge(box(1, 2), 1);
+  ModeRegions b;
+  b.refs = 5;  // refs without representable regions (e.g. all-messy callee)
+  a.merge_all(b);
+  EXPECT_EQ(a.refs, 6u);
+  EXPECT_EQ(a.regions.size(), 1u);
+}
+
+TEST(SideEffects, EqualityIsStructural) {
+  SideEffects a, b;
+  a.effects[{1, regions::AccessMode::Def}].merge(box(1, 5), 1);
+  EXPECT_FALSE(a == b);
+  b.effects[{1, regions::AccessMode::Def}].merge(box(1, 5), 1);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace ara::ipa

@@ -1,0 +1,90 @@
+#include "ipa/wn_affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/wn_builder.hpp"
+
+namespace ara::ipa {
+namespace {
+
+class WnAffineTest : public ::testing::Test {
+ protected:
+  WnAffineTest() : build(symtab) {
+    i = make_scalar("i", ir::Mtype::I4);
+    n = make_scalar("n", ir::Mtype::I4);
+    x = make_scalar("x", ir::Mtype::F8);
+    St a_st;
+    a_st.name = "a";
+    a_st.ty = symtab.make_array_ty(ir::Mtype::I4, {ir::ArrayDim{0, 9, "", ""}}, true);
+    arr = symtab.make_st(a_st);
+  }
+
+  using St = ir::St;
+  ir::StIdx make_scalar(const std::string& name, ir::Mtype m) {
+    St st;
+    st.name = name;
+    st.ty = symtab.make_scalar_ty(m);
+    return symtab.make_st(st);
+  }
+
+  ir::SymbolTable symtab;
+  ir::WNBuilder build{symtab};
+  ir::StIdx i, n, x, arr;
+};
+
+TEST_F(WnAffineTest, ConstantsAndScalars) {
+  EXPECT_EQ(wn_to_affine(*build.intconst(42), symtab)->constant(), 42);
+  const auto e = wn_to_affine(*build.ldid(i), symtab);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->coef("i"), 1);
+}
+
+TEST_F(WnAffineTest, LinearCombinations) {
+  // 2*i + n - 3
+  auto wn = build.binop(
+      ir::Opr::Sub,
+      build.binop(ir::Opr::Add,
+                  build.binop(ir::Opr::Mpy, build.intconst(2), build.ldid(i), ir::Mtype::I8),
+                  build.ldid(n), ir::Mtype::I8),
+      build.intconst(3), ir::Mtype::I8);
+  const auto e = wn_to_affine(*wn, symtab);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->coef("i"), 2);
+  EXPECT_EQ(e->coef("n"), 1);
+  EXPECT_EQ(e->constant(), -3);
+}
+
+TEST_F(WnAffineTest, NegAndCvt) {
+  const auto e = wn_to_affine(*build.neg(build.cvt(build.ldid(i), ir::Mtype::I8), ir::Mtype::I8),
+                              symtab);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->coef("i"), -1);
+}
+
+TEST_F(WnAffineTest, VariableProductIsNotAffine) {
+  auto wn = build.binop(ir::Opr::Mpy, build.ldid(i), build.ldid(n), ir::Mtype::I8);
+  EXPECT_FALSE(wn_to_affine(*wn, symtab).has_value());
+}
+
+TEST_F(WnAffineTest, FloatScalarIsNotAffine) {
+  EXPECT_FALSE(wn_to_affine(*build.ldid(x), symtab).has_value());
+}
+
+TEST_F(WnAffineTest, ArrayLoadIsNotAffine) {
+  // a(b(i)) subscripts are the paper's MESSY case.
+  std::vector<ir::WNPtr> dims;
+  dims.push_back(build.intconst(10));
+  std::vector<ir::WNPtr> idx;
+  idx.push_back(build.ldid(i));
+  auto load = build.iload(build.array(build.lda(arr), std::move(dims), std::move(idx), 4),
+                          ir::Mtype::I4);
+  EXPECT_FALSE(wn_to_affine(*load, symtab).has_value());
+}
+
+TEST_F(WnAffineTest, DivIsNotAffine) {
+  auto wn = build.binop(ir::Opr::Div, build.ldid(i), build.intconst(2), ir::Mtype::I8);
+  EXPECT_FALSE(wn_to_affine(*wn, symtab).has_value());
+}
+
+}  // namespace
+}  // namespace ara::ipa

@@ -1,0 +1,173 @@
+#include "ir/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/layout.hpp"
+#include "ir/wn_builder.hpp"
+
+namespace ara::ir {
+namespace {
+
+TEST(EvalConst, FoldsArithmetic) {
+  SymbolTable st;
+  WNBuilder b(st);
+  EXPECT_EQ(eval_const(*b.intconst(7)), 7);
+  EXPECT_EQ(eval_const(*b.binop(Opr::Add, b.intconst(2), b.intconst(3), Mtype::I8)), 5);
+  EXPECT_EQ(eval_const(*b.binop(Opr::Sub, b.intconst(2), b.intconst(3), Mtype::I8)), -1);
+  EXPECT_EQ(eval_const(*b.binop(Opr::Mpy, b.intconst(4), b.intconst(3), Mtype::I8)), 12);
+  EXPECT_EQ(eval_const(*b.binop(Opr::Max, b.intconst(4), b.intconst(9), Mtype::I8)), 9);
+  EXPECT_EQ(eval_const(*b.neg(b.intconst(5), Mtype::I8)), -5);
+}
+
+TEST(EvalConst, DivByZeroIsNotConstant) {
+  SymbolTable st;
+  WNBuilder b(st);
+  EXPECT_FALSE(eval_const(*b.binop(Opr::Div, b.intconst(4), b.intconst(0), Mtype::I8)));
+}
+
+TEST(EvalConst, NonConstNodesFail) {
+  SymbolTable st;
+  St i;
+  i.name = "i";
+  i.ty = st.make_scalar_ty(Mtype::I4);
+  const StIdx ivar = st.make_st(i);
+  WNBuilder b(st);
+  EXPECT_FALSE(eval_const(*b.ldid(ivar)));
+  EXPECT_FALSE(eval_const(*b.binop(Opr::Add, b.intconst(1), b.ldid(ivar), Mtype::I8)));
+}
+
+/// Builds a program with one global array of the given source-order extents
+/// and provides the reference row-major address computation.
+class AddressFormula : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void init(const std::vector<std::int64_t>& extents, std::int64_t esize_bytes, Mtype elem) {
+    std::vector<ArrayDim> dims;
+    for (std::int64_t e : extents) dims.push_back(ArrayDim{0, e - 1, "", ""});
+    St a;
+    a.name = "a";
+    a.storage = StStorage::Global;
+    a.ty = program.symtab.make_array_ty(elem, std::move(dims), /*row_major=*/true);
+    array_st = program.symtab.make_st(a);
+    assign_layout(program);
+    this->extents = extents;
+    this->esize = esize_bytes;
+  }
+
+  /// ARRAY node with the given row-major zero-based constant indices.
+  WNPtr make_node(const std::vector<std::int64_t>& y) {
+    WNBuilder b(program.symtab);
+    std::vector<WNPtr> dim_kids;
+    std::vector<WNPtr> idx_kids;
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      dim_kids.push_back(b.intconst(extents[i]));
+      idx_kids.push_back(b.intconst(y[i]));
+    }
+    return b.array(b.lda(array_st), std::move(dim_kids), std::move(idx_kids), esize);
+  }
+
+  /// The paper's formula: base + z * sum_i(y_i * prod_{j>i} h_j).
+  std::uint64_t reference(const std::vector<std::int64_t>& y) const {
+    std::int64_t linear = 0;
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      std::int64_t mult = 1;
+      for (std::size_t j = i + 1; j < extents.size(); ++j) mult *= extents[j];
+      linear += y[i] * mult;
+    }
+    return program.symtab.st(array_st).addr + static_cast<std::uint64_t>(esize * linear);
+  }
+
+  Program program;
+  StIdx array_st = kInvalidSt;
+  std::vector<std::int64_t> extents;
+  std::int64_t esize = 0;
+};
+
+TEST_P(AddressFormula, MatchesRowMajorReferenceOnRandomIndices) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> rank_dist(1, 4);
+  std::uniform_int_distribution<std::int64_t> extent_dist(1, 9);
+  const int rank = rank_dist(rng);
+  std::vector<std::int64_t> ext;
+  for (int i = 0; i < rank; ++i) ext.push_back(extent_dist(rng));
+  init(ext, 8, Mtype::F8);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int64_t> y;
+    for (int i = 0; i < rank; ++i) {
+      y.push_back(std::uniform_int_distribution<std::int64_t>(0, ext[i] - 1)(rng));
+    }
+    const WNPtr node = make_node(y);
+    const auto got = eval_array_address(*node, program);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, reference(y)) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressFormula, ::testing::Range(0u, 20u));
+
+class AddressFixed : public AddressFormula {};
+
+TEST_P(AddressFixed, AdjacentElementsDifferByElementSize) {
+  std::mt19937 rng(GetParam() + 1000);
+  init({4, 5, 6}, 8, Mtype::F8);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::int64_t> y{
+        std::uniform_int_distribution<std::int64_t>(0, 3)(rng),
+        std::uniform_int_distribution<std::int64_t>(0, 4)(rng),
+        std::uniform_int_distribution<std::int64_t>(0, 4)(rng),
+    };
+    std::vector<std::int64_t> y2 = y;
+    ++y2[2];  // next element along the fastest-varying dimension
+    const auto a1 = eval_array_address_at(*make_node(y), program, y);
+    const auto a2 = eval_array_address_at(*make_node(y), program, y2);
+    ASSERT_TRUE(a1 && a2);
+    EXPECT_EQ(*a2 - *a1, 8u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressFixed, ::testing::Range(0u, 5u));
+
+TEST(EvalArrayAddress, NonContiguousUsesAbsoluteElementSize) {
+  Program program;
+  St a;
+  a.name = "a";
+  a.storage = StStorage::Global;
+  a.ty = program.symtab.make_array_ty(Mtype::F8, {ArrayDim{0, 9, "", ""}}, true, true);
+  const StIdx st = program.symtab.make_st(a);
+  assign_layout(program);
+  WNBuilder b(program.symtab);
+  std::vector<WNPtr> dims;
+  dims.push_back(b.intconst(10));
+  std::vector<WNPtr> idx;
+  idx.push_back(b.intconst(2));
+  const WNPtr node = b.array(b.lda(st), std::move(dims), std::move(idx), -8);
+  const auto addr = eval_array_address(*node, program);
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, program.symtab.st(st).addr + 16);
+}
+
+TEST(EvalArrayAddress, SymbolicIndexIsNotEvaluable) {
+  Program program;
+  St a;
+  a.name = "a";
+  a.storage = StStorage::Global;
+  a.ty = program.symtab.make_array_ty(Mtype::I4, {ArrayDim{0, 9, "", ""}}, true);
+  const StIdx arr = program.symtab.make_st(a);
+  St i;
+  i.name = "i";
+  i.ty = program.symtab.make_scalar_ty(Mtype::I4);
+  const StIdx ivar = program.symtab.make_st(i);
+  assign_layout(program);
+  WNBuilder b(program.symtab);
+  std::vector<WNPtr> dims;
+  dims.push_back(b.intconst(10));
+  std::vector<WNPtr> idx;
+  idx.push_back(b.ldid(ivar));
+  const WNPtr node = b.array(b.lda(arr), std::move(dims), std::move(idx), 4);
+  EXPECT_FALSE(eval_array_address(*node, program).has_value());
+}
+
+}  // namespace
+}  // namespace ara::ir

@@ -1,0 +1,102 @@
+#include "ir/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ara::ir {
+namespace {
+
+StIdx add_var(Program& p, const std::string& name, TyIdx ty, StStorage storage,
+              StIdx owner = kInvalidSt) {
+  St st;
+  st.name = name;
+  st.sclass = storage == StStorage::Formal ? StClass::Formal : StClass::Var;
+  st.storage = storage;
+  st.ty = ty;
+  st.owner_proc = owner;
+  return p.symtab.make_st(st);
+}
+
+class LayoutTest : public ::testing::Test {
+ protected:
+  LayoutTest() {
+    proc = p.symtab.make_st([] {
+      St s;
+      s.name = "main";
+      s.sclass = StClass::Proc;
+      return s;
+    }());
+    scalar_ty = p.symtab.make_scalar_ty(Mtype::F8);
+    array_ty = p.symtab.make_array_ty(Mtype::F8, {ArrayDim{1, 5, "", ""}}, false);
+  }
+
+  Program p;
+  StIdx proc = kInvalidSt;
+  TyIdx scalar_ty = kInvalidTy;
+  TyIdx array_ty = kInvalidTy;
+};
+
+TEST_F(LayoutTest, GlobalsStartAtGlobalBase) {
+  const StIdx g = add_var(p, "u", array_ty, StStorage::Global);
+  assign_layout(p);
+  EXPECT_EQ(p.symtab.st(g).addr, LayoutOptions{}.global_base);
+}
+
+TEST_F(LayoutTest, ConsecutiveGlobalsDoNotOverlap) {
+  const StIdx a = add_var(p, "a", array_ty, StStorage::Global);
+  const StIdx b = add_var(p, "b", array_ty, StStorage::Global);
+  assign_layout(p);
+  EXPECT_GE(p.symtab.st(b).addr, p.symtab.st(a).addr + 40);
+}
+
+TEST_F(LayoutTest, LocalsOfDifferentProceduresAreDistinct) {
+  const StIdx q = p.symtab.make_st([] {
+    St s;
+    s.name = "other";
+    s.sclass = StClass::Proc;
+    return s;
+  }());
+  const StIdx a = add_var(p, "x", array_ty, StStorage::Local, proc);
+  const StIdx b = add_var(p, "y", array_ty, StStorage::Local, q);
+  assign_layout(p);
+  EXPECT_NE(p.symtab.st(a).addr, p.symtab.st(b).addr);
+}
+
+TEST_F(LayoutTest, FormalsGetNoStorage) {
+  const StIdx f = add_var(p, "xcr", array_ty, StStorage::Formal, proc);
+  assign_layout(p);
+  EXPECT_EQ(p.symtab.st(f).addr, 0u);  // resolved to the actual's address by IPA
+}
+
+TEST_F(LayoutTest, AddressesAreAligned) {
+  const TyIdx char_ty = p.symtab.make_scalar_ty(Mtype::I1);
+  add_var(p, "c", char_ty, StStorage::Global);
+  const StIdx d = add_var(p, "d", scalar_ty, StStorage::Global);
+  assign_layout(p);
+  EXPECT_EQ(p.symtab.st(d).addr % 8, 0u);
+}
+
+TEST_F(LayoutTest, AllStorageAddressesAreUnique) {
+  std::vector<StIdx> vars;
+  for (int i = 0; i < 10; ++i) {
+    vars.push_back(add_var(p, "g" + std::to_string(i), array_ty, StStorage::Global));
+    vars.push_back(add_var(p, "l" + std::to_string(i), array_ty, StStorage::Local, proc));
+  }
+  assign_layout(p);
+  std::set<std::uint64_t> addrs;
+  for (StIdx v : vars) addrs.insert(p.symtab.st(v).addr);
+  EXPECT_EQ(addrs.size(), vars.size());
+}
+
+TEST_F(LayoutTest, VariableLengthArrayStillGetsAnAddress) {
+  const TyIdx vla = p.symtab.make_array_ty(Mtype::F8, {ArrayDim{1, std::nullopt, "", "n"}}, false);
+  const StIdx a = add_var(p, "v", vla, StStorage::Local, proc);
+  const StIdx b = add_var(p, "w", scalar_ty, StStorage::Local, proc);
+  assign_layout(p);
+  EXPECT_NE(p.symtab.st(a).addr, 0u);
+  EXPECT_NE(p.symtab.st(a).addr, p.symtab.st(b).addr);
+}
+
+}  // namespace
+}  // namespace ara::ir

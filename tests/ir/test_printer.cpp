@@ -1,0 +1,81 @@
+#include "ir/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+
+namespace ara::ir {
+namespace {
+
+struct Compiled {
+  Program program;
+  DiagnosticEngine diags{nullptr};
+};
+
+std::unique_ptr<Compiled> compile(const std::string& text) {
+  auto out = std::make_unique<Compiled>();
+  out->program.sources.add("t.f", text, Language::Fortran);
+  EXPECT_TRUE(fe::compile_program(out->program, out->diags)) << out->diags.render();
+  return out;
+}
+
+TEST(Printer, DumpShowsOperatorsSymbolsAndArrayMetadata) {
+  auto c = compile(
+      "subroutine s\n"
+      "  double precision :: u(5, 65)\n"
+      "  integer :: i\n"
+      "  do i = 1, 65\n"
+      "    u(1, i) = 0.0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const std::string dump = dump_tree(*c->program.procedures[0].tree, c->program.symtab);
+  EXPECT_NE(dump.find("FUNC_ENTRY"), std::string::npos);
+  EXPECT_NE(dump.find("<s>"), std::string::npos);
+  EXPECT_NE(dump.find("DO_LOOP"), std::string::npos);
+  EXPECT_NE(dump.find("IDNAME"), std::string::npos);
+  EXPECT_NE(dump.find("ISTORE"), std::string::npos);
+  // ARRAY nodes print the Table I fields we extract: esize and ndim.
+  EXPECT_NE(dump.find("ARRAY U8 esize=8 ndim=2"), std::string::npos);
+  EXPECT_NE(dump.find("<u>"), std::string::npos);
+  // Source positions ride along.
+  EXPECT_NE(dump.find("{line 5}"), std::string::npos);
+}
+
+TEST(Printer, IndentationReflectsNesting) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: i\n"
+      "  i = 1\n"
+      "end subroutine s\n");
+  const std::string dump = dump_tree(*c->program.procedures[0].tree, c->program.symtab);
+  // FUNC_ENTRY at column 0, BLOCK indented, STID deeper.
+  EXPECT_EQ(dump.rfind("FUNC_ENTRY", 0), 0u);
+  EXPECT_NE(dump.find("\n  BLOCK"), std::string::npos);
+  EXPECT_NE(dump.find("\n    STID"), std::string::npos);
+}
+
+TEST(Printer, ProgramDumpNamesEveryProcedureAndFile) {
+  auto c = compile("subroutine a\nend\nsubroutine b\nend\n");
+  const std::string dump = dump_program(c->program);
+  EXPECT_NE(dump.find("=== a (t.f) ==="), std::string::npos);
+  EXPECT_NE(dump.find("=== b (t.f) ==="), std::string::npos);
+}
+
+TEST(Program, OwnerNameAndLookups) {
+  auto c = compile(
+      "subroutine s\n"
+      "  integer :: local_x\n"
+      "  local_x = 1\n"
+      "end subroutine s\n");
+  const ProcedureIR* p = c->program.find_procedure("S");  // case-insensitive
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(c->program.find_procedure("nosuch"), nullptr);
+  EXPECT_EQ(c->program.find_procedure(p->proc_st), p);
+  for (StIdx idx : c->program.symtab.all_sts()) {
+    const St& st = c->program.symtab.st(idx);
+    if (st.name == "local_x") EXPECT_EQ(c->program.owner_name(idx), "s");
+  }
+}
+
+}  // namespace
+}  // namespace ara::ir

@@ -1,0 +1,103 @@
+#include "ir/symtab.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::ir {
+namespace {
+
+TEST(Mtype, SizesMatchTheElementSizeColumn) {
+  EXPECT_EQ(mtype_size(Mtype::I1), 1u);  // char, the CLASS row
+  EXPECT_EQ(mtype_size(Mtype::I4), 4u);  // int, the aarr rows
+  EXPECT_EQ(mtype_size(Mtype::F8), 8u);  // double, the XCR / U rows
+  EXPECT_EQ(mtype_size(Mtype::Void), 0u);
+}
+
+TEST(Mtype, SourceNames) {
+  EXPECT_EQ(mtype_source_name(Mtype::I4), "int");
+  EXPECT_EQ(mtype_source_name(Mtype::F8), "double");
+  EXPECT_EQ(mtype_source_name(Mtype::I1), "char");
+}
+
+TEST(SymbolTable, ScalarTypesAreInterned) {
+  SymbolTable st;
+  const TyIdx a = st.make_scalar_ty(Mtype::F8);
+  const TyIdx b = st.make_scalar_ty(Mtype::F8);
+  const TyIdx c = st.make_scalar_ty(Mtype::I4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SymbolTable, XcrArrayAttributes) {
+  // XCR(5) double: dim size 5, total 5, 40 bytes — Table II.
+  SymbolTable st;
+  const TyIdx ty = st.make_array_ty(Mtype::F8, {ArrayDim{1, 5, "", ""}}, /*row_major=*/false);
+  const Ty& t = st.ty(ty);
+  EXPECT_TRUE(t.is_array());
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.element_size(), 8);
+  EXPECT_EQ(t.total_elements(), 5);
+  EXPECT_EQ(t.size_bytes(), 40);
+}
+
+TEST(SymbolTable, UArrayAttributes) {
+  // u(5,65,65,64) double: 1,352,000 elements, 10,816,000 bytes — Table III.
+  SymbolTable st;
+  const TyIdx ty = st.make_array_ty(
+      Mtype::F8,
+      {ArrayDim{1, 5, "", ""}, ArrayDim{1, 65, "", ""}, ArrayDim{1, 65, "", ""},
+       ArrayDim{1, 64, "", ""}},
+      /*row_major=*/false);
+  EXPECT_EQ(st.ty(ty).total_elements(), 1352000);
+  EXPECT_EQ(st.ty(ty).size_bytes(), 10816000);
+}
+
+TEST(SymbolTable, VariableLengthArrayHasUnknownSize) {
+  // "For variable length arrays, the size of entire array will be displayed
+  // as zero" — represented as nullopt here; the row builder renders 0.
+  SymbolTable st;
+  const TyIdx ty =
+      st.make_array_ty(Mtype::F8, {ArrayDim{1, std::nullopt, "", "n"}}, /*row_major=*/false);
+  EXPECT_FALSE(st.ty(ty).total_elements().has_value());
+  EXPECT_FALSE(st.ty(ty).size_bytes().has_value());
+  EXPECT_EQ(st.ty(ty).dims[0].ub_sym, "n");
+}
+
+TEST(SymbolTable, ZeroBasedCArrayExtent) {
+  SymbolTable st;
+  const TyIdx ty = st.make_array_ty(Mtype::I4, {ArrayDim{0, 19, "", ""}}, /*row_major=*/true);
+  EXPECT_EQ(st.ty(ty).dims[0].extent(), 20);
+  EXPECT_EQ(st.ty(ty).size_bytes(), 80);  // the aarr row: 80 bytes
+}
+
+TEST(SymbolTable, NegativeExtentIsInvalid) {
+  SymbolTable st;
+  const TyIdx ty = st.make_array_ty(Mtype::I4, {ArrayDim{5, 1, "", ""}}, true);
+  EXPECT_FALSE(st.ty(ty).total_elements().has_value());
+}
+
+TEST(SymbolTable, StLookupAndMutation) {
+  SymbolTable st;
+  St sym;
+  sym.name = "verify";
+  sym.sclass = StClass::Proc;
+  const StIdx idx = st.make_st(sym);
+  EXPECT_EQ(st.st(idx).name, "verify");
+  st.st_mutable(idx).addr = 0x1234;
+  EXPECT_EQ(st.st(idx).addr, 0x1234u);
+  EXPECT_THROW(st.st(0), std::out_of_range);
+  EXPECT_THROW(st.st(idx + 1), std::out_of_range);
+}
+
+TEST(SymbolTable, FindProcIsCaseInsensitive) {
+  SymbolTable st;
+  St sym;
+  sym.name = "Verify";
+  sym.sclass = StClass::Proc;
+  const StIdx idx = st.make_st(sym);
+  EXPECT_EQ(st.find_proc("VERIFY"), idx);
+  EXPECT_EQ(st.find_proc("verify"), idx);
+  EXPECT_FALSE(st.find_proc("rhs").has_value());
+}
+
+}  // namespace
+}  // namespace ara::ir

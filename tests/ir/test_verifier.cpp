@@ -1,0 +1,129 @@
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/wn_builder.hpp"
+
+namespace ara::ir {
+namespace {
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest() : build(symtab) {
+    St p;
+    p.name = "main";
+    p.sclass = StClass::Proc;
+    p.ty = symtab.make_scalar_ty(Mtype::Void);
+    proc = symtab.make_st(p);
+    St i;
+    i.name = "i";
+    i.ty = symtab.make_scalar_ty(Mtype::I4);
+    ivar = symtab.make_st(i);
+    St a;
+    a.name = "a";
+    a.ty = symtab.make_array_ty(Mtype::I4, {ArrayDim{0, 9, "", ""}}, true);
+    arr = symtab.make_st(a);
+  }
+
+  WNPtr array_ref(std::int64_t index) {
+    std::vector<WNPtr> dims;
+    dims.push_back(build.intconst(10));
+    std::vector<WNPtr> idx;
+    idx.push_back(build.intconst(index));
+    return build.array(build.lda(arr), std::move(dims), std::move(idx), 4);
+  }
+
+  SymbolTable symtab;
+  WNBuilder build{symtab};
+  StIdx proc = kInvalidSt;
+  StIdx ivar = kInvalidSt;
+  StIdx arr = kInvalidSt;
+};
+
+TEST_F(VerifierTest, WellFormedProcedurePasses) {
+  WNPtr body = build.block();
+  body->attach(build.stid(ivar, build.intconst(0)));
+  body->attach(build.istore(build.ldid(ivar), array_ref(3), Mtype::I4));
+  body->attach(build.ret());
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_TRUE(verify_tree(*entry, symtab).empty());
+}
+
+TEST_F(VerifierTest, RootMustBeFuncEntry) {
+  const WNPtr block = build.block();
+  const auto errs = verify_tree(*block, symtab);
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("FUNC_ENTRY"), std::string::npos);
+}
+
+TEST_F(VerifierTest, BlockRejectsExpressionKids) {
+  WNPtr body = build.block();
+  body->attach(build.intconst(1));  // an expression is not a statement
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_FALSE(verify_tree(*entry, symtab).empty());
+}
+
+TEST_F(VerifierTest, ArrayWithEvenKidCountFails) {
+  // Hand-build a malformed ARRAY (kid_count must be odd).
+  auto arr_wn = std::make_unique<WN>(Opr::Array, Mtype::U8);
+  arr_wn->set_element_size(4);
+  arr_wn->attach(build.lda(arr));
+  arr_wn->attach(build.intconst(10));
+  WNPtr body = build.block();
+  body->attach(build.istore(build.intconst(0), std::move(arr_wn), Mtype::I4));
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_FALSE(verify_tree(*entry, symtab).empty());
+}
+
+TEST_F(VerifierTest, ArrayWithZeroElementSizeFails) {
+  std::vector<WNPtr> dims;
+  dims.push_back(build.intconst(10));
+  std::vector<WNPtr> idx;
+  idx.push_back(build.intconst(0));
+  WNPtr a = build.array(build.lda(arr), std::move(dims), std::move(idx), 0);
+  WNPtr body = build.block();
+  body->attach(build.istore(build.intconst(0), std::move(a), Mtype::I4));
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_FALSE(verify_tree(*entry, symtab).empty());
+}
+
+TEST_F(VerifierTest, IloadRequiresArrayAddressAtHighWhirl) {
+  // "array references must be explicit" at H-WHIRL (§III): a raw LDID
+  // address under ILOAD is rejected.
+  auto iload = std::make_unique<WN>(Opr::Iload, Mtype::I4, Mtype::I4);
+  iload->attach(build.ldid(ivar));
+  WNPtr body = build.block();
+  body->attach(build.stid(ivar, std::move(iload)));
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_FALSE(verify_tree(*entry, symtab).empty());
+}
+
+TEST_F(VerifierTest, CallKidsMustBeParm) {
+  auto call = std::make_unique<WN>(Opr::Call, Mtype::Void);
+  call->set_st_idx(proc);
+  call->attach(build.intconst(1));  // not wrapped in PARM
+  WNPtr body = build.block();
+  body->attach(std::move(call));
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_FALSE(verify_tree(*entry, symtab).empty());
+}
+
+TEST_F(VerifierTest, PragmaNeedsPayload) {
+  auto pragma = std::make_unique<WN>(Opr::Pragma, Mtype::Void);
+  WNPtr body = build.block();
+  body->attach(std::move(pragma));
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_FALSE(verify_tree(*entry, symtab).empty());
+}
+
+TEST_F(VerifierTest, InvalidStIdxIsReported) {
+  auto ldid = std::make_unique<WN>(Opr::Ldid, Mtype::I4, Mtype::I4);
+  ldid->set_st_idx(999);
+  WNPtr body = build.block();
+  body->attach(build.stid(ivar, std::move(ldid)));
+  const WNPtr entry = build.func_entry(proc, {}, std::move(body));
+  EXPECT_FALSE(verify_tree(*entry, symtab).empty());
+}
+
+}  // namespace
+}  // namespace ara::ir

@@ -1,0 +1,146 @@
+#include "ir/wn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/wn_builder.hpp"
+
+namespace ara::ir {
+namespace {
+
+class WNTest : public ::testing::Test {
+ protected:
+  WNTest() : build(symtab) {
+    St a;
+    a.name = "a";
+    a.ty = symtab.make_array_ty(Mtype::F8,
+                                {ArrayDim{1, 10, "", ""}, ArrayDim{1, 20, "", ""}}, false);
+    array_st = symtab.make_st(a);
+    St i;
+    i.name = "i";
+    i.ty = symtab.make_scalar_ty(Mtype::I4);
+    ivar_st = symtab.make_st(i);
+  }
+
+  WNPtr sample_array() {
+    std::vector<WNPtr> dims;
+    dims.push_back(build.intconst(20));
+    dims.push_back(build.intconst(10));
+    std::vector<WNPtr> idx;
+    idx.push_back(build.intconst(3));
+    idx.push_back(build.ldid(ivar_st));
+    return build.array(build.lda(array_st), std::move(dims), std::move(idx), 8);
+  }
+
+  SymbolTable symtab;
+  WNBuilder build{symtab};
+  StIdx array_st = kInvalidSt;
+  StIdx ivar_st = kInvalidSt;
+};
+
+TEST_F(WNTest, ArrayNodeLayoutMatchesTheDocumentedForm) {
+  // kid_count = 2n+1; "the number of dimensions of the array, n, is inferred
+  // from kid-count shifted right by 1" (§IV-C).
+  const WNPtr arr = sample_array();
+  EXPECT_EQ(arr->opr(), Opr::Array);
+  EXPECT_EQ(arr->kid_count(), 5u);
+  EXPECT_EQ(arr->num_dim(), 2u);
+  EXPECT_EQ(arr->array_base()->opr(), Opr::Lda);
+  EXPECT_EQ(arr->array_dim(0)->const_val(), 20);
+  EXPECT_EQ(arr->array_dim(1)->const_val(), 10);
+  EXPECT_EQ(arr->array_index(0)->const_val(), 3);
+  EXPECT_EQ(arr->array_index(1)->opr(), Opr::Ldid);
+  EXPECT_EQ(arr->element_size(), 8);
+}
+
+TEST_F(WNTest, NegativeElementSizeFlagsNonContiguous) {
+  // "If it is negative, it specifies a non-contiguous array" (§IV-C).
+  std::vector<WNPtr> dims;
+  dims.push_back(build.intconst(10));
+  std::vector<WNPtr> idx;
+  idx.push_back(build.intconst(0));
+  const WNPtr arr = build.array(build.lda(array_st), std::move(dims), std::move(idx), -8);
+  EXPECT_LT(arr->element_size(), 0);
+}
+
+TEST_F(WNTest, RankMismatchThrows) {
+  std::vector<WNPtr> dims;
+  dims.push_back(build.intconst(10));
+  std::vector<WNPtr> idx;  // empty: mismatch
+  EXPECT_THROW(build.array(build.lda(array_st), std::move(dims), std::move(idx), 8),
+               std::invalid_argument);
+}
+
+TEST_F(WNTest, PrevNextSiblingNavigation) {
+  // Table I lists prev/next pointers on the WHIRL node.
+  WNPtr block = build.block();
+  WN* s1 = block->attach(build.ret());
+  WN* s2 = block->attach(build.ret());
+  WN* s3 = block->attach(build.ret());
+  EXPECT_EQ(s1->prev(), nullptr);
+  EXPECT_EQ(s1->next(), s2);
+  EXPECT_EQ(s2->prev(), s1);
+  EXPECT_EQ(s2->next(), s3);
+  EXPECT_EQ(s3->next(), nullptr);
+  EXPECT_EQ(s2->parent(), block.get());
+}
+
+TEST_F(WNTest, WalkVisitsPreOrderAndCanPrune) {
+  WNPtr loop = build.do_loop(ivar_st, build.intconst(1), build.intconst(10), build.intconst(1),
+                             build.block());
+  std::vector<Opr> visited;
+  loop->walk([&](const WN& wn) {
+    visited.push_back(wn.opr());
+    return true;
+  });
+  ASSERT_GE(visited.size(), 5u);
+  EXPECT_EQ(visited.front(), Opr::DoLoop);
+  EXPECT_EQ(visited[1], Opr::Idname);
+
+  std::size_t count = 0;
+  loop->walk([&](const WN& wn) {
+    ++count;
+    return wn.opr() != Opr::DoLoop;  // prune everything below the root
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(WNTest, TreeSizeCountsAllNodes) {
+  const WNPtr arr = sample_array();
+  EXPECT_EQ(arr->tree_size(), 6u);  // ARRAY + base + 2 dims + 2 indices
+}
+
+TEST_F(WNTest, DoLoopAccessors) {
+  WNPtr body = build.block();
+  WNPtr loop =
+      build.do_loop(ivar_st, build.intconst(2), build.intconst(9), build.intconst(3), std::move(body));
+  EXPECT_EQ(loop->loop_idname()->st_idx(), ivar_st);
+  EXPECT_EQ(loop->loop_init()->const_val(), 2);
+  EXPECT_EQ(loop->loop_end()->const_val(), 9);
+  EXPECT_EQ(loop->loop_step()->const_val(), 3);
+  EXPECT_EQ(loop->loop_body()->opr(), Opr::Block);
+}
+
+TEST_F(WNTest, CallWrapsArgumentsInParm) {
+  St p;
+  p.name = "f";
+  p.sclass = StClass::Proc;
+  p.ty = symtab.make_scalar_ty(Mtype::Void);
+  const StIdx f = symtab.make_st(p);
+  std::vector<WNPtr> args;
+  args.push_back(build.intconst(1));
+  args.push_back(build.ldid(ivar_st));
+  const WNPtr call = build.call(f, std::move(args));
+  ASSERT_EQ(call->kid_count(), 2u);
+  EXPECT_EQ(call->kid(0)->opr(), Opr::Parm);
+  EXPECT_EQ(call->kid(1)->kid(0)->opr(), Opr::Ldid);
+}
+
+TEST_F(WNTest, LinenumCarriesSourcePosition) {
+  WNPtr wn = build.ret();
+  wn->set_linenum(SourceLoc{1, 42, 7});
+  EXPECT_EQ(wn->linenum().line, 42u);
+  EXPECT_EQ(wn->linenum().col, 7u);
+}
+
+}  // namespace
+}  // namespace ara::ir

@@ -1,0 +1,35 @@
+#include "regions/access.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::regions {
+namespace {
+
+TEST(AccessMode, NamesMatchThePaper) {
+  // "Access mode can be one of USE, DEF, FORMAL or PASSED" (§I).
+  EXPECT_EQ(to_string(AccessMode::Use), "USE");
+  EXPECT_EQ(to_string(AccessMode::Def), "DEF");
+  EXPECT_EQ(to_string(AccessMode::Formal), "FORMAL");
+  EXPECT_EQ(to_string(AccessMode::Passed), "PASSED");
+}
+
+TEST(AccessMode, RoundTripThroughStrings) {
+  for (AccessMode m : kAllAccessModes) {
+    const auto back = access_mode_from_string(to_string(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(AccessMode, UnknownStringsRejected) {
+  EXPECT_FALSE(access_mode_from_string("use").has_value());  // case-sensitive wire format
+  EXPECT_FALSE(access_mode_from_string("IDEF").has_value());  // derived label, not a base mode
+  EXPECT_FALSE(access_mode_from_string("").has_value());
+}
+
+TEST(AccessMode, AllModesEnumerated) {
+  EXPECT_EQ(std::size(kAllAccessModes), 4u);
+}
+
+}  // namespace
+}  // namespace ara::regions

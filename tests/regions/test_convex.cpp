@@ -1,0 +1,105 @@
+#include "regions/convex_region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::regions {
+namespace {
+
+Region fig1_def() { return Region({DimAccess::range(1, 100), DimAccess::range(1, 100)}); }
+Region fig1_use() { return Region({DimAccess::range(101, 200), DimAccess::range(101, 200)}); }
+
+TEST(ConvexRegion, RoundTripConstantBox) {
+  const Region in({DimAccess::range(1, 5), DimAccess::range(2, 10)});
+  const ConvexRegion c = ConvexRegion::from_region(in);
+  const Region out = c.to_region();
+  ASSERT_EQ(out.rank(), 2u);
+  EXPECT_EQ(out.dim(0).lb.const_value(), 1);
+  EXPECT_EQ(out.dim(0).ub.const_value(), 5);
+  EXPECT_EQ(out.dim(1).lb.const_value(), 2);
+  EXPECT_EQ(out.dim(1).ub.const_value(), 10);
+}
+
+TEST(ConvexRegion, StridesAreDroppedByTheConvexForm) {
+  // Documented over-approximation: "linear constraint-based" regions are
+  // convex, so strides cannot be represented (§III).
+  const Region in({DimAccess::range(2, 6, 2)});
+  const Region out = ConvexRegion::from_region(in).to_region();
+  EXPECT_EQ(out.dim(0).stride, 1);
+  EXPECT_EQ(out.dim(0).lb.const_value(), 2);
+  EXPECT_EQ(out.dim(0).ub.const_value(), 6);
+}
+
+TEST(ConvexRegion, Fig1DisjointnessProven) {
+  const ConvexRegion a = ConvexRegion::from_region(fig1_def());
+  const ConvexRegion b = ConvexRegion::from_region(fig1_use());
+  EXPECT_TRUE(ConvexRegion::certainly_disjoint(a, b));
+  EXPECT_FALSE(ConvexRegion::certainly_disjoint(a, a));
+}
+
+TEST(ConvexRegion, OverlapInOneDimensionOnlyIsNotDisjoint) {
+  // (1:100, 1:100) vs (50:150, 101:200): rows overlap, columns do not.
+  const Region b({DimAccess::range(50, 150), DimAccess::range(101, 200)});
+  EXPECT_TRUE(ConvexRegion::certainly_disjoint(ConvexRegion::from_region(fig1_def()),
+                                               ConvexRegion::from_region(b)));
+  const Region c({DimAccess::range(50, 150), DimAccess::range(50, 150)});
+  EXPECT_FALSE(ConvexRegion::certainly_disjoint(ConvexRegion::from_region(fig1_def()),
+                                                ConvexRegion::from_region(c)));
+}
+
+TEST(ConvexRegion, SymbolicBoundsSurviveRoundTrip) {
+  // A region 1..n stays parametric: the triplet shows UB "n".
+  Region in({DimAccess{Bound::constant(1), Bound::affine(BoundKind::Subscr, LinExpr::var("n")),
+                       1}});
+  const Region out = ConvexRegion::from_region(in).to_region();
+  EXPECT_EQ(out.dim(0).lb.const_value(), 1);
+  EXPECT_FALSE(out.dim(0).ub.is_const());
+  EXPECT_EQ(out.dim(0).ub.str(), "n");
+}
+
+TEST(ConvexRegion, SymbolicRegionsShareNoProof) {
+  // (1:n) vs (n+1:2n) are disjoint for every n, and the linear system can
+  // prove it: i <= n and i >= n+1 is infeasible.
+  Region a({DimAccess{Bound::constant(1), Bound::affine(BoundKind::Subscr, LinExpr::var("n")),
+                      1}});
+  Region b({DimAccess{Bound::affine(BoundKind::Subscr, LinExpr::var("n") + LinExpr(1)),
+                      Bound::affine(BoundKind::Subscr, LinExpr::var("n") * 2), 1}});
+  EXPECT_TRUE(ConvexRegion::certainly_disjoint(ConvexRegion::from_region(a),
+                                               ConvexRegion::from_region(b)));
+}
+
+TEST(ConvexRegion, MessyDimensionIsUnconstrained) {
+  Region in({DimAccess{Bound::messy(), Bound::messy(), 1}, DimAccess::range(1, 5)});
+  const ConvexRegion c = ConvexRegion::from_region(in);
+  const Region out = c.to_region();
+  EXPECT_FALSE(out.dim(0).lb.known());  // stays unprojected
+  EXPECT_EQ(out.dim(1).lb.const_value(), 1);
+}
+
+TEST(ConvexRegion, MessyOverlapsEverything) {
+  // An unconstrained dimension may touch anything: no disjointness proof.
+  Region messy({DimAccess{Bound::messy(), Bound::messy(), 1}});
+  Region narrow({DimAccess::range(5, 5)});
+  EXPECT_FALSE(ConvexRegion::certainly_disjoint(ConvexRegion::from_region(messy),
+                                                ConvexRegion::from_region(narrow)));
+}
+
+TEST(ConvexRegion, DescendingTripletNormalizes) {
+  // [10:1:-1] covers 1..10; its convex form must contain 5.
+  Region desc({DimAccess{Bound::constant(10), Bound::constant(1), -1}});
+  const ConvexRegion c = ConvexRegion::from_region(desc);
+  ConvexRegion point = ConvexRegion::from_region(Region({DimAccess::exact(5)}));
+  EXPECT_FALSE(ConvexRegion::certainly_disjoint(c, point));
+  const Region out = c.to_region();
+  EXPECT_EQ(out.dim(0).lb.const_value(), 1);
+  EXPECT_EQ(out.dim(0).ub.const_value(), 10);
+}
+
+TEST(ConvexRegion, DifferentRanksAreNeverProvenDisjoint) {
+  Region a({DimAccess::range(1, 2)});
+  Region b({DimAccess::range(5, 6), DimAccess::range(5, 6)});
+  EXPECT_FALSE(ConvexRegion::certainly_disjoint(ConvexRegion::from_region(a),
+                                                ConvexRegion::from_region(b)));
+}
+
+}  // namespace
+}  // namespace ara::regions

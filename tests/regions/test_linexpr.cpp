@@ -1,0 +1,111 @@
+#include "regions/linexpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ara::regions {
+namespace {
+
+TEST(LinExpr, ConstantBasics) {
+  const LinExpr e(7);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant(), 7);
+  EXPECT_TRUE(LinExpr().is_zero());
+}
+
+TEST(LinExpr, VarWithZeroCoefIsConstantZero) {
+  const LinExpr e = LinExpr::var("i", 0);
+  EXPECT_TRUE(e.is_zero());
+}
+
+TEST(LinExpr, Arithmetic) {
+  const LinExpr e = LinExpr::var("i", 2) + LinExpr::var("j") - LinExpr(1);
+  EXPECT_EQ(e.coef("i"), 2);
+  EXPECT_EQ(e.coef("j"), 1);
+  EXPECT_EQ(e.coef("k"), 0);
+  EXPECT_EQ(e.constant(), -1);
+  const LinExpr doubled = e * 2;
+  EXPECT_EQ(doubled.coef("i"), 4);
+  EXPECT_EQ(doubled.constant(), -2);
+}
+
+TEST(LinExpr, CancellationRemovesTerms) {
+  const LinExpr e = LinExpr::var("i") - LinExpr::var("i");
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_TRUE(e.terms().empty());
+}
+
+TEST(LinExpr, MultiplyByZeroClears) {
+  LinExpr e = LinExpr::var("i", 5) + LinExpr(3);
+  e *= 0;
+  EXPECT_TRUE(e.is_zero());
+}
+
+TEST(LinExpr, Substitution) {
+  // (2i + j + 1)[i := m - 1]  =  2m + j - 1
+  const LinExpr e = LinExpr::var("i", 2) + LinExpr::var("j") + LinExpr(1);
+  const LinExpr repl = LinExpr::var("m") - LinExpr(1);
+  const LinExpr out = e.substituted("i", repl);
+  EXPECT_EQ(out.coef("m"), 2);
+  EXPECT_EQ(out.coef("j"), 1);
+  EXPECT_EQ(out.coef("i"), 0);
+  EXPECT_EQ(out.constant(), -1);
+}
+
+TEST(LinExpr, SubstituteAbsentVarIsNoop) {
+  const LinExpr e = LinExpr::var("i");
+  EXPECT_EQ(e.substituted("z", LinExpr(100)), e);
+}
+
+TEST(LinExpr, Evaluate) {
+  const LinExpr e = LinExpr::var("i", 3) - LinExpr::var("j") + LinExpr(2);
+  EXPECT_EQ(e.evaluate({{"i", 4}, {"j", 5}}), 9);
+  EXPECT_FALSE(e.evaluate({{"i", 4}}).has_value());  // j unbound
+}
+
+TEST(LinExpr, StringRendering) {
+  EXPECT_EQ(LinExpr(5).str(), "5");
+  EXPECT_EQ(LinExpr(-5).str(), "-5");
+  EXPECT_EQ(LinExpr::var("i").str(), "i");
+  EXPECT_EQ((LinExpr::var("i", -1)).str(), "-i");
+  EXPECT_EQ((LinExpr::var("i", 2) + LinExpr::var("j", -3) + LinExpr(4)).str(), "2*i - 3*j + 4");
+  EXPECT_EQ((LinExpr::var("n") - LinExpr(1)).str(), "n - 1");
+}
+
+class LinExprProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LinExprProperty, AddThenSubtractIsIdentity) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> coef(-10, 10);
+  const char* names[] = {"i", "j", "k", "m", "n"};
+  auto random_expr = [&] {
+    LinExpr e(coef(rng));
+    for (const char* v : names) e += LinExpr::var(v, coef(rng));
+    return e;
+  };
+  for (int t = 0; t < 50; ++t) {
+    const LinExpr a = random_expr();
+    const LinExpr b = random_expr();
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a - a, LinExpr());
+    EXPECT_EQ(a * 3 - a * 2, a);
+  }
+}
+
+TEST_P(LinExprProperty, EvaluationIsLinear) {
+  std::mt19937 rng(GetParam() + 77);
+  std::uniform_int_distribution<std::int64_t> coef(-10, 10);
+  for (int t = 0; t < 50; ++t) {
+    const LinExpr a = LinExpr::var("x", coef(rng)) + LinExpr(coef(rng));
+    const LinExpr b = LinExpr::var("x", coef(rng)) + LinExpr(coef(rng));
+    const std::map<std::string, std::int64_t> env{{"x", coef(rng)}};
+    EXPECT_EQ((a + b).evaluate(env), *a.evaluate(env) + *b.evaluate(env));
+    EXPECT_EQ((a * 5).evaluate(env), *a.evaluate(env) * 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinExprProperty, ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace ara::regions

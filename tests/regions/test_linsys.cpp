@@ -1,0 +1,256 @@
+#include "regions/linsys.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <random>
+
+namespace ara::regions {
+namespace {
+
+LinExpr v(const char* name, std::int64_t c = 1) { return LinExpr::var(name, c); }
+
+TEST(Constraint, Builders) {
+  const Constraint le = make_le(v("i"), LinExpr(5));  // i - 5 <= 0
+  EXPECT_EQ(le.expr.coef("i"), 1);
+  EXPECT_EQ(le.expr.constant(), -5);
+  const Constraint ge = make_ge(v("i"), LinExpr(2));  // 2 - i <= 0
+  EXPECT_EQ(ge.expr.coef("i"), -1);
+  const Constraint eq = make_eq(v("i"), v("j"));
+  EXPECT_EQ(eq.rel, Constraint::Rel::Eq0);
+}
+
+TEST(LinSystem, VariablesAreCollected) {
+  LinSystem s;
+  s.add(make_le(v("i"), v("n")));
+  s.add(make_ge(v("j"), LinExpr(0)));
+  EXPECT_EQ(s.variables(), (std::vector<std::string>{"i", "j", "n"}));
+}
+
+TEST(LinSystem, EliminateBoxVariable) {
+  // {1 <= i <= 10, i <= j} projected on j gives 1 <= j (via i>=1, i<=j).
+  LinSystem s;
+  s.add(make_ge(v("i"), LinExpr(1)));
+  s.add(make_le(v("i"), LinExpr(10)));
+  s.add(make_le(v("i"), v("j")));
+  const LinSystem out = s.eliminated("i");
+  const auto bounds = out.const_bounds("j");
+  ASSERT_TRUE(bounds.lower.has_value());
+  EXPECT_EQ(*bounds.lower, 1);
+  EXPECT_FALSE(bounds.upper.has_value());
+}
+
+TEST(LinSystem, EqualitySubstitutionIsExact) {
+  // {i == j + 2, 0 <= j <= 5} => 2 <= i <= 7.
+  LinSystem s;
+  s.add(make_eq(v("i"), v("j") + LinExpr(2)));
+  s.add(make_ge(v("j"), LinExpr(0)));
+  s.add(make_le(v("j"), LinExpr(5)));
+  const auto bounds = s.const_bounds("i");
+  ASSERT_TRUE(bounds.lower && bounds.upper);
+  EXPECT_EQ(*bounds.lower, 2);
+  EXPECT_EQ(*bounds.upper, 7);
+}
+
+TEST(LinSystem, InfeasibleBox) {
+  LinSystem s;
+  s.add(make_ge(v("i"), LinExpr(10)));
+  s.add(make_le(v("i"), LinExpr(5)));
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(LinSystem, FeasibleBox) {
+  LinSystem s;
+  s.add(make_ge(v("i"), LinExpr(1)));
+  s.add(make_le(v("i"), LinExpr(1)));
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(LinSystem, Fig1RegionsAreDisjoint) {
+  // P1 defines rows 1..100, P2 uses rows 101..200: no common point.
+  LinSystem s;
+  s.add(make_ge(v("r"), LinExpr(1)));
+  s.add(make_le(v("r"), LinExpr(100)));
+  s.add(make_ge(v("r"), LinExpr(101)));
+  s.add(make_le(v("r"), LinExpr(200)));
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(LinSystem, SymbolicFeasibilityIsKept) {
+  // {1 <= i <= m} is satisfiable for some m, so FM keeps it feasible.
+  LinSystem s;
+  s.add(make_ge(v("i"), LinExpr(1)));
+  s.add(make_le(v("i"), v("m")));
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(LinSystem, ConstBoundsWithCoefficient) {
+  // 2i <= 9 => i <= 4 (integer floor); 2i >= 3 => i >= 2 (ceil).
+  LinSystem s;
+  s.add(make_le(v("i", 2), LinExpr(9)));
+  s.add(make_ge(v("i", 2), LinExpr(3)));
+  const auto b = s.const_bounds("i");
+  ASSERT_TRUE(b.lower && b.upper);
+  EXPECT_EQ(*b.lower, 2);
+  EXPECT_EQ(*b.upper, 4);
+}
+
+TEST(LinSystem, UnitBoundsReadSymbolicLimits) {
+  // {1 <= i <= n - 1} yields symbolic UB "n - 1" for display.
+  LinSystem s;
+  s.add(make_ge(v("i"), LinExpr(1)));
+  s.add(make_le(v("i"), v("n") - LinExpr(1)));
+  const auto [lo, hi] = s.unit_bounds("i", [](std::string_view name) { return name == "n"; });
+  ASSERT_TRUE(lo && hi);
+  EXPECT_EQ(lo->str(), "1");
+  EXPECT_EQ(hi->str(), "n - 1");
+}
+
+TEST(LinSystem, UnitBoundsIgnoreNonParamTerms) {
+  LinSystem s;
+  s.add(make_le(v("i"), v("j")));  // j is not a parameter
+  const auto [lo, hi] = s.unit_bounds("i", [](std::string_view) { return false; });
+  EXPECT_FALSE(lo);
+  EXPECT_FALSE(hi);
+}
+
+TEST(LinSystem, SimplifyDropsTrivialAndDuplicate) {
+  LinSystem s;
+  s.add(Constraint{LinExpr(-1), Constraint::Rel::Le0});  // trivially true
+  s.add(make_le(v("i"), LinExpr(5)));
+  s.add(make_le(v("i"), LinExpr(5)));  // duplicate
+  s.simplify();
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(LinSystem, SimplifyKeepsContradictions) {
+  LinSystem s;
+  s.add(Constraint{LinExpr(1), Constraint::Rel::Le0});  // 1 <= 0: false
+  s.simplify();
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.feasible());
+}
+
+// Property: FM feasibility agrees with brute force over small integer boxes.
+// FM over rationals can only err by reporting feasible when only rational
+// solutions exist; with unit coefficients on a box this does not happen, so
+// we generate unit-coefficient systems and demand exact agreement.
+class FmVsBruteForce : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FmVsBruteForce, AgreesOnUnitCoefficientSystems) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> nvar_dist(1, 3);
+  std::uniform_int_distribution<int> ncons_dist(1, 6);
+  std::uniform_int_distribution<std::int64_t> rhs_dist(-4, 8);
+  std::uniform_int_distribution<int> coef_dist(-1, 1);
+  const char* names[] = {"x", "y", "z"};
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nv = nvar_dist(rng);
+    LinSystem s;
+    // Bounding box keeps brute force finite and makes FM exact for integers.
+    for (int i = 0; i < nv; ++i) {
+      s.add(make_ge(v(names[i]), LinExpr(0)));
+      s.add(make_le(v(names[i]), LinExpr(6)));
+    }
+    for (int c = ncons_dist(rng); c > 0; --c) {
+      LinExpr e(-rhs_dist(rng));
+      for (int i = 0; i < nv; ++i) e += v(names[i], coef_dist(rng));
+      s.add(Constraint{e, Constraint::Rel::Le0});
+    }
+
+    bool brute = false;
+    std::int64_t pt[3] = {0, 0, 0};
+    std::function<void(int)> enumerate = [&](int dim) {
+      if (brute) return;
+      if (dim == nv) {
+        for (const Constraint& c : s.constraints()) {
+          std::map<std::string, std::int64_t> env;
+          for (int i = 0; i < nv; ++i) env[names[i]] = pt[i];
+          const std::int64_t val = *c.expr.evaluate(env);
+          if (c.rel == Constraint::Rel::Le0 ? val > 0 : val != 0) return;
+        }
+        brute = true;
+        return;
+      }
+      for (pt[dim] = 0; pt[dim] <= 6; ++pt[dim]) enumerate(dim + 1);
+    };
+    enumerate(0);
+
+    EXPECT_EQ(s.feasible(), brute) << "seed " << GetParam() << " trial " << trial << " sys "
+                                   << s.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmVsBruteForce, ::testing::Range(0u, 20u));
+
+// Soundness on arbitrary coefficients: FM may over-approximate integers but
+// must never declare a system with an integer solution infeasible.
+class FmSoundness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FmSoundness, NeverRefutesAWitnessedSystem) {
+  std::mt19937 rng(GetParam() + 500);
+  std::uniform_int_distribution<std::int64_t> coef(-3, 3);
+  std::uniform_int_distribution<std::int64_t> point(-5, 5);
+  const char* names[] = {"x", "y", "z", "w"};
+
+  for (int trial = 0; trial < 30; ++trial) {
+    // Pick a witness point, then generate constraints satisfied by it.
+    std::map<std::string, std::int64_t> witness;
+    for (const char* n : names) witness[n] = point(rng);
+    LinSystem s;
+    for (int c = 0; c < 8; ++c) {
+      LinExpr e;
+      for (const char* n : names) e += v(n, coef(rng));
+      const std::int64_t val = *e.evaluate(witness);
+      // e - val <= 0 holds at the witness; loosen randomly.
+      s.add(Constraint{e - LinExpr(val + std::abs(coef(rng))), Constraint::Rel::Le0});
+    }
+    EXPECT_TRUE(s.feasible()) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmSoundness, ::testing::Range(0u, 20u));
+
+
+// Property: FM projection soundness — any solution of the original system,
+// restricted to the remaining variables, satisfies the projected system.
+class FmProjection : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FmProjection, SolutionsSurviveElimination) {
+  std::mt19937 rng(GetParam() + 900);
+  std::uniform_int_distribution<std::int64_t> coef(-2, 2);
+  std::uniform_int_distribution<std::int64_t> point(-4, 4);
+  const char* names[] = {"x", "y", "z"};
+
+  for (int trial = 0; trial < 25; ++trial) {
+    // Constraints satisfied by a known witness, so the system is feasible.
+    std::map<std::string, std::int64_t> witness;
+    for (const char* n : names) witness[n] = point(rng);
+    LinSystem sys;
+    for (int c = 0; c < 6; ++c) {
+      LinExpr e;
+      for (const char* n : names) e += v(n, coef(rng));
+      const std::int64_t val = *e.evaluate(witness);
+      sys.add(Constraint{e - LinExpr(val), Constraint::Rel::Le0});
+    }
+    const LinSystem projected = sys.eliminated("x");
+    // The projection must not mention x and must hold at the witness.
+    for (const Constraint& c : projected.constraints()) {
+      EXPECT_EQ(c.expr.coef("x"), 0) << "seed " << GetParam();
+      const auto val = c.expr.evaluate(witness);
+      ASSERT_TRUE(val.has_value());
+      if (c.rel == Constraint::Rel::Le0) {
+        EXPECT_LE(*val, 0) << "projection dropped the witness (seed " << GetParam() << ")";
+      } else {
+        EXPECT_EQ(*val, 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmProjection, ::testing::Range(0u, 15u));
+
+}  // namespace
+}  // namespace ara::regions

@@ -1,0 +1,129 @@
+// Tests for the Fig 2 technique taxonomy: classic 2-bit summaries,
+// reference lists, and Havlak–Kennedy regular sections — including the
+// accuracy-ordering property the figure sketches.
+#include "regions/methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ara::regions {
+namespace {
+
+TEST(ClassicSummary, TwoBitsWholeArray) {
+  ClassicSummary s;
+  EXPECT_FALSE(s.defined());
+  EXPECT_FALSE(s.used());
+  s.record(AccessMode::Def, {3});
+  EXPECT_TRUE(s.defined());
+  EXPECT_FALSE(s.used());
+  // Whole-array granularity: any element "may" be defined now.
+  EXPECT_TRUE(s.may_access(AccessMode::Def, {999}));
+  EXPECT_FALSE(s.may_access(AccessMode::Use, {3}));
+  EXPECT_EQ(ClassicSummary::bytes_used(), 1u);
+}
+
+TEST(ReferenceList, ExactMembership) {
+  ReferenceList s;
+  s.record(AccessMode::Use, {1, 2});
+  s.record(AccessMode::Use, {3, 4});
+  EXPECT_TRUE(s.may_access(AccessMode::Use, {1, 2}));
+  EXPECT_FALSE(s.may_access(AccessMode::Use, {2, 2}));
+  EXPECT_FALSE(s.may_access(AccessMode::Def, {1, 2}));
+  EXPECT_EQ(s.element_count(AccessMode::Use), 2u);
+}
+
+TEST(ReferenceList, DeduplicatesAndTracksBytes) {
+  ReferenceList s;
+  s.record(AccessMode::Def, {5});
+  s.record(AccessMode::Def, {5});
+  EXPECT_EQ(s.element_count(AccessMode::Def), 1u);
+  EXPECT_EQ(s.bytes_used(), sizeof(std::int64_t));
+}
+
+TEST(RegularSection, SinglePointThenWiden) {
+  RegularSection s;
+  s.record(AccessMode::Use, {4});
+  EXPECT_TRUE(s.may_access(AccessMode::Use, {4}));
+  EXPECT_FALSE(s.may_access(AccessMode::Use, {6}));
+  s.record(AccessMode::Use, {6});
+  // Section becomes [4:6:2].
+  EXPECT_TRUE(s.may_access(AccessMode::Use, {6}));
+  EXPECT_FALSE(s.may_access(AccessMode::Use, {5}));
+  s.record(AccessMode::Use, {8});
+  EXPECT_TRUE(s.may_access(AccessMode::Use, {8}));
+  const auto& sec = s.section(AccessMode::Use);
+  ASSERT_TRUE(sec.has_value());
+  EXPECT_EQ(sec->dim(0).stride, 2);
+}
+
+TEST(RegularSection, OffLatticePointTightensStride) {
+  RegularSection s;
+  s.record(AccessMode::Use, {0});
+  s.record(AccessMode::Use, {4});   // [0:4:4]
+  s.record(AccessMode::Use, {2});   // inside interval, off lattice -> stride 2
+  EXPECT_TRUE(s.may_access(AccessMode::Use, {2}));
+  EXPECT_TRUE(s.may_access(AccessMode::Use, {4}));
+}
+
+TEST(RegularSection, MultiDimensionalWidening) {
+  RegularSection s;
+  s.record(AccessMode::Def, {1, 1});
+  s.record(AccessMode::Def, {3, 5});
+  EXPECT_TRUE(s.may_access(AccessMode::Def, {1, 1}));
+  EXPECT_TRUE(s.may_access(AccessMode::Def, {3, 5}));
+  EXPECT_TRUE(s.may_access(AccessMode::Def, {1, 5}));  // over-approximation
+  EXPECT_EQ(s.bytes_used(), 2u * 3u * sizeof(std::int64_t));
+}
+
+// Property: the taxonomy's accuracy ordering. Whatever was recorded,
+//   ReferenceList membership  =>  RegularSection membership  =>  Classic.
+// And all three must cover every recorded point (soundness).
+class MethodOrdering : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MethodOrdering, AccuracyOrderingHolds) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> coord(0, 15);
+  std::uniform_int_distribution<int> mode_dist(0, 1);
+
+  ClassicSummary classic;
+  ReferenceList reflist;
+  RegularSection section;
+  std::vector<std::pair<AccessMode, Point>> recorded;
+
+  for (int i = 0; i < 40; ++i) {
+    const AccessMode mode = mode_dist(rng) == 0 ? AccessMode::Use : AccessMode::Def;
+    const Point p{coord(rng), coord(rng)};
+    classic.record(mode, p);
+    reflist.record(mode, p);
+    section.record(mode, p);
+    recorded.emplace_back(mode, p);
+  }
+
+  // Soundness: every recorded point is covered by every method.
+  for (const auto& [mode, p] : recorded) {
+    EXPECT_TRUE(reflist.may_access(mode, p));
+    EXPECT_TRUE(section.may_access(mode, p)) << "seed " << GetParam();
+    EXPECT_TRUE(classic.may_access(mode, p));
+  }
+  // Ordering: coverage only grows as precision drops.
+  for (std::int64_t x = 0; x <= 15; ++x) {
+    for (std::int64_t y = 0; y <= 15; ++y) {
+      for (AccessMode mode : {AccessMode::Use, AccessMode::Def}) {
+        const Point p{x, y};
+        if (reflist.may_access(mode, p)) {
+          EXPECT_TRUE(section.may_access(mode, p)) << "seed " << GetParam();
+        }
+        if (section.may_access(mode, p)) EXPECT_TRUE(classic.may_access(mode, p));
+      }
+    }
+  }
+  // Storage ordering (Fig 2's efficiency axis): classic <= section <= list.
+  EXPECT_LE(ClassicSummary::bytes_used(), section.bytes_used());
+  EXPECT_LE(section.bytes_used(), reflist.bytes_used());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MethodOrdering, ::testing::Range(0u, 15u));
+
+}  // namespace
+}  // namespace ara::regions

@@ -1,0 +1,210 @@
+#include "regions/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+namespace ara::regions {
+namespace {
+
+TEST(Bound, Kinds) {
+  EXPECT_TRUE(Bound::constant(3).is_const());
+  EXPECT_EQ(Bound::constant(3).const_value(), 3);
+  EXPECT_FALSE(Bound::messy().known());
+  EXPECT_FALSE(Bound::unprojected().known());
+  EXPECT_EQ(Bound::messy().str(), "MESSY");
+  EXPECT_EQ(Bound::unprojected().str(), "UNPROJECTED");
+}
+
+TEST(Bound, AffineFoldingToConstant) {
+  // A symbolic bound whose expression is constant becomes CONST.
+  const Bound b = Bound::affine(BoundKind::IVar, LinExpr(7));
+  EXPECT_EQ(b.kind, BoundKind::Const);
+  EXPECT_EQ(b.const_value(), 7);
+}
+
+TEST(DimAccess, CountRespectsStride) {
+  EXPECT_EQ(DimAccess::range(0, 7, 1).count(), 8);
+  EXPECT_EQ(DimAccess::range(2, 6, 2).count(), 3);  // the aarr USE row: {2,4,6}
+  EXPECT_EQ(DimAccess::range(1, 5, 3).count(), 2);  // {1,4}
+  EXPECT_EQ(DimAccess::exact(9).count(), 1);
+}
+
+TEST(DimAccess, NegativeStrideCountsDownward) {
+  // do i = 10, 1, -1 yields [10:1:-1]: ten elements.
+  const DimAccess d{Bound::constant(10), Bound::constant(1), -1};
+  EXPECT_EQ(d.count(), 10);
+}
+
+TEST(DimAccess, EmptyWhenDirectionContradictsStride) {
+  const DimAccess d{Bound::constant(5), Bound::constant(1), 2};
+  EXPECT_EQ(d.count(), 0);
+}
+
+TEST(DimAccess, SymbolicBoundsHaveNoCount) {
+  const DimAccess d{Bound::affine(BoundKind::Subscr, LinExpr::var("n")), Bound::constant(5), 1};
+  EXPECT_FALSE(d.count().has_value());
+}
+
+TEST(Region, ElementCountMultiplies) {
+  // The Fig 14 region (1:3,1:5,1:10,1:4): 3*5*10*4 = 600 elements.
+  Region r({DimAccess::range(1, 3), DimAccess::range(1, 5), DimAccess::range(1, 10),
+            DimAccess::range(1, 4)});
+  EXPECT_EQ(r.element_count(), 600);
+}
+
+TEST(Region, ContainsPointIsStrideAware) {
+  Region r({DimAccess::range(2, 6, 2)});
+  EXPECT_TRUE(r.contains_point({2}));
+  EXPECT_TRUE(r.contains_point({4}));
+  EXPECT_TRUE(r.contains_point({6}));
+  EXPECT_FALSE(r.contains_point({3}));
+  EXPECT_FALSE(r.contains_point({0}));
+  EXPECT_FALSE(r.contains_point({8}));
+}
+
+TEST(Region, ContainsPointNegativeStride) {
+  Region r({DimAccess{Bound::constant(9), Bound::constant(5), -2}});
+  EXPECT_TRUE(r.contains_point({9}));
+  EXPECT_TRUE(r.contains_point({7}));
+  EXPECT_TRUE(r.contains_point({5}));
+  EXPECT_FALSE(r.contains_point({8}));
+  EXPECT_FALSE(r.contains_point({3}));
+}
+
+TEST(Region, Fig1DisjointDecision) {
+  Region def({DimAccess::range(1, 100), DimAccess::range(1, 100)});
+  Region use({DimAccess::range(101, 200), DimAccess::range(101, 200)});
+  EXPECT_TRUE(Region::certainly_disjoint(def, use));
+  EXPECT_FALSE(Region::certainly_disjoint(def, def));
+}
+
+TEST(Region, DisjointByStrideLattice) {
+  // [0:10:2] (evens) vs [1:11:2] (odds) overlap as intervals but never as
+  // lattices.
+  Region evens({DimAccess::range(0, 10, 2)});
+  Region odds({DimAccess::range(1, 11, 2)});
+  EXPECT_TRUE(Region::certainly_disjoint(evens, odds));
+}
+
+TEST(Region, SymbolicRegionsAreNeverCertainlyDisjoint) {
+  Region sym({DimAccess{Bound::affine(BoundKind::Subscr, LinExpr::var("n")),
+                        Bound::affine(BoundKind::Subscr, LinExpr::var("n")), 1}});
+  Region other({DimAccess::range(1, 5)});
+  EXPECT_FALSE(Region::certainly_disjoint(sym, other));
+}
+
+TEST(Region, HullCoversBothInputs) {
+  Region a({DimAccess::range(0, 7)});
+  Region b({DimAccess::range(1, 8)});
+  const auto h = Region::hull(a, b);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->dim(0).lb.const_value(), 0);
+  EXPECT_EQ(h->dim(0).ub.const_value(), 8);
+  EXPECT_EQ(h->dim(0).stride, 1);
+}
+
+TEST(Region, HullOfStridedPiecesUsesGcd) {
+  Region a({DimAccess::range(0, 8, 4)});
+  Region b({DimAccess::range(2, 6, 2)});
+  const auto h = Region::hull(a, b);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->dim(0).stride, 2);
+  EXPECT_TRUE(h->contains_point({0}));
+  EXPECT_TRUE(h->contains_point({2}));
+  EXPECT_TRUE(h->contains_point({4}));
+}
+
+TEST(Region, HullMismatchedPhaseFallsBackToStrideOne) {
+  Region a({DimAccess::range(0, 8, 2)});
+  Region b({DimAccess::range(1, 9, 2)});
+  const auto h = Region::hull(a, b);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->dim(0).stride, 1);
+}
+
+TEST(Region, StrRendersTripletNotation) {
+  Region r({DimAccess::range(1, 100), DimAccess::range(1, 100)});
+  EXPECT_EQ(r.str(), "(1:100:1, 1:100:1)");  // the Fig 1 notation
+}
+
+// Property: the hull is an over-approximation — every point of either input
+// is contained in the hull.
+class HullProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HullProperty, HullContainsAllInputPoints) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> lo_dist(-10, 10);
+  std::uniform_int_distribution<std::int64_t> len_dist(0, 12);
+  std::uniform_int_distribution<std::int64_t> stride_dist(1, 4);
+
+  auto random_region = [&](std::size_t rank) {
+    Region r;
+    for (std::size_t i = 0; i < rank; ++i) {
+      const std::int64_t lo = lo_dist(rng);
+      const std::int64_t s = stride_dist(rng);
+      const std::int64_t n = len_dist(rng);
+      r.push_dim(DimAccess::range(lo, lo + n * s, s));
+    }
+    return r;
+  };
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rank = 1 + (rng() % 2);
+    const Region a = random_region(rank);
+    const Region b = random_region(rank);
+    const auto h = Region::hull(a, b);
+    ASSERT_TRUE(h.has_value());
+    // Enumerate the points of each input and check hull membership.
+    auto check = [&](const Region& r) {
+      std::vector<std::int64_t> point(rank);
+      std::function<void(std::size_t)> walk = [&](std::size_t d) {
+        if (d == rank) {
+          EXPECT_TRUE(h->contains_point(point))
+              << "seed " << GetParam() << " region " << r.str() << " hull " << h->str();
+          return;
+        }
+        const DimAccess& da = r.dim(d);
+        for (std::int64_t x = *da.lb.const_value(); x <= *da.ub.const_value();
+             x += da.stride) {
+          point[d] = x;
+          walk(d + 1);
+        }
+      };
+      walk(0);
+    };
+    check(a);
+    check(b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullProperty, ::testing::Range(0u, 15u));
+
+// Property: certainly_disjoint never lies — whenever it says disjoint, no
+// common point exists.
+class DisjointProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DisjointProperty, NoFalseDisjointness) {
+  std::mt19937 rng(GetParam() + 99);
+  std::uniform_int_distribution<std::int64_t> lo_dist(0, 12);
+  std::uniform_int_distribution<std::int64_t> len_dist(0, 6);
+  std::uniform_int_distribution<std::int64_t> stride_dist(1, 3);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int64_t lo1 = lo_dist(rng), s1 = stride_dist(rng), n1 = len_dist(rng);
+    const std::int64_t lo2 = lo_dist(rng), s2 = stride_dist(rng), n2 = len_dist(rng);
+    Region a({DimAccess::range(lo1, lo1 + n1 * s1, s1)});
+    Region b({DimAccess::range(lo2, lo2 + n2 * s2, s2)});
+    if (!Region::certainly_disjoint(a, b)) continue;
+    for (std::int64_t x = lo1; x <= lo1 + n1 * s1; x += s1) {
+      EXPECT_FALSE(b.contains_point({x}))
+          << a.str() << " vs " << b.str() << " share " << x << " (seed " << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointProperty, ::testing::Range(0u, 15u));
+
+}  // namespace
+}  // namespace ara::regions

@@ -1,0 +1,63 @@
+#include "rgn/dgn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::rgn {
+namespace {
+
+DgnProject sample_project() {
+  DgnProject p;
+  p.name = "lu";
+  p.files = {"lu.f", "rhs.f"};
+  p.languages = {"Fortran", "Fortran"};
+  p.procedures = {DgnProc{"applu", "lu.f", 6, true}, DgnProc{"rhs", "rhs.f", 7, false}};
+  p.edges = {DgnEdge{"applu", "rhs", 20}};
+  return p;
+}
+
+TEST(Dgn, RoundTrip) {
+  const DgnProject p = sample_project();
+  DgnProject back;
+  std::string error;
+  ASSERT_TRUE(parse_dgn(write_dgn(p), back, &error)) << error;
+  EXPECT_EQ(back, p);
+}
+
+TEST(Dgn, FindProcIsCaseInsensitive) {
+  const DgnProject p = sample_project();
+  ASSERT_NE(p.find_proc("APPLU"), nullptr);
+  EXPECT_TRUE(p.find_proc("APPLU")->is_entry);
+  EXPECT_EQ(p.find_proc("nosuch"), nullptr);
+}
+
+TEST(Dgn, RejectsMissingMagic) {
+  DgnProject out;
+  std::string error;
+  EXPECT_FALSE(parse_dgn("project lu\n", out, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(Dgn, RejectsEntryOutsideSection) {
+  DgnProject out;
+  EXPECT_FALSE(parse_dgn("DGN 1\nfoo|bar\n", out, nullptr));
+}
+
+TEST(Dgn, RejectsMalformedProcedure) {
+  DgnProject out;
+  EXPECT_FALSE(parse_dgn("DGN 1\n[procedures]\nonly|two\n", out, nullptr));
+}
+
+TEST(Dgn, RejectsNonNumericLine) {
+  DgnProject out;
+  EXPECT_FALSE(parse_dgn("DGN 1\n[edges]\na|b|xyz\n", out, nullptr));
+}
+
+TEST(Dgn, EmptySectionsAreFine) {
+  DgnProject out;
+  ASSERT_TRUE(parse_dgn("DGN 1\nproject p\n[files]\n[procedures]\n[edges]\n", out, nullptr));
+  EXPECT_EQ(out.name, "p");
+  EXPECT_TRUE(out.procedures.empty());
+}
+
+}  // namespace
+}  // namespace ara::rgn

@@ -1,0 +1,109 @@
+#include "rgn/region_row.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::rgn {
+namespace {
+
+RegionRow sample_row() {
+  RegionRow r;
+  r.scope = "verify";
+  r.array = "xcr";
+  r.file = "verify.o";
+  r.mode = "USE";
+  r.references = 4;
+  r.dims = 1;
+  r.lb = "1";
+  r.ub = "5";
+  r.stride = "1";
+  r.element_size = 8;
+  r.data_type = "double";
+  r.dim_size = "5";
+  r.tot_size = 5;
+  r.size_bytes = 40;
+  r.mem_loc = "b79edfa0";
+  r.acc_density = 10;
+  r.line = 38;
+  return r;
+}
+
+TEST(RegionRow, WriteParsesBack) {
+  std::vector<RegionRow> rows{sample_row()};
+  rows.push_back(sample_row());
+  rows[1].mode = "FORMAL";
+  rows[1].references = 1;
+  rows[1].acc_density = 2;
+  const std::string text = write_rgn(rows);
+  std::vector<RegionRow> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_rgn(text, parsed, &error)) << error;
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(RegionRow, HeaderLineIsFirst) {
+  const std::string text = write_rgn({sample_row()});
+  EXPECT_EQ(text.rfind("Scope,Array,File,Mode,References", 0), 0u);
+}
+
+TEST(RegionRow, FieldsWithCommasSurvive) {
+  RegionRow r = sample_row();
+  r.lb = "1|1";
+  r.ub = "n - 1|m, n";  // pathological but must round-trip
+  std::vector<RegionRow> parsed;
+  ASSERT_TRUE(parse_rgn(write_rgn({r}), parsed, nullptr));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].ub, "n - 1|m, n");
+}
+
+TEST(RegionRow, NegativeElementSizeRoundTrips) {
+  // Non-contiguous F90 arrays carry a negative element size.
+  RegionRow r = sample_row();
+  r.element_size = -8;
+  std::vector<RegionRow> parsed;
+  ASSERT_TRUE(parse_rgn(write_rgn({r}), parsed, nullptr));
+  EXPECT_EQ(parsed[0].element_size, -8);
+}
+
+TEST(RegionRow, ParseRejectsEmpty) {
+  std::vector<RegionRow> out;
+  std::string error;
+  EXPECT_FALSE(parse_rgn("", out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RegionRow, ParseRejectsBadHeader) {
+  std::vector<RegionRow> out;
+  EXPECT_FALSE(parse_rgn("not,a,header\n", out, nullptr));
+}
+
+TEST(RegionRow, ParseRejectsWrongColumnCount) {
+  std::string text = write_rgn({sample_row()});
+  text += "a,b,c\n";
+  std::vector<RegionRow> out;
+  std::string error;
+  EXPECT_FALSE(parse_rgn(text, out, &error));
+  EXPECT_NE(error.find("column"), std::string::npos);
+}
+
+TEST(RegionRow, ParseRejectsNonNumericReferences) {
+  std::string text = write_rgn({sample_row()});
+  // Corrupt the References field of the data row.
+  const std::size_t pos = text.find("USE,4");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "USE,x");
+  std::vector<RegionRow> out;
+  EXPECT_FALSE(parse_rgn(text, out, nullptr));
+}
+
+TEST(AccessDensity, ExactAndPercent) {
+  EXPECT_DOUBLE_EQ(access_density_exact(4, 40), 0.1);
+  EXPECT_DOUBLE_EQ(access_density_exact(0, 40), 0.0);
+  EXPECT_DOUBLE_EQ(access_density_exact(4, 0), 0.0);
+  EXPECT_EQ(access_density_pct(3, 80), 3);   // floor(3.75)
+  EXPECT_EQ(access_density_pct(2, 80), 2);   // floor(2.5)
+  EXPECT_EQ(access_density_pct(0, 80), 0);
+  EXPECT_EQ(access_density_pct(80, 80), 100);
+}
+
+}  // namespace
+}  // namespace ara::rgn

@@ -1,0 +1,45 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/source_manager.hpp"
+
+namespace ara {
+namespace {
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine diags;
+  diags.note(SourceLoc{}, "fyi");
+  diags.warning(SourceLoc{}, "careful");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error(SourceLoc{}, "boom");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.all().size(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesLocation) {
+  SourceManager sm;
+  const FileId f = sm.add("main.f", "x = 1\n", Language::Fortran);
+  DiagnosticEngine diags(&sm);
+  diags.error(SourceLoc{f, 1, 5}, "bad token");
+  const std::string out = diags.render();
+  EXPECT_NE(out.find("main.f:1:5: error: bad token"), std::string::npos);
+}
+
+TEST(Diagnostics, RenderWithoutLocation) {
+  DiagnosticEngine diags;
+  diags.warning(SourceLoc{}, "general");
+  EXPECT_EQ(diags.render(), "warning: general\n");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error(SourceLoc{}, "x");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,93 @@
+#include "support/source_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara {
+namespace {
+
+TEST(SourceManager, AssignsSequentialIds) {
+  SourceManager sm;
+  EXPECT_EQ(sm.add("a.f", "x = 1\n", Language::Fortran), 1u);
+  EXPECT_EQ(sm.add("b.c", "int x;\n", Language::C), 2u);
+  EXPECT_EQ(sm.file_count(), 2u);
+  EXPECT_EQ(sm.name(1), "a.f");
+  EXPECT_EQ(sm.name(2), "b.c");
+  EXPECT_EQ(sm.language(1), Language::Fortran);
+  EXPECT_EQ(sm.language(2), Language::C);
+}
+
+TEST(SourceManager, RejectsInvalidIds) {
+  SourceManager sm;
+  sm.add("a.f", "", Language::Fortran);
+  EXPECT_THROW(sm.name(0), std::out_of_range);
+  EXPECT_THROW(sm.name(2), std::out_of_range);
+}
+
+TEST(SourceManager, ObjectNameDropsPathAndExtension) {
+  SourceManager sm;
+  const FileId a = sm.add("src/nested/verify.f", "", Language::Fortran);
+  const FileId b = sm.add("matrix.c", "", Language::C);
+  const FileId c = sm.add("noext", "", Language::Fortran);
+  EXPECT_EQ(sm.object_name(a), "verify.o");
+  EXPECT_EQ(sm.object_name(b), "matrix.o");
+  EXPECT_EQ(sm.object_name(c), "noext.o");
+}
+
+TEST(SourceManager, LineAccess) {
+  SourceManager sm;
+  const FileId f = sm.add("a.f", "first\nsecond\nthird", Language::Fortran);
+  EXPECT_EQ(sm.line_count(f), 3u);
+  EXPECT_EQ(sm.line(f, 1), "first");
+  EXPECT_EQ(sm.line(f, 2), "second");
+  EXPECT_EQ(sm.line(f, 3), "third");
+  EXPECT_FALSE(sm.line(f, 0).has_value());
+  EXPECT_FALSE(sm.line(f, 4).has_value());
+}
+
+TEST(SourceManager, TrailingNewlineDoesNotCreateExtraLine) {
+  SourceManager sm;
+  const FileId f = sm.add("a.f", "one\ntwo\n", Language::Fortran);
+  EXPECT_EQ(sm.line_count(f), 2u);
+  EXPECT_EQ(sm.line(f, 2), "two");
+}
+
+TEST(SourceManager, CarriageReturnsAreTrimmed) {
+  SourceManager sm;
+  const FileId f = sm.add("a.c", "one\r\ntwo\r\n", Language::C);
+  EXPECT_EQ(sm.line(f, 1), "one");
+  EXPECT_EQ(sm.line(f, 2), "two");
+}
+
+TEST(SourceManager, EmptyFile) {
+  SourceManager sm;
+  const FileId f = sm.add("e.f", "", Language::Fortran);
+  EXPECT_EQ(sm.line_count(f), 0u);
+  EXPECT_FALSE(sm.line(f, 1).has_value());
+  EXPECT_TRUE(sm.grep(f, "x").empty());
+}
+
+TEST(SourceManager, GrepFindsAllMatchingLines) {
+  SourceManager sm;
+  const FileId f = sm.add("a.f", "u(1) = 0\nx = 2\nu(2) = u(1)\n", Language::Fortran);
+  const auto hits = sm.grep(f, "u(");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_EQ(hits[1], 3u);
+}
+
+TEST(SourceManager, GrepEmptyNeedleMatchesNothing) {
+  SourceManager sm;
+  const FileId f = sm.add("a.f", "x\ny\n", Language::Fortran);
+  EXPECT_TRUE(sm.grep(f, "").empty());
+}
+
+TEST(SourceManager, FindByName) {
+  SourceManager sm;
+  sm.add("a.f", "", Language::Fortran);
+  const FileId b = sm.add("b.f", "", Language::Fortran);
+  EXPECT_EQ(sm.find("b.f"), b);
+  EXPECT_FALSE(sm.find("missing.f").has_value());
+}
+
+}  // namespace
+}  // namespace ara

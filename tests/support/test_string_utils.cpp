@@ -1,0 +1,75 @@
+#include "support/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ara {
+namespace {
+
+TEST(StringUtils, CaseConversion) {
+  EXPECT_EQ(to_lower("XCr_9"), "xcr_9");
+  EXPECT_EQ(to_upper("xcR_9"), "XCR_9");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringUtils, IEquals) {
+  EXPECT_TRUE(iequals("SUBROUTINE", "subroutine"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtils, SplitAndJoin) {
+  EXPECT_EQ(split("a|b|c", '|'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", '|'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a||", '|'), (std::vector<std::string>{"a", "", ""}));
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(StringUtils, StartsWithICase) {
+  EXPECT_TRUE(starts_with_icase("END DO", "end"));
+  EXPECT_FALSE(starts_with_icase("en", "end"));
+}
+
+TEST(StringUtils, HexFormatsLikeThePaper) {
+  // Mem_Loc: lowercase hex, no 0x prefix (e.g. b7fcefe0, 55599870).
+  EXPECT_EQ(to_hex(0xb7fcefe0ull), "b7fcefe0");
+  EXPECT_EQ(to_hex(0x55599870ull), "55599870");
+  EXPECT_EQ(to_hex(0), "0");
+}
+
+TEST(StringUtils, FromHexParses) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(from_hex("b7fcefe0", v));
+  EXPECT_EQ(v, 0xb7fcefe0ull);
+  ASSERT_TRUE(from_hex("FF", v));
+  EXPECT_EQ(v, 0xFFull);
+  EXPECT_FALSE(from_hex("", v));
+  EXPECT_FALSE(from_hex("xyz", v));
+  EXPECT_FALSE(from_hex("11223344556677889", v));  // 17 digits
+}
+
+class HexRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HexRoundTrip, RandomValues) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng();
+    std::uint64_t back = 0;
+    ASSERT_TRUE(from_hex(to_hex(v), back));
+    EXPECT_EQ(back, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HexRoundTrip, ::testing::Range(0u, 5u));
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,59 @@
+#include "support/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.set_header({"Array", "Mode"});
+  t.add_row({"aarr", "DEF"});
+  t.add_row({"u", "USE"});
+  const std::string out = t.render();
+  // Every line has the separator at the same position.
+  const auto first = out.find('|');
+  std::size_t pos = 0;
+  for (std::size_t nl = out.find('\n'); nl != std::string::npos; nl = out.find('\n', pos)) {
+    const std::string line = out.substr(pos, nl - pos);
+    if (line.find('|') != std::string::npos) EXPECT_EQ(line.find('|'), first);
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTable, HighlightMarksRow) {
+  TextTable t;
+  t.add_row({"normal"});
+  t.add_row({"marked"}, /*highlight=*/true);
+  const std::string out = t.render(/*ansi=*/false);
+  EXPECT_NE(out.find("* marked"), std::string::npos);
+  EXPECT_NE(out.find("  normal"), std::string::npos);
+}
+
+TEST(TextTable, AnsiHighlightUsesGreen) {
+  TextTable t;
+  t.add_row({"x"}, true);
+  const std::string out = t.render(/*ansi=*/true);
+  EXPECT_NE(out.find("\x1b[32m"), std::string::npos);
+  EXPECT_NE(out.find("\x1b[0m"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsPadToWidestRow) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.row_count(), 1u);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1 | 2 | 3"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersHeaderOnly) {
+  TextTable t;
+  t.set_header({"H"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('H'), std::string::npos);
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,26 @@
+// Scratch smoke binary used during bring-up; superseded by the test suite.
+#include <cstdio>
+#include <iostream>
+
+#include "driver/compiler.hpp"
+#include "ir/printer.hpp"
+
+int main(int argc, char** argv) {
+  ara::driver::Compiler cc;
+  for (int i = 1; i < argc; ++i) {
+    if (!cc.add_file(argv[i])) {
+      std::cerr << "cannot read " << argv[i] << "\n";
+      return 1;
+    }
+  }
+  if (!cc.compile()) {
+    std::cerr << cc.diagnostics().render();
+    return 1;
+  }
+  std::cout << ara::ir::dump_program(cc.program());
+  auto result = cc.analyze();
+  std::cout << "callgraph: " << result.callgraph.size() << " procs, "
+            << result.callgraph.edge_count() << " edges\n";
+  std::cout << ara::rgn::write_rgn(result.rows);
+  return 0;
+}

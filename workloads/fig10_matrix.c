@@ -1,0 +1,27 @@
+/* Reconstruction of the paper's Fig 10 source example (matrix.c).
+ * Array aarr "has been defined twice and used three times" (§V-A), with the
+ * regions shown in Fig 9:
+ *   DEF  0:7:1   and  1:8:1
+ *   USE  0:7:1,  0:7:1  and  2:6:2
+ * aarr is a global int[20]: element size 4, dim size 20, total 20 elements,
+ * 80 bytes; access density DEF = floor(100*2/80) = 2, USE = floor(100*3/80)
+ * = 3, matching the Fig 9 rows.
+ */
+int aarr[20];
+int barr[20];
+
+void main(void) {
+  int i;
+  for (i = 0; i < 8; i++) {
+    aarr[i] = i; /* DEF aarr(0:7:1) */
+  }
+  for (i = 0; i < 8; i++) {
+    aarr[i + 1] = aarr[i]; /* DEF aarr(1:8:1), USE aarr(0:7:1) */
+  }
+  for (i = 0; i < 8; i++) {
+    barr[i] = aarr[i]; /* USE aarr(0:7:1) */
+  }
+  for (i = 2; i < 8; i += 2) {
+    barr[i] = aarr[i]; /* USE aarr(2:6:2) — the GPU copyin candidate */
+  }
+}

@@ -1,0 +1,36 @@
+! Reconstruction of Fig 1: "Example code for interprocedural access analysis".
+! Once P1 is invoked, region (1:100:1, 1:100:1) of A is defined; once P2 is
+! invoked, region (101:200:1, 101:200:1) is used. The regions are disjoint,
+! so "both procedures can concurrently and safely be parallelized", and a GPU
+! port only needs to offload the accessed portions of A.
+
+subroutine p1(a, j)
+  integer, dimension(1:200, 1:200) :: a
+  integer :: j, i, k
+  do i = 1, 100
+    do k = 1, 100
+      a(i, k) = i + k + j     ! DEF of A(1:100,1:100)
+    end do
+  end do
+end subroutine p1
+
+subroutine p2(a, j)
+  integer, dimension(1:200, 1:200) :: a
+  integer :: j, i, k, s
+  s = 0
+  do i = 101, 200
+    do k = 101, 200
+      s = s + a(i, k)         ! USE of A(101:200,101:200)
+    end do
+  end do
+end subroutine p2
+
+subroutine add
+  integer, dimension(1:200, 1:200) :: a
+  integer :: m, j
+  m = 10
+  do j = 1, m
+    call p1(a, j)             ! IDEF of A(1:100,1:100)
+    call p2(a, j)             ! IUSE of A(101:200,101:200)
+  end do
+end subroutine add

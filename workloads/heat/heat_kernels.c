@@ -1,0 +1,38 @@
+/* 2-D heat diffusion kernels: a second C application for the analysis
+ * (multi-file C, interior-region accesses, interprocedural propagation).
+ * The stencil touches only grid[1..128][1..128] of the 130x130 arrays, so
+ * the offload advisor proposes sub-array copy clauses, and the boundary
+ * rows/columns show up as never-accessed slack in the resize view.
+ */
+double grid[130][130];
+double next_grid[130][130];
+
+void init_grid(void) {
+  int i, j;
+  for (i = 0; i < 130; i++) {
+    for (j = 0; j < 130; j++) {
+      grid[i][j] = 0.0;
+    }
+  }
+  for (i = 0; i < 130; i++) {
+    grid[i][0] = 100.0; /* hot west wall */
+  }
+}
+
+void smooth(void) {
+  int i, j;
+  for (i = 1; i < 129; i++) {
+    for (j = 1; j < 129; j++) {
+      next_grid[i][j] = 0.25 * (grid[i - 1][j] + grid[i + 1][j] + grid[i][j - 1] + grid[i][j + 1]);
+    }
+  }
+}
+
+void copy_back(void) {
+  int i, j;
+  for (i = 1; i < 129; i++) {
+    for (j = 1; j < 129; j++) {
+      grid[i][j] = next_grid[i][j];
+    }
+  }
+}

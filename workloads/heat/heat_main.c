@@ -1,0 +1,9 @@
+/* Driver for the 2-D heat workload. */
+void main(void) {
+  int t;
+  init_grid();
+  for (t = 0; t < 10; t++) {
+    smooth();
+    copy_back();
+  }
+}

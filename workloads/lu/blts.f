@@ -1,0 +1,28 @@
+! Lower-triangular back-substitution for plane k. The solution vector is the
+! formal v — ssor passes rsd, so the analysis binds v's Mem_Loc to rsd.
+subroutine blts(v, k)
+  double precision :: v(5, 65, 65, 64)
+  integer :: k
+  double precision :: a(5, 5, 65), b(5, 5, 65), c(5, 5, 65), d(5, 5, 65)
+  common /cjac/ a, b, c, d
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  integer :: i, j, m, n
+  double precision :: tv(5)
+
+  do j = 2, ny - 1
+    do i = 2, nx - 1
+      do m = 1, 5
+        tv(m) = v(m, i, j, k)
+        do n = 1, 5
+          tv(m) = tv(m) - a(m, n, i) * v(n, i - 1, j, k) &
+              - b(m, n, i) * v(n, i, j - 1, k) &
+              - c(m, n, i) * v(n, i, j, k - 1)
+        end do
+      end do
+      do m = 1, 5
+        v(m, i, j, k) = tv(m) / d(m, m, i)
+      end do
+    end do
+  end do
+end subroutine blts

@@ -1,0 +1,23 @@
+! Sanity-checks the grid decomposition bounds.
+subroutine domain
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  if (nx .lt. 4) then
+    nx = 4
+  end if
+  if (ny .lt. 4) then
+    ny = 4
+  end if
+  if (nz .lt. 4) then
+    nz = 4
+  end if
+  if (nx .gt. 64) then
+    nx = 64
+  end if
+  if (ny .gt. 64) then
+    ny = 64
+  end if
+  if (nz .gt. 64) then
+    nz = 64
+  end if
+end subroutine domain

@@ -1,0 +1,32 @@
+! Computes the exact right-hand side frct from the exact solution.
+subroutine erhs
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: ue(5)
+  integer :: i, j, k, m
+
+  do k = 1, nz
+    do j = 1, ny
+      do i = 1, nx
+        do m = 1, 5
+          frct(m, i, j, k) = 0.0
+        end do
+      end do
+    end do
+  end do
+
+  do k = 2, nz - 1
+    do j = 2, ny - 1
+      do i = 2, nx - 1
+        call exact(i, j, k, ue)
+        do m = 1, 5
+          frct(m, i, j, k) = frct(m, i, j, k) + 0.5 * ue(m)
+        end do
+      end do
+    end do
+  end do
+end subroutine erhs

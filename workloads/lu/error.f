@@ -1,0 +1,32 @@
+! Computes the error norms against the exact solution.
+subroutine error
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: rsdnm(5), errnm(5), frc
+  common /cnorm/ rsdnm, errnm, frc
+  double precision :: u000ijk(5)
+  integer :: i, j, k, m
+  double precision :: tmp
+
+  do m = 1, 5
+    errnm(m) = 0.0
+  end do
+  do k = 2, nz - 1
+    do j = 2, ny - 1
+      do i = 2, nx - 1
+        call exact(i, j, k, u000ijk)
+        do m = 1, 5
+          tmp = u000ijk(m) - u(m, i, j, k)
+          errnm(m) = errnm(m) + tmp * tmp
+        end do
+      end do
+    end do
+  end do
+  do m = 1, 5
+    errnm(m) = sqrt(errnm(m) / dble((nx - 2) * (ny - 2) * (nz - 2)))
+  end do
+end subroutine error

@@ -1,0 +1,19 @@
+! Evaluates the exact solution polynomial at grid point (i,j,k) into
+! u000ijk(1:5). The array formal shows up as FORMAL mode in the analysis.
+subroutine exact(i, j, k, u000ijk)
+  integer :: i, j, k
+  double precision :: u000ijk(5)
+  double precision :: ce(5, 13)
+  common /cexact/ ce
+  integer :: m
+  double precision :: xi, eta, zeta
+  xi = dble(i - 1) / 63.0
+  eta = dble(j - 1) / 63.0
+  zeta = dble(k - 1) / 63.0
+  do m = 1, 5
+    u000ijk(m) = ce(m, 1) &
+        + xi * (ce(m, 2) + xi * (ce(m, 5) + xi * (ce(m, 8) + xi * ce(m, 11)))) &
+        + eta * (ce(m, 3) + eta * (ce(m, 6) + eta * (ce(m, 9) + eta * ce(m, 12)))) &
+        + zeta * (ce(m, 4) + zeta * (ce(m, 7) + zeta * (ce(m, 10) + zeta * ce(m, 13))))
+  end do
+end subroutine exact

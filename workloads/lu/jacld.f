@@ -1,0 +1,29 @@
+! Forms the lower-triangular block jacobians a, b, c, d for plane k.
+subroutine jacld(k)
+  integer :: k
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  double precision :: a(5, 5, 65), b(5, 5, 65), c(5, 5, 65), d(5, 5, 65)
+  common /cjac/ a, b, c, d
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  integer :: i, j, m, n
+  double precision :: tmp
+
+  do j = 2, ny - 1
+    do i = 2, nx - 1
+      tmp = 1.0 / u(1, i, j, k)
+      do m = 1, 5
+        do n = 1, 5
+          d(m, n, i) = 0.0
+          a(m, n, i) = -tmp * u(m, i - 1, j, k) * u(n, i, j, k)
+          b(m, n, i) = -tmp * u(m, i, j - 1, k) * u(n, i, j, k)
+          c(m, n, i) = -tmp * u(m, i, j, k - 1) * u(n, i, j, k)
+        end do
+        d(m, m, i) = 1.0 + tmp
+      end do
+    end do
+  end do
+end subroutine jacld

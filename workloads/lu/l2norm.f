@@ -1,0 +1,24 @@
+! Computes the 5-component L2 norm of a field. The field is the formal v.
+subroutine l2norm(v, total)
+  double precision :: v(5, 65, 65, 64)
+  double precision :: total(5)
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  integer :: i, j, k, m
+
+  do m = 1, 5
+    total(m) = 0.0
+  end do
+  do k = 2, nz - 1
+    do j = 2, ny - 1
+      do i = 2, nx - 1
+        do m = 1, 5
+          total(m) = total(m) + v(m, i, j, k) * v(m, i, j, k)
+        end do
+      end do
+    end do
+  end do
+  do m = 1, 5
+    total(m) = sqrt(total(m) / dble((nx - 2) * (ny - 2) * (nz - 2)))
+  end do
+end subroutine l2norm

@@ -1,0 +1,35 @@
+! NAS-LU skeleton: main driver. Serial LU (Lower-Upper Gauss-Seidel solver),
+! restructured from NPB 3.3 into the subset our front end accepts. The call
+! structure reproduces the 24 procedures of the paper's Fig 11 call graph.
+
+program applu
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: rsdnm(5), errnm(5), frc
+  common /cnorm/ rsdnm, errnm, frc
+  double precision :: xcr(5), xce(5), xci
+  character :: class
+  integer :: m
+
+  call read_input
+  call domain
+  call setcoeff
+  call setbv
+  call setiv
+  call erhs
+  call ssor
+  call error
+  call pintgr
+
+  do m = 1, 5
+    xcr(m) = rsdnm(m)
+    xce(m) = errnm(m)
+  end do
+  xci = frc
+  call verify(xcr, xce, xci, class)
+  call print_results(class)
+end program applu

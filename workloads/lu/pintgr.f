@@ -1,0 +1,35 @@
+! Computes the surface integral of the pressure over three faces.
+subroutine pintgr
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: rsdnm(5), errnm(5), frc
+  common /cnorm/ rsdnm, errnm, frc
+  double precision :: phi1(65, 65), phi2(65, 65)
+  integer :: i, j, k
+  double precision :: c2, frc1
+
+  c2 = 0.4
+  do j = 1, ny
+    do i = 1, nx
+      phi1(i, j) = c2 * (u(5, i, j, 2) - 0.5 * (u(2, i, j, 2) * u(2, i, j, 2) &
+          + u(3, i, j, 2) * u(3, i, j, 2) &
+          + u(4, i, j, 2) * u(4, i, j, 2)) / u(1, i, j, 2))
+      phi2(i, j) = c2 * (u(5, i, j, nz - 1) - 0.5 * (u(2, i, j, nz - 1) * u(2, i, j, nz - 1) &
+          + u(3, i, j, nz - 1) * u(3, i, j, nz - 1) &
+          + u(4, i, j, nz - 1) * u(4, i, j, nz - 1)) / u(1, i, j, nz - 1))
+    end do
+  end do
+
+  frc1 = 0.0
+  do j = 2, ny - 2
+    do i = 2, nx - 2
+      frc1 = frc1 + phi1(i, j) + phi1(i + 1, j) + phi1(i, j + 1) + phi1(i + 1, j + 1) &
+          + phi2(i, j) + phi2(i + 1, j) + phi2(i, j + 1) + phi2(i + 1, j + 1)
+    end do
+  end do
+  frc = 0.25 * frc1
+end subroutine pintgr

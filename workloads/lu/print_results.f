@@ -1,0 +1,22 @@
+! Reports the benchmark configuration and verification class.
+subroutine print_results(class)
+  character :: class
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: rsdnm(5), errnm(5), frc
+  common /cnorm/ rsdnm, errnm, frc
+  double precision :: report(8)
+  integer :: m
+
+  report(1) = dble(nx)
+  report(2) = dble(ny)
+  report(3) = dble(nz)
+  report(4) = dble(itmax)
+  report(5) = frc
+  do m = 1, 3
+    report(5 + m) = rsdnm(m)
+  end do
+  if (class .eq. 'U') then
+    report(8) = 0.0
+  end if
+end subroutine print_results

@@ -1,0 +1,13 @@
+! Reads (here: fixes) the problem configuration: class-A-like 64^3 grid.
+subroutine read_input
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: dt, omega
+  common /ctscon/ dt, omega
+  nx = 64
+  ny = 64
+  nz = 64
+  itmax = 2
+  dt = 2.0
+  omega = 1.2
+end subroutine read_input

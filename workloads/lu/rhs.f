@@ -1,0 +1,191 @@
+! Computes the right-hand side of the LU system: inviscid fluxes plus
+! fourth-order dissipation in the xi, eta and zeta directions. This is the
+! paper's hotspot procedure: global u is read many times here (Fig 14 / Table
+! III report 110 USE references of u in rhs.o), including one probe loop that
+! touches exactly the region (1:3, 1:5, 1:10, 1:4) shown in Fig 14.
+subroutine rhs
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  double precision :: flux(5, 65)
+  common /cflux/ flux
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  integer :: i, j, k, m
+  double precision :: q, utmp, tmp, tmpm1
+  double precision :: u21i, u31i, u41i, u51i
+  double precision :: u21im1, u31im1, u41im1, u51im1
+  double precision :: c1, c2, tx2, ty2, tz2, dssp
+
+  c1 = 1.4
+  c2 = 0.4
+  tx2 = 0.5
+  ty2 = 0.5
+  tz2 = 0.5
+  dssp = 0.25
+
+  do k = 1, nz
+    do j = 1, ny
+      do i = 1, nx
+        do m = 1, 5
+          rsd(m, i, j, k) = -frct(m, i, j, k)
+        end do
+      end do
+    end do
+  end do
+
+! Probe of the sub-region the paper's Fig 14 reports: (1:3, 1:5, 1:10, 1:4).
+  utmp = 0.0
+  do k = 1, 4
+    do j = 1, 10
+      do i = 1, 5
+        do m = 1, 3
+          utmp = utmp + u(m, i, j, k)
+        end do
+      end do
+    end do
+  end do
+
+! --- xi-direction fluxes -------------------------------------------------
+  do k = 2, nz - 1
+    do j = 2, ny - 1
+      do i = 1, nx
+        flux(1, i) = u(2, i, j, k)
+        q = 0.5 * (u(2, i, j, k) * u(2, i, j, k) &
+            + u(3, i, j, k) * u(3, i, j, k) &
+            + u(4, i, j, k) * u(4, i, j, k)) / u(1, i, j, k)
+        flux(2, i) = u(2, i, j, k) * u(2, i, j, k) / u(1, i, j, k) + c2 * (u(5, i, j, k) - q)
+        flux(3, i) = u(3, i, j, k) * u(2, i, j, k) / u(1, i, j, k)
+        flux(4, i) = u(4, i, j, k) * u(2, i, j, k) / u(1, i, j, k)
+        flux(5, i) = (c1 * u(5, i, j, k) - c2 * q) * u(2, i, j, k) / u(1, i, j, k)
+      end do
+      do i = 2, nx - 1
+        do m = 1, 5
+          rsd(m, i, j, k) = rsd(m, i, j, k) - tx2 * (flux(m, i + 1) - flux(m, i - 1))
+        end do
+      end do
+      do i = 2, nx - 1
+        tmp = 1.0 / u(1, i, j, k)
+        u21i = tmp * u(2, i, j, k)
+        u31i = tmp * u(3, i, j, k)
+        u41i = tmp * u(4, i, j, k)
+        u51i = tmp * u(5, i, j, k)
+        tmpm1 = 1.0 / u(1, i - 1, j, k)
+        u21im1 = tmpm1 * u(2, i - 1, j, k)
+        u31im1 = tmpm1 * u(3, i - 1, j, k)
+        u41im1 = tmpm1 * u(4, i - 1, j, k)
+        u51im1 = tmpm1 * u(5, i - 1, j, k)
+        flux(2, i) = (4.0 / 3.0) * (u21i - u21im1)
+        flux(3, i) = u31i - u31im1
+        flux(4, i) = u41i - u41im1
+        flux(5, i) = 0.5 * (u21i * u21i - u21im1 * u21im1) + (u51i - u51im1)
+      end do
+      do i = 3, nx - 2
+        do m = 1, 5
+          rsd(m, i, j, k) = rsd(m, i, j, k) + dssp * (u(m, i - 2, j, k) &
+              - 4.0 * u(m, i - 1, j, k) + 6.0 * u(m, i, j, k) &
+              - 4.0 * u(m, i + 1, j, k) + u(m, i + 2, j, k))
+        end do
+      end do
+    end do
+  end do
+
+! --- eta-direction fluxes ------------------------------------------------
+  do k = 2, nz - 1
+    do i = 2, nx - 1
+      do j = 1, ny
+        flux(1, j) = u(3, i, j, k)
+        q = 0.5 * (u(2, i, j, k) * u(2, i, j, k) &
+            + u(3, i, j, k) * u(3, i, j, k) &
+            + u(4, i, j, k) * u(4, i, j, k)) / u(1, i, j, k)
+        flux(2, j) = u(2, i, j, k) * u(3, i, j, k) / u(1, i, j, k)
+        flux(3, j) = u(3, i, j, k) * u(3, i, j, k) / u(1, i, j, k) + c2 * (u(5, i, j, k) - q)
+        flux(4, j) = u(4, i, j, k) * u(3, i, j, k) / u(1, i, j, k)
+        flux(5, j) = (c1 * u(5, i, j, k) - c2 * q) * u(3, i, j, k) / u(1, i, j, k)
+      end do
+      do j = 2, ny - 1
+        do m = 1, 5
+          rsd(m, i, j, k) = rsd(m, i, j, k) - ty2 * (flux(m, j + 1) - flux(m, j - 1))
+        end do
+      end do
+      do j = 2, ny - 1
+        tmp = 1.0 / u(1, i, j, k)
+        u21i = tmp * u(2, i, j, k)
+        u31i = tmp * u(3, i, j, k)
+        u41i = tmp * u(4, i, j, k)
+        u51i = tmp * u(5, i, j, k)
+        tmpm1 = 1.0 / u(1, i, j - 1, k)
+        u21im1 = tmpm1 * u(2, i, j - 1, k)
+        u31im1 = tmpm1 * u(3, i, j - 1, k)
+        u41im1 = tmpm1 * u(4, i, j - 1, k)
+        u51im1 = tmpm1 * u(5, i, j - 1, k)
+        flux(2, j) = u21i - u21im1
+        flux(3, j) = (4.0 / 3.0) * (u31i - u31im1)
+        flux(4, j) = u41i - u41im1
+        flux(5, j) = 0.5 * (u31i * u31i - u31im1 * u31im1) + (u51i - u51im1)
+      end do
+      do j = 3, ny - 2
+        do m = 1, 5
+          rsd(m, i, j, k) = rsd(m, i, j, k) + dssp * (u(m, i, j - 2, k) &
+              - 4.0 * u(m, i, j - 1, k) + 6.0 * u(m, i, j, k) &
+              - 4.0 * u(m, i, j + 1, k) + u(m, i, j + 2, k))
+        end do
+      end do
+    end do
+  end do
+
+! --- zeta-direction fluxes -----------------------------------------------
+  do j = 2, ny - 1
+    do i = 2, nx - 1
+      do k = 1, nz
+        flux(1, k) = u(4, i, j, k)
+        q = 0.5 * (u(2, i, j, k) * u(2, i, j, k) &
+            + u(3, i, j, k) * u(3, i, j, k) &
+            + u(4, i, j, k) * u(4, i, j, k)) / u(1, i, j, k)
+        flux(2, k) = u(2, i, j, k) * u(4, i, j, k) / u(1, i, j, k)
+        flux(3, k) = u(3, i, j, k) * u(4, i, j, k) / u(1, i, j, k)
+        flux(4, k) = u(4, i, j, k) * u(4, i, j, k) / u(1, i, j, k) + c2 * (u(5, i, j, k) - q)
+        flux(5, k) = (c1 * u(5, i, j, k) - c2 * q) * u(4, i, j, k) / u(1, i, j, k)
+      end do
+      do k = 2, nz - 1
+        do m = 1, 5
+          rsd(m, i, j, k) = rsd(m, i, j, k) - tz2 * (flux(m, k + 1) - flux(m, k - 1))
+        end do
+      end do
+      do k = 2, nz - 1
+        tmp = 1.0 / u(1, i, j, k)
+        u21i = tmp * u(2, i, j, k)
+        u31i = tmp * u(3, i, j, k)
+        u41i = tmp * u(4, i, j, k)
+        u51i = tmp * u(5, i, j, k)
+        tmpm1 = 1.0 / u(1, i, j, k - 1)
+        u21im1 = tmpm1 * u(2, i, j, k - 1)
+        u31im1 = tmpm1 * u(3, i, j, k - 1)
+        u41im1 = tmpm1 * u(4, i, j, k - 1)
+        u51im1 = tmpm1 * u(5, i, j, k - 1)
+        flux(2, k) = u21i - u21im1
+        flux(3, k) = u31i - u31im1
+        flux(4, k) = (4.0 / 3.0) * (u41i - u41im1)
+        flux(5, k) = 0.5 * (u41i * u41i - u41im1 * u41im1) + (u51i - u51im1)
+      end do
+      do k = 3, nz - 2
+        do m = 1, 5
+          rsd(m, i, j, k) = rsd(m, i, j, k) + dssp * (u(m, i, j, k - 2) &
+              - 4.0 * u(m, i, j, k - 1) + 6.0 * u(m, i, j, k) &
+              - 4.0 * u(m, i, j, k + 1) + u(m, i, j, k + 2))
+        end do
+      end do
+    end do
+  end do
+
+! Second-order boundary dissipation (one extra read of u, completing the
+! 110 references Table III reports).
+  do k = 2, nz - 1
+    do j = 2, ny - 1
+      do m = 1, 5
+        rsd(m, 2, j, k) = rsd(m, 2, j, k) + dssp * u(m, 2, j, k)
+      end do
+    end do
+  end do
+end subroutine rhs

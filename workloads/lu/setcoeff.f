@@ -1,0 +1,16 @@
+! Fills the exact-solution coefficient table ce(5,13).
+subroutine setcoeff
+  double precision :: ce(5, 13)
+  common /cexact/ ce
+  integer :: m, n
+  do m = 1, 5
+    do n = 1, 13
+      ce(m, n) = 0.1 * dble(m) + 0.01 * dble(n)
+    end do
+  end do
+  ce(1, 1) = 2.0
+  ce(2, 1) = 1.0
+  ce(3, 1) = 2.0
+  ce(4, 1) = 2.0
+  ce(5, 1) = 5.0
+end subroutine setcoeff

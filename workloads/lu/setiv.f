@@ -1,0 +1,27 @@
+! Sets the initial values of u in the interior by interpolating between the
+! boundary planes.
+subroutine setiv
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: ue1(5), ue2(5)
+  integer :: i, j, k, m
+  double precision :: xi, pxi
+
+  do k = 2, nz - 1
+    do j = 2, ny - 1
+      do i = 2, nx - 1
+        xi = dble(i - 1) / dble(nx - 1)
+        call exact(1, j, k, ue1)
+        call exact(nx, j, k, ue2)
+        do m = 1, 5
+          pxi = (1.0 - xi) * ue1(m) + xi * ue2(m)
+          u(m, i, j, k) = pxi
+        end do
+      end do
+    end do
+  end do
+end subroutine setiv

@@ -1,0 +1,64 @@
+! The SSOR driver: performs itmax pseudo-time steps, each sweeping the lower
+! and upper triangular systems. Mirrors the NPB 3.3 serial structure:
+! timers around the solver, rhs/jacld/blts on the lower sweep, jacu/buts on
+! the upper sweep, l2norm on the residual.
+subroutine ssor
+  double precision :: u(5, 65, 65, 64)
+  double precision :: rsd(5, 65, 65, 64)
+  double precision :: frct(5, 65, 65, 64)
+  common /cvar/ u, rsd, frct
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: dt, omega
+  common /ctscon/ dt, omega
+  double precision :: rsdnm(5), errnm(5), frc
+  common /cnorm/ rsdnm, errnm, frc
+  double precision :: tmr
+  integer :: istep, i, j, k, m
+
+  call timer_clear(1)
+  call rhs
+  call l2norm(rsd, rsdnm)
+  call timer_start(1)
+
+  do istep = 1, itmax
+    do k = 2, nz - 1
+      do j = 2, ny - 1
+        do i = 2, nx - 1
+          do m = 1, 5
+            rsd(m, i, j, k) = dt * rsd(m, i, j, k)
+          end do
+        end do
+      end do
+    end do
+
+    do k = 2, nz - 1
+      call jacld(k)
+      call blts(rsd, k)
+    end do
+
+    do k = 2, nz - 1
+      call jacu(k)
+      call buts(rsd, k)
+    end do
+
+    do k = 2, nz - 1
+      do j = 2, ny - 1
+        do i = 2, nx - 1
+          do m = 1, 5
+            u(m, i, j, k) = u(m, i, j, k) + omega * rsd(m, i, j, k)
+          end do
+        end do
+      end do
+    end do
+
+    call rhs
+    if (mod(istep, 2) .eq. 0) then
+      call l2norm(rsd, rsdnm)
+    end if
+  end do
+
+  call timer_stop(1)
+  call timer_read(1, tmr)
+  call elapsed_time(tmr)
+end subroutine ssor

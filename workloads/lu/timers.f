@@ -1,0 +1,49 @@
+! Timer facility: the elapsed-time bookkeeping procedures of the NPB suite
+! (timer_clear / timer_start / timer_stop / timer_read / elapsed_time).
+! The tick source is a simple monotonic counter in /tt/.
+
+subroutine timer_clear(n)
+  integer :: n
+  double precision :: elapsed(64), start(64)
+  integer :: ticks
+  common /tt/ elapsed, start, ticks
+  elapsed(n) = 0.0
+end subroutine timer_clear
+
+subroutine timer_start(n)
+  integer :: n
+  double precision :: elapsed(64), start(64)
+  integer :: ticks
+  common /tt/ elapsed, start, ticks
+  ticks = ticks + 1
+  start(n) = dble(ticks)
+end subroutine timer_start
+
+subroutine timer_stop(n)
+  integer :: n
+  double precision :: elapsed(64), start(64)
+  integer :: ticks
+  common /tt/ elapsed, start, ticks
+  ticks = ticks + 1
+  elapsed(n) = elapsed(n) + dble(ticks) - start(n)
+end subroutine timer_stop
+
+subroutine timer_read(n, t)
+  integer :: n
+  double precision :: t
+  double precision :: elapsed(64), start(64)
+  integer :: ticks
+  common /tt/ elapsed, start, ticks
+  t = elapsed(n)
+end subroutine timer_read
+
+subroutine elapsed_time(t)
+  double precision :: t
+  double precision :: elapsed(64), start(64)
+  integer :: ticks
+  common /tt/ elapsed, start, ticks
+  if (t .lt. 0.0) then
+    t = 0.0
+  end if
+  elapsed(64) = t
+end subroutine elapsed_time

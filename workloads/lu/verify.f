@@ -1,0 +1,58 @@
+! Verification routine: the paper's Case 1 (Fig 12 / Fig 13 / Table II).
+! XCR is a one-dimensional double formal with bounds 1:5 (40 bytes). It is
+! used once in the first loop and three times in the second — 4 USE
+! references, access density floor(100*4/40) = 10 — and appears once as a
+! FORMAL (density floor(100*1/40) = 2). The two loops iterate the same
+! bounds with no dependence, so Dragon's feedback suggests merging them
+! under a single `!$omp parallel do` (Fig 13). CLASS is assigned 9 times
+! (density 900 on its 1-byte storage, the top row of Fig 12).
+subroutine verify(xcr, xce, xci, class)
+  double precision :: xcr(5), xce(5), xci
+  character :: class
+  integer :: nx, ny, nz, itmax
+  common /cgcon/ nx, ny, nz, itmax
+  double precision :: xcrref(5), xceref(5), xciref
+  double precision :: xcrdif(5), xcedif(5), xcidif
+  double precision :: epsilon, xcrsum, xcrmax, xcesum, xcemax
+  integer :: m, verified
+
+  epsilon = 0.00000001
+  class = 'U'
+  if (nx .eq. 12) class = 'S'
+  if (nx .eq. 33) class = 'W'
+  if (nx .eq. 64) class = 'A'
+  if (nx .eq. 102) class = 'B'
+  if (nx .eq. 162) class = 'C'
+  if (nx .eq. 408) class = 'D'
+  if (nx .eq. 1020) class = 'E'
+  if (nx .eq. 2048) class = 'F'
+
+  do m = 1, 5
+    xcrref(m) = 1.0 + 0.1 * dble(m)
+    xceref(m) = 0.01 + 0.001 * dble(m)
+  end do
+  xciref = 7.8418928744
+  xcidif = abs((xci - xciref) / xciref)
+
+  verified = 1
+  xcrsum = 0.0
+  xcrmax = 0.0
+  xcesum = 0.0
+  xcemax = 0.0
+
+! The two adjacent loops of Fig 13: both iterate m = 1..5 over the same XCR
+! (and XCE) region with no dependence between them — Dragon's feedback is to
+! merge them under one `!$omp parallel do`.
+  do m = 1, 5
+    xcrdif(m) = abs((xcr(m) - xcrref(m)) / xcrref(m))
+    xcedif(m) = abs((xce(m) - xceref(m)) / xceref(m))
+  end do
+  do m = 1, 5
+    xcrsum = xcrsum + xcr(m)
+    xcrmax = max(xcrmax, xcr(m))
+    if (xcr(m) .lt. epsilon) verified = 0
+    xcesum = xcesum + xce(m)
+    xcemax = max(xcemax, xce(m))
+    if (xce(m) .lt. epsilon) verified = 0
+  end do
+end subroutine verify
