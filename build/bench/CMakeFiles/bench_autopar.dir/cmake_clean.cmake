@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autopar.dir/bench_autopar.cpp.o"
+  "CMakeFiles/bench_autopar.dir/bench_autopar.cpp.o.d"
+  "bench_autopar"
+  "bench_autopar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autopar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

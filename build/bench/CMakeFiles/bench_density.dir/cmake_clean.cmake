@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_density.dir/bench_density.cpp.o"
+  "CMakeFiles/bench_density.dir/bench_density.cpp.o.d"
+  "bench_density"
+  "bench_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

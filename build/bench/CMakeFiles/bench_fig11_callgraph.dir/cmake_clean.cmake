@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_callgraph.dir/bench_fig11_callgraph.cpp.o"
+  "CMakeFiles/bench_fig11_callgraph.dir/bench_fig11_callgraph.cpp.o.d"
+  "bench_fig11_callgraph"
+  "bench_fig11_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

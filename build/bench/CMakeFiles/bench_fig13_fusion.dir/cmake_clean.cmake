@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_fusion.dir/bench_fig13_fusion.cpp.o"
+  "CMakeFiles/bench_fig13_fusion.dir/bench_fig13_fusion.cpp.o.d"
+  "bench_fig13_fusion"
+  "bench_fig13_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_interproc.dir/bench_fig1_interproc.cpp.o"
+  "CMakeFiles/bench_fig1_interproc.dir/bench_fig1_interproc.cpp.o.d"
+  "bench_fig1_interproc"
+  "bench_fig1_interproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_techniques.dir/bench_fig2_techniques.cpp.o"
+  "CMakeFiles/bench_fig2_techniques.dir/bench_fig2_techniques.cpp.o.d"
+  "bench_fig2_techniques"
+  "bench_fig2_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_aarr.dir/bench_fig9_aarr.cpp.o"
+  "CMakeFiles/bench_fig9_aarr.dir/bench_fig9_aarr.cpp.o.d"
+  "bench_fig9_aarr"
+  "bench_fig9_aarr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_aarr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fm_scaling.dir/bench_fm_scaling.cpp.o"
+  "CMakeFiles/bench_fm_scaling.dir/bench_fm_scaling.cpp.o.d"
+  "bench_fm_scaling"
+  "bench_fm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

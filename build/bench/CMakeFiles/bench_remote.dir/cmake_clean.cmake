@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote.dir/bench_remote.cpp.o"
+  "CMakeFiles/bench_remote.dir/bench_remote.cpp.o.d"
+  "bench_remote"
+  "bench_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_xcr.dir/bench_table2_xcr.cpp.o"
+  "CMakeFiles/bench_table2_xcr.dir/bench_table2_xcr.cpp.o.d"
+  "bench_table2_xcr"
+  "bench_table2_xcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_xcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

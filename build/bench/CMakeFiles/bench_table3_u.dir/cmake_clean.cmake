@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_u.dir/bench_table3_u.cpp.o"
+  "CMakeFiles/bench_table3_u.dir/bench_table3_u.cpp.o.d"
+  "bench_table3_u"
+  "bench_table3_u.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_u.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

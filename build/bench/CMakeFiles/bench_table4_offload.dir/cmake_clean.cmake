@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_offload.dir/bench_table4_offload.cpp.o"
+  "CMakeFiles/bench_table4_offload.dir/bench_table4_offload.cpp.o.d"
+  "bench_table4_offload"
+  "bench_table4_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whirl_levels.dir/bench_whirl_levels.cpp.o"
+  "CMakeFiles/bench_whirl_levels.dir/bench_whirl_levels.cpp.o.d"
+  "bench_whirl_levels"
+  "bench_whirl_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whirl_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caf_remote_advisor.dir/caf_remote_advisor.cpp.o"
+  "CMakeFiles/caf_remote_advisor.dir/caf_remote_advisor.cpp.o.d"
+  "caf_remote_advisor"
+  "caf_remote_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caf_remote_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragon_cli.dir/dragon_cli.cpp.o"
+  "CMakeFiles/dragon_cli.dir/dragon_cli.cpp.o.d"
+  "dragon_cli"
+  "dragon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_density.dir/dynamic_density.cpp.o"
+  "CMakeFiles/dynamic_density.dir/dynamic_density.cpp.o.d"
+  "dynamic_density"
+  "dynamic_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

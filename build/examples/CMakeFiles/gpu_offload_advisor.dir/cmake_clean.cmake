@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_offload_advisor.dir/gpu_offload_advisor.cpp.o"
+  "CMakeFiles/gpu_offload_advisor.dir/gpu_offload_advisor.cpp.o.d"
+  "gpu_offload_advisor"
+  "gpu_offload_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_offload_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gpu_offload_advisor.
+# This may be replaced when dependencies are built.

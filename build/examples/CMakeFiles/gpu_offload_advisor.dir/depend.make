@@ -1,0 +1,2 @@
+# Empty dependencies file for gpu_offload_advisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_fusion_advisor.dir/loop_fusion_advisor.cpp.o"
+  "CMakeFiles/loop_fusion_advisor.dir/loop_fusion_advisor.cpp.o.d"
+  "loop_fusion_advisor"
+  "loop_fusion_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_fusion_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

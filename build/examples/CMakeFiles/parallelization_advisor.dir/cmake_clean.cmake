@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelization_advisor.dir/parallelization_advisor.cpp.o"
+  "CMakeFiles/parallelization_advisor.dir/parallelization_advisor.cpp.o.d"
+  "parallelization_advisor"
+  "parallelization_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelization_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

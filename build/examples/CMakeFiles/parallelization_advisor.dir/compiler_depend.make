@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parallelization_advisor.
+# This may be replaced when dependencies are built.

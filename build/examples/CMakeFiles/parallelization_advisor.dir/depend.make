@@ -1,0 +1,2 @@
+# Empty dependencies file for parallelization_advisor.
+# This may be replaced when dependencies are built.

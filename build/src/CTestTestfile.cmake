@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("regions")
+subdirs("frontend")
+subdirs("rgn")
+subdirs("ipa")
+subdirs("cfg")
+subdirs("whirl2src")
+subdirs("gpusim")
+subdirs("dragon")
+subdirs("interp")
+subdirs("lno")
+subdirs("driver")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_cfg.dir/cfg.cpp.o"
+  "CMakeFiles/ara_cfg.dir/cfg.cpp.o.d"
+  "libara_cfg.a"
+  "libara_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

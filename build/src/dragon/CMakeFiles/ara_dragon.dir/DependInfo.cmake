@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dragon/advisor.cpp" "src/dragon/CMakeFiles/ara_dragon.dir/advisor.cpp.o" "gcc" "src/dragon/CMakeFiles/ara_dragon.dir/advisor.cpp.o.d"
+  "/root/repo/src/dragon/browser.cpp" "src/dragon/CMakeFiles/ara_dragon.dir/browser.cpp.o" "gcc" "src/dragon/CMakeFiles/ara_dragon.dir/browser.cpp.o.d"
+  "/root/repo/src/dragon/dot.cpp" "src/dragon/CMakeFiles/ara_dragon.dir/dot.cpp.o" "gcc" "src/dragon/CMakeFiles/ara_dragon.dir/dot.cpp.o.d"
+  "/root/repo/src/dragon/session.cpp" "src/dragon/CMakeFiles/ara_dragon.dir/session.cpp.o" "gcc" "src/dragon/CMakeFiles/ara_dragon.dir/session.cpp.o.d"
+  "/root/repo/src/dragon/syntax.cpp" "src/dragon/CMakeFiles/ara_dragon.dir/syntax.cpp.o" "gcc" "src/dragon/CMakeFiles/ara_dragon.dir/syntax.cpp.o.d"
+  "/root/repo/src/dragon/table.cpp" "src/dragon/CMakeFiles/ara_dragon.dir/table.cpp.o" "gcc" "src/dragon/CMakeFiles/ara_dragon.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipa/CMakeFiles/ara_ipa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgn/CMakeFiles/ara_rgn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ara_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/regions/CMakeFiles/ara_regions.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

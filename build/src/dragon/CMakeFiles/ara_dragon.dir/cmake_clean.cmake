@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_dragon.dir/advisor.cpp.o"
+  "CMakeFiles/ara_dragon.dir/advisor.cpp.o.d"
+  "CMakeFiles/ara_dragon.dir/browser.cpp.o"
+  "CMakeFiles/ara_dragon.dir/browser.cpp.o.d"
+  "CMakeFiles/ara_dragon.dir/dot.cpp.o"
+  "CMakeFiles/ara_dragon.dir/dot.cpp.o.d"
+  "CMakeFiles/ara_dragon.dir/session.cpp.o"
+  "CMakeFiles/ara_dragon.dir/session.cpp.o.d"
+  "CMakeFiles/ara_dragon.dir/syntax.cpp.o"
+  "CMakeFiles/ara_dragon.dir/syntax.cpp.o.d"
+  "CMakeFiles/ara_dragon.dir/table.cpp.o"
+  "CMakeFiles/ara_dragon.dir/table.cpp.o.d"
+  "libara_dragon.a"
+  "libara_dragon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_dragon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

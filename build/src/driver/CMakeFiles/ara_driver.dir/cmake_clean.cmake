@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_driver.dir/compiler.cpp.o"
+  "CMakeFiles/ara_driver.dir/compiler.cpp.o.d"
+  "libara_driver.a"
+  "libara_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/ast.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/ast.cpp.o.d"
+  "/root/repo/src/frontend/compile.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/compile.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/compile.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/lexer.cpp.o.d"
+  "/root/repo/src/frontend/lower.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/lower.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/lower.cpp.o.d"
+  "/root/repo/src/frontend/parser_base.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/parser_base.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/parser_base.cpp.o.d"
+  "/root/repo/src/frontend/parser_c.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/parser_c.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/parser_c.cpp.o.d"
+  "/root/repo/src/frontend/parser_fortran.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/parser_fortran.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/parser_fortran.cpp.o.d"
+  "/root/repo/src/frontend/sema.cpp" "src/frontend/CMakeFiles/ara_frontend.dir/sema.cpp.o" "gcc" "src/frontend/CMakeFiles/ara_frontend.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_frontend.dir/ast.cpp.o"
+  "CMakeFiles/ara_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/ara_frontend.dir/compile.cpp.o"
+  "CMakeFiles/ara_frontend.dir/compile.cpp.o.d"
+  "CMakeFiles/ara_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/ara_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/ara_frontend.dir/lower.cpp.o"
+  "CMakeFiles/ara_frontend.dir/lower.cpp.o.d"
+  "CMakeFiles/ara_frontend.dir/parser_base.cpp.o"
+  "CMakeFiles/ara_frontend.dir/parser_base.cpp.o.d"
+  "CMakeFiles/ara_frontend.dir/parser_c.cpp.o"
+  "CMakeFiles/ara_frontend.dir/parser_c.cpp.o.d"
+  "CMakeFiles/ara_frontend.dir/parser_fortran.cpp.o"
+  "CMakeFiles/ara_frontend.dir/parser_fortran.cpp.o.d"
+  "CMakeFiles/ara_frontend.dir/sema.cpp.o"
+  "CMakeFiles/ara_frontend.dir/sema.cpp.o.d"
+  "libara_frontend.a"
+  "libara_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

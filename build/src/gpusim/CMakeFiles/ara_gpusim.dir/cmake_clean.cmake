@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_gpusim.dir/transfer_model.cpp.o"
+  "CMakeFiles/ara_gpusim.dir/transfer_model.cpp.o.d"
+  "libara_gpusim.a"
+  "libara_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

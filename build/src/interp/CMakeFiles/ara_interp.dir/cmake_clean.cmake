@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_interp.dir/interp.cpp.o"
+  "CMakeFiles/ara_interp.dir/interp.cpp.o.d"
+  "libara_interp.a"
+  "libara_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipa/analyzer.cpp" "src/ipa/CMakeFiles/ara_ipa.dir/analyzer.cpp.o" "gcc" "src/ipa/CMakeFiles/ara_ipa.dir/analyzer.cpp.o.d"
+  "/root/repo/src/ipa/callgraph.cpp" "src/ipa/CMakeFiles/ara_ipa.dir/callgraph.cpp.o" "gcc" "src/ipa/CMakeFiles/ara_ipa.dir/callgraph.cpp.o.d"
+  "/root/repo/src/ipa/interproc.cpp" "src/ipa/CMakeFiles/ara_ipa.dir/interproc.cpp.o" "gcc" "src/ipa/CMakeFiles/ara_ipa.dir/interproc.cpp.o.d"
+  "/root/repo/src/ipa/local.cpp" "src/ipa/CMakeFiles/ara_ipa.dir/local.cpp.o" "gcc" "src/ipa/CMakeFiles/ara_ipa.dir/local.cpp.o.d"
+  "/root/repo/src/ipa/summary.cpp" "src/ipa/CMakeFiles/ara_ipa.dir/summary.cpp.o" "gcc" "src/ipa/CMakeFiles/ara_ipa.dir/summary.cpp.o.d"
+  "/root/repo/src/ipa/wn_affine.cpp" "src/ipa/CMakeFiles/ara_ipa.dir/wn_affine.cpp.o" "gcc" "src/ipa/CMakeFiles/ara_ipa.dir/wn_affine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/regions/CMakeFiles/ara_regions.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgn/CMakeFiles/ara_rgn.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

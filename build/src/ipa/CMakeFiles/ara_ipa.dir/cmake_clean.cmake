@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_ipa.dir/analyzer.cpp.o"
+  "CMakeFiles/ara_ipa.dir/analyzer.cpp.o.d"
+  "CMakeFiles/ara_ipa.dir/callgraph.cpp.o"
+  "CMakeFiles/ara_ipa.dir/callgraph.cpp.o.d"
+  "CMakeFiles/ara_ipa.dir/interproc.cpp.o"
+  "CMakeFiles/ara_ipa.dir/interproc.cpp.o.d"
+  "CMakeFiles/ara_ipa.dir/local.cpp.o"
+  "CMakeFiles/ara_ipa.dir/local.cpp.o.d"
+  "CMakeFiles/ara_ipa.dir/summary.cpp.o"
+  "CMakeFiles/ara_ipa.dir/summary.cpp.o.d"
+  "CMakeFiles/ara_ipa.dir/wn_affine.cpp.o"
+  "CMakeFiles/ara_ipa.dir/wn_affine.cpp.o.d"
+  "libara_ipa.a"
+  "libara_ipa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_ipa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

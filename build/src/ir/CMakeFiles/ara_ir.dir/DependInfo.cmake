@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/address.cpp" "src/ir/CMakeFiles/ara_ir.dir/address.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/address.cpp.o.d"
+  "/root/repo/src/ir/layout.cpp" "src/ir/CMakeFiles/ara_ir.dir/layout.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/layout.cpp.o.d"
+  "/root/repo/src/ir/mlower.cpp" "src/ir/CMakeFiles/ara_ir.dir/mlower.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/mlower.cpp.o.d"
+  "/root/repo/src/ir/mtype.cpp" "src/ir/CMakeFiles/ara_ir.dir/mtype.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/mtype.cpp.o.d"
+  "/root/repo/src/ir/opcode.cpp" "src/ir/CMakeFiles/ara_ir.dir/opcode.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/opcode.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/ara_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/ara_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/symtab.cpp" "src/ir/CMakeFiles/ara_ir.dir/symtab.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/symtab.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/ir/CMakeFiles/ara_ir.dir/verifier.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/verifier.cpp.o.d"
+  "/root/repo/src/ir/wn.cpp" "src/ir/CMakeFiles/ara_ir.dir/wn.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/wn.cpp.o.d"
+  "/root/repo/src/ir/wn_builder.cpp" "src/ir/CMakeFiles/ara_ir.dir/wn_builder.cpp.o" "gcc" "src/ir/CMakeFiles/ara_ir.dir/wn_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

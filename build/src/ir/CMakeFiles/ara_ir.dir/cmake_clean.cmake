@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_ir.dir/address.cpp.o"
+  "CMakeFiles/ara_ir.dir/address.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/layout.cpp.o"
+  "CMakeFiles/ara_ir.dir/layout.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/mlower.cpp.o"
+  "CMakeFiles/ara_ir.dir/mlower.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/mtype.cpp.o"
+  "CMakeFiles/ara_ir.dir/mtype.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/opcode.cpp.o"
+  "CMakeFiles/ara_ir.dir/opcode.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/printer.cpp.o"
+  "CMakeFiles/ara_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/program.cpp.o"
+  "CMakeFiles/ara_ir.dir/program.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/symtab.cpp.o"
+  "CMakeFiles/ara_ir.dir/symtab.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/verifier.cpp.o"
+  "CMakeFiles/ara_ir.dir/verifier.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/wn.cpp.o"
+  "CMakeFiles/ara_ir.dir/wn.cpp.o.d"
+  "CMakeFiles/ara_ir.dir/wn_builder.cpp.o"
+  "CMakeFiles/ara_ir.dir/wn_builder.cpp.o.d"
+  "libara_ir.a"
+  "libara_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

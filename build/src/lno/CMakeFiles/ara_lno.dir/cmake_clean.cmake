@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_lno.dir/dependence.cpp.o"
+  "CMakeFiles/ara_lno.dir/dependence.cpp.o.d"
+  "libara_lno.a"
+  "libara_lno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_lno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regions/access.cpp" "src/regions/CMakeFiles/ara_regions.dir/access.cpp.o" "gcc" "src/regions/CMakeFiles/ara_regions.dir/access.cpp.o.d"
+  "/root/repo/src/regions/bound.cpp" "src/regions/CMakeFiles/ara_regions.dir/bound.cpp.o" "gcc" "src/regions/CMakeFiles/ara_regions.dir/bound.cpp.o.d"
+  "/root/repo/src/regions/convex_region.cpp" "src/regions/CMakeFiles/ara_regions.dir/convex_region.cpp.o" "gcc" "src/regions/CMakeFiles/ara_regions.dir/convex_region.cpp.o.d"
+  "/root/repo/src/regions/linexpr.cpp" "src/regions/CMakeFiles/ara_regions.dir/linexpr.cpp.o" "gcc" "src/regions/CMakeFiles/ara_regions.dir/linexpr.cpp.o.d"
+  "/root/repo/src/regions/linsys.cpp" "src/regions/CMakeFiles/ara_regions.dir/linsys.cpp.o" "gcc" "src/regions/CMakeFiles/ara_regions.dir/linsys.cpp.o.d"
+  "/root/repo/src/regions/methods.cpp" "src/regions/CMakeFiles/ara_regions.dir/methods.cpp.o" "gcc" "src/regions/CMakeFiles/ara_regions.dir/methods.cpp.o.d"
+  "/root/repo/src/regions/region.cpp" "src/regions/CMakeFiles/ara_regions.dir/region.cpp.o" "gcc" "src/regions/CMakeFiles/ara_regions.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

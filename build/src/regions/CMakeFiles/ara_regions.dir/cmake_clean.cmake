@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_regions.dir/access.cpp.o"
+  "CMakeFiles/ara_regions.dir/access.cpp.o.d"
+  "CMakeFiles/ara_regions.dir/bound.cpp.o"
+  "CMakeFiles/ara_regions.dir/bound.cpp.o.d"
+  "CMakeFiles/ara_regions.dir/convex_region.cpp.o"
+  "CMakeFiles/ara_regions.dir/convex_region.cpp.o.d"
+  "CMakeFiles/ara_regions.dir/linexpr.cpp.o"
+  "CMakeFiles/ara_regions.dir/linexpr.cpp.o.d"
+  "CMakeFiles/ara_regions.dir/linsys.cpp.o"
+  "CMakeFiles/ara_regions.dir/linsys.cpp.o.d"
+  "CMakeFiles/ara_regions.dir/methods.cpp.o"
+  "CMakeFiles/ara_regions.dir/methods.cpp.o.d"
+  "CMakeFiles/ara_regions.dir/region.cpp.o"
+  "CMakeFiles/ara_regions.dir/region.cpp.o.d"
+  "libara_regions.a"
+  "libara_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

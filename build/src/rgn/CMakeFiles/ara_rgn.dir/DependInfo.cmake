@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rgn/dgn.cpp" "src/rgn/CMakeFiles/ara_rgn.dir/dgn.cpp.o" "gcc" "src/rgn/CMakeFiles/ara_rgn.dir/dgn.cpp.o.d"
+  "/root/repo/src/rgn/region_row.cpp" "src/rgn/CMakeFiles/ara_rgn.dir/region_row.cpp.o" "gcc" "src/rgn/CMakeFiles/ara_rgn.dir/region_row.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_rgn.dir/dgn.cpp.o"
+  "CMakeFiles/ara_rgn.dir/dgn.cpp.o.d"
+  "CMakeFiles/ara_rgn.dir/region_row.cpp.o"
+  "CMakeFiles/ara_rgn.dir/region_row.cpp.o.d"
+  "libara_rgn.a"
+  "libara_rgn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_rgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

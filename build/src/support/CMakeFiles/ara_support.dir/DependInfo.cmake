@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/csv.cpp" "src/support/CMakeFiles/ara_support.dir/csv.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/csv.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/support/CMakeFiles/ara_support.dir/diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/support/source_manager.cpp" "src/support/CMakeFiles/ara_support.dir/source_manager.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/source_manager.cpp.o.d"
+  "/root/repo/src/support/string_utils.cpp" "src/support/CMakeFiles/ara_support.dir/string_utils.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/string_utils.cpp.o.d"
+  "/root/repo/src/support/text_table.cpp" "src/support/CMakeFiles/ara_support.dir/text_table.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/text_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_support.dir/csv.cpp.o"
+  "CMakeFiles/ara_support.dir/csv.cpp.o.d"
+  "CMakeFiles/ara_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/ara_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/ara_support.dir/source_manager.cpp.o"
+  "CMakeFiles/ara_support.dir/source_manager.cpp.o.d"
+  "CMakeFiles/ara_support.dir/string_utils.cpp.o"
+  "CMakeFiles/ara_support.dir/string_utils.cpp.o.d"
+  "CMakeFiles/ara_support.dir/text_table.cpp.o"
+  "CMakeFiles/ara_support.dir/text_table.cpp.o.d"
+  "libara_support.a"
+  "libara_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

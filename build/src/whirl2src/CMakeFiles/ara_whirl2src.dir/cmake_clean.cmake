@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_whirl2src.dir/whirl2src.cpp.o"
+  "CMakeFiles/ara_whirl2src.dir/whirl2src.cpp.o.d"
+  "libara_whirl2src.a"
+  "libara_whirl2src.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_whirl2src.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access.dir/regions/test_access.cpp.o"
+  "CMakeFiles/test_access.dir/regions/test_access.cpp.o.d"
+  "test_access"
+  "test_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

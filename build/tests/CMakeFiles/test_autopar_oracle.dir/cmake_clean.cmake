@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autopar_oracle.dir/lno/test_autopar_oracle.cpp.o"
+  "CMakeFiles/test_autopar_oracle.dir/lno/test_autopar_oracle.cpp.o.d"
+  "test_autopar_oracle"
+  "test_autopar_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autopar_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

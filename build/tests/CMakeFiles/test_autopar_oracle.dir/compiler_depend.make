@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_autopar_oracle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_autopar_oracle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_browser.dir/dragon/test_browser.cpp.o"
+  "CMakeFiles/test_browser.dir/dragon/test_browser.cpp.o.d"
+  "test_browser"
+  "test_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

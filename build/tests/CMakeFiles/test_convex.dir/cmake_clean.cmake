@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convex.dir/regions/test_convex.cpp.o"
+  "CMakeFiles/test_convex.dir/regions/test_convex.cpp.o.d"
+  "test_convex"
+  "test_convex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

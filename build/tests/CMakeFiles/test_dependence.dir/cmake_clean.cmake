@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependence.dir/lno/test_dependence.cpp.o"
+  "CMakeFiles/test_dependence.dir/lno/test_dependence.cpp.o.d"
+  "test_dependence"
+  "test_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dgn.dir/rgn/test_dgn.cpp.o"
+  "CMakeFiles/test_dgn.dir/rgn/test_dgn.cpp.o.d"
+  "test_dgn"
+  "test_dgn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

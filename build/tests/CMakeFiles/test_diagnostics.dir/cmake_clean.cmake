@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagnostics.dir/support/test_diagnostics.cpp.o"
+  "CMakeFiles/test_diagnostics.dir/support/test_diagnostics.cpp.o.d"
+  "test_diagnostics"
+  "test_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

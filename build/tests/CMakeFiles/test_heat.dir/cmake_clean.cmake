@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heat.dir/integration/test_heat.cpp.o"
+  "CMakeFiles/test_heat.dir/integration/test_heat.cpp.o.d"
+  "test_heat"
+  "test_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp.dir/interp/test_interp.cpp.o"
+  "CMakeFiles/test_interp.dir/interp/test_interp.cpp.o.d"
+  "test_interp"
+  "test_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interproc.dir/ipa/test_interproc.cpp.o"
+  "CMakeFiles/test_interproc.dir/ipa/test_interproc.cpp.o.d"
+  "test_interproc"
+  "test_interproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

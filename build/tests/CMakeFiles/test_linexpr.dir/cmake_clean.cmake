@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linexpr.dir/regions/test_linexpr.cpp.o"
+  "CMakeFiles/test_linexpr.dir/regions/test_linexpr.cpp.o.d"
+  "test_linexpr"
+  "test_linexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lower.dir/frontend/test_lower.cpp.o"
+  "CMakeFiles/test_lower.dir/frontend/test_lower.cpp.o.d"
+  "test_lower"
+  "test_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_methods.dir/regions/test_methods.cpp.o"
+  "CMakeFiles/test_methods.dir/regions/test_methods.cpp.o.d"
+  "test_methods"
+  "test_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

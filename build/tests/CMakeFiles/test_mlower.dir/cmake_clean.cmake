@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlower.dir/ir/test_mlower.cpp.o"
+  "CMakeFiles/test_mlower.dir/ir/test_mlower.cpp.o.d"
+  "test_mlower"
+  "test_mlower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_c.dir/frontend/test_parser_c.cpp.o"
+  "CMakeFiles/test_parser_c.dir/frontend/test_parser_c.cpp.o.d"
+  "test_parser_c"
+  "test_parser_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_fortran.dir/frontend/test_parser_fortran.cpp.o"
+  "CMakeFiles/test_parser_fortran.dir/frontend/test_parser_fortran.cpp.o.d"
+  "test_parser_fortran"
+  "test_parser_fortran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_fortran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

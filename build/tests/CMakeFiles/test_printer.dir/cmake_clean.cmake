@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_printer.dir/ir/test_printer.cpp.o"
+  "CMakeFiles/test_printer.dir/ir/test_printer.cpp.o.d"
+  "test_printer"
+  "test_printer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

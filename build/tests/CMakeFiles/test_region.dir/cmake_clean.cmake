@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region.dir/regions/test_region.cpp.o"
+  "CMakeFiles/test_region.dir/regions/test_region.cpp.o.d"
+  "test_region"
+  "test_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

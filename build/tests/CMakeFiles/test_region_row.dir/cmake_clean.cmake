@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_region_row.dir/rgn/test_region_row.cpp.o"
+  "CMakeFiles/test_region_row.dir/rgn/test_region_row.cpp.o.d"
+  "test_region_row"
+  "test_region_row.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_region_row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

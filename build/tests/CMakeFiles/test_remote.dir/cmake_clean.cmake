@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote.dir/ipa/test_remote.cpp.o"
+  "CMakeFiles/test_remote.dir/ipa/test_remote.cpp.o.d"
+  "test_remote"
+  "test_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rows.dir/ipa/test_rows.cpp.o"
+  "CMakeFiles/test_rows.dir/ipa/test_rows.cpp.o.d"
+  "test_rows"
+  "test_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

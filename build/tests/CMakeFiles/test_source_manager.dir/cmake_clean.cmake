@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_source_manager.dir/support/test_source_manager.cpp.o"
+  "CMakeFiles/test_source_manager.dir/support/test_source_manager.cpp.o.d"
+  "test_source_manager"
+  "test_source_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_source_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

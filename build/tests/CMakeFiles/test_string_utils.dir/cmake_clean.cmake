@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_string_utils.dir/support/test_string_utils.cpp.o"
+  "CMakeFiles/test_string_utils.dir/support/test_string_utils.cpp.o.d"
+  "test_string_utils"
+  "test_string_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_string_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symtab.dir/ir/test_symtab.cpp.o"
+  "CMakeFiles/test_symtab.dir/ir/test_symtab.cpp.o.d"
+  "test_symtab"
+  "test_symtab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symtab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

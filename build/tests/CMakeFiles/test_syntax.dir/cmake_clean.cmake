@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syntax.dir/dragon/test_syntax.cpp.o"
+  "CMakeFiles/test_syntax.dir/dragon/test_syntax.cpp.o.d"
+  "test_syntax"
+  "test_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

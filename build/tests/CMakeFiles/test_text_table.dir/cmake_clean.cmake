@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_table.dir/support/test_text_table.cpp.o"
+  "CMakeFiles/test_text_table.dir/support/test_text_table.cpp.o.d"
+  "test_text_table"
+  "test_text_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

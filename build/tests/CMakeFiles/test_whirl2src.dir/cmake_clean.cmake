@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whirl2src.dir/whirl2src/test_whirl2src.cpp.o"
+  "CMakeFiles/test_whirl2src.dir/whirl2src/test_whirl2src.cpp.o.d"
+  "test_whirl2src"
+  "test_whirl2src.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whirl2src.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_whirl2src.
+# This may be replaced when dependencies are built.

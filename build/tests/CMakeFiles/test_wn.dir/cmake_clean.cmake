@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wn.dir/ir/test_wn.cpp.o"
+  "CMakeFiles/test_wn.dir/ir/test_wn.cpp.o.d"
+  "test_wn"
+  "test_wn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wn_affine.dir/ipa/test_wn_affine.cpp.o"
+  "CMakeFiles/test_wn_affine.dir/ipa/test_wn_affine.cpp.o.d"
+  "test_wn_affine"
+  "test_wn_affine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wn_affine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
