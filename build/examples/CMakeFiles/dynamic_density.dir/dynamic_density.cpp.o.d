@@ -232,9 +232,9 @@ examples/CMakeFiles/dynamic_density.dir/dynamic_density.cpp.o: \
  /root/repo/src/regions/linexpr.hpp /root/repo/src/rgn/region_row.hpp \
  /root/repo/src/ir/layout.hpp /root/repo/src/rgn/dgn.hpp \
  /root/repo/src/support/diagnostics.hpp /root/repo/src/interp/interp.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/regions/methods.hpp /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/support/string_utils.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arafuzz.dir/__/tools/arafuzz.cpp.o"
+  "CMakeFiles/arafuzz.dir/__/tools/arafuzz.cpp.o.d"
+  "arafuzz"
+  "arafuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arafuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -17,3 +17,4 @@ subdirs("dragon")
 subdirs("interp")
 subdirs("lno")
 subdirs("driver")
+subdirs("difftest")

@@ -107,3 +107,8 @@ if(NOT CMAKE_INSTALL_LOCAL_ONLY)
   include("/root/repo/build/src/driver/cmake_install.cmake")
 endif()
 
+if(NOT CMAKE_INSTALL_LOCAL_ONLY)
+  # Include the install script for the subdirectory.
+  include("/root/repo/build/src/difftest/cmake_install.cmake")
+endif()
+

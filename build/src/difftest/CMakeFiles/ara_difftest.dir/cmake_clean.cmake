@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_difftest.dir/generator.cpp.o"
+  "CMakeFiles/ara_difftest.dir/generator.cpp.o.d"
+  "CMakeFiles/ara_difftest.dir/minimize.cpp.o"
+  "CMakeFiles/ara_difftest.dir/minimize.cpp.o.d"
+  "CMakeFiles/ara_difftest.dir/oracle.cpp.o"
+  "CMakeFiles/ara_difftest.dir/oracle.cpp.o.d"
+  "libara_difftest.a"
+  "libara_difftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_difftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -200,7 +200,9 @@ src/interp/CMakeFiles/ara_interp.dir/interp.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/ir/program.hpp \
  /root/repo/src/ir/symtab.hpp /root/repo/src/ir/mtype.hpp \
@@ -210,9 +212,7 @@ src/interp/CMakeFiles/ara_interp.dir/interp.cpp.o: \
  /root/repo/src/support/source_manager.hpp \
  /root/repo/src/regions/methods.hpp /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/limits \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/regions/access.hpp /root/repo/src/regions/region.hpp \
  /root/repo/src/regions/bound.hpp /root/repo/src/regions/linexpr.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \

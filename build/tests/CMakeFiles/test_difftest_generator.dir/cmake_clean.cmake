@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_difftest_generator.dir/difftest/test_generator.cpp.o"
+  "CMakeFiles/test_difftest_generator.dir/difftest/test_generator.cpp.o.d"
+  "test_difftest_generator"
+  "test_difftest_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_difftest_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_difftest_oracle.dir/difftest/test_oracle.cpp.o"
+  "CMakeFiles/test_difftest_oracle.dir/difftest/test_oracle.cpp.o.d"
+  "test_difftest_oracle"
+  "test_difftest_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_difftest_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

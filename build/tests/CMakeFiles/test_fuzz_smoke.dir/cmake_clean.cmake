@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_smoke.dir/difftest/test_fuzz_smoke.cpp.o"
+  "CMakeFiles/test_fuzz_smoke.dir/difftest/test_fuzz_smoke.cpp.o.d"
+  "test_fuzz_smoke"
+  "test_fuzz_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

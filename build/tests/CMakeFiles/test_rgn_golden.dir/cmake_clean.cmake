@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rgn_golden.dir/rgn/test_rgn_golden.cpp.o"
+  "CMakeFiles/test_rgn_golden.dir/rgn/test_rgn_golden.cpp.o.d"
+  "test_rgn_golden"
+  "test_rgn_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rgn_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triplet_corners.dir/regions/test_triplet_corners.cpp.o"
+  "CMakeFiles/test_triplet_corners.dir/regions/test_triplet_corners.cpp.o.d"
+  "test_triplet_corners"
+  "test_triplet_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triplet_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triplet_corners_ipa.dir/ipa/test_triplet_corners.cpp.o"
+  "CMakeFiles/test_triplet_corners_ipa.dir/ipa/test_triplet_corners.cpp.o.d"
+  "test_triplet_corners_ipa"
+  "test_triplet_corners_ipa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triplet_corners_ipa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_triplet_corners_ipa.
+# This may be replaced when dependencies are built.

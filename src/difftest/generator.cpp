@@ -1,0 +1,784 @@
+#include "difftest/generator.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace ara::difftest {
+
+namespace {
+
+using std::int64_t;
+
+struct Interval {
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+struct DimModel {
+  int64_t lb = 0;
+  int64_t extent = 1;
+  [[nodiscard]] int64_t ub() const { return lb + extent - 1; }
+};
+
+struct ArrayModel {
+  std::string name;
+  std::vector<DimModel> dims;
+  bool is_index = false;  // 1-D integer array driving a(x(i)) subscripts
+  Interval fill;          // index arrays: value range the fill loop stores
+};
+
+/// One subscript expression: c1*v1 + c2*v2 + d, optionally routed through an
+/// index array (a(x(c1*v1 + d))) for the subscripted-subscript corner.
+struct Sub {
+  int idx_array = -1;  // model array id of the index array, or -1
+  std::string v1, v2;  // loop variable names ("" = absent)
+  int64_t c1 = 0, c2 = 0, d = 0;
+};
+
+struct ARef {
+  int array = 0;
+  std::vector<Sub> subs;
+};
+
+struct Term {
+  enum Kind { Const, Scalar, LoopVar, ArrayUse } kind = Const;
+  int64_t cval = 0;
+  std::string name;  // Scalar / LoopVar
+  ARef ref;          // ArrayUse
+};
+
+struct GStmt {
+  enum Kind { Loop, If, StoreArray, StoreScalar, Call } kind = Loop;
+  // Loop
+  std::string var;
+  int64_t init_c = 0, limit_c = 0;
+  std::string init_v, limit_v;  // non-empty overrides the constant
+  int64_t step = 1;
+  std::vector<GStmt> body, els;
+  // If: var `cv1` compared to `cv2` (or to `ccmp` when cv2 empty)
+  std::string cv1, cv2;
+  int64_t ccmp = 0;
+  int rel = 0;  // 0: <  1: <=  2: >  3: ==
+  // StoreArray / StoreScalar
+  ARef lhs;
+  std::string sname;
+  bool accumulate = false;  // s = s + rhs
+  std::vector<std::pair<char, Term>> rhs;  // op-term chain; first op ignored
+  // Call
+  int kernel = -1;
+};
+
+struct KernelModel {
+  std::string name;
+  std::vector<int> params;   // model array ids (Fortran formals, C globals)
+  bool scalar_param = false; // trailing `m0` limit scalar
+  std::vector<GStmt> body;
+  std::set<std::string> vars_used;
+};
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  std::vector<std::pair<std::string, Interval>> loop_vars;  // innermost last
+  std::set<std::string>* vars_used = nullptr;
+  const std::vector<int>* pool = nullptr;  // visible array ids
+  std::string limit_scalar;                // "" when none
+  int64_t limit_value = 0;
+  std::string accum;  // accumulator scalar name
+};
+
+class Generator {
+ public:
+  explicit Generator(const GenOptions& o) : o_(o), rng_(o.seed ^ 0xa5a5a5a5a5a5a5a5ULL) {}
+
+  GeneratedProgram run();
+
+ private:
+  const GenOptions& o_;
+  Rng rng_;
+  std::vector<ArrayModel> arrays_;
+  std::vector<int> data_ids_, index_ids_, all_ids_;
+  std::vector<KernelModel> kernels_;
+  std::vector<GStmt> entry_body_;
+  std::set<std::string> entry_vars_;
+  int64_t n0_value_ = 4;
+
+  [[nodiscard]] bool fortran() const { return o_.lang == Language::Fortran; }
+
+  void make_arrays();
+  void make_kernels();
+  std::vector<GStmt> gen_body(Scope& scope, int budget, int depth);
+  GStmt gen_loop(Scope& scope, int depth);
+  GStmt gen_if(Scope& scope, int depth);
+  GStmt gen_store_array(Scope& scope);
+  GStmt gen_store_scalar(Scope& scope);
+  Sub gen_sub(const DimModel& dim, Scope& scope);
+  bool fit_affine(int64_t c, const Interval& v, const DimModel& dim, int64_t* d);
+  ARef gen_aref(Scope& scope, bool lhs);
+  std::vector<std::pair<char, Term>> gen_rhs(Scope& scope);
+  [[nodiscard]] int64_t min_extent(const std::vector<int>& pool) const;
+
+  // Rendering
+  std::string render() const;
+  void render_stmt(std::ostream& os, const GStmt& s, int indent,
+                   const std::vector<KernelModel>& kernels) const;
+  std::string aref_str(const ARef& r) const;
+  std::string sub_str(const Sub& s) const;
+  static std::string affine_str(int64_t c1, const std::string& v1, int64_t c2,
+                                const std::string& v2, int64_t d);
+};
+
+void Generator::make_arrays() {
+  const int n_data = std::max(1, o_.arrays);
+  const int max_rank = std::clamp(o_.dims, 1, 4);
+  const int max_extent = std::max(3, o_.extent);
+  for (int a = 0; a < n_data; ++a) {
+    ArrayModel m;
+    m.name = "a" + std::to_string(a);
+    const int rank = static_cast<int>(rng_.range(1, max_rank));
+    for (int d = 0; d < rank; ++d) {
+      DimModel dm;
+      dm.extent = rng_.range(3, max_extent);
+      if (fortran()) {
+        dm.lb = 1;
+        if (o_.non_unit_lower_bounds && rng_.chance(40)) dm.lb = rng_.range(-3, 3);
+      }
+      m.dims.push_back(dm);
+    }
+    arrays_.push_back(std::move(m));
+    data_ids_.push_back(a);
+  }
+  if (o_.indirect) {
+    // One index array whose fill range is a sub-range of some data dim, so
+    // a(x(i)) stays in bounds wherever that dim's range applies.
+    const ArrayModel& target = arrays_[static_cast<std::size_t>(rng_.range(0, n_data - 1))];
+    const DimModel& td = target.dims[static_cast<std::size_t>(
+        rng_.range(0, static_cast<int64_t>(target.dims.size()) - 1))];
+    ArrayModel x;
+    x.name = "x0";
+    x.is_index = true;
+    DimModel xd;
+    xd.extent = rng_.range(3, std::max<int64_t>(3, std::min<int64_t>(8, max_extent)));
+    xd.lb = fortran() ? 1 : 0;
+    x.dims.push_back(xd);
+    const int64_t width = std::max<int64_t>(1, std::min<int64_t>(td.extent, 5));
+    x.fill.lo = td.lb;
+    x.fill.hi = td.lb + width - 1;
+    index_ids_.push_back(static_cast<int>(arrays_.size()));
+    arrays_.push_back(std::move(x));
+  }
+  for (int i = 0; i < static_cast<int>(arrays_.size()); ++i) all_ids_.push_back(i);
+}
+
+int64_t Generator::min_extent(const std::vector<int>& pool) const {
+  int64_t m = 64;
+  for (int id : pool) {
+    if (arrays_[static_cast<std::size_t>(id)].is_index) continue;
+    for (const DimModel& d : arrays_[static_cast<std::size_t>(id)].dims) {
+      m = std::min(m, d.extent);
+    }
+  }
+  return m;
+}
+
+bool Generator::fit_affine(int64_t c, const Interval& v, const DimModel& dim, int64_t* d) {
+  const int64_t lo = std::min(c * v.lo, c * v.hi);
+  const int64_t hi = std::max(c * v.lo, c * v.hi);
+  const int64_t dmin = dim.lb - lo;
+  const int64_t dmax = dim.ub() - hi;
+  if (dmin > dmax) return false;
+  *d = rng_.range(dmin, dmax);
+  return true;
+}
+
+Sub Generator::gen_sub(const DimModel& dim, Scope& scope) {
+  Sub s;
+  const auto& vars = scope.loop_vars;
+  if (vars.empty() || rng_.chance(12)) {  // constant subscript
+    s.d = rng_.range(dim.lb, dim.ub());
+    return s;
+  }
+  // Subscripted subscript: a(x(c*v + d)) when an in-range index array is
+  // visible. The *value* range of x is its fill range; it must sit inside
+  // this dimension.
+  if (o_.indirect && rng_.chance(20)) {
+    for (int id : *scope.pool) {
+      const ArrayModel& x = arrays_[static_cast<std::size_t>(id)];
+      if (!x.is_index) continue;
+      if (x.fill.lo < dim.lb || x.fill.hi > dim.ub()) continue;
+      const auto& [vn, vi] = vars[static_cast<std::size_t>(
+          rng_.range(0, static_cast<int64_t>(vars.size()) - 1))];
+      int64_t d = 0;
+      if (fit_affine(1, vi, x.dims[0], &d)) {
+        s.idx_array = id;
+        s.v1 = vn;
+        s.c1 = 1;
+        s.d = d;
+        return s;
+      }
+    }
+  }
+  // Two coupled induction variables (coefficients +-1 each).
+  if (vars.size() >= 2 && rng_.chance(22)) {
+    const std::size_t i1 = static_cast<std::size_t>(
+        rng_.range(0, static_cast<int64_t>(vars.size()) - 1));
+    std::size_t i2 = static_cast<std::size_t>(
+        rng_.range(0, static_cast<int64_t>(vars.size()) - 2));
+    if (i2 >= i1) ++i2;
+    const int64_t c1 = 1;
+    const int64_t c2 = rng_.chance(30) ? -1 : 1;
+    const Interval& a = vars[i1].second;
+    const Interval& b = vars[i2].second;
+    Interval sum;
+    sum.lo = c1 * a.lo + std::min(c2 * b.lo, c2 * b.hi);
+    sum.hi = c1 * a.hi + std::max(c2 * b.lo, c2 * b.hi);
+    const int64_t dmin = dim.lb - sum.lo;
+    const int64_t dmax = dim.ub() - sum.hi;
+    if (dmin <= dmax) {
+      s.v1 = vars[i1].first;
+      s.v2 = vars[i2].first;
+      s.c1 = c1;
+      s.c2 = c2;
+      s.d = rng_.range(dmin, dmax);
+      return s;
+    }
+  }
+  // Single variable: prefer interesting coefficients, fall back to 1, then
+  // to a constant if even that cannot fit.
+  const auto& [vn, vi] = vars[static_cast<std::size_t>(
+      rng_.range(0, static_cast<int64_t>(vars.size()) - 1))];
+  static constexpr int64_t kCoefs[] = {2, -2, -1, 3};
+  int64_t first = rng_.range(0, 3);
+  for (int64_t k = 0; k < 5; ++k) {
+    const int64_t c = k < 4 ? kCoefs[(first + k) % 4] : 1;
+    if (k < 4 && !rng_.chance(35)) continue;  // usually plain c=1
+    int64_t d = 0;
+    if (fit_affine(c, vi, dim, &d)) {
+      s.v1 = vn;
+      s.c1 = c;
+      s.d = d;
+      return s;
+    }
+  }
+  int64_t d = 0;
+  if (fit_affine(1, vi, dim, &d)) {
+    s.v1 = vn;
+    s.c1 = 1;
+    s.d = d;
+    return s;
+  }
+  s.d = rng_.range(dim.lb, dim.ub());
+  return s;
+}
+
+ARef Generator::gen_aref(Scope& scope, bool lhs) {
+  ARef r;
+  std::vector<int> candidates;
+  for (int id : *scope.pool) {
+    if (lhs && arrays_[static_cast<std::size_t>(id)].is_index) continue;
+    candidates.push_back(id);
+  }
+  if (candidates.empty()) candidates.push_back((*scope.pool)[0]);
+  // Reads of the index array itself are fine (and pin its USE rows).
+  if (!lhs) {
+    std::vector<int> data_only;
+    for (int id : candidates) {
+      if (!arrays_[static_cast<std::size_t>(id)].is_index) data_only.push_back(id);
+    }
+    if (!data_only.empty() && !rng_.chance(15)) candidates = std::move(data_only);
+  }
+  r.array = candidates[static_cast<std::size_t>(
+      rng_.range(0, static_cast<int64_t>(candidates.size()) - 1))];
+  for (const DimModel& d : arrays_[static_cast<std::size_t>(r.array)].dims) {
+    r.subs.push_back(gen_sub(d, scope));
+  }
+  return r;
+}
+
+std::vector<std::pair<char, Term>> Generator::gen_rhs(Scope& scope) {
+  std::vector<std::pair<char, Term>> out;
+  const int n = static_cast<int>(rng_.range(1, 3));
+  for (int i = 0; i < n; ++i) {
+    char op = '+';
+    if (i > 0) op = rng_.chance(20) ? '*' : (rng_.chance(40) ? '-' : '+');
+    Term t;
+    const int64_t pick = rng_.range(0, 99);
+    if (pick < 45) {
+      t.kind = Term::ArrayUse;
+      t.ref = gen_aref(scope, /*lhs=*/false);
+    } else if (pick < 65 && !scope.loop_vars.empty()) {
+      t.kind = Term::LoopVar;
+      t.name = scope.loop_vars[static_cast<std::size_t>(rng_.range(
+                                   0, static_cast<int64_t>(scope.loop_vars.size()) - 1))]
+                   .first;
+    } else if (pick < 80 && !scope.accum.empty()) {
+      t.kind = Term::Scalar;
+      t.name = scope.accum;
+    } else {
+      t.kind = Term::Const;
+      t.cval = rng_.range(-4, 9);
+    }
+    out.emplace_back(op, std::move(t));
+  }
+  return out;
+}
+
+GStmt Generator::gen_loop(Scope& scope, int depth) {
+  GStmt s;
+  s.kind = GStmt::Loop;
+  s.var = "i" + std::to_string(scope.loop_vars.size());
+  scope.vars_used->insert(s.var);
+
+  const int64_t base_lo = fortran() ? rng_.range(-1, 2) : rng_.range(0, 2);
+  const int64_t span = rng_.range(2, std::max<int64_t>(2, std::min<int64_t>(7, min_extent(*scope.pool))));
+  Interval iv;
+
+  const bool can_tri = o_.triangular && !scope.loop_vars.empty();
+  const bool can_sym = o_.symbolic_limits && !scope.limit_scalar.empty();
+  const int64_t style = rng_.range(0, 99);
+  if (can_sym && style < 15) {
+    // do i = 1, n  — symbolic limit through a scalar whose value we know.
+    s.init_c = fortran() ? 1 : 0;
+    s.limit_v = scope.limit_scalar;
+    s.step = 1;
+    iv = {s.init_c, scope.limit_value};
+  } else if (can_tri && style < 35) {
+    // Triangular: do j = i, <const >= i's max>.
+    const auto& [ov, oiv] = scope.loop_vars.back();
+    s.init_v = ov;
+    s.limit_c = oiv.hi;
+    s.step = 1;
+    iv = {std::min(oiv.lo, s.limit_c), s.limit_c};
+  } else if (o_.negative_strides && style < 55) {
+    // Descending: do i = hi, lo, -step.
+    s.init_c = base_lo + span - 1;
+    s.limit_c = base_lo;
+    s.step = -rng_.range(1, 2);
+    iv = {s.limit_c, s.init_c};
+  } else if (style < 60) {
+    // Zero-trip corner: init above the limit; the body never executes.
+    s.init_c = base_lo + span;
+    s.limit_c = base_lo;
+    s.step = 1;
+    iv = {s.limit_c, s.init_c};
+  } else {
+    s.init_c = base_lo;
+    s.limit_c = base_lo + span - 1;
+    s.step = rng_.chance(30) ? rng_.range(2, 3) : 1;
+    iv = {s.init_c, s.limit_c};
+  }
+
+  scope.loop_vars.emplace_back(s.var, iv);
+  s.body = gen_body(scope, static_cast<int>(rng_.range(1, 3)), depth + 1);
+  scope.loop_vars.pop_back();
+  return s;
+}
+
+GStmt Generator::gen_if(Scope& scope, int depth) {
+  GStmt s;
+  s.kind = GStmt::If;
+  const auto& vars = scope.loop_vars;
+  const auto& [vn, vi] = vars[static_cast<std::size_t>(
+      rng_.range(0, static_cast<int64_t>(vars.size()) - 1))];
+  s.cv1 = vn;
+  s.rel = static_cast<int>(rng_.range(0, 3));
+  if (vars.size() >= 2 && rng_.chance(35)) {
+    s.cv2 = vars[0].first == vn ? vars[1].first : vars[0].first;
+  } else {
+    s.ccmp = rng_.range(vi.lo, vi.hi);
+  }
+  s.body = gen_body(scope, static_cast<int>(rng_.range(1, 2)), depth + 1);
+  if (rng_.chance(30)) s.els = gen_body(scope, 1, depth + 1);
+  return s;
+}
+
+GStmt Generator::gen_store_array(Scope& scope) {
+  GStmt s;
+  s.kind = GStmt::StoreArray;
+  s.lhs = gen_aref(scope, /*lhs=*/true);
+  s.rhs = gen_rhs(scope);
+  return s;
+}
+
+GStmt Generator::gen_store_scalar(Scope& scope) {
+  GStmt s;
+  s.kind = GStmt::StoreScalar;
+  s.sname = scope.accum;
+  s.accumulate = true;
+  s.rhs = gen_rhs(scope);
+  return s;
+}
+
+std::vector<GStmt> Generator::gen_body(Scope& scope, int budget, int depth) {
+  std::vector<GStmt> out;
+  for (int i = 0; i < budget; ++i) {
+    const bool can_loop = depth < 3 && scope.loop_vars.size() < 4;
+    const bool can_if = o_.conditionals && !scope.loop_vars.empty() && depth < 4;
+    const int64_t pick = rng_.range(0, 99);
+    if (can_loop && (pick < 45 || scope.loop_vars.empty())) {
+      out.push_back(gen_loop(scope, depth));
+    } else if (can_if && pick < 60) {
+      out.push_back(gen_if(scope, depth));
+    } else if (pick < 88) {
+      out.push_back(gen_store_array(scope));
+    } else {
+      out.push_back(gen_store_scalar(scope));
+    }
+  }
+  return out;
+}
+
+void Generator::make_kernels() {
+  const int n = std::max(0, o_.kernels);
+  for (int k = 0; k < n; ++k) {
+    KernelModel km;
+    km.name = "fz_k" + std::to_string(k);
+    // 1-2 data arrays plus (sometimes) the index array as parameters.
+    std::vector<int> shuffled = data_ids_;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1],
+                shuffled[static_cast<std::size_t>(rng_.range(0, static_cast<int64_t>(i) - 1))]);
+    }
+    const int take = static_cast<int>(
+        rng_.range(1, std::min<int64_t>(2, static_cast<int64_t>(shuffled.size()))));
+    km.params.assign(shuffled.begin(), shuffled.begin() + take);
+    if (!index_ids_.empty() && rng_.chance(50)) km.params.push_back(index_ids_[0]);
+    km.scalar_param = rng_.chance(50);
+
+    Scope scope;
+    scope.vars_used = &km.vars_used;
+    scope.pool = &km.params;
+    if (km.scalar_param) {
+      scope.limit_scalar = "m0";
+      scope.limit_value = n0_value_;
+    }
+    scope.accum = "s0";
+    km.body = gen_body(scope, static_cast<int>(rng_.range(1, std::max(1, o_.stmts - 1))), 0);
+    kernels_.push_back(std::move(km));
+  }
+}
+
+GeneratedProgram Generator::run() {
+  n0_value_ = rng_.range(2, 6);
+  make_arrays();
+  make_kernels();
+
+  Scope scope;
+  scope.vars_used = &entry_vars_;
+  scope.pool = &all_ids_;
+  scope.limit_scalar = "n0";
+  scope.limit_value = n0_value_;
+  scope.accum = "s0";
+  entry_body_ = gen_body(scope, static_cast<int>(rng_.range(2, std::max(2, o_.stmts))), 0);
+
+  // Call chain: every kernel is invoked 1-2 times so IPA summaries flow.
+  for (int k = 0; k < static_cast<int>(kernels_.size()); ++k) {
+    const int calls = rng_.chance(30) ? 2 : 1;
+    for (int c = 0; c < calls; ++c) {
+      GStmt call;
+      call.kind = GStmt::Call;
+      call.kernel = k;
+      entry_body_.push_back(std::move(call));
+    }
+  }
+
+  GeneratedProgram prog;
+  prog.lang = o_.lang;
+  prog.seed = o_.seed;
+  prog.entry = "fz_entry";
+  prog.filename = "fuzz_" + std::to_string(o_.seed) + (fortran() ? ".f" : ".c");
+  prog.source = render();
+  return prog;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string Generator::affine_str(int64_t c1, const std::string& v1, int64_t c2,
+                                  const std::string& v2, int64_t d) {
+  std::ostringstream os;
+  bool have = false;
+  if (!v1.empty() && c1 != 0) {
+    if (c1 == 1) {
+      os << v1;
+    } else if (c1 == -1) {
+      os << "-" << v1;
+    } else {
+      os << c1 << "*" << v1;
+    }
+    have = true;
+  }
+  if (!v2.empty() && c2 != 0) {
+    if (have) os << (c2 > 0 ? " + " : " - ");
+    const int64_t a = c2 > 0 ? c2 : -c2;
+    if (!have && c2 < 0) os << "-";
+    if (a != 1) os << a << "*";
+    os << v2;
+    have = true;
+  }
+  if (!have) {
+    os << d;
+  } else if (d > 0) {
+    os << " + " << d;
+  } else if (d < 0) {
+    os << " - " << -d;
+  }
+  return os.str();
+}
+
+std::string Generator::sub_str(const Sub& s) const {
+  const std::string inner = affine_str(s.c1, s.v1, s.c2, s.v2, s.d);
+  if (s.idx_array < 0) return inner;
+  const std::string& xname = arrays_[static_cast<std::size_t>(s.idx_array)].name;
+  return fortran() ? xname + "(" + inner + ")" : xname + "[" + inner + "]";
+}
+
+std::string Generator::aref_str(const ARef& r) const {
+  std::ostringstream os;
+  os << arrays_[static_cast<std::size_t>(r.array)].name;
+  if (fortran()) {
+    os << "(";
+    for (std::size_t i = 0; i < r.subs.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << sub_str(r.subs[i]);
+    }
+    os << ")";
+  } else {
+    for (const Sub& s : r.subs) os << "[" << sub_str(s) << "]";
+  }
+  return os.str();
+}
+
+namespace {
+std::string term_str(const Term& t, const std::function<std::string(const ARef&)>& aref) {
+  switch (t.kind) {
+    case Term::Const:
+      return t.cval < 0 ? "(" + std::to_string(t.cval) + ")" : std::to_string(t.cval);
+    case Term::Scalar:
+    case Term::LoopVar:
+      return t.name;
+    case Term::ArrayUse:
+      return aref(t.ref);
+  }
+  return "0";
+}
+}  // namespace
+
+void Generator::render_stmt(std::ostream& os, const GStmt& s, int indent,
+                            const std::vector<KernelModel>& kernels) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const bool f = fortran();
+  auto aref = [this](const ARef& r) { return aref_str(r); };
+  auto rhs_str = [&](const std::vector<std::pair<char, Term>>& rhs) {
+    std::ostringstream r;
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+      if (i != 0) r << " " << rhs[i].first << " ";
+      r << term_str(rhs[i].second, aref);
+    }
+    return r.str();
+  };
+  switch (s.kind) {
+    case GStmt::Loop: {
+      const std::string init = s.init_v.empty() ? std::to_string(s.init_c) : s.init_v;
+      const std::string limit = s.limit_v.empty() ? std::to_string(s.limit_c) : s.limit_v;
+      if (f) {
+        os << pad << "do " << s.var << " = " << init << ", " << limit;
+        if (s.step != 1) os << ", " << s.step;
+        os << "\n";
+        for (const GStmt& b : s.body) render_stmt(os, b, indent + 1, kernels);
+        os << pad << "end do\n";
+      } else {
+        os << pad << "for (" << s.var << " = " << init << "; " << s.var
+           << (s.step > 0 ? " <= " : " >= ") << limit << "; " << s.var
+           << (s.step > 0 ? " += " : " -= ") << (s.step > 0 ? s.step : -s.step) << ") {\n";
+        for (const GStmt& b : s.body) render_stmt(os, b, indent + 1, kernels);
+        os << pad << "}\n";
+      }
+      return;
+    }
+    case GStmt::If: {
+      static const char* kFRel[] = {" .lt. ", " .le. ", " .gt. ", " .eq. "};
+      static const char* kCRel[] = {" < ", " <= ", " > ", " == "};
+      const std::string rhs = s.cv2.empty() ? std::to_string(s.ccmp) : s.cv2;
+      if (f) {
+        os << pad << "if (" << s.cv1 << kFRel[s.rel] << rhs << ") then\n";
+        for (const GStmt& b : s.body) render_stmt(os, b, indent + 1, kernels);
+        if (!s.els.empty()) {
+          os << pad << "else\n";
+          for (const GStmt& b : s.els) render_stmt(os, b, indent + 1, kernels);
+        }
+        os << pad << "end if\n";
+      } else {
+        os << pad << "if (" << s.cv1 << kCRel[s.rel] << rhs << ") {\n";
+        for (const GStmt& b : s.body) render_stmt(os, b, indent + 1, kernels);
+        os << pad << "}";
+        if (!s.els.empty()) {
+          os << " else {\n";
+          for (const GStmt& b : s.els) render_stmt(os, b, indent + 1, kernels);
+          os << pad << "}";
+        }
+        os << "\n";
+      }
+      return;
+    }
+    case GStmt::StoreArray:
+      os << pad << aref_str(s.lhs) << " = " << rhs_str(s.rhs) << (f ? "\n" : ";\n");
+      return;
+    case GStmt::StoreScalar:
+      os << pad << s.sname << " = " << s.sname << " + " << rhs_str(s.rhs) << (f ? "\n" : ";\n");
+      return;
+    case GStmt::Call: {
+      const KernelModel& k = kernels[static_cast<std::size_t>(s.kernel)];
+      if (f) {
+        os << pad << "call " << k.name;
+        os << "(";
+        bool first = true;
+        for (int id : k.params) {
+          if (!first) os << ", ";
+          os << arrays_[static_cast<std::size_t>(id)].name;
+          first = false;
+        }
+        if (k.scalar_param) {
+          if (!first) os << ", ";
+          os << "n0";
+        }
+        os << ")\n";
+      } else {
+        os << pad << k.name << "(" << (k.scalar_param ? "n0" : "") << ");\n";
+      }
+      return;
+    }
+  }
+}
+
+std::string Generator::render() const {
+  std::ostringstream os;
+  const bool f = fortran();
+  const std::string cmt = f ? "!" : "/*";
+  os << cmt << " arafuzz seed " << o_.seed << " (" << (f ? "fortran" : "c") << ")"
+     << (f ? "" : " */") << "\n";
+
+  auto array_decl = [&](const ArrayModel& a) {
+    std::ostringstream d;
+    if (f) {
+      d << "  " << (a.is_index ? "integer" : "double precision") << " :: " << a.name << "(";
+      for (std::size_t i = 0; i < a.dims.size(); ++i) {
+        if (i != 0) d << ", ";
+        d << a.dims[i].lb << ":" << a.dims[i].ub();
+      }
+      d << ")\n";
+    } else {
+      d << (a.is_index ? "int " : "double ") << a.name;
+      for (const DimModel& dm : a.dims) d << "[" << dm.extent << "]";
+      d << ";\n";
+    }
+    return d.str();
+  };
+  auto var_decls = [&](const std::set<std::string>& vars, bool with_fill_var,
+                       const char* scalar_decls) {
+    std::ostringstream d;
+    std::vector<std::string> ints(vars.begin(), vars.end());
+    if (with_fill_var) ints.emplace_back("t0");
+    if (!ints.empty()) {
+      d << (f ? "  integer :: " : "  int ");
+      for (std::size_t i = 0; i < ints.size(); ++i) {
+        if (i != 0) d << ", ";
+        d << ints[i];
+      }
+      d << (f ? "\n" : ";\n");
+    }
+    d << scalar_decls;
+    return d.str();
+  };
+
+  if (!f) {
+    for (const ArrayModel& a : arrays_) os << array_decl(a);
+    os << "\n";
+  }
+
+  // Kernels first (C has no prototypes in this grammar).
+  for (const KernelModel& k : kernels_) {
+    if (f) {
+      os << "subroutine " << k.name << "(";
+      bool first = true;
+      for (int id : k.params) {
+        if (!first) os << ", ";
+        os << arrays_[static_cast<std::size_t>(id)].name;
+        first = false;
+      }
+      if (k.scalar_param) {
+        if (!first) os << ", ";
+        os << "m0";
+      }
+      os << ")\n";
+      for (int id : k.params) os << array_decl(arrays_[static_cast<std::size_t>(id)]);
+      if (k.scalar_param) os << "  integer :: m0\n";
+      os << var_decls(k.vars_used, false, "  double precision :: s0\n");
+      os << "  s0 = 0.0\n";
+      for (const GStmt& s : k.body) render_stmt(os, s, 1, kernels_);
+      os << "end subroutine " << k.name << "\n\n";
+    } else {
+      os << "void " << k.name << "(" << (k.scalar_param ? "int m0" : "void") << ") {\n";
+      os << var_decls(k.vars_used, false, "  double s0;\n");
+      os << "  s0 = 0.0;\n";
+      for (const GStmt& s : k.body) render_stmt(os, s, 1, kernels_);
+      os << "}\n\n";
+    }
+  }
+
+  // Entry procedure.
+  const bool fills = !index_ids_.empty();
+  if (f) {
+    os << "subroutine fz_entry\n";
+    for (const ArrayModel& a : arrays_) os << array_decl(a);
+    os << "  integer :: n0\n";
+    os << var_decls(entry_vars_, fills, "  double precision :: s0\n");
+    os << "  n0 = " << n0_value_ << "\n";
+    os << "  s0 = 0.0\n";
+  } else {
+    os << "void fz_entry(void) {\n";
+    os << "  int n0;\n";
+    os << var_decls(entry_vars_, fills, "  double s0;\n");
+    os << "  n0 = " << n0_value_ << ";\n";
+    os << "  s0 = 0.0;\n";
+  }
+  // Deterministic in-range fill of the index array before any use.
+  for (int id : index_ids_) {
+    const ArrayModel& x = arrays_[static_cast<std::size_t>(id)];
+    const int64_t width = x.fill.hi - x.fill.lo + 1;
+    // Values walk the fill range cyclically; (c*t + off) stays non-negative
+    // because t starts at the declared lower bound (>= 0).
+    const int64_t c = 1 + static_cast<int64_t>(o_.seed % 3);
+    const int64_t off = static_cast<int64_t>((o_.seed / 3) % static_cast<std::uint64_t>(width));
+    if (f) {
+      os << "  do t0 = " << x.dims[0].lb << ", " << x.dims[0].ub() << "\n";
+      os << "    " << x.name << "(t0) = " << x.fill.lo << " + mod(" << c << "*t0 + "
+         << (off + c * std::max<int64_t>(0, -x.dims[0].lb)) << ", " << width << ")\n";
+      os << "  end do\n";
+    } else {
+      os << "  for (t0 = 0; t0 <= " << x.dims[0].ub() << "; t0++) {\n";
+      os << "    " << x.name << "[t0] = " << x.fill.lo << " + (" << c << "*t0 + " << off
+         << ") % " << width << ";\n";
+      os << "  }\n";
+    }
+  }
+  for (const GStmt& s : entry_body_) render_stmt(os, s, 1, kernels_);
+  os << (f ? "end subroutine fz_entry\n" : "}\n");
+  return os.str();
+}
+
+}  // namespace
+
+GeneratedProgram generate(const GenOptions& opts) {
+  Generator g(opts);
+  return g.run();
+}
+
+}  // namespace ara::difftest

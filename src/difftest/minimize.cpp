@@ -1,0 +1,77 @@
+#include "difftest/minimize.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace ara::difftest {
+
+namespace {
+
+bool fails(const GenOptions& opts, DiffReport* out) {
+  DiffReport rep = run_difftest(generate(opts));
+  const bool failing = !rep.sound();
+  if (failing && out != nullptr) *out = std::move(rep);
+  return failing;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const GenOptions& failing, int budget) {
+  MinimizeResult res;
+  res.best = failing;
+  if (!fails(res.best, &res.report)) {
+    // Caller handed us a passing case; nothing to do.
+    ++res.attempts;
+    return res;
+  }
+  ++res.attempts;
+
+  bool progress = true;
+  while (progress && res.attempts < budget) {
+    progress = false;
+
+    // Size knobs, one unit at a time toward their floors.
+    const std::vector<std::pair<int GenOptions::*, int>> knobs = {
+        {&GenOptions::stmts, 1},  {&GenOptions::kernels, 0}, {&GenOptions::arrays, 1},
+        {&GenOptions::dims, 1},   {&GenOptions::extent, 3},
+    };
+    for (const auto& [member, floor] : knobs) {
+      while (res.best.*member > floor && res.attempts < budget) {
+        GenOptions trial = res.best;
+        --(trial.*member);
+        ++res.attempts;
+        if (!fails(trial, &res.report)) break;
+        res.best = trial;
+        res.reduced = true;
+        progress = true;
+      }
+    }
+
+    // Feature flags: a failure that survives with a feature off does not
+    // need that feature — turning it off simplifies the program a lot.
+    const std::vector<bool GenOptions::*> flags = {
+        &GenOptions::indirect,          &GenOptions::symbolic_limits,
+        &GenOptions::conditionals,      &GenOptions::triangular,
+        &GenOptions::negative_strides,  &GenOptions::non_unit_lower_bounds,
+    };
+    for (bool GenOptions::*flag : flags) {
+      if (!(res.best.*flag) || res.attempts >= budget) continue;
+      GenOptions trial = res.best;
+      trial.*flag = false;
+      ++res.attempts;
+      if (fails(trial, &res.report)) {
+        res.best = trial;
+        res.reduced = true;
+        progress = true;
+      }
+    }
+  }
+
+  // `report` may hold the last *trial* failure; re-pin it to `best`.
+  DiffReport final_rep;
+  if (fails(res.best, &final_rep)) res.report = std::move(final_rep);
+  ++res.attempts;
+  return res;
+}
+
+}  // namespace ara::difftest

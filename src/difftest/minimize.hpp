@@ -1,0 +1,26 @@
+// Test-case minimization by re-generation at reduced size. Rather than
+// chopping tokens out of the failing program text (which would almost always
+// break the in-bounds-by-construction invariant), the minimizer shrinks the
+// *generator options* — fewer statements, arrays, kernels, dimensions,
+// smaller extents, features disabled one by one — and keeps each reduction
+// only while the same seed still fails. The result is the smallest knob set
+// (and thus usually a far smaller program) reproducing the failure.
+#pragma once
+
+#include "difftest/generator.hpp"
+#include "difftest/oracle.hpp"
+
+namespace ara::difftest {
+
+struct MinimizeResult {
+  GenOptions best;      // smallest options still failing (== input if none)
+  DiffReport report;    // the failure at `best`
+  bool reduced = false; // some knob was shrunk or some feature disabled
+  int attempts = 0;     // difftest executions spent
+};
+
+/// Greedily shrinks `failing` (which must produce an unsound/failing run)
+/// within `budget` difftest executions.
+[[nodiscard]] MinimizeResult minimize(const GenOptions& failing, int budget = 64);
+
+}  // namespace ara::difftest

@@ -1,0 +1,213 @@
+#include "difftest/oracle.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "driver/compiler.hpp"
+#include "ir/symtab.hpp"
+#include "regions/methods.hpp"
+
+namespace ara::difftest {
+
+namespace {
+
+using regions::AccessMode;
+using regions::Point;
+using regions::Region;
+
+/// MAY-semantics containment of one point in one dimension triplet. A
+/// non-constant bound (IVar that did not fold, Messy, Unprojected, symbolic)
+/// means the analysis claimed a data-dependent range; for the soundness
+/// check that claim covers the whole dimension.
+bool dim_covers(const regions::DimAccess& d, std::int64_t x) {
+  const auto lb = d.lb.const_value();
+  const auto ub = d.ub.const_value();
+  if (!lb || !ub) return true;
+  const std::int64_t lo = std::min(*lb, *ub);
+  const std::int64_t hi = std::max(*lb, *ub);
+  if (x < lo || x > hi) return false;
+  const std::int64_t s = d.stride < 0 ? -d.stride : d.stride;
+  if (s <= 1) return true;
+  // The lattice is anchored at LB regardless of direction.
+  const std::int64_t rem = (x - *lb) % s;
+  return rem == 0;
+}
+
+bool region_covers(const Region& r, const Point& p) {
+  if (r.rank() != p.size()) return true;  // whole-array / collapsed record
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!dim_covers(r.dim(i), p[i])) return false;
+  }
+  return true;
+}
+
+/// Enumerates a constant region's element set into `out`; false when the
+/// region is not all-constant or exceeds `cap` elements.
+bool enumerate_region(const Region& r, std::size_t rank, std::set<Point>* out, std::size_t cap) {
+  if (r.rank() != rank || !r.all_const()) return false;
+  const auto total = r.element_count();
+  if (!total || static_cast<std::size_t>(*total) > cap) return false;
+  Point p(rank, 0);
+  // Odometer over the per-dimension lattices. A triplet whose bounds run
+  // against its stride direction (e.g. [5:2:1] from a zero-trip loop) is
+  // empty, so the whole region contributes nothing.
+  std::vector<std::vector<std::int64_t>> lattices(rank);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const regions::DimAccess& d = r.dim(i);
+    const std::int64_t lb = *d.lb.const_value();
+    const std::int64_t ub = *d.ub.const_value();
+    const std::int64_t step = d.stride == 0 ? 1 : d.stride;
+    if (step > 0 ? lb > ub : lb < ub) return true;  // empty triplet
+    for (std::int64_t v = lb;; v += step) {
+      lattices[i].push_back(v);
+      if (step > 0 ? v + step > ub : v + step < ub) break;
+    }
+  }
+  std::vector<std::size_t> idx(rank, 0);
+  while (true) {
+    for (std::size_t i = 0; i < rank; ++i) p[i] = lattices[i][idx[i]];
+    out->insert(p);
+    if (out->size() > cap) return false;
+    std::size_t i = rank;
+    while (i > 0) {
+      --i;
+      if (++idx[i] < lattices[i].size()) break;
+      idx[i] = 0;
+      if (i == 0) return true;
+    }
+    if (rank == 0) return true;
+  }
+}
+
+std::string point_str(const Point& p) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << p[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+DiffReport compare(const ir::Program& program, const ipa::AnalysisResult& result,
+                   const interp::DynamicSummary& dyn) {
+  DiffReport rep;
+  rep.ran = true;
+  constexpr std::size_t kEnumCap = 200'000;
+
+  for (const auto& [key, entry] : dyn.entries()) {
+    const auto [array_st, mode] = key;
+    if (mode != AccessMode::Use && mode != AccessMode::Def) continue;
+    const auto& points = entry.exact.points(mode);
+    if (points.empty()) continue;
+    ++rep.entries_checked;
+    const std::string& name = program.symtab.st(array_st).name;
+    const std::string mode_name(regions::to_string(mode));
+
+    // Static records for the same syntactic base symbol and mode. Interproc
+    // IDEF/IUSE rows duplicate callee effects at call sites; the local
+    // records alone must already cover every executed access, so the
+    // containment and refcount checks use only those.
+    std::vector<const Region*> static_regions;
+    std::uint64_t static_refs = 0;
+    for (const ipa::AccessRecord& rec : result.records) {
+      if (rec.array != array_st || rec.mode != mode || rec.interproc) continue;
+      static_regions.push_back(&rec.region);
+      static_refs += rec.refs;
+    }
+
+    if (static_regions.empty()) {
+      Violation v;
+      v.kind = "containment";
+      v.array = name;
+      v.mode = mode_name;
+      v.detail = "no static " + mode_name + " record at all, but " +
+                 std::to_string(points.size()) + " elements were touched, e.g. " +
+                 point_str(*points.begin());
+      rep.violations.push_back(std::move(v));
+      continue;
+    }
+
+    // Containment: every observed element inside some static region.
+    for (const Point& p : points) {
+      ++rep.points_checked;
+      const bool covered = std::any_of(static_regions.begin(), static_regions.end(),
+                                       [&](const Region* r) { return region_covers(*r, p); });
+      if (!covered) {
+        Violation v;
+        v.kind = "containment";
+        v.array = name;
+        v.mode = mode_name;
+        std::ostringstream os;
+        os << "element " << point_str(p) << " touched at runtime but outside all "
+           << static_regions.size() << " static region(s):";
+        for (const Region* r : static_regions) os << " " << r->str();
+        v.detail = os.str();
+        rep.violations.push_back(std::move(v));
+        break;  // one example per entry keeps reports readable
+      }
+    }
+
+    // Refcount: each distinct executed source-line site must have been
+    // summarized as at least one static reference.
+    if (static_refs < entry.distinct_sites()) {
+      Violation v;
+      v.kind = "refcount";
+      v.array = name;
+      v.mode = mode_name;
+      v.detail = "static References = " + std::to_string(static_refs) + " but " +
+                 std::to_string(entry.distinct_sites()) +
+                 " distinct source lines touched the array at runtime";
+      rep.violations.push_back(std::move(v));
+    }
+
+    // Tightness on the affine subset: when every static region is constant,
+    // enumerate the static covered set and compare against the observed set.
+    const std::size_t rank = points.begin()->size();
+    std::set<Point> covered;
+    bool affine = true;
+    for (const Region* r : static_regions) {
+      if (!enumerate_region(*r, rank, &covered, kEnumCap)) {
+        affine = false;
+        break;
+      }
+    }
+    if (affine && !covered.empty()) {
+      ++rep.entries_affine;
+      const double ratio =
+          static_cast<double>(covered.size()) / static_cast<double>(points.size());
+      rep.max_over_approx = std::max(rep.max_over_approx, ratio);
+      rep.sum_over_approx += ratio;
+      if (covered == points) ++rep.entries_exact;
+    }
+  }
+  return rep;
+}
+
+DiffReport run_difftest(const GeneratedProgram& prog, const interp::InterpOptions& iopts) {
+  DiffReport rep;
+  driver::Compiler cc;
+  cc.add_source(prog.filename, prog.source, prog.lang);
+  if (!cc.compile()) {
+    rep.error = cc.diagnostics().render();
+    rep.violations.push_back({"compile", "", "", rep.error});
+    return rep;
+  }
+  const ipa::AnalysisResult result = cc.analyze();
+
+  interp::Interpreter interp(cc.program(), iopts);
+  interp::DynamicSummary dyn;
+  const interp::InterpResult r = interp.run(prog.entry, &dyn);
+  if (!r.ok) {
+    rep.error = r.error;
+    rep.violations.push_back({"runtime", "", "", rep.error});
+    return rep;
+  }
+  return compare(cc.program(), result, dyn);
+}
+
+}  // namespace ara::difftest

@@ -19,11 +19,12 @@ using regions::AccessMode;
 // ---------------------------------------------------------------------------
 
 void DynamicSummary::record(StIdx array, AccessMode mode, const regions::Point& src_indices,
-                            int thread) {
+                            int thread, std::uint32_t line) {
   DynEntry& e = entries_[{array, mode}];
   ++e.refs;
   e.touched.record(mode, src_indices);
   e.exact.record(mode, src_indices);
+  if (line != 0) e.sites.insert(line);
   e.per_thread[thread].record(mode, src_indices);
   ++e.refs_per_thread[thread];
 }
@@ -166,6 +167,7 @@ struct Interpreter::Impl {
     Ref ref;
     StIdx base = ir::kInvalidSt;
     regions::Point src_indices;
+    std::uint32_t line = 0;  // the ARRAY node's source line (site identity)
     bool ok = false;
   };
 
@@ -173,6 +175,7 @@ struct Interpreter::Impl {
     ElementAddr out;
     const WN* base = arr.array_base();
     out.base = base->st_idx();
+    out.line = arr.linenum().line;
     const Ref base_ref = resolve(out.base);
     const ir::Ty& ty = program.symtab.ty(program.symtab.st(out.base).ty);
     const std::size_t n = arr.num_dim();
@@ -212,7 +215,7 @@ struct Interpreter::Impl {
 
   void note_access(const ElementAddr& addr, AccessMode mode) {
     if (summary != nullptr && addr.ok) {
-      summary->record(addr.base, mode, addr.src_indices, current_thread);
+      summary->record(addr.base, mode, addr.src_indices, current_thread, addr.line);
     }
   }
 

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,14 +41,20 @@ struct DynEntry {
   std::uint64_t refs = 0;                       // element touches
   regions::RegularSection touched;              // widened over all touches
   regions::ReferenceList exact;                 // exact touched-element set
+  std::set<std::uint32_t> sites;                // source lines that touched it
   std::map<int, regions::RegularSection> per_thread;
   std::map<int, std::uint64_t> refs_per_thread;
+
+  /// Distinct syntactic access sites observed at runtime. The differential
+  /// harness checks static References >= this (every executed reference has
+  /// a syntactic site the static analysis must have summarized).
+  [[nodiscard]] std::uint64_t distinct_sites() const { return sites.size(); }
 };
 
 class DynamicSummary {
  public:
   void record(ir::StIdx array, regions::AccessMode mode, const regions::Point& src_indices,
-              int thread);
+              int thread, std::uint32_t line = 0);
 
   [[nodiscard]] const std::map<std::pair<ir::StIdx, regions::AccessMode>, DynEntry>& entries()
       const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <set>
 
 #include "ipa/wn_affine.hpp"
 #include "support/string_utils.hpp"
@@ -167,12 +168,18 @@ regions::DimAccess LocalAnalyzer::project_subscript(LinExpr subscript,
   // so walk innermost-out accumulating reachable variables.
   std::size_t nvars = 0;
   {
-    LinExpr reach = subscript;
+    // Explicit dependence set rather than substitution into one running
+    // expression: summing a loop's bounds into the subscript can cancel an
+    // outer variable's direct coefficient (e.g. i - j with j = i..N folds to
+    // a constant), hiding a genuinely two-variable subscript from the count.
+    std::set<std::string, std::less<>> dep;
+    for (const auto& [name, c] : subscript.terms()) dep.insert(name);
     for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
-      if (reach.coef(it->var) == 0) continue;
+      if (dep.find(it->var) == dep.end()) continue;
       ++nvars;
       if (!it->affine()) return DimAccess{Bound::messy(), Bound::messy(), 1};
-      reach = reach.substituted(it->var, *it->init + *it->limit);
+      for (const auto& [name, c] : it->init->terms()) dep.insert(name);
+      for (const auto& [name, c] : it->limit->terms()) dep.insert(name);
     }
   }
 

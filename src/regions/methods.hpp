@@ -60,6 +60,9 @@ class ReferenceList {
     return list(mode).count(p) != 0;
   }
   [[nodiscard]] std::size_t element_count(AccessMode mode) const { return list(mode).size(); }
+  /// The exact touched-element set for one mode (the differential harness
+  /// iterates this to check static-region containment point by point).
+  [[nodiscard]] const std::set<Point>& points(AccessMode mode) const { return list(mode); }
   [[nodiscard]] std::size_t bytes_used() const;
 
  private:

@@ -1,0 +1,127 @@
+// Generator properties the fuzzing harness depends on: byte-exact
+// determinism (seed replay, CI smoke), validity of every emitted program in
+// both languages, and coverage of the feature grid across a seed range.
+#include <gtest/gtest.h>
+
+#include "difftest/generator.hpp"
+#include "driver/compiler.hpp"
+
+namespace ara::difftest {
+namespace {
+
+TEST(Generator, SameSeedSameBytes) {
+  for (Language lang : {Language::C, Language::Fortran}) {
+    GenOptions o;
+    o.seed = 12345;
+    o.lang = lang;
+    const GeneratedProgram a = generate(o);
+    const GeneratedProgram b = generate(o);
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.filename, b.filename);
+  }
+}
+
+TEST(Generator, DifferentSeedsDifferentPrograms) {
+  GenOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(generate(a).source, generate(b).source);
+}
+
+TEST(Generator, SplitmixSequenceIsPinned) {
+  // The whole harness inherits its determinism from this sequence; a change
+  // here silently invalidates every recorded failing seed.
+  Rng rng(42);
+  EXPECT_EQ(rng.next(), 13679457532755275413ULL);
+  EXPECT_EQ(rng.next(), 2949826092126892291ULL);
+  Rng pct(7);
+  const std::int64_t v = pct.range(-3, 9);
+  EXPECT_GE(v, -3);
+  EXPECT_LE(v, 9);
+}
+
+TEST(Generator, EveryProgramCompiles) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (Language lang : {Language::C, Language::Fortran}) {
+      GenOptions o;
+      o.seed = seed;
+      o.lang = lang;
+      const GeneratedProgram prog = generate(o);
+      driver::Compiler cc;
+      cc.add_source(prog.filename, prog.source, prog.lang);
+      EXPECT_TRUE(cc.compile()) << "seed " << seed << " " << to_string(lang) << "\n"
+                                << cc.diagnostics().render() << "\n"
+                                << prog.source;
+    }
+  }
+}
+
+TEST(Generator, FeatureGridIsExercised) {
+  // Across a modest seed range both languages must hit the grid's corners.
+  bool saw_negative_stride = false, saw_descending_c = false, saw_nonunit_lb = false,
+       saw_triangular = false, saw_indirect = false, saw_call = false, saw_if = false;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    GenOptions f;
+    f.seed = seed;
+    f.lang = Language::Fortran;
+    const std::string fsrc = generate(f).source;
+    if (fsrc.find(", -") != std::string::npos) saw_negative_stride = true;
+    if (fsrc.find(":") != std::string::npos &&
+        (fsrc.find("(-") != std::string::npos || fsrc.find("(0:") != std::string::npos ||
+         fsrc.find("(2:") != std::string::npos || fsrc.find("(3:") != std::string::npos)) {
+      saw_nonunit_lb = true;
+    }
+    if (fsrc.find("do i1 = i0") != std::string::npos ||
+        fsrc.find("do i2 = i1") != std::string::npos) {
+      saw_triangular = true;
+    }
+    if (fsrc.find("x0(") != std::string::npos) saw_indirect = true;
+    if (fsrc.find("call fz_k") != std::string::npos) saw_call = true;
+    if (fsrc.find("if (") != std::string::npos) saw_if = true;
+
+    GenOptions c;
+    c.seed = seed;
+    c.lang = Language::C;
+    if (generate(c).source.find(" -= ") != std::string::npos) saw_descending_c = true;
+  }
+  EXPECT_TRUE(saw_negative_stride);
+  EXPECT_TRUE(saw_descending_c);
+  EXPECT_TRUE(saw_nonunit_lb);
+  EXPECT_TRUE(saw_triangular);
+  EXPECT_TRUE(saw_indirect);
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_if);
+}
+
+TEST(Generator, FeatureTogglesPruneTheGrammar) {
+  GenOptions o;
+  o.seed = 9;
+  o.lang = Language::Fortran;
+  o.indirect = false;
+  o.conditionals = false;
+  o.kernels = 0;
+  const std::string src = generate(o).source;
+  EXPECT_EQ(src.find("x0("), std::string::npos);
+  EXPECT_EQ(src.find("if ("), std::string::npos);
+  EXPECT_EQ(src.find("call "), std::string::npos);
+}
+
+TEST(Generator, EntryHasNoFormals) {
+  // The interpreter can only run a no-formal procedure; the generator must
+  // always produce `fz_entry` that way.
+  for (Language lang : {Language::C, Language::Fortran}) {
+    GenOptions o;
+    o.seed = 77;
+    o.lang = lang;
+    const GeneratedProgram prog = generate(o);
+    EXPECT_EQ(prog.entry, "fz_entry");
+    if (lang == Language::Fortran) {
+      EXPECT_NE(prog.source.find("subroutine fz_entry\n"), std::string::npos);
+    } else {
+      EXPECT_NE(prog.source.find("void fz_entry(void)"), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ara::difftest

@@ -1,0 +1,175 @@
+// Oracle/comparator tests: known kernels must pass the soundness check with
+// exact affine coverage, and a deliberately falsified static result must be
+// flagged — proving the comparator can actually detect unsound analyses
+// (a differential harness that never fires is worthless).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "difftest/minimize.hpp"
+#include "difftest/oracle.hpp"
+#include "driver/compiler.hpp"
+
+namespace ara::difftest {
+namespace {
+
+GeneratedProgram hand_program(std::string name, std::string source, Language lang,
+                              std::string entry) {
+  GeneratedProgram p;
+  p.filename = std::move(name);
+  p.source = std::move(source);
+  p.lang = lang;
+  p.entry = std::move(entry);
+  return p;
+}
+
+const char* const kSweepC =
+    "double a[10];\n"
+    "void entry(void) {\n"
+    "  int i;\n"
+    "  for (i = 0; i <= 9; i += 1) {\n"
+    "    a[i] = i;\n"
+    "  }\n"
+    "  for (i = 0; i <= 9; i += 2) {\n"
+    "    a[i] = a[i] + 1.0;\n"
+    "  }\n"
+    "}\n";
+
+TEST(Oracle, KnownKernelIsSoundAndExact) {
+  const DiffReport rep = run_difftest(hand_program("sweep.c", kSweepC, Language::C, "entry"));
+  ASSERT_TRUE(rep.ran) << rep.error;
+  EXPECT_TRUE(rep.sound());
+  EXPECT_EQ(rep.entries_checked, 2u);  // a USE + a DEF
+  EXPECT_EQ(rep.points_checked, 15u);  // 10 defs + 5 uses
+  // Both entries are affine and the analysis is element-exact here.
+  EXPECT_EQ(rep.entries_affine, 2u);
+  EXPECT_EQ(rep.entries_exact, 2u);
+  EXPECT_DOUBLE_EQ(rep.max_over_approx, 1.0);
+}
+
+TEST(Oracle, FortranCallChainWithNegativeStrideIsSound) {
+  const char* const src =
+      "subroutine k(v)\n"
+      "  double precision :: v(-2:7)\n"
+      "  integer :: i\n"
+      "  do i = 7, -1, -2\n"
+      "    v(i) = v(i) + 1.0\n"
+      "  end do\n"
+      "end subroutine k\n"
+      "subroutine entry\n"
+      "  double precision :: v(-2:7)\n"
+      "  integer :: i\n"
+      "  do i = -2, 7\n"
+      "    v(i) = 0.0\n"
+      "  end do\n"
+      "  call k(v)\n"
+      "end subroutine entry\n";
+  const DiffReport rep = run_difftest(hand_program("chain.f", src, Language::Fortran, "entry"));
+  ASSERT_TRUE(rep.ran) << rep.error;
+  EXPECT_TRUE(rep.sound()) << (rep.violations.empty() ? "" : rep.violations[0].detail);
+  EXPECT_GE(rep.points_checked, 15u);  // 10 entry defs + callee's 5 defs/uses
+}
+
+TEST(Oracle, CompileFailureIsReported) {
+  const DiffReport rep =
+      run_difftest(hand_program("bad.c", "void entry(void) { ???; }\n", Language::C, "entry"));
+  EXPECT_FALSE(rep.ran);
+  EXPECT_FALSE(rep.sound());
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].kind, "compile");
+}
+
+/// Shared fixture for the fabricated-violation tests: compile + analyze +
+/// interpret the sweep kernel once, then let each test tamper with a copy
+/// of the static result.
+class Fabricated : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cc_.add_source("sweep.c", kSweepC, Language::C);
+    ASSERT_TRUE(cc_.compile()) << cc_.diagnostics().render();
+    result_ = cc_.analyze();
+    interp::Interpreter interp(cc_.program());
+    const auto r = interp.run("entry", &dyn_);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(compare(cc_.program(), result_, dyn_).sound());
+  }
+
+  driver::Compiler cc_;
+  ipa::AnalysisResult result_;
+  interp::DynamicSummary dyn_;
+};
+
+TEST_F(Fabricated, MissingRecordIsAContainmentViolation) {
+  ipa::AnalysisResult doctored = std::move(result_);
+  std::erase_if(doctored.records, [](const ipa::AccessRecord& r) {
+    return r.mode == regions::AccessMode::Def;
+  });
+  const DiffReport rep = compare(cc_.program(), doctored, dyn_);
+  ASSERT_FALSE(rep.sound());
+  EXPECT_EQ(rep.violations[0].kind, "containment");
+  EXPECT_EQ(rep.violations[0].array, "a");
+  EXPECT_EQ(rep.violations[0].mode, "DEF");
+}
+
+TEST_F(Fabricated, ShrunkRegionIsAContainmentViolation) {
+  ipa::AnalysisResult doctored = std::move(result_);
+  for (ipa::AccessRecord& r : doctored.records) {
+    if (r.mode == regions::AccessMode::Def && r.region.rank() == 1) {
+      r.region = regions::Region{{regions::DimAccess::range(0, 4)}};  // drops 5..9
+    }
+  }
+  const DiffReport rep = compare(cc_.program(), doctored, dyn_);
+  ASSERT_FALSE(rep.sound());
+  EXPECT_EQ(rep.violations[0].kind, "containment");
+  EXPECT_NE(rep.violations[0].detail.find("outside"), std::string::npos);
+}
+
+TEST_F(Fabricated, UndercountedReferencesIsARefcountViolation) {
+  // Keep coverage intact (widen one surviving record to the full array) but
+  // drop the second DEF record: 1 static reference < 2 observed sites.
+  ipa::AnalysisResult doctored = std::move(result_);
+  bool first = true;
+  std::erase_if(doctored.records, [&](const ipa::AccessRecord& r) {
+    if (r.mode != regions::AccessMode::Def) return false;
+    if (first) {
+      first = false;
+      return false;
+    }
+    return true;
+  });
+  for (ipa::AccessRecord& r : doctored.records) {
+    if (r.mode == regions::AccessMode::Def) {
+      r.region = regions::Region{{regions::DimAccess::range(0, 9)}};
+    }
+  }
+  const DiffReport rep = compare(cc_.program(), doctored, dyn_);
+  ASSERT_FALSE(rep.sound());
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].kind, "refcount");
+}
+
+TEST(Oracle, GeneratedSeedsAreSound) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (Language lang : {Language::C, Language::Fortran}) {
+      GenOptions o;
+      o.seed = seed;
+      o.lang = lang;
+      const GeneratedProgram prog = generate(o);
+      const DiffReport rep = run_difftest(prog);
+      EXPECT_TRUE(rep.sound()) << "seed " << seed << " " << to_string(lang) << ": "
+                               << (rep.violations.empty() ? rep.error
+                                                          : rep.violations[0].detail);
+    }
+  }
+}
+
+TEST(Minimize, PassingCaseIsIrreducible) {
+  GenOptions o;
+  o.seed = 1;  // known sound
+  const MinimizeResult m = minimize(o, /*budget=*/4);
+  EXPECT_FALSE(m.reduced);
+  EXPECT_EQ(m.best.seed, o.seed);
+}
+
+}  // namespace
+}  // namespace ara::difftest

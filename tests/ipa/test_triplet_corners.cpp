@@ -1,0 +1,160 @@
+// Regression tests for triplet corner cases through the front end + IPL:
+// negative-stride loops, non-unit lower-bound declarations, and the
+// coupled-variable projection bug the differential fuzzer surfaced (an
+// inner loop bound naming an outer induction variable cancelled the outer
+// variable's direct coefficient, collapsing the projected region).
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "ipa/local.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::ipa {
+namespace {
+
+using regions::AccessMode;
+
+struct Analyzed {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+  CallGraph cg;
+  std::vector<LocalSummary> summaries;
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string& text, Language lang = Language::Fortran) {
+  auto out = std::make_unique<Analyzed>();
+  out->program.sources.add(lang == Language::C ? "t.c" : "t.f", text, lang);
+  EXPECT_TRUE(fe::compile_program(out->program, out->diags)) << out->diags.render();
+  out->cg = CallGraph::build(out->program);
+  LocalAnalyzer local(out->program);
+  for (std::uint32_t i = 0; i < out->cg.size(); ++i) {
+    out->summaries.push_back(local.analyze(out->cg.node(i)));
+  }
+  return out;
+}
+
+std::vector<const AccessRecord*> records_of(const Analyzed& a, std::size_t proc,
+                                            const std::string& name, AccessMode mode) {
+  std::vector<const AccessRecord*> out;
+  for (const AccessRecord& rec : a.summaries.at(proc).records) {
+    if (rec.mode == mode && iequals(a.program.symtab.st(rec.array).name, name)) {
+      out.push_back(&rec);
+    }
+  }
+  return out;
+}
+
+TEST(TripletCorners, NegativeNonUnitStrideTriplet) {
+  // do i = 10, 1, -2 on a(i): the region must be exactly [10:2:-2] — the
+  // last executed trip is i = 2, and both direction and magnitude survive.
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: a(10)\n"
+      "  integer :: i\n"
+      "  do i = 10, 1, -2\n"
+      "    a(i) = 0.0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "a", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(10:2:-2)");
+}
+
+TEST(TripletCorners, NonUnitLowerBoundDeclaration) {
+  // a(-2:6) walked fully: declared bounds propagate into the triplet, and
+  // the subscript is *not* rebased to 1.
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: a(-2:6)\n"
+      "  integer :: i\n"
+      "  do i = -2, 6\n"
+      "    a(i) = 1.0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "a", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(-2:6:1)");
+}
+
+TEST(TripletCorners, NegativeStrideOverNegativeLowerBound) {
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: a(-5:5)\n"
+      "  integer :: i\n"
+      "  do i = 5, -5, -5\n"
+      "    a(i) = 2.0\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "a", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(5:-5:-5)");
+}
+
+TEST(TripletCorners, DescendingCLoop) {
+  // for (i = 8; i >= 0; i -= 2) — the C front end's descending loops carry
+  // negative strides exactly like Fortran's.
+  auto a = analyze(
+      "double a[9];\n"
+      "void s(void) {\n"
+      "  int i;\n"
+      "  for (i = 8; i >= 0; i -= 2) {\n"
+      "    a[i] = 0.0;\n"
+      "  }\n"
+      "}\n",
+      Language::C);
+  const auto defs = records_of(*a, 0, "a", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0]->region.str(), "(8:0:-2)");
+}
+
+TEST(TripletCorners, CoupledVariableDifferenceSpansFullRange) {
+  // Fuzzer regression (seed 4, C): a(i - j + 3) with j = i, 2. Substituting
+  // j's bound (which names i) into the subscript cancelled i's coefficient,
+  // so the projection believed one variable was involved and collapsed the
+  // region to the single point {3}. With i in [0,2] and j in [i,2] the
+  // reachable elements are min = 0 - 2 + 3 = 1 (i=0, j=2) up to
+  // max = i - i + 3 = 3 (j=i), so the bounds must cover [1, 3].
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: a(10)\n"
+      "  integer :: i, j\n"
+      "  do i = 0, 2\n"
+      "    do j = i, 2\n"
+      "      a(i - j + 3) = 0.0\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "a", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  const auto& dim = defs[0]->region.dim(0);
+  ASSERT_TRUE(dim.lb.is_const());
+  ASSERT_TRUE(dim.ub.is_const());
+  // Sound bounds: every reachable element (1, 2, 3) inside [lb, ub].
+  EXPECT_LE(*dim.lb.const_value(), 1);
+  EXPECT_GE(*dim.ub.const_value(), 3);
+}
+
+TEST(TripletCorners, TriangularDescendingInner) {
+  // Inner loop descending from an outer variable: do j = i, 1, -1 on a(j).
+  // The projection must cover every (i, j) pair's element — at least [1, 4].
+  auto a = analyze(
+      "subroutine s\n"
+      "  double precision :: a(10)\n"
+      "  integer :: i, j\n"
+      "  do i = 1, 4\n"
+      "    do j = i, 1, -1\n"
+      "      a(j) = 0.0\n"
+      "    end do\n"
+      "  end do\n"
+      "end subroutine s\n");
+  const auto defs = records_of(*a, 0, "a", AccessMode::Def);
+  ASSERT_EQ(defs.size(), 1u);
+  const auto& dim = defs[0]->region.dim(0);
+  ASSERT_TRUE(dim.lb.is_const());
+  ASSERT_TRUE(dim.ub.is_const());
+  EXPECT_LE(*dim.lb.const_value(), 1);
+  EXPECT_GE(*dim.ub.const_value(), 4);
+}
+
+}  // namespace
+}  // namespace ara::ipa

@@ -1,0 +1,81 @@
+// Regression tests for triplet corner cases at the region layer: negative
+// strides and non-unit (including negative) lower bounds — exactly the
+// information the paper says the earlier Dragon lost ("array accesses in
+// loops were normalized... negative bounds and strides", §II).
+#include <gtest/gtest.h>
+
+#include "regions/region.hpp"
+
+namespace ara::regions {
+namespace {
+
+TEST(TripletCorners, NegativeStrideMembership) {
+  // do i = 10, 2, -2 on a(i): region [10:2:-2] holds {10, 8, 6, 4, 2}.
+  const Region r{{DimAccess::range(10, 2, -2)}};
+  for (std::int64_t x : {10, 8, 6, 4, 2}) {
+    EXPECT_TRUE(r.contains_point({x})) << x;
+  }
+  for (std::int64_t x : {9, 7, 3, 0, 12, 1}) {
+    EXPECT_FALSE(r.contains_point({x})) << x;
+  }
+  EXPECT_EQ(r.element_count().value_or(-1), 5);
+  EXPECT_EQ(r.str(), "(10:2:-2)");
+}
+
+TEST(TripletCorners, NegativeLowerBoundMembership) {
+  // Fortran a(-3:3) accessed wholesale: bounds below zero are first-class.
+  const Region r{{DimAccess::range(-3, 3, 1)}};
+  EXPECT_TRUE(r.contains_point({-3}));
+  EXPECT_TRUE(r.contains_point({0}));
+  EXPECT_TRUE(r.contains_point({3}));
+  EXPECT_FALSE(r.contains_point({-4}));
+  EXPECT_EQ(r.element_count().value_or(-1), 7);
+}
+
+TEST(TripletCorners, NegativeLowerBoundWithStride) {
+  // [-5:3:2] holds {-5, -3, -1, 1, 3}: the stride lattice is anchored at
+  // the (negative) lower bound, not at zero.
+  const Region r{{DimAccess::range(-5, 3, 2)}};
+  for (std::int64_t x : {-5, -3, -1, 1, 3}) {
+    EXPECT_TRUE(r.contains_point({x})) << x;
+  }
+  for (std::int64_t x : {-4, -2, 0, 2, 4}) {
+    EXPECT_FALSE(r.contains_point({x})) << x;
+  }
+}
+
+TEST(TripletCorners, HullOfOpposedStrides) {
+  // Hull of an ascending and a descending section must cover both element
+  // sets; strides combine conservatively (gcd), never drop elements.
+  const Region up{{DimAccess::range(1, 9, 2)}};    // {1,3,5,7,9}
+  const Region down{{DimAccess::range(8, 2, -2)}}; // {8,6,4,2}
+  const auto h = Region::hull(up, down);
+  ASSERT_TRUE(h.has_value());
+  for (std::int64_t x = 1; x <= 9; ++x) {
+    EXPECT_TRUE(h->contains_point({x})) << x;
+  }
+}
+
+TEST(TripletCorners, DisjointNegativeStrideSections) {
+  // Interval-disjoint sections stay provably disjoint regardless of stride
+  // direction.
+  const Region a{{DimAccess::range(10, 6, -2)}};
+  const Region b{{DimAccess::range(1, 5, 1)}};
+  EXPECT_TRUE(Region::certainly_disjoint(a, b));
+  const Region c{{DimAccess::range(5, 1, -2)}};  // {5,3,1} overlaps b
+  EXPECT_FALSE(Region::certainly_disjoint(b, c));
+}
+
+TEST(TripletCorners, MixedDimensionDirections) {
+  // 2-D region with one descending and one negative-lower-bound dimension.
+  const Region r{{DimAccess::range(6, 0, -3), DimAccess::range(-2, 2, 2)}};
+  EXPECT_TRUE(r.contains_point({6, -2}));
+  EXPECT_TRUE(r.contains_point({3, 0}));
+  EXPECT_TRUE(r.contains_point({0, 2}));
+  EXPECT_FALSE(r.contains_point({5, 0}));   // off dim-0 lattice
+  EXPECT_FALSE(r.contains_point({3, -1}));  // off dim-1 lattice
+  EXPECT_EQ(r.element_count().value_or(-1), 9);
+}
+
+}  // namespace
+}  // namespace ara::regions

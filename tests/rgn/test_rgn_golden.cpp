@@ -1,0 +1,115 @@
+// Golden-file tests for the `.rgn` CSV emitter: the exact header, a
+// byte-for-byte serialized row, RFC 4180 quoting/escaping, the truncated
+// (never rounded) integer access-density percentage, and the stable column
+// order downstream Dragon parsers key on. Any byte change here is a format
+// break and must be deliberate.
+#include <gtest/gtest.h>
+
+#include "rgn/region_row.hpp"
+
+namespace ara::rgn {
+namespace {
+
+RegionRow sample_row() {
+  RegionRow r;
+  r.scope = "verify";
+  r.array = "xcr";
+  r.file = "verify.o";
+  r.mode = "USE";
+  r.references = 4;
+  r.dims = 1;
+  r.lb = "1";
+  r.ub = "5";
+  r.stride = "1";
+  r.element_size = 8;
+  r.data_type = "double";
+  r.dim_size = "5";
+  r.tot_size = 5;
+  r.size_bytes = 40;
+  r.mem_loc = "b79edfa0";
+  r.acc_density = 10;
+  r.line = 38;
+  return r;
+}
+
+TEST(RgnGolden, HeaderIsByteExact) {
+  // The 19 columns of Fig 9 plus Image/Line/Version, in this exact order.
+  const std::string text = write_rgn({});
+  EXPECT_EQ(text,
+            "Scope,Array,File,Mode,References,Dims,LB,UB,Stride,Element_size,"
+            "Data_type,Dim_size,Tot_size,Size_bytes,Mem_Loc,Acc_density,Image,"
+            "Line,Version\n");
+}
+
+TEST(RgnGolden, RowIsByteExact) {
+  const std::string text = write_rgn({sample_row()});
+  const std::size_t nl = text.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  EXPECT_EQ(text.substr(nl + 1),
+            "verify,xcr,verify.o,USE,4,1,1,5,1,8,double,5,5,40,b79edfa0,10,,38,2\n");
+}
+
+TEST(RgnGolden, MultiDimRowPacksWithPipes) {
+  RegionRow r = sample_row();
+  r.dims = 2;
+  r.lb = "1|-2";
+  r.ub = "100|6";
+  r.stride = "1|-2";       // negative strides survive verbatim (§II regression)
+  r.dim_size = "130|130";
+  const std::string text = write_rgn({r});
+  EXPECT_NE(text.find(",2,1|-2,100|6,1|-2,"), std::string::npos);
+}
+
+TEST(RgnGolden, CommaFieldIsQuoted) {
+  RegionRow r = sample_row();
+  r.ub = "m, n";  // symbolic bound rendering may contain a comma
+  const std::string text = write_rgn({r});
+  EXPECT_NE(text.find(",\"m, n\","), std::string::npos);
+  std::vector<RegionRow> parsed;
+  ASSERT_TRUE(parse_rgn(text, parsed, nullptr));
+  EXPECT_EQ(parsed.at(0).ub, "m, n");
+}
+
+TEST(RgnGolden, EmbeddedQuoteIsDoubled) {
+  RegionRow r = sample_row();
+  r.array = "a\"b";
+  const std::string text = write_rgn({r});
+  EXPECT_NE(text.find("\"a\"\"b\""), std::string::npos);
+  std::vector<RegionRow> parsed;
+  ASSERT_TRUE(parse_rgn(text, parsed, nullptr));
+  EXPECT_EQ(parsed.at(0).array, "a\"b");
+}
+
+TEST(RgnGolden, EmbeddedNewlineRoundTrips) {
+  RegionRow r = sample_row();
+  r.image = "me +\n1";
+  std::vector<RegionRow> parsed;
+  ASSERT_TRUE(parse_rgn(write_rgn({r}), parsed, nullptr));
+  EXPECT_EQ(parsed.at(0).image, "me +\n1");
+}
+
+TEST(RgnGolden, AccessDensityTruncatesNotRounds) {
+  // The paper's AD column is floor(100 * refs / bytes): 6.25% prints as 6,
+  // 0.99% as 0 — never banker's or half-up rounding.
+  EXPECT_EQ(access_density_pct(5, 80), 6);     // 6.25 -> 6
+  EXPECT_EQ(access_density_pct(1, 3), 33);     // 33.33 -> 33
+  EXPECT_EQ(access_density_pct(2, 3), 66);     // 66.67 -> 66, not 67
+  EXPECT_EQ(access_density_pct(1, 101), 0);    // 0.99 -> 0
+  EXPECT_EQ(access_density_pct(199, 100), 199);  // >100% is legal (many refs)
+  EXPECT_EQ(access_density_pct(0, 40), 0);
+  EXPECT_EQ(access_density_pct(3, 0), 0);      // variable-length arrays
+  EXPECT_EQ(access_density_pct(3, -8), 0);     // non-contiguous sentinel
+}
+
+TEST(RgnGolden, ColumnOrderIsStable) {
+  // Version is last and always "2"; Line second to last — Dragon's browser
+  // indexes by position, not by name.
+  const std::string text = write_rgn({sample_row()});
+  const std::size_t nl = text.find('\n');
+  const std::string row = text.substr(nl + 1);
+  ASSERT_GE(row.size(), 6u);
+  EXPECT_EQ(row.substr(row.size() - 6), ",38,2\n");
+}
+
+}  // namespace
+}  // namespace ara::rgn
