@@ -1,0 +1,114 @@
+// Telemetry overhead on the end-to-end pipeline: the same NAS-LU
+// compile+analyze run with observability disabled (the shipping default, one
+// predicted branch per event) and enabled (counters + span timeline). The
+// reproduction header emits a BENCH_obs.json record so the perf trajectory
+// of the obs subsystem is machine-readable; the acceptance bar from ISSUE 3
+// is disabled-overhead <= 2% vs the untelemetered pipeline.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+/// Median-of-repeats wall time for one full analyze() pass on NAS LU.
+double analyze_seconds(ara::driver::Compiler& cc, int repeats) {
+  double best = 1e9;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = cc.analyze();
+    benchmark::DoNotOptimize(result.rows.size());
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void print_reproduction() {
+  auto cc = ara::bench::compile_lu();
+
+  ara::obs::set_enabled(false);
+  const double off_s = analyze_seconds(*cc, 9);
+
+  ara::obs::set_enabled(true);
+  ara::obs::StatsRegistry::instance().reset();
+  ara::obs::Timeline::instance().clear();
+  const double on_s = analyze_seconds(*cc, 9);
+  const std::size_t counters = ara::obs::StatsRegistry::instance().snapshot(true).size();
+  const std::size_t spans = ara::obs::Timeline::instance().completed().size();
+  ara::obs::set_enabled(false);
+  ara::obs::StatsRegistry::instance().reset();
+  ara::obs::Timeline::instance().clear();
+
+  const double overhead_pct = off_s > 0.0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+  std::printf("=== Telemetry overhead (analyze() on NAS LU, best of 9) ===\n");
+  std::printf("  telemetry off:       %.3f ms\n", off_s * 1e3);
+  std::printf("  telemetry on:        %.3f ms  (%zu counters, %zu spans)\n", on_s * 1e3,
+              counters, spans);
+  std::printf("  enabled overhead:    %+.2f %%\n", overhead_pct);
+  std::printf("BENCH_obs.json: {\"bench\": \"obs_overhead\", \"workload\": \"lu\", "
+              "\"off_ms\": %.4f, \"on_ms\": %.4f, \"overhead_pct\": %.3f, "
+              "\"counters\": %zu, \"spans\": %zu}\n\n",
+              off_s * 1e3, on_s * 1e3, overhead_pct, counters, spans);
+}
+
+void BM_AnalyzeTelemetryOff(benchmark::State& state) {
+  auto cc = ara::bench::compile_lu();
+  ara::obs::set_enabled(false);
+  for (auto _ : state) {
+    auto result = cc->analyze();
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+}
+BENCHMARK(BM_AnalyzeTelemetryOff)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeTelemetryOn(benchmark::State& state) {
+  auto cc = ara::bench::compile_lu();
+  ara::obs::set_enabled(true);
+  for (auto _ : state) {
+    // Reset per iteration so the timeline does not grow without bound.
+    ara::obs::Timeline::instance().clear();
+    auto result = cc->analyze();
+    benchmark::DoNotOptimize(result.rows.size());
+  }
+  ara::obs::set_enabled(false);
+  ara::obs::StatsRegistry::instance().reset();
+  ara::obs::Timeline::instance().clear();
+}
+BENCHMARK(BM_AnalyzeTelemetryOn)->Unit(benchmark::kMillisecond);
+
+void BM_CounterBumpDisabled(benchmark::State& state) {
+  // The per-event cost the macro promises: one load + predicted branch.
+  static ara::obs::Counter counter{"bench.obs_bump", "overhead probe"};
+  ara::obs::set_enabled(false);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) counter.bump();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CounterBumpDisabled);
+
+void BM_CounterBumpEnabled(benchmark::State& state) {
+  static ara::obs::Counter counter{"bench.obs_bump_on", "overhead probe"};
+  ara::obs::set_enabled(true);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) counter.bump();
+  }
+  ara::obs::set_enabled(false);
+  ara::obs::StatsRegistry::instance().reset();
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CounterBumpEnabled);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

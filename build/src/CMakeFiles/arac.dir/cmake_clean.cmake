@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arac.dir/__/tools/arac.cpp.o"
+  "CMakeFiles/arac.dir/__/tools/arac.cpp.o.d"
+  "arac"
+  "arac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

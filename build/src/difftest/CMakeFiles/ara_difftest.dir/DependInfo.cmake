@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/driver/CMakeFiles/ara_driver.dir/DependInfo.cmake"
   "/root/repo/build/src/interp/CMakeFiles/ara_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ara_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/frontend/CMakeFiles/ara_frontend.dir/DependInfo.cmake"
   "/root/repo/build/src/ipa/CMakeFiles/ara_ipa.dir/DependInfo.cmake"
   "/root/repo/build/src/cfg/CMakeFiles/ara_cfg.dir/DependInfo.cmake"

@@ -243,4 +243,5 @@ src/difftest/CMakeFiles/ara_difftest.dir/oracle.cpp.o: \
  /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /root/repo/src/ir/layout.hpp /root/repo/src/rgn/dgn.hpp \
- /root/repo/src/support/diagnostics.hpp
+ /root/repo/src/support/diagnostics.hpp /root/repo/src/obs/stats.hpp \
+ /root/repo/src/obs/timeline.hpp

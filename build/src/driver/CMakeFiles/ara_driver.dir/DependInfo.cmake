@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/cli.cpp" "src/driver/CMakeFiles/ara_driver.dir/cli.cpp.o" "gcc" "src/driver/CMakeFiles/ara_driver.dir/cli.cpp.o.d"
   "/root/repo/src/driver/compiler.cpp" "src/driver/CMakeFiles/ara_driver.dir/compiler.cpp.o" "gcc" "src/driver/CMakeFiles/ara_driver.dir/compiler.cpp.o.d"
   )
 
@@ -17,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ipa/CMakeFiles/ara_ipa.dir/DependInfo.cmake"
   "/root/repo/build/src/cfg/CMakeFiles/ara_cfg.dir/DependInfo.cmake"
   "/root/repo/build/src/rgn/CMakeFiles/ara_rgn.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ara_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/regions/CMakeFiles/ara_regions.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/ara_driver.dir/cli.cpp.o"
+  "CMakeFiles/ara_driver.dir/cli.cpp.o.d"
   "CMakeFiles/ara_driver.dir/compiler.cpp.o"
   "CMakeFiles/ara_driver.dir/compiler.cpp.o.d"
   "libara_driver.a"

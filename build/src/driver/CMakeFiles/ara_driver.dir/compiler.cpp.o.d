@@ -234,4 +234,5 @@ src/driver/CMakeFiles/ara_driver.dir/compiler.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/cfg/cfg.hpp \
- /root/repo/src/frontend/compile.hpp
+ /root/repo/src/frontend/compile.hpp /root/repo/src/obs/stats.hpp \
+ /root/repo/src/obs/timeline.hpp /root/repo/src/support/string_utils.hpp

@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ara_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

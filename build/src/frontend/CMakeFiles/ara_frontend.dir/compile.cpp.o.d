@@ -216,4 +216,5 @@ src/frontend/CMakeFiles/ara_frontend.dir/compile.cpp.o: \
  /root/repo/src/frontend/parser_base.hpp \
  /root/repo/src/frontend/token.hpp \
  /root/repo/src/frontend/parser_fortran.hpp /root/repo/src/ir/layout.hpp \
- /root/repo/src/ir/verifier.hpp
+ /root/repo/src/ir/verifier.hpp /root/repo/src/obs/stats.hpp \
+ /root/repo/src/obs/timeline.hpp

@@ -130,4 +130,5 @@ src/frontend/CMakeFiles/ara_frontend.dir/lexer.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/obs/stats.hpp /root/repo/src/obs/timeline.hpp \
  /root/repo/src/support/string_utils.hpp

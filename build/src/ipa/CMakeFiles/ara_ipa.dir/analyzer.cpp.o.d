@@ -221,5 +221,5 @@ src/ipa/CMakeFiles/ara_ipa.dir/analyzer.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/support/string_utils.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/stats.hpp \
+ /root/repo/src/obs/timeline.hpp /root/repo/src/support/string_utils.hpp

@@ -219,4 +219,5 @@ src/ipa/CMakeFiles/ara_ipa.dir/interproc.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/ipa/wn_affine.hpp /root/repo/src/support/string_utils.hpp
+ /root/repo/src/ipa/wn_affine.hpp /root/repo/src/obs/stats.hpp \
+ /root/repo/src/obs/timeline.hpp /root/repo/src/support/string_utils.hpp

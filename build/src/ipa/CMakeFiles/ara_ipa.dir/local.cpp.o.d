@@ -222,4 +222,4 @@ src/ipa/CMakeFiles/ara_ipa.dir/local.cpp.o: /root/repo/src/ipa/local.cpp \
  /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/ipa/wn_affine.hpp \
- /root/repo/src/support/string_utils.hpp
+ /root/repo/src/obs/stats.hpp /root/repo/src/support/string_utils.hpp

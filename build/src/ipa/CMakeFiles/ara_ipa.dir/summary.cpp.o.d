@@ -145,4 +145,4 @@ src/ipa/CMakeFiles/ara_ipa.dir/summary.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/obs/stats.hpp

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/regions/CMakeFiles/ara_regions.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
   "/root/repo/build/src/rgn/CMakeFiles/ara_rgn.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ara_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
   )
 

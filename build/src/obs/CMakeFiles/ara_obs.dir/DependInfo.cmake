@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/report.cpp" "src/obs/CMakeFiles/ara_obs.dir/report.cpp.o" "gcc" "src/obs/CMakeFiles/ara_obs.dir/report.cpp.o.d"
+  "/root/repo/src/obs/stats.cpp" "src/obs/CMakeFiles/ara_obs.dir/stats.cpp.o" "gcc" "src/obs/CMakeFiles/ara_obs.dir/stats.cpp.o.d"
+  "/root/repo/src/obs/timeline.cpp" "src/obs/CMakeFiles/ara_obs.dir/timeline.cpp.o" "gcc" "src/obs/CMakeFiles/ara_obs.dir/timeline.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/obs/CMakeFiles/ara_obs.dir/trace.cpp.o" "gcc" "src/obs/CMakeFiles/ara_obs.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

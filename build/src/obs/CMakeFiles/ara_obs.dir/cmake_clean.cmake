@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_obs.dir/report.cpp.o"
+  "CMakeFiles/ara_obs.dir/report.cpp.o.d"
+  "CMakeFiles/ara_obs.dir/stats.cpp.o"
+  "CMakeFiles/ara_obs.dir/stats.cpp.o.d"
+  "CMakeFiles/ara_obs.dir/timeline.cpp.o"
+  "CMakeFiles/ara_obs.dir/timeline.cpp.o.d"
+  "CMakeFiles/ara_obs.dir/trace.cpp.o"
+  "CMakeFiles/ara_obs.dir/trace.cpp.o.d"
+  "libara_obs.a"
+  "libara_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -139,4 +139,4 @@ src/regions/CMakeFiles/ara_regions.dir/methods.cpp.o: \
  /root/repo/src/regions/bound.hpp /root/repo/src/regions/linexpr.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/stats.hpp

@@ -124,4 +124,4 @@ src/rgn/CMakeFiles/ara_rgn.dir/region_row.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/charconv \
  /usr/include/c++/12/bit \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /root/repo/src/support/csv.hpp
+ /root/repo/src/obs/stats.hpp /root/repo/src/support/csv.hpp

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/csv.cpp" "src/support/CMakeFiles/ara_support.dir/csv.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/csv.cpp.o.d"
   "/root/repo/src/support/diagnostics.cpp" "src/support/CMakeFiles/ara_support.dir/diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/support/CMakeFiles/ara_support.dir/json.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/json.cpp.o.d"
   "/root/repo/src/support/source_manager.cpp" "src/support/CMakeFiles/ara_support.dir/source_manager.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/source_manager.cpp.o.d"
   "/root/repo/src/support/string_utils.cpp" "src/support/CMakeFiles/ara_support.dir/string_utils.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/string_utils.cpp.o.d"
   "/root/repo/src/support/text_table.cpp" "src/support/CMakeFiles/ara_support.dir/text_table.cpp.o" "gcc" "src/support/CMakeFiles/ara_support.dir/text_table.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ara_support.dir/csv.cpp.o.d"
   "CMakeFiles/ara_support.dir/diagnostics.cpp.o"
   "CMakeFiles/ara_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/ara_support.dir/json.cpp.o"
+  "CMakeFiles/ara_support.dir/json.cpp.o.d"
   "CMakeFiles/ara_support.dir/source_manager.cpp.o"
   "CMakeFiles/ara_support.dir/source_manager.cpp.o.d"
   "CMakeFiles/ara_support.dir/string_utils.cpp.o"

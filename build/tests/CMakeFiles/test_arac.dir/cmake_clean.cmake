@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arac.dir/driver/test_arac.cpp.o"
+  "CMakeFiles/test_arac.dir/driver/test_arac.cpp.o.d"
+  "test_arac"
+  "test_arac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

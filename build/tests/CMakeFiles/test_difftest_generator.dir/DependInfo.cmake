@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/interp/CMakeFiles/ara_interp.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
   "/root/repo/build/src/regions/CMakeFiles/ara_regions.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ara_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
   )
 

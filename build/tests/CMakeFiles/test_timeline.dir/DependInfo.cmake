@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/test_timeline.cpp" "tests/CMakeFiles/test_timeline.dir/obs/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_timeline.dir/obs/test_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ara_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dragon/CMakeFiles/ara_dragon.dir/DependInfo.cmake"
+  "/root/repo/build/src/whirl2src/CMakeFiles/ara_whirl2src.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ara_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ara_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ara_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipa/CMakeFiles/ara_ipa.dir/DependInfo.cmake"
+  "/root/repo/build/src/regions/CMakeFiles/ara_regions.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgn/CMakeFiles/ara_rgn.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/ara_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ara_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

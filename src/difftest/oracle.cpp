@@ -6,9 +6,17 @@
 
 #include "driver/compiler.hpp"
 #include "ir/symtab.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "regions/methods.hpp"
 
 namespace ara::difftest {
+
+ARA_STATISTIC(stat_kernels, "difftest.kernels", "Generated kernels run through the oracle");
+ARA_STATISTIC(stat_kernel_failures, "difftest.kernel_failures",
+              "Kernels that failed to compile or interpret");
+ARA_STATISTIC(stat_points, "difftest.points_checked",
+              "Dynamic access points checked for static containment");
 
 namespace {
 
@@ -134,6 +142,7 @@ DiffReport compare(const ir::Program& program, const ipa::AnalysisResult& result
 
     // Containment: every observed element inside some static region.
     for (const Point& p : points) {
+      stat_points.bump();
       ++rep.points_checked;
       const bool covered = std::any_of(static_regions.begin(), static_regions.end(),
                                        [&](const Region* r) { return region_covers(*r, p); });
@@ -189,10 +198,15 @@ DiffReport compare(const ir::Program& program, const ipa::AnalysisResult& result
 }
 
 DiffReport run_difftest(const GeneratedProgram& prog, const interp::InterpOptions& iopts) {
+  // One top-level span per generated kernel so fuzz runs expose the static
+  // analysis cost of each program ("seed-<N>" in the trace/time report).
+  obs::Span kernel_span("kernel seed-" + std::to_string(prog.seed), "difftest");
+  stat_kernels.bump();
   DiffReport rep;
   driver::Compiler cc;
   cc.add_source(prog.filename, prog.source, prog.lang);
   if (!cc.compile()) {
+    stat_kernel_failures.bump();
     rep.error = cc.diagnostics().render();
     rep.violations.push_back({"compile", "", "", rep.error});
     return rep;
@@ -204,6 +218,7 @@ DiffReport run_difftest(const GeneratedProgram& prog, const interp::InterpOption
   const interp::InterpResult r = interp.run(prog.entry, &dyn);
   if (!r.ok) {
     rep.error = r.error;
+    stat_kernel_failures.bump();
     rep.violations.push_back({"runtime", "", "", rep.error});
     return rep;
   }

@@ -1,0 +1,212 @@
+#include "driver/cli.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "driver/compiler.hpp"
+#include "ir/printer.hpp"
+#include "obs/report.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+#include "support/text_table.hpp"
+
+namespace ara::driver {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliOptions {
+  std::vector<fs::path> sources;
+  std::string name;         // export/project base name; default from first source
+  std::string export_dir;   // empty = no Dragon export
+  std::string trace_file;   // empty = no trace
+  bool stats = false;
+  bool time_report = false;
+  bool no_ipa = false;
+  bool dump_ir = false;
+  bool quiet = false;
+
+  [[nodiscard]] bool telemetry() const { return stats || time_report || !trace_file.empty(); }
+};
+
+void usage(std::ostream& out) {
+  out << "arac — array region analyzer (OpenARA driver)\n"
+         "\n"
+         "usage: arac [options] <source files>\n"
+         "\n"
+         "  --help            this text\n"
+         "  --name NAME       project/export base name (default: stem of first source)\n"
+         "  --export-dir DIR  write NAME.rgn, NAME.dgn, NAME.cfg into DIR\n"
+         "                    (plus NAME.stats.json when telemetry is on)\n"
+         "  --stats           print the counter table; write NAME.stats.json\n"
+         "  --time-report     print the hierarchical phase time report\n"
+         "  --trace FILE      write a Chrome trace-event JSON file\n"
+         "                    (load it at ui.perfetto.dev or chrome://tracing)\n"
+         "  --no-ipa          skip interprocedural propagation (-IPA off)\n"
+         "  --dump-ir         dump the lowered WHIRL trees to stdout\n"
+         "  --quiet           suppress the region table and summary\n";
+}
+
+bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostream& out,
+                std::ostream& err, bool* help) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* what) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << "arac: " << what << " expects a value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(out);
+      *help = true;
+      return true;
+    } else if (a == "--name") {
+      const std::string* v = next("--name");
+      if (v == nullptr) return false;
+      cli->name = *v;
+    } else if (a == "--export-dir") {
+      const std::string* v = next("--export-dir");
+      if (v == nullptr) return false;
+      cli->export_dir = *v;
+    } else if (a == "--trace") {
+      const std::string* v = next("--trace");
+      if (v == nullptr) return false;
+      cli->trace_file = *v;
+    } else if (a == "--stats") {
+      cli->stats = true;
+    } else if (a == "--time-report") {
+      cli->time_report = true;
+    } else if (a == "--no-ipa") {
+      cli->no_ipa = true;
+    } else if (a == "--dump-ir") {
+      cli->dump_ir = true;
+    } else if (a == "--quiet") {
+      cli->quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      err << "arac: unknown option '" << a << "'\n";
+      usage(err);
+      return false;
+    } else {
+      cli->sources.emplace_back(a);
+    }
+  }
+  if (cli->sources.empty()) {
+    err << "arac: no input files\n";
+    usage(err);
+    return false;
+  }
+  if (cli->name.empty()) cli->name = cli->sources.front().stem().string();
+  return true;
+}
+
+/// Compact console rendering of the region rows (the full 19-column CSV
+/// lives in the .rgn export; this is the browsing view).
+std::string render_region_table(const std::vector<rgn::RegionRow>& rows) {
+  TextTable table;
+  table.set_header({"Scope", "Array", "Mode", "Refs", "LB", "UB", "Stride", "Line"});
+  for (const rgn::RegionRow& r : rows) {
+    table.add_row({r.scope, r.array, r.mode, std::to_string(r.references), r.lb, r.ub, r.stride,
+                   std::to_string(r.line)});
+  }
+  return table.render();
+}
+
+bool write_file(const fs::path& path, const std::string& text, std::ostream& err) {
+  std::ofstream f(path);
+  f << text;
+  if (!f) {
+    err << "arac: cannot write " << path.string() << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  CliOptions cli;
+  bool help = false;
+  if (!parse_args(args, &cli, out, err, &help)) return 2;
+  if (help) return 0;
+
+  const bool was_enabled = obs::enabled();
+  if (cli.telemetry()) {
+    obs::set_enabled(true);
+    obs::StatsRegistry::instance().reset();
+    obs::Timeline::instance().clear();
+  }
+
+  int rc = 0;
+  {
+    Compiler cc;
+    for (const fs::path& src : cli.sources) {
+      if (!cc.add_file(src)) {
+        err << "arac: cannot read " << src.string() << "\n";
+        obs::set_enabled(was_enabled);
+        return 1;
+      }
+    }
+    const bool compiled = cc.compile();
+    // Diagnostics always reach the user: warnings on successful compiles
+    // used to vanish here (satellite of ISSUE 3).
+    const std::string diag_text = cc.diagnostics().render();
+    if (!diag_text.empty()) err << diag_text;
+    if (!compiled) {
+      obs::set_enabled(was_enabled);
+      return 1;
+    }
+
+    if (cli.dump_ir) out << ir::dump_program(cc.program());
+
+    ipa::AnalyzeOptions aopts;
+    aopts.interprocedural = !cli.no_ipa;
+    const ipa::AnalysisResult result = cc.analyze(aopts);
+
+    if (!cli.quiet) {
+      out << cli.name << ": " << result.callgraph.size() << " procedures, "
+          << result.callgraph.edge_count() << " call edges, " << result.rows.size()
+          << " region rows\n";
+      out << render_region_table(result.rows);
+    }
+
+    if (!cli.export_dir.empty()) {
+      std::string error;
+      if (!export_dragon_files(cc.program(), result, cli.export_dir, cli.name, &error)) {
+        err << "arac: " << error << "\n";
+        rc = 1;
+      } else if (!cli.quiet) {
+        out << "wrote " << (fs::path(cli.export_dir) / cli.name).string()
+            << ".{rgn,dgn,cfg" << (cli.telemetry() ? ",stats.json" : "") << "}\n";
+      }
+    }
+  }
+
+  // Telemetry rendering happens after the compiler is destroyed so every
+  // span is closed before the report/trace snapshot.
+  if (cli.stats) {
+    out << obs::render_stats_table(/*nonzero_only=*/true);
+    // Without an export dir the stats file lands next to the caller.
+    if (cli.export_dir.empty() &&
+        !write_file(cli.name + ".stats.json", obs::write_stats_json(cli.name), err)) {
+      rc = 1;
+    }
+  }
+  if (cli.time_report) {
+    out << obs::render_time_report(obs::Timeline::instance().completed());
+  }
+  if (!cli.trace_file.empty() &&
+      !write_file(cli.trace_file, obs::write_chrome_trace(obs::Timeline::instance().completed()),
+                  err)) {
+    rc = 1;
+  }
+
+  obs::set_enabled(was_enabled);
+  return rc;
+}
+
+}  // namespace ara::driver

@@ -5,9 +5,15 @@
 
 #include "cfg/cfg.hpp"
 #include "frontend/compile.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "rgn/dgn.hpp"
+#include "support/string_utils.hpp"
 
 namespace ara::driver {
+
+ARA_STATISTIC(stat_files_added, "driver.files_added", "Source files registered with the driver");
+ARA_STATISTIC(stat_exports, "driver.exports", "Dragon export file sets written");
 
 Compiler::Compiler() : Compiler(CompilerOptions{}) {}
 
@@ -15,6 +21,7 @@ Compiler::Compiler(CompilerOptions opts)
     : opts_(opts), program_(std::make_unique<ir::Program>()), diags_(&program_->sources) {}
 
 void Compiler::add_source(std::string name, std::string text, Language lang) {
+  stat_files_added.bump();
   program_->sources.add(std::move(name), std::move(text), lang);
 }
 
@@ -23,13 +30,22 @@ bool Compiler::add_file(const std::filesystem::path& path) {
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string ext = path.extension().string();
-  const Language lang = (ext == ".c" || ext == ".h") ? Language::C : Language::Fortran;
+  const std::string ext = to_lower(path.extension().string());
+  Language lang = Language::Fortran;
+  if (ext == ".c" || ext == ".h") {
+    lang = Language::C;
+  } else if (ext != ".f" && ext != ".f90" && ext != ".for" && ext != ".f77") {
+    // Unknown extension: keep the historical Fortran fallback, but say so
+    // instead of silently misparsing (satellite of ISSUE 3).
+    diags_.warning(SourceLoc{}, "unrecognized extension '" + ext + "' on '" +
+                                    path.filename().string() + "'; assuming Fortran");
+  }
   add_source(path.filename().string(), buf.str(), lang);
   return true;
 }
 
 bool Compiler::compile() {
+  ARA_SPAN("compile", "driver");
   compiled_ = fe::compile_program(*program_, diags_);
   if (compiled_) {
     // Re-run layout with the configured bases (compile_program used defaults).
@@ -39,6 +55,7 @@ bool Compiler::compile() {
 }
 
 ipa::AnalysisResult Compiler::analyze(const ipa::AnalyzeOptions& opts) const {
+  ARA_SPAN("analyze", "driver");
   return ipa::analyze(*program_, opts);
 }
 
@@ -75,6 +92,7 @@ rgn::DgnProject build_dgn_project(const ir::Program& program,
 bool export_dragon_files(const ir::Program& program, const ipa::AnalysisResult& result,
                          const std::filesystem::path& dir, const std::string& name,
                          std::string* error) {
+  ARA_SPAN("export", "driver");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -94,7 +112,15 @@ bool export_dragon_files(const ir::Program& program, const ipa::AnalysisResult& 
   if (!write(dir / (name + ".dgn"), rgn::write_dgn(build_dgn_project(program, result, name)))) {
     return false;
   }
-  return write(dir / (name + ".cfg"), cfg::write_cfg(cfg::build_all(program)));
+  if (!write(dir / (name + ".cfg"), cfg::write_cfg(cfg::build_all(program)))) return false;
+  // Telemetry rides along with the Dragon files so the counters that
+  // produced an export are inspectable next to it.
+  if (obs::enabled() &&
+      !write(dir / (name + ".stats.json"), obs::write_stats_json(name))) {
+    return false;
+  }
+  stat_exports.bump();
+  return true;
 }
 
 }  // namespace ara::driver

@@ -34,8 +34,9 @@ class Compiler {
   /// Registers an in-memory source buffer.
   void add_source(std::string name, std::string text, Language lang);
 
-  /// Loads a file from disk; language chosen by extension (.c/.h → C,
-  /// anything else → Fortran). Returns false if the file cannot be read.
+  /// Loads a file from disk; language chosen by extension (.c/.h → C;
+  /// .f/.f90/.for/.f77 → Fortran; anything else falls back to Fortran with
+  /// a warning diagnostic). Returns false if the file cannot be read.
   bool add_file(const std::filesystem::path& path);
 
   /// Parse + sema + lowering + layout. False on any error diagnostic.
@@ -56,7 +57,8 @@ class Compiler {
 };
 
 /// Writes <name>.rgn, <name>.dgn and <name>.cfg into `dir` (created if
-/// absent), as `-dragon` does. Returns false (with `error` set) on I/O
+/// absent), as `-dragon` does — plus <name>.stats.json when telemetry is
+/// enabled (obs::set_enabled). Returns false (with `error` set) on I/O
 /// failure.
 bool export_dragon_files(const ir::Program& program, const ipa::AnalysisResult& result,
                          const std::filesystem::path& dir, const std::string& name,

@@ -6,34 +6,63 @@
 #include "frontend/sema.hpp"
 #include "ir/layout.hpp"
 #include "ir/verifier.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 
 namespace ara::fe {
 
+ARA_STATISTIC(stat_files, "frontend.files", "Source files parsed");
+ARA_STATISTIC(stat_procs, "frontend.procs_lowered", "Procedures lowered to WHIRL");
+ARA_STATISTIC(stat_wn_nodes, "ir.wn_nodes", "WHIRL nodes in lowered procedure trees");
+
 bool compile_program(ir::Program& program, DiagnosticEngine& diags) {
   std::vector<ModuleAst> modules;
-  for (FileId f = 1; f <= program.sources.file_count(); ++f) {
-    switch (program.sources.language(f)) {
-      case Language::Fortran:
-        modules.push_back(parse_fortran(program.sources, f, diags));
-        break;
-      case Language::C:
-        modules.push_back(parse_c(program.sources, f, diags));
-        break;
+  {
+    ARA_SPAN("parse", "frontend");
+    for (FileId f = 1; f <= program.sources.file_count(); ++f) {
+      obs::Span file_span(program.sources.name(f), "frontend");
+      stat_files.bump();
+      switch (program.sources.language(f)) {
+        case Language::Fortran:
+          modules.push_back(parse_fortran(program.sources, f, diags));
+          break;
+        case Language::C:
+          modules.push_back(parse_c(program.sources, f, diags));
+          break;
+      }
     }
   }
   if (diags.has_errors()) return false;
 
   Sema sema(program, diags);
-  SemaResult resolved = sema.run(modules);
+  SemaResult resolved = [&] {
+    ARA_SPAN("sema", "frontend");
+    return sema.run(modules);
+  }();
   if (diags.has_errors()) return false;
 
-  Lowerer lowerer(program, diags);
-  for (const ProcScope& scope : resolved.scopes) lowerer.lower_proc(scope);
+  {
+    ARA_SPAN("lower", "frontend");
+    Lowerer lowerer(program, diags);
+    for (const ProcScope& scope : resolved.scopes) lowerer.lower_proc(scope);
+    if (obs::enabled()) {
+      for (const ir::ProcedureIR& p : program.procedures) {
+        stat_procs.bump();
+        if (p.tree) stat_wn_nodes.bump(p.tree->tree_size());
+      }
+    }
+  }
 
-  ir::assign_layout(program);
+  {
+    ARA_SPAN("layout", "frontend");
+    ir::assign_layout(program);
+  }
 
-  for (const std::string& err : ir::verify_program(program)) {
-    diags.error(SourceLoc{}, "IR verifier: " + err);
+  {
+    ARA_SPAN("verify", "frontend");
+    for (const std::string& err : ir::verify_program(program)) {
+      diags.error(SourceLoc{}, "IR verifier: " + err);
+    }
   }
   return !diags.has_errors();
 }

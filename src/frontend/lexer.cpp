@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::fe {
@@ -52,15 +54,21 @@ void Lexer::push(std::vector<Token>& out, Tok kind, SourceLoc loc, std::string t
   out.push_back(std::move(t));
 }
 
+ARA_STATISTIC(stat_tokens, "frontend.tokens", "Tokens produced by the lexer");
+ARA_STATISTIC(stat_lexed_lines, "frontend.lines_lexed", "Source lines consumed by the lexer");
+
 std::vector<Token> Lexer::tokenize() {
+  ARA_SPAN("lex", "frontend");
   std::vector<Token> out;
   while (!at_end()) lex_one(out);
+  stat_lexed_lines.bump(line_);
   // Guarantee a trailing Newline before Eof in Fortran mode so the parser can
   // always expect a statement terminator.
   if (lang_ == Language::Fortran && (out.empty() || out.back().kind != Tok::Newline)) {
     push(out, Tok::Newline, here());
   }
   push(out, Tok::Eof, here());
+  stat_tokens.bump(out.size());
   return out;
 }
 

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::ipa {
+
+ARA_STATISTIC(stat_procs_analyzed, "ipa.procs_analyzed", "Procedures through local ARA");
+ARA_STATISTIC(stat_rows_built, "ipa.rows_built", "Region table rows assembled");
 
 using regions::AccessMode;
 
@@ -71,6 +76,7 @@ std::vector<rgn::RegionRow> build_rows(const ir::Program& program,
 
   std::vector<rgn::RegionRow> rows;
   rows.reserve(result.records.size());
+  stat_rows_built.bump(result.records.size());
   for (const AccessRecord& rec : result.records) {
     const ir::St& st = symtab.st(rec.array);
     const ir::Ty& ty = symtab.ty(st.ty);
@@ -132,13 +138,22 @@ std::vector<rgn::RegionRow> build_rows(const ir::Program& program,
 
 AnalysisResult analyze(const ir::Program& program, const AnalyzeOptions& opts) {
   AnalysisResult result;
-  result.callgraph = CallGraph::build(program);
+  {
+    ARA_SPAN("callgraph", "ipa");
+    result.callgraph = CallGraph::build(program);
+  }
 
   LocalAnalyzer local(program);
   std::vector<LocalSummary> locals;
   locals.reserve(result.callgraph.size());
-  for (std::uint32_t i = 0; i < result.callgraph.size(); ++i) {
-    locals.push_back(local.analyze(result.callgraph.node(i)));
+  {
+    ARA_SPAN("local-ARA", "ipa");
+    for (std::uint32_t i = 0; i < result.callgraph.size(); ++i) {
+      const CGNode& node = result.callgraph.node(i);
+      obs::Span proc_span(program.symtab.st(node.proc_st).name, "ipa");
+      stat_procs_analyzed.bump();
+      locals.push_back(local.analyze(node));
+    }
   }
 
   for (LocalSummary& ls : locals) {
@@ -152,6 +167,7 @@ AnalysisResult analyze(const ir::Program& program, const AnalyzeOptions& opts) {
   }
 
   if (opts.interprocedural) {
+    ARA_SPAN("IPA-propagate", "ipa");
     InterprocAnalyzer inter(program, result.callgraph);
     InterprocResult ir_result = inter.run(locals);
     result.side_effects = std::move(ir_result.side_effects);
@@ -166,7 +182,10 @@ AnalysisResult analyze(const ir::Program& program, const AnalyzeOptions& opts) {
     }
   }
 
-  result.rows = build_rows(program, result);
+  {
+    ARA_SPAN("build-rows", "ipa");
+    result.rows = build_rows(program, result);
+  }
   return result;
 }
 

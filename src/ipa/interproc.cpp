@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "ipa/wn_affine.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::ipa {
+
+ARA_STATISTIC(stat_summaries_propagated, "ipa.summaries_propagated",
+              "Callee side-effect summaries translated into callers");
+ARA_STATISTIC(stat_callsites, "ipa.callsites_translated", "Call sites translated");
+ARA_STATISTIC(stat_passes, "ipa.propagation_passes", "Bottom-up propagation passes run");
+ARA_STATISTIC(stat_interproc_records, "ipa.interproc_records",
+              "IDEF/IUSE records generated from callee effects");
 
 using regions::AccessMode;
 using regions::Bound;
@@ -79,6 +88,7 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
   auto translate_call = [&](std::uint32_t caller, const CallSite& cs)
       -> std::vector<std::tuple<ir::StIdx, AccessMode, ModeRegions>> {
     std::vector<std::tuple<ir::StIdx, AccessMode, ModeRegions>> out;
+    stat_callsites.bump();
     const CalleeInfo& callee_info = infos[cs.callee];
 
     // Actual arguments by position.
@@ -133,12 +143,15 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
       out.emplace_back(caller_st, mode, std::move(translated));
     }
     (void)caller;
+    stat_summaries_propagated.bump(out.size());
     return out;
   };
 
   for (int pass = 0; pass < max_passes; ++pass) {
+    stat_passes.bump();
     bool changed = false;
     for (std::uint32_t n : order) {
+      obs::Span proc_span(program_.symtab.st(cg_.node(n).proc_st).name, "ipa");
       SideEffects next = locals[n].side_effects;
       for (const CallSite& cs : cg_.node(n).callsites) {
         for (auto& [st, mode, mr] : translate_call(n, cs)) {
@@ -196,6 +209,7 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
           rec.scope_proc = cg_.node(n).proc_st;
           rec.file = cg_.node(cs.callee).proc->file;
           rec.line = cs.loc.line;
+          stat_interproc_records.bump();
           result.interproc_records.push_back(std::move(rec));
         }
       }

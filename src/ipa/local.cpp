@@ -5,9 +5,16 @@
 #include <set>
 
 #include "ipa/wn_affine.hpp"
+#include "obs/stats.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::ipa {
+
+ARA_STATISTIC(stat_access_records, "ipa.access_records", "Access records emitted (local ARA)");
+ARA_STATISTIC(stat_messy_dims, "regions.messy_dims",
+              "Subscript dimensions that fell back to MESSY bounds");
+ARA_STATISTIC(stat_projected_dims, "regions.dims_projected",
+              "Subscript dimensions projected through loop bounds");
 
 using regions::AccessMode;
 using regions::Bound;
@@ -80,6 +87,7 @@ void LocalAnalyzer::add_record(AccessRecord rec, Walk& walk) const {
   if (visible && (rec.mode == AccessMode::Def || rec.mode == AccessMode::Use)) {
     walk.out.side_effects.effects[{rec.array, rec.mode}].merge(rec.region, rec.refs);
   }
+  stat_access_records.bump();
   walk.out.records.push_back(std::move(rec));
 }
 
@@ -177,7 +185,10 @@ regions::DimAccess LocalAnalyzer::project_subscript(LinExpr subscript,
     for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
       if (dep.find(it->var) == dep.end()) continue;
       ++nvars;
-      if (!it->affine()) return DimAccess{Bound::messy(), Bound::messy(), 1};
+      if (!it->affine()) {
+        stat_messy_dims.bump();
+        return DimAccess{Bound::messy(), Bound::messy(), 1};
+      }
       for (const auto& [name, c] : it->init->terms()) dep.insert(name);
       for (const auto& [name, c] : it->limit->terms()) dep.insert(name);
     }
@@ -235,6 +246,7 @@ regions::DimAccess LocalAnalyzer::project_subscript(LinExpr subscript,
     if (c_ub != 0) ub = ub.substituted(L.var, c_ub * step > 0 ? last : *L.init);
   }
 
+  stat_projected_dims.bump();
   DimAccess d;
   // Bound provenance per the OpenUH taxonomy (§IV-C): a single induction
   // variable yields IVAR bounds; multiple coupled variables were linearized
@@ -281,6 +293,7 @@ void LocalAnalyzer::record_array(const ir::WN& arr, AccessMode mode, Walk& walk,
     const ir::WN* index = arr.array_index(kid);
     const auto affine = wn_to_affine(*index, program_.symtab);
     if (!affine) {
+      stat_messy_dims.bump();
       rec.region.push_dim(DimAccess{Bound::messy(), Bound::messy(), 1});
       continue;
     }

@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "obs/stats.hpp"
+
 namespace ara::ipa {
 
+ARA_STATISTIC(stat_region_merges, "ipa.region_merges", "Regions merged into mode summaries");
+ARA_STATISTIC(stat_union_widenings, "regions.union_widenings",
+              "Region unions approximated by their hull (kMaxRegions overflow)");
+ARA_STATISTIC(stat_union_drops, "regions.union_drops",
+              "Unhullable regions dropped to bound summary memory");
+
 void ModeRegions::merge(const regions::Region& r, std::uint64_t ref_count) {
+  stat_region_merges.bump();
   refs += ref_count;
   if (std::find(regions.begin(), regions.end(), r) != regions.end()) return;
   regions.push_back(r);
@@ -13,6 +22,7 @@ void ModeRegions::merge(const regions::Region& r, std::uint64_t ref_count) {
   for (std::size_t i = 0; i < regions.size(); ++i) {
     for (std::size_t j = i + 1; j < regions.size(); ++j) {
       if (const auto h = regions::Region::hull(regions[i], regions[j])) {
+        stat_union_widenings.bump();
         regions[i] = *h;
         regions.erase(regions.begin() + static_cast<std::ptrdiff_t>(j));
         return;
@@ -20,6 +30,7 @@ void ModeRegions::merge(const regions::Region& r, std::uint64_t ref_count) {
     }
   }
   // Nothing hullable (symbolic bounds): drop the oldest to bound memory.
+  stat_union_drops.bump();
   regions.erase(regions.begin());
 }
 

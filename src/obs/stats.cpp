@@ -1,0 +1,69 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace ara::obs {
+
+namespace detail {
+bool g_enabled = false;
+}  // namespace detail
+
+void set_enabled(bool on) { detail::g_enabled = on; }
+
+Counter::Counter(std::string_view name, std::string_view desc)
+    : name_(name), desc_(desc) {
+  StatsRegistry::instance().register_counter(this);
+}
+
+StatsRegistry& StatsRegistry::instance() {
+  static StatsRegistry registry;
+  return registry;
+}
+
+void StatsRegistry::register_counter(Counter* counter) { counters_.push_back(counter); }
+
+void StatsRegistry::reset() {
+  for (Counter* c : counters_) c->reset();
+}
+
+std::vector<StatEntry> StatsRegistry::snapshot(bool nonzero_only) const {
+  // Merge by name: two TUs may define the same statistic, and registration
+  // order is link-dependent; a name-keyed map makes the snapshot stable.
+  std::map<std::string, StatEntry> merged;
+  for (const Counter* c : counters_) {
+    StatEntry& e = merged[c->name()];
+    if (e.name.empty()) {
+      e.name = c->name();
+      e.desc = c->desc();
+    }
+    e.value += c->value();
+  }
+  std::vector<StatEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, entry] : merged) {
+    if (nonzero_only && entry.value == 0) continue;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::string write_stats_json(std::string_view workload) {
+  const std::vector<StatEntry> entries = StatsRegistry::instance().snapshot();
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"ara.stats.v1\",\n";
+  os << "  \"workload\": \"" << json::escape(workload) << "\",\n";
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    \"" << json::escape(entries[i].name) << "\": " << entries[i].value;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace ara::obs

@@ -1,0 +1,81 @@
+#include "obs/timeline.hpp"
+
+#include <chrono>
+
+namespace ara::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+Timeline::Timeline() : epoch_ns_(steady_ns()) {}
+
+Timeline& Timeline::instance() {
+  static Timeline timeline;
+  return timeline;
+}
+
+std::uint64_t Timeline::now_ns() const { return steady_ns() - epoch_ns_; }
+
+void Timeline::clear() {
+  events_.clear();
+  stack_.clear();
+  epoch_ns_ = steady_ns();
+}
+
+std::uint32_t Timeline::begin(std::string name, std::string cat) {
+  Rec rec;
+  rec.ev.name = std::move(name);
+  rec.ev.cat = std::move(cat);
+  rec.ev.start_ns = now_ns();
+  rec.ev.parent = stack_.empty() ? -1 : static_cast<std::int32_t>(stack_.back());
+  rec.ev.depth = static_cast<std::uint32_t>(stack_.size());
+  const auto id = static_cast<std::uint32_t>(events_.size());
+  events_.push_back(std::move(rec));
+  stack_.push_back(id);
+  return id;
+}
+
+void Timeline::end(std::uint32_t id) {
+  if (id >= events_.size() || !events_[id].open) return;
+  const std::uint64_t t = now_ns();
+  // Close any inner spans leaked past their opener (shouldn't happen with
+  // RAII, but keeps the hierarchy consistent if it does).
+  while (!stack_.empty()) {
+    const std::uint32_t top = stack_.back();
+    stack_.pop_back();
+    Rec& rec = events_[top];
+    rec.open = false;
+    rec.ev.dur_ns = t - rec.ev.start_ns;
+    if (top == id) break;
+  }
+}
+
+std::vector<SpanEvent> Timeline::completed() const {
+  // Open spans are excluded, so parent indices must be remapped into the
+  // filtered vector (re-linking to the nearest completed ancestor).
+  std::vector<std::int32_t> remap(events_.size(), -1);
+  std::vector<SpanEvent> out;
+  out.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Rec& rec = events_[i];
+    if (rec.open) continue;
+    SpanEvent ev = rec.ev;
+    std::int32_t parent = ev.parent;
+    while (parent >= 0 && remap[static_cast<std::size_t>(parent)] < 0) {
+      parent = events_[static_cast<std::size_t>(parent)].ev.parent;
+    }
+    ev.parent = parent >= 0 ? remap[static_cast<std::size_t>(parent)] : -1;
+    remap[i] = static_cast<std::int32_t>(out.size());
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace ara::obs

@@ -1,0 +1,41 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace ara::obs {
+
+namespace {
+
+/// ns → µs rendered as a decimal with exactly three fractional digits
+/// (avoids double rounding; 1234567 ns → "1234.567").
+std::string us_fixed(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string write_chrome_trace(const std::vector<SpanEvent>& events) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& ev = events[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"name\": \"" << json::escape(ev.name) << "\", "
+       << "\"cat\": \"" << json::escape(ev.cat.empty() ? "ara" : ev.cat) << "\", "
+       << "\"ph\": \"X\", "
+       << "\"ts\": " << us_fixed(ev.start_ns) << ", "
+       << "\"dur\": " << us_fixed(ev.dur_ns) << ", "
+       << "\"pid\": 1, \"tid\": 1}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace ara::obs

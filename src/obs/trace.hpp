@@ -1,0 +1,20 @@
+// Chrome trace-event JSON emitter. The output is the "JSON array format"
+// understood by chrome://tracing and Perfetto's legacy importer: one
+// complete ("ph":"X") event per finished span, timestamps in microseconds
+// relative to the run start. Load the file via ui.perfetto.dev → "Open
+// trace file" (docs/observability.md walks through it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hpp"
+
+namespace ara::obs {
+
+/// Renders `events` (from Timeline::completed()) as a Chrome trace JSON
+/// array. `ts`/`dur` are microseconds with nanosecond precision kept in the
+/// fractional digits, so nesting relations survive the unit change exactly.
+[[nodiscard]] std::string write_chrome_trace(const std::vector<SpanEvent>& events);
+
+}  // namespace ara::obs

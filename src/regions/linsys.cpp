@@ -5,7 +5,20 @@
 #include <set>
 #include <sstream>
 
+#include "obs/stats.hpp"
+
 namespace ara::regions {
+
+ARA_STATISTIC(stat_fm_eliminations, "regions.fm_eliminations",
+              "Fourier-Motzkin variable eliminations performed");
+ARA_STATISTIC(stat_fm_substitutions, "regions.fm_substitutions",
+              "Eliminations resolved by exact equality substitution");
+ARA_STATISTIC(stat_fm_pairs, "regions.fm_pairs_combined",
+              "Upper/lower constraint pairs combined during FM elimination");
+ARA_STATISTIC(stat_fm_capped, "regions.fm_growth_caps",
+              "FM results truncated by the constraint growth cap");
+ARA_STATISTIC(stat_feasibility, "regions.feasibility_checks",
+              "Rational feasibility queries answered");
 
 std::string Constraint::str() const {
   return expr.str() + (rel == Rel::Le0 ? " <= 0" : " == 0");
@@ -34,6 +47,7 @@ std::vector<std::string> LinSystem::variables() const {
 }
 
 LinSystem LinSystem::eliminated(std::string_view name) const {
+  stat_fm_eliminations.bump();
   // If an equality has coefficient +/-1 on the variable, substitute — exact
   // and avoids the quadratic FM blowup.
   for (const Constraint& c : constraints_) {
@@ -50,6 +64,7 @@ LinSystem LinSystem::eliminated(std::string_view name) const {
       out.add(std::move(subst));
     }
     out.simplify();
+    stat_fm_substitutions.bump();
     return out;
   }
 
@@ -78,6 +93,7 @@ LinSystem LinSystem::eliminated(std::string_view name) const {
 
   // Combine each (upper, lower) pair: e1 = a*x + r1 (a>0), e2 = b*x + r2
   // (b<0). Then (-b)*e1 + a*e2 eliminates x: a*r2 - b*r1 <= 0.
+  stat_fm_pairs.bump(uppers.size() * lowers.size());
   for (const LinExpr& e1 : uppers) {
     const std::int64_t a = e1.coef(name);
     for (const LinExpr& e2 : lowers) {
@@ -92,11 +108,13 @@ LinSystem LinSystem::eliminated(std::string_view name) const {
   // make the system easier to satisfy, never refute a satisfiable one.
   if (out.constraints_.size() > kMaxConstraints) {
     out.constraints_.resize(kMaxConstraints);
+    stat_fm_capped.bump();
   }
   return out;
 }
 
 bool LinSystem::feasible() const {
+  stat_feasibility.bump();
   LinSystem cur = *this;
   // Eliminate variables one at a time; order by fewest occurrences to keep
   // the intermediate systems small (greedy min-fill heuristic).

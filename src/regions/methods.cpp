@@ -1,6 +1,11 @@
 #include "regions/methods.hpp"
 
+#include "obs/stats.hpp"
+
 namespace ara::regions {
+
+ARA_STATISTIC(stat_section_widenings, "regions.section_widenings",
+              "Regular-section interval widenings while replaying dynamic accesses");
 
 std::size_t ReferenceList::bytes_used() const {
   std::size_t bytes = 0;
@@ -33,6 +38,7 @@ void RegularSection::record(AccessMode mode, const Point& p) {
       }
       continue;
     }
+    stat_section_widenings.bump();
     const std::int64_t dist = x < lo ? lo - x : x - hi;
     std::int64_t stride = d.stride;
     if (lo == hi) {

@@ -2,9 +2,12 @@
 
 #include <charconv>
 
+#include "obs/stats.hpp"
 #include "support/csv.hpp"
 
 namespace ara::rgn {
+
+ARA_STATISTIC(stat_rows_emitted, "rgn.rows_emitted", "Region rows written to .rgn output");
 
 namespace {
 
@@ -36,6 +39,7 @@ double access_density_exact(std::uint64_t refs, std::int64_t bytes) {
 }
 
 std::string write_rgn(const std::vector<RegionRow>& rows) {
+  stat_rows_emitted.bump(rows.size());
   CsvWriter w;
   std::vector<std::string> header(kHeader, kHeader + kColumns);
   w.row(header);

@@ -1,0 +1,153 @@
+// In-process tests of the arac CLI (driver/cli.hpp): flag handling, the
+// always-render-diagnostics fix, and the telemetry outputs the acceptance
+// command `arac --trace out.json --stats <src>` must produce.
+#include "driver/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/stats.hpp"
+#include "support/json.hpp"
+
+namespace ara::driver {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliRun {
+  int rc = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun arac(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun r;
+  r.rc = run_arac(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+std::string workload(const char* name) {
+  return (fs::path(ARA_WORKLOADS_DIR) / name).string();
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(AracCli, HelpExitsZero) {
+  const CliRun r = arac({"--help"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("usage: arac"), std::string::npos);
+}
+
+TEST(AracCli, NoInputIsUsageError) {
+  const CliRun r = arac({"--stats"});
+  EXPECT_EQ(r.rc, 2);
+  EXPECT_NE(r.err.find("no input files"), std::string::npos);
+}
+
+TEST(AracCli, UnknownOptionIsUsageError) {
+  const CliRun r = arac({"--frobnicate", workload("fig10_matrix.c")});
+  EXPECT_EQ(r.rc, 2);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST(AracCli, MissingFileFails) {
+  const CliRun r = arac({"/nonexistent/nope.c"});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("cannot read"), std::string::npos);
+}
+
+TEST(AracCli, AnalyzesWorkloadAndPrintsRegionTable) {
+  const CliRun r = arac({workload("fig10_matrix.c")});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("region rows"), std::string::npos);
+  EXPECT_NE(r.out.find("aarr"), std::string::npos);
+  EXPECT_TRUE(r.err.empty()) << r.err;
+}
+
+TEST(AracCli, CompileErrorRendersDiagnosticsAndFails) {
+  const fs::path dir = fs::temp_directory_path() / "arac_err_test";
+  fs::create_directories(dir);
+  std::ofstream(dir / "bad.f") << "subroutine s\n  do i = \nend\n";
+  const CliRun r = arac({(dir / "bad.f").string()});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(AracCli, WarningsSurviveSuccessfulCompiles) {
+  // The old smoke binary only rendered diagnostics on failure; a warning on
+  // a successful compile (here: unknown extension fallback) must reach
+  // stderr while the run still succeeds.
+  const fs::path dir = fs::temp_directory_path() / "arac_warn_test";
+  fs::create_directories(dir);
+  std::ofstream(dir / "prog.ftn") << "subroutine s\n  integer :: i\n  i = 1\nend\n";
+  const CliRun r = arac({"--quiet", (dir / "prog.ftn").string()});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.err.find("warning"), std::string::npos);
+  EXPECT_NE(r.err.find("unrecognized extension"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(AracCli, TraceAndStatsProduceValidTelemetryFiles) {
+  // The ISSUE 3 acceptance command, in-process.
+  const fs::path dir = fs::temp_directory_path() / "arac_telemetry_test";
+  fs::create_directories(dir);
+  const fs::path trace = dir / "out.json";
+  const CliRun r = arac({"--quiet", "--trace", trace.string(), "--stats", "--export-dir",
+                         dir.string(), workload("fig10_matrix.c")});
+  ASSERT_EQ(r.rc, 0) << r.err;
+
+  std::string err;
+  const auto trace_json = json::parse(slurp(trace), &err);
+  ASSERT_TRUE(trace_json.has_value()) << err;
+  EXPECT_TRUE(trace_json->is_array());
+  EXPECT_GE(trace_json->array.size(), 8u);
+
+  const auto stats_json = json::parse(slurp(dir / "fig10_matrix.stats.json"), &err);
+  ASSERT_TRUE(stats_json.has_value()) << err;
+  const json::Value* counters = stats_json->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->object.size(), 10u);
+
+  // --stats prints the counter table on stdout.
+  EXPECT_NE(r.out.find("frontend.tokens"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(AracCli, TimeReportRendersPhaseTree) {
+  const CliRun r = arac({"--quiet", "--time-report", workload("fig10_matrix.c")});
+  ASSERT_EQ(r.rc, 0) << r.err;
+  EXPECT_NE(r.out.find("Phase"), std::string::npos);
+  EXPECT_NE(r.out.find("compile"), std::string::npos);
+  EXPECT_NE(r.out.find("local-ARA"), std::string::npos);
+}
+
+TEST(AracCli, TelemetryFlagRestoresGlobalState) {
+  ASSERT_FALSE(obs::enabled());
+  (void)arac({"--quiet", "--time-report", workload("fig10_matrix.c")});
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(AracCli, NoIpaSkipsInterproceduralRows) {
+  const CliRun with = arac({workload("fig1_add.f")});
+  const CliRun without = arac({"--no-ipa", workload("fig1_add.f")});
+  ASSERT_EQ(with.rc, 0) << with.err;
+  ASSERT_EQ(without.rc, 0) << without.err;
+  EXPECT_NE(with.out.find("IUSE"), std::string::npos);
+  EXPECT_EQ(without.out.find("IUSE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ara::driver

@@ -25,6 +25,43 @@ TEST(Driver, AddFileSelectsLanguageByExtension) {
   fs::remove_all(dir);
 }
 
+TEST(Driver, AddFileRecognizesFortranFreeFormExtensions) {
+  const fs::path dir = fs::temp_directory_path() / "ara_driver_f90_test";
+  fs::create_directories(dir);
+  const char* src = "subroutine s\n  integer :: i\n  i = 1\nend\n";
+  std::ofstream(dir / "a.f90") << src;
+  std::ofstream(dir / "b.for") << src;
+  std::ofstream(dir / "c.F") << src;  // case-insensitive
+
+  Compiler cc;
+  ASSERT_TRUE(cc.add_file(dir / "a.f90"));
+  ASSERT_TRUE(cc.add_file(dir / "b.for"));
+  ASSERT_TRUE(cc.add_file(dir / "c.F"));
+  EXPECT_EQ(cc.program().sources.language(1), Language::Fortran);
+  EXPECT_EQ(cc.program().sources.language(2), Language::Fortran);
+  EXPECT_EQ(cc.program().sources.language(3), Language::Fortran);
+  // Recognized extensions produce no fallback warning.
+  EXPECT_EQ(cc.diagnostics().render().find("unrecognized extension"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(Driver, AddFileWarnsOnUnknownExtensionFallback) {
+  const fs::path dir = fs::temp_directory_path() / "ara_driver_ext_test";
+  fs::create_directories(dir);
+  std::ofstream(dir / "prog.ftn") << "subroutine s\n  integer :: i\n  i = 1\nend\n";
+
+  Compiler cc;
+  ASSERT_TRUE(cc.add_file(dir / "prog.ftn"));
+  EXPECT_EQ(cc.program().sources.language(1), Language::Fortran);
+  const std::string rendered = cc.diagnostics().render();
+  EXPECT_NE(rendered.find("warning"), std::string::npos);
+  EXPECT_NE(rendered.find("unrecognized extension"), std::string::npos);
+  EXPECT_NE(rendered.find(".ftn"), std::string::npos);
+  EXPECT_FALSE(cc.diagnostics().has_errors());
+  EXPECT_TRUE(cc.compile()) << rendered;
+  fs::remove_all(dir);
+}
+
 TEST(Driver, AddFileFailsOnMissingPath) {
   Compiler cc;
   EXPECT_FALSE(cc.add_file("/nonexistent/nope.f"));

@@ -1,0 +1,90 @@
+#include "obs/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace ara::obs {
+namespace {
+
+/// Restores the global enabled flag and zeroes counters around each test.
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatsRegistry::instance().reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    StatsRegistry::instance().reset();
+  }
+};
+
+ARA_STATISTIC(stat_alpha, "test.alpha", "Alpha test counter");
+ARA_STATISTIC(stat_beta, "test.beta", "Beta test counter");
+
+std::uint64_t value_of(const char* name) {
+  for (const StatEntry& e : StatsRegistry::instance().snapshot()) {
+    if (e.name == name) return e.value;
+  }
+  return static_cast<std::uint64_t>(-1);
+}
+
+TEST_F(StatsTest, BumpAccumulatesMonotonically) {
+  stat_alpha.bump();
+  stat_alpha.bump(41);
+  EXPECT_EQ(value_of("test.alpha"), 42u);
+  EXPECT_EQ(value_of("test.beta"), 0u);
+}
+
+TEST_F(StatsTest, DisabledBumpIsANoOp) {
+  set_enabled(false);
+  stat_alpha.bump(100);
+  EXPECT_EQ(value_of("test.alpha"), 0u);
+  set_enabled(true);
+  stat_alpha.bump(1);
+  EXPECT_EQ(value_of("test.alpha"), 1u);
+}
+
+TEST_F(StatsTest, ResetZeroesValuesButKeepsRegistration) {
+  stat_alpha.bump(7);
+  StatsRegistry::instance().reset();
+  EXPECT_EQ(value_of("test.alpha"), 0u);  // still present, just zero
+}
+
+TEST_F(StatsTest, SnapshotIsNameSorted) {
+  const auto entries = StatsRegistry::instance().snapshot();
+  ASSERT_GE(entries.size(), 2u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name) << "snapshot not sorted at index " << i;
+  }
+}
+
+TEST_F(StatsTest, SnapshotNonzeroOnlyFilters) {
+  stat_beta.bump(3);
+  for (const StatEntry& e : StatsRegistry::instance().snapshot(/*nonzero_only=*/true)) {
+    EXPECT_NE(e.value, 0u) << e.name;
+  }
+}
+
+TEST_F(StatsTest, StatsJsonIsValidAndCarriesCounters) {
+  stat_alpha.bump(5);
+  const std::string text = write_stats_json("unit");
+  std::string err;
+  const auto v = json::parse(text, &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_EQ(v->find("schema")->string, "ara.stats.v1");
+  EXPECT_EQ(v->find("workload")->string, "unit");
+  const json::Value* counters = v->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const json::Value* alpha = counters->find("test.alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_DOUBLE_EQ(alpha->number, 5.0);
+  // Keys are emitted sorted.
+  for (std::size_t i = 1; i < counters->object.size(); ++i) {
+    EXPECT_LT(counters->object[i - 1].first, counters->object[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace ara::obs

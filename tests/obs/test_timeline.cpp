@@ -1,0 +1,114 @@
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::obs {
+namespace {
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    Timeline::instance().clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Timeline::instance().clear();
+  }
+};
+
+const SpanEvent* find(const std::vector<SpanEvent>& events, std::string_view name) {
+  for (const SpanEvent& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(TimelineTest, NestedSpansRecordHierarchy) {
+  {
+    ARA_SPAN("outer", "test");
+    { ARA_SPAN("inner-a", "test"); }
+    { ARA_SPAN("inner-b", "test"); }
+  }
+  const auto events = Timeline::instance().completed();
+  ASSERT_EQ(events.size(), 3u);
+  const SpanEvent* outer = find(events, "outer");
+  const SpanEvent* a = find(events, "inner-a");
+  const SpanEvent* b = find(events, "inner-b");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(outer->parent, -1);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(events[static_cast<std::size_t>(a->parent)].name, "outer");
+  EXPECT_EQ(events[static_cast<std::size_t>(b->parent)].name, "outer");
+  EXPECT_EQ(a->depth, 1u);
+}
+
+TEST_F(TimelineTest, ParentDurationCoversSumOfChildren) {
+  {
+    ARA_SPAN("parent", "test");
+    for (int i = 0; i < 16; ++i) {
+      ARA_SPAN("child", "test");
+      volatile int sink = 0;
+      for (int j = 0; j < 1000; ++j) sink = sink + j;
+    }
+  }
+  const auto events = Timeline::instance().completed();
+  const SpanEvent* parent = find(events, "parent");
+  ASSERT_NE(parent, nullptr);
+  std::uint64_t child_sum = 0;
+  for (const SpanEvent& e : events) {
+    if (e.name == "child") {
+      child_sum += e.dur_ns;
+      // Children nest inside the parent interval.
+      EXPECT_GE(e.start_ns, parent->start_ns);
+      EXPECT_LE(e.start_ns + e.dur_ns, parent->start_ns + parent->dur_ns);
+    }
+  }
+  EXPECT_GE(parent->dur_ns, child_sum);
+}
+
+TEST_F(TimelineTest, StartTimesAreMonotonic) {
+  {
+    ARA_SPAN("a");
+    { ARA_SPAN("b"); }
+  }
+  { ARA_SPAN("c"); }
+  const auto events = Timeline::instance().completed();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+  }
+}
+
+TEST_F(TimelineTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  { ARA_SPAN("ghost"); }
+  EXPECT_TRUE(Timeline::instance().empty());
+}
+
+TEST_F(TimelineTest, EndClosesLeakedInnerSpans) {
+  Timeline& tl = Timeline::instance();
+  const std::uint32_t outer = tl.begin("outer", "test");
+  (void)tl.begin("leaked", "test");
+  tl.end(outer);  // must close "leaked" too
+  const auto events = tl.completed();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(find(events, "leaked"), nullptr);
+}
+
+TEST_F(TimelineTest, ClearDropsEventsAndRebasesEpoch) {
+  { ARA_SPAN("x"); }
+  ASSERT_FALSE(Timeline::instance().empty());
+  Timeline::instance().clear();
+  EXPECT_TRUE(Timeline::instance().empty());
+  { ARA_SPAN("y"); }
+  const auto events = Timeline::instance().completed();
+  ASSERT_EQ(events.size(), 1u);
+  // Fresh epoch: the new span starts near zero (well under a second).
+  EXPECT_LT(events[0].start_ns, 1'000'000'000ull);
+}
+
+}  // namespace
+}  // namespace ara::obs

@@ -1,0 +1,68 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_TRUE(parse("true")->boolean);
+  EXPECT_FALSE(parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse("42")->number, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.5")->number, -3.5);
+  EXPECT_DOUBLE_EQ(parse("1.25e2")->number, 125.0);
+  EXPECT_EQ(parse("\"hi\"")->string, "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const auto v = parse(R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  const Value* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  const Value* b = a->array[2].find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string, "x");
+  const Value* c = v->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->find("d")->is_null());
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  const auto v = parse(R"({"z": 1, "a": 2})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->object.size(), 2u);
+  EXPECT_EQ(v->object[0].first, "z");
+  EXPECT_EQ(v->object[1].first, "a");
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")")->string, "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("A")")->string, "A");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse("", &err).has_value());
+  EXPECT_FALSE(parse("{", &err).has_value());
+  EXPECT_FALSE(parse("[1,]", &err).has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}", &err).has_value());
+  EXPECT_FALSE(parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse("1 2", &err).has_value());
+  EXPECT_FALSE(parse("nul", &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(Json, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "quote \" slash \\ newline \n tab \t ctrl \x01 done";
+  const auto v = parse("\"" + escape(nasty) + "\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, nasty);
+}
+
+}  // namespace
+}  // namespace ara::json

@@ -1,0 +1,13 @@
+// arac — the OpenARA command-line driver (grew out of the bring-up smoke
+// binary). All logic lives in driver/cli.cpp so the test suite can run the
+// CLI in-process; this file only adapts argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ara::driver::run_arac(args, std::cout, std::cerr);
+}
