@@ -1,7 +1,9 @@
 #include "driver/cli.hpp"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <ostream>
 
 #include "driver/compiler.hpp"
@@ -10,6 +12,7 @@
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
+#include "serve/engine.hpp"
 #include "support/text_table.hpp"
 
 namespace ara::driver {
@@ -28,8 +31,14 @@ struct CliOptions {
   bool no_ipa = false;
   bool dump_ir = false;
   bool quiet = false;
+  long jobs = 0;          // 0 = flag absent (monolithic pipeline)
+  std::string cache_dir;  // empty = no summary cache
+  bool no_cache = false;
 
   [[nodiscard]] bool telemetry() const { return stats || time_report || !trace_file.empty(); }
+  /// The batch engine runs whenever its flags are used; otherwise the
+  /// monolithic pipeline keeps its historical behavior.
+  [[nodiscard]] bool serve() const { return jobs > 0 || !cache_dir.empty(); }
 };
 
 void usage(std::ostream& out) {
@@ -47,7 +56,12 @@ void usage(std::ostream& out) {
          "                    (load it at ui.perfetto.dev or chrome://tracing)\n"
          "  --no-ipa          skip interprocedural propagation (-IPA off)\n"
          "  --dump-ir         dump the lowered WHIRL trees to stdout\n"
-         "  --quiet           suppress the region table and summary\n";
+         "  --quiet           suppress the region table and summary\n"
+         "  --jobs N          batch engine: analyze units on N worker threads\n"
+         "                    (output is byte-identical for every N)\n"
+         "  --cache-dir DIR   batch engine: persistent summary cache; unchanged\n"
+         "                    units skip parsing and local analysis\n"
+         "  --no-cache        ignore the cache for this run (don't read or write)\n";
 }
 
 bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostream& out,
@@ -81,6 +95,21 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostr
       cli->stats = true;
     } else if (a == "--time-report") {
       cli->time_report = true;
+    } else if (a == "--jobs" || a == "-j") {
+      const std::string* v = next("--jobs");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      cli->jobs = std::strtol(v->c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || cli->jobs < 1) {
+        err << "arac: --jobs expects a positive integer, got '" << *v << "'\n";
+        return false;
+      }
+    } else if (a == "--cache-dir") {
+      const std::string* v = next("--cache-dir");
+      if (v == nullptr) return false;
+      cli->cache_dir = *v;
+    } else if (a == "--no-cache") {
+      cli->no_cache = true;
     } else if (a == "--no-ipa") {
       cli->no_ipa = true;
     } else if (a == "--dump-ir") {
@@ -126,6 +155,68 @@ bool write_file(const fs::path& path, const std::string& text, std::ostream& err
   return true;
 }
 
+/// The batch-engine path (`--jobs` / `--cache-dir`): parallel per-unit
+/// analysis + summary cache + serial link, same outputs as the monolithic
+/// pipeline below.
+int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
+  if (cli.dump_ir) {
+    err << "arac: --dump-ir is unavailable with --jobs/--cache-dir "
+           "(the batch engine keeps no whole-program IR); ignoring\n";
+  }
+  std::vector<serve::SourceBuffer> sources;
+  for (const fs::path& src : cli.sources) {
+    std::string warning;
+    std::optional<serve::SourceBuffer> buf = serve::read_source(src, &warning);
+    if (!buf.has_value()) {
+      err << "arac: cannot read " << src.string() << "\n";
+      return 1;
+    }
+    if (!warning.empty()) err << "warning: " << warning << "\n";
+    sources.push_back(std::move(*buf));
+  }
+
+  serve::BatchOptions bopts;
+  bopts.jobs = cli.jobs > 0 ? static_cast<std::size_t>(cli.jobs) : 1;
+  bopts.cache_dir = cli.cache_dir;
+  bopts.use_cache = !cli.no_cache;
+  bopts.interprocedural = !cli.no_ipa;
+  const serve::BatchResult result = serve::run_batch(sources, bopts, cli.name);
+
+  // Unit diagnostics come back in input order regardless of which worker
+  // produced them; link diagnostics (duplicate definitions, unresolved
+  // externs) follow.
+  for (const serve::UnitReport& unit : result.units) {
+    if (!unit.diagnostics.empty()) err << unit.diagnostics;
+  }
+  const std::string link_diags = result.link.diags.render();
+  if (!link_diags.empty()) err << link_diags;
+  if (!result.ok) return 1;
+
+  if (!cli.quiet) {
+    out << cli.name << ": " << result.link.project.procedures.size() << " procedures, "
+        << result.link.project.edges.size() << " call edges, " << result.link.rows.size()
+        << " region rows\n";
+    out << render_region_table(result.link.rows);
+    if (!bopts.cache_dir.empty() && bopts.use_cache) {
+      out << "cache: " << result.cache_hits << " hits, " << result.cache_misses << " misses\n";
+    }
+  }
+
+  if (!cli.export_dir.empty()) {
+    std::string error;
+    if (!export_dragon_files(result.link.rows, result.link.project, result.link.cfg_text,
+                             cli.export_dir, cli.name, &error)) {
+      err << "arac: " << error << "\n";
+      return 1;
+    }
+    if (!cli.quiet) {
+      out << "wrote " << (fs::path(cli.export_dir) / cli.name).string() << ".{rgn,dgn,cfg"
+          << (cli.telemetry() ? ",stats.json" : "") << "}\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -142,7 +233,13 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
   }
 
   int rc = 0;
-  {
+  if (cli.serve()) {
+    rc = run_serve(cli, out, err);
+    if (rc != 0) {
+      obs::set_enabled(was_enabled);
+      return rc;
+    }
+  } else {
     Compiler cc;
     for (const fs::path& src : cli.sources) {
       if (!cc.add_file(src)) {

@@ -92,6 +92,13 @@ rgn::DgnProject build_dgn_project(const ir::Program& program,
 bool export_dragon_files(const ir::Program& program, const ipa::AnalysisResult& result,
                          const std::filesystem::path& dir, const std::string& name,
                          std::string* error) {
+  return export_dragon_files(result.rows, build_dgn_project(program, result, name),
+                             cfg::write_cfg(cfg::build_all(program)), dir, name, error);
+}
+
+bool export_dragon_files(const std::vector<rgn::RegionRow>& rows, const rgn::DgnProject& project,
+                         const std::string& cfg_text, const std::filesystem::path& dir,
+                         const std::string& name, std::string* error) {
   ARA_SPAN("export", "driver");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -108,11 +115,9 @@ bool export_dragon_files(const ir::Program& program, const ipa::AnalysisResult& 
     }
     return true;
   };
-  if (!write(dir / (name + ".rgn"), rgn::write_rgn(result.rows))) return false;
-  if (!write(dir / (name + ".dgn"), rgn::write_dgn(build_dgn_project(program, result, name)))) {
-    return false;
-  }
-  if (!write(dir / (name + ".cfg"), cfg::write_cfg(cfg::build_all(program)))) return false;
+  if (!write(dir / (name + ".rgn"), rgn::write_rgn(rows))) return false;
+  if (!write(dir / (name + ".dgn"), rgn::write_dgn(project))) return false;
+  if (!write(dir / (name + ".cfg"), cfg_text)) return false;
   // Telemetry rides along with the Dragon files so the counters that
   // produced an export are inspectable next to it.
   if (obs::enabled() &&

@@ -13,11 +13,13 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ipa/analyzer.hpp"
 #include "ir/layout.hpp"
 #include "ir/program.hpp"
 #include "rgn/dgn.hpp"
+#include "rgn/region_row.hpp"
 #include "support/diagnostics.hpp"
 
 namespace ara::driver {
@@ -63,6 +65,12 @@ class Compiler {
 bool export_dragon_files(const ir::Program& program, const ipa::AnalysisResult& result,
                          const std::filesystem::path& dir, const std::string& name,
                          std::string* error = nullptr);
+
+/// Artifact-level overload shared with the serve engine: writes pre-built
+/// rows, project and .cfg text without needing an ipa::AnalysisResult.
+bool export_dragon_files(const std::vector<rgn::RegionRow>& rows, const rgn::DgnProject& project,
+                         const std::string& cfg_text, const std::filesystem::path& dir,
+                         const std::string& name, std::string* error = nullptr);
 
 /// Builds the in-memory .dgn project (files, procedures, call-graph edges).
 [[nodiscard]] rgn::DgnProject build_dgn_project(const ir::Program& program,

@@ -16,6 +16,11 @@ ARA_STATISTIC(stat_procs, "frontend.procs_lowered", "Procedures lowered to WHIRL
 ARA_STATISTIC(stat_wn_nodes, "ir.wn_nodes", "WHIRL nodes in lowered procedure trees");
 
 bool compile_program(ir::Program& program, DiagnosticEngine& diags) {
+  return compile_program(program, diags, CompileOptions{}, nullptr);
+}
+
+bool compile_program(ir::Program& program, DiagnosticEngine& diags, const CompileOptions& opts,
+                     std::vector<ExternRef>* externs) {
   std::vector<ModuleAst> modules;
   {
     ARA_SPAN("parse", "frontend");
@@ -34,11 +39,14 @@ bool compile_program(ir::Program& program, DiagnosticEngine& diags) {
   }
   if (diags.has_errors()) return false;
 
-  Sema sema(program, diags);
+  SemaOptions sema_opts;
+  sema_opts.external_calls = opts.external_calls;
+  Sema sema(program, diags, sema_opts);
   SemaResult resolved = [&] {
     ARA_SPAN("sema", "frontend");
     return sema.run(modules);
   }();
+  if (externs != nullptr) *externs = resolved.externs;
   if (diags.has_errors()) return false;
 
   {

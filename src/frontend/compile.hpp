@@ -3,14 +3,27 @@
 // (Fig 3: sources -> VH WHIRL -> H WHIRL, where IPA operates).
 #pragma once
 
+#include <vector>
+
+#include "frontend/sema.hpp"
 #include "ir/program.hpp"
 #include "support/diagnostics.hpp"
 
 namespace ara::fe {
 
+struct CompileOptions {
+  /// Separate compilation for the serve engine: see SemaOptions.
+  bool external_calls = false;
+};
+
 /// Compiles all registered sources into program.procedures / program.symtab
 /// and assigns the static data layout. Returns false if any error diagnostic
 /// was emitted (the program may be partially populated).
 bool compile_program(ir::Program& program, DiagnosticEngine& diags);
+
+/// As above; `externs` (when non-null) receives the external procedure
+/// references declared on the fly under `opts.external_calls`.
+bool compile_program(ir::Program& program, DiagnosticEngine& diags, const CompileOptions& opts,
+                     std::vector<ExternRef>* externs);
 
 }  // namespace ara::fe

@@ -21,12 +21,31 @@ bool is_intrinsic(std::string_view name) { return intrinsics().count(to_lower(na
 
 SemaResult Sema::run(std::vector<ModuleAst>& modules) {
   SemaResult out;
+  result_ = &out;
   declare_procedures(modules);
   declare_globals(modules);
   for (ModuleAst& mod : modules) {
     for (ProcDecl& proc : mod.procs) analyze_proc(mod, proc, out);
   }
+  result_ = nullptr;
   return out;
+}
+
+bool Sema::extern_call(const std::string& name, SourceLoc loc, FileId file) {
+  if (!opts_.external_calls) return false;
+  const std::string key = to_lower(name);
+  if (procs_.count(key) == 0) {
+    ir::St st;
+    st.name = name;
+    st.sclass = ir::StClass::Proc;
+    st.storage = ir::StStorage::Global;
+    st.ty = program_.symtab.make_scalar_ty(ir::Mtype::Void);
+    st.loc = loc;
+    st.file = file;
+    procs_[key] = program_.symtab.make_st(std::move(st));
+  }
+  if (result_ != nullptr) result_->externs.push_back(ExternRef{key, loc});
+  return true;
 }
 
 void Sema::declare_procedures(const std::vector<ModuleAst>& modules) {
@@ -274,7 +293,8 @@ void Sema::resolve_stmt(Stmt& stmt, ProcScope& scope, Language lang) {
       }
       break;
     case StmtKind::CallStmt: {
-      if (procs_.count(to_lower(stmt.callee)) == 0 && !is_intrinsic(stmt.callee)) {
+      if (procs_.count(to_lower(stmt.callee)) == 0 && !is_intrinsic(stmt.callee) &&
+          !extern_call(stmt.callee, stmt.loc, scope.file)) {
         diags_.error(stmt.loc, "call to unknown procedure '" + stmt.callee + "'");
       }
       for (ExprPtr& a : stmt.call_args) {
@@ -324,6 +344,11 @@ void Sema::resolve_expr(Expr& expr, ProcScope& scope, Language lang) {
           for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
           return;
         }
+        if (lang == Language::Fortran && extern_call(expr.name, expr.loc, scope.file)) {
+          expr.kind = ExprKind::CallExpr;  // assumed external function
+          for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
+          return;
+        }
         diags_.error(expr.loc, "reference to undeclared array '" + expr.name + "'");
         implicit_scalar(expr.name, lang, scope.proc_st, scope.file, expr.loc, scope);
         for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);
@@ -347,7 +372,8 @@ void Sema::resolve_expr(Expr& expr, ProcScope& scope, Language lang) {
       return;
     }
     case ExprKind::CallExpr: {
-      if (procs_.count(to_lower(expr.name)) == 0 && !is_intrinsic(expr.name)) {
+      if (procs_.count(to_lower(expr.name)) == 0 && !is_intrinsic(expr.name) &&
+          !extern_call(expr.name, expr.loc, scope.file)) {
         diags_.error(expr.loc, "call to unknown function '" + expr.name + "'");
       }
       for (ExprPtr& a : expr.args) resolve_expr(*a, scope, lang);

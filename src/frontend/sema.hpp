@@ -27,8 +27,30 @@ struct ProcScope {
   std::vector<ir::StIdx> formals;  // in parameter order
 };
 
+/// A reference to a procedure that is not defined in the analyzed modules
+/// (separate-compilation mode only). The serve engine's link phase checks
+/// these against the whole program's procedure table and diagnoses the ones
+/// that never resolve — the per-unit analogue of sema's "call to unknown
+/// procedure" error.
+struct ExternRef {
+  std::string name;  // lowercase
+  SourceLoc loc;
+};
+
 struct SemaResult {
   std::vector<ProcScope> scopes;  // parallel to the flattened proc list
+  std::vector<ExternRef> externs;  // separate-compilation mode only
+};
+
+struct SemaOptions {
+  /// Separate compilation (one translation unit at a time, as the serve
+  /// engine does): a call to a procedure the unit does not define is not an
+  /// error; an extern Proc ST is declared on the fly and the reference is
+  /// reported in SemaResult::externs for the linker to check. In Fortran,
+  /// an unresolved `name(args)` is taken to be an external function call
+  /// (whole-program sema can tell undeclared arrays from cross-unit
+  /// functions; a single unit cannot).
+  bool external_calls = false;
 };
 
 /// True for the supported intrinsic functions (abs, sqrt, max, ...).
@@ -36,7 +58,8 @@ struct SemaResult {
 
 class Sema {
  public:
-  Sema(ir::Program& program, DiagnosticEngine& diags) : program_(program), diags_(diags) {}
+  Sema(ir::Program& program, DiagnosticEngine& diags, SemaOptions opts = {})
+      : program_(program), diags_(diags), opts_(opts) {}
 
   /// Runs over all modules; returns scopes for every procedure. Also
   /// re-writes ambiguous Fortran ArrayRef nodes into CallExpr where the name
@@ -56,11 +79,17 @@ class Sema {
   void resolve_stmt(Stmt& stmt, ProcScope& scope, Language lang);
   void resolve_expr(Expr& expr, ProcScope& scope, Language lang);
 
+  /// Declares an extern Proc ST for `name` (separate-compilation mode) and
+  /// records the reference; returns true when the mode permits it.
+  bool extern_call(const std::string& name, SourceLoc loc, FileId file);
+
   /// Constant-folds a dimension bound expression; nullopt if not constant.
   [[nodiscard]] std::optional<std::int64_t> fold(const Expr* e) const;
 
   ir::Program& program_;
   DiagnosticEngine& diags_;
+  SemaOptions opts_;
+  SemaResult* result_ = nullptr;              // set while run() executes
   std::map<std::string, ir::StIdx> procs_;    // lowercase name -> Proc ST
   std::map<std::string, ir::StIdx> globals_;  // lowercase name -> global ST
 };

@@ -41,9 +41,9 @@ InterprocAnalyzer::CalleeInfo InterprocAnalyzer::collect_info(ir::StIdx proc_st)
   return info;
 }
 
-Region InterprocAnalyzer::translate_region(
-    const Region& r, const std::map<std::string, std::optional<LinExpr>>& subst,
-    const std::map<std::string, bool>& callee_locals) const {
+Region translate_region(const Region& r,
+                        const std::map<std::string, std::optional<LinExpr>>& subst,
+                        const std::map<std::string, bool>& callee_locals) {
   Region out;
   for (const DimAccess& d : r.dims()) {
     auto translate_bound = [&](const Bound& b) -> Bound {

@@ -16,6 +16,17 @@
 
 namespace ara::ipa {
 
+/// Rewrites one callee region into a caller's context. `subst` maps callee
+/// formal-scalar names to the actual argument's affine value (or nullopt
+/// when the actual is not affine); names in `callee_locals` are meaningless
+/// to the caller and poison their bound to UNPROJECTED. Shared by the
+/// in-memory IPA below and the serve engine's summary-based link phase —
+/// both must translate regions identically for their outputs to agree.
+[[nodiscard]] regions::Region translate_region(
+    const regions::Region& r,
+    const std::map<std::string, std::optional<regions::LinExpr>>& subst,
+    const std::map<std::string, bool>& callee_locals);
+
 struct InterprocResult {
   /// Transitive side effects per call-graph node index.
   std::vector<SideEffects> side_effects;
@@ -47,15 +58,6 @@ class InterprocAnalyzer {
   };
 
   [[nodiscard]] CalleeInfo collect_info(ir::StIdx proc_st) const;
-
-  /// Rewrites one callee region into the caller's context. `subst` maps
-  /// callee formal-scalar names to the actual argument's affine value (or
-  /// nullopt when the actual is not affine); names in `callee_locals` are
-  /// meaningless to the caller and poison their bound to UNPROJECTED.
-  [[nodiscard]] regions::Region translate_region(
-      const regions::Region& r,
-      const std::map<std::string, std::optional<regions::LinExpr>>& subst,
-      const std::map<std::string, bool>& callee_locals) const;
 
   const ir::Program& program_;
   const CallGraph& cg_;

@@ -1,0 +1,229 @@
+#include "ipa/summary_io.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "support/string_utils.hpp"
+
+namespace ara::ipa::io {
+
+using regions::Bound;
+using regions::BoundKind;
+using regions::DimAccess;
+using regions::LinExpr;
+using regions::Region;
+
+std::string enc(std::string_view s) {
+  if (s.empty()) return "%-";
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    if (u <= 0x20 || ch == '%' || u == 0x7f) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", u);
+      out += buf;
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> dec(std::string_view tok) {
+  if (tok == "%-") return std::string();
+  std::string out;
+  out.reserve(tok.size());
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    if (tok[i] != '%') {
+      out += tok[i];
+      continue;
+    }
+    if (i + 2 >= tok.size()) return std::nullopt;
+    const auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(tok[i + 1]);
+    const int lo = hex(tok[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::optional<std::int64_t> read_i64(std::string_view tok) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> read_u64(std::string_view tok) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) return std::nullopt;
+  return v;
+}
+
+std::string write_linexpr(const LinExpr& e) {
+  std::string out = std::to_string(e.constant());
+  for (const auto& [name, coef] : e.terms()) {
+    out += ',';
+    out += name;
+    out += '*';
+    out += std::to_string(coef);
+  }
+  return out;
+}
+
+std::optional<LinExpr> read_linexpr(std::string_view tok) {
+  const std::vector<std::string> parts = split(tok, ',');
+  if (parts.empty()) return std::nullopt;
+  const auto c0 = read_i64(parts[0]);
+  if (!c0) return std::nullopt;
+  LinExpr e(*c0);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::size_t star = parts[i].rfind('*');
+    if (star == std::string::npos || star == 0) return std::nullopt;
+    const auto coef = read_i64(std::string_view(parts[i]).substr(star + 1));
+    if (!coef || *coef == 0) return std::nullopt;
+    e += LinExpr::var(parts[i].substr(0, star), *coef);
+  }
+  return e;
+}
+
+std::string write_bound(const Bound& b) {
+  switch (b.kind) {
+    case BoundKind::Messy:
+      return "M";
+    case BoundKind::Unprojected:
+      return "U";
+    case BoundKind::Const:
+      return "C:" + write_linexpr(b.expr);
+    case BoundKind::IVar:
+      return "I:" + write_linexpr(b.expr);
+    case BoundKind::LIndex:
+      return "X:" + write_linexpr(b.expr);
+    case BoundKind::Subscr:
+      return "S:" + write_linexpr(b.expr);
+  }
+  return "M";
+}
+
+std::optional<Bound> read_bound(std::string_view tok) {
+  if (tok == "M") return Bound::messy();
+  if (tok == "U") return Bound::unprojected();
+  if (tok.size() < 3 || tok[1] != ':') return std::nullopt;
+  BoundKind kind;
+  switch (tok[0]) {
+    case 'C':
+      kind = BoundKind::Const;
+      break;
+    case 'I':
+      kind = BoundKind::IVar;
+      break;
+    case 'X':
+      kind = BoundKind::LIndex;
+      break;
+    case 'S':
+      kind = BoundKind::Subscr;
+      break;
+    default:
+      return std::nullopt;
+  }
+  const auto e = read_linexpr(tok.substr(2));
+  if (!e) return std::nullopt;
+  // Constructed directly (not via Bound::affine) so the serialized kind is
+  // preserved byte-for-byte even for expressions that fold to constants.
+  return Bound{kind, *e};
+}
+
+std::string write_region(const Region& r) {
+  if (r.rank() == 0) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < r.rank(); ++i) {
+    if (i != 0) out += '|';
+    const DimAccess& d = r.dim(i);
+    out += write_bound(d.lb);
+    out += ';';
+    out += write_bound(d.ub);
+    out += ';';
+    out += std::to_string(d.stride);
+  }
+  return out;
+}
+
+std::optional<Region> read_region(std::string_view tok) {
+  Region r;
+  if (tok == "-") return r;
+  for (const std::string& dim_text : split(tok, '|')) {
+    const std::vector<std::string> f = split(dim_text, ';');
+    if (f.size() != 3) return std::nullopt;
+    const auto lb = read_bound(f[0]);
+    const auto ub = read_bound(f[1]);
+    const auto stride = read_i64(f[2]);
+    if (!lb || !ub || !stride) return std::nullopt;
+    r.push_dim(DimAccess{*lb, *ub, *stride});
+  }
+  return r;
+}
+
+std::string write_mode_regions(const ModeRegions& mr) {
+  std::string out = std::to_string(mr.refs) + "@";
+  for (std::size_t i = 0; i < mr.regions.size(); ++i) {
+    if (i != 0) out += '+';
+    out += write_region(mr.regions[i]);
+  }
+  return out;
+}
+
+std::optional<ModeRegions> read_mode_regions(std::string_view tok) {
+  const std::size_t at = tok.find('@');
+  if (at == std::string_view::npos) return std::nullopt;
+  const auto refs = read_u64(tok.substr(0, at));
+  if (!refs) return std::nullopt;
+  ModeRegions mr;
+  mr.refs = *refs;
+  const std::string_view rest = tok.substr(at + 1);
+  if (rest.empty()) return mr;
+  for (const std::string& region_text : split(rest, '+')) {
+    const auto r = read_region(region_text);
+    if (!r) return std::nullopt;
+    mr.regions.push_back(*r);
+  }
+  return mr;
+}
+
+char mode_tag(regions::AccessMode m) {
+  switch (m) {
+    case regions::AccessMode::Use:
+      return 'U';
+    case regions::AccessMode::Def:
+      return 'D';
+    case regions::AccessMode::Formal:
+      return 'F';
+    case regions::AccessMode::Passed:
+      return 'P';
+  }
+  return '?';
+}
+
+std::optional<regions::AccessMode> mode_from_tag(char c) {
+  switch (c) {
+    case 'U':
+      return regions::AccessMode::Use;
+    case 'D':
+      return regions::AccessMode::Def;
+    case 'F':
+      return regions::AccessMode::Formal;
+    case 'P':
+      return regions::AccessMode::Passed;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ara::ipa::io

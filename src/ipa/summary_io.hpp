@@ -1,0 +1,54 @@
+// Token-level serialization of the summary data model (LinExpr, Bound,
+// Region, ModeRegions, AccessMode) — the substrate of the serve engine's
+// persistent summary cache. OpenUH's IPL writes exactly this kind of
+// per-procedure summary information into the object file for IPA to read
+// back ("the information is summarized for each procedure", §IV-A); here
+// the same idea makes local analysis results durable across tool runs.
+//
+// Every value encodes to ONE whitespace-free token, so higher layers can
+// frame records as space-separated lines. Readers are total: any malformed
+// token yields nullopt, never UB — corrupt cache entries must degrade to
+// cache misses (ISSUE 4), so the parsing layer is the safety boundary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ipa/summary.hpp"
+
+namespace ara::ipa::io {
+
+/// Percent-encodes whitespace, '%' and control bytes; "" becomes "%-" so
+/// the result is always a non-empty single token.
+[[nodiscard]] std::string enc(std::string_view s);
+/// Inverse of enc(); nullopt on malformed escapes.
+[[nodiscard]] std::optional<std::string> dec(std::string_view tok);
+
+/// "c0[,name*coef]*", e.g. "3,i*2,n*-1"; a pure constant is just "3".
+[[nodiscard]] std::string write_linexpr(const regions::LinExpr& e);
+[[nodiscard]] std::optional<regions::LinExpr> read_linexpr(std::string_view tok);
+
+/// "<kind>:<linexpr>" with kind C/I/X/S; kind-only "M"/"U" for
+/// Messy/Unprojected (which carry no expression).
+[[nodiscard]] std::string write_bound(const regions::Bound& b);
+[[nodiscard]] std::optional<regions::Bound> read_bound(std::string_view tok);
+
+/// Dims joined with '|', each "lb;ub;stride"; the rank-0 region is "-".
+[[nodiscard]] std::string write_region(const regions::Region& r);
+[[nodiscard]] std::optional<regions::Region> read_region(std::string_view tok);
+
+/// "<refs>@<region>[+<region>]*" ("refs@" alone when the list is empty).
+[[nodiscard]] std::string write_mode_regions(const ModeRegions& mr);
+[[nodiscard]] std::optional<ModeRegions> read_mode_regions(std::string_view tok);
+
+/// U / D / F / P single-character tags.
+[[nodiscard]] char mode_tag(regions::AccessMode m);
+[[nodiscard]] std::optional<regions::AccessMode> mode_from_tag(char c);
+
+/// Decimal integer helpers shared by the serve serde (total: nullopt on
+/// junk, overflow or trailing garbage).
+[[nodiscard]] std::optional<std::int64_t> read_i64(std::string_view tok);
+[[nodiscard]] std::optional<std::uint64_t> read_u64(std::string_view tok);
+
+}  // namespace ara::ipa::io

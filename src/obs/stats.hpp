@@ -13,6 +13,7 @@
 // the `arac` CLI and the tests flip it on with obs::set_enabled(true).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -37,24 +38,26 @@ struct StatEntry {
 
 /// A named counter with static storage duration; registers itself with the
 /// global registry on construction and stays registered for the process
-/// lifetime (the registry stores raw pointers).
+/// lifetime (the registry stores raw pointers). Bumps are relaxed atomic
+/// adds so the serve engine's worker threads can share counters; the total
+/// is scheduling-independent because addition commutes.
 class Counter {
  public:
   Counter(std::string_view name, std::string_view desc);
 
   void bump(std::uint64_t n = 1) {
-    if (enabled()) value_ += n;
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::string& desc() const { return desc_; }
-  void reset() { value_ = 0; }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
   std::string name_;
   std::string desc_;
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class StatsRegistry {

@@ -12,7 +12,15 @@ std::uint64_t steady_ns() {
                                         .count());
 }
 
+// Per-thread state: the open-span stack (span nesting follows scope nesting
+// within one thread) and the worker lane stamped onto events.
+thread_local std::vector<std::uint32_t> t_stack;
+thread_local std::uint32_t t_lane = 0;
+
 }  // namespace
+
+void set_lane(std::uint32_t lane) { t_lane = lane; }
+std::uint32_t lane() { return t_lane; }
 
 Timeline::Timeline() : epoch_ns_(steady_ns()) {}
 
@@ -24,32 +32,37 @@ Timeline& Timeline::instance() {
 std::uint64_t Timeline::now_ns() const { return steady_ns() - epoch_ns_; }
 
 void Timeline::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
-  stack_.clear();
+  t_stack.clear();
   epoch_ns_ = steady_ns();
 }
 
 std::uint32_t Timeline::begin(std::string name, std::string cat) {
+  std::lock_guard<std::mutex> lock(mu_);
   Rec rec;
   rec.ev.name = std::move(name);
   rec.ev.cat = std::move(cat);
   rec.ev.start_ns = now_ns();
-  rec.ev.parent = stack_.empty() ? -1 : static_cast<std::int32_t>(stack_.back());
-  rec.ev.depth = static_cast<std::uint32_t>(stack_.size());
+  rec.ev.parent = t_stack.empty() ? -1 : static_cast<std::int32_t>(t_stack.back());
+  rec.ev.depth = static_cast<std::uint32_t>(t_stack.size());
+  rec.ev.lane = t_lane;
   const auto id = static_cast<std::uint32_t>(events_.size());
   events_.push_back(std::move(rec));
-  stack_.push_back(id);
+  t_stack.push_back(id);
   return id;
 }
 
 void Timeline::end(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= events_.size() || !events_[id].open) return;
   const std::uint64_t t = now_ns();
   // Close any inner spans leaked past their opener (shouldn't happen with
-  // RAII, but keeps the hierarchy consistent if it does).
-  while (!stack_.empty()) {
-    const std::uint32_t top = stack_.back();
-    stack_.pop_back();
+  // RAII, but keeps the hierarchy consistent if it does). Only this
+  // thread's stack is touched; other lanes' open spans are unaffected.
+  while (!t_stack.empty()) {
+    const std::uint32_t top = t_stack.back();
+    t_stack.pop_back();
     Rec& rec = events_[top];
     rec.open = false;
     rec.ev.dur_ns = t - rec.ev.start_ns;
@@ -58,6 +71,7 @@ void Timeline::end(std::uint32_t id) {
 }
 
 std::vector<SpanEvent> Timeline::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
   // Open spans are excluded, so parent indices must be remapped into the
   // filtered vector (re-linking to the nearest completed ancestor).
   std::vector<std::int32_t> remap(events_.size(), -1);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,30 +27,42 @@ struct SpanEvent {
   std::uint64_t dur_ns = 0;
   std::int32_t parent = -1;     // index into the event vector; -1 = root
   std::uint32_t depth = 0;
+  std::uint32_t lane = 0;       // worker lane (Chrome-trace tid = lane + 1)
 };
 
-/// Process-global span recorder. Single-threaded by design (the pipeline
-/// is); begin/end indices come from Span, tests may drive them directly.
+/// The calling thread's lane: 0 for the main pipeline, 1..N for serve
+/// workers. Spans opened on this thread carry the lane, so Chrome traces
+/// show one horizontal track per worker.
+void set_lane(std::uint32_t lane);
+[[nodiscard]] std::uint32_t lane();
+
+/// Process-global span recorder. Thread-safe: the event vector is guarded
+/// by a mutex and the open-span stack is per-thread, so spans nest within
+/// their own lane (worker) while many lanes record concurrently.
 class Timeline {
  public:
   static Timeline& instance();
 
-  /// Drops all events and re-bases the epoch at now.
+  /// Drops all events and re-bases the epoch at now. Call only when no
+  /// spans are open (between pipeline runs).
   void clear();
 
   /// Opens a span: records the start time, links it under the innermost
-  /// open span, and returns its event index.
+  /// open span of this thread, and returns its event index.
   std::uint32_t begin(std::string name, std::string cat);
 
-  /// Closes the span `id` (and, defensively, anything opened after it that
-  /// was left open).
+  /// Closes the span `id` (and, defensively, anything opened after it on
+  /// the same thread that was left open).
   void end(std::uint32_t id);
 
   /// Completed events in begin order (start_ns non-decreasing). Spans still
   /// open are excluded.
   [[nodiscard]] std::vector<SpanEvent> completed() const;
 
-  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.empty();
+  }
 
  private:
   Timeline();
@@ -59,9 +72,9 @@ class Timeline {
     SpanEvent ev;
     bool open = true;
   };
+  mutable std::mutex mu_;
   std::vector<Rec> events_;
-  std::vector<std::uint32_t> stack_;  // indices of open spans, outermost first
-  std::uint64_t epoch_ns_ = 0;        // steady-clock origin for start_ns
+  std::uint64_t epoch_ns_ = 0;  // steady-clock origin for start_ns
 };
 
 /// RAII span: opens on construction when telemetry is enabled, closes on

@@ -32,7 +32,7 @@ std::string write_chrome_trace(const std::vector<SpanEvent>& events) {
        << "\"ph\": \"X\", "
        << "\"ts\": " << us_fixed(ev.start_ns) << ", "
        << "\"dur\": " << us_fixed(ev.dur_ns) << ", "
-       << "\"pid\": 1, \"tid\": 1}";
+       << "\"pid\": 1, \"tid\": " << (ev.lane + 1) << "}";
   }
   os << "\n]\n";
   return os.str();

@@ -1,0 +1,139 @@
+#include "serve/cache.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "obs/stats.hpp"
+#include "serve/hash.hpp"
+
+namespace ara::serve {
+
+ARA_STATISTIC(stat_hits, "serve.cache_hits", "Summary cache hits (units not re-analyzed)");
+ARA_STATISTIC(stat_misses, "serve.cache_misses", "Summary cache misses");
+ARA_STATISTIC(stat_writes, "serve.cache_writes", "Summary cache entries written");
+ARA_STATISTIC(stat_evictions, "serve.cache_evictions",
+              "Invalid cache entries discarded (corrupt, truncated, or stale)");
+
+namespace {
+
+constexpr std::string_view kMagic = "ARA-UNIT-CACHE v1";
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buf.str();
+}
+
+/// Validates the entry envelope and returns the payload, or nullopt.
+std::optional<std::string_view> unwrap(std::string_view text, std::string_view key) {
+  auto line = [&]() -> std::optional<std::string_view> {
+    const std::size_t nl = text.find('\n');
+    if (nl == std::string_view::npos) return std::nullopt;
+    std::string_view out = text.substr(0, nl);
+    text = text.substr(nl + 1);
+    return out;
+  };
+  if (line() != kMagic) return std::nullopt;
+  if (line() != "key " + std::string(key)) return std::nullopt;
+  if (line() != "version " + std::string(kAnalyzerVersion)) return std::nullopt;
+  const auto payload_hdr = line();
+  if (!payload_hdr || payload_hdr->substr(0, 8) != "payload ") return std::nullopt;
+  std::size_t nbytes = 0;
+  for (const char c : payload_hdr->substr(8)) {
+    if (c < '0' || c > '9' || nbytes > text.size()) return std::nullopt;
+    nbytes = nbytes * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (payload_hdr->size() == 8 || nbytes > text.size()) return std::nullopt;
+  std::string_view payload = text.substr(0, nbytes);
+  text = text.substr(nbytes);
+  if (line() != std::string_view{}) return std::nullopt;  // '\n' after payload
+  if (line() != "checksum " + Hasher().update(payload).hex()) return std::nullopt;
+  return payload;
+}
+
+}  // namespace
+
+SummaryCache::SummaryCache(std::filesystem::path dir, bool enabled)
+    : dir_(std::move(dir)), enabled_(enabled && !dir_.empty()) {}
+
+std::string SummaryCache::key_for(std::string_view source_name,
+                                  std::string_view source_text, Language lang,
+                                  std::string_view flags) {
+  Hasher h;
+  h.field(kMagic);
+  h.field(kAnalyzerVersion);
+  h.field(flags);
+  h.field(source_name);
+  h.field(lang == Language::C ? "C" : "F");
+  h.field(source_text);
+  return h.hex();
+}
+
+std::filesystem::path SummaryCache::entry_path(std::string_view key) const {
+  return dir_ / (std::string(key) + ".unit");
+}
+
+std::optional<UnitSummary> SummaryCache::load(std::string_view key) const {
+  if (!enabled_) return std::nullopt;
+  const auto text = read_file(entry_path(key));
+  if (!text) {
+    stat_misses.bump();
+    return std::nullopt;
+  }
+  const auto payload = unwrap(*text, key);
+  std::optional<UnitSummary> unit;
+  if (payload) unit = parse_unit_summary(*payload);
+  if (!unit) {
+    // The entry exists but is unusable (corrupt, truncated, or written by a
+    // different analyzer version): count it as evicted — the next store for
+    // this key overwrites it — and fall through to a miss.
+    stat_evictions.bump();
+    stat_misses.bump();
+    return std::nullopt;
+  }
+  stat_hits.bump();
+  return unit;
+}
+
+bool SummaryCache::store(std::string_view key, const UnitSummary& unit) const {
+  if (!enabled_) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return false;
+
+  const std::string payload = write_unit_summary(unit);
+  std::ostringstream os;
+  os << kMagic << '\n'
+     << "key " << key << '\n'
+     << "version " << kAnalyzerVersion << '\n'
+     << "payload " << payload.size() << '\n'
+     << payload << '\n'
+     << "checksum " << Hasher().update(payload).hex() << '\n';
+
+  // Atomic publish: never expose a half-written entry, even if the process
+  // dies mid-store or two processes race on the same key (same key ==
+  // same content, so either rename winning is fine).
+  const std::filesystem::path final_path = entry_path(key);
+  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out << os.str();
+    if (!out) {
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    return false;
+  }
+  stat_writes.bump();
+  return true;
+}
+
+}  // namespace ara::serve

@@ -1,0 +1,56 @@
+// Persistent, content-addressed summary cache (`arac --cache-dir DIR`).
+// One entry per translation unit, stored at <dir>/<key>.unit where <key> is
+// the FNV-1a hash of (format version, analyzer version, analysis flags,
+// source name, language, source text) — see SummaryCache::key_for and
+// docs/serve.md. A hit replays the unit's serialized summary and skips the
+// front end and local analysis entirely; any mismatch — absent file, bad
+// magic, wrong key or version, truncated payload, checksum failure,
+// unparsable summary — degrades to a miss, and a later store simply
+// overwrites the bad entry. Corruption is therefore self-healing and can
+// never crash the tool or poison its output.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serve/summary.hpp"
+
+namespace ara::serve {
+
+/// Bumped whenever the summary format or the analysis itself changes
+/// meaning; stale entries from older builds then miss and are rewritten.
+inline constexpr std::string_view kAnalyzerVersion = "openara-serve-1";
+
+class SummaryCache {
+ public:
+  /// An empty `dir` (or enabled == false) disables the cache: every load
+  /// misses and stores are dropped.
+  SummaryCache(std::filesystem::path dir, bool enabled);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Cache key for one unit. `flags` folds in every analysis option that
+  /// could change the summary or its downstream use.
+  [[nodiscard]] static std::string key_for(std::string_view source_name,
+                                           std::string_view source_text, Language lang,
+                                           std::string_view flags);
+
+  /// Entry file path for a key (exposed for tests that corrupt entries).
+  [[nodiscard]] std::filesystem::path entry_path(std::string_view key) const;
+
+  /// Returns the cached summary, or nullopt on any miss (bumping the
+  /// hit/miss — and, for invalid entries, eviction — counters).
+  [[nodiscard]] std::optional<UnitSummary> load(std::string_view key) const;
+
+  /// Writes an entry atomically (temp file + rename). Failures are
+  /// non-fatal: the cache is an accelerator, not a correctness dependency.
+  bool store(std::string_view key, const UnitSummary& unit) const;
+
+ private:
+  std::filesystem::path dir_;
+  bool enabled_ = false;
+};
+
+}  // namespace ara::serve

@@ -1,0 +1,136 @@
+#include "serve/engine.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "frontend/compile.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
+#include "serve/cache.hpp"
+#include "serve/threadpool.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::serve {
+
+ARA_STATISTIC(stat_batch_units, "serve.units", "Translation units submitted to the batch engine");
+ARA_STATISTIC(stat_units_analyzed, "serve.units_analyzed",
+              "Units that went through the full frontend + local analysis");
+
+namespace {
+
+/// Folds every option that changes a unit's summary (or how it may be
+/// consumed) into the cache key.
+std::string flags_string(const BatchOptions& opts) {
+  std::string flags = "ipa=";
+  flags += opts.interprocedural ? '1' : '0';
+  flags += ";scalars=";
+  flags += opts.include_scalars ? '1' : '0';
+  return flags;
+}
+
+}  // namespace
+
+std::optional<SourceBuffer> read_source(const std::filesystem::path& path,
+                                        std::string* warning) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SourceBuffer src;
+  src.name = path.filename().string();
+  src.text = buf.str();
+  const std::string ext = to_lower(path.extension().string());
+  if (ext == ".c" || ext == ".h") {
+    src.lang = Language::C;
+  } else {
+    src.lang = Language::Fortran;
+    if (ext != ".f" && ext != ".f90" && ext != ".for" && ext != ".f77" &&
+        warning != nullptr) {
+      *warning = "unrecognized extension '" + ext + "' on '" + src.name +
+                 "'; assuming Fortran";
+    }
+  }
+  return src;
+}
+
+BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptions& opts,
+                      const std::string& name) {
+  ARA_SPAN("batch", "serve");
+  BatchResult result;
+  result.units.resize(sources.size());
+
+  const SummaryCache cache(opts.cache_dir, opts.use_cache && !opts.cache_dir.empty());
+  const std::string flags = flags_string(opts);
+
+  std::vector<std::optional<UnitSummary>> summaries(sources.size());
+  std::vector<std::string> texts(sources.size());
+
+  {
+    ARA_SPAN("units", "serve");
+    ThreadPool pool(opts.jobs);
+    pool.parallel_for(sources.size(), [&](std::size_t i) {
+      // Each worker gets its own trace lane, so per-unit spans render as
+      // parallel tracks in the Chrome trace instead of one nested stack.
+      obs::set_lane(static_cast<std::uint32_t>(ThreadPool::current_worker()));
+      obs::Span unit_span(sources[i].name, "serve");
+      stat_batch_units.bump();
+
+      UnitReport& report = result.units[i];
+      report.source_name = sources[i].name;
+      texts[i] = sources[i].text;
+
+      const std::string key =
+          SummaryCache::key_for(sources[i].name, sources[i].text, sources[i].lang, flags);
+      if (auto hit = cache.load(key)) {
+        summaries[i] = std::move(*hit);
+        report.status = UnitStatus::Cached;
+        return;
+      }
+
+      // Miss (or caching off): compile this unit alone, with unresolved
+      // calls deferred to the link phase.
+      ir::Program program;
+      program.sources.add(sources[i].name, sources[i].text, sources[i].lang);
+      DiagnosticEngine diags(&program.sources);
+      std::vector<fe::ExternRef> externs;
+      fe::CompileOptions copts;
+      copts.external_calls = true;
+      const bool ok = fe::compile_program(program, diags, copts, &externs);
+      report.diagnostics = diags.render();
+      if (!ok) {
+        report.status = UnitStatus::Failed;
+        return;
+      }
+      stat_units_analyzed.bump();
+      summaries[i] = summarize_unit(program, externs);
+      if (cache.enabled()) cache.store(key, *summaries[i]);
+      report.status = UnitStatus::Analyzed;
+    });
+    obs::set_lane(0);
+  }
+
+  bool all_compiled = true;
+  for (const UnitReport& r : result.units) {
+    if (r.status == UnitStatus::Failed) all_compiled = false;
+    if (r.status == UnitStatus::Cached) {
+      ++result.cache_hits;
+    } else {
+      ++result.cache_misses;
+    }
+  }
+  if (!all_compiled) return result;
+
+  std::vector<UnitSummary> units;
+  units.reserve(summaries.size());
+  for (std::optional<UnitSummary>& s : summaries) units.push_back(std::move(*s));
+
+  LinkOptions lopts;
+  lopts.interprocedural = opts.interprocedural;
+  lopts.include_scalars = opts.include_scalars;
+  lopts.layout = opts.layout;
+  result.link = link_units(units, texts, lopts, name);
+  result.ok = result.link.ok;
+  return result;
+}
+
+}  // namespace ara::serve

@@ -1,0 +1,74 @@
+// The batch-analysis engine (`arac --jobs N --cache-dir DIR`): the serve
+// subsystem's front door, sitting between the CLI and the compiler
+// pipeline. It runs the per-unit phase — parse, lower, IPL local analysis,
+// summarization — on a work-stealing thread pool, one task per translation
+// unit, consulting the persistent summary cache first so unchanged files
+// skip the front end entirely; then it joins the summaries in the serial
+// link phase (serve/link.hpp) into the same .rgn/.dgn/.cfg outputs the
+// monolithic pipeline produces.
+//
+// Output bytes are a function of the input sources and options only: not of
+// --jobs, not of cache hits vs misses. tests/serve enforces this.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/layout.hpp"
+#include "serve/link.hpp"
+#include "serve/summary.hpp"
+
+namespace ara::serve {
+
+struct BatchOptions {
+  std::size_t jobs = 1;   // worker threads; 0 = hardware concurrency
+  std::string cache_dir;  // empty = caching disabled
+  bool use_cache = true;  // false = --no-cache (ignore and don't write entries)
+  bool interprocedural = true;
+  bool include_scalars = true;
+  ir::LayoutOptions layout;
+};
+
+enum class UnitStatus : std::uint8_t {
+  Analyzed,  // cache miss (or caching off): full frontend + local analysis
+  Cached,    // summary replayed from the cache
+  Failed,    // unit did not compile
+};
+
+struct UnitReport {
+  std::string source_name;
+  UnitStatus status = UnitStatus::Analyzed;
+  std::string diagnostics;  // rendered unit-compile diagnostics ("" if clean)
+};
+
+struct BatchResult {
+  bool ok = false;
+  std::vector<UnitReport> units;  // in input order
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Valid when every unit compiled: rows, .dgn project, .cfg text, the
+  /// reconstructed program, and link diagnostics.
+  LinkResult link;
+};
+
+/// One in-memory translation unit.
+struct SourceBuffer {
+  std::string name;  // display/object name (file name, not path)
+  std::string text;
+  Language lang = Language::Fortran;
+};
+
+/// Loads a source file, choosing the language by extension exactly like
+/// driver::Compiler::add_file. Returns nullopt if unreadable; `warning`
+/// (when non-null) receives the unknown-extension message, if any.
+[[nodiscard]] std::optional<SourceBuffer> read_source(const std::filesystem::path& path,
+                                                      std::string* warning);
+
+/// Runs the full batch: parallel per-unit phase, then serial link.
+[[nodiscard]] BatchResult run_batch(const std::vector<SourceBuffer>& sources,
+                                    const BatchOptions& opts, const std::string& name);
+
+}  // namespace ara::serve

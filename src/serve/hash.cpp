@@ -1,0 +1,18 @@
+#include "serve/hash.hpp"
+
+namespace ara::serve {
+
+std::string Hasher::hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = h_;
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) { return Hasher().update(bytes).digest(); }
+
+}  // namespace ara::serve

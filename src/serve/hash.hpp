@@ -1,0 +1,57 @@
+// FNV-1a 64-bit content hashing for the serve engine's summary cache keys.
+// A cache entry is valid only for the exact source text, analyzer version
+// and analysis flags that produced it, so the key mixes all three (see
+// docs/serve.md for the precise key definition). FNV-1a is not
+// collision-proof against adversaries, but cache poisoning is out of scope:
+// the cache directory is as trusted as the tool's own output files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ara::serve {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Streaming FNV-1a 64. Field boundaries must be made explicit by the
+/// caller (see Hasher::field) so that ("ab","c") and ("a","bc") differ.
+class Hasher {
+ public:
+  Hasher& update(std::string_view bytes) {
+    for (const char c : bytes) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= kFnvPrime;
+    }
+    return *this;
+  }
+
+  /// Appends one delimited field: its length, then its bytes. This makes
+  /// the encoding prefix-free, so adjacent fields cannot alias.
+  Hasher& field(std::string_view bytes) {
+    update_u64(bytes.size());
+    return update(bytes);
+  }
+
+  Hasher& update_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= static_cast<unsigned char>(v >> (8 * i));
+      h_ *= kFnvPrime;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+  /// 16 lowercase hex digits (cache entry file names).
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  std::uint64_t h_ = kFnvOffset;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+}  // namespace ara::serve

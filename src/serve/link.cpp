@@ -1,0 +1,493 @@
+#include "serve/link.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "ipa/interproc.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
+#include "support/string_utils.hpp"
+
+namespace ara::serve {
+
+ARA_STATISTIC(stat_units_linked, "serve.units_linked", "Unit summaries joined by the link phase");
+ARA_STATISTIC(stat_link_callsites, "serve.link_callsites", "Call sites translated at link time");
+ARA_STATISTIC(stat_link_passes, "serve.link_passes", "Link-phase propagation passes run");
+ARA_STATISTIC(stat_link_records, "serve.link_interproc_records",
+              "IDEF/IUSE records generated at link time");
+
+using regions::AccessMode;
+using regions::LinExpr;
+using regions::Region;
+
+namespace {
+
+/// One linked procedure: its summary, defining unit, and resolved call
+/// edges — the summary-side mirror of ipa::CGNode.
+struct LinkNode {
+  std::uint32_t unit = 0;
+  const ProcSummary* proc = nullptr;
+  ir::StIdx proc_st = ir::kInvalidSt;
+  std::vector<std::uint32_t> callees;  // parallel to proc->callsites
+  std::vector<std::uint32_t> callers;  // deduplicated
+  bool is_root = false;
+};
+
+/// Mirror of InterprocAnalyzer::CalleeInfo, built from summary symbols.
+struct CalleeInfo {
+  std::vector<ir::StIdx> formals;  // by position (0-based)
+  std::map<std::string, std::size_t> formal_scalar_pos;
+  std::map<std::string, bool> local_scalar;
+};
+
+ir::TyIdx make_ty(ir::SymbolTable& symtab, const SymInfo& s) {
+  if (!s.is_array) return symtab.make_scalar_ty(s.mtype);
+  std::vector<ir::ArrayDim> dims;
+  dims.reserve(s.dims.size());
+  for (const SymDim& d : s.dims) {
+    ir::ArrayDim out;
+    out.lb = d.lb;
+    out.ub = d.ub;
+    out.lb_sym = d.lb_sym;
+    out.ub_sym = d.ub_sym;
+    dims.push_back(std::move(out));
+  }
+  return symtab.make_array_ty(s.mtype, std::move(dims), s.row_major, s.noncontiguous,
+                              s.coarray);
+}
+
+/// Callees-before-callers order over the link graph, replicating
+/// CallGraph::bottom_up (same DFS, same tie-breaking by node index).
+std::vector<std::uint32_t> bottom_up(const std::vector<LinkNode>& nodes) {
+  std::vector<std::uint32_t> order;
+  std::vector<int> state(nodes.size(), 0);
+  auto visit = [&](auto&& self, std::uint32_t n) -> void {
+    if (state[n] != 0) return;
+    state[n] = 1;
+    for (const std::uint32_t callee : nodes[n].callees) {
+      if (state[callee] == 0) self(self, callee);
+    }
+    state[n] = 2;
+    order.push_back(n);
+  };
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) visit(visit, i);
+  return order;
+}
+
+/// Recursion detection, replicating CallGraph::build's coloring pass.
+bool has_cycle(const std::vector<LinkNode>& nodes) {
+  std::vector<int> color(nodes.size(), 0);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  bool cycle = false;
+  for (std::uint32_t start = 0; start < nodes.size(); ++start) {
+    if (color[start] != 0) continue;
+    stack.emplace_back(start, 0);
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [n, edge] = stack.back();
+      if (edge < nodes[n].callees.size()) {
+        const std::uint32_t next = nodes[n].callees[edge];
+        ++edge;
+        if (color[next] == 1) {
+          cycle = true;
+        } else if (color[next] == 0) {
+          color[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[n] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return cycle;
+}
+
+}  // namespace
+
+LinkResult link_units(const std::vector<UnitSummary>& units,
+                      const std::vector<std::string>& texts, const LinkOptions& opts,
+                      const std::string& name) {
+  ARA_SPAN("link", "serve");
+  LinkResult result;
+  result.program = std::make_unique<ir::Program>();
+  result.diags = DiagnosticEngine(&result.program->sources);
+  ir::Program& program = *result.program;
+  DiagnosticEngine& diags = result.diags;
+
+  // Sources, in command-line order: FileId of unit u is u + 1.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    stat_units_linked.bump();
+    program.sources.add(units[u].source_name, u < texts.size() ? texts[u] : std::string(),
+                        units[u].language);
+  }
+  auto file_of = [](std::size_t u) { return static_cast<FileId>(u + 1); };
+
+  // Per-unit symbol maps: unit symbol index -> linked StIdx. The replay
+  // phases below mirror sema's declare_procedures / declare_globals /
+  // analyze_proc creation order exactly (see the header comment).
+  std::vector<std::vector<ir::StIdx>> map(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    map[u].assign(units[u].symbols.size(), ir::kInvalidSt);
+  }
+  auto mapped = [&](std::uint32_t u, std::uint32_t sym) { return map[u][sym]; };
+
+  std::map<std::string, ir::StIdx> procs;  // lower name -> linked ST
+
+  // Phase A: every unit's defined procedures.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
+      const SymInfo& sym = units[u].symbols[s];
+      if (sym.kind != SymInfo::Kind::Proc) continue;
+      const std::string key = to_lower(sym.name);
+      const SourceLoc loc{file_of(u), sym.line, sym.col};
+      if (procs.count(key) != 0) {
+        diags.error(loc, "redefinition of procedure '" + sym.name + "'");
+        continue;
+      }
+      ir::St st;
+      st.name = sym.name;
+      st.sclass = ir::StClass::Proc;
+      st.storage = ir::StStorage::Global;
+      st.ty = program.symtab.make_scalar_ty(ir::Mtype::Void);
+      st.loc = loc;
+      st.file = file_of(u);
+      const ir::StIdx idx = program.symtab.make_st(std::move(st));
+      procs[key] = idx;
+      map[u][s] = idx;
+    }
+  }
+
+  // Phase B: globals unify by name program-wide; first declaration wins.
+  std::map<std::string, ir::StIdx> globals;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
+      const SymInfo& sym = units[u].symbols[s];
+      if (sym.kind != SymInfo::Kind::Global) continue;
+      const std::string key = to_lower(sym.name);
+      const SourceLoc loc{file_of(u), sym.line, sym.col};
+      const auto it = globals.find(key);
+      if (it != globals.end()) {
+        const ir::Ty& prev = program.symtab.ty(program.symtab.st(it->second).ty);
+        const std::size_t new_rank = sym.dims.size();
+        if (prev.is_array() != (new_rank > 0) ||
+            (prev.is_array() && prev.rank() != new_rank)) {
+          diags.warning(loc, "global '" + sym.name + "' redeclared with a different shape");
+        }
+        map[u][s] = it->second;
+        continue;
+      }
+      ir::St st;
+      st.name = sym.name;
+      st.sclass = ir::StClass::Var;
+      st.storage = ir::StStorage::Global;
+      st.ty = make_ty(program.symtab, sym);
+      st.loc = loc;
+      st.file = file_of(u);
+      const ir::StIdx idx = program.symtab.make_st(std::move(st));
+      globals[key] = idx;
+      map[u][s] = idx;
+    }
+  }
+
+  // External references resolve against the whole program's procedures.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
+      const SymInfo& sym = units[u].symbols[s];
+      if (sym.kind != SymInfo::Kind::Extern) continue;
+      const auto it = procs.find(to_lower(sym.name));
+      if (it != procs.end()) map[u][s] = it->second;
+    }
+    std::set<std::string> reported;
+    for (const ExternSummary& ext : units[u].externs) {
+      if (procs.count(ext.name) == 0 && reported.insert(ext.name).second) {
+        diags.error(SourceLoc{file_of(u), ext.line, 0},
+                    "call to unknown procedure '" + ext.name + "'");
+      }
+    }
+  }
+
+  // Phase C: each procedure's formals and locals, in unit creation order.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
+      const SymInfo& sym = units[u].symbols[s];
+      if (sym.kind != SymInfo::Kind::Formal && sym.kind != SymInfo::Kind::Local) continue;
+      ir::St st;
+      st.name = sym.name;
+      if (sym.kind == SymInfo::Kind::Formal) {
+        st.sclass = ir::StClass::Formal;
+        st.storage = ir::StStorage::Formal;
+        st.formal_pos = sym.formal_pos;
+      } else {
+        st.sclass = ir::StClass::Var;
+        st.storage = ir::StStorage::Local;
+      }
+      st.ty = make_ty(program.symtab, sym);
+      const auto owner = procs.find(sym.owner);
+      st.owner_proc = owner != procs.end() ? owner->second : ir::kInvalidSt;
+      st.loc = SourceLoc{file_of(u), sym.line, sym.col};
+      st.file = file_of(u);
+      map[u][s] = program.symtab.make_st(std::move(st));
+    }
+  }
+
+  if (diags.has_errors()) return result;
+
+  ir::assign_layout(program, opts.layout);
+
+  // Link call graph: nodes in unit/definition order (== the monolithic
+  // pipeline's procedure order), edges resolved by name.
+  std::vector<LinkNode> nodes;
+  std::map<std::string, std::uint32_t> node_of;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (const ProcSummary& p : units[u].procs) {
+      LinkNode n;
+      n.unit = static_cast<std::uint32_t>(u);
+      n.proc = &p;
+      n.proc_st = mapped(n.unit, p.sym);
+      node_of[to_lower(units[u].symbols[p.sym].name)] =
+          static_cast<std::uint32_t>(nodes.size());
+      nodes.push_back(std::move(n));
+    }
+  }
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    for (const CallSummary& cs : nodes[i].proc->callsites) {
+      const auto it = node_of.find(cs.callee);
+      // Every extern resolved above, so the lookup cannot fail; keep the
+      // callees vector parallel to the callsites regardless.
+      nodes[i].callees.push_back(it != node_of.end() ? it->second : i);
+      auto& callers = nodes[it->second].callers;
+      if (std::find(callers.begin(), callers.end(), i) == callers.end()) {
+        callers.push_back(i);
+      }
+    }
+  }
+  for (LinkNode& n : nodes) n.is_root = n.callers.empty();
+
+  // Per-node local side effects and callee info, remapped into the linked
+  // symbol table.
+  std::vector<ipa::SideEffects> local_effects(nodes.size());
+  std::vector<CalleeInfo> infos(nodes.size());
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    const LinkNode& n = nodes[i];
+    for (const EffectSummary& eff : n.proc->effects) {
+      const ir::StIdx st = mapped(n.unit, eff.sym);
+      if (st == ir::kInvalidSt) continue;
+      local_effects[i].effects[{st, eff.mode}].merge_all(eff.regions);
+    }
+    // CalleeInfo, replicating InterprocAnalyzer::collect_info over the
+    // defining unit's symbols.
+    const std::string proc_lower = to_lower(units[n.unit].symbols[n.proc->sym].name);
+    std::vector<std::pair<std::uint32_t, ir::StIdx>> formals;
+    for (std::uint32_t s = 0; s < units[n.unit].symbols.size(); ++s) {
+      const SymInfo& sym = units[n.unit].symbols[s];
+      if (sym.owner != proc_lower) continue;
+      if (sym.kind == SymInfo::Kind::Formal) {
+        formals.emplace_back(sym.formal_pos, mapped(n.unit, s));
+        if (!sym.is_array) {
+          infos[i].formal_scalar_pos[to_lower(sym.name)] = sym.formal_pos - 1;
+        }
+      } else if (sym.kind == SymInfo::Kind::Local && !sym.is_array) {
+        infos[i].local_scalar[to_lower(sym.name)] = true;
+      }
+    }
+    std::sort(formals.begin(), formals.end());
+    for (const auto& [pos, st] : formals) infos[i].formals.push_back(st);
+  }
+
+  std::map<ir::StIdx, ir::StIdx> formal_binding;
+  std::vector<ipa::SideEffects> side_effects = local_effects;
+  std::vector<ipa::AccessRecord> interproc_records;
+
+  if (opts.interprocedural && !nodes.empty()) {
+    ARA_SPAN("link-propagate", "serve");
+
+    // One call-site translation, replicating InterprocAnalyzer's
+    // translate_call over summary actuals: the callee's (array, mode)
+    // effects are rewritten onto the caller's symbols, formal scalars are
+    // substituted with the actuals' affine values, and unambiguous
+    // formal-array -> actual-array bindings are recorded.
+    auto translate_call = [&](std::uint32_t caller, std::uint32_t callee_node,
+                              const CallSummary& cs)
+        -> std::vector<std::tuple<ir::StIdx, AccessMode, ipa::ModeRegions>> {
+      std::vector<std::tuple<ir::StIdx, AccessMode, ipa::ModeRegions>> out;
+      stat_link_callsites.bump();
+      const CalleeInfo& callee_info = infos[callee_node];
+
+      std::map<std::string, std::optional<LinExpr>> subst;
+      for (const auto& [fname, pos] : callee_info.formal_scalar_pos) {
+        if (pos < cs.actuals.size() && cs.actuals[pos].present) {
+          subst[fname] = cs.actuals[pos].affine;
+        } else {
+          subst[fname] = std::nullopt;
+        }
+      }
+
+      for (const auto& [key, mr] : side_effects[callee_node].effects) {
+        const auto& [callee_st, mode] = key;
+        const ir::St& st = program.symtab.st(callee_st);
+        ir::StIdx caller_st = ir::kInvalidSt;
+        if (st.storage == ir::StStorage::Global) {
+          caller_st = callee_st;
+        } else if (st.storage == ir::StStorage::Formal) {
+          const std::size_t pos = st.formal_pos - 1;
+          if (pos < cs.actuals.size() && cs.actuals[pos].is_array) {
+            caller_st = mapped(nodes[caller].unit, cs.actuals[pos].array_sym);
+            if (caller_st != ir::kInvalidSt &&
+                program.symtab.ty(st.ty).is_array()) {
+              const auto it = formal_binding.find(callee_st);
+              if (it == formal_binding.end()) {
+                formal_binding[callee_st] = caller_st;
+              } else if (it->second != caller_st) {
+                it->second = ir::kInvalidSt;  // ambiguous
+              }
+            }
+          }
+        }
+        if (caller_st == ir::kInvalidSt) continue;
+
+        ipa::ModeRegions translated;
+        translated.refs = mr.refs;
+        for (const Region& r : mr.regions) {
+          translated.merge(ipa::translate_region(r, subst, callee_info.local_scalar), 0);
+        }
+        out.emplace_back(caller_st, mode, std::move(translated));
+      }
+      return out;
+    };
+
+    const std::vector<std::uint32_t> order = bottom_up(nodes);
+    const int max_passes = has_cycle(nodes) ? 5 : 1;
+    for (int pass = 0; pass < max_passes; ++pass) {
+      stat_link_passes.bump();
+      bool changed = false;
+      for (const std::uint32_t n : order) {
+        ipa::SideEffects next = local_effects[n];
+        for (std::size_t c = 0; c < nodes[n].proc->callsites.size(); ++c) {
+          for (auto& [st, mode, mr] :
+               translate_call(n, nodes[n].callees[c], nodes[n].proc->callsites[c])) {
+            next.effects[{st, mode}].merge_all(mr);
+          }
+        }
+        if (!(next == side_effects[n])) {
+          side_effects[n] = std::move(next);
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+
+    // Pass-through bindings: call sites whose callee never touches the
+    // formal still bind it to the actual (mirrors the legacy IPA).
+    for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+      for (std::size_t c = 0; c < nodes[n].proc->callsites.size(); ++c) {
+        const CallSummary& cs = nodes[n].proc->callsites[c];
+        const CalleeInfo& info = infos[nodes[n].callees[c]];
+        for (std::size_t pos = 0; pos < info.formals.size(); ++pos) {
+          const ir::StIdx formal = info.formals[pos];
+          if (!program.symtab.ty(program.symtab.st(formal).ty).is_array()) continue;
+          if (pos >= cs.actuals.size() || !cs.actuals[pos].is_array) continue;
+          const ir::StIdx actual_st = mapped(nodes[n].unit, cs.actuals[pos].array_sym);
+          if (actual_st == ir::kInvalidSt) continue;
+          const auto it = formal_binding.find(formal);
+          if (it == formal_binding.end()) {
+            formal_binding[formal] = actual_st;
+          } else if (it->second != actual_st) {
+            it->second = ir::kInvalidSt;
+          }
+        }
+      }
+    }
+
+    // IDEF/IUSE records per call site from the callees' final effects.
+    for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+      for (std::size_t c = 0; c < nodes[n].proc->callsites.size(); ++c) {
+        const CallSummary& cs = nodes[n].proc->callsites[c];
+        const std::uint32_t callee = nodes[n].callees[c];
+        for (auto& [st, mode, mr] : translate_call(n, callee, cs)) {
+          bool first = true;
+          for (Region& r : mr.regions) {
+            ipa::AccessRecord rec;
+            rec.array = st;
+            rec.mode = mode;
+            rec.interproc = true;
+            rec.region = std::move(r);
+            rec.refs = first ? mr.refs : 0;
+            first = false;
+            rec.scope_proc = nodes[n].proc_st;
+            rec.file = file_of(nodes[callee].unit);
+            rec.line = cs.line;
+            stat_link_records.bump();
+            interproc_records.push_back(std::move(rec));
+          }
+        }
+      }
+    }
+  }
+
+  // Assemble the record stream exactly like ipa::analyze: filtered local
+  // records in call-graph node order, then the interprocedural records.
+  ipa::AnalysisResult shell;
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    const LinkNode& n = nodes[i];
+    for (const RecordSummary& r : n.proc->records) {
+      const SymInfo& sym = units[n.unit].symbols[r.sym];
+      if (!opts.include_scalars && r.region.rank() == 0 && !sym.is_array) continue;
+      ipa::AccessRecord rec;
+      rec.array = mapped(n.unit, r.sym);
+      rec.mode = r.mode;
+      rec.remote = r.remote;
+      rec.image = r.image;
+      rec.region = r.region;
+      rec.refs = r.refs;
+      rec.scope_proc = n.proc_st;
+      rec.file = file_of(n.unit);
+      rec.line = r.line;
+      shell.records.push_back(std::move(rec));
+    }
+  }
+  for (ipa::AccessRecord& rec : interproc_records) {
+    shell.records.push_back(std::move(rec));
+  }
+  shell.formal_binding = std::move(formal_binding);
+
+  {
+    ARA_SPAN("link-rows", "serve");
+    result.rows = ipa::build_rows(program, shell);
+  }
+
+  // .dgn project inventory (mirrors driver::build_dgn_project).
+  result.project.name = name;
+  for (FileId f = 1; f <= program.sources.file_count(); ++f) {
+    result.project.files.push_back(program.sources.name(f));
+    result.project.languages.emplace_back(to_string(program.sources.language(f)));
+  }
+  for (const LinkNode& n : nodes) {
+    rgn::DgnProc p;
+    p.name = program.symtab.st(n.proc_st).name;
+    p.file = program.sources.name(file_of(n.unit));
+    p.line = program.symtab.st(n.proc_st).loc.line;
+    p.is_entry = n.is_root;
+    result.project.procedures.push_back(std::move(p));
+  }
+  for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t c = 0; c < nodes[i].proc->callsites.size(); ++c) {
+      rgn::DgnEdge e;
+      e.caller = program.symtab.st(nodes[i].proc_st).name;
+      e.callee = program.symtab.st(nodes[nodes[i].callees[c]].proc_st).name;
+      e.line = nodes[i].proc->callsites[c].line;
+      result.project.edges.push_back(std::move(e));
+    }
+  }
+
+  // .cfg: one header, then each unit's pre-rendered sections in order.
+  result.cfg_text = "CFG 1\n";
+  for (const UnitSummary& unit : units) result.cfg_text += unit.cfg_text;
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ara::serve

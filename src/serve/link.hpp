@@ -1,0 +1,55 @@
+// The serve engine's link phase: joins per-unit summaries into whole-program
+// analysis results. This is the serial back half of batch analysis — the
+// analogue of OpenUH's IPA main stage reading every unit's IPL summary out
+// of the object files (§IV-A) — and it is deliberately independent of WHIRL:
+// everything it consumes comes from UnitSummary, so cached units link
+// exactly like freshly analyzed ones.
+//
+// Determinism contract: the linked symbol table is replayed in the same
+// creation order the whole-program front end would use (all units'
+// procedures, then canonical globals in first-declaration order, then each
+// procedure's formals and locals). StIdx values therefore match the
+// monolithic pipeline, which makes map iteration order, region merge order
+// and the static data layout — and hence every byte of the .rgn output —
+// independent of how many workers produced the summaries and of whether
+// they came from the cache.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipa/analyzer.hpp"
+#include "ir/layout.hpp"
+#include "rgn/dgn.hpp"
+#include "serve/summary.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ara::serve {
+
+struct LinkOptions {
+  bool interprocedural = true;
+  bool include_scalars = true;
+  ir::LayoutOptions layout;
+};
+
+struct LinkResult {
+  bool ok = false;
+  /// Reconstructed whole-program symbol table + sources (no WHIRL trees).
+  std::unique_ptr<ir::Program> program;
+  DiagnosticEngine diags;
+  std::vector<rgn::RegionRow> rows;
+  rgn::DgnProject project;
+  std::string cfg_text;
+};
+
+/// Links `units` (in command-line order; `texts` holds the matching source
+/// text for diagnostics and the project browser). Errors — duplicate
+/// procedure definitions, unresolved external calls — are reported through
+/// LinkResult::diags with ok == false.
+[[nodiscard]] LinkResult link_units(const std::vector<UnitSummary>& units,
+                                    const std::vector<std::string>& texts,
+                                    const LinkOptions& opts, const std::string& name);
+
+}  // namespace ara::serve

@@ -1,0 +1,116 @@
+#include "serve/threadpool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ara::serve {
+
+namespace {
+thread_local std::size_t t_worker = 0;
+}  // namespace
+
+std::size_t ThreadPool::current_worker() { return t_worker; }
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  if (jobs == 0) jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  jobs_ = jobs;
+  if (jobs_ == 1) return;  // inline mode: no threads, no queues
+  queues_.resize(jobs_);
+  threads_.reserve(jobs_);
+  for (std::size_t i = 0; i < jobs_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (jobs_ == 1) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::try_pop(std::size_t me, Task& out) {
+  // Caller holds mu_. Own queue: LIFO back.
+  std::deque<Task>& q = queues_[me];
+  if (q.empty()) return false;
+  out = std::move(q.back());
+  q.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t me, Task& out) {
+  // Caller holds mu_. Victims' queues: FIFO front, scanning from the next
+  // worker round-robin so steals spread out instead of piling on worker 0.
+  for (std::size_t off = 1; off < jobs_; ++off) {
+    std::deque<Task>& q = queues_[(me + off) % jobs_];
+    if (q.empty()) continue;
+    out = std::move(q.front());
+    q.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_main(std::size_t me) {
+  t_worker = me;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task task;
+    if (try_pop(me, task) || try_steal(me, task)) {
+      lock.unlock();
+      task.run();
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs_ == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Capture at most one exception per index; rethrow the smallest index's
+  // so failure reporting does not depend on thread scheduling.
+  std::mutex err_mu;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < count; ++i) {
+      queues_[i % jobs_].push_back(Task{[&, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(err_mu);
+          errors.emplace_back(i, std::current_exception());
+        }
+      }});
+    }
+    pending_ += count;
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  if (!errors.empty()) {
+    auto first = std::min_element(
+        errors.begin(), errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+}  // namespace ara::serve

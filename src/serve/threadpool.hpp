@@ -1,0 +1,67 @@
+// Work-stealing thread pool for the serve engine's parallel phases. Each
+// worker owns a deque: it pushes/pops its own tasks at the back (LIFO, good
+// locality for nested submissions) and steals from other workers' fronts
+// (FIFO, takes the oldest — likely largest — unit of work). The pool is
+// deliberately simple — mutex-guarded deques, one condition variable — the
+// per-task work (parsing + region analysis of a translation unit) is
+// milliseconds, so queue contention is noise.
+//
+// A pool constructed with jobs == 1 runs every task inline on the calling
+// thread: `arac --jobs 1` is serial by construction, which anchors the
+// determinism contract (--jobs N must be byte-identical to --jobs 1).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ara::serve {
+
+class ThreadPool {
+ public:
+  /// `jobs` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (1 = inline execution, no threads).
+  [[nodiscard]] std::size_t size() const { return jobs_; }
+
+  /// Index of the pool worker running the calling thread; 0 on any thread
+  /// that is not a pool worker (including the inline jobs == 1 mode).
+  [[nodiscard]] static std::size_t current_worker();
+
+  /// Runs fn(0..count-1), distributing indices over the workers, and blocks
+  /// until all complete. Exceptions thrown by tasks are captured; the one
+  /// for the smallest index is rethrown (deterministic regardless of
+  /// scheduling). Reentrant calls (from inside a task) are not supported.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void()> run;
+  };
+
+  void worker_main(std::size_t me);
+  [[nodiscard]] bool try_pop(std::size_t me, Task& out);
+  [[nodiscard]] bool try_steal(std::size_t me, Task& out);
+
+  std::size_t jobs_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;                    // guards queues_, pending_, stop_
+  std::condition_variable work_cv_;  // workers wait for tasks
+  std::condition_variable done_cv_;  // parallel_for waits for drain
+  std::vector<std::deque<Task>> queues_;  // one per worker
+  std::size_t pending_ = 0;               // submitted but not finished
+  bool stop_ = false;
+};
+
+}  // namespace ara::serve

@@ -1,0 +1,37 @@
+# Shipped-binary acceptance for the batch engine: a cold --jobs 8 run over
+# the LU workload populates the cache, a warm rerun must hit on all 20
+# units, and both exports must be byte-identical.
+#   cmake -DARAC=... -DWORKLOADS=... -DOUT=... -P run_serve_cli.cmake
+file(REMOVE_RECURSE "${OUT}")
+file(GLOB LU_SOURCES "${WORKLOADS}/lu/*.f")
+list(SORT LU_SOURCES)
+
+execute_process(
+  COMMAND "${ARAC}" --quiet --name lu --jobs 8 --cache-dir "${OUT}/cache"
+          --export-dir "${OUT}/cold" ${LU_SOURCES}
+  RESULT_VARIABLE RC_COLD)
+if(NOT RC_COLD EQUAL 0)
+  message(FATAL_ERROR "cold batch run failed (rc=${RC_COLD})")
+endif()
+
+execute_process(
+  COMMAND "${ARAC}" --name lu --jobs 8 --cache-dir "${OUT}/cache"
+          --export-dir "${OUT}/warm" ${LU_SOURCES}
+  OUTPUT_VARIABLE WARM_OUT
+  RESULT_VARIABLE RC_WARM)
+if(NOT RC_WARM EQUAL 0)
+  message(FATAL_ERROR "warm batch run failed (rc=${RC_WARM})")
+endif()
+if(NOT WARM_OUT MATCHES "cache: 20 hits, 0 misses")
+  message(FATAL_ERROR "warm run did not hit the cache:\n${WARM_OUT}")
+endif()
+
+foreach(ext rgn dgn cfg)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT}/cold/lu.${ext}" "${OUT}/warm/lu.${ext}"
+    RESULT_VARIABLE RC_CMP)
+  if(NOT RC_CMP EQUAL 0)
+    message(FATAL_ERROR "warm lu.${ext} differs from cold run")
+  endif()
+endforeach()

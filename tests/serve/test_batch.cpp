@@ -1,0 +1,237 @@
+// End-to-end tests of the batch-analysis engine (serve::run_batch): output
+// bytes must be independent of --jobs and of cache hits vs misses, must
+// match the monolithic pipeline, and incremental re-analysis must recompile
+// exactly the edited units (verified through the serve.* obs counters).
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "obs/stats.hpp"
+#include "rgn/dgn.hpp"
+#include "rgn/region_row.hpp"
+
+namespace ara::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fig 1 of the paper, split across three translation units so the engine
+// has real cross-unit calls (add.f calls procedures it cannot see).
+constexpr const char* kP1 = R"(
+subroutine p1(a, j)
+  integer, dimension(1:200, 1:200) :: a
+  integer :: j, i, k
+  do i = 1, 100
+    do k = 1, 100
+      a(i, k) = i + k + j
+    end do
+  end do
+end subroutine p1
+)";
+
+constexpr const char* kP2 = R"(
+subroutine p2(a, j)
+  integer, dimension(1:200, 1:200) :: a
+  integer :: j, i, k, s
+  s = 0
+  do i = 101, 200
+    do k = 101, 200
+      s = s + a(i, k)
+    end do
+  end do
+end subroutine p2
+)";
+
+constexpr const char* kAdd = R"(
+subroutine add
+  integer, dimension(1:200, 1:200) :: a
+  integer :: m, j
+  m = 10
+  do j = 1, m
+    call p1(a, j)
+    call p2(a, j)
+  end do
+end subroutine add
+)";
+
+std::vector<SourceBuffer> fig1_units() {
+  return {{"p1.f", kP1, Language::Fortran},
+          {"p2.f", kP2, Language::Fortran},
+          {"add.f", kAdd, Language::Fortran}};
+}
+
+std::uint64_t counter(const std::string& name) {
+  for (const obs::StatEntry& e : obs::StatsRegistry::instance().snapshot()) {
+    if (e.name == name) return e.value;
+  }
+  return 0;
+}
+
+/// Every artifact the engine exports, as bytes.
+struct Artifacts {
+  std::string rgn;
+  std::string dgn;
+  std::string cfg;
+};
+
+Artifacts artifacts_of(const BatchResult& r) {
+  return {rgn::write_rgn(r.link.rows), rgn::write_dgn(r.link.project), r.link.cfg_text};
+}
+
+TEST(Batch, OutputIsIndependentOfJobCount) {
+  const std::vector<SourceBuffer> sources = fig1_units();
+  BatchOptions opts;
+  opts.jobs = 1;
+  const BatchResult serial = run_batch(sources, opts, "fig1");
+  ASSERT_TRUE(serial.ok);
+  EXPECT_FALSE(serial.link.rows.empty());
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    opts.jobs = jobs;
+    const BatchResult parallel = run_batch(sources, opts, "fig1");
+    ASSERT_TRUE(parallel.ok);
+    const Artifacts a = artifacts_of(serial);
+    const Artifacts b = artifacts_of(parallel);
+    EXPECT_EQ(a.rgn, b.rgn) << "--jobs " << jobs;
+    EXPECT_EQ(a.dgn, b.dgn) << "--jobs " << jobs;
+    EXPECT_EQ(a.cfg, b.cfg) << "--jobs " << jobs;
+  }
+}
+
+TEST(Batch, MatchesMonolithicPipeline) {
+  // The tentpole acceptance: the batch engine's linked output must be
+  // byte-identical to the whole-program pipeline on the same sources.
+  driver::Compiler cc;
+  cc.add_source("p1.f", kP1, Language::Fortran);
+  cc.add_source("p2.f", kP2, Language::Fortran);
+  cc.add_source("add.f", kAdd, Language::Fortran);
+  ASSERT_TRUE(cc.compile()) << cc.diagnostics().render();
+  const ipa::AnalysisResult mono = cc.analyze();
+
+  BatchOptions opts;
+  opts.jobs = 4;
+  const BatchResult batch = run_batch(fig1_units(), opts, "fig1");
+  ASSERT_TRUE(batch.ok);
+  EXPECT_EQ(rgn::write_rgn(batch.link.rows), rgn::write_rgn(mono.rows));
+  EXPECT_EQ(rgn::write_dgn(batch.link.project),
+            rgn::write_dgn(driver::build_dgn_project(cc.program(), mono, "fig1")));
+}
+
+TEST(Batch, IncrementalReanalysisRecompilesOnlyTheEditedUnit) {
+  const fs::path dir = fs::temp_directory_path() / "ara_batch_incr";
+  fs::remove_all(dir);
+  obs::set_enabled(true);
+
+  // Ten units: p1..p8 clones plus the fig1 pair, all reachable from add.
+  std::vector<SourceBuffer> sources = fig1_units();
+  for (int i = 3; i <= 10; ++i) {
+    const std::string n = std::to_string(i);
+    sources.push_back({"q" + n + ".f",
+                       "subroutine q" + n + "(x)\n"
+                       "  integer, dimension(1:50) :: x\n"
+                       "  integer :: i\n"
+                       "  do i = 1, 50\n"
+                       "    x(i) = i\n"
+                       "  end do\n"
+                       "end subroutine q" + n + "\n",
+                       Language::Fortran});
+  }
+
+  BatchOptions opts;
+  opts.jobs = 4;
+  opts.cache_dir = dir.string();
+
+  obs::StatsRegistry::instance().reset();
+  const BatchResult cold = run_batch(sources, opts, "incr");
+  ASSERT_TRUE(cold.ok);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, sources.size());
+  EXPECT_EQ(counter("serve.units_analyzed"), sources.size());
+
+  // Unchanged rerun: everything replays from the cache.
+  obs::StatsRegistry::instance().reset();
+  const BatchResult warm = run_batch(sources, opts, "incr");
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.cache_hits, sources.size());
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(counter("serve.units_analyzed"), 0u);
+  for (const UnitReport& u : warm.units) EXPECT_EQ(u.status, UnitStatus::Cached);
+
+  // Edit one of the ten: exactly that unit re-analyzes.
+  sources[4].text += "! touched\n";
+  obs::StatsRegistry::instance().reset();
+  const BatchResult incr = run_batch(sources, opts, "incr");
+  ASSERT_TRUE(incr.ok);
+  EXPECT_EQ(incr.cache_hits, sources.size() - 1);
+  EXPECT_EQ(incr.cache_misses, 1u);
+  EXPECT_EQ(counter("serve.units_analyzed"), 1u);
+  EXPECT_EQ(incr.units[4].status, UnitStatus::Analyzed);
+
+  // Incremental output must equal a cold, cache-less run of the same edit.
+  BatchOptions nocache;
+  nocache.jobs = 1;
+  const BatchResult fresh = run_batch(sources, nocache, "incr");
+  ASSERT_TRUE(fresh.ok);
+  const Artifacts a = artifacts_of(incr);
+  const Artifacts b = artifacts_of(fresh);
+  EXPECT_EQ(a.rgn, b.rgn);
+  EXPECT_EQ(a.dgn, b.dgn);
+  EXPECT_EQ(a.cfg, b.cfg);
+
+  obs::set_enabled(false);
+  fs::remove_all(dir);
+}
+
+TEST(Batch, FailedUnitReportsDiagnosticsInInputOrder) {
+  std::vector<SourceBuffer> sources = fig1_units();
+  sources[1].text = "subroutine broken(\n";  // parse error
+  BatchOptions opts;
+  opts.jobs = 4;
+  const BatchResult r = run_batch(sources, opts, "bad");
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.units.size(), 3u);
+  EXPECT_EQ(r.units[0].status, UnitStatus::Analyzed);
+  EXPECT_EQ(r.units[1].status, UnitStatus::Failed);
+  EXPECT_EQ(r.units[1].source_name, "p2.f");
+  EXPECT_FALSE(r.units[1].diagnostics.empty());
+  EXPECT_EQ(r.units[2].status, UnitStatus::Analyzed);
+}
+
+TEST(Batch, UnresolvedExternFailsAtLink) {
+  // add.f calls p2 but no unit defines it.
+  std::vector<SourceBuffer> sources = fig1_units();
+  sources.erase(sources.begin() + 1);
+  BatchOptions opts;
+  const BatchResult r = run_batch(sources, opts, "unresolved");
+  EXPECT_FALSE(r.ok);
+  const std::string diags = r.link.diags.render();
+  EXPECT_NE(diags.find("unknown procedure 'p2'"), std::string::npos) << diags;
+}
+
+TEST(Batch, DuplicateDefinitionFailsAtLink) {
+  std::vector<SourceBuffer> sources = fig1_units();
+  sources.push_back({"p1_again.f", kP1, Language::Fortran});
+  BatchOptions opts;
+  const BatchResult r = run_batch(sources, opts, "dup");
+  EXPECT_FALSE(r.ok);
+  const std::string diags = r.link.diags.render();
+  EXPECT_NE(diags.find("redefinition of procedure 'p1'"), std::string::npos) << diags;
+}
+
+TEST(Batch, NoIpaModeLinksWithoutInterprocRecords) {
+  BatchOptions opts;
+  opts.interprocedural = false;
+  const BatchResult r = run_batch(fig1_units(), opts, "noipa");
+  ASSERT_TRUE(r.ok);
+  for (const rgn::RegionRow& row : r.link.rows) {
+    EXPECT_NE(row.mode, "IDEF") << row.array;
+    EXPECT_NE(row.mode, "IUSE") << row.array;
+  }
+}
+
+}  // namespace
+}  // namespace ara::serve

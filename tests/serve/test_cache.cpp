@@ -1,0 +1,179 @@
+// Tests for the persistent summary cache: round trips, key sensitivity, and
+// the robustness contract — corrupt, truncated, stale-version or mismatched
+// entries are misses (counted as evictions, then overwritten by the next
+// store), never crashes.
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/stats.hpp"
+#include "serve/summary.hpp"
+
+namespace ara::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::uint64_t counter(const std::string& name) {
+  for (const obs::StatEntry& e : obs::StatsRegistry::instance().snapshot()) {
+    if (e.name == name) return e.value;
+  }
+  return 0;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const fs::path& p, const std::string& text) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+/// A small hand-built summary; serde correctness has its own test file.
+UnitSummary sample_unit() {
+  UnitSummary unit;
+  unit.source_name = "sample.f";
+  unit.language = Language::Fortran;
+  SymInfo proc;
+  proc.kind = SymInfo::Kind::Proc;
+  proc.name = "p";
+  proc.mtype = ir::Mtype::Void;
+  unit.symbols.push_back(proc);
+  ProcSummary p;
+  p.sym = 0;
+  unit.procs.push_back(p);
+  unit.cfg_text = "proc p blocks=1 edges=0\n  B0 entry lines=1-1 ->\n";
+  return unit;
+}
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ara_cache_test";
+    fs::remove_all(dir_);
+    obs::set_enabled(true);
+    obs::StatsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    fs::remove_all(dir_);
+  }
+  fs::path dir_;
+};
+
+TEST_F(CacheTest, StoreThenLoadRoundTrips) {
+  const SummaryCache cache(dir_, true);
+  const UnitSummary unit = sample_unit();
+  const std::string key = SummaryCache::key_for("sample.f", "text", Language::Fortran, "f");
+  EXPECT_FALSE(cache.load(key).has_value());  // cold
+  ASSERT_TRUE(cache.store(key, unit));
+  const auto hit = cache.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(write_unit_summary(*hit), write_unit_summary(unit));
+  EXPECT_EQ(counter("serve.cache_hits"), 1u);
+  EXPECT_EQ(counter("serve.cache_misses"), 1u);
+  EXPECT_EQ(counter("serve.cache_writes"), 1u);
+  EXPECT_EQ(counter("serve.cache_evictions"), 0u);
+}
+
+TEST_F(CacheTest, DisabledCacheDoesNothing) {
+  const SummaryCache cache(dir_, false);
+  const std::string key = SummaryCache::key_for("a", "b", Language::C, "f");
+  EXPECT_FALSE(cache.store(key, sample_unit()));
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_FALSE(fs::exists(dir_));
+  EXPECT_EQ(counter("serve.cache_misses"), 0u);  // not even counted
+}
+
+TEST_F(CacheTest, KeyDependsOnEveryInput) {
+  const std::string base = SummaryCache::key_for("a.f", "text", Language::Fortran, "ipa=1");
+  EXPECT_NE(base, SummaryCache::key_for("b.f", "text", Language::Fortran, "ipa=1"));
+  EXPECT_NE(base, SummaryCache::key_for("a.f", "text2", Language::Fortran, "ipa=1"));
+  EXPECT_NE(base, SummaryCache::key_for("a.f", "text", Language::C, "ipa=1"));
+  EXPECT_NE(base, SummaryCache::key_for("a.f", "text", Language::Fortran, "ipa=0"));
+  // Same inputs, same key (it names the entry file).
+  EXPECT_EQ(base, SummaryCache::key_for("a.f", "text", Language::Fortran, "ipa=1"));
+}
+
+TEST_F(CacheTest, EveryBitFlipIsAnEvictedMissThenOverwritten) {
+  const SummaryCache cache(dir_, true);
+  const std::string key = SummaryCache::key_for("s.f", "t", Language::Fortran, "f");
+  ASSERT_TRUE(cache.store(key, sample_unit()));
+  const std::string good = slurp(cache.entry_path(key));
+  ASSERT_FALSE(good.empty());
+
+  // Flip one bit at a sweep of offsets across the whole entry (envelope,
+  // payload, and checksum line); every variant must be a clean miss.
+  std::uint64_t evictions = 0;
+  for (std::size_t off = 0; off < good.size(); off += 7) {
+    std::string bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x20);
+    spit(cache.entry_path(key), bad);
+    EXPECT_FALSE(cache.load(key).has_value()) << "offset " << off;
+    ++evictions;
+  }
+  EXPECT_EQ(counter("serve.cache_evictions"), evictions);
+
+  // The next store overwrites the damaged entry and restores hits.
+  ASSERT_TRUE(cache.store(key, sample_unit()));
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST_F(CacheTest, TruncatedEntriesAreMisses) {
+  const SummaryCache cache(dir_, true);
+  const std::string key = SummaryCache::key_for("s.f", "t", Language::Fortran, "f");
+  ASSERT_TRUE(cache.store(key, sample_unit()));
+  const std::string good = slurp(cache.entry_path(key));
+  for (const std::size_t len : {std::size_t{0}, good.size() / 4, good.size() / 2,
+                                good.size() - 1}) {
+    spit(cache.entry_path(key), good.substr(0, len));
+    EXPECT_FALSE(cache.load(key).has_value()) << "len " << len;
+  }
+  EXPECT_GT(counter("serve.cache_evictions"), 0u);
+}
+
+TEST_F(CacheTest, AnalyzerVersionMismatchIsAMiss) {
+  const SummaryCache cache(dir_, true);
+  const std::string key = SummaryCache::key_for("s.f", "t", Language::Fortran, "f");
+  ASSERT_TRUE(cache.store(key, sample_unit()));
+  std::string entry = slurp(cache.entry_path(key));
+  const std::size_t pos = entry.find(kAnalyzerVersion);
+  ASSERT_NE(pos, std::string::npos);
+  entry.replace(pos, std::string_view(kAnalyzerVersion).size(), "openara-serve-0");
+  spit(cache.entry_path(key), entry);
+  EXPECT_FALSE(cache.load(key).has_value());
+  EXPECT_EQ(counter("serve.cache_evictions"), 1u);
+}
+
+TEST_F(CacheTest, EntryCopiedToWrongKeyIsAMiss) {
+  // An entry is bound to its own key: renaming (or a colliding file) fails
+  // the `key` envelope line even when the payload itself is intact.
+  const SummaryCache cache(dir_, true);
+  const std::string key = SummaryCache::key_for("s.f", "t", Language::Fortran, "f");
+  const std::string other = SummaryCache::key_for("s.f", "t2", Language::Fortran, "f");
+  ASSERT_TRUE(cache.store(key, sample_unit()));
+  fs::copy_file(cache.entry_path(key), cache.entry_path(other));
+  EXPECT_FALSE(cache.load(other).has_value());
+  EXPECT_TRUE(cache.load(key).has_value());
+}
+
+TEST_F(CacheTest, StoreIsAtomicNoTmpLeftBehind) {
+  const SummaryCache cache(dir_, true);
+  const std::string key = SummaryCache::key_for("s.f", "t", Language::Fortran, "f");
+  ASSERT_TRUE(cache.store(key, sample_unit()));
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    EXPECT_NE(e.path().extension(), ".tmp") << e.path();
+  }
+}
+
+}  // namespace
+}  // namespace ara::serve

@@ -1,0 +1,55 @@
+// Tests for the FNV-1a content hash behind the summary-cache keys: known
+// vectors, streaming == one-shot, prefix-free field framing, and the hex
+// key rendering used for cache entry file names.
+#include "serve/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ara::serve {
+namespace {
+
+TEST(Hash, EmptyInputIsOffsetBasis) {
+  EXPECT_EQ(Hasher().digest(), kFnvOffset);
+  EXPECT_EQ(fnv1a(""), kFnvOffset);
+}
+
+TEST(Hash, KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, StreamingMatchesOneShot) {
+  EXPECT_EQ(Hasher().update("foo").update("bar").digest(), fnv1a("foobar"));
+  EXPECT_EQ(Hasher().update("f").update("").update("oobar").digest(), fnv1a("foobar"));
+}
+
+TEST(Hash, StableAcrossCalls) {
+  const std::string text(10000, 'x');
+  EXPECT_EQ(Hasher().field(text).digest(), Hasher().field(text).digest());
+}
+
+TEST(Hash, FieldFramingIsPrefixFree) {
+  // Without length framing ("ab","c") and ("a","bc") would collide.
+  EXPECT_NE(Hasher().field("ab").field("c").digest(),
+            Hasher().field("a").field("bc").digest());
+  EXPECT_NE(Hasher().field("").field("x").digest(), Hasher().field("x").field("").digest());
+}
+
+TEST(Hash, SingleByteChangesDigest) {
+  EXPECT_NE(fnv1a("do i = 1, 100"), fnv1a("do i = 1, 101"));
+}
+
+TEST(Hash, HexIsSixteenLowercaseDigits) {
+  const std::string h = Hasher().update("anything").hex();
+  ASSERT_EQ(h.size(), 16u);
+  for (const char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << h;
+  }
+  EXPECT_EQ(Hasher().hex(), "cbf29ce484222325");  // offset basis, zero bytes
+}
+
+}  // namespace
+}  // namespace ara::serve

@@ -1,0 +1,94 @@
+// Tests for the serve engine's work-stealing thread pool: every index runs
+// exactly once, exceptions propagate deterministically (smallest index
+// wins), jobs == 1 executes inline on the calling thread, and the pool is
+// reusable across parallel_for calls.
+#include "serve/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ara::serve {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleJobRunsInlineOnCallingThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(3);
+  pool.parallel_for(3, [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+    EXPECT_EQ(ThreadPool::current_worker(), 0u);
+  });
+  for (const std::thread::id& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ZeroJobsPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, CurrentWorkerIndicesAreInRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<std::size_t>> seen(256);
+  pool.parallel_for(256, [&](std::size_t i) { seen[i] = ThreadPool::current_worker(); });
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_LT(seen[i].load(), 4u);
+}
+
+TEST(ThreadPool, SmallestIndexExceptionWins) {
+  ThreadPool pool(4);
+  // Three tasks throw; regardless of which worker hits which first, the
+  // caller must see index 3's exception (scheduling-independent errors).
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i == 3 || i == 7 || i == 41) {
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 3");
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesInInlineMode) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [](std::size_t i) {
+                                   if (i == 2) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(100, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+}  // namespace
+}  // namespace ara::serve
