@@ -1,0 +1,210 @@
+#include "difftest/crashhunt.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "difftest/generator.hpp"
+#include "serve/engine.hpp"
+#include "support/faultinject.hpp"
+
+namespace ara::difftest {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The limits the hunt runs under: tight enough that the synthesized bombs
+/// trip the guards in milliseconds, loose enough that every generator
+/// program sails through.
+serve::BatchOptions hunt_options() {
+  serve::BatchOptions opts;
+  opts.jobs = 1;
+  opts.limits.max_nesting_depth = 64;
+  opts.limits.max_ast_nodes = 200'000;
+  opts.limits.max_arrays = 256;
+  opts.limits.unit_timeout = std::chrono::milliseconds(5000);
+  return opts;
+}
+
+struct Variant {
+  std::string tag;  // stable id, used in corpus file names
+  std::string source;
+  Language lang = Language::Fortran;
+};
+
+std::string ext_of(Language lang) { return lang == Language::C ? ".c" : ".f"; }
+
+/// Synthesized resource bombs, independent of the generator: each targets
+/// one specific guard (recursion depth, loop trip, array count, AST size).
+std::vector<Variant> bombs() {
+  std::vector<Variant> out;
+
+  {  // expression-nesting bomb: thousands of nested parentheses
+    std::string s = "subroutine deep\n  integer :: x\n  x = ";
+    for (int i = 0; i < 4000; ++i) s += '(';
+    s += '1';
+    for (int i = 0; i < 4000; ++i) s += ')';
+    s += "\nend subroutine deep\n";
+    out.push_back({"bomb-parens", std::move(s), Language::Fortran});
+  }
+  {  // statement-nesting bomb: deeply nested DO loops, never closed
+    std::string s = "subroutine nest\n  integer :: i\n";
+    for (int i = 0; i < 3000; ++i) s += "  do i = 1, 2\n";
+    s += "end subroutine nest\n";
+    out.push_back({"bomb-nest", std::move(s), Language::Fortran});
+  }
+  {  // giant constant trip count
+    out.push_back({"bomb-trip",
+                   "subroutine trip(a)\n"
+                   "  integer, dimension(1:10) :: a\n"
+                   "  integer :: i\n"
+                   "  do i = 1, 2000000000\n"
+                   "    a(1) = i\n"
+                   "  end do\n"
+                   "end subroutine trip\n",
+                   Language::Fortran});
+  }
+  {  // array-count bomb
+    std::string s = "subroutine many\n";
+    for (int i = 0; i < 600; ++i) {
+      s += "  integer, dimension(1:4) :: z" + std::to_string(i) + "\n";
+    }
+    s += "end subroutine many\n";
+    out.push_back({"bomb-arrays", std::move(s), Language::Fortran});
+  }
+  {  // C-side nesting bomb
+    std::string s = "void cdeep(void) {\n  int x;\n  x = ";
+    for (int i = 0; i < 4000; ++i) s += '(';
+    s += '1';
+    for (int i = 0; i < 4000; ++i) s += ')';
+    s += ";\n}\n";
+    out.push_back({"bomb-cparens", std::move(s), Language::C});
+  }
+  {  // binary junk: every byte value, no structure at all
+    std::string s;
+    for (int i = 0; i < 2048; ++i) s += static_cast<char>(i % 256);
+    out.push_back({"bomb-junk", std::move(s), Language::Fortran});
+  }
+  return out;
+}
+
+/// Hostile mutations of one generated (valid) program.
+std::vector<Variant> mutations(const GeneratedProgram& prog, Rng& rng) {
+  std::vector<Variant> out;
+  const std::string tag = "seed" + std::to_string(prog.seed) +
+                          (prog.lang == Language::C ? "c" : "f");
+  out.push_back({tag + "-base", prog.source, prog.lang});
+  for (int k = 1; k <= 3; ++k) {  // truncation at 1/4, 1/2, 3/4
+    out.push_back({tag + "-trunc" + std::to_string(k),
+                   prog.source.substr(0, prog.source.size() * static_cast<std::size_t>(k) / 4),
+                   prog.lang});
+  }
+  std::string flipped = prog.source;  // scattered byte corruption
+  for (int k = 0; k < 12 && !flipped.empty(); ++k) {
+    flipped[rng.next() % flipped.size()] = static_cast<char>(rng.next() % 256);
+  }
+  out.push_back({tag + "-flip", std::move(flipped), prog.lang});
+  return out;
+}
+
+/// Line-chunk minimization: repeatedly try dropping contiguous line ranges
+/// while the crash still reproduces. Bounded, greedy, good enough for a
+/// corpus entry a human will read.
+std::string minimize_crasher(const std::string& name, std::string source, Language lang,
+                             std::uint64_t* attempts) {
+  std::vector<std::string> lines;
+  std::istringstream in(source);
+  for (std::string line; std::getline(in, line);) lines.push_back(line + "\n");
+
+  auto join = [](const std::vector<std::string>& ls) {
+    std::string s;
+    for (const std::string& l : ls) s += l;
+    return s;
+  };
+
+  std::size_t chunk = std::max<std::size_t>(1, lines.size() / 2);
+  while (chunk >= 1 && *attempts < 200) {
+    bool removed = false;
+    for (std::size_t at = 0; at + chunk <= lines.size() && *attempts < 200;) {
+      std::vector<std::string> candidate = lines;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(at),
+                      candidate.begin() + static_cast<std::ptrdiff_t>(at + chunk));
+      ++*attempts;
+      if (!candidate.empty() && !survives_or_what(name, join(candidate), lang).empty()) {
+        lines = std::move(candidate);
+        removed = true;  // same position now holds new content; retry there
+      } else {
+        at += chunk;
+      }
+    }
+    if (chunk == 1 && !removed) break;
+    chunk = chunk > 1 ? chunk / 2 : 1;
+    if (chunk == 1 && removed) continue;
+  }
+  return join(lines);
+}
+
+}  // namespace
+
+std::string survives_or_what(const std::string& name, const std::string& source,
+                             Language lang) {
+  try {
+    const std::vector<serve::SourceBuffer> sources{{name, source, lang}};
+    const serve::BatchResult r = serve::run_batch(sources, hunt_options(), "hunt");
+    (void)r;  // ok, partial, or total failure: all are graceful outcomes
+    return "";
+  } catch (const std::exception& e) {
+    return std::string("escaped the unit barrier: ") + e.what();
+  } catch (...) {
+    return "escaped the unit barrier: unknown exception";
+  }
+}
+
+CrashHuntReport crash_hunt(const CrashHuntOptions& opts) {
+  CrashHuntReport report;
+
+  std::string fi_error;
+  if (!opts.failpoints.empty()) fi::configure(opts.failpoints, &fi_error);
+
+  auto exercise = [&](const Variant& v) {
+    ++report.variants;
+    const std::string name = "crash-" + v.tag + ext_of(v.lang);
+    const std::string what = survives_or_what(name, v.source, v.lang);
+    if (what.empty()) return;
+    Crasher c;
+    c.name = name;
+    c.lang = v.lang;
+    c.what = what;
+    c.source = minimize_crasher(name, v.source, v.lang, &report.minimize_attempts);
+    report.crashers.push_back(std::move(c));
+  };
+
+  for (const Variant& v : bombs()) exercise(v);
+
+  Rng rng(opts.seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (int n = 0; n < opts.count; ++n) {
+    for (const Language lang : {Language::C, Language::Fortran}) {
+      GenOptions gopts;
+      gopts.seed = opts.seed + static_cast<std::uint64_t>(n);
+      gopts.lang = lang;
+      const GeneratedProgram prog = generate(gopts);
+      for (const Variant& v : mutations(prog, rng)) exercise(v);
+    }
+  }
+
+  if (!opts.failpoints.empty()) fi::disarm();
+
+  if (!opts.corpus_dir.empty() && !report.crashers.empty()) {
+    std::error_code ec;
+    fs::create_directories(opts.corpus_dir, ec);
+    for (const Crasher& c : report.crashers) {
+      std::ofstream out(fs::path(opts.corpus_dir) / c.name, std::ios::binary);
+      out << c.source;
+    }
+  }
+  return report;
+}
+
+}  // namespace ara::difftest

@@ -1,0 +1,53 @@
+// Crash hunting (`arafuzz --crash-hunt`): robustness fuzzing of the
+// fault-tolerant analysis pipeline. Where the differential oracle asks "is
+// the analysis *sound*?", the crash hunter asks "does the pipeline *survive*
+// hostile input?" — it takes the generator's valid programs, mutilates them
+// (truncation, byte flips), adds synthesized resource bombs (deep nesting,
+// giant loop bounds, huge array counts), optionally arms failpoints, and
+// pushes everything through the serve engine's per-unit error barrier. Any
+// exception that escapes the barrier is a crasher: it is minimized by
+// line-chunk removal and written into the crash corpus
+// (tests/crash_corpus/), which ctest replays forever after.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/source_manager.hpp"
+
+namespace ara::difftest {
+
+struct CrashHuntOptions {
+  std::uint64_t seed = 1;
+  int count = 100;          // generator seeds per language
+  std::string corpus_dir;   // write minimized crashers here ("" = don't)
+  std::string failpoints;   // fault-injection spec armed during the hunt
+  bool verbose = false;
+};
+
+/// One input that made an exception escape the pipeline's error barrier.
+struct Crasher {
+  std::string name;    // corpus-style file name (crash-<tag>.<ext>)
+  std::string source;  // minimized reproducer
+  Language lang = Language::Fortran;
+  std::string what;    // what escaped (exception text)
+};
+
+struct CrashHuntReport {
+  std::uint64_t variants = 0;  // inputs exercised (base + mutations + bombs)
+  std::uint64_t minimize_attempts = 0;
+  std::vector<Crasher> crashers;
+};
+
+/// Runs one input through the barriered batch pipeline under hunt limits.
+/// Returns the escaped exception's description, or "" when the pipeline
+/// handled the input gracefully (success, compile failure, UnitFailure —
+/// all graceful). Exposed for the corpus replay test.
+[[nodiscard]] std::string survives_or_what(const std::string& name,
+                                           const std::string& source, Language lang);
+
+/// The hunt. Deterministic for a fixed (seed, count, failpoints).
+[[nodiscard]] CrashHuntReport crash_hunt(const CrashHuntOptions& opts);
+
+}  // namespace ara::difftest

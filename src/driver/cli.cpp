@@ -13,6 +13,9 @@
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
+#include "serve/failure.hpp"
+#include "support/faultinject.hpp"
+#include "support/limits.hpp"
 #include "support/text_table.hpp"
 
 namespace ara::driver {
@@ -20,6 +23,17 @@ namespace ara::driver {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// The exit-code contract (every return path funnels through these —
+/// documented in docs/robustness.md):
+///   0  clean success
+///   1  total failure: usage error, unreadable input, compile/link error,
+///      resource limit in monolithic mode, internal error
+///   2  partial success: some units failed but the survivors linked and
+///      their results were produced (batch engine only)
+constexpr int kClean = 0;
+constexpr int kFatal = 1;
+constexpr int kPartial = 2;
 
 struct CliOptions {
   std::vector<fs::path> sources;
@@ -34,6 +48,8 @@ struct CliOptions {
   long jobs = 0;          // 0 = flag absent (monolithic pipeline)
   std::string cache_dir;  // empty = no summary cache
   bool no_cache = false;
+  std::string failpoints;  // fault-injection spec (--failpoints / ARA_FAILPOINTS)
+  support::ResourceLimits limits;  // per-unit resource guards
 
   [[nodiscard]] bool telemetry() const { return stats || time_report || !trace_file.empty(); }
   /// The batch engine runs whenever its flags are used; otherwise the
@@ -61,7 +77,33 @@ void usage(std::ostream& out) {
          "                    (output is byte-identical for every N)\n"
          "  --cache-dir DIR   batch engine: persistent summary cache; unchanged\n"
          "                    units skip parsing and local analysis\n"
-         "  --no-cache        ignore the cache for this run (don't read or write)\n";
+         "  --no-cache        ignore the cache for this run (don't read or write)\n"
+         "\n"
+         "robustness (see docs/robustness.md):\n"
+         "  --failpoints SPEC     arm fault-injection failpoints (also via the\n"
+         "                        ARA_FAILPOINTS environment variable)\n"
+         "  --max-depth N         parser recursion-depth cap (default 200)\n"
+         "  --max-ast-nodes N     AST nodes per unit cap (default 5000000)\n"
+         "  --max-loop-trip N     constant loop trip-count cap (default 1000000000)\n"
+         "  --max-arrays N        arrays declared per unit cap (default 10000)\n"
+         "  --unit-timeout-ms N   per-unit wall-clock watchdog (default 0 = off)\n"
+         "\n"
+         "exit codes: 0 success; 1 total failure (usage, compile, link, limits);\n"
+         "2 partial success (batch engine: some units failed, survivors linked,\n"
+         "NAME.failures.json written)\n";
+}
+
+/// Parses a non-negative integer CLI value; reports through `err`.
+/// Plain decimal digits only — strtoull would happily wrap "-3" around.
+bool parse_u64(const std::string& flag, const std::string& v, std::uint64_t* out,
+               std::ostream& err) {
+  const bool digits = !v.empty() && v.find_first_not_of("0123456789") == std::string::npos;
+  if (!digits) {
+    err << "arac: " << flag << " expects a non-negative integer, got '" << v << "'\n";
+    return false;
+  }
+  *out = std::strtoull(v.c_str(), nullptr, 10);
+  return true;
 }
 
 bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostream& out,
@@ -110,6 +152,31 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostr
       cli->cache_dir = *v;
     } else if (a == "--no-cache") {
       cli->no_cache = true;
+    } else if (a == "--failpoints") {
+      const std::string* v = next("--failpoints");
+      if (v == nullptr) return false;
+      cli->failpoints = *v;
+    } else if (a == "--max-depth") {
+      const std::string* v = next("--max-depth");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(a, *v, &n, err)) return false;
+      cli->limits.max_nesting_depth = static_cast<std::uint32_t>(n);
+    } else if (a == "--max-ast-nodes") {
+      const std::string* v = next("--max-ast-nodes");
+      if (v == nullptr || !parse_u64(a, *v, &cli->limits.max_ast_nodes, err)) return false;
+    } else if (a == "--max-loop-trip") {
+      const std::string* v = next("--max-loop-trip");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(a, *v, &n, err)) return false;
+      cli->limits.max_loop_trip = static_cast<std::int64_t>(n);
+    } else if (a == "--max-arrays") {
+      const std::string* v = next("--max-arrays");
+      if (v == nullptr || !parse_u64(a, *v, &cli->limits.max_arrays, err)) return false;
+    } else if (a == "--unit-timeout-ms") {
+      const std::string* v = next("--unit-timeout-ms");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(a, *v, &n, err)) return false;
+      cli->limits.unit_timeout = std::chrono::milliseconds(n);
     } else if (a == "--no-ipa") {
       cli->no_ipa = true;
     } else if (a == "--dump-ir") {
@@ -169,7 +236,7 @@ int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
     std::optional<serve::SourceBuffer> buf = serve::read_source(src, &warning);
     if (!buf.has_value()) {
       err << "arac: cannot read " << src.string() << "\n";
-      return 1;
+      return kFatal;
     }
     if (!warning.empty()) err << "warning: " << warning << "\n";
     sources.push_back(std::move(*buf));
@@ -180,6 +247,7 @@ int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
   bopts.cache_dir = cli.cache_dir;
   bopts.use_cache = !cli.no_cache;
   bopts.interprocedural = !cli.no_ipa;
+  bopts.limits = cli.limits;
   const serve::BatchResult result = serve::run_batch(sources, bopts, cli.name);
 
   // Unit diagnostics come back in input order regardless of which worker
@@ -190,12 +258,35 @@ int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
   }
   const std::string link_diags = result.link.diags.render();
   if (!link_diags.empty()) err << link_diags;
-  if (!result.ok) return 1;
+
+  const int rc = result.ok ? kClean : (result.partial ? kPartial : kFatal);
+
+  // Failed units: one console line each, plus the machine-readable
+  // NAME.failures.json (into the export dir if given, else the cwd).
+  if (result.failed_units > 0) {
+    for (const serve::UnitReport& unit : result.units) {
+      if (unit.status != serve::UnitStatus::Failed || !unit.failure) continue;
+      err << "arac: unit '" << unit.source_name << "' failed ("
+          << serve::to_string(unit.failure->kind) << "): " << unit.failure->reason << "\n";
+    }
+    const fs::path dir = cli.export_dir.empty() ? fs::path(".") : fs::path(cli.export_dir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const fs::path report = dir / (cli.name + ".failures.json");
+    write_file(report, serve::write_failures_json(cli.name, result.units, rc), err);
+    err << "arac: " << result.failed_units << " of " << result.units.size()
+        << " units failed; see " << report.string() << "\n";
+  }
+  if (rc == kFatal) return rc;
 
   if (!cli.quiet) {
     out << cli.name << ": " << result.link.project.procedures.size() << " procedures, "
         << result.link.project.edges.size() << " call edges, " << result.link.rows.size()
-        << " region rows\n";
+        << " region rows";
+    if (result.partial) {
+      out << " (partial: " << result.failed_units << " units dropped)";
+    }
+    out << "\n";
     out << render_region_table(result.link.rows);
     if (!bopts.cache_dir.empty() && bopts.use_cache) {
       out << "cache: " << result.cache_hits << " hits, " << result.cache_misses << " misses\n";
@@ -207,23 +298,89 @@ int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
     if (!export_dragon_files(result.link.rows, result.link.project, result.link.cfg_text,
                              cli.export_dir, cli.name, &error)) {
       err << "arac: " << error << "\n";
-      return 1;
+      return kFatal;
     }
     if (!cli.quiet) {
       out << "wrote " << (fs::path(cli.export_dir) / cli.name).string() << ".{rgn,dgn,cfg"
           << (cli.telemetry() ? ",stats.json" : "") << "}\n";
     }
   }
-  return 0;
+  return rc;
 }
+
+/// The monolithic pipeline (`arac` without --jobs/--cache-dir). Runs under
+/// the CLI's resource limits; a tripped cap propagates as
+/// ResourceLimitError and run_arac's sink turns it into exit 1.
+int run_mono(const CliOptions& cli, std::ostream& out, std::ostream& err) {
+  const support::LimitScope guard(cli.limits);
+  int rc = kClean;
+
+  Compiler cc;
+  for (const fs::path& src : cli.sources) {
+    if (!cc.add_file(src)) {
+      err << "arac: cannot read " << src.string() << "\n";
+      return kFatal;
+    }
+  }
+  const bool compiled = cc.compile();
+  // Diagnostics always reach the user: warnings on successful compiles
+  // used to vanish here (satellite of ISSUE 3).
+  const std::string diag_text = cc.diagnostics().render();
+  if (!diag_text.empty()) err << diag_text;
+  if (!compiled) return kFatal;
+
+  if (cli.dump_ir) out << ir::dump_program(cc.program());
+
+  ipa::AnalyzeOptions aopts;
+  aopts.interprocedural = !cli.no_ipa;
+  const ipa::AnalysisResult result = cc.analyze(aopts);
+
+  if (!cli.quiet) {
+    out << cli.name << ": " << result.callgraph.size() << " procedures, "
+        << result.callgraph.edge_count() << " call edges, " << result.rows.size()
+        << " region rows\n";
+    out << render_region_table(result.rows);
+  }
+
+  if (!cli.export_dir.empty()) {
+    std::string error;
+    if (!export_dragon_files(cc.program(), result, cli.export_dir, cli.name, &error)) {
+      err << "arac: " << error << "\n";
+      rc = kFatal;
+    } else if (!cli.quiet) {
+      out << "wrote " << (fs::path(cli.export_dir) / cli.name).string()
+          << ".{rgn,dgn,cfg" << (cli.telemetry() ? ",stats.json" : "") << "}\n";
+    }
+  }
+  return rc;
+}
+
+/// Disarms fault injection when the invocation that armed it returns, so
+/// injected faults can't leak into a later in-process run_arac call.
+struct FaultInjectScope {
+  ~FaultInjectScope() { fi::disarm(); }
+};
 
 }  // namespace
 
 int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   CliOptions cli;
   bool help = false;
-  if (!parse_args(args, &cli, out, err, &help)) return 2;
-  if (help) return 0;
+  if (!parse_args(args, &cli, out, err, &help)) return kFatal;
+  if (help) return kClean;
+
+  // Fault injection: the environment arms first, then an explicit
+  // --failpoints replaces it. A malformed spec is a usage error.
+  const FaultInjectScope fi_scope;
+  std::string fi_error;
+  if (!fi::configure_from_env(&fi_error)) {
+    err << "arac: bad ARA_FAILPOINTS: " << fi_error << "\n";
+    return kFatal;
+  }
+  if (!cli.failpoints.empty() && !fi::configure(cli.failpoints, &fi_error)) {
+    err << "arac: bad --failpoints: " << fi_error << "\n";
+    return kFatal;
+  }
 
   const bool was_enabled = obs::enabled();
   if (cli.telemetry()) {
@@ -232,55 +389,22 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
     obs::Timeline::instance().clear();
   }
 
-  int rc = 0;
-  if (cli.serve()) {
-    rc = run_serve(cli, out, err);
-    if (rc != 0) {
-      obs::set_enabled(was_enabled);
-      return rc;
-    }
-  } else {
-    Compiler cc;
-    for (const fs::path& src : cli.sources) {
-      if (!cc.add_file(src)) {
-        err << "arac: cannot read " << src.string() << "\n";
-        obs::set_enabled(was_enabled);
-        return 1;
-      }
-    }
-    const bool compiled = cc.compile();
-    // Diagnostics always reach the user: warnings on successful compiles
-    // used to vanish here (satellite of ISSUE 3).
-    const std::string diag_text = cc.diagnostics().render();
-    if (!diag_text.empty()) err << diag_text;
-    if (!compiled) {
-      obs::set_enabled(was_enabled);
-      return 1;
-    }
-
-    if (cli.dump_ir) out << ir::dump_program(cc.program());
-
-    ipa::AnalyzeOptions aopts;
-    aopts.interprocedural = !cli.no_ipa;
-    const ipa::AnalysisResult result = cc.analyze(aopts);
-
-    if (!cli.quiet) {
-      out << cli.name << ": " << result.callgraph.size() << " procedures, "
-          << result.callgraph.edge_count() << " call edges, " << result.rows.size()
-          << " region rows\n";
-      out << render_region_table(result.rows);
-    }
-
-    if (!cli.export_dir.empty()) {
-      std::string error;
-      if (!export_dragon_files(cc.program(), result, cli.export_dir, cli.name, &error)) {
-        err << "arac: " << error << "\n";
-        rc = 1;
-      } else if (!cli.quiet) {
-        out << "wrote " << (fs::path(cli.export_dir) / cli.name).string()
-            << ".{rgn,dgn,cfg" << (cli.telemetry() ? ",stats.json" : "") << "}\n";
-      }
-    }
+  // The single error sink: every failure mode of both pipelines lands here
+  // and maps onto the 0/1/2 contract. The catch-all exists so an internal
+  // bug exits 1 with a message instead of an abort.
+  int rc = kClean;
+  try {
+    rc = cli.serve() ? run_serve(cli, out, err) : run_mono(cli, out, err);
+  } catch (const support::ResourceLimitError& e) {
+    err << "arac: resource limit exceeded: " << e.what() << "\n";
+    rc = kFatal;
+  } catch (const std::exception& e) {
+    err << "arac: internal error: " << e.what() << "\n";
+    rc = kFatal;
+  }
+  if (rc == kFatal) {
+    obs::set_enabled(was_enabled);
+    return rc;
   }
 
   // Telemetry rendering happens after the compiler is destroyed so every

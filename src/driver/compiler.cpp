@@ -1,5 +1,6 @@
 #include "driver/compiler.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -8,12 +9,16 @@
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "rgn/dgn.hpp"
+#include "support/faultinject.hpp"
+#include "support/retry.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::driver {
 
 ARA_STATISTIC(stat_files_added, "driver.files_added", "Source files registered with the driver");
 ARA_STATISTIC(stat_exports, "driver.exports", "Dragon export file sets written");
+ARA_STATISTIC(stat_export_retries, "driver.export_retries",
+              "Transient artifact-write faults absorbed by retrying");
 
 Compiler::Compiler() : Compiler(CompilerOptions{}) {}
 
@@ -106,14 +111,22 @@ bool export_dragon_files(const std::vector<rgn::RegionRow>& rows, const rgn::Dgn
     if (error != nullptr) *error = "cannot create " + dir.string() + ": " + ec.message();
     return false;
   }
+  // Artifact writes retry transient faults just like cache I/O does: a
+  // flaky disk should cost milliseconds, not the whole analysis run.
   auto write = [&](const std::filesystem::path& path, const std::string& text) {
-    std::ofstream out(path);
-    out << text;
-    if (!out) {
-      if (error != nullptr) *error = "cannot write " + path.string();
-      return false;
-    }
-    return true;
+    const bool ok = support::retry_io(
+        support::RetryPolicy{},
+        [&] {
+          const std::size_t keep = fi::check_io("export.write", path.filename().string());
+          std::ofstream out(path);
+          out << text.substr(0, std::min(text.size(), keep));
+          if (!out) throw fi::IoFault("write failed: " + path.string());
+          if (keep < text.size()) throw fi::IoFault("short write: " + path.string());
+          return true;
+        },
+        [](int) { stat_export_retries.bump(); });
+    if (!ok && error != nullptr) *error = "cannot write " + path.string();
+    return ok;
   };
   if (!write(dir / (name + ".rgn"), rgn::write_rgn(rows))) return false;
   if (!write(dir / (name + ".dgn"), rgn::write_dgn(project))) return false;

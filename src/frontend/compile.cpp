@@ -8,6 +8,7 @@
 #include "ir/verifier.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
+#include "support/limits.hpp"
 
 namespace ara::fe {
 
@@ -21,6 +22,10 @@ bool compile_program(ir::Program& program, DiagnosticEngine& diags) {
 
 bool compile_program(ir::Program& program, DiagnosticEngine& diags, const CompileOptions& opts,
                      std::vector<ExternRef>* externs) {
+  // Resource guards: the AST meter is per compile, and the cooperative
+  // wall-clock watchdog (armed by a LimitScope with a unit_timeout) gets a
+  // checkpoint at every phase boundary below.
+  support::reset_ast_budget();
   std::vector<ModuleAst> modules;
   {
     ARA_SPAN("parse", "frontend");
@@ -38,6 +43,7 @@ bool compile_program(ir::Program& program, DiagnosticEngine& diags, const Compil
     }
   }
   if (diags.has_errors()) return false;
+  support::check_deadline();
 
   SemaOptions sema_opts;
   sema_opts.external_calls = opts.external_calls;
@@ -48,6 +54,22 @@ bool compile_program(ir::Program& program, DiagnosticEngine& diags, const Compil
   }();
   if (externs != nullptr) *externs = resolved.externs;
   if (diags.has_errors()) return false;
+  support::check_deadline();
+
+  // Array-count cap: a machine-generated unit declaring hundreds of
+  // thousands of arrays would make layout and region analysis balloon;
+  // demote it to a resource failure while the damage is still bounded.
+  {
+    std::uint64_t arrays = 0;
+    for (const ir::StIdx idx : program.symtab.all_sts()) {
+      if (program.symtab.ty(program.symtab.st(idx).ty).is_array()) ++arrays;
+    }
+    const std::uint64_t cap = support::active_limits().max_arrays;
+    if (arrays > cap) {
+      throw support::ResourceLimitError("unit declares " + std::to_string(arrays) +
+                                        " arrays, above the cap of " + std::to_string(cap));
+    }
+  }
 
   {
     ARA_SPAN("lower", "frontend");
@@ -61,6 +83,7 @@ bool compile_program(ir::Program& program, DiagnosticEngine& diags, const Compil
     }
   }
 
+  support::check_deadline();
   {
     ARA_SPAN("layout", "frontend");
     ir::assign_layout(program);

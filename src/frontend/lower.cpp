@@ -1,7 +1,9 @@
 #include "frontend/lower.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "support/limits.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::fe {
@@ -11,6 +13,34 @@ using ir::Opr;
 using ir::StIdx;
 using ir::WN;
 using ir::WNPtr;
+
+namespace {
+
+/// Guards counted loops with all-constant control against pathological trip
+/// counts (a `do i = 1, 2000000000` kernel is a denial-of-service input for
+/// any downstream consumer, not a program to analyze). Symbolic bounds are
+/// exempt — they carry no static trip count.
+void check_loop_trip(const Stmt& stmt) {
+  if (stmt.do_init->kind != ExprKind::IntLit || stmt.do_limit->kind != ExprKind::IntLit) return;
+  std::int64_t step = 1;
+  if (stmt.do_step) {
+    if (stmt.do_step->kind != ExprKind::IntLit) return;
+    step = stmt.do_step->int_val;
+  }
+  if (step == 0) return;  // diagnosed elsewhere; trip count undefined
+  const std::int64_t span = step > 0 ? stmt.do_limit->int_val - stmt.do_init->int_val
+                                     : stmt.do_init->int_val - stmt.do_limit->int_val;
+  if (span < 0) return;  // zero-trip loop
+  const std::int64_t trip = span / std::abs(step) + 1;
+  const std::int64_t cap = support::active_limits().max_loop_trip;
+  if (trip > cap) {
+    throw support::ResourceLimitError("loop at line " + std::to_string(stmt.loc.line) +
+                                      " has a constant trip count of " + std::to_string(trip) +
+                                      ", above the cap of " + std::to_string(cap));
+  }
+}
+
+}  // namespace
 
 StIdx Lowerer::resolve(const std::string& name, const ProcScope& scope) const {
   const auto it = scope.names.find(to_lower(name));
@@ -110,6 +140,7 @@ WNPtr Lowerer::lower_stmt(const Stmt& stmt, const ProcScope& scope) {
     case StmtKind::Do: {
       const StIdx ivar = resolve(stmt.do_var, scope);
       if (ivar == ir::kInvalidSt) return nullptr;
+      check_loop_trip(stmt);
       WNPtr init = lower_expr(*stmt.do_init, scope);
       WNPtr limit = lower_expr(*stmt.do_limit, scope);
       WNPtr step = stmt.do_step ? lower_expr(*stmt.do_step, scope)

@@ -10,6 +10,13 @@ const Token& ParserBase::peek(std::size_t ahead) const {
 }
 
 const Token& ParserBase::advance() {
+  // Wall-clock watchdog checkpoint: the token cursor is the one spot every
+  // parse path funnels through, so a per-unit deadline fires here even on
+  // pathological inputs. Amortized to one clock read per 256 tokens.
+  if ((cursor_ & 0xff) == 0) support::check_deadline();
+  // AST nodes are O(tokens consumed), so metering the cursor bounds tree
+  // size before any node is built.
+  support::charge_ast_nodes(1);
   const Token& t = peek();
   if (cursor_ + 1 < tokens_.size()) ++cursor_;
   return t;

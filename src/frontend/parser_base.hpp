@@ -6,11 +6,13 @@
 // intrinsic.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "frontend/ast.hpp"
 #include "frontend/token.hpp"
 #include "support/diagnostics.hpp"
+#include "support/limits.hpp"
 
 namespace ara::fe {
 
@@ -18,6 +20,28 @@ class ParserBase {
  protected:
   ParserBase(std::vector<Token> tokens, DiagnosticEngine& diags, Language lang)
       : tokens_(std::move(tokens)), diags_(diags), lang_(lang) {}
+
+  /// RAII recursion guard shared by the expression grammar and the
+  /// language parsers' statement recursion. Throws ResourceLimitError past
+  /// the active max_nesting_depth — a hostile input (10k nested parens or
+  /// braces) must become a structured failure before it overflows the
+  /// native stack.
+  class NestingGuard {
+   public:
+    explicit NestingGuard(ParserBase& p) : p_(p) {
+      if (++p_.depth_ > support::active_limits().max_nesting_depth) {
+        throw support::ResourceLimitError(
+            "nesting exceeds the depth cap of " +
+            std::to_string(support::active_limits().max_nesting_depth));
+      }
+    }
+    ~NestingGuard() { --p_.depth_; }
+    NestingGuard(const NestingGuard&) = delete;
+    NestingGuard& operator=(const NestingGuard&) = delete;
+
+   private:
+    ParserBase& p_;
+  };
 
   [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
   [[nodiscard]] bool at(Tok kind) const { return peek().kind == kind; }
@@ -33,7 +57,10 @@ class ParserBase {
   void expect_kw(std::string_view kw);
 
   // --- expression grammar -------------------------------------------------
-  [[nodiscard]] ExprPtr parse_expr() { return parse_or(); }
+  [[nodiscard]] ExprPtr parse_expr() {
+    const NestingGuard guard(*this);
+    return parse_or();
+  }
 
   DiagnosticEngine& diags() { return diags_; }
   [[nodiscard]] Language lang() const { return lang_; }
@@ -52,6 +79,7 @@ class ParserBase {
   DiagnosticEngine& diags_;
   Language lang_;
   std::size_t cursor_ = 0;
+  std::uint32_t depth_ = 0;  // NestingGuard recursion depth
 };
 
 }  // namespace ara::fe

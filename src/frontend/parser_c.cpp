@@ -140,6 +140,9 @@ std::vector<StmtPtr> CParser::parse_block(ProcDecl& proc) {
 }
 
 void CParser::parse_stmt_into(ProcDecl& proc, std::vector<StmtPtr>& out) {
+  // Every nested statement level (for/if bodies, bare blocks) re-enters
+  // here, so one guard bounds the whole statement recursion.
+  const NestingGuard guard(*this);
   // Local declaration?
   if (at_type_keyword()) {
     const ir::Mtype type = parse_type();

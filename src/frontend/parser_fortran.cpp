@@ -223,6 +223,9 @@ std::vector<StmtPtr> FortranParser::parse_body(std::initializer_list<std::string
 }
 
 StmtPtr FortranParser::parse_stmt() {
+  // Every nested statement level (DO/IF bodies) re-enters here, so one
+  // guard bounds the whole statement recursion.
+  const NestingGuard guard(*this);
   if (at_kw("do")) return parse_do();
   if (at_kw("if")) return parse_if();
   if (at_kw("call")) return parse_call();

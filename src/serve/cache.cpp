@@ -1,11 +1,17 @@
 #include "serve/cache.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <system_error>
 
 #include "obs/stats.hpp"
 #include "serve/hash.hpp"
+#include "serve/lockfile.hpp"
+#include "support/faultinject.hpp"
+#include "support/retry.hpp"
 
 namespace ara::serve {
 
@@ -14,17 +20,22 @@ ARA_STATISTIC(stat_misses, "serve.cache_misses", "Summary cache misses");
 ARA_STATISTIC(stat_writes, "serve.cache_writes", "Summary cache entries written");
 ARA_STATISTIC(stat_evictions, "serve.cache_evictions",
               "Invalid cache entries discarded (corrupt, truncated, or stale)");
+ARA_STATISTIC(stat_retries, "serve.retries",
+              "Transient I/O faults absorbed by retrying (cache and artifacts)");
 
 namespace {
 
 constexpr std::string_view kMagic = "ARA-UNIT-CACHE v1";
 
+/// Reads the whole entry file. An absent file is a definitive cold miss
+/// (nullopt, never retried); a read that starts and then fails is a
+/// transient fault and throws fi::IoFault so retry_io takes another pass.
 std::optional<std::string> read_file(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream buf;
   buf << in.rdbuf();
-  if (in.bad()) return std::nullopt;
+  if (in.bad()) throw fi::IoFault("read failed: " + path.string());
   return buf.str();
 }
 
@@ -55,6 +66,14 @@ std::optional<std::string_view> unwrap(std::string_view text, std::string_view k
   return payload;
 }
 
+std::optional<UnitSummary> decode(const std::optional<std::string>& text,
+                                  std::string_view key) {
+  if (!text) return std::nullopt;
+  const auto payload = unwrap(*text, key);
+  if (!payload) return std::nullopt;
+  return parse_unit_summary(*payload);
+}
+
 }  // namespace
 
 SummaryCache::SummaryCache(std::filesystem::path dir, bool enabled)
@@ -79,21 +98,53 @@ std::filesystem::path SummaryCache::entry_path(std::string_view key) const {
 
 std::optional<UnitSummary> SummaryCache::load(std::string_view key) const {
   if (!enabled_) return std::nullopt;
-  const auto text = read_file(entry_path(key));
-  if (!text) {
+  const std::filesystem::path path = entry_path(key);
+
+  std::optional<std::string> text;
+  bool present = false;
+  const bool read_ok = support::retry_io(
+      support::RetryPolicy{},
+      [&] {
+        const std::size_t keep = fi::check_io("cache.read", key);  // may throw IoFault
+        text = read_file(path);
+        present = text.has_value();
+        if (text && text->size() > keep) text->resize(keep);  // injected short read
+        return true;
+      },
+      [](int) { stat_retries.bump(); });
+  if (!read_ok) {
+    // Persistent read failure: the entry may be fine on disk, so do not
+    // evict it — just degrade to a miss and re-analyze the unit.
     stat_misses.bump();
     return std::nullopt;
   }
-  const auto payload = unwrap(*text, key);
-  std::optional<UnitSummary> unit;
-  if (payload) unit = parse_unit_summary(*payload);
-  if (!unit) {
-    // The entry exists but is unusable (corrupt, truncated, or written by a
-    // different analyzer version): count it as evicted — the next store for
-    // this key overwrites it — and fall through to a miss.
-    stat_evictions.bump();
+  if (!present) {
     stat_misses.bump();
     return std::nullopt;
+  }
+
+  std::optional<UnitSummary> unit = decode(text, key);
+  if (!unit) {
+    // The entry exists but is unusable (corrupt, truncated, or written by a
+    // different analyzer version). Evict it so a shared cache heals instead
+    // of re-validating the same junk forever — but serialize with other
+    // processes and re-check under the lock: a peer may have just renamed a
+    // fresh, valid entry into this path, and deleting that would throw away
+    // its work (and, worse, race its rename).
+    DirLock lock(dir_);
+    lock.acquire();
+    try {
+      unit = decode(read_file(path), key);
+    } catch (const fi::IoFault&) {
+      unit = std::nullopt;
+    }
+    if (!unit) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      stat_evictions.bump();
+      stat_misses.bump();
+      return std::nullopt;
+    }
   }
   stat_hits.bump();
   return unit;
@@ -113,22 +164,41 @@ bool SummaryCache::store(std::string_view key, const UnitSummary& unit) const {
      << "payload " << payload.size() << '\n'
      << payload << '\n'
      << "checksum " << Hasher().update(payload).hex() << '\n';
+  const std::string entry = os.str();
 
   // Atomic publish: never expose a half-written entry, even if the process
-  // dies mid-store or two processes race on the same key (same key ==
-  // same content, so either rename winning is fine).
+  // dies mid-store. The temp name carries the pid so two processes storing
+  // the same key never scribble on each other's temp file (same key == same
+  // content, so either rename winning is fine).
   const std::filesystem::path final_path = entry_path(key);
-  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    out << os.str();
-    if (!out) {
-      std::filesystem::remove(tmp_path, ec);
-      return false;
-    }
-  }
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) {
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp." + std::to_string(::getpid());
+
+  const bool ok = support::retry_io(
+      support::RetryPolicy{},
+      [&] {
+        const std::size_t keep = fi::check_io("cache.write", key);  // may throw IoFault
+        const std::string_view bytes =
+            std::string_view(entry).substr(0, std::min(entry.size(), keep));
+        {
+          std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+          out << bytes;
+          if (!out) throw fi::IoFault("write failed: " + tmp_path.string());
+        }
+        if (bytes.size() != entry.size())
+          throw fi::IoFault("short write: " + tmp_path.string());
+        // Publish under the directory lock so an eviction in another
+        // process cannot interleave its validate-then-remove with our
+        // rename and delete the entry we just wrote.
+        DirLock lock(dir_);
+        lock.acquire();
+        std::error_code rec;
+        std::filesystem::rename(tmp_path, final_path, rec);
+        if (rec) throw fi::IoFault("rename failed: " + final_path.string());
+        return true;
+      },
+      [](int) { stat_retries.bump(); });
+  if (!ok) {
     std::filesystem::remove(tmp_path, ec);
     return false;
   }

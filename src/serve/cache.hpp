@@ -21,7 +21,9 @@ namespace ara::serve {
 
 /// Bumped whenever the summary format or the analysis itself changes
 /// meaning; stale entries from older builds then miss and are rewritten.
-inline constexpr std::string_view kAnalyzerVersion = "openara-serve-1";
+/// v2: entries carry the unit's rendered diagnostics (warnings replay on
+/// cache hits).
+inline constexpr std::string_view kAnalyzerVersion = "openara-serve-2";
 
 class SummaryCache {
  public:

@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <fstream>
+#include <new>
 #include <sstream>
 
 #include "frontend/compile.hpp"
@@ -8,6 +9,7 @@
 #include "obs/timeline.hpp"
 #include "serve/cache.hpp"
 #include "serve/threadpool.hpp"
+#include "support/faultinject.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::serve {
@@ -15,6 +17,21 @@ namespace ara::serve {
 ARA_STATISTIC(stat_batch_units, "serve.units", "Translation units submitted to the batch engine");
 ARA_STATISTIC(stat_units_analyzed, "serve.units_analyzed",
               "Units that went through the full frontend + local analysis");
+ARA_STATISTIC(stat_unit_failures, "serve.unit_failures",
+              "Units demoted to a UnitFailure by the per-unit error barrier");
+ARA_STATISTIC(stat_degraded_runs, "serve.degraded_runs",
+              "Batches that linked in degraded mode (some units dropped)");
+
+std::string_view to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::Compile: return "compile";
+    case FailureKind::Resource: return "resource";
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::Io: return "io";
+    case FailureKind::Crash: return "crash";
+  }
+  return "crash";
+}
 
 namespace {
 
@@ -26,6 +43,16 @@ std::string flags_string(const BatchOptions& opts) {
   flags += ";scalars=";
   flags += opts.include_scalars ? '1' : '0';
   return flags;
+}
+
+/// Demotes a unit to Failed with a structured reason, and drops a
+/// zero-length "fail:<unit>" span into the trace so degraded runs are
+/// visible on the timeline.
+void fail_unit(UnitReport& report, FailureKind kind, std::string reason) {
+  report.status = UnitStatus::Failed;
+  report.failure = UnitFailure{kind, std::move(reason)};
+  stat_unit_failures.bump();
+  obs::Span marker("fail:" + report.source_name, "failure");
 }
 
 }  // namespace
@@ -79,57 +106,98 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
       report.source_name = sources[i].name;
       texts[i] = sources[i].text;
 
-      const std::string key =
-          SummaryCache::key_for(sources[i].name, sources[i].text, sources[i].lang, flags);
-      if (auto hit = cache.load(key)) {
-        summaries[i] = std::move(*hit);
-        report.status = UnitStatus::Cached;
-        return;
-      }
+      // Error barrier: nothing one unit does — a hostile input tripping a
+      // resource cap, the watchdog, an I/O fault real or injected, or a
+      // plain bug throwing — may take down the batch. Every failure mode
+      // becomes a structured UnitFailure and the link proceeds without it.
+      try {
+        const support::LimitScope guard(opts.limits);
 
-      // Miss (or caching off): compile this unit alone, with unresolved
-      // calls deferred to the link phase.
-      ir::Program program;
-      program.sources.add(sources[i].name, sources[i].text, sources[i].lang);
-      DiagnosticEngine diags(&program.sources);
-      std::vector<fe::ExternRef> externs;
-      fe::CompileOptions copts;
-      copts.external_calls = true;
-      const bool ok = fe::compile_program(program, diags, copts, &externs);
-      report.diagnostics = diags.render();
-      if (!ok) {
-        report.status = UnitStatus::Failed;
-        return;
+        const std::string key = SummaryCache::key_for(sources[i].name, sources[i].text,
+                                                      sources[i].lang, flags);
+        if (auto hit = cache.load(key)) {
+          // Replay the cached unit's rendered warnings byte-identically, so
+          // a hit is indistinguishable from a re-analysis on the console.
+          report.diagnostics = hit->diagnostics;
+          summaries[i] = std::move(*hit);
+          report.status = UnitStatus::Cached;
+          return;
+        }
+
+        if (ARA_FAILPOINT("unit.analyze", sources[i].name)) {
+          throw fi::IoFault("injected I/O fault analyzing '" + sources[i].name + "'");
+        }
+
+        // Miss (or caching off): compile this unit alone, with unresolved
+        // calls deferred to the link phase.
+        ir::Program program;
+        program.sources.add(sources[i].name, sources[i].text, sources[i].lang);
+        DiagnosticEngine diags(&program.sources);
+        std::vector<fe::ExternRef> externs;
+        fe::CompileOptions copts;
+        copts.external_calls = true;
+        const bool ok = fe::compile_program(program, diags, copts, &externs);
+        report.diagnostics = diags.render();
+        if (!ok) {
+          fail_unit(report, FailureKind::Compile, "unit did not compile");
+          return;
+        }
+        stat_units_analyzed.bump();
+        summaries[i] = summarize_unit(program, externs);
+        summaries[i]->diagnostics = report.diagnostics;
+        if (cache.enabled()) cache.store(key, *summaries[i]);
+        report.status = UnitStatus::Analyzed;
+      } catch (const support::TimeoutError& e) {
+        fail_unit(report, FailureKind::Timeout, e.what());
+      } catch (const support::ResourceLimitError& e) {
+        fail_unit(report, FailureKind::Resource, e.what());
+      } catch (const fi::IoFault& e) {
+        fail_unit(report, FailureKind::Io, e.what());
+      } catch (const std::bad_alloc&) {
+        fail_unit(report, FailureKind::Resource, "out of memory analyzing unit");
+      } catch (const std::exception& e) {
+        fail_unit(report, FailureKind::Crash, e.what());
+      } catch (...) {
+        fail_unit(report, FailureKind::Crash, "unknown exception analyzing unit");
       }
-      stat_units_analyzed.bump();
-      summaries[i] = summarize_unit(program, externs);
-      if (cache.enabled()) cache.store(key, *summaries[i]);
-      report.status = UnitStatus::Analyzed;
+      // A failed unit never contributes to the link, even if the exception
+      // escaped mid-summarization.
+      if (report.status == UnitStatus::Failed) summaries[i].reset();
     });
     obs::set_lane(0);
   }
 
-  bool all_compiled = true;
   for (const UnitReport& r : result.units) {
-    if (r.status == UnitStatus::Failed) all_compiled = false;
+    if (r.status == UnitStatus::Failed) ++result.failed_units;
     if (r.status == UnitStatus::Cached) {
       ++result.cache_hits;
     } else {
       ++result.cache_misses;
     }
   }
-  if (!all_compiled) return result;
 
+  // Link the survivors (everyone, in the clean case), keeping texts
+  // parallel to the summaries so diagnostics and the browser still line up.
   std::vector<UnitSummary> units;
+  std::vector<std::string> unit_texts;
   units.reserve(summaries.size());
-  for (std::optional<UnitSummary>& s : summaries) units.push_back(std::move(*s));
+  unit_texts.reserve(summaries.size());
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    if (!summaries[i]) continue;
+    units.push_back(std::move(*summaries[i]));
+    unit_texts.push_back(std::move(texts[i]));
+  }
+  if (units.empty() && !sources.empty()) return result;  // total failure
 
   LinkOptions lopts;
   lopts.interprocedural = opts.interprocedural;
   lopts.include_scalars = opts.include_scalars;
+  lopts.degraded = result.failed_units > 0;
   lopts.layout = opts.layout;
-  result.link = link_units(units, texts, lopts, name);
-  result.ok = result.link.ok;
+  result.link = link_units(units, unit_texts, lopts, name);
+  result.ok = result.failed_units == 0 && result.link.ok;
+  result.partial = result.failed_units > 0 && result.link.ok;
+  if (result.partial) stat_degraded_runs.bump();
   return result;
 }
 

@@ -9,17 +9,25 @@
 //
 // Output bytes are a function of the input sources and options only: not of
 // --jobs, not of cache hits vs misses. tests/serve enforces this.
+//
+// Fault tolerance: each unit task runs inside an error barrier. A unit that
+// fails — compile errors, a resource cap, the wall-clock watchdog, an I/O
+// fault (real or injected), or any other exception — is demoted to a
+// structured UnitFailure, and the link phase proceeds in degraded mode with
+// the survivors. One hostile or unlucky unit can never take down the batch.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/layout.hpp"
 #include "serve/link.hpp"
 #include "serve/summary.hpp"
+#include "support/limits.hpp"
 
 namespace ara::serve {
 
@@ -29,27 +37,51 @@ struct BatchOptions {
   bool use_cache = true;  // false = --no-cache (ignore and don't write entries)
   bool interprocedural = true;
   bool include_scalars = true;
+  /// Per-unit resource guards, installed around each unit task (LimitScope).
+  support::ResourceLimits limits;
   ir::LayoutOptions layout;
 };
 
 enum class UnitStatus : std::uint8_t {
   Analyzed,  // cache miss (or caching off): full frontend + local analysis
   Cached,    // summary replayed from the cache
-  Failed,    // unit did not compile
+  Failed,    // unit did not compile (see UnitReport::failure)
+};
+
+/// Why a unit failed, for the .failures.json report and the exit-code sink.
+enum class FailureKind : std::uint8_t {
+  Compile,   // source did not compile (diagnostics carry the errors)
+  Resource,  // a ResourceLimits cap tripped (nesting, AST nodes, trip, arrays, memory)
+  Timeout,   // the per-unit wall-clock watchdog expired
+  Io,        // an I/O fault survived the retry policy
+  Crash,     // any other exception escaped the unit's analysis
+};
+
+[[nodiscard]] std::string_view to_string(FailureKind kind);
+
+struct UnitFailure {
+  FailureKind kind = FailureKind::Crash;
+  std::string reason;  // human-readable, single line
 };
 
 struct UnitReport {
   std::string source_name;
   UnitStatus status = UnitStatus::Analyzed;
   std::string diagnostics;  // rendered unit-compile diagnostics ("" if clean)
+  std::optional<UnitFailure> failure;  // set iff status == Failed
 };
 
 struct BatchResult {
+  /// Clean success: every unit analyzed and the link succeeded.
   bool ok = false;
+  /// Degraded success: `failed_units` > 0 but the survivors linked. The
+  /// link artifacts cover the surviving units only (arac exits 2).
+  bool partial = false;
   std::vector<UnitReport> units;  // in input order
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
-  /// Valid when every unit compiled: rows, .dgn project, .cfg text, the
+  std::uint64_t failed_units = 0;
+  /// Valid when ok or partial: rows, .dgn project, .cfg text, the
   /// reconstructed program, and link diagnostics.
   LinkResult link;
 };

@@ -1,0 +1,43 @@
+#include "serve/failure.hpp"
+
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace ara::serve {
+
+std::string write_failures_json(const std::string& name,
+                                const std::vector<UnitReport>& units, int exit_code) {
+  std::size_t failed = 0;
+  for (const UnitReport& u : units) {
+    if (u.status == UnitStatus::Failed) ++failed;
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"ara-failures-1\",\n";
+  os << "  \"name\": \"" << json::escape(name) << "\",\n";
+  os << "  \"exit_code\": " << exit_code << ",\n";
+  os << "  \"units_total\": " << units.size() << ",\n";
+  os << "  \"units_failed\": " << failed << ",\n";
+  os << "  \"units_survived\": " << (units.size() - failed) << ",\n";
+  os << "  \"failures\": [";
+  bool first = true;
+  for (const UnitReport& u : units) {
+    if (u.status != UnitStatus::Failed) continue;
+    if (!first) os << ',';
+    first = false;
+    const UnitFailure fallback{FailureKind::Crash, "unknown failure"};
+    const UnitFailure& f = u.failure ? *u.failure : fallback;
+    os << "\n    {\n";
+    os << "      \"unit\": \"" << json::escape(u.source_name) << "\",\n";
+    os << "      \"kind\": \"" << to_string(f.kind) << "\",\n";
+    os << "      \"reason\": \"" << json::escape(f.reason) << "\"\n";
+    os << "    }";
+  }
+  os << (first ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ara::serve

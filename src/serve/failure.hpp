@@ -1,0 +1,23 @@
+// The machine-readable failure report of a degraded (or totally failed)
+// batch run: `arac` writes `<name>.failures.json` next to the other
+// artifacts whenever at least one unit failed, so build systems and CI can
+// tell exactly which units were dropped and why without scraping stderr.
+// Schema ("ara-failures-1") is documented in docs/FORMATS.md and
+// docs/robustness.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace ara::serve {
+
+/// Renders the failure report for `units` (all of a batch's UnitReports, in
+/// input order; only Failed entries are listed). `exit_code` is the code
+/// the process will exit with (2 = partial, 1 = total failure).
+[[nodiscard]] std::string write_failures_json(const std::string& name,
+                                              const std::vector<UnitReport>& units,
+                                              int exit_code);
+
+}  // namespace ara::serve

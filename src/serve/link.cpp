@@ -24,6 +24,10 @@ using regions::Region;
 
 namespace {
 
+/// Callee slot for a call site whose target procedure is not linked (only
+/// possible in degraded mode, where the defining unit failed to analyze).
+constexpr std::uint32_t kNoNode = 0xffffffffu;
+
 /// One linked procedure: its summary, defining unit, and resolved call
 /// edges — the summary-side mirror of ipa::CGNode.
 struct LinkNode {
@@ -67,7 +71,7 @@ std::vector<std::uint32_t> bottom_up(const std::vector<LinkNode>& nodes) {
     if (state[n] != 0) return;
     state[n] = 1;
     for (const std::uint32_t callee : nodes[n].callees) {
-      if (state[callee] == 0) self(self, callee);
+      if (callee != kNoNode && state[callee] == 0) self(self, callee);
     }
     state[n] = 2;
     order.push_back(n);
@@ -90,7 +94,9 @@ bool has_cycle(const std::vector<LinkNode>& nodes) {
       if (edge < nodes[n].callees.size()) {
         const std::uint32_t next = nodes[n].callees[edge];
         ++edge;
-        if (color[next] == 1) {
+        if (next == kNoNode) {
+          // fall through to the next edge
+        } else if (color[next] == 1) {
           cycle = true;
         } else if (color[next] == 0) {
           color[next] = 1;
@@ -203,8 +209,15 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
     std::set<std::string> reported;
     for (const ExternSummary& ext : units[u].externs) {
       if (procs.count(ext.name) == 0 && reported.insert(ext.name).second) {
-        diags.error(SourceLoc{file_of(u), ext.line, 0},
-                    "call to unknown procedure '" + ext.name + "'");
+        const SourceLoc loc{file_of(u), ext.line, 0};
+        if (opts.degraded) {
+          // The definition may live in a unit that failed to analyze; the
+          // call's effects are unknown, but the survivors still link.
+          diags.warning(loc, "call to unknown procedure '" + ext.name +
+                                 "' (its unit may have failed to analyze)");
+        } else {
+          diags.error(loc, "call to unknown procedure '" + ext.name + "'");
+        }
       }
     }
   }
@@ -255,9 +268,11 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
   for (std::uint32_t i = 0; i < nodes.size(); ++i) {
     for (const CallSummary& cs : nodes[i].proc->callsites) {
       const auto it = node_of.find(cs.callee);
-      // Every extern resolved above, so the lookup cannot fail; keep the
-      // callees vector parallel to the callsites regardless.
-      nodes[i].callees.push_back(it != node_of.end() ? it->second : i);
+      // Outside degraded mode every extern resolved above, so the lookup
+      // cannot fail; with dropped units the callee may be missing, and the
+      // kNoNode slot keeps the callees vector parallel to the callsites.
+      nodes[i].callees.push_back(it != node_of.end() ? it->second : kNoNode);
+      if (it == node_of.end()) continue;
       auto& callers = nodes[it->second].callers;
       if (std::find(callers.begin(), callers.end(), i) == callers.end()) {
         callers.push_back(i);
@@ -366,6 +381,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
       for (const std::uint32_t n : order) {
         ipa::SideEffects next = local_effects[n];
         for (std::size_t c = 0; c < nodes[n].proc->callsites.size(); ++c) {
+          if (nodes[n].callees[c] == kNoNode) continue;
           for (auto& [st, mode, mr] :
                translate_call(n, nodes[n].callees[c], nodes[n].proc->callsites[c])) {
             next.effects[{st, mode}].merge_all(mr);
@@ -383,6 +399,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
     // formal still bind it to the actual (mirrors the legacy IPA).
     for (std::uint32_t n = 0; n < nodes.size(); ++n) {
       for (std::size_t c = 0; c < nodes[n].proc->callsites.size(); ++c) {
+        if (nodes[n].callees[c] == kNoNode) continue;
         const CallSummary& cs = nodes[n].proc->callsites[c];
         const CalleeInfo& info = infos[nodes[n].callees[c]];
         for (std::size_t pos = 0; pos < info.formals.size(); ++pos) {
@@ -406,6 +423,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
       for (std::size_t c = 0; c < nodes[n].proc->callsites.size(); ++c) {
         const CallSummary& cs = nodes[n].proc->callsites[c];
         const std::uint32_t callee = nodes[n].callees[c];
+        if (callee == kNoNode) continue;
         for (auto& [st, mode, mr] : translate_call(n, callee, cs)) {
           bool first = true;
           for (Region& r : mr.regions) {
@@ -476,7 +494,12 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
     for (std::size_t c = 0; c < nodes[i].proc->callsites.size(); ++c) {
       rgn::DgnEdge e;
       e.caller = program.symtab.st(nodes[i].proc_st).name;
-      e.callee = program.symtab.st(nodes[nodes[i].callees[c]].proc_st).name;
+      const std::uint32_t callee = nodes[i].callees[c];
+      // A dropped callee still shows up in the dependency graph under the
+      // call site's recorded (lowercase) name, so the browser can display
+      // what the degraded run is missing.
+      e.callee = callee != kNoNode ? program.symtab.st(nodes[callee].proc_st).name
+                                   : nodes[i].proc->callsites[c].callee;
       e.line = nodes[i].proc->callsites[c].line;
       result.project.edges.push_back(std::move(e));
     }

@@ -1,0 +1,70 @@
+#include "serve/lockfile.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+#include <system_error>
+#include <thread>
+
+#include "support/faultinject.hpp"
+
+namespace ara::serve {
+
+namespace fs = std::filesystem;
+
+DirLock::DirLock(fs::path dir, std::chrono::milliseconds stale_after)
+    : lock_path_(std::move(dir) / ".arac.lock"), stale_after_(stale_after) {}
+
+DirLock::~DirLock() { release(); }
+
+bool DirLock::acquire(std::chrono::milliseconds timeout) {
+  if (held_) return true;
+  try {
+    fi::check_io(kFailpoint);
+  } catch (const fi::IoFault&) {
+    return false;  // injected "lock never becomes available"
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::chrono::milliseconds backoff(1);
+  for (;;) {
+    // O_EXCL is the atomicity guarantee: exactly one process creates the
+    // file. The pid inside is diagnostic only.
+    const int fd = ::open(lock_path_.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const std::string pid = std::to_string(::getpid()) + "\n";
+      // Best-effort write; an empty lock file still locks.
+      [[maybe_unused]] const ssize_t n = ::write(fd, pid.data(), pid.size());
+      ::close(fd);
+      held_ = true;
+      return true;
+    }
+
+    // Holder alive, holder dead, or the directory is missing. Break the
+    // lock if it has outlived any plausible critical section.
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(lock_path_, ec);
+    if (!ec) {
+      const auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+          fs::file_time_type::clock::now() - mtime);
+      if (age > stale_after_) {
+        if (fs::remove(lock_path_, ec) && !ec) ++breaks_;
+        continue;  // retry the exclusive create immediately
+      }
+    }
+
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(backoff);
+    if (backoff < std::chrono::milliseconds(16)) backoff *= 2;
+  }
+}
+
+void DirLock::release() {
+  if (!held_) return;
+  std::error_code ec;
+  fs::remove(lock_path_, ec);
+  held_ = false;
+}
+
+}  // namespace ara::serve

@@ -1,0 +1,59 @@
+// Inter-process mutual exclusion for a shared `--cache-dir`. The summary
+// cache's tmp+rename stores are atomic on their own, but two arac processes
+// sharing a cache directory can still race on eviction: process A decides an
+// entry is corrupt and removes it while process B has just renamed a fresh,
+// valid entry into the same path. DirLock serializes those critical
+// sections with the oldest portable primitive there is: an O_CREAT|O_EXCL
+// lock file.
+//
+// Liveness: a process that dies inside the critical section leaves the lock
+// file behind. Waiters break locks whose mtime is older than `stale_after`
+// (the guarded sections are milliseconds long, so minutes-old locks belong
+// to dead processes), and acquisition itself is bounded by `timeout` —
+// on expiry the caller proceeds unlocked, because the cache is an
+// accelerator and a wedged lock must not wedge the analysis.
+#pragma once
+
+#include <chrono>
+#include <filesystem>
+#include <string_view>
+
+namespace ara::serve {
+
+class DirLock {
+ public:
+  /// Prepares a lock handle for `dir` (no acquisition yet). The lock file
+  /// is `<dir>/.arac.lock`.
+  explicit DirLock(std::filesystem::path dir,
+                   std::chrono::milliseconds stale_after = std::chrono::minutes(1));
+  ~DirLock();
+
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  /// Tries to create the lock file exclusively, polling with a short
+  /// backoff until `timeout`, breaking stale locks along the way. Returns
+  /// whether the lock was actually taken (callers proceed either way).
+  bool acquire(std::chrono::milliseconds timeout = std::chrono::milliseconds(500));
+
+  /// Removes the lock file when held; no-op otherwise.
+  void release();
+
+  [[nodiscard]] bool held() const { return held_; }
+
+  /// Stale locks broken by this handle (for tests and obs counters).
+  [[nodiscard]] unsigned breaks() const { return breaks_; }
+
+  /// Failpoint name armed by tests: `cache.lock=delay:...` widens the
+  /// critical-section window, `cache.lock=io` simulates an unacquirable
+  /// lock.
+  static constexpr std::string_view kFailpoint = "cache.lock";
+
+ private:
+  std::filesystem::path lock_path_;
+  std::chrono::milliseconds stale_after_;
+  bool held_ = false;
+  unsigned breaks_ = 0;
+};
+
+}  // namespace ara::serve

@@ -15,7 +15,7 @@ namespace io = ipa::io;
 
 namespace {
 
-constexpr std::string_view kMagic = "ARA-UNIT 1";
+constexpr std::string_view kMagic = "ARA-UNIT 2";  // v2: trailing diag section
 
 char kind_tag(SymInfo::Kind k) {
   switch (k) {
@@ -363,7 +363,8 @@ std::string write_unit_summary(const UnitSummary& unit) {
     os << "ext " << io::enc(e.name) << ' ' << e.line << '\n';
   }
 
-  os << "cfg " << unit.cfg_text.size() << '\n' << unit.cfg_text << "\nend\n";
+  os << "cfg " << unit.cfg_text.size() << '\n' << unit.cfg_text << '\n';
+  os << "diag " << unit.diagnostics.size() << '\n' << unit.diagnostics << "\nend\n";
   return os.str();
 }
 
@@ -540,6 +541,18 @@ std::optional<UnitSummary> parse_unit_summary(std::string_view text) {
     const auto raw = in.raw(nbytes);
     if (!raw) return std::nullopt;
     unit.cfg_text = std::string(*raw);
+  }
+  {
+    const auto l = in.line();
+    if (l != std::string_view{}) return std::nullopt;  // '\n' after cfg blob
+    const auto dl = in.line();
+    if (!dl) return std::nullopt;
+    const auto t = split_ws(*dl);
+    std::size_t nbytes = 0;
+    if (t.size() != 2 || t[0] != "diag" || !read_count(t[1], &nbytes)) return std::nullopt;
+    const auto raw = in.raw(nbytes);
+    if (!raw) return std::nullopt;
+    unit.diagnostics = std::string(*raw);
   }
   if (in.line() != std::string_view{} || in.line() != "end") return std::nullopt;
   return unit;

@@ -122,6 +122,9 @@ struct UnitSummary {
   std::vector<ProcSummary> procs;  // in definition (lowering) order
   std::vector<ExternSummary> externs;
   std::string cfg_text;  // write_cfg output minus its header line
+  /// Rendered non-error diagnostics of the clean compile ("" when silent),
+  /// cached with the summary so warnings replay byte-identically on hits.
+  std::string diagnostics;
 };
 
 /// Builds the summary of one separately-compiled unit (a Program holding

@@ -1,0 +1,265 @@
+#include "support/faultinject.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+namespace ara::fi {
+
+#ifndef ARA_DISABLE_FAULTINJECT
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+#endif
+
+namespace {
+
+/// Flips the fast-path flag; a no-op when failpoints are compiled out (the
+/// registry still parses specs so CLI plumbing behaves, but nothing reads it).
+void set_armed([[maybe_unused]] bool on) {
+#ifndef ARA_DISABLE_FAULTINJECT
+  detail::g_armed.store(on, std::memory_order_relaxed);
+#endif
+}
+
+struct Failpoint {
+  Action action = Action::None;
+  std::uint32_t param = 0;    // trunc bytes / delay ms
+  std::uint32_t percent = 100;
+  std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();  // remaining *N fires
+  std::uint64_t hits = 0;
+  std::map<std::string, std::uint64_t, std::less<>> draws;  // per-context draw index
+};
+
+struct Registry {
+  std::mutex mu;
+  std::uint64_t seed = 1;
+  std::map<std::string, Failpoint, std::less<>> points;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// splitmix64 finalizer — the same mixer the difftest generator uses, so
+/// firing decisions are bit-exact on every platform.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_str(std::uint64_t h, std::string_view s) {
+  for (const char c : s) h = mix(h ^ static_cast<std::uint8_t>(c));
+  return h;
+}
+
+bool parse_u32(std::string_view tok, std::uint32_t* out) {
+  if (tok.empty() || tok.size() > 9) return false;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t* out) {
+  if (tok.empty() || tok.size() > 18) return false;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Parses one `point=action[:param][@P][*N]` entry into (name, fp).
+bool parse_entry(std::string_view entry, std::string* name, Failpoint* fp, std::string* error) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    *error = "failpoint entry '" + std::string(entry) + "' is not name=action";
+    return false;
+  }
+  *name = std::string(entry.substr(0, eq));
+  std::string_view rest = entry.substr(eq + 1);
+
+  // Suffixes first: *N then @P (either order).
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t star = rest.rfind('*');
+    const std::size_t at = rest.rfind('@');
+    if (star != std::string_view::npos && (at == std::string_view::npos || star > at)) {
+      if (!parse_u64(rest.substr(star + 1), &fp->budget) || fp->budget == 0) {
+        *error = "bad *count in '" + std::string(entry) + "'";
+        return false;
+      }
+      rest = rest.substr(0, star);
+    } else if (at != std::string_view::npos) {
+      std::uint32_t pct = 0;
+      if (!parse_u32(rest.substr(at + 1), &pct) || pct > 100) {
+        *error = "bad @percent in '" + std::string(entry) + "'";
+        return false;
+      }
+      fp->percent = pct;
+      rest = rest.substr(0, at);
+    }
+  }
+
+  std::string_view action = rest;
+  std::string_view param;
+  if (const std::size_t colon = rest.find(':'); colon != std::string_view::npos) {
+    action = rest.substr(0, colon);
+    param = rest.substr(colon + 1);
+  }
+  if (action == "io") {
+    fp->action = Action::IoError;
+  } else if (action == "alloc") {
+    fp->action = Action::BadAlloc;
+  } else if (action == "trunc") {
+    fp->action = Action::Truncate;
+    if (!parse_u32(param, &fp->param)) {
+      *error = "trunc needs a byte count in '" + std::string(entry) + "'";
+      return false;
+    }
+  } else if (action == "delay") {
+    fp->action = Action::Delay;
+    if (!parse_u32(param, &fp->param)) {
+      *error = "delay needs milliseconds in '" + std::string(entry) + "'";
+      return false;
+    }
+  } else {
+    *error = "unknown failpoint action '" + std::string(action) + "'";
+    return false;
+  }
+  if (fp->action != Action::Truncate && fp->action != Action::Delay && !param.empty()) {
+    *error = "action '" + std::string(action) + "' takes no parameter";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool configure(std::string_view spec, std::string* error) {
+  std::uint64_t seed = 1;
+  std::map<std::string, Failpoint, std::less<>> points;
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t sep = spec.find_first_of(";,", pos);
+    std::string_view entry =
+        spec.substr(pos, sep == std::string_view::npos ? std::string_view::npos : sep - pos);
+    pos = sep == std::string_view::npos ? spec.size() + 1 : sep + 1;
+    if (entry.empty()) continue;
+
+    if (entry.substr(0, 5) == "seed=") {
+      if (!parse_u64(entry.substr(5), &seed)) {
+        if (error != nullptr) *error = "bad seed in failpoint spec";
+        return false;
+      }
+      continue;
+    }
+    std::string name;
+    Failpoint fp;
+    std::string err;
+    if (!parse_entry(entry, &name, &fp, &err)) {
+      if (error != nullptr) *error = err;
+      return false;
+    }
+    points[name] = std::move(fp);
+  }
+
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.seed = seed;
+  reg.points = std::move(points);
+  set_armed(!reg.points.empty());
+  return true;
+}
+
+bool configure_from_env(std::string* error) {
+  const char* spec = std::getenv("ARA_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return true;
+  return configure(spec, error);
+}
+
+void disarm() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+  set_armed(false);
+}
+
+#ifndef ARA_DISABLE_FAULTINJECT
+
+Fired fire_slow(std::string_view point, std::string_view context) {
+  Fired fired;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.points.find(point);
+    if (it == reg.points.end()) return fired;
+    Failpoint& fp = it->second;
+    if (fp.budget == 0) return fired;
+    if (fp.percent < 100) {
+      // Deterministic per (seed, point, context, draw#): scheduling cannot
+      // change which work items draw a fault.
+      auto [draw_it, unused] = fp.draws.try_emplace(std::string(context), 0);
+      const std::uint64_t n = draw_it->second++;
+      std::uint64_t h = mix(reg.seed);
+      h = hash_str(h, point);
+      h = hash_str(h, context);
+      h = mix(h ^ n);
+      if (h % 100 >= fp.percent) return fired;
+    }
+    --fp.budget;
+    ++fp.hits;
+    fired.action = fp.action;
+    fired.param = fp.param;
+  }
+  // Self-contained actions resolve here, outside the registry lock.
+  if (fired.action == Action::Delay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fired.param));
+    return Fired{};
+  }
+  if (fired.action == Action::BadAlloc) throw std::bad_alloc();
+  return fired;
+}
+
+std::size_t check_io(std::string_view point, std::string_view context) {
+  const Fired fired = fire(point, context);
+  if (fired.action == Action::IoError) {
+    throw IoFault("injected I/O fault at " + std::string(point) +
+                  (context.empty() ? "" : " (" + std::string(context) + ")"));
+  }
+  if (fired.action == Action::Truncate) return fired.param;
+  return std::numeric_limits<std::size_t>::max();
+}
+
+#endif  // ARA_DISABLE_FAULTINJECT
+
+std::uint64_t hits(std::string_view point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(reg.points.size());
+  for (const auto& [name, fp] : reg.points) out.emplace_back(name, fp.hits);
+  return out;
+}
+
+}  // namespace ara::fi

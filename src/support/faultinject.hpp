@@ -1,0 +1,125 @@
+// Named failpoints for fault-injection testing (the serve engine's analogue
+// of kernel failslabs / FreeBSD FAIL_POINT). Production code marks the spots
+// where the outside world can fail — cache reads, artifact writes, per-unit
+// analysis — with ARA_FAILPOINT("cache.read", ...); a test (or the
+// ARA_FAILPOINTS env var / `arac --failpoints`) arms a subset of them with an
+// action, and the marked site then behaves as if the real fault had happened:
+// an I/O error, a std::bad_alloc, a truncated write, or a task delay.
+//
+// Cost model: disarmed (the default), a failpoint is a single relaxed atomic
+// load and branch — the registry is never touched. Armed evaluation takes a
+// mutex, which is fine: injection runs are tests, not production. Building
+// with -DARA_DISABLE_FAULTINJECT compiles every failpoint out entirely
+// (the macro expands to an empty Fired), for binaries that must not even
+// carry the hook.
+//
+// Spec grammar (semicolon- or comma-separated entries):
+//
+//   seed=S                   deterministic stream seed (default 1)
+//   <point>=<action>[@P][*N]
+//
+//   actions:  io             inject an I/O failure (fi::IoFault or a failed
+//                            read/write, site-dependent)
+//             alloc          throw std::bad_alloc at the site
+//             trunc:K        truncate the site's write to K bytes
+//             delay:MS       sleep MS milliseconds, then continue
+//   @P        fire with probability P percent (default 100). The decision is
+//             a pure hash of (seed, point, context, per-context draw index),
+//             so which contexts fail is independent of thread scheduling.
+//   *N        fire at most N times in total (global across contexts).
+//
+// Example: ARA_FAILPOINTS='seed=7;unit.analyze=io@10;cache.write=trunc:16*2'
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ara::fi {
+
+enum class Action : std::uint8_t { None, IoError, BadAlloc, Truncate, Delay };
+
+/// The outcome of evaluating one failpoint.
+struct Fired {
+  Action action = Action::None;
+  std::uint32_t param = 0;  // trunc: byte cap; delay: milliseconds
+
+  [[nodiscard]] explicit operator bool() const { return action != Action::None; }
+};
+
+/// The exception an `io` action raises at sites that fail by throwing (and
+/// the type real transient I/O errors are normalized to, so retry loops and
+/// unit barriers treat injected and genuine faults identically).
+class IoFault : public std::runtime_error {
+ public:
+  explicit IoFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses and installs a spec (see the grammar above), replacing the current
+/// configuration. Empty spec == disarm. Returns false (with `error` set) on
+/// a malformed spec, leaving the previous configuration in place. Available
+/// (but inert) in ARA_DISABLE_FAULTINJECT builds so CLI plumbing still links.
+bool configure(std::string_view spec, std::string* error);
+
+/// configure() from the ARA_FAILPOINTS environment variable (no-op when the
+/// variable is unset or empty).
+bool configure_from_env(std::string* error);
+
+/// Removes every failpoint and resets hit counts.
+void disarm();
+
+#ifndef ARA_DISABLE_FAULTINJECT
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when any failpoint is configured; the only check on the fast path.
+[[nodiscard]] inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Armed-path evaluation; use the ARA_FAILPOINT macro instead.
+Fired fire_slow(std::string_view point, std::string_view context);
+
+/// Evaluates a failpoint. `context` names the work item (e.g. the unit
+/// being analyzed) so probabilistic firing is deterministic per item
+/// regardless of scheduling; pass "" for global sites. Delay actions sleep
+/// here and return None; BadAlloc actions throw std::bad_alloc here.
+/// IoError/Truncate are returned for the site to act on.
+[[nodiscard]] inline Fired fire(std::string_view point, std::string_view context = {}) {
+  return armed() ? fire_slow(point, context) : Fired{};
+}
+
+/// Convenience for pure I/O sites: throws IoFault when an `io` action fires
+/// (delay/alloc are handled inside fire()); Truncate is reported back.
+/// Returns the number of bytes to keep on Truncate, or SIZE_MAX for "all".
+std::size_t check_io(std::string_view point, std::string_view context = {});
+
+#else  // ARA_DISABLE_FAULTINJECT: every evaluation site folds to a constant.
+
+[[nodiscard]] constexpr bool armed() { return false; }
+[[nodiscard]] inline Fired fire(std::string_view, std::string_view = {}) { return {}; }
+inline std::size_t check_io(std::string_view, std::string_view = {}) { return SIZE_MAX; }
+
+#endif
+
+/// Times `point` has fired (any action), for tests and reports.
+[[nodiscard]] std::uint64_t hits(std::string_view point);
+
+/// All configured points with their hit counts, name-sorted.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot();
+
+}  // namespace ara::fi
+
+#ifdef ARA_DISABLE_FAULTINJECT
+#define ARA_FAILPOINT(...) (::ara::fi::Fired{})
+#else
+/// ARA_FAILPOINT("cache.read") or ARA_FAILPOINT("unit.analyze", unit_name).
+#define ARA_FAILPOINT(...) (::ara::fi::fire(__VA_ARGS__))
+#endif

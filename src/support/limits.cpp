@@ -1,0 +1,52 @@
+#include "support/limits.hpp"
+
+namespace ara::support {
+
+namespace {
+
+const ResourceLimits kDefaults;
+
+thread_local const ResourceLimits* t_limits = nullptr;
+thread_local std::chrono::steady_clock::time_point t_deadline{};  // epoch = none
+thread_local std::uint64_t t_ast_nodes = 0;
+
+}  // namespace
+
+const ResourceLimits& active_limits() {
+  return t_limits != nullptr ? *t_limits : kDefaults;
+}
+
+LimitScope::LimitScope(const ResourceLimits& limits)
+    : prev_limits_(t_limits), prev_deadline_(t_deadline), prev_ast_nodes_(t_ast_nodes) {
+  t_limits = &limits;
+  t_deadline = limits.unit_timeout.count() > 0
+                   ? std::chrono::steady_clock::now() + limits.unit_timeout
+                   : std::chrono::steady_clock::time_point{};
+  t_ast_nodes = 0;
+}
+
+LimitScope::~LimitScope() {
+  t_limits = prev_limits_;
+  t_deadline = prev_deadline_;
+  t_ast_nodes = prev_ast_nodes_;
+}
+
+void check_deadline() {
+  if (t_deadline == std::chrono::steady_clock::time_point{}) return;
+  if (std::chrono::steady_clock::now() > t_deadline) {
+    throw TimeoutError("unit exceeded its wall-clock budget of " +
+                       std::to_string(active_limits().unit_timeout.count()) + " ms");
+  }
+}
+
+void reset_ast_budget() { t_ast_nodes = 0; }
+
+void charge_ast_nodes(std::uint64_t n) {
+  t_ast_nodes += n;
+  if (t_ast_nodes > active_limits().max_ast_nodes) {
+    throw ResourceLimitError("unit exceeds the AST node cap of " +
+                             std::to_string(active_limits().max_ast_nodes) + " nodes");
+  }
+}
+
+}  // namespace ara::support

@@ -1,0 +1,93 @@
+// Resource guards for untrusted translation units. A pathological input —
+// thousands of nested parentheses, a DO loop with a 2^40 trip count, a
+// machine-generated file declaring a million arrays — must degrade into a
+// structured failure, never a stack overflow, an OOM kill, or a wedged
+// worker. The compiler phases consult the thread-active ResourceLimits at
+// their recursion points and allocation cliffs and throw ResourceLimitError
+// (or its TimeoutError subclass for the wall-clock watchdog) when a cap is
+// exceeded; the serve engine's per-unit barrier catches it and demotes the
+// unit to a UnitFailure, and plain `arac` reports it through the exit-code
+// sink as a total failure.
+//
+// Limits are installed per thread with LimitScope (RAII), so each serve
+// worker guards exactly the unit it is running. Code that never sees a
+// LimitScope runs under the generous defaults below.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ara::support {
+
+struct ResourceLimits {
+  /// Maximum parser recursion depth (expression nesting + statement
+  /// nesting combined). Bounds native stack use during parse, sema, lower
+  /// and analysis (their recursion follows the tree the parser built).
+  std::uint32_t max_nesting_depth = 200;
+
+  /// Maximum AST nodes per compile (expressions + statements).
+  std::uint64_t max_ast_nodes = 5'000'000;
+
+  /// Maximum constant trip count for a counted loop.
+  std::int64_t max_loop_trip = 1'000'000'000;
+
+  /// Maximum arrays declared per compile.
+  std::uint64_t max_arrays = 10'000;
+
+  /// Per-unit wall-clock budget; zero = no watchdog. Enforced
+  /// cooperatively: check_deadline() is called from the token cursor and at
+  /// phase boundaries.
+  std::chrono::milliseconds unit_timeout{0};
+};
+
+/// Thrown when a cap is exceeded. what() is a user-facing reason suitable
+/// for a UnitFailure record.
+class ResourceLimitError : public std::runtime_error {
+ public:
+  explicit ResourceLimitError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The wall-clock watchdog's flavor (so barriers can classify Timeout
+/// separately from Resource).
+class TimeoutError : public ResourceLimitError {
+ public:
+  explicit TimeoutError(const std::string& what) : ResourceLimitError(what) {}
+};
+
+/// The limits guarding the calling thread (the innermost LimitScope's, or
+/// process defaults).
+[[nodiscard]] const ResourceLimits& active_limits();
+
+/// Installs `limits` for the calling thread and starts the wall-clock
+/// watchdog (when limits.unit_timeout > 0). Restores the previous scope on
+/// destruction. Also resets the thread's AST-node budget, so each scoped
+/// unit is metered independently.
+class LimitScope {
+ public:
+  explicit LimitScope(const ResourceLimits& limits);
+  ~LimitScope();
+  LimitScope(const LimitScope&) = delete;
+  LimitScope& operator=(const LimitScope&) = delete;
+
+ private:
+  const ResourceLimits* prev_limits_;
+  std::chrono::steady_clock::time_point prev_deadline_;
+  std::uint64_t prev_ast_nodes_;
+};
+
+/// Throws TimeoutError when the active scope's deadline has passed. Cheap
+/// enough for per-token call sites (one clock read when a watchdog is
+/// armed, one branch otherwise).
+void check_deadline();
+
+/// Charges `n` AST nodes against the active scope's budget; throws
+/// ResourceLimitError on exhaustion.
+void charge_ast_nodes(std::uint64_t n = 1);
+
+/// Zeroes the calling thread's AST-node meter. compile_program calls this
+/// at entry so the cap is per compile, not per process lifetime.
+void reset_ast_budget();
+
+}  // namespace ara::support

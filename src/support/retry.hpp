@@ -1,0 +1,55 @@
+// Bounded-backoff retry for transient I/O faults. The summary cache and the
+// artifact export path wrap their filesystem operations in retry_io so a
+// transient failure (NFS hiccup, antivirus lock, injected fi::IoFault)
+// costs a few milliseconds instead of a degraded run. The policy is
+// deliberately tiny: attempts are bounded, backoff doubles from a small
+// base, and the final failure is reported to the caller — retrying forever
+// would turn a dead disk into a hung service.
+//
+// This header stays free of obs dependencies (ara_obs links ara_support);
+// callers that want a retry counter bump it in `on_retry`.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "support/faultinject.hpp"
+
+namespace ara::support {
+
+struct RetryPolicy {
+  int attempts = 3;                              // total tries, including the first
+  std::chrono::milliseconds initial_backoff{1};  // doubles after each failure
+};
+
+/// Runs `fn` until it returns true or the attempts are exhausted. An
+/// fi::IoFault thrown by `fn` counts as a failed attempt (injected and real
+/// transient faults retry identically); any other exception propagates.
+/// `on_retry(attempt)` is invoked before each re-try (attempt >= 1).
+/// Returns whether `fn` eventually succeeded; the last IoFault, if the
+/// final attempt threw one, is swallowed into the `false` return.
+template <typename Fn, typename OnRetry>
+bool retry_io(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry) {
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  for (int attempt = 0;; ++attempt) {
+    bool ok = false;
+    try {
+      ok = fn();
+    } catch (const fi::IoFault&) {
+      ok = false;
+    }
+    if (ok) return true;
+    if (attempt + 1 >= policy.attempts) return false;
+    on_retry(attempt + 1);
+    std::this_thread::sleep_for(backoff);
+    backoff *= 2;
+  }
+}
+
+template <typename Fn>
+bool retry_io(const RetryPolicy& policy, Fn&& fn) {
+  return retry_io(policy, std::forward<Fn>(fn), [](int) {});
+}
+
+}  // namespace ara::support

@@ -1,0 +1,7 @@
+subroutine trip(a)
+  integer, dimension(1:10) :: a
+  integer :: i
+  do i = 1, 2000000000
+    a(1) = i
+  end do
+end subroutine trip

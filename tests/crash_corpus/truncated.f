@@ -1,0 +1,2 @@
+subroutine cut(a)
+  integer, dimension(1:20, 1:

@@ -51,14 +51,16 @@ TEST(AracCli, HelpExitsZero) {
 }
 
 TEST(AracCli, NoInputIsUsageError) {
+  // Usage errors are total failures (exit 1); exit 2 is reserved for
+  // partial batch results (see docs/robustness.md).
   const CliRun r = arac({"--stats"});
-  EXPECT_EQ(r.rc, 2);
+  EXPECT_EQ(r.rc, 1);
   EXPECT_NE(r.err.find("no input files"), std::string::npos);
 }
 
 TEST(AracCli, UnknownOptionIsUsageError) {
   const CliRun r = arac({"--frobnicate", workload("fig10_matrix.c")});
-  EXPECT_EQ(r.rc, 2);
+  EXPECT_EQ(r.rc, 1);
   EXPECT_NE(r.err.find("unknown option"), std::string::npos);
 }
 

@@ -1,0 +1,148 @@
+# Shipped-binary acceptance for the fault-tolerant pipeline (the robustness
+# ISSUE's headline criterion): a 30-unit workload under a 10% injected
+# I/O fault rate on `arac --jobs 4` must
+#   * exit 2 (partial success),
+#   * name exactly the failed units in NAME.failures.json,
+#   * produce region tables byte-identical to a fault-free run over the
+#     surviving units only,
+# and transient *cache* faults at 10% must be fully absorbed (exit 0,
+# byte-identical exports) by the retry + degrade-to-miss policy.
+#   cmake -DARAC=... -DOUT=... -P run_fault_acceptance.cmake
+cmake_minimum_required(VERSION 3.16)  # CMP0057 (IN_LIST) and friends
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}/src")
+
+# --- 30 independent Fortran units ------------------------------------------
+set(ALL_SOURCES "")
+foreach(i RANGE 0 29)
+  if(i LESS 10)
+    set(tag "0${i}")
+  else()
+    set(tag "${i}")
+  endif()
+  math(EXPR extent "8 + ${i}")
+  set(src "${OUT}/src/unit${tag}.f")
+  file(WRITE "${src}"
+"subroutine u${tag}(a)
+  integer, dimension(1:${extent}) :: a
+  integer :: i
+  do i = 1, ${extent}
+    a(i) = i + ${i}
+  end do
+end subroutine u${tag}
+")
+  list(APPEND ALL_SOURCES "${src}")
+endforeach()
+
+# --- fault-free baseline -----------------------------------------------------
+execute_process(
+  COMMAND "${ARAC}" --quiet --name batch --jobs 4 --export-dir "${OUT}/clean"
+          ${ALL_SOURCES}
+  RESULT_VARIABLE RC_CLEAN ERROR_VARIABLE ERR_CLEAN)
+if(NOT RC_CLEAN EQUAL 0)
+  message(FATAL_ERROR "fault-free run failed (rc=${RC_CLEAN}):\n${ERR_CLEAN}")
+endif()
+
+# --- 10% analysis faults: exit 2, failures.json, deterministic ---------------
+# The seed is pinned so the same units fail on every machine (firing is a
+# pure hash of seed/point/unit-name; thread scheduling cannot change it).
+set(SPEC "seed=3;unit.analyze=io@10")
+execute_process(
+  COMMAND "${ARAC}" --quiet --name batch --jobs 4 --export-dir "${OUT}/faulty"
+          --failpoints "${SPEC}" ${ALL_SOURCES}
+  RESULT_VARIABLE RC_FAULTY ERROR_VARIABLE ERR_FAULTY)
+if(NOT RC_FAULTY EQUAL 2)
+  message(FATAL_ERROR "faulty run must exit 2 (partial), got rc=${RC_FAULTY}:\n${ERR_FAULTY}")
+endif()
+
+file(READ "${OUT}/faulty/batch.failures.json" FAILURES_JSON)
+string(REGEX MATCHALL "\"unit\": \"([^\"]+)\"" FAILED_MATCHES "${FAILURES_JSON}")
+set(FAILED_UNITS "")
+foreach(m ${FAILED_MATCHES})
+  string(REGEX REPLACE "\"unit\": \"([^\"]+)\"" "\\1" u "${m}")
+  list(APPEND FAILED_UNITS "${u}")
+endforeach()
+list(LENGTH FAILED_UNITS NFAILED)
+if(NFAILED LESS 1 OR NFAILED GREATER 29)
+  message(FATAL_ERROR "expected a partial failure set at 10%, got ${NFAILED}/30:\n${FAILURES_JSON}")
+endif()
+foreach(u ${FAILED_UNITS})
+  if(NOT ERR_FAULTY MATCHES "unit '${u}' failed \\(io\\)")
+    message(FATAL_ERROR "failures.json lists '${u}' but the console report does not:\n${ERR_FAULTY}")
+  endif()
+endforeach()
+
+# Same seed, second run: the failure set and the exports must reproduce
+# bit-for-bit — injected faults are deterministic, not scheduling-dependent.
+execute_process(
+  COMMAND "${ARAC}" --quiet --name batch --jobs 4 --export-dir "${OUT}/faulty2"
+          --failpoints "${SPEC}" ${ALL_SOURCES}
+  RESULT_VARIABLE RC_FAULTY2 ERROR_VARIABLE ERR_FAULTY2)
+if(NOT RC_FAULTY2 EQUAL 2)
+  message(FATAL_ERROR "faulty rerun must also exit 2, got rc=${RC_FAULTY2}")
+endif()
+foreach(f batch.failures.json batch.rgn batch.dgn batch.cfg)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT}/faulty/${f}" "${OUT}/faulty2/${f}"
+    RESULT_VARIABLE RC_CMP)
+  if(NOT RC_CMP EQUAL 0)
+    message(FATAL_ERROR "faulty rerun's ${f} differs: fault injection is not deterministic")
+  endif()
+endforeach()
+
+# --- survivors-only baseline: degraded output == subset output ---------------
+set(SURVIVOR_SOURCES "")
+foreach(src ${ALL_SOURCES})
+  get_filename_component(base "${src}" NAME)
+  if(NOT base IN_LIST FAILED_UNITS)
+    list(APPEND SURVIVOR_SOURCES "${src}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND "${ARAC}" --quiet --name batch --jobs 4 --export-dir "${OUT}/subset"
+          ${SURVIVOR_SOURCES}
+  RESULT_VARIABLE RC_SUBSET ERROR_VARIABLE ERR_SUBSET)
+if(NOT RC_SUBSET EQUAL 0)
+  message(FATAL_ERROR "survivors-only run failed (rc=${RC_SUBSET}):\n${ERR_SUBSET}")
+endif()
+foreach(ext rgn dgn cfg)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT}/faulty/batch.${ext}" "${OUT}/subset/batch.${ext}"
+    RESULT_VARIABLE RC_CMP)
+  if(NOT RC_CMP EQUAL 0)
+    message(FATAL_ERROR "degraded batch.${ext} differs from the survivors-only run")
+  endif()
+endforeach()
+
+# --- 10% cache faults: fully absorbed, byte-identical, exit 0 ----------------
+# Cold pass injects write truncations, warm pass injects read faults; the
+# retry policy and the degrade-to-miss path must hide all of it.
+execute_process(
+  COMMAND "${ARAC}" --quiet --name batch --jobs 4 --cache-dir "${OUT}/cache"
+          --export-dir "${OUT}/cachecold" ${ALL_SOURCES}
+          --failpoints "seed=5;cache.write=trunc:64@10"
+  RESULT_VARIABLE RC_CCOLD ERROR_VARIABLE ERR_CCOLD)
+if(NOT RC_CCOLD EQUAL 0)
+  message(FATAL_ERROR "cache faults must never fail the run (cold rc=${RC_CCOLD}):\n${ERR_CCOLD}")
+endif()
+execute_process(
+  COMMAND "${ARAC}" --quiet --name batch --jobs 4 --cache-dir "${OUT}/cache"
+          --export-dir "${OUT}/cachewarm" ${ALL_SOURCES}
+          --failpoints "seed=5;cache.read=io@10"
+  RESULT_VARIABLE RC_CWARM ERROR_VARIABLE ERR_CWARM)
+if(NOT RC_CWARM EQUAL 0)
+  message(FATAL_ERROR "cache faults must never fail the run (warm rc=${RC_CWARM}):\n${ERR_CWARM}")
+endif()
+foreach(dir cachecold cachewarm)
+  foreach(ext rgn dgn cfg)
+    execute_process(
+      COMMAND "${CMAKE_COMMAND}" -E compare_files
+              "${OUT}/clean/batch.${ext}" "${OUT}/${dir}/batch.${ext}"
+      RESULT_VARIABLE RC_CMP)
+    if(NOT RC_CMP EQUAL 0)
+      message(FATAL_ERROR "${dir} batch.${ext} differs from the fault-free run")
+    endif()
+  endforeach()
+endforeach()

@@ -1,0 +1,72 @@
+# Two-process stress for the cache-directory lock (DirLock): two real arac
+# processes race on one shared --cache-dir, with an injected delay widening
+# the lock's critical sections. Both must succeed, their exports must be
+# byte-identical, the concurrently-populated cache must serve a full warm
+# run, and no lock file may be left behind.
+#   cmake -DARAC=... -DOUT=... -P run_lock_stress.cmake
+file(REMOVE_RECURSE "${OUT}")
+file(MAKE_DIRECTORY "${OUT}/src")
+
+set(SOURCES "")
+foreach(i RANGE 0 11)
+  set(src "${OUT}/src/s${i}.f")
+  math(EXPR extent "4 + ${i}")
+  file(WRITE "${src}"
+"subroutine s${i}(a)
+  integer, dimension(1:${extent}) :: a
+  integer :: i
+  do i = 1, ${extent}
+    a(i) = i
+  end do
+end subroutine s${i}
+")
+  list(APPEND SOURCES "${src}")
+endforeach()
+
+# The two COMMANDs of one execute_process run concurrently (stdout of the
+# first pipes into the second, which ignores stdin): a real two-process race
+# on the shared cache. cache.lock=delay:3 stretches every lock hold.
+execute_process(
+  COMMAND "${ARAC}" --quiet --name stress --jobs 4 --cache-dir "${OUT}/cache"
+          --export-dir "${OUT}/a" --failpoints "cache.lock=delay:3@50" ${SOURCES}
+  COMMAND "${ARAC}" --quiet --name stress --jobs 4 --cache-dir "${OUT}/cache"
+          --export-dir "${OUT}/b" --failpoints "cache.lock=delay:3@50" ${SOURCES}
+  RESULTS_VARIABLE RCS ERROR_VARIABLE ERRS)
+foreach(rc ${RCS})
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "a racing arac process failed (rcs=${RCS}):\n${ERRS}")
+  endif()
+endforeach()
+
+foreach(ext rgn dgn cfg)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${OUT}/a/stress.${ext}" "${OUT}/b/stress.${ext}"
+    RESULT_VARIABLE RC_CMP)
+  if(NOT RC_CMP EQUAL 0)
+    message(FATAL_ERROR "racing processes disagree on stress.${ext}")
+  endif()
+endforeach()
+
+if(EXISTS "${OUT}/cache/.arac.lock")
+  message(FATAL_ERROR "a lock file was left behind in the shared cache")
+endif()
+
+# The cache the two processes built together must be complete and valid.
+execute_process(
+  COMMAND "${ARAC}" --name stress --jobs 4 --cache-dir "${OUT}/cache"
+          --export-dir "${OUT}/warm" ${SOURCES}
+  OUTPUT_VARIABLE WARM_OUT RESULT_VARIABLE RC_WARM ERROR_VARIABLE ERR_WARM)
+if(NOT RC_WARM EQUAL 0)
+  message(FATAL_ERROR "warm run over the contested cache failed:\n${ERR_WARM}")
+endif()
+if(NOT WARM_OUT MATCHES "cache: 12 hits, 0 misses")
+  message(FATAL_ERROR "contested cache is incomplete:\n${WARM_OUT}")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${OUT}/a/stress.rgn" "${OUT}/warm/stress.rgn"
+  RESULT_VARIABLE RC_CMP)
+if(NOT RC_CMP EQUAL 0)
+  message(FATAL_ERROR "warm stress.rgn differs from the cold runs")
+endif()

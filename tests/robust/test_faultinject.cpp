@@ -1,0 +1,177 @@
+// Unit tests of the fault-injection failpoint registry (support/faultinject):
+// spec grammar, deterministic probabilistic firing, the action semantics the
+// injection sites rely on, and the disarmed fast path.
+#include "support/faultinject.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+namespace ara::fi {
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm(); }
+};
+
+TEST_F(FaultInjectTest, DisarmedByDefaultAndFireReturnsNone) {
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(fire("cache.read"));
+  EXPECT_EQ(check_io("cache.read"), SIZE_MAX);
+}
+
+TEST_F(FaultInjectTest, ConfigureParsesEveryActionForm) {
+  std::string error;
+  EXPECT_TRUE(configure("cache.read=io", &error)) << error;
+  EXPECT_TRUE(configure("cache.write=trunc:16", &error)) << error;
+  EXPECT_TRUE(configure("unit.analyze=alloc", &error)) << error;
+  EXPECT_TRUE(configure("pool.task=delay:5", &error)) << error;
+  EXPECT_TRUE(configure("seed=9;a.b=io@50;c.d=trunc:4*2", &error)) << error;
+  EXPECT_TRUE(armed());
+  EXPECT_TRUE(configure("", &error)) << error;  // empty spec disarms
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FaultInjectTest, MalformedSpecsAreRejectedAndLeaveConfigUntouched) {
+  std::string error;
+  ASSERT_TRUE(configure("cache.read=io", &error));
+  for (const char* bad : {"nonsense", "p=frobnicate", "p=io@x", "p=io@200", "p=trunc:",
+                          "p=delay:abc", "=io", "p=io*"}) {
+    EXPECT_FALSE(configure(bad, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_TRUE(armed()) << "previous config must survive a bad spec";
+  }
+}
+
+TEST_F(FaultInjectTest, FullProbabilityFiresEveryTime) {
+  std::string error;
+  ASSERT_TRUE(configure("p=io", &error));
+  for (int i = 0; i < 10; ++i) {
+    const Fired f = fire("p", "ctx");
+    EXPECT_EQ(f.action, Action::IoError);
+  }
+  EXPECT_EQ(hits("p"), 10u);
+}
+
+TEST_F(FaultInjectTest, ProbabilisticFiringIsDeterministicPerContext) {
+  // The decision is a pure hash of (seed, point, context, draw index): the
+  // same contexts must fail no matter the evaluation order.
+  std::string error;
+  ASSERT_TRUE(configure("seed=7;p=io@30", &error));
+  std::set<std::string> fired_forward;
+  for (int i = 0; i < 64; ++i) {
+    const std::string ctx = "unit" + std::to_string(i);
+    if (fire("p", ctx)) fired_forward.insert(ctx);
+  }
+  ASSERT_TRUE(configure("seed=7;p=io@30", &error));  // reset draw indices
+  std::set<std::string> fired_backward;
+  for (int i = 63; i >= 0; --i) {
+    const std::string ctx = "unit" + std::to_string(i);
+    if (fire("p", ctx)) fired_backward.insert(ctx);
+  }
+  EXPECT_EQ(fired_forward, fired_backward);
+  EXPECT_FALSE(fired_forward.empty()) << "30% of 64 contexts should fire";
+  EXPECT_LT(fired_forward.size(), 64u);
+}
+
+TEST_F(FaultInjectTest, SeedChangesWhichContextsFire) {
+  std::string error;
+  std::set<std::string> a, b;
+  ASSERT_TRUE(configure("seed=1;p=io@30", &error));
+  for (int i = 0; i < 64; ++i) {
+    if (fire("p", "u" + std::to_string(i))) a.insert("u" + std::to_string(i));
+  }
+  ASSERT_TRUE(configure("seed=2;p=io@30", &error));
+  for (int i = 0; i < 64; ++i) {
+    if (fire("p", "u" + std::to_string(i))) b.insert("u" + std::to_string(i));
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultInjectTest, RetryDrawsAdvancePerContext) {
+  // A context that fires on its first draw must eventually stop firing on
+  // re-draws (this is what lets retry_io succeed against a @P failpoint).
+  std::string error;
+  ASSERT_TRUE(configure("seed=3;p=io@50", &error));
+  bool saw_pass_after_fail = false;
+  for (int c = 0; c < 16 && !saw_pass_after_fail; ++c) {
+    const std::string ctx = "ctx" + std::to_string(c);
+    if (!fire("p", ctx)) continue;  // need a context that failed once
+    for (int draw = 0; draw < 16; ++draw) {
+      if (!fire("p", ctx)) {
+        saw_pass_after_fail = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_pass_after_fail);
+}
+
+TEST_F(FaultInjectTest, BudgetCapsTotalFirings) {
+  std::string error;
+  ASSERT_TRUE(configure("p=io*3", &error));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fire("p", "ctx")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FaultInjectTest, AllocActionThrowsBadAllocInsideFire) {
+  std::string error;
+  ASSERT_TRUE(configure("p=alloc", &error));
+  EXPECT_THROW((void)fire("p"), std::bad_alloc);
+}
+
+TEST_F(FaultInjectTest, DelayActionSleepsAndReturnsNone) {
+  std::string error;
+  ASSERT_TRUE(configure("p=delay:30", &error));
+  const auto t0 = std::chrono::steady_clock::now();
+  const Fired f = fire("p");
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - t0);
+  EXPECT_FALSE(f);  // delay is handled inside fire()
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FaultInjectTest, CheckIoThrowsOnIoAndReportsTruncCap) {
+  std::string error;
+  ASSERT_TRUE(configure("p=io", &error));
+  EXPECT_THROW((void)check_io("p"), IoFault);
+  ASSERT_TRUE(configure("p=trunc:16", &error));
+  EXPECT_EQ(check_io("p"), 16u);
+  ASSERT_TRUE(configure("q=io", &error));
+  EXPECT_EQ(check_io("p"), SIZE_MAX);  // p no longer configured
+}
+
+TEST_F(FaultInjectTest, SnapshotListsConfiguredPointsWithHitCounts) {
+  std::string error;
+  ASSERT_TRUE(configure("b.two=io;a.one=io", &error));
+  (void)fire("a.one");
+  (void)fire("a.one");
+  const auto snap = snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a.one");  // name-sorted
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[1].first, "b.two");
+  EXPECT_EQ(snap[1].second, 0u);
+}
+
+TEST_F(FaultInjectTest, ConfigureFromEnvReadsAraFailpoints) {
+  ::setenv("ARA_FAILPOINTS", "env.point=io", 1);
+  std::string error;
+  EXPECT_TRUE(configure_from_env(&error)) << error;
+  EXPECT_TRUE(fire("env.point"));
+  ::unsetenv("ARA_FAILPOINTS");
+  disarm();
+  EXPECT_TRUE(configure_from_env(&error));  // unset env is a no-op
+  EXPECT_FALSE(armed());
+}
+
+}  // namespace
+}  // namespace ara::fi

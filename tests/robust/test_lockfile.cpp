@@ -1,0 +1,132 @@
+// DirLock tests (satellite of the robustness ISSUE): O_EXCL mutual
+// exclusion, release/reacquire, stale-lock breaking, the injected
+// "unacquirable lock" failpoint, and bounded acquisition. The two-process
+// stress test lives in tests/robust/run_lock_stress.cmake, which races two
+// real arac processes on one --cache-dir.
+#include "serve/lockfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "support/faultinject.hpp"
+
+namespace ara::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+class DirLockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ara_lock_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fi::disarm();
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DirLockTest, AcquireCreatesTheLockFileExclusively) {
+  DirLock lock(dir_);
+  EXPECT_FALSE(lock.held());
+  ASSERT_TRUE(lock.acquire());
+  EXPECT_TRUE(lock.held());
+  EXPECT_TRUE(fs::exists(dir_ / ".arac.lock"));
+
+  // A competing handle cannot take it and must give up within its timeout.
+  DirLock rival(dir_);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(rival.acquire(milliseconds(50)));
+  EXPECT_FALSE(rival.held());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, milliseconds(40));
+}
+
+TEST_F(DirLockTest, ReleaseMakesTheLockAvailableAgain) {
+  DirLock a(dir_);
+  ASSERT_TRUE(a.acquire());
+  a.release();
+  EXPECT_FALSE(a.held());
+  EXPECT_FALSE(fs::exists(dir_ / ".arac.lock"));
+
+  DirLock b(dir_);
+  EXPECT_TRUE(b.acquire(milliseconds(50)));
+}
+
+TEST_F(DirLockTest, DestructorReleasesAHeldLock) {
+  {
+    DirLock a(dir_);
+    ASSERT_TRUE(a.acquire());
+  }
+  EXPECT_FALSE(fs::exists(dir_ / ".arac.lock"));
+}
+
+TEST_F(DirLockTest, AcquireIsIdempotentWhileHeld) {
+  DirLock a(dir_);
+  ASSERT_TRUE(a.acquire());
+  EXPECT_TRUE(a.acquire(milliseconds(1)));  // already held: immediate true
+}
+
+TEST_F(DirLockTest, StaleLockFromADeadProcessIsBroken) {
+  // Simulate a crashed holder: a lock file whose mtime is far in the past.
+  const fs::path stale = dir_ / ".arac.lock";
+  std::ofstream(stale) << "99999\n";
+  fs::last_write_time(stale, fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  DirLock lock(dir_, /*stale_after=*/milliseconds(100));
+  ASSERT_TRUE(lock.acquire(milliseconds(200)));
+  EXPECT_EQ(lock.breaks(), 1u);
+}
+
+TEST_F(DirLockTest, FreshLockIsNotBroken) {
+  const fs::path fresh = dir_ / ".arac.lock";
+  std::ofstream(fresh) << "1\n";  // mtime = now: a live holder
+
+  DirLock lock(dir_, /*stale_after=*/std::chrono::minutes(1));
+  EXPECT_FALSE(lock.acquire(milliseconds(50)));
+  EXPECT_EQ(lock.breaks(), 0u);
+}
+
+TEST_F(DirLockTest, InjectedLockFaultMeansProceedUnlocked) {
+  std::string error;
+  ASSERT_TRUE(fi::configure("cache.lock=io", &error)) << error;
+  DirLock lock(dir_);
+  EXPECT_FALSE(lock.acquire(milliseconds(50)));
+  EXPECT_FALSE(lock.held());
+  EXPECT_FALSE(fs::exists(dir_ / ".arac.lock"))
+      << "an injected lock fault must not create the lock file";
+}
+
+TEST_F(DirLockTest, TwoThreadsNeverHoldTheLockSimultaneously) {
+  // In-process race: both threads hammer acquire/release; the O_EXCL create
+  // must never let both think they hold it. (The cross-process version of
+  // this test is run_lock_stress.cmake.)
+  std::atomic<int> holders{0};
+  std::atomic<bool> overlap{false};
+  auto contender = [&] {
+    for (int i = 0; i < 40; ++i) {
+      DirLock lock(dir_);
+      if (!lock.acquire(milliseconds(200))) continue;
+      if (holders.fetch_add(1) != 0) overlap = true;
+      std::this_thread::sleep_for(milliseconds(1));
+      holders.fetch_sub(1);
+      lock.release();
+    }
+  };
+  std::thread a(contender), b(contender);
+  a.join();
+  b.join();
+  EXPECT_FALSE(overlap.load());
+}
+
+}  // namespace
+}  // namespace ara::serve

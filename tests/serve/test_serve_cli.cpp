@@ -125,10 +125,11 @@ TEST_F(ServeCliTest, NoCacheIgnoresExistingEntries) {
 }
 
 TEST_F(ServeCliTest, InvalidJobsIsAUsageError) {
-  EXPECT_EQ(arac({"--jobs", "0", "x.f"}).rc, 2);
-  EXPECT_EQ(arac({"--jobs", "-3", "x.f"}).rc, 2);
-  EXPECT_EQ(arac({"--jobs", "many", "x.f"}).rc, 2);
-  EXPECT_EQ(arac({"--jobs"}).rc, 2);
+  // Usage errors exit 1; 2 is reserved for partial batch results.
+  EXPECT_EQ(arac({"--jobs", "0", "x.f"}).rc, 1);
+  EXPECT_EQ(arac({"--jobs", "-3", "x.f"}).rc, 1);
+  EXPECT_EQ(arac({"--jobs", "many", "x.f"}).rc, 1);
+  EXPECT_EQ(arac({"--jobs"}).rc, 1);
 }
 
 TEST_F(ServeCliTest, CompileErrorInOneUnitFailsTheBatch) {

@@ -9,5 +9,16 @@
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return ara::driver::run_arac(args, std::cout, std::cerr);
+  // Last-resort barrier: run_arac has its own error sink, but anything that
+  // escapes it (or is thrown before it engages) must still exit 1 with a
+  // message, never abort with an unhandled-exception core.
+  try {
+    return ara::driver::run_arac(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "arac: internal error: " << e.what() << "\n";
+    return 1;
+  } catch (...) {
+    std::cerr << "arac: internal error: unknown exception\n";
+    return 1;
+  }
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "difftest/crashhunt.hpp"
 #include "difftest/generator.hpp"
 #include "difftest/minimize.hpp"
 #include "difftest/oracle.hpp"
@@ -30,11 +31,15 @@ struct CliOptions {
   bool replay = false;
   bool do_minimize = false;
   bool quiet = false;
+  bool crash_hunt = false;
+  std::string corpus_dir;
+  std::string failpoints;
 };
 
 void usage() {
   std::cout << "usage: arafuzz [--count N] [--seed S] [--lang c|fortran|both]\n"
                "               [--replay] [--minimize] [--quiet]\n"
+               "               [--crash-hunt] [--corpus DIR] [--failpoints SPEC]\n"
                "  --count N    seeds per language (default 100; --replay forces 1)\n"
                "  --seed S     first seed (default 1)\n"
                "  --lang L     front end(s) to fuzz (default both)\n"
@@ -42,7 +47,12 @@ void usage() {
                "               the full comparison report\n"
                "  --minimize   on failure, shrink the generator options while the\n"
                "               failure reproduces and print the reduced program\n"
-               "  --quiet      only the final summary line\n";
+               "  --quiet      only the final summary line\n"
+               "  --crash-hunt robustness mode: mutate generated programs, add\n"
+               "               resource bombs, and hunt for exceptions escaping the\n"
+               "               pipeline's error barrier (exit 1 if any found)\n"
+               "  --corpus DIR write minimized crashers into DIR (crash-hunt only)\n"
+               "  --failpoints SPEC  arm fault-injection failpoints during the hunt\n";
 }
 
 bool parse_args(int argc, char** argv, CliOptions* cli) {
@@ -77,6 +87,16 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
         std::cerr << "arafuzz: unknown --lang '" << lang << "'\n";
         return false;
       }
+    } else if (a == "--crash-hunt") {
+      cli->crash_hunt = true;
+    } else if (a == "--corpus") {
+      const char* v = next("--corpus");
+      if (v == nullptr) return false;
+      cli->corpus_dir = v;
+    } else if (a == "--failpoints") {
+      const char* v = next("--failpoints");
+      if (v == nullptr) return false;
+      cli->failpoints = v;
     } else if (a == "--replay") {
       cli->replay = true;
     } else if (a == "--minimize") {
@@ -112,6 +132,29 @@ void print_failure(const difftest::GeneratedProgram& prog, const difftest::DiffR
 int main(int argc, char** argv) {
   CliOptions cli;
   if (!parse_args(argc, argv, &cli)) return 2;
+
+  if (cli.crash_hunt) {
+    difftest::CrashHuntOptions hopts;
+    hopts.seed = cli.seed;
+    hopts.count = cli.count;
+    hopts.corpus_dir = cli.corpus_dir;
+    hopts.failpoints = cli.failpoints;
+    hopts.verbose = !cli.quiet;
+    const difftest::CrashHuntReport rep = difftest::crash_hunt(hopts);
+    for (const difftest::Crasher& c : rep.crashers) {
+      std::cout << "CRASH " << c.name << ": " << c.what << "\n";
+      if (!cli.quiet) {
+        std::cout << "---- minimized reproducer ----\n" << c.source << "----\n";
+      }
+    }
+    std::cout << "arafuzz --crash-hunt: " << rep.variants << " hostile inputs, "
+              << rep.crashers.size() << " crashers";
+    if (!cli.corpus_dir.empty() && !rep.crashers.empty()) {
+      std::cout << " (written to " << cli.corpus_dir << ")";
+    }
+    std::cout << "\n";
+    return rep.crashers.empty() ? 0 : 1;
+  }
 
   std::vector<Language> langs;
   if (cli.lang_c) langs.push_back(Language::C);
