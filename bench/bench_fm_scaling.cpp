@@ -6,8 +6,10 @@
 // on the flat part of the curve).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <random>
 
+#include "bench_common.hpp"
 #include "regions/linsys.hpp"
 
 namespace {
@@ -36,15 +38,28 @@ LinSystem dense_system(std::size_t nvars, std::size_t ncons, unsigned seed) {
   return sys;
 }
 
-void print_reproduction() {
+void print_reproduction(const char* argv0) {
+  ara::bench::BenchJson json("fm_scaling", "dense-random");
   std::printf("=== FM scaling (the §III cost note) ===\n");
   std::printf("  feasibility of dense systems; constraints grow after each elimination\n");
   std::printf("  %-8s %-12s %-14s\n", "vars", "constraints", "feasible?");
   for (std::size_t nvars : {2u, 3u, 4u, 5u, 6u}) {
     const LinSystem sys = dense_system(nvars, 4, 7);
-    std::printf("  %-8zu %-12zu %-14s\n", nvars, sys.size(),
-                sys.feasible() ? "yes" : "no");
+    const bool feasible = sys.feasible();
+    std::printf("  %-8zu %-12zu %-14s\n", nvars, sys.size(), feasible ? "yes" : "no");
+    // Fixed seed => the system and its verdict are exact reproducibility
+    // anchors; only the timing below is a measurement.
+    json.metric("feasible_vars" + std::to_string(nvars), feasible ? 1.0 : 0.0, "bool",
+                "exact");
   }
+  const LinSystem big = dense_system(6, 6, 7);
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool big_feasible = big.feasible();
+  const double feasible_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  benchmark::DoNotOptimize(big_feasible);
+  json.metric("feasible6x6_ms", feasible_ms, "ms", "lower");
+  json.write_next_to(argv0);
   std::printf("  (timings below show the super-linear growth in vars)\n\n");
 }
 
@@ -81,7 +96,9 @@ BENCHMARK(BM_ConstBounds)->DenseRange(2, 6, 2)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const bool json_only = ara::bench::consume_flag(&argc, argv, "--json-only");
+  print_reproduction(argv[0]);
+  if (json_only) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -4,6 +4,7 @@
 // `-IPA:array_section:array_summary -dragon` (§V-B step 1-2).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -12,15 +13,20 @@
 
 namespace {
 
-void print_reproduction() {
+void print_reproduction(const char* argv0) {
   auto cc = ara::bench::compile_lu();
+
+  const auto t0 = std::chrono::steady_clock::now();
   const auto result = cc->analyze();
+  const double analyze_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
 
   std::size_t wn_nodes = 0;
   std::size_t source_lines = 0;
   for (const auto& p : cc->program().procedures) wn_nodes += p.tree->tree_size();
   const auto& sm = cc->program().sources;
   for (ara::FileId f = 1; f <= sm.file_count(); ++f) source_lines += sm.line_count(f);
+  const std::size_t rgn_bytes = ara::rgn::write_rgn(result.rows).size();
 
   std::printf("=== Pipeline inventory (Algorithm 1 on NAS LU) ===\n");
   std::printf("  source files:        %zu\n", sm.file_count());
@@ -29,8 +35,21 @@ void print_reproduction() {
   std::printf("  WHIRL nodes:         %zu\n", wn_nodes);
   std::printf("  access records:      %zu\n", result.records.size());
   std::printf("  .rgn rows:           %zu\n", result.rows.size());
-  std::printf("  .rgn bytes:          %zu\n", ara::rgn::write_rgn(result.rows).size());
+  std::printf("  .rgn bytes:          %zu\n", rgn_bytes);
   std::printf("\n");
+
+  // The inventory metrics are exact (a changed row count is a behavior
+  // change, not noise); only the wall time is a measurement.
+  ara::bench::BenchJson json("pipeline", "lu");
+  json.metric("source_files", static_cast<double>(sm.file_count()), "count", "exact");
+  json.metric("source_lines", static_cast<double>(source_lines), "count", "exact");
+  json.metric("procedures", static_cast<double>(result.callgraph.size()), "count", "exact");
+  json.metric("wn_nodes", static_cast<double>(wn_nodes), "count", "exact");
+  json.metric("access_records", static_cast<double>(result.records.size()), "count", "exact");
+  json.metric("rgn_rows", static_cast<double>(result.rows.size()), "count", "exact");
+  json.metric("rgn_bytes", static_cast<double>(rgn_bytes), "count", "exact");
+  json.metric("analyze_ms", analyze_ms, "ms", "lower");
+  json.write_next_to(argv0);
 }
 
 void BM_FrontEndOnly(benchmark::State& state) {
@@ -102,7 +121,9 @@ BENCHMARK(BM_ExportDragonFiles)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const bool json_only = ara::bench::consume_flag(&argc, argv, "--json-only");
+  print_reproduction(argv[0]);
+  if (json_only) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "serve/engine.hpp"
 
 namespace {
@@ -83,7 +84,7 @@ double batch_seconds(const std::vector<SourceBuffer>& sources, const BatchOption
   return best;
 }
 
-void print_reproduction() {
+void print_reproduction(const char* argv0) {
   const std::vector<SourceBuffer> sources = generated_workload();
   const fs::path cache_dir = fs::temp_directory_path() / "ara_bench_serve_cache";
   fs::remove_all(cache_dir);
@@ -110,12 +111,16 @@ void print_reproduction() {
   std::printf("  (hardware threads on this host: %u)\n",
               std::thread::hardware_concurrency());
 
-  std::printf("BENCH_serve.json: {\"bench\": \"serve_scaling\", \"units\": %zu, "
-              "\"cold_ms_jobs1\": %.4f, \"cold_ms_jobs2\": %.4f, \"cold_ms_jobs4\": %.4f, "
-              "\"cold_ms_jobs8\": %.4f, \"warm_ms\": %.4f, \"parallel_speedup_jobs8\": %.3f, "
-              "\"warm_speedup\": %.3f}\n\n",
-              sources.size(), cold_ms[0], cold_ms[1], cold_ms[2], cold_ms[3], warm_ms,
-              cold_ms[0] / cold_ms[3], cold_ms[0] / warm_ms);
+  ara::bench::BenchJson json("serve_scaling", "generated-32");
+  json.metric("units", static_cast<double>(sources.size()), "count", "exact");
+  json.metric("cold_ms_jobs1", cold_ms[0], "ms", "lower");
+  json.metric("cold_ms_jobs2", cold_ms[1], "ms", "lower");
+  json.metric("cold_ms_jobs4", cold_ms[2], "ms", "lower");
+  json.metric("cold_ms_jobs8", cold_ms[3], "ms", "lower");
+  json.metric("warm_ms", warm_ms, "ms", "lower");
+  json.metric("parallel_speedup_jobs8", cold_ms[0] / cold_ms[3], "x", "higher");
+  json.metric("warm_speedup", cold_ms[0] / warm_ms, "x", "higher");
+  json.write_next_to(argv0);
   fs::remove_all(cache_dir);
 }
 
@@ -152,7 +157,9 @@ BENCHMARK(BM_BatchWarmCache)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const bool json_only = ara::bench::consume_flag(&argc, argv, "--json-only");
+  print_reproduction(argv[0]);
+  if (json_only) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

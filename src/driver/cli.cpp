@@ -1,5 +1,6 @@
 #include "driver/cli.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +9,9 @@
 
 #include "driver/compiler.hpp"
 #include "ir/printer.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/histogram.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
@@ -40,6 +44,10 @@ struct CliOptions {
   std::string name;         // export/project base name; default from first source
   std::string export_dir;   // empty = no Dragon export
   std::string trace_file;   // empty = no trace
+  std::string metrics_out;  // empty = no --metrics-out report
+  std::string events_file;  // empty = derive from --metrics-out (batch runs)
+  std::string profile_file;            // empty = no sampling profiler
+  std::uint64_t profile_interval_us = 250;  // sampling period for --profile
   bool stats = false;
   bool time_report = false;
   bool no_ipa = false;
@@ -51,7 +59,10 @@ struct CliOptions {
   std::string failpoints;  // fault-injection spec (--failpoints / ARA_FAILPOINTS)
   support::ResourceLimits limits;  // per-unit resource guards
 
-  [[nodiscard]] bool telemetry() const { return stats || time_report || !trace_file.empty(); }
+  [[nodiscard]] bool telemetry() const {
+    return stats || time_report || !trace_file.empty() || !metrics_out.empty() ||
+           !events_file.empty() || !profile_file.empty();
+  }
   /// The batch engine runs whenever its flags are used; otherwise the
   /// monolithic pipeline keeps its historical behavior.
   [[nodiscard]] bool serve() const { return jobs > 0 || !cache_dir.empty(); }
@@ -70,6 +81,14 @@ void usage(std::ostream& out) {
          "  --time-report     print the hierarchical phase time report\n"
          "  --trace FILE      write a Chrome trace-event JSON file\n"
          "                    (load it at ui.perfetto.dev or chrome://tracing)\n"
+         "  --metrics-out FILE  write the run ledger (counters + latency\n"
+         "                    histogram percentiles, ara.metrics.v1); batch runs\n"
+         "                    also write FILE's stem + .events.jsonl\n"
+         "  --events FILE     write the per-unit lifecycle event log (JSONL,\n"
+         "                    ara.events.v1) to an explicit path\n"
+         "  --profile FILE    sample worker span stacks into FILE in collapsed\n"
+         "                    (flamegraph.pl / speedscope) format\n"
+         "  --profile-interval-us N  sampling period for --profile (default 250)\n"
          "  --no-ipa          skip interprocedural propagation (-IPA off)\n"
          "  --dump-ir         dump the lowered WHIRL trees to stdout\n"
          "  --quiet           suppress the region table and summary\n"
@@ -133,6 +152,21 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostr
       const std::string* v = next("--trace");
       if (v == nullptr) return false;
       cli->trace_file = *v;
+    } else if (a == "--metrics-out") {
+      const std::string* v = next("--metrics-out");
+      if (v == nullptr) return false;
+      cli->metrics_out = *v;
+    } else if (a == "--events") {
+      const std::string* v = next("--events");
+      if (v == nullptr) return false;
+      cli->events_file = *v;
+    } else if (a == "--profile") {
+      const std::string* v = next("--profile");
+      if (v == nullptr) return false;
+      cli->profile_file = *v;
+    } else if (a == "--profile-interval-us") {
+      const std::string* v = next("--profile-interval-us");
+      if (v == nullptr || !parse_u64(a, *v, &cli->profile_interval_us, err)) return false;
     } else if (a == "--stats") {
       cli->stats = true;
     } else if (a == "--time-report") {
@@ -386,7 +420,15 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
   if (cli.telemetry()) {
     obs::set_enabled(true);
     obs::StatsRegistry::instance().reset();
+    obs::HistogramRegistry::instance().reset();
     obs::Timeline::instance().clear();
+    obs::EventLog::instance().clear();
+  }
+
+  std::optional<obs::Profiler> profiler;
+  if (!cli.profile_file.empty()) {
+    profiler.emplace(std::chrono::microseconds(cli.profile_interval_us));
+    profiler->start();
   }
 
   // The single error sink: every failure mode of both pipelines lands here
@@ -402,6 +444,7 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
     err << "arac: internal error: " << e.what() << "\n";
     rc = kFatal;
   }
+  if (profiler.has_value()) profiler->stop();
   if (rc == kFatal) {
     obs::set_enabled(was_enabled);
     return rc;
@@ -423,6 +466,28 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
   if (!cli.trace_file.empty() &&
       !write_file(cli.trace_file, obs::write_chrome_trace(obs::Timeline::instance().completed()),
                   err)) {
+    rc = 1;
+  }
+  if (!cli.metrics_out.empty() &&
+      !write_file(cli.metrics_out, obs::write_metrics_json(cli.name), err)) {
+    rc = 1;
+  }
+  // The lifecycle event log: an explicit --events path wins; otherwise a
+  // batch-engine --metrics-out run derives `<stem>.events.jsonl` so the
+  // full ledger comes from one flag.
+  std::string events_path = cli.events_file;
+  if (events_path.empty() && !cli.metrics_out.empty() && cli.serve()) {
+    fs::path p(cli.metrics_out);
+    p.replace_extension();
+    events_path = p.string() + ".events.jsonl";
+  }
+  if (!events_path.empty() &&
+      !write_file(events_path,
+                  obs::write_events_jsonl(obs::EventLog::instance().merged(), cli.name), err)) {
+    rc = 1;
+  }
+  if (profiler.has_value() &&
+      !write_file(cli.profile_file, obs::Profiler::write_folded(profiler->folded()), err)) {
     rc = 1;
   }
 

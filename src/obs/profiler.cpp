@@ -1,0 +1,59 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/timeline.hpp"
+
+namespace ara::obs {
+
+Profiler::Profiler(std::chrono::microseconds interval)
+    : interval_(interval.count() <= 0 ? std::chrono::microseconds(50)
+                                      : std::max(interval, std::chrono::microseconds(50))) {}
+
+Profiler::~Profiler() { stop(); }
+
+void Profiler::tick() {
+  const std::vector<StackSample> stacks = Timeline::instance().sample_stacks();
+  for (const StackSample& s : stacks) {
+    std::string key;
+    for (std::size_t i = 0; i < s.frames.size(); ++i) {
+      if (i > 0) key += ';';
+      key += s.frames[i];
+    }
+    ++folded_[key];
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Profiler::start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_relaxed);
+  running_ = true;
+  ticker_ = std::thread([this] {
+    // Sample first, sleep second: short runs still get coverage.
+    while (!stop_.load(std::memory_order_relaxed)) {
+      tick();
+      std::this_thread::sleep_for(interval_);
+    }
+  });
+}
+
+void Profiler::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ticker_.join();
+  running_ = false;
+  tick();  // final synchronous sample (catches very short runs)
+}
+
+std::string Profiler::write_folded(const std::map<std::string, std::uint64_t>& folded) {
+  std::ostringstream os;
+  for (const auto& [stack, count] : folded) {
+    if (stack.empty()) continue;
+    os << stack << " " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ara::obs

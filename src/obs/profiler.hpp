@@ -1,0 +1,67 @@
+// Span-stack sampling profiler. A background ticker thread periodically
+// snapshots every worker's open span stack (Timeline::sample_stacks) and
+// accumulates collapsed stacks — the `root;child;leaf count` text format
+// flamegraph.pl and speedscope ingest directly — so `arac --profile
+// out.folded` answers "where does the run burn cycles" without external
+// tooling: perf, debug symbols, or frame pointers are not involved, the
+// frames are the analyzer's own phase/procedure spans.
+//
+// The sampler costs one Timeline mutex acquisition per tick (default every
+// 250 us) regardless of worker count, and nothing at all between ticks; the
+// workers themselves are never interrupted. Stacks are aggregated across
+// lanes (a span name identifies work, not a thread); per-lane attribution
+// lives in the Chrome trace instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace ara::obs {
+
+class Profiler {
+ public:
+  /// `interval` is the sampling period; 0 is clamped to 50 us.
+  explicit Profiler(std::chrono::microseconds interval = std::chrono::microseconds(250));
+  ~Profiler();  // stops the ticker if still running
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Launches the ticker thread. The first sample is taken immediately.
+  void start();
+
+  /// Stops the ticker (idempotent), taking one final sample first.
+  void stop();
+
+  [[nodiscard]] std::uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// The accumulated collapsed stacks: "a;b;c" -> sample count. Call after
+  /// stop() (or before start()); racing the ticker is not supported.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& folded() const {
+    return folded_;
+  }
+
+  /// Renders collapsed stacks in the canonical folded text format: one
+  /// `stack count` line per entry, sorted bytewise by stack (deterministic
+  /// line order; the counts are measurements).
+  [[nodiscard]] static std::string write_folded(
+      const std::map<std::string, std::uint64_t>& folded);
+
+ private:
+  void tick();  // one sampling pass over the live stacks
+
+  std::chrono::microseconds interval_;
+  std::map<std::string, std::uint64_t> folded_;
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<bool> stop_{false};
+  std::thread ticker_;
+  bool running_ = false;
+};
+
+}  // namespace ara::obs

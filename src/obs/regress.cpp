@@ -1,0 +1,323 @@
+#include "obs/regress.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "support/json.hpp"
+#include "support/text_table.hpp"
+
+namespace ara::obs {
+
+namespace {
+
+enum class Direction : std::uint8_t {
+  Lower,    // smaller is better (latencies, overhead percentages)
+  Higher,   // larger is better (speedups, throughput)
+  Exact,    // any change is a regression (structural inventory)
+  Neutral,  // informational only; never fails the check
+};
+
+struct Metric {
+  double value = 0.0;
+  Direction dir = Direction::Neutral;
+};
+
+using MetricMap = std::map<std::string, Metric>;
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Direction by naming convention, for files whose schema carries no
+/// explicit "better" field (stats/metrics documents).
+Direction infer_direction(std::string_view name) {
+  for (const char* suf : {"_ns", "_ms", "_us", "_pct", ".p50", ".p90", ".p99", ".mean",
+                          ".max", ".sum"}) {
+    if (ends_with(name, suf)) return Direction::Lower;
+  }
+  for (const char* suf : {"_speedup", "_per_sec"}) {
+    if (ends_with(name, suf)) return Direction::Higher;
+  }
+  return Direction::Neutral;
+}
+
+std::optional<Direction> parse_direction(std::string_view s) {
+  if (s == "lower") return Direction::Lower;
+  if (s == "higher") return Direction::Higher;
+  if (s == "exact") return Direction::Exact;
+  if (s == "neutral") return Direction::Neutral;
+  return std::nullopt;
+}
+
+/// Flattens "counters": {name: N} into `name` metrics (neutral: counter
+/// totals shift legitimately between versions; exact-compare them with an
+/// explicit --metric rule if a workload demands it).
+void flatten_counters(const json::Value& counters, MetricMap* out) {
+  for (const auto& [name, v] : counters.object) {
+    if (v.is_number()) (*out)[name] = Metric{v.number, Direction::Neutral};
+  }
+}
+
+/// Flattens "histograms": {name: {count, p50, ...}} into `name.field`
+/// metrics; the timing fields are lower-is-better.
+void flatten_histograms(const json::Value& hists, MetricMap* out) {
+  for (const auto& [name, h] : hists.object) {
+    if (!h.is_object()) continue;
+    for (const auto& [field, v] : h.object) {
+      if (!v.is_number()) continue;
+      Direction dir = Direction::Neutral;
+      if (field == "p50" || field == "p90" || field == "p99" || field == "mean" ||
+          field == "max" || field == "sum" || field == "min") {
+        dir = Direction::Lower;
+      }
+      (*out)[name + "." + field] = Metric{v.number, dir};
+    }
+  }
+}
+
+/// Flattens an ara.bench.v1 "metrics" object: either a bare number (then
+/// the direction is inferred from the name) or {"value": N, "better": ...}.
+bool flatten_bench_metrics(const json::Value& metrics, MetricMap* out, std::string* error) {
+  for (const auto& [name, v] : metrics.object) {
+    if (v.is_number()) {
+      (*out)[name] = Metric{v.number, infer_direction(name)};
+      continue;
+    }
+    if (!v.is_object()) {
+      *error = "metric '" + name + "' is neither a number nor an object";
+      return false;
+    }
+    const json::Value* value = v.find("value");
+    if (value == nullptr || !value->is_number()) {
+      *error = "metric '" + name + "' has no numeric \"value\"";
+      return false;
+    }
+    Direction dir = infer_direction(name);
+    if (const json::Value* better = v.find("better"); better != nullptr) {
+      const auto parsed = parse_direction(better->string);
+      if (!parsed.has_value()) {
+        *error = "metric '" + name + "' has unknown \"better\": '" + better->string + "'";
+        return false;
+      }
+      dir = *parsed;
+    }
+    (*out)[name] = Metric{value->number, dir};
+  }
+  return true;
+}
+
+/// Loads one stats/metrics/bench JSON file into a flat metric map.
+bool load_metrics(const std::string& path, MetricMap* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string parse_error;
+  const auto doc = json::parse(buf.str(), &parse_error);
+  if (!doc.has_value() || !doc->is_object()) {
+    *error = path + ": " + (parse_error.empty() ? "not a JSON object" : parse_error);
+    return false;
+  }
+  const json::Value* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    *error = path + ": missing \"schema\" field";
+    return false;
+  }
+  const std::string& s = schema->string;
+  const bool stats_like = s.rfind("ara.stats.", 0) == 0 || s.rfind("ara.metrics.", 0) == 0;
+  const bool bench_like = s.rfind("ara.bench.", 0) == 0;
+  if (!stats_like && !bench_like) {
+    *error = path + ": unsupported schema '" + s + "'";
+    return false;
+  }
+  if (stats_like) {
+    if (const json::Value* counters = doc->find("counters")) flatten_counters(*counters, out);
+    if (const json::Value* hists = doc->find("histograms")) flatten_histograms(*hists, out);
+  } else {
+    const json::Value* metrics = doc->find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      *error = path + ": bench document has no \"metrics\" object";
+      return false;
+    }
+    std::string metric_error;
+    if (!flatten_bench_metrics(*metrics, out, &metric_error)) {
+      *error = path + ": " + metric_error;
+      return false;
+    }
+  }
+  if (out->empty()) {
+    *error = path + ": no comparable metrics found";
+    return false;
+  }
+  return true;
+}
+
+std::string fmt_value(double v) {
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", v);
+  }
+  return buf;
+}
+
+std::string fmt_delta(double base, double cur) {
+  if (base == 0.0) return cur == 0.0 ? "+0.0%" : "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", (cur - base) / std::fabs(base) * 100.0);
+  return buf;
+}
+
+void usage(std::ostream& out) {
+  out << "arareport — diff two run-ledger JSON files and flag regressions\n"
+         "\n"
+         "usage: arareport [options] <baseline.json> <current.json>\n"
+         "\n"
+         "  --help             this text\n"
+         "  --check            exit 1 when any regression is found (CI gate)\n"
+         "  --threshold PCT    default tolerance for directional metrics (default 10)\n"
+         "  --metric NAME=PCT  per-metric tolerance; also promotes a neutral\n"
+         "                     metric (e.g. a counter) to lower-is-better\n"
+         "\n"
+         "Accepted inputs: NAME.stats.json (ara.stats.v1/v2), --metrics-out\n"
+         "files (ara.metrics.v1), and BENCH_*.json (ara.bench.v1). Direction\n"
+         "comes from the bench \"better\" field, or the metric name (_ns/_ms/\n"
+         "_pct/percentiles regress upward, _speedup/_per_sec downward).\n"
+         "exit codes: 0 clean; 1 regression (--check); 2 usage/parse error\n";
+}
+
+}  // namespace
+
+int run_arareport(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  bool check = false;
+  double threshold = 10.0;
+  std::map<std::string, double> per_metric;
+  std::vector<std::string> files;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* what) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << "arareport: " << what << " expects a value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(out);
+      return 0;
+    } else if (a == "--check") {
+      check = true;
+    } else if (a == "--threshold") {
+      const std::string* v = next("--threshold");
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      threshold = std::strtod(v->c_str(), &end);
+      if (end == nullptr || *end != '\0' || threshold < 0.0) {
+        err << "arareport: --threshold expects a non-negative number, got '" << *v << "'\n";
+        return 2;
+      }
+    } else if (a == "--metric") {
+      const std::string* v = next("--metric");
+      if (v == nullptr) return 2;
+      const std::size_t eq = v->rfind('=');
+      char* end = nullptr;
+      const double pct = eq == std::string::npos ? -1.0 : std::strtod(v->c_str() + eq + 1, &end);
+      if (eq == std::string::npos || eq == 0 || end == nullptr || *end != '\0' || pct < 0.0) {
+        err << "arareport: --metric expects NAME=PCT, got '" << *v << "'\n";
+        return 2;
+      }
+      per_metric[v->substr(0, eq)] = pct;
+    } else if (!a.empty() && a[0] == '-') {
+      err << "arareport: unknown option '" << a << "'\n";
+      usage(err);
+      return 2;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) {
+    err << "arareport: expected exactly two input files, got " << files.size() << "\n";
+    usage(err);
+    return 2;
+  }
+
+  MetricMap base;
+  MetricMap cur;
+  std::string error;
+  if (!load_metrics(files[0], &base, &error) || !load_metrics(files[1], &cur, &error)) {
+    err << "arareport: " << error << "\n";
+    return 2;
+  }
+
+  TextTable table;
+  table.set_header({"Metric", "Baseline", "Current", "Delta", "Status"});
+  std::size_t regressions = 0;
+  std::size_t compared = 0;
+
+  for (const auto& [name, b] : base) {
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      // A vanished exact metric is a structural change the gate must see.
+      const bool fail = b.dir == Direction::Exact;
+      if (fail) ++regressions;
+      table.add_row({name, fmt_value(b.value), "-", "-", fail ? "MISSING" : "gone"});
+      continue;
+    }
+    ++compared;
+    Direction dir = b.dir;
+    double tol = threshold;
+    if (const auto rule = per_metric.find(name); rule != per_metric.end()) {
+      tol = rule->second;
+      if (dir == Direction::Neutral) dir = Direction::Lower;
+    }
+    const double bv = b.value;
+    const double cv = it->second.value;
+    bool regressed = false;
+    bool improved = false;
+    switch (dir) {
+      case Direction::Lower:
+        regressed = cv > bv * (1.0 + tol / 100.0) + 1e-12;
+        improved = cv < bv * (1.0 - tol / 100.0);
+        break;
+      case Direction::Higher:
+        regressed = cv < bv * (1.0 - tol / 100.0) - 1e-12;
+        improved = cv > bv * (1.0 + tol / 100.0);
+        break;
+      case Direction::Exact:
+        regressed = cv != bv;
+        break;
+      case Direction::Neutral:
+        break;
+    }
+    if (regressed) ++regressions;
+    const char* status = regressed  ? "REGRESSION"
+                         : improved ? "improved"
+                         : dir == Direction::Neutral ? "info"
+                                                     : "ok";
+    table.add_row({name, fmt_value(bv), fmt_value(cv), fmt_delta(bv, cv), status});
+  }
+  for (const auto& [name, c] : cur) {
+    if (base.find(name) == base.end()) {
+      table.add_row({name, "-", fmt_value(c.value), "-", "new"});
+    }
+  }
+
+  out << table.render();
+  out << compared << " metrics compared, " << regressions << " regression"
+      << (regressions == 1 ? "" : "s") << "\n";
+  if (check && regressions > 0) return 1;
+  return 0;
+}
+
+}  // namespace ara::obs

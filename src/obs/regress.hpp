@@ -1,0 +1,31 @@
+// The `arareport` regression-diff engine, as a library entry point so the
+// test suite can exercise the full CLI in-process (the run_arac pattern).
+// tools/arareport.cpp is a thin argv shim around run_arareport().
+//
+//   arareport old.stats.json new.stats.json          # informational diff
+//   arareport --check --threshold 10 base.json cur.json   # CI gate
+//
+// Understands every run-ledger artifact: `.stats.json` (ara.stats.v1/v2),
+// `--metrics-out` files (ara.metrics.v1), and the unified benchmark records
+// (ara.bench.v1, BENCH_*.json). Each file flattens into named numeric
+// metrics with a comparison direction — explicit in the bench schema
+// ("better": "lower" | "higher" | "exact" | "neutral"), inferred from the
+// name otherwise (`*_ns`/`*_ms`/`*_pct`/percentiles are lower-is-better,
+// `*_speedup`/`*_per_sec` higher-is-better, counters neutral). In --check
+// mode a regression beyond the threshold exits non-zero, which is what the
+// `perf-smoke` ctest label runs against the committed baseline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ara::obs {
+
+/// Runs the arareport CLI with `args` (argv[1..], program name excluded).
+/// Returns the process exit code: 0 clean (no regression, or informational
+/// diff mode); 1 at least one regression found (--check); 2 usage or
+/// parse errors.
+int run_arareport(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace ara::obs

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/histogram.hpp"
 #include "support/json.hpp"
 
 namespace ara::obs {
@@ -51,18 +52,30 @@ std::vector<StatEntry> StatsRegistry::snapshot(bool nonzero_only) const {
   return out;
 }
 
-std::string write_stats_json(std::string_view workload) {
+std::string render_counters_json(int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
   const std::vector<StatEntry> entries = StatsRegistry::instance().snapshot();
   std::ostringstream os;
-  os << "{\n";
-  os << "  \"schema\": \"ara.stats.v1\",\n";
-  os << "  \"workload\": \"" << json::escape(workload) << "\",\n";
-  os << "  \"counters\": {";
+  os << pad << "\"counters\": {";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n");
-    os << "    \"" << json::escape(entries[i].name) << "\": " << entries[i].value;
+    os << pad << "  \"" << json::escape(entries[i].name) << "\": " << entries[i].value;
   }
-  os << "\n  }\n}\n";
+  os << (entries.empty() ? "}" : "\n" + pad + "}");
+  return os.str();
+}
+
+std::string write_stats_json(std::string_view workload) {
+  // v2 added the histogram section (obs/histogram.hpp). Counter values stay
+  // deterministic across runs; histogram timing fields, like span
+  // durations, are measurements and are not.
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"ara.stats.v2\",\n";
+  os << "  \"workload\": \"" << json::escape(workload) << "\",\n";
+  os << render_counters_json(2) << ",\n";
+  os << render_histograms_json(2) << "\n";
+  os << "}\n";
   return os.str();
 }
 

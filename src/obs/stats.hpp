@@ -79,9 +79,13 @@ class StatsRegistry {
   std::vector<Counter*> counters_;
 };
 
-/// The `.stats.json` payload: schema marker, workload name, and the
-/// name-sorted counter map (see docs/FORMATS.md).
+/// The `.stats.json` payload: schema marker, workload name, the name-sorted
+/// counter map, and the non-empty histogram section (see docs/FORMATS.md).
 [[nodiscard]] std::string write_stats_json(std::string_view workload);
+
+/// The `"counters": { ... }` JSON fragment shared by the .stats.json and
+/// --metrics-out writers, indented by `indent` spaces.
+[[nodiscard]] std::string render_counters_json(int indent);
 
 }  // namespace ara::obs
 

@@ -12,9 +12,9 @@ std::uint64_t steady_ns() {
                                         .count());
 }
 
-// Per-thread state: the open-span stack (span nesting follows scope nesting
-// within one thread) and the worker lane stamped onto events.
-thread_local std::vector<std::uint32_t> t_stack;
+// The worker lane stamped onto events. Lane assignment is per-thread and
+// read on every begin(); the open-span stacks themselves live inside the
+// Timeline (under its mutex) so the sampling profiler can see them.
 thread_local std::uint32_t t_lane = 0;
 
 }  // namespace
@@ -34,22 +34,24 @@ std::uint64_t Timeline::now_ns() const { return steady_ns() - epoch_ns_; }
 void Timeline::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
-  t_stack.clear();
+  threads_.clear();
   epoch_ns_ = steady_ns();
 }
 
 std::uint32_t Timeline::begin(std::string name, std::string cat) {
   std::lock_guard<std::mutex> lock(mu_);
+  ThreadState& ts = threads_[std::this_thread::get_id()];
+  ts.lane = t_lane;
   Rec rec;
   rec.ev.name = std::move(name);
   rec.ev.cat = std::move(cat);
   rec.ev.start_ns = now_ns();
-  rec.ev.parent = t_stack.empty() ? -1 : static_cast<std::int32_t>(t_stack.back());
-  rec.ev.depth = static_cast<std::uint32_t>(t_stack.size());
+  rec.ev.parent = ts.stack.empty() ? -1 : static_cast<std::int32_t>(ts.stack.back());
+  rec.ev.depth = static_cast<std::uint32_t>(ts.stack.size());
   rec.ev.lane = t_lane;
   const auto id = static_cast<std::uint32_t>(events_.size());
   events_.push_back(std::move(rec));
-  t_stack.push_back(id);
+  ts.stack.push_back(id);
   return id;
 }
 
@@ -60,14 +62,18 @@ void Timeline::end(std::uint32_t id) {
   // Close any inner spans leaked past their opener (shouldn't happen with
   // RAII, but keeps the hierarchy consistent if it does). Only this
   // thread's stack is touched; other lanes' open spans are unaffected.
-  while (!t_stack.empty()) {
-    const std::uint32_t top = t_stack.back();
-    t_stack.pop_back();
+  auto it = threads_.find(std::this_thread::get_id());
+  if (it == threads_.end()) return;
+  std::vector<std::uint32_t>& stack = it->second.stack;
+  while (!stack.empty()) {
+    const std::uint32_t top = stack.back();
+    stack.pop_back();
     Rec& rec = events_[top];
     rec.open = false;
     rec.ev.dur_ns = t - rec.ev.start_ns;
     if (top == id) break;
   }
+  if (stack.empty()) threads_.erase(it);
 }
 
 std::vector<SpanEvent> Timeline::completed() const {
@@ -88,6 +94,21 @@ std::vector<SpanEvent> Timeline::completed() const {
     ev.parent = parent >= 0 ? remap[static_cast<std::size_t>(parent)] : -1;
     remap[i] = static_cast<std::int32_t>(out.size());
     out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::vector<StackSample> Timeline::sample_stacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StackSample> out;
+  out.reserve(threads_.size());
+  for (const auto& [tid, ts] : threads_) {
+    if (ts.stack.empty()) continue;
+    StackSample sample;
+    sample.lane = ts.lane;
+    sample.frames.reserve(ts.stack.size());
+    for (const std::uint32_t id : ts.stack) sample.frames.push_back(events_[id].ev.name);
+    out.push_back(std::move(sample));
   }
   return out;
 }

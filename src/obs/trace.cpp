@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "support/json.hpp"
@@ -24,9 +25,23 @@ std::string us_fixed(std::uint64_t ns) {
 std::string write_chrome_trace(const std::vector<SpanEvent>& events) {
   std::ostringstream os;
   os << "[";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const SpanEvent& ev = events[i];
-    os << (i == 0 ? "\n" : ",\n");
+  // Thread-name metadata first, one per lane present in the events, so
+  // `--jobs N` traces label each track ("main", "worker-1", ...) instead of
+  // showing bare tids. ph:"M" events carry no timestamp; Perfetto and
+  // chrome://tracing both accept them anywhere in the array.
+  std::set<std::uint32_t> lanes;
+  for (const SpanEvent& ev : events) lanes.insert(ev.lane);
+  bool first = true;
+  for (const std::uint32_t lane : lanes) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    const std::string label = lane == 0 ? "main" : "worker-" + std::to_string(lane);
+    os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << (lane + 1)
+       << ", \"args\": {\"name\": \"" << label << "\"}}";
+  }
+  for (const SpanEvent& ev : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
     os << "  {\"name\": \"" << json::escape(ev.name) << "\", "
        << "\"cat\": \"" << json::escape(ev.cat.empty() ? "ara" : ev.cat) << "\", "
        << "\"ph\": \"X\", "

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/histogram.hpp"
 #include "obs/stats.hpp"
 
 namespace ara::regions {
@@ -19,6 +20,9 @@ ARA_STATISTIC(stat_fm_capped, "regions.fm_growth_caps",
               "FM results truncated by the constraint growth cap");
 ARA_STATISTIC(stat_feasibility, "regions.feasibility_checks",
               "Rational feasibility queries answered");
+
+ARA_HISTOGRAM(hist_fm_eliminate, "regions.fm_eliminate_ns",
+              "Latency of one Fourier-Motzkin variable elimination", "ns");
 
 std::string Constraint::str() const {
   return expr.str() + (rel == Rel::Le0 ? " <= 0" : " == 0");
@@ -48,6 +52,7 @@ std::vector<std::string> LinSystem::variables() const {
 
 LinSystem LinSystem::eliminated(std::string_view name) const {
   stat_fm_eliminations.bump();
+  obs::ScopedLatency fm_latency(hist_fm_eliminate);
   // If an equality has coefficient +/-1 on the variable, substitute — exact
   // and avoids the quadratic FM blowup.
   for (const Constraint& c : constraints_) {

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "obs/histogram.hpp"
 #include "obs/stats.hpp"
 #include "serve/hash.hpp"
 #include "serve/lockfile.hpp"
@@ -22,6 +23,9 @@ ARA_STATISTIC(stat_evictions, "serve.cache_evictions",
               "Invalid cache entries discarded (corrupt, truncated, or stale)");
 ARA_STATISTIC(stat_retries, "serve.retries",
               "Transient I/O faults absorbed by retrying (cache and artifacts)");
+
+ARA_HISTOGRAM(hist_cache_lookup, "serve.cache_lookup_ns",
+              "Summary-cache lookup latency (read + validate, hit or miss)", "ns");
 
 namespace {
 
@@ -98,6 +102,7 @@ std::filesystem::path SummaryCache::entry_path(std::string_view key) const {
 
 std::optional<UnitSummary> SummaryCache::load(std::string_view key) const {
   if (!enabled_) return std::nullopt;
+  obs::ScopedLatency lookup_latency(hist_cache_lookup);
   const std::filesystem::path path = entry_path(key);
 
   std::optional<std::string> text;

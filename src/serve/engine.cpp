@@ -1,10 +1,13 @@
 #include "serve/engine.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <new>
 #include <sstream>
 
 #include "frontend/compile.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/histogram.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "serve/cache.hpp"
@@ -21,6 +24,13 @@ ARA_STATISTIC(stat_unit_failures, "serve.unit_failures",
               "Units demoted to a UnitFailure by the per-unit error barrier");
 ARA_STATISTIC(stat_degraded_runs, "serve.degraded_runs",
               "Batches that linked in degraded mode (some units dropped)");
+
+ARA_HISTOGRAM(hist_queue_wait, "serve.queue_wait_ns",
+              "Per-unit wait between batch submission and a worker picking it up", "ns");
+ARA_HISTOGRAM(hist_unit_parse, "serve.unit_parse_ns",
+              "Per-unit frontend compile (parse + lower) latency", "ns");
+ARA_HISTOGRAM(hist_unit_summarize, "serve.unit_summarize_ns",
+              "Per-unit local analysis + summary extraction latency", "ns");
 
 std::string_view to_string(FailureKind kind) {
   switch (kind) {
@@ -48,10 +58,12 @@ std::string flags_string(const BatchOptions& opts) {
 /// Demotes a unit to Failed with a structured reason, and drops a
 /// zero-length "fail:<unit>" span into the trace so degraded runs are
 /// visible on the timeline.
-void fail_unit(UnitReport& report, FailureKind kind, std::string reason) {
+void fail_unit(UnitReport& report, std::size_t unit, FailureKind kind, std::string reason) {
   report.status = UnitStatus::Failed;
   report.failure = UnitFailure{kind, std::move(reason)};
   stat_unit_failures.bump();
+  obs::EventLog::instance().record(static_cast<std::uint32_t>(unit), report.source_name,
+                                   obs::UnitEvent::Failed, to_string(kind));
   obs::Span marker("fail:" + report.source_name, "failure");
 }
 
@@ -92,13 +104,26 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
   std::vector<std::optional<UnitSummary>> summaries(sources.size());
   std::vector<std::string> texts(sources.size());
 
+  auto& events = obs::EventLog::instance();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    events.record(static_cast<std::uint32_t>(i), sources[i].name, obs::UnitEvent::Queued);
+  }
+
   {
     ARA_SPAN("units", "serve");
+    const auto submitted = std::chrono::steady_clock::now();
     ThreadPool pool(opts.jobs);
     pool.parallel_for(sources.size(), [&](std::size_t i) {
       // Each worker gets its own trace lane, so per-unit spans render as
       // parallel tracks in the Chrome trace instead of one nested stack.
       obs::set_lane(static_cast<std::uint32_t>(ThreadPool::current_worker()));
+      if (obs::enabled()) {
+        hist_queue_wait.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - submitted)
+                .count()));
+      }
+      events.record(static_cast<std::uint32_t>(i), sources[i].name, obs::UnitEvent::Started);
       obs::Span unit_span(sources[i].name, "serve");
       stat_batch_units.bump();
 
@@ -118,11 +143,17 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
         if (auto hit = cache.load(key)) {
           // Replay the cached unit's rendered warnings byte-identically, so
           // a hit is indistinguishable from a re-analysis on the console.
+          events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                        obs::UnitEvent::CacheHit);
           report.diagnostics = hit->diagnostics;
           summaries[i] = std::move(*hit);
           report.status = UnitStatus::Cached;
+          events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                        obs::UnitEvent::Summarized, "cached");
           return;
         }
+        events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                      obs::UnitEvent::CacheMiss);
 
         if (ARA_FAILPOINT("unit.analyze", sources[i].name)) {
           throw fi::IoFault("injected I/O fault analyzing '" + sources[i].name + "'");
@@ -136,29 +167,38 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
         std::vector<fe::ExternRef> externs;
         fe::CompileOptions copts;
         copts.external_calls = true;
-        const bool ok = fe::compile_program(program, diags, copts, &externs);
+        bool ok = false;
+        {
+          obs::ScopedLatency parse_latency(hist_unit_parse);
+          ok = fe::compile_program(program, diags, copts, &externs);
+        }
         report.diagnostics = diags.render();
         if (!ok) {
-          fail_unit(report, FailureKind::Compile, "unit did not compile");
+          fail_unit(report, i, FailureKind::Compile, "unit did not compile");
           return;
         }
         stat_units_analyzed.bump();
-        summaries[i] = summarize_unit(program, externs);
+        {
+          obs::ScopedLatency summarize_latency(hist_unit_summarize);
+          summaries[i] = summarize_unit(program, externs);
+        }
         summaries[i]->diagnostics = report.diagnostics;
         if (cache.enabled()) cache.store(key, *summaries[i]);
         report.status = UnitStatus::Analyzed;
+        events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                      obs::UnitEvent::Summarized);
       } catch (const support::TimeoutError& e) {
-        fail_unit(report, FailureKind::Timeout, e.what());
+        fail_unit(report, i, FailureKind::Timeout, e.what());
       } catch (const support::ResourceLimitError& e) {
-        fail_unit(report, FailureKind::Resource, e.what());
+        fail_unit(report, i, FailureKind::Resource, e.what());
       } catch (const fi::IoFault& e) {
-        fail_unit(report, FailureKind::Io, e.what());
+        fail_unit(report, i, FailureKind::Io, e.what());
       } catch (const std::bad_alloc&) {
-        fail_unit(report, FailureKind::Resource, "out of memory analyzing unit");
+        fail_unit(report, i, FailureKind::Resource, "out of memory analyzing unit");
       } catch (const std::exception& e) {
-        fail_unit(report, FailureKind::Crash, e.what());
+        fail_unit(report, i, FailureKind::Crash, e.what());
       } catch (...) {
-        fail_unit(report, FailureKind::Crash, "unknown exception analyzing unit");
+        fail_unit(report, i, FailureKind::Crash, "unknown exception analyzing unit");
       }
       // A failed unit never contributes to the link, even if the exception
       // escaped mid-summarization.
@@ -180,12 +220,14 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
   // parallel to the summaries so diagnostics and the browser still line up.
   std::vector<UnitSummary> units;
   std::vector<std::string> unit_texts;
+  std::vector<std::size_t> linked_indices;
   units.reserve(summaries.size());
   unit_texts.reserve(summaries.size());
   for (std::size_t i = 0; i < summaries.size(); ++i) {
     if (!summaries[i]) continue;
     units.push_back(std::move(*summaries[i]));
     unit_texts.push_back(std::move(texts[i]));
+    linked_indices.push_back(i);
   }
   if (units.empty() && !sources.empty()) return result;  // total failure
 
@@ -195,6 +237,9 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
   lopts.degraded = result.failed_units > 0;
   lopts.layout = opts.layout;
   result.link = link_units(units, unit_texts, lopts, name);
+  for (const std::size_t i : linked_indices) {
+    events.record(static_cast<std::uint32_t>(i), sources[i].name, obs::UnitEvent::Linked);
+  }
   result.ok = result.failed_units == 0 && result.link.ok;
   result.partial = result.failed_units > 0 && result.link.ok;
   if (result.partial) stat_degraded_runs.bump();

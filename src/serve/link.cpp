@@ -1,11 +1,13 @@
 #include "serve/link.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <set>
 #include <tuple>
 
 #include "ipa/interproc.hpp"
+#include "obs/histogram.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "support/string_utils.hpp"
@@ -17,6 +19,9 @@ ARA_STATISTIC(stat_link_callsites, "serve.link_callsites", "Call sites translate
 ARA_STATISTIC(stat_link_passes, "serve.link_passes", "Link-phase propagation passes run");
 ARA_STATISTIC(stat_link_records, "serve.link_interproc_records",
               "IDEF/IUSE records generated at link time");
+
+ARA_HISTOGRAM(hist_unit_link, "serve.unit_link_ns",
+              "Per-unit link latency (symbol replay + record translation)", "ns");
 
 using regions::AccessMode;
 using regions::LinExpr;
@@ -138,12 +143,28 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
   for (std::size_t u = 0; u < units.size(); ++u) {
     map[u].assign(units[u].symbols.size(), ir::kInvalidSt);
   }
+
+  // Per-unit link cost. The replay phases below each sweep every unit (the
+  // creation order is load-bearing), so one scope per unit is impossible;
+  // instead each phase's per-unit slice accumulates here and the totals are
+  // recorded into serve.unit_link_ns at the end.
+  const bool timing = obs::enabled();
+  std::vector<std::uint64_t> unit_link_ns(timing ? units.size() : 0, 0);
+  using LinkClock = std::chrono::steady_clock;
+  auto tick = [timing] { return timing ? LinkClock::now() : LinkClock::time_point{}; };
+  auto tock = [&](std::size_t u, LinkClock::time_point t0) {
+    if (!timing) return;
+    unit_link_ns[u] += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(LinkClock::now() - t0)
+            .count());
+  };
   auto mapped = [&](std::uint32_t u, std::uint32_t sym) { return map[u][sym]; };
 
   std::map<std::string, ir::StIdx> procs;  // lower name -> linked ST
 
   // Phase A: every unit's defined procedures.
   for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto t0 = tick();
     for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
       const SymInfo& sym = units[u].symbols[s];
       if (sym.kind != SymInfo::Kind::Proc) continue;
@@ -164,11 +185,13 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
       procs[key] = idx;
       map[u][s] = idx;
     }
+    tock(u, t0);
   }
 
   // Phase B: globals unify by name program-wide; first declaration wins.
   std::map<std::string, ir::StIdx> globals;
   for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto t0 = tick();
     for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
       const SymInfo& sym = units[u].symbols[s];
       if (sym.kind != SymInfo::Kind::Global) continue;
@@ -196,10 +219,12 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
       globals[key] = idx;
       map[u][s] = idx;
     }
+    tock(u, t0);
   }
 
   // External references resolve against the whole program's procedures.
   for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto t0 = tick();
     for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
       const SymInfo& sym = units[u].symbols[s];
       if (sym.kind != SymInfo::Kind::Extern) continue;
@@ -220,10 +245,12 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
         }
       }
     }
+    tock(u, t0);
   }
 
   // Phase C: each procedure's formals and locals, in unit creation order.
   for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto t0 = tick();
     for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
       const SymInfo& sym = units[u].symbols[s];
       if (sym.kind != SymInfo::Kind::Formal && sym.kind != SymInfo::Kind::Local) continue;
@@ -244,6 +271,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
       st.file = file_of(u);
       map[u][s] = program.symtab.make_st(std::move(st));
     }
+    tock(u, t0);
   }
 
   if (diags.has_errors()) return result;
@@ -450,6 +478,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
   ipa::AnalysisResult shell;
   for (std::uint32_t i = 0; i < nodes.size(); ++i) {
     const LinkNode& n = nodes[i];
+    const auto t0 = tick();
     for (const RecordSummary& r : n.proc->records) {
       const SymInfo& sym = units[n.unit].symbols[r.sym];
       if (!opts.include_scalars && r.region.rank() == 0 && !sym.is_array) continue;
@@ -465,6 +494,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
       rec.line = r.line;
       shell.records.push_back(std::move(rec));
     }
+    tock(n.unit, t0);
   }
   for (ipa::AccessRecord& rec : interproc_records) {
     shell.records.push_back(std::move(rec));
@@ -508,6 +538,8 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
   // .cfg: one header, then each unit's pre-rendered sections in order.
   result.cfg_text = "CFG 1\n";
   for (const UnitSummary& unit : units) result.cfg_text += unit.cfg_text;
+
+  for (const std::uint64_t ns : unit_link_ns) hist_unit_link.record(ns);
 
   result.ok = true;
   return result;

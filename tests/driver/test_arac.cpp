@@ -142,6 +142,92 @@ TEST(AracCli, TelemetryFlagRestoresGlobalState) {
   EXPECT_FALSE(obs::enabled());
 }
 
+/// Two tiny Fortran units, so the run-ledger flags exercise the batch path.
+fs::path write_ledger_units(const char* dirname) {
+  const fs::path dir = fs::temp_directory_path() / dirname;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  for (const char* name : {"ua", "ub"}) {
+    std::ofstream(dir / (std::string(name) + ".f"))
+        << "subroutine " << name << "(x)\n"
+        << "  integer, dimension(1:100) :: x\n"
+        << "  integer :: i\n"
+        << "  do i = 1, 100\n"
+        << "    x(i) = i\n"
+        << "  end do\n"
+        << "end subroutine " << name << "\n";
+  }
+  return dir;
+}
+
+TEST(AracCli, MetricsOutWritesHistogramsAndDerivedEventLog) {
+  const fs::path dir = write_ledger_units("arac_metrics_test");
+  const fs::path metrics = dir / "m.json";
+  const CliRun r = arac({"--quiet", "--jobs", "2", "--metrics-out", metrics.string(),
+                         (dir / "ua.f").string(), (dir / "ub.f").string()});
+  ASSERT_EQ(r.rc, 0) << r.err;
+
+  std::string err;
+  const auto doc = json::parse(slurp(metrics), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->find("schema")->string, "ara.metrics.v1");
+  const json::Value* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* parse_hist = hists->find("serve.unit_parse_ns");
+  ASSERT_NE(parse_hist, nullptr) << "batch runs must record per-unit parse latency";
+  EXPECT_DOUBLE_EQ(parse_hist->find("count")->number, 2.0);
+  for (const char* field : {"p50", "p90", "p99"}) {
+    EXPECT_NE(parse_hist->find(field), nullptr) << field;
+  }
+
+  // With no explicit --events, a batch --metrics-out run derives the event
+  // log path next to the metrics file.
+  const std::string events = slurp(dir / "m.events.jsonl");
+  EXPECT_NE(events.find("\"schema\": \"ara.events.v1\""), std::string::npos) << events;
+  EXPECT_NE(events.find("\"events\": 10"), std::string::npos)
+      << "5 lifecycle events per unit:\n" << events;
+  fs::remove_all(dir);
+}
+
+TEST(AracCli, ExplicitEventsPathOverridesTheDerivedOne) {
+  const fs::path dir = write_ledger_units("arac_events_test");
+  const CliRun r = arac({"--quiet", "--jobs", "2", "--metrics-out", (dir / "m.json").string(),
+                         "--events", (dir / "e.jsonl").string(), (dir / "ua.f").string(),
+                         (dir / "ub.f").string()});
+  ASSERT_EQ(r.rc, 0) << r.err;
+  EXPECT_TRUE(fs::exists(dir / "e.jsonl"));
+  EXPECT_FALSE(fs::exists(dir / "m.events.jsonl"));
+  fs::remove_all(dir);
+}
+
+TEST(AracCli, ProfileWritesAFoldedFile) {
+  const fs::path dir = write_ledger_units("arac_profile_test");
+  const fs::path folded = dir / "p.folded";
+  const CliRun r = arac({"--quiet", "--profile", folded.string(), "--profile-interval-us",
+                         "50", workload("fig10_matrix.c")});
+  ASSERT_EQ(r.rc, 0) << r.err;
+  ASSERT_TRUE(fs::exists(folded));
+  // Samples are timing-dependent, so only the shape is asserted: every
+  // non-empty line is "stack count". (run_ledger_cli.cmake pins non-empty
+  // output on the 20-unit LU workload.)
+  std::istringstream in(slurp(folded));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    for (const char c : line.substr(space + 1)) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(AracCli, BadProfileIntervalIsUsageError) {
+  const CliRun r = arac({"--profile-interval-us", "nope", workload("fig10_matrix.c")});
+  EXPECT_EQ(r.rc, 1);
+  const CliRun missing = arac({"--metrics-out"});
+  EXPECT_EQ(missing.rc, 1);
+}
+
 TEST(AracCli, NoIpaSkipsInterproceduralRows) {
   const CliRun with = arac({workload("fig1_add.f")});
   const CliRun without = arac({"--no-ipa", workload("fig1_add.f")});

@@ -1,0 +1,179 @@
+// The arareport regression-diff engine, exercised in-process through
+// run_arareport (the run_arac pattern): schema handling for stats/metrics/
+// bench documents, direction semantics (lower/higher/exact/neutral),
+// threshold and per-metric overrides, the exit-code contract, and the
+// headline acceptance — an injected slowdown must be flagged.
+#include "obs/regress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ara::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArareportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "ara_arareport_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& content) {
+    const fs::path p = dir_ / name;
+    std::ofstream(p) << content;
+    return p.string();
+  }
+
+  int run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return run_arareport(args, out_, err_);
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+/// A minimal ara.bench.v1 document with one explicit-direction metric.
+std::string bench_doc(double value, const char* better) {
+  std::ostringstream os;
+  os << "{\"schema\": \"ara.bench.v1\", \"bench\": \"t\", \"workload\": \"w\",\n"
+     << " \"metrics\": {\"probe\": {\"value\": " << value << ", \"unit\": \"ms\", \"better\": \""
+     << better << "\"}}}\n";
+  return os.str();
+}
+
+TEST_F(ArareportTest, HelpExitsCleanAndPrintsUsage) {
+  EXPECT_EQ(run({"--help"}), 0);
+  EXPECT_NE(out_.str().find("usage: arareport"), std::string::npos);
+}
+
+TEST_F(ArareportTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run({}), 2);
+  EXPECT_EQ(run({"--bogus", "a.json", "b.json"}), 2);
+  EXPECT_EQ(run({"only_one.json"}), 2);
+  EXPECT_EQ(run({"--threshold", "nope", "a.json", "b.json"}), 2);
+  EXPECT_EQ(run({"--metric", "no_equals", "a.json", "b.json"}), 2);
+  EXPECT_EQ(run({"--threshold"}), 2) << "--threshold without a value";
+}
+
+TEST_F(ArareportTest, ParseErrorsExitTwo) {
+  const std::string good = write("good.json", bench_doc(1.0, "lower"));
+  EXPECT_EQ(run({write("bad.json", "{not json"), good}), 2);
+  EXPECT_EQ(run({write("noschema.json", "{\"metrics\": {}}"), good}), 2);
+  EXPECT_NE(err_.str().find("schema"), std::string::npos);
+  EXPECT_EQ(run({write("odd.json", "{\"schema\": \"ara.unknown.v9\"}"), good}), 2);
+  EXPECT_EQ(run({dir_ / "absent.json", good}), 2);
+}
+
+TEST_F(ArareportTest, IdenticalFilesAreClean) {
+  const std::string a = write("a.json", bench_doc(100.0, "lower"));
+  const std::string b = write("b.json", bench_doc(100.0, "lower"));
+  EXPECT_EQ(run({"--check", a, b}), 0);
+  EXPECT_NE(out_.str().find("0 regressions"), std::string::npos);
+}
+
+TEST_F(ArareportTest, InjectedSlowdownIsFlagged) {
+  // The ISSUE acceptance: a 2x slowdown on a lower-is-better metric must
+  // fail the gate.
+  const std::string base = write("base.json", bench_doc(100.0, "lower"));
+  const std::string slow = write("slow.json", bench_doc(200.0, "lower"));
+  EXPECT_EQ(run({"--check", base, slow}), 1);
+  EXPECT_NE(out_.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(out_.str().find("+100.0%"), std::string::npos);
+  // Without --check the diff is informational: same table, exit 0.
+  EXPECT_EQ(run({base, slow}), 0);
+  EXPECT_NE(out_.str().find("REGRESSION"), std::string::npos);
+}
+
+TEST_F(ArareportTest, DefaultThresholdToleratesSmallDrift) {
+  const std::string base = write("base.json", bench_doc(100.0, "lower"));
+  const std::string close = write("close.json", bench_doc(105.0, "lower"));
+  EXPECT_EQ(run({"--check", base, close}), 0) << "+5% is within the default 10%";
+  EXPECT_EQ(run({"--check", "--threshold", "1", base, close}), 1)
+      << "+5% exceeds --threshold 1";
+}
+
+TEST_F(ArareportTest, HigherIsBetterRegressesDownward) {
+  const std::string base = write("base.json", bench_doc(4.0, "higher"));
+  const std::string worse = write("worse.json", bench_doc(2.0, "higher"));
+  const std::string better = write("better.json", bench_doc(8.0, "higher"));
+  EXPECT_EQ(run({"--check", base, worse}), 1);
+  EXPECT_EQ(run({"--check", base, better}), 0);
+  EXPECT_NE(out_.str().find("improved"), std::string::npos);
+}
+
+TEST_F(ArareportTest, ExactMetricsFailOnAnyChange) {
+  const std::string base = write("base.json", bench_doc(942.0, "exact"));
+  EXPECT_EQ(run({"--check", base, write("same.json", bench_doc(942.0, "exact"))}), 0);
+  EXPECT_EQ(run({"--check", base, write("off1.json", bench_doc(943.0, "exact"))}), 1)
+      << "exact metrics have no tolerance";
+}
+
+TEST_F(ArareportTest, VanishedExactMetricIsMissing) {
+  const std::string base = write("base.json", bench_doc(7.0, "exact"));
+  const std::string other = write(
+      "other.json",
+      "{\"schema\": \"ara.bench.v1\", \"bench\": \"t\", \"workload\": \"w\",\n"
+      " \"metrics\": {\"renamed\": {\"value\": 7, \"better\": \"exact\"}}}\n");
+  EXPECT_EQ(run({"--check", base, other}), 1);
+  EXPECT_NE(out_.str().find("MISSING"), std::string::npos);
+  EXPECT_NE(out_.str().find("new"), std::string::npos) << "the renamed metric shows as new";
+}
+
+TEST_F(ArareportTest, NeutralMetricsNeverFailUnlessPromoted) {
+  const std::string base = write("base.json", bench_doc(10.0, "neutral"));
+  const std::string grown = write("grown.json", bench_doc(1000.0, "neutral"));
+  EXPECT_EQ(run({"--check", base, grown}), 0);
+  EXPECT_NE(out_.str().find("info"), std::string::npos);
+  // --metric NAME=PCT promotes a neutral metric to lower-is-better.
+  EXPECT_EQ(run({"--check", "--metric", "probe=50", base, grown}), 1);
+}
+
+TEST_F(ArareportTest, DirectionIsInferredFromBareMetricNames) {
+  const char* tmpl =
+      "{\"schema\": \"ara.bench.v1\", \"bench\": \"t\", \"workload\": \"w\",\n"
+      " \"metrics\": {\"analyze_ms\": %s, \"warm_speedup\": %s, \"plain\": %s}}\n";
+  char base_buf[256];
+  char cur_buf[256];
+  std::snprintf(base_buf, sizeof base_buf, tmpl, "100", "4.0", "1");
+  std::snprintf(cur_buf, sizeof cur_buf, tmpl, "300", "1.0", "999");
+  const std::string base = write("base.json", base_buf);
+  const std::string cur = write("cur.json", cur_buf);
+  EXPECT_EQ(run({"--check", base, cur}), 1);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("2 regressions"), std::string::npos)
+      << "_ms up and _speedup down regress; the unsuffixed counter is neutral:\n" << text;
+}
+
+TEST_F(ArareportTest, StatsDocumentsCompareCountersAndHistograms) {
+  const char* tmpl =
+      "{\"schema\": \"ara.stats.v2\", \"workload\": \"w\",\n"
+      " \"counters\": {\"serve.units\": %s},\n"
+      " \"histograms\": {\"serve.unit_parse_ns\": {\"count\": %s, \"p50\": %s, \"p99\": %s}}}\n";
+  char base_buf[512];
+  char cur_buf[512];
+  std::snprintf(base_buf, sizeof base_buf, tmpl, "20", "20", "1000", "5000");
+  std::snprintf(cur_buf, sizeof cur_buf, tmpl, "25", "25", "9000", "9000");
+  const std::string base = write("base.json", base_buf);
+  const std::string cur = write("cur.json", cur_buf);
+  // The counter drift is informational; the p50 blow-up is the regression.
+  EXPECT_EQ(run({"--check", base, cur}), 1);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("serve.unit_parse_ns.p50"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("info"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ara::obs

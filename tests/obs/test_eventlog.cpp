@@ -1,0 +1,228 @@
+// The per-unit lifecycle event log: deterministic merge ordering (ascending
+// unit, then lifecycle stage — byte-identical across --jobs values apart
+// from t_ns/lane), complete lifecycle coverage through the real batch
+// engine, the failure cross-reference, and the JSONL rendering.
+#include "obs/eventlog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "support/json.hpp"
+
+namespace ara::obs {
+namespace {
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    EventLog::instance().clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    EventLog::instance().clear();
+  }
+};
+
+serve::SourceBuffer unit(const std::string& name, int trip) {
+  return {name + ".f",
+          "subroutine " + name + "(x)\n"
+          "  integer, dimension(1:100) :: x\n"
+          "  integer :: i\n"
+          "  do i = 1, " + std::to_string(trip) + "\n"
+          "    x(i) = i\n"
+          "  end do\n"
+          "end subroutine " + name + "\n",
+          Language::Fortran};
+}
+
+std::vector<serve::SourceBuffer> six_units() {
+  std::vector<serve::SourceBuffer> sources;
+  for (int i = 0; i < 6; ++i) sources.push_back(unit("u" + std::to_string(i), 10 + i));
+  return sources;
+}
+
+/// The --jobs-stable identity of an event: everything except t_ns and lane,
+/// which are measurements of the particular run.
+using Key = std::tuple<std::uint32_t, std::string, std::string, std::string>;
+
+std::vector<Key> keys_of(const std::vector<EventRecord>& events) {
+  std::vector<Key> keys;
+  keys.reserve(events.size());
+  for (const EventRecord& e : events) {
+    keys.emplace_back(e.unit, e.unit_name, std::string(to_string(e.event)), e.detail);
+  }
+  return keys;
+}
+
+TEST_F(EventLogTest, LifecycleStagesFollowTheCanonicalOrder) {
+  EXPECT_EQ(lifecycle_stage(UnitEvent::Queued), 0u);
+  EXPECT_EQ(lifecycle_stage(UnitEvent::Started), 1u);
+  EXPECT_EQ(lifecycle_stage(UnitEvent::CacheHit), 2u);
+  EXPECT_EQ(lifecycle_stage(UnitEvent::CacheMiss), 2u);
+  EXPECT_EQ(lifecycle_stage(UnitEvent::Summarized), 3u);
+  EXPECT_EQ(lifecycle_stage(UnitEvent::Failed), 3u);
+  EXPECT_EQ(lifecycle_stage(UnitEvent::Linked), 4u);
+}
+
+TEST_F(EventLogTest, MergedSortsByUnitThenStageRegardlessOfRecordOrder) {
+  EventLog& log = EventLog::instance();
+  log.record(1, "b.f", UnitEvent::Started);
+  log.record(0, "a.f", UnitEvent::Queued);
+  log.record(1, "b.f", UnitEvent::Queued);
+  log.record(0, "a.f", UnitEvent::Started);
+  const auto events = log.merged();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].unit, 0u);
+  EXPECT_EQ(events[0].event, UnitEvent::Queued);
+  EXPECT_EQ(events[1].unit, 0u);
+  EXPECT_EQ(events[1].event, UnitEvent::Started);
+  EXPECT_EQ(events[2].unit, 1u);
+  EXPECT_EQ(events[2].event, UnitEvent::Queued);
+  EXPECT_EQ(events[3].unit, 1u);
+  EXPECT_EQ(events[3].event, UnitEvent::Started);
+}
+
+TEST_F(EventLogTest, ConcurrentRecordingMergesDeterministically) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint32_t kUnitsPerThread = 16;
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (std::uint32_t i = 0; i < kUnitsPerThread; ++i) {
+        const std::uint32_t u = t * kUnitsPerThread + i;
+        const std::string name = "u" + std::to_string(u);
+        EventLog::instance().record(u, name, UnitEvent::Queued);
+        EventLog::instance().record(u, name, UnitEvent::Started);
+        EventLog::instance().record(u, name, UnitEvent::Summarized);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto events = EventLog::instance().merged();
+  ASSERT_EQ(events.size(), kThreads * kUnitsPerThread * 3u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto a = std::make_pair(events[i - 1].unit, lifecycle_stage(events[i - 1].event));
+    const auto b = std::make_pair(events[i].unit, lifecycle_stage(events[i].event));
+    EXPECT_LT(a, b) << "merge order violated at index " << i;
+  }
+}
+
+TEST_F(EventLogTest, BatchRunCoversEveryUnitsFullLifecycle) {
+  const auto sources = six_units();
+  serve::BatchOptions opts;
+  opts.jobs = 4;
+  const serve::BatchResult r = serve::run_batch(sources, opts, "ledger");
+  ASSERT_TRUE(r.ok);
+
+  const auto events = EventLog::instance().merged();
+  ASSERT_EQ(events.size(), sources.size() * 5u)
+      << "expected queued/started/cache_miss/summarized/linked per unit";
+  for (std::size_t u = 0; u < sources.size(); ++u) {
+    const EventRecord* per_unit = &events[u * 5];
+    for (int s = 0; s < 5; ++s) {
+      EXPECT_EQ(per_unit[s].unit, u);
+      EXPECT_EQ(per_unit[s].unit_name, sources[u].name);
+      EXPECT_EQ(lifecycle_stage(per_unit[s].event), static_cast<std::uint32_t>(s));
+    }
+    EXPECT_EQ(per_unit[2].event, UnitEvent::CacheMiss);  // no cache dir: all misses
+    EXPECT_EQ(per_unit[3].event, UnitEvent::Summarized);
+    EXPECT_EQ(per_unit[4].event, UnitEvent::Linked);
+  }
+}
+
+TEST_F(EventLogTest, MergedOrderIsIdenticalAcrossJobCounts) {
+  const auto sources = six_units();
+  serve::BatchOptions opts;
+  opts.jobs = 1;
+  ASSERT_TRUE(serve::run_batch(sources, opts, "det").ok);
+  const std::vector<Key> serial = keys_of(EventLog::instance().merged());
+  ASSERT_FALSE(serial.empty());
+
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}}) {
+    EventLog::instance().clear();
+    opts.jobs = jobs;
+    ASSERT_TRUE(serve::run_batch(sources, opts, "det").ok);
+    EXPECT_EQ(keys_of(EventLog::instance().merged()), serial) << "--jobs " << jobs;
+  }
+}
+
+TEST_F(EventLogTest, FailedUnitRecordsFailureKindDetail) {
+  auto sources = six_units();
+  sources[2].text = "subroutine broken(\n";  // parse error
+  serve::BatchOptions opts;
+  opts.jobs = 2;
+  const serve::BatchResult r = serve::run_batch(sources, opts, "fail");
+  EXPECT_FALSE(r.ok);
+
+  bool saw_failed = false;
+  for (const EventRecord& e : EventLog::instance().merged()) {
+    if (e.event != UnitEvent::Failed) continue;
+    saw_failed = true;
+    EXPECT_EQ(e.unit, 2u);
+    EXPECT_EQ(e.unit_name, sources[2].name);
+    EXPECT_FALSE(e.detail.empty()) << "Failed events must carry the FailureKind";
+    // The failed unit must not also reach summarized or linked.
+    for (const EventRecord& other : EventLog::instance().merged()) {
+      if (other.unit != e.unit) continue;
+      EXPECT_NE(other.event, UnitEvent::Summarized);
+      EXPECT_NE(other.event, UnitEvent::Linked);
+    }
+  }
+  EXPECT_TRUE(saw_failed);
+}
+
+TEST_F(EventLogTest, JsonlRenderingHasValidHeaderAndOneObjectPerLine) {
+  EventLog& log = EventLog::instance();
+  log.record(0, "a.f", UnitEvent::Queued);
+  log.record(0, "a.f", UnitEvent::Started);
+  log.record(0, "a.f", UnitEvent::Failed, "compile");
+  const std::string text = write_events_jsonl(log.merged(), "unit-test");
+
+  std::istringstream in(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  std::string err;
+  const auto header = json::parse(line, &err);
+  ASSERT_TRUE(header.has_value()) << err;
+  EXPECT_EQ(header->find("schema")->string, "ara.events.v1");
+  EXPECT_EQ(header->find("run")->string, "unit-test");
+  EXPECT_DOUBLE_EQ(header->find("events")->number, 3.0);
+
+  std::size_t body_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto ev = json::parse(line, &err);
+    ASSERT_TRUE(ev.has_value()) << err << ": " << line;
+    for (const char* field : {"unit", "name", "event", "lane", "t_ns"}) {
+      EXPECT_NE(ev->find(field), nullptr) << field;
+    }
+    if (ev->find("event")->string == "failed") {
+      ASSERT_NE(ev->find("detail"), nullptr);
+      EXPECT_EQ(ev->find("detail")->string, "compile");
+    }
+    ++body_lines;
+  }
+  EXPECT_EQ(body_lines, 3u);
+}
+
+TEST_F(EventLogTest, DisabledRecordIsANoOpAndClearEmpties) {
+  set_enabled(false);
+  EventLog::instance().record(0, "a.f", UnitEvent::Queued);
+  EXPECT_TRUE(EventLog::instance().empty());
+  set_enabled(true);
+  EventLog::instance().record(0, "a.f", UnitEvent::Queued);
+  EXPECT_FALSE(EventLog::instance().empty());
+  EventLog::instance().clear();
+  EXPECT_TRUE(EventLog::instance().empty());
+  EXPECT_TRUE(EventLog::instance().merged().empty());
+}
+
+}  // namespace
+}  // namespace ara::obs

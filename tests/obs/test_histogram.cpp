@@ -1,0 +1,230 @@
+// Histogram bucket/merge/percentile math: the log-linear layout contract
+// (exact below 64, <= 1/32 relative error above, one overflow bucket), the
+// empty/single-sample/overflow edge cases, snapshot merging, and the
+// dormant no-op guarantee.
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace ara::obs {
+namespace {
+
+class HistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HistogramRegistry::instance().reset();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    HistogramRegistry::instance().reset();
+  }
+};
+
+// Registry entries live for the process (raw pointers, like counters), so
+// every histogram in this file is a TU-local static.
+ARA_HISTOGRAM(hist_a, "test.hist_a_ns", "histogram under test", "ns");
+ARA_HISTOGRAM(hist_b, "test.hist_b_ns", "second histogram", "ns");
+ARA_HISTOGRAM(hist_shared1, "test.hist_shared_ns", "shared name, first TU-local", "ns");
+ARA_HISTOGRAM(hist_shared2, "test.hist_shared_ns", "shared name, second TU-local", "ns");
+ARA_HISTOGRAM(hist_scoped, "test.hist_scoped_ns", "latency probe target", "ns");
+ARA_HISTOGRAM(hist_mt, "test.hist_mt_ns", "multithreaded recording", "ns");
+
+HistogramSnapshot snap(const Histogram& h) { return h.snapshot(); }
+
+TEST_F(HistogramTest, BucketIndexIsExactBelowSixtyFour) {
+  for (std::uint64_t v = 0; v < 2 * hist_detail::kSubCount; ++v) {
+    EXPECT_EQ(hist_detail::bucket_index(v), v);
+    EXPECT_EQ(hist_detail::bucket_lower(static_cast<std::uint32_t>(v)), v);
+  }
+}
+
+TEST_F(HistogramTest, BucketIndexIsMonotonicAndLowerBoundTight) {
+  std::uint32_t prev = 0;
+  for (std::uint64_t v = 1; v < (1ull << 20); v = v * 2 + (v % 3)) {
+    const std::uint32_t idx = hist_detail::bucket_index(v);
+    EXPECT_GE(idx, prev) << "bucket index must not decrease (v=" << v << ")";
+    prev = idx;
+    const std::uint64_t lower = hist_detail::bucket_lower(idx);
+    EXPECT_LE(lower, v);
+    // <= 1/32 relative error: the bucket's lower bound is within
+    // lower * (1 + 1/32) of the value.
+    EXPECT_LT(static_cast<double>(v - lower), static_cast<double>(lower) / 32.0 + 1.0)
+        << "v=" << v << " lower=" << lower;
+  }
+}
+
+TEST_F(HistogramTest, OverflowValuesShareTheLastBucket) {
+  const std::uint32_t last = hist_detail::kBucketCount - 1;
+  EXPECT_EQ(hist_detail::bucket_index(hist_detail::kOverflowValue), last);
+  EXPECT_EQ(hist_detail::bucket_index(hist_detail::kOverflowValue + 12345), last);
+  EXPECT_EQ(hist_detail::bucket_index(~0ull), last);
+  EXPECT_LT(hist_detail::bucket_index(hist_detail::kOverflowValue - 1), last);
+  EXPECT_EQ(hist_detail::bucket_lower(last), hist_detail::kOverflowValue);
+}
+
+TEST_F(HistogramTest, EmptyHistogramIsAllZero) {
+  const HistogramSnapshot s = snap(hist_a);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_TRUE(s.buckets.empty());
+  EXPECT_EQ(s.percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST_F(HistogramTest, SingleSampleIsExactAtEveryQuantile) {
+  hist_a.record(777);
+  const HistogramSnapshot s = snap(hist_a);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, 777u);
+  EXPECT_EQ(s.min, 777u);
+  EXPECT_EQ(s.max, 777u);
+  for (const double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(s.percentile(q), 777u) << "q=" << q;
+  }
+}
+
+TEST_F(HistogramTest, PercentilesAreExactInWidthOneBuckets) {
+  // 1..50 all land in exact buckets, so nearest-rank percentiles are exact.
+  for (std::uint64_t v = 1; v <= 50; ++v) hist_a.record(v);
+  const HistogramSnapshot s = snap(hist_a);
+  EXPECT_EQ(s.count, 50u);
+  EXPECT_EQ(s.percentile(0.5), 25u);
+  EXPECT_EQ(s.percentile(0.9), 45u);
+  EXPECT_EQ(s.percentile(0.99), 50u);
+  EXPECT_EQ(s.percentile(0.0), 1u);
+  EXPECT_EQ(s.percentile(1.0), 50u);
+  EXPECT_DOUBLE_EQ(s.mean(), 25.5);
+}
+
+TEST_F(HistogramTest, OverflowSampleClampsToObservedMax) {
+  const std::uint64_t huge = 1ull << 50;
+  hist_a.record(huge);
+  const HistogramSnapshot s = snap(hist_a);
+  EXPECT_EQ(s.max, huge);  // extrema are tracked exactly
+  // The overflow bucket's representative is kOverflowValue, but the clamp
+  // into [min, max] restores the exact single-sample answer.
+  EXPECT_EQ(s.percentile(0.99), huge);
+  ASSERT_EQ(s.buckets.size(), 1u);
+  EXPECT_EQ(s.buckets[0].first, hist_detail::kOverflowValue);
+}
+
+TEST_F(HistogramTest, MergeCombinesCountsAndExtrema) {
+  hist_a.record(10);
+  hist_a.record(1000);
+  hist_b.record(5);
+  hist_b.record(500000);
+  HistogramSnapshot s = snap(hist_a);
+  s.merge(snap(hist_b));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 10u + 1000u + 5u + 500000u);
+  EXPECT_EQ(s.min, 5u);
+  EXPECT_EQ(s.max, 500000u);
+  EXPECT_EQ(s.percentile(0.0), 5u);
+  EXPECT_EQ(s.percentile(1.0), 500000u);
+  // Bucket list stays sorted and deduplicated after the sparse merge.
+  for (std::size_t i = 1; i < s.buckets.size(); ++i) {
+    EXPECT_LT(s.buckets[i - 1].first, s.buckets[i].first);
+  }
+}
+
+TEST_F(HistogramTest, MergeWithEmptyIsIdentity) {
+  hist_a.record(42);
+  HistogramSnapshot s = snap(hist_a);
+  s.merge(snap(hist_b));  // hist_b empty
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 42u);
+  EXPECT_EQ(s.max, 42u);
+  HistogramSnapshot empty = snap(hist_b);
+  empty.merge(s);
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_EQ(empty.min, 42u);
+}
+
+TEST_F(HistogramTest, RegistryMergesHistogramsSharingAName) {
+  hist_shared1.record(1);
+  hist_shared2.record(63);
+  for (const HistogramSnapshot& s : HistogramRegistry::instance().snapshot(true)) {
+    if (s.name != "test.hist_shared_ns") continue;
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.min, 1u);
+    EXPECT_EQ(s.max, 63u);
+    return;
+  }
+  FAIL() << "merged test.hist_shared_ns not found in registry snapshot";
+}
+
+TEST_F(HistogramTest, DisabledRecordIsANoOp) {
+  set_enabled(false);
+  hist_a.record(123);
+  EXPECT_EQ(snap(hist_a).count, 0u);
+  set_enabled(true);
+  hist_a.record(123);
+  EXPECT_EQ(snap(hist_a).count, 1u);
+}
+
+TEST_F(HistogramTest, ResetZeroesSamplesButKeepsRegistration) {
+  hist_a.record(9);
+  HistogramRegistry::instance().reset();
+  EXPECT_EQ(snap(hist_a).count, 0u);
+  hist_a.record(10);
+  EXPECT_EQ(snap(hist_a).count, 1u);
+}
+
+TEST_F(HistogramTest, ScopedLatencyRecordsOneSample) {
+  { ScopedLatency probe(hist_scoped); }
+  const HistogramSnapshot s = snap(hist_scoped);
+  EXPECT_EQ(s.count, 1u);
+  set_enabled(false);
+  { ScopedLatency probe(hist_scoped); }
+  set_enabled(true);
+  EXPECT_EQ(snap(hist_scoped).count, 1u) << "disabled ScopedLatency must not record";
+}
+
+TEST_F(HistogramTest, ConcurrentRecordingLosesNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist_mt.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot s = snap(hist_mt);
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, static_cast<std::uint64_t>(kThreads * kPerThread - 1));
+}
+
+TEST_F(HistogramTest, MetricsJsonIsValidAndCarriesPercentiles) {
+  hist_a.record(100);
+  hist_a.record(200);
+  const std::string text = write_metrics_json("unit");
+  std::string err;
+  const auto v = json::parse(text, &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_EQ(v->find("schema")->string, "ara.metrics.v1");
+  const json::Value* hists = v->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* h = hists->find("test.hist_a_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->number, 2.0);
+  for (const char* field : {"sum", "min", "max", "mean", "p50", "p90", "p99"}) {
+    EXPECT_NE(h->find(field), nullptr) << field;
+  }
+}
+
+}  // namespace
+}  // namespace ara::obs

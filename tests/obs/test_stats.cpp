@@ -73,7 +73,7 @@ TEST_F(StatsTest, StatsJsonIsValidAndCarriesCounters) {
   std::string err;
   const auto v = json::parse(text, &err);
   ASSERT_TRUE(v.has_value()) << err;
-  EXPECT_EQ(v->find("schema")->string, "ara.stats.v1");
+  EXPECT_EQ(v->find("schema")->string, "ara.stats.v2");
   EXPECT_EQ(v->find("workload")->string, "unit");
   const json::Value* counters = v->find("counters");
   ASSERT_NE(counters, nullptr);
@@ -84,6 +84,8 @@ TEST_F(StatsTest, StatsJsonIsValidAndCarriesCounters) {
   for (std::size_t i = 1; i < counters->object.size(); ++i) {
     EXPECT_LT(counters->object[i - 1].first, counters->object[i].first);
   }
+  // v2 adds the histogram section (possibly empty) next to the counters.
+  EXPECT_NE(v->find("histograms"), nullptr);
 }
 
 }  // namespace

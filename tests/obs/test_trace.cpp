@@ -60,6 +60,7 @@ TEST_F(TraceTest, ChromeTraceIsValidAndWellNested) {
 
   double prev_ts = -1.0;
   std::set<std::string> names;
+  std::size_t metadata_events = 0;
   // Reconstruct nesting from ts/dur with a stack, exactly as chrome://tracing
   // does for "X" events on one tid.
   std::vector<const json::Value*> stack;
@@ -67,11 +68,23 @@ TEST_F(TraceTest, ChromeTraceIsValidAndWellNested) {
     ASSERT_TRUE(ev.is_object());
     const json::Value* name = ev.find("name");
     const json::Value* ph = ev.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      // Lane-naming metadata: thread_name with a string args.name, one per
+      // worker lane, emitted before any span event.
+      EXPECT_EQ(name->string, "thread_name");
+      EXPECT_EQ(prev_ts, -1.0) << "metadata events must precede all spans";
+      const json::Value* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("name"), nullptr);
+      EXPECT_FALSE(args->find("name")->string.empty());
+      ++metadata_events;
+      continue;
+    }
     const json::Value* ts = ev.find("ts");
     const json::Value* dur = ev.find("dur");
     const json::Value* tid = ev.find("tid");
-    ASSERT_NE(name, nullptr);
-    ASSERT_NE(ph, nullptr);
     ASSERT_NE(ts, nullptr);
     ASSERT_NE(dur, nullptr);
     ASSERT_NE(tid, nullptr);
@@ -106,6 +119,7 @@ TEST_F(TraceTest, ChromeTraceIsValidAndWellNested) {
                             "IPA-propagate", "build-rows", "export"}) {
     EXPECT_TRUE(names.count(phase) == 1) << "missing phase span: " << phase;
   }
+  EXPECT_GE(metadata_events, 1u) << "expected a thread_name metadata event per lane";
 
   fs::remove_all(dir);
 }

@@ -1,0 +1,30 @@
+# perf-smoke gate: regenerate BENCH_pipeline.json from the shipped bench
+# binary and diff it against the committed baseline with arareport --check.
+# The baseline carries only exact inventory metrics (procedures, rows,
+# bytes), so the gate flags silent behavior drift without flaking on the
+# host's timing noise — timing metrics in the fresh record show up as
+# informational "new" rows.
+#   cmake -DBENCH=... -DARAREPORT=... -DBASELINE=... -P run_perf_smoke.cmake
+execute_process(
+  COMMAND "${BENCH}" --json-only
+  RESULT_VARIABLE RC_BENCH
+  OUTPUT_VARIABLE BENCH_OUT)
+if(NOT RC_BENCH EQUAL 0)
+  message(FATAL_ERROR "bench --json-only failed (rc=${RC_BENCH}):\n${BENCH_OUT}")
+endif()
+
+get_filename_component(BENCH_DIR "${BENCH}" DIRECTORY)
+get_filename_component(BASELINE_NAME "${BASELINE}" NAME)
+set(CURRENT "${BENCH_DIR}/${BASELINE_NAME}")
+if(NOT EXISTS "${CURRENT}")
+  message(FATAL_ERROR "bench did not write ${CURRENT}")
+endif()
+
+execute_process(
+  COMMAND "${ARAREPORT}" --check "${BASELINE}" "${CURRENT}"
+  RESULT_VARIABLE RC_REPORT
+  OUTPUT_VARIABLE REPORT_OUT)
+message(STATUS "arareport:\n${REPORT_OUT}")
+if(NOT RC_REPORT EQUAL 0)
+  message(FATAL_ERROR "perf-smoke regression vs ${BASELINE} (rc=${RC_REPORT})")
+endif()

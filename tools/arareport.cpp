@@ -1,0 +1,21 @@
+// arareport — regression diff over run-ledger JSON artifacts (.stats.json,
+// --metrics-out files, BENCH_*.json). All logic lives in obs/regress.cpp so
+// the test suite can run the CLI in-process; this file only adapts argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/regress.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return ara::obs::run_arareport(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "arareport: internal error: " << e.what() << "\n";
+    return 2;
+  } catch (...) {
+    std::cerr << "arareport: internal error: unknown exception\n";
+    return 2;
+  }
+}
