@@ -38,6 +38,91 @@ LinSystem dense_system(std::size_t nvars, std::size_t ncons, unsigned seed) {
   return sys;
 }
 
+/// FM-stress corpus: the deep coupled-subscript / many-ivar shapes the fuzz
+/// grid generates, plus the cross-procedure repetition pattern (identical
+/// summaries analyzed again and again) that the Regions pipeline produces.
+/// Deterministic by construction — the corpus inventory metrics are exact
+/// reproducibility anchors for the perf gate.
+std::vector<LinSystem> fm_stress_corpus() {
+  std::vector<LinSystem> corpus;
+  // (a) Dense random systems (every constraint touches every variable).
+  for (std::size_t nvars = 3; nvars <= 6; ++nvars) {
+    for (unsigned seed = 1; seed <= 3; ++seed) {
+      corpus.push_back(dense_system(nvars, 4, seed));
+    }
+  }
+  // (b) Triangular chains x0 <= x1 <= ... <= xk with box bounds and one
+  // coupling row — the imperfect-nest shape (inner bounds reading outer
+  // ivars) that drives elimination-order sensitivity.
+  for (std::size_t depth = 4; depth <= 7; ++depth) {
+    LinSystem sys;
+    LinExpr coupling;
+    for (std::size_t v = 0; v < depth; ++v) {
+      const std::string name = "i" + std::to_string(v);
+      sys.add(make_ge(LinExpr::var(name), LinExpr(1)));
+      sys.add(make_le(LinExpr::var(name), LinExpr(60)));
+      if (v > 0) {
+        sys.add(make_le(LinExpr::var("i" + std::to_string(v - 1)), LinExpr::var(name)));
+      }
+      coupling += LinExpr::var(name, v % 2 == 0 ? 1 : -1);
+    }
+    sys.add(make_le(coupling, LinExpr(10)));
+    corpus.push_back(std::move(sys));
+  }
+  // (c) Coupled-subscript equality systems: the dependence-test shape
+  // (two renamed instances constrained equal), which FM resolves through
+  // the equality-substitution fast path and pair combination.
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    std::mt19937 rng(seed * 77);
+    std::uniform_int_distribution<std::int64_t> coef(-2, 2);
+    LinSystem sys;
+    for (const char* suffix : {"!1", "!2"}) {
+      for (std::size_t v = 0; v < 3; ++v) {
+        const std::string name = "i" + std::to_string(v) + suffix;
+        sys.add(make_ge(LinExpr::var(name), LinExpr(0)));
+        sys.add(make_le(LinExpr::var(name), LinExpr(30)));
+      }
+    }
+    for (std::size_t d = 0; d < 2; ++d) {
+      LinExpr diff;
+      for (std::size_t v = 0; v < 3; ++v) {
+        const std::int64_t c = coef(rng);
+        diff += LinExpr::var("i" + std::to_string(v) + "!1", c);
+        diff -= LinExpr::var("i" + std::to_string(v) + "!2", c == 0 ? 1 : c);
+      }
+      diff += LinExpr(coef(rng));
+      sys.add(Constraint{std::move(diff), Constraint::Rel::Eq0});
+    }
+    sys.add(make_le(LinExpr::var("i0!1") + LinExpr(1), LinExpr::var("i0!2")));
+    corpus.push_back(std::move(sys));
+  }
+  // (d) The cross-procedure repetition pattern: each distinct system above
+  // re-appears three more times, the way identical callee summaries are
+  // re-projected at every call site.
+  const std::size_t distinct = corpus.size();
+  for (int copy = 0; copy < 3; ++copy) {
+    for (std::size_t i = 0; i < distinct; ++i) corpus.push_back(corpus[i]);
+  }
+  return corpus;
+}
+
+/// Runs the stress corpus once: every system answers feasible(), then the
+/// lowest-named variable's const_bounds (the to_region projection pattern).
+/// Returns (feasible count, bounded count) — exact anchors.
+std::pair<std::size_t, std::size_t> run_stress_pass(const std::vector<LinSystem>& corpus) {
+  std::size_t feasible = 0;
+  std::size_t bounded = 0;
+  for (const LinSystem& sys : corpus) {
+    if (sys.feasible()) ++feasible;
+    const auto vars = sys.variables();
+    if (!vars.empty()) {
+      const auto b = sys.const_bounds(vars.front());
+      if (b.lower && b.upper) ++bounded;
+    }
+  }
+  return {feasible, bounded};
+}
+
 void print_reproduction(const char* argv0) {
   ara::bench::BenchJson json("fm_scaling", "dense-random");
   std::printf("=== FM scaling (the §III cost note) ===\n");
@@ -59,6 +144,30 @@ void print_reproduction(const char* argv0) {
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
   benchmark::DoNotOptimize(big_feasible);
   json.metric("feasible6x6_ms", feasible_ms, "ms", "lower");
+
+  // FM-stress corpus: the perf-smoke gate's throughput anchor. Inventory
+  // metrics are exact (any drift is a behavior change); the timing pair is
+  // the regression gate proper.
+  const std::vector<LinSystem> corpus = fm_stress_corpus();
+  const auto [feasible_n, bounded_n] = run_stress_pass(corpus);  // warm-up + anchors
+  constexpr int kStressReps = 8;
+  const auto s0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kStressReps; ++rep) {
+    const auto again = run_stress_pass(corpus);
+    benchmark::DoNotOptimize(again.first + again.second);
+  }
+  const double stress_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - s0).count();
+  const double per_sec =
+      stress_ms > 0.0 ? corpus.size() * kStressReps / (stress_ms / 1000.0) : 0.0;
+  std::printf("  FM-stress corpus: %zu systems, %zu feasible, %zu bounded, %.1f ms "
+              "(%.0f systems/sec)\n",
+              corpus.size(), feasible_n, bounded_n, stress_ms, per_sec);
+  json.metric("fm_stress_systems", static_cast<double>(corpus.size()), "count", "exact");
+  json.metric("fm_stress_feasible", static_cast<double>(feasible_n), "count", "exact");
+  json.metric("fm_stress_bounded", static_cast<double>(bounded_n), "count", "exact");
+  json.metric("fm_stress_ms", stress_ms, "ms", "lower");
+  json.metric("fm_stress_sys_per_sec", per_sec, "count", "higher");
   json.write_next_to(argv0);
   std::printf("  (timings below show the super-linear growth in vars)\n\n");
 }

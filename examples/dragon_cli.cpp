@@ -16,6 +16,7 @@
 //     --export <dir>     write <dir>/project.{rgn,dgn,cfg}
 //     --hotspots         rank arrays by access density
 //     --autopar          dependence-test every outermost loop (APO view)
+//     --jobs <n>         worker threads for --autopar dependence testing
 //     --view <file>      syntax-highlighted listing (use with --find)
 //     --interactive      read commands from stdin (the paper's "interactive
 //                        system"): scopes | scope <p> | find <a> | grep <t> |
@@ -23,6 +24,7 @@
 //
 // With no sources, analyzes the bundled NAS-LU workload.
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
   bool hotspots = false;
   bool autopar = false;
   bool interactive = false;
+  std::size_t jobs = 1;
   std::vector<std::string> sources;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +90,9 @@ int main(int argc, char** argv) {
       autopar = true;
     } else if (arg == "--interactive") {
       interactive = true;
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::strtoul(next().c_str(), nullptr, 10));
+      if (jobs == 0) jobs = 1;
     } else {
       sources.push_back(arg);
     }
@@ -162,7 +168,7 @@ int main(int argc, char** argv) {
         }
       } else if (cmd == "autopar") {
         for (const auto& loop :
-             ara::lno::find_parallel_loops(cc.program(), result.callgraph)) {
+             ara::lno::find_parallel_loops(cc.program(), result.callgraph, jobs)) {
           std::cout << "  " << loop.proc << ':' << loop.line << "  "
                     << ara::lno::to_string(loop.verdict) << '\n';
         }
@@ -209,7 +215,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (autopar) {
-    for (const auto& loop : ara::lno::find_parallel_loops(cc.program(), result.callgraph)) {
+    for (const auto& loop :
+         ara::lno::find_parallel_loops(cc.program(), result.callgraph, jobs)) {
       std::cout << loop.proc << ':' << loop.line << " do " << loop.index_var << "  "
                 << ara::lno::to_string(loop.verdict);
       if (!loop.directive.empty()) std::cout << "  -> insert " << loop.directive;

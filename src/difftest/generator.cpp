@@ -225,7 +225,7 @@ Sub Generator::gen_sub(const DimModel& dim, Scope& scope) {
     }
   }
   // Two coupled induction variables (coefficients +-1 each).
-  if (vars.size() >= 2 && rng_.chance(22)) {
+  if (vars.size() >= 2 && rng_.chance(o_.coupled_pct)) {
     const std::size_t i1 = static_cast<std::size_t>(
         rng_.range(0, static_cast<int64_t>(vars.size()) - 1));
     std::size_t i2 = static_cast<std::size_t>(
@@ -418,7 +418,8 @@ GStmt Generator::gen_store_scalar(Scope& scope) {
 std::vector<GStmt> Generator::gen_body(Scope& scope, int budget, int depth) {
   std::vector<GStmt> out;
   for (int i = 0; i < budget; ++i) {
-    const bool can_loop = depth < 3 && scope.loop_vars.size() < 4;
+    const bool can_loop = depth < o_.max_loop_depth &&
+                          scope.loop_vars.size() < static_cast<std::size_t>(o_.max_loop_vars);
     const bool can_if = o_.conditionals && !scope.loop_vars.empty() && depth < 4;
     const int64_t pick = rng_.range(0, 99);
     if (can_loop && (pick < 45 || scope.loop_vars.empty())) {

@@ -64,6 +64,16 @@ struct GenOptions {
   bool conditionals = true;           // if-guarded accesses (MAY regions)
   bool indirect = true;               // a(x(i)) subscripted subscripts
   bool symbolic_limits = true;        // loop limits through scalar variables
+
+  // FM-stress knobs: deeper nests keeping more induction variables live and
+  // a higher coupled-subscript rate — the shapes that maximize Fourier–
+  // Motzkin elimination work (deep dependence systems, long elimination
+  // chains). The defaults equal the pre-knob hard-coded values, so every
+  // existing seed keeps generating byte-identical programs; arafuzz
+  // --stress-fm raises them.
+  int max_loop_depth = 3;  // loop-nesting cap
+  int max_loop_vars = 4;   // live induction-variable cap
+  int coupled_pct = 22;    // chance (%) a subscript couples two ivars
 };
 
 struct GeneratedProgram {

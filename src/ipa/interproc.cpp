@@ -42,15 +42,17 @@ InterprocAnalyzer::CalleeInfo InterprocAnalyzer::collect_info(ir::StIdx proc_st)
 }
 
 Region translate_region(const Region& r,
-                        const std::map<std::string, std::optional<LinExpr>>& subst,
-                        const std::map<std::string, bool>& callee_locals) {
+                        const std::map<std::string, std::optional<LinExpr>, std::less<>>& subst,
+                        const std::map<std::string, bool, std::less<>>& callee_locals) {
   Region out;
   for (const DimAccess& d : r.dims()) {
     auto translate_bound = [&](const Bound& b) -> Bound {
       if (!b.known()) return b;
       LinExpr e = b.expr;
-      // Substitute formal scalars; poison callee locals.
-      for (const auto& [name, coef] : b.expr.terms()) {
+      // Substitute formal scalars; poison callee locals. named_terms() keeps
+      // the map era's name-sorted substitution order, which is observable
+      // when two formals' actuals mention each other's names.
+      for (const auto& [name, coef] : b.expr.named_terms()) {
         if (const auto it = subst.find(name); it != subst.end()) {
           if (!it->second) return Bound::unprojected();
           e = e.substituted(name, *it->second);
@@ -99,7 +101,7 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
     }
 
     // Formal-scalar substitution environment.
-    std::map<std::string, std::optional<LinExpr>> subst;
+    std::map<std::string, std::optional<LinExpr>, std::less<>> subst;
     for (const auto& [name, pos] : callee_info.formal_scalar_pos) {
       if (pos < actuals.size() && actuals[pos] != nullptr) {
         subst[name] = wn_to_affine(*actuals[pos], program_.symtab);

@@ -24,8 +24,8 @@ namespace ara::ipa {
 /// both must translate regions identically for their outputs to agree.
 [[nodiscard]] regions::Region translate_region(
     const regions::Region& r,
-    const std::map<std::string, std::optional<regions::LinExpr>>& subst,
-    const std::map<std::string, bool>& callee_locals);
+    const std::map<std::string, std::optional<regions::LinExpr>, std::less<>>& subst,
+    const std::map<std::string, bool, std::less<>>& callee_locals);
 
 struct InterprocResult {
   /// Transitive side effects per call-graph node index.
@@ -54,7 +54,7 @@ class InterprocAnalyzer {
   struct CalleeInfo {
     std::vector<ir::StIdx> formals;               // by position (0-based)
     std::map<std::string, std::size_t> formal_scalar_pos;  // lowercase name -> position
-    std::map<std::string, bool> local_scalar;     // lowercase names of local scalars
+    std::map<std::string, bool, std::less<>> local_scalar;  // lowercase names of local scalars
   };
 
   [[nodiscard]] CalleeInfo collect_info(ir::StIdx proc_st) const;

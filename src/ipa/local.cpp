@@ -180,17 +180,17 @@ regions::DimAccess LocalAnalyzer::project_subscript(LinExpr subscript,
     // expression: summing a loop's bounds into the subscript can cancel an
     // outer variable's direct coefficient (e.g. i - j with j = i..N folds to
     // a constant), hiding a genuinely two-variable subscript from the count.
-    std::set<std::string, std::less<>> dep;
-    for (const auto& [name, c] : subscript.terms()) dep.insert(name);
+    std::set<support::VarId> dep;
+    for (const regions::Term& t : subscript.terms()) dep.insert(t.id);
     for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
-      if (dep.find(it->var) == dep.end()) continue;
+      if (dep.find(support::intern_var(it->var)) == dep.end()) continue;
       ++nvars;
       if (!it->affine()) {
         stat_messy_dims.bump();
         return DimAccess{Bound::messy(), Bound::messy(), 1};
       }
-      for (const auto& [name, c] : it->init->terms()) dep.insert(name);
-      for (const auto& [name, c] : it->limit->terms()) dep.insert(name);
+      for (const regions::Term& t : it->init->terms()) dep.insert(t.id);
+      for (const regions::Term& t : it->limit->terms()) dep.insert(t.id);
     }
   }
 

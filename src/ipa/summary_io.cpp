@@ -71,7 +71,7 @@ std::optional<std::uint64_t> read_u64(std::string_view tok) {
 
 std::string write_linexpr(const LinExpr& e) {
   std::string out = std::to_string(e.constant());
-  for (const auto& [name, coef] : e.terms()) {
+  for (const auto& [name, coef] : e.named_terms()) {
     out += ',';
     out += name;
     out += '*';

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ipa/wn_affine.hpp"
+#include "serve/threadpool.hpp"
 #include "support/string_utils.hpp"
 
 namespace ara::lno {
@@ -287,17 +288,31 @@ LoopAnalysis analyze_loop(const WN& loop, const ipa::CGNode& node, const ir::Pro
 }
 
 std::vector<LoopAnalysis> find_parallel_loops(const ir::Program& program,
-                                              const ipa::CallGraph& cg) {
-  std::vector<LoopAnalysis> out;
+                                              const ipa::CallGraph& cg, std::size_t jobs) {
+  // Discovery is cheap and stays serial so the loop order (and therefore the
+  // report order) never depends on scheduling; only the per-loop dependence
+  // analysis — where all the Fourier–Motzkin time goes — fans out.
+  std::vector<std::pair<const WN*, const ipa::CGNode*>> loops;
   for (std::uint32_t n = 0; n < cg.size(); ++n) {
     const ipa::CGNode& node = cg.node(n);
     if (!node.proc->tree) continue;
     node.proc->tree->walk([&](const WN& wn) {
       if (wn.opr() != Opr::DoLoop) return true;
-      out.push_back(analyze_loop(wn, node, program));
+      loops.emplace_back(&wn, &node);
       return false;  // outermost loops only
     });
   }
+  std::vector<LoopAnalysis> out(loops.size());
+  if (jobs == 1 || loops.size() < 2) {
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      out[i] = analyze_loop(*loops[i].first, *loops[i].second, program);
+    }
+    return out;
+  }
+  serve::ThreadPool pool(jobs);
+  pool.parallel_for(loops.size(), [&](std::size_t i) {
+    out[i] = analyze_loop(*loops[i].first, *loops[i].second, program);
+  });
   return out;
 }
 

@@ -47,8 +47,13 @@ struct LoopAnalysis {
 [[nodiscard]] LoopAnalysis analyze_loop(const ir::WN& loop, const ipa::CGNode& node,
                                         const ir::Program& program);
 
-/// Analyzes every outermost loop of every procedure.
+/// Analyzes every outermost loop of every procedure. Each loop's dependence
+/// systems are independent, so with `jobs` > 1 the Fourier–Motzkin work fans
+/// out over a serve::ThreadPool; results land in a pre-sized slot per loop,
+/// so the output vector — and every byte derived from it — is identical for
+/// every jobs count. `jobs` == 1 (the default) runs inline with no pool.
 [[nodiscard]] std::vector<LoopAnalysis> find_parallel_loops(const ir::Program& program,
-                                                            const ipa::CallGraph& cg);
+                                                            const ipa::CallGraph& cg,
+                                                            std::size_t jobs = 1);
 
 }  // namespace ara::lno

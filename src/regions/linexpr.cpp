@@ -1,40 +1,66 @@
 #include "regions/linexpr.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace ara::regions {
 
-LinExpr LinExpr::var(std::string name, std::int64_t coef) {
+using support::VarId;
+
+void TermVec::grow(std::uint32_t need) {
+  std::uint32_t cap = cap_ * 2;
+  while (cap < need) cap *= 2;
+  Term* fresh = new Term[cap];
+  const Term* d = data();
+  for (std::uint32_t i = 0; i < size_; ++i) fresh[i] = d[i];
+  delete[] heap_;
+  heap_ = fresh;
+  cap_ = cap;
+}
+
+void TermVec::insert_at(std::size_t pos, Term t) {
+  if (size_ == cap_) grow(size_ + 1);
+  Term* d = data();
+  for (std::size_t i = size_; i > pos; --i) d[i] = d[i - 1];
+  d[pos] = t;
+  ++size_;
+}
+
+LinExpr LinExpr::var(std::string_view name, std::int64_t coef) {
   LinExpr e;
-  if (coef != 0) e.terms_.emplace(std::move(name), coef);
+  if (coef != 0) e.terms_.accumulate(support::intern_var(name), coef);
+  return e;
+}
+
+LinExpr LinExpr::var(VarId id, std::int64_t coef) {
+  LinExpr e;
+  if (coef != 0) e.terms_.accumulate(id, coef);
   return e;
 }
 
 std::int64_t LinExpr::coef(std::string_view name) const {
-  const auto it = terms_.find(std::string(name));
-  return it == terms_.end() ? 0 : it->second;
+  if (terms_.empty()) return 0;
+  return coef(support::intern_var(name));
 }
 
-void LinExpr::prune(const std::string& name) {
-  const auto it = terms_.find(name);
-  if (it != terms_.end() && it->second == 0) terms_.erase(it);
+std::vector<std::pair<std::string_view, std::int64_t>> LinExpr::named_terms() const {
+  std::vector<std::pair<std::string_view, std::int64_t>> out;
+  out.reserve(terms_.size());
+  for (const Term& t : terms_) out.emplace_back(support::var_name(t.id), t.coef);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 LinExpr& LinExpr::operator+=(const LinExpr& rhs) {
   c0_ += rhs.c0_;
-  for (const auto& [name, c] : rhs.terms_) {
-    terms_[name] += c;
-    prune(name);
-  }
+  for (const Term& t : rhs.terms_) terms_.accumulate(t.id, t.coef);
   return *this;
 }
 
 LinExpr& LinExpr::operator-=(const LinExpr& rhs) {
   c0_ -= rhs.c0_;
-  for (const auto& [name, c] : rhs.terms_) {
-    terms_[name] -= c;
-    prune(name);
-  }
+  for (const Term& t : rhs.terms_) terms_.accumulate(t.id, -t.coef);
   return *this;
 }
 
@@ -45,15 +71,20 @@ LinExpr& LinExpr::operator*=(std::int64_t k) {
     return *this;
   }
   c0_ *= k;
-  for (auto& [name, c] : terms_) c *= k;
+  for (Term& t : terms_) t.coef *= k;
   return *this;
 }
 
 LinExpr LinExpr::substituted(std::string_view name, const LinExpr& repl) const {
-  const std::int64_t k = coef(name);
+  if (terms_.empty()) return *this;
+  return substituted(support::intern_var(name), repl);
+}
+
+LinExpr LinExpr::substituted(VarId id, const LinExpr& repl) const {
+  const std::int64_t k = coef(id);
   if (k == 0) return *this;
   LinExpr out = *this;
-  out.terms_.erase(std::string(name));
+  out.terms_.accumulate(id, -k);  // erase the substituted term
   out += repl * k;
   return out;
 }
@@ -61,10 +92,10 @@ LinExpr LinExpr::substituted(std::string_view name, const LinExpr& repl) const {
 std::optional<std::int64_t> LinExpr::evaluate(
     const std::map<std::string, std::int64_t>& env) const {
   std::int64_t v = c0_;
-  for (const auto& [name, c] : terms_) {
-    const auto it = env.find(name);
+  for (const Term& t : terms_) {
+    const auto it = env.find(std::string(support::var_name(t.id)));
     if (it == env.end()) return std::nullopt;
-    v += c * it->second;
+    v += t.coef * it->second;
   }
   return v;
 }
@@ -73,7 +104,7 @@ std::string LinExpr::str() const {
   if (is_constant()) return std::to_string(c0_);
   std::ostringstream os;
   bool first = true;
-  for (const auto& [name, c] : terms_) {
+  for (const auto& [name, c] : named_terms()) {
     if (first) {
       if (c == -1) {
         os << '-';

@@ -2,15 +2,151 @@
 // Subscript expressions, loop bounds and region bounds are all LinExprs; the
 // Regions method (§III) "groups array elements into a region using linear
 // constraints determined by the subscripts of arrays".
+//
+// Representation: terms are (VarId, coefficient) pairs in a small-size-
+// optimized vector, sorted ascending by interned VarId. Most subscripts have
+// <= 4 terms, so the inline buffer makes construction and arithmetic
+// allocation-free on the hot Fourier–Motzkin path. VarId order is a process-
+// local accident of intern order — every observable rendering (str(), the
+// summary serializer, elimination tie-breaking) goes through named_terms() /
+// name-sorted variable lists, which reproduce the lexicographic order the old
+// std::map<std::string,...> representation exposed, keeping all emitted bytes
+// identical. See docs/regions-internals.md.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/intern.hpp"
 
 namespace ara::regions {
+
+/// One linear term: coef * var(id). Kept sorted by id inside LinExpr; coef is
+/// never zero for a stored term.
+struct Term {
+  support::VarId id;
+  std::int64_t coef;
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// Sorted small-vector of Terms: inline storage for kInlineCap terms, heap
+/// spill beyond. Only the operations LinExpr needs — not a general container.
+class TermVec {
+ public:
+  TermVec() = default;
+  TermVec(const TermVec& other) { assign(other.data(), other.size_); }
+  TermVec(TermVec&& other) noexcept { steal(other); }
+  TermVec& operator=(const TermVec& other) {
+    if (this != &other) assign(other.data(), other.size_);
+    return *this;
+  }
+  TermVec& operator=(TermVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ~TermVec() { release(); }
+
+  [[nodiscard]] const Term* begin() const { return data(); }
+  [[nodiscard]] const Term* end() const { return data() + size_; }
+  [[nodiscard]] Term* begin() { return data(); }
+  [[nodiscard]] Term* end() { return data() + size_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() { size_ = 0; }
+
+  /// Index of `id`, or size() when absent. Linear scan: the vectors are tiny
+  /// and sorted, so this beats binary search and any hashing.
+  [[nodiscard]] std::size_t find(support::VarId id) const {
+    const Term* d = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (d[i].id >= id) return d[i].id == id ? i : size_;
+    }
+    return size_;
+  }
+
+  /// Adds `coef` to the term for `id`, inserting or erasing to keep the
+  /// sorted-by-id, no-zero-coef invariant.
+  void accumulate(support::VarId id, std::int64_t coef) {
+    if (coef == 0) return;
+    Term* d = data();
+    std::size_t pos = 0;
+    while (pos < size_ && d[pos].id < id) ++pos;
+    if (pos < size_ && d[pos].id == id) {
+      d[pos].coef += coef;
+      if (d[pos].coef == 0) erase_at(pos);
+      return;
+    }
+    insert_at(pos, Term{id, coef});
+  }
+
+  friend bool operator==(const TermVec& a, const TermVec& b) {
+    if (a.size_ != b.size_) return false;
+    const Term* da = a.data();
+    const Term* db = b.data();
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(da[i] == db[i])) return false;
+    }
+    return true;
+  }
+
+  static constexpr std::size_t kInlineCap = 4;
+
+ private:
+  [[nodiscard]] const Term* data() const { return heap_ ? heap_ : inline_; }
+  [[nodiscard]] Term* data() { return heap_ ? heap_ : inline_; }
+
+  void assign(const Term* src, std::uint32_t n) {
+    if (n > cap_) grow(n);
+    Term* d = data();
+    for (std::uint32_t i = 0; i < n; ++i) d[i] = src[i];
+    size_ = n;
+  }
+
+  void steal(TermVec& other) noexcept {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      cap_ = other.cap_;
+      other.heap_ = nullptr;
+      other.cap_ = kInlineCap;
+    } else {
+      heap_ = nullptr;
+      cap_ = kInlineCap;
+      for (std::uint32_t i = 0; i < other.size_; ++i) inline_[i] = other.inline_[i];
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = kInlineCap;
+    size_ = 0;
+  }
+
+  void grow(std::uint32_t need);
+  void insert_at(std::size_t pos, Term t);
+  void erase_at(std::size_t pos) {
+    Term* d = data();
+    for (std::size_t i = pos + 1; i < size_; ++i) d[i - 1] = d[i];
+    --size_;
+  }
+
+  Term inline_[kInlineCap] = {};
+  Term* heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInlineCap;
+};
 
 class LinExpr {
  public:
@@ -18,23 +154,42 @@ class LinExpr {
   explicit LinExpr(std::int64_t c) : c0_(c) {}
 
   /// coef * name
-  [[nodiscard]] static LinExpr var(std::string name, std::int64_t coef = 1);
+  [[nodiscard]] static LinExpr var(std::string_view name, std::int64_t coef = 1);
+  /// coef * var(id) — the allocation-free entry for already-interned ids.
+  [[nodiscard]] static LinExpr var(support::VarId id, std::int64_t coef = 1);
 
   [[nodiscard]] std::int64_t constant() const { return c0_; }
-  [[nodiscard]] const std::map<std::string, std::int64_t>& terms() const { return terms_; }
+
+  /// The terms in VarId order (an internal, process-local order). Use
+  /// named_terms() whenever the iteration order is observable.
+  [[nodiscard]] std::span<const Term> terms() const { return {terms_.begin(), terms_.size()}; }
+
+  /// (name, coef) pairs sorted lexicographically by name — the order the old
+  /// map-based representation iterated in, and the one serialization,
+  /// printing and substitution sweeps must keep. The views point into the
+  /// intern table (stable for the process lifetime).
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::int64_t>> named_terms() const;
 
   [[nodiscard]] bool is_constant() const { return terms_.empty(); }
   [[nodiscard]] bool is_zero() const { return is_constant() && c0_ == 0; }
 
   /// Coefficient of `name` (0 if absent).
   [[nodiscard]] std::int64_t coef(std::string_view name) const;
+  [[nodiscard]] std::int64_t coef(support::VarId id) const {
+    const std::size_t pos = terms_.find(id);
+    return pos == terms_.size() ? 0 : terms_.begin()[pos].coef;
+  }
   [[nodiscard]] bool references(std::string_view name) const { return coef(name) != 0; }
+  [[nodiscard]] bool references(support::VarId id) const { return coef(id) != 0; }
+
+  /// Accumulates coef * var(id) into this expression.
+  void add_term(support::VarId id, std::int64_t coef) { terms_.accumulate(id, coef); }
 
   /// True when every variable term satisfies `pred(name)`.
   template <typename Pred>
   [[nodiscard]] bool vars_all(Pred&& pred) const {
-    for (const auto& [name, c] : terms_) {
-      if (!pred(name)) return false;
+    for (const Term& t : terms_) {
+      if (!pred(support::var_name(t.id))) return false;
     }
     return true;
   }
@@ -49,23 +204,25 @@ class LinExpr {
   friend LinExpr operator*(std::int64_t k, LinExpr a) { return a *= k; }
   friend LinExpr operator-(LinExpr a) { return a *= -1; }
 
+  // Terms are canonical (sorted, no zero coefs), so memberwise equality is
+  // exact structural equality, same as the old map representation.
   friend bool operator==(const LinExpr&, const LinExpr&) = default;
 
   /// Replaces `name` with `repl` (which may itself be symbolic).
   [[nodiscard]] LinExpr substituted(std::string_view name, const LinExpr& repl) const;
+  [[nodiscard]] LinExpr substituted(support::VarId id, const LinExpr& repl) const;
 
   /// Evaluates under an environment; nullopt if a variable is unbound.
   [[nodiscard]] std::optional<std::int64_t> evaluate(
       const std::map<std::string, std::int64_t>& env) const;
 
   /// "2*i + j - 1"-style rendering; a pure constant prints its value.
+  /// Terms print in name order (byte-compatible with the map era).
   [[nodiscard]] std::string str() const;
 
  private:
-  void prune(const std::string& name);
-
   std::int64_t c0_ = 0;
-  std::map<std::string, std::int64_t> terms_;  // name -> nonzero coefficient
+  TermVec terms_;
 };
 
 }  // namespace ara::regions

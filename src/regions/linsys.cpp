@@ -1,9 +1,10 @@
 #include "regions/linsys.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
-#include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/histogram.hpp"
 #include "obs/stats.hpp"
@@ -42,34 +43,150 @@ void LinSystem::add_all(const LinSystem& other) {
   constraints_.insert(constraints_.end(), other.constraints_.begin(), other.constraints_.end());
 }
 
-std::vector<std::string> LinSystem::variables() const {
-  std::set<std::string> names;
+std::vector<support::VarId> LinSystem::variable_ids() const {
+  // Collect ids (cheap integer dedup), then order by *name*: elimination
+  // sequencing keys off this order and must match the map era exactly.
+  std::vector<support::VarId> ids;
   for (const Constraint& c : constraints_) {
-    for (const auto& [name, coef] : c.expr.terms()) names.insert(name);
+    for (const Term& t : c.expr.terms()) ids.push_back(t.id);
   }
-  return {names.begin(), names.end()};
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::sort(ids.begin(), ids.end(), [](support::VarId a, support::VarId b) {
+    return support::var_name(a) < support::var_name(b);
+  });
+  return ids;
+}
+
+std::vector<std::string> LinSystem::variables() const {
+  const std::vector<support::VarId> ids = variable_ids();
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (const support::VarId id : ids) names.emplace_back(support::var_name(id));
+  return names;
 }
 
 LinSystem LinSystem::eliminated(std::string_view name) const {
+  return eliminated(support::intern_var(name));
+}
+
+namespace {
+
+/// One memoized projection. `deltas` are the *structural* statistic
+/// increments the uncached computation would perform (substitution taken,
+/// pairs combined, growth cap applied) — replayed verbatim on every hit so
+/// the registered counters are run-count-invariant whether or not the cache
+/// is warm (tests/obs/test_determinism.cpp relies on exactly that).
+struct FmMemoEntry {
+  std::vector<std::uint64_t> key;
+  LinSystem result;
+  FmStatDeltas deltas;
+};
+
+/// Hit/miss tallies live in plain atomics, NOT in the stats registry: a warm
+/// cache makes them differ between otherwise-identical runs, which would
+/// break the counters-are-deterministic contract the registry promises.
+std::atomic<std::uint64_t> g_fm_memo_hits{0};
+std::atomic<std::uint64_t> g_fm_memo_misses{0};
+
+/// Canonical encoding of (system, eliminated var): the eliminated id, then
+/// each constraint's relation, constant and (id, coef) terms in storage
+/// order. Constraint order is part of the key on purpose — it is observable
+/// in the projection's constraint order.
+std::vector<std::uint64_t> fm_memo_key(const std::vector<Constraint>& cs, support::VarId id) {
+  std::vector<std::uint64_t> key;
+  key.reserve(2 + cs.size() * 4);
+  key.push_back(id);
+  key.push_back(cs.size());
+  for (const Constraint& c : cs) {
+    key.push_back(c.rel == Constraint::Rel::Eq0 ? 1 : 0);
+    key.push_back(static_cast<std::uint64_t>(c.expr.constant()));
+    key.push_back(c.expr.terms().size());
+    for (const Term& t : c.expr.terms()) {
+      key.push_back(t.id);
+      key.push_back(static_cast<std::uint64_t>(t.coef));
+    }
+  }
+  return key;
+}
+
+std::uint64_t fm_memo_hash(const std::vector<std::uint64_t>& key) {
+  // splitmix64-style mixing over the words.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t w : key) {
+    h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    std::uint64_t z = h;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  }
+  return h;
+}
+
+/// Per-thread cache (no locks, race-free under the serve pool by
+/// construction). One entry per hash bucket with full-key verification;
+/// a colliding key simply overwrites — correctness never depends on
+/// retention, only the replayed deltas and byte-equal results do.
+constexpr std::size_t kFmMemoMaxEntries = 8192;
+thread_local std::unordered_map<std::uint64_t, FmMemoEntry> t_fm_memo;
+
+}  // namespace
+
+std::uint64_t fm_memo_hits() { return g_fm_memo_hits.load(std::memory_order_relaxed); }
+std::uint64_t fm_memo_misses() { return g_fm_memo_misses.load(std::memory_order_relaxed); }
+void fm_memo_clear() {
+  t_fm_memo.clear();
+  g_fm_memo_hits.store(0, std::memory_order_relaxed);
+  g_fm_memo_misses.store(0, std::memory_order_relaxed);
+}
+
+LinSystem LinSystem::eliminated(support::VarId id) const {
   stat_fm_eliminations.bump();
   obs::ScopedLatency fm_latency(hist_fm_eliminate);
+
+  std::vector<std::uint64_t> key = fm_memo_key(constraints_, id);
+  const std::uint64_t h = fm_memo_hash(key);
+  if (const auto it = t_fm_memo.find(h); it != t_fm_memo.end() && it->second.key == key) {
+    const FmMemoEntry& e = it->second;
+    // Replay the structural deltas so counters match the uncached run.
+    stat_fm_substitutions.bump(e.deltas.substitutions);
+    stat_fm_pairs.bump(e.deltas.pairs);
+    stat_fm_capped.bump(e.deltas.capped);
+    g_fm_memo_hits.fetch_add(1, std::memory_order_relaxed);
+    return e.result;
+  }
+  g_fm_memo_misses.fetch_add(1, std::memory_order_relaxed);
+
+  FmMemoEntry entry;
+  LinSystem out = eliminated_uncached(id, entry.deltas);
+  stat_fm_substitutions.bump(entry.deltas.substitutions);
+  stat_fm_pairs.bump(entry.deltas.pairs);
+  stat_fm_capped.bump(entry.deltas.capped);
+  if (t_fm_memo.size() >= kFmMemoMaxEntries) t_fm_memo.clear();
+  entry.key = std::move(key);
+  entry.result = out;
+  t_fm_memo[h] = std::move(entry);
+  return out;
+}
+
+LinSystem LinSystem::eliminated_uncached(support::VarId id, FmStatDeltas& deltas) const {
   // If an equality has coefficient +/-1 on the variable, substitute — exact
   // and avoids the quadratic FM blowup.
   for (const Constraint& c : constraints_) {
     if (c.rel != Constraint::Rel::Eq0) continue;
-    const std::int64_t k = c.expr.coef(name);
+    const std::int64_t k = c.expr.coef(id);
     if (k != 1 && k != -1) continue;
     // k*name + rest == 0  =>  name == -rest/k == -k*rest (k is +/-1).
-    LinExpr rest = c.expr - LinExpr::var(std::string(name), k);
+    LinExpr rest = c.expr - LinExpr::var(id, k);
     const LinExpr value = rest * -k;
     LinSystem out;
     for (const Constraint& other : constraints_) {
       if (&other == &c) continue;
-      Constraint subst{other.expr.substituted(name, value), other.rel};
+      Constraint subst{other.expr.substituted(id, value), other.rel};
       out.add(std::move(subst));
     }
     out.simplify();
-    stat_fm_substitutions.bump();
+    deltas.substitutions = 1;
     return out;
   }
 
@@ -77,7 +194,7 @@ LinSystem LinSystem::eliminated(std::string_view name) const {
   std::vector<LinExpr> lowers;  // a < 0 : a*x + r <= 0
   LinSystem out;
   for (const Constraint& c : constraints_) {
-    const std::int64_t a = c.expr.coef(name);
+    const std::int64_t a = c.expr.coef(id);
     if (a == 0) {
       out.add(c);
       continue;
@@ -98,11 +215,11 @@ LinSystem LinSystem::eliminated(std::string_view name) const {
 
   // Combine each (upper, lower) pair: e1 = a*x + r1 (a>0), e2 = b*x + r2
   // (b<0). Then (-b)*e1 + a*e2 eliminates x: a*r2 - b*r1 <= 0.
-  stat_fm_pairs.bump(uppers.size() * lowers.size());
+  deltas.pairs = uppers.size() * lowers.size();
   for (const LinExpr& e1 : uppers) {
-    const std::int64_t a = e1.coef(name);
+    const std::int64_t a = e1.coef(id);
     for (const LinExpr& e2 : lowers) {
-      const std::int64_t b = e2.coef(name);
+      const std::int64_t b = e2.coef(id);
       const std::int64_t g = std::gcd(a, -b);
       LinExpr combined = e1 * ((-b) / g) + e2 * (a / g);
       out.add(Constraint{std::move(combined), Constraint::Rel::Le0});
@@ -113,7 +230,7 @@ LinSystem LinSystem::eliminated(std::string_view name) const {
   // make the system easier to satisfy, never refute a satisfiable one.
   if (out.constraints_.size() > kMaxConstraints) {
     out.constraints_.resize(kMaxConstraints);
-    stat_fm_capped.bump();
+    deltas.capped = 1;
   }
   return out;
 }
@@ -122,13 +239,14 @@ bool LinSystem::feasible() const {
   stat_feasibility.bump();
   LinSystem cur = *this;
   // Eliminate variables one at a time; order by fewest occurrences to keep
-  // the intermediate systems small (greedy min-fill heuristic).
+  // the intermediate systems small (greedy min-fill heuristic). Ties break
+  // by name order (variable_ids()), exactly as the map era did.
   while (true) {
-    auto vars = cur.variables();
+    const auto vars = cur.variable_ids();
     if (vars.empty()) break;
-    std::string best = vars.front();
+    support::VarId best = vars.front();
     std::size_t best_count = static_cast<std::size_t>(-1);
-    for (const std::string& v : vars) {
+    for (const support::VarId v : vars) {
       std::size_t count = 0;
       for (const Constraint& c : cur.constraints_) {
         if (c.expr.references(v)) ++count;
@@ -149,10 +267,11 @@ bool LinSystem::feasible() const {
 }
 
 LinSystem::ConstBounds LinSystem::const_bounds(std::string_view name) const {
+  const support::VarId id = support::intern_var(name);
   LinSystem cur = *this;
   while (true) {
-    auto vars = cur.variables();
-    std::erase(vars, std::string(name));
+    auto vars = cur.variable_ids();
+    std::erase(vars, id);
     if (vars.empty()) break;
     cur = cur.eliminated(vars.front());
   }
@@ -165,7 +284,7 @@ LinSystem::ConstBounds LinSystem::const_bounds(std::string_view name) const {
   };
   auto ceil_div = [&floor_div](std::int64_t a, std::int64_t b) { return -floor_div(-a, b); };
   for (const Constraint& c : cur.constraints_) {
-    const std::int64_t a = c.expr.coef(name);
+    const std::int64_t a = c.expr.coef(id);
     if (a == 0) continue;
     const std::int64_t r = c.expr.constant();
     if (a > 0 || c.rel == Constraint::Rel::Eq0) {
@@ -193,15 +312,12 @@ void LinSystem::simplify() {
   // over the integers).
   for (Constraint& c : constraints_) {
     std::int64_t g = 0;
-    for (const auto& [name, coef] : c.expr.terms()) {
-      g = std::gcd(g, coef < 0 ? -coef : coef);
+    for (const Term& t : c.expr.terms()) {
+      g = std::gcd(g, t.coef < 0 ? -t.coef : t.coef);
     }
     if (g > 1 && c.expr.constant() % g == 0) {
-      LinExpr scaled;
-      for (const auto& [name, coef] : c.expr.terms()) {
-        scaled += LinExpr::var(name, coef / g);
-      }
-      scaled += LinExpr(c.expr.constant() / g);
+      LinExpr scaled(c.expr.constant() / g);
+      for (const Term& t : c.expr.terms()) scaled.add_term(t.id, t.coef / g);
       c.expr = std::move(scaled);
     }
   }

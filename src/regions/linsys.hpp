@@ -25,6 +25,25 @@ struct Constraint {
   friend bool operator==(const Constraint&, const Constraint&) = default;
 };
 
+/// Structural statistic increments of one FM elimination (substitution
+/// taken, upper/lower pairs combined, growth cap applied). Captured by the
+/// uncached computation and replayed on every memo hit so the registered
+/// counters stay run-count-invariant (see docs/regions-internals.md).
+struct FmStatDeltas {
+  std::uint64_t substitutions = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t capped = 0;
+};
+
+/// Projection memo-cache introspection. Hit/miss tallies are process-wide
+/// plain atomics — deliberately NOT stats-registry counters, because cache
+/// warmth varies between otherwise-identical runs. The cache itself is
+/// per-thread; fm_memo_clear() empties the calling thread's cache and
+/// zeroes the tallies.
+[[nodiscard]] std::uint64_t fm_memo_hits();
+[[nodiscard]] std::uint64_t fm_memo_misses();
+void fm_memo_clear();
+
 /// a <= b
 [[nodiscard]] Constraint make_le(const LinExpr& a, const LinExpr& b);
 /// a >= b
@@ -44,14 +63,19 @@ class LinSystem {
   [[nodiscard]] std::size_t size() const { return constraints_.size(); }
   [[nodiscard]] bool empty() const { return constraints_.empty(); }
 
-  /// All variables referenced by any constraint, sorted.
+  /// All variables referenced by any constraint, sorted by name.
   [[nodiscard]] std::vector<std::string> variables() const;
+
+  /// Same set as ids, sorted by *name* (not id) — the order every
+  /// elimination-sequence decision uses, so results match the map era.
+  [[nodiscard]] std::vector<support::VarId> variable_ids() const;
 
   /// Fourier–Motzkin elimination of `name`: returns the projection of this
   /// system onto the remaining variables. Equalities with the variable are
   /// expanded into inequality pairs first (or substituted when the
   /// coefficient is +/-1, which is lossless and cheaper).
   [[nodiscard]] LinSystem eliminated(std::string_view name) const;
+  [[nodiscard]] LinSystem eliminated(support::VarId id) const;
 
   /// Rational feasibility via repeated FM elimination. False means the
   /// constraint set is certainly empty.
@@ -72,12 +96,13 @@ class LinSystem {
   template <typename Pred>
   [[nodiscard]] std::pair<std::optional<LinExpr>, std::optional<LinExpr>> unit_bounds(
       std::string_view name, Pred&& is_param) const {
+    const support::VarId vid = support::intern_var(name);
     std::optional<LinExpr> lo, hi;
     for (const Constraint& c : constraints_) {
-      const std::int64_t k = c.expr.coef(name);
+      const std::int64_t k = c.expr.coef(vid);
       if (k != 1 && k != -1) continue;
       // expr = k*name + rest; k=1: name <= -rest; k=-1: name >= rest.
-      LinExpr rest = c.expr - LinExpr::var(std::string(name), k);
+      LinExpr rest = c.expr - LinExpr::var(vid, k);
       if (!rest.vars_all(is_param)) continue;
       if (k == 1) {
         LinExpr ub = -rest;
@@ -123,6 +148,8 @@ class LinSystem {
   [[nodiscard]] std::string str() const;
 
  private:
+  [[nodiscard]] LinSystem eliminated_uncached(support::VarId id, FmStatDeltas& deltas) const;
+
   std::vector<Constraint> constraints_;
 };
 

@@ -48,7 +48,7 @@ struct LinkNode {
 struct CalleeInfo {
   std::vector<ir::StIdx> formals;  // by position (0-based)
   std::map<std::string, std::size_t> formal_scalar_pos;
-  std::map<std::string, bool> local_scalar;
+  std::map<std::string, bool, std::less<>> local_scalar;
 };
 
 ir::TyIdx make_ty(ir::SymbolTable& symtab, const SymInfo& s) {
@@ -359,7 +359,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
       stat_link_callsites.bump();
       const CalleeInfo& callee_info = infos[callee_node];
 
-      std::map<std::string, std::optional<LinExpr>> subst;
+      std::map<std::string, std::optional<LinExpr>, std::less<>> subst;
       for (const auto& [fname, pos] : callee_info.formal_scalar_pos) {
         if (pos < cs.actuals.size() && cs.actuals[pos].present) {
           subst[fname] = cs.actuals[pos].affine;

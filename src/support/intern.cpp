@@ -1,0 +1,53 @@
+#include "support/intern.hpp"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ara::support {
+namespace {
+
+// deque gives pointer stability for the stored names, so the string_views
+// handed out by var_name() and the map keys below never dangle on growth.
+struct InternTable {
+  std::shared_mutex mu;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, VarId> ids;
+};
+
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+VarId intern_var(std::string_view name) {
+  InternTable& t = table();
+  {
+    std::shared_lock lock(t.mu);
+    if (auto it = t.ids.find(name); it != t.ids.end()) return it->second;
+  }
+  std::unique_lock lock(t.mu);
+  if (auto it = t.ids.find(name); it != t.ids.end()) return it->second;
+  const VarId id = static_cast<VarId>(t.names.size());
+  t.names.emplace_back(name);
+  t.ids.emplace(std::string_view(t.names.back()), id);
+  return id;
+}
+
+std::string_view var_name(VarId id) {
+  InternTable& t = table();
+  std::shared_lock lock(t.mu);
+  return std::string_view(t.names[id]);
+}
+
+std::size_t interned_var_count() {
+  InternTable& t = table();
+  std::shared_lock lock(t.mu);
+  return t.names.size();
+}
+
+}  // namespace ara::support

@@ -1,0 +1,41 @@
+// Global variable-name interner. The region core (LinExpr/LinSystem and the
+// Fourier–Motzkin solver) identifies variables by small dense integer ids so
+// the hot arithmetic never touches std::string: term storage shrinks from a
+// string-keyed map node per coefficient to an inline (VarId, coef) pair, and
+// coefficient lookup becomes an integer scan instead of a string compare.
+// Strings survive only at the boundaries — parse-in (wn_to_affine, summary
+// deserialization) interns, print-out (LinExpr::str, summary serialization)
+// resolves names back — so every emitted byte (.rgn/.dgn/.cfg/.summary) is
+// unchanged.
+//
+// The table is process-global rather than per-translation-unit on purpose:
+// ids never escape to disk, so unit scoping would buy no determinism, and a
+// shared table lets the FM memo cache dedupe identical summaries across
+// units. Interning is thread-safe (the serve engine summarizes units on a
+// work-stealing pool); resolved string_views are stable for the process
+// lifetime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ara::support {
+
+/// Small dense id of an interned variable name. Ids are assigned in first-
+/// intern order and are therefore NOT portable across processes or runs —
+/// anything observable (printing, serialization, elimination order) must
+/// order by name, never by id.
+using VarId = std::uint32_t;
+
+/// Interns `name`: same string => same id for the process lifetime.
+[[nodiscard]] VarId intern_var(std::string_view name);
+
+/// Resolves an id returned by intern_var. The view points into the intern
+/// table and is stable for the process lifetime.
+[[nodiscard]] std::string_view var_name(VarId id);
+
+/// Distinct names interned so far (diagnostics / tests).
+[[nodiscard]] std::size_t interned_var_count();
+
+}  // namespace ara::support

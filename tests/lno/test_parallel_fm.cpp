@@ -1,0 +1,182 @@
+// Parallel Fourier–Motzkin coverage (ISSUE 7). find_parallel_loops fans the
+// per-loop dependence analysis out over a serve::ThreadPool; this suite pins
+// the two contracts that makes safe:
+//   - jobs-invariance: the LoopAnalysis vector (every field, every slot) is
+//     identical for jobs = 1 / 4 / 8, on a program with enough loops that
+//     the pool genuinely interleaves work;
+//   - thread-safety of the shared substrate: the global variable interner
+//     and the per-thread projection memo under concurrent hammering.
+// The suite carries the `serve` ctest label so the ARA_ENABLE_TSAN build
+// (`ctest -L serve`) runs it under the race detector.
+#include "lno/dependence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/compile.hpp"
+#include "serve/threadpool.hpp"
+#include "support/intern.hpp"
+
+namespace ara::lno {
+namespace {
+
+/// Twelve outermost loops across three procedures, mixing every verdict
+/// class so slots differ and an ordering bug cannot cancel out.
+const char* kManyLoops = R"(
+subroutine alpha
+  integer :: a(100), b(100, 100), i, j, t
+  do i = 1, 100
+    a(i) = i
+  end do
+  do i = 2, 100
+    a(i) = a(i - 1) + 1
+  end do
+  do i = 1, 99
+    a(i) = a(i + 1)
+  end do
+  do i = 1, 100
+    do j = 1, 100
+      b(i, j) = a(i) + j
+    end do
+  end do
+end subroutine alpha
+subroutine beta
+  integer :: v(200), w(200), i, s
+  do i = 1, 200
+    v(i) = w(i)
+  end do
+  do i = 1, 100
+    v(2 * i) = w(i)
+  end do
+  s = 0
+  do i = 1, 200
+    s = s + v(i)
+  end do
+  do i = 3, 198
+    v(i) = v(i - 2) + v(i + 2)
+  end do
+end subroutine beta
+subroutine gamma
+  integer :: m(64, 64), i, j
+  do i = 1, 64
+    do j = 1, 64
+      m(i, j) = i + j
+    end do
+  end do
+  do j = 1, 64
+    do i = 2, 64
+      m(i, j) = m(i - 1, j)
+    end do
+  end do
+  do i = 1, 63
+    m(i, 1) = m(i + 1, 2)
+  end do
+  do i = 1, 64
+    m(i, i) = 0
+  end do
+end subroutine gamma
+)";
+
+struct Analyzed {
+  ir::Program program;
+  DiagnosticEngine diags{nullptr};
+  ipa::CallGraph cg;
+};
+
+std::unique_ptr<Analyzed> compile(const std::string& text) {
+  auto out = std::make_unique<Analyzed>();
+  out->program.sources.add("t.f", text, Language::Fortran);
+  EXPECT_TRUE(fe::compile_program(out->program, out->diags)) << out->diags.render();
+  out->cg = ipa::CallGraph::build(out->program);
+  return out;
+}
+
+std::string render(const std::vector<LoopAnalysis>& loops) {
+  std::string out;
+  for (const LoopAnalysis& l : loops) {
+    out += l.proc + ":" + std::to_string(l.line) + " " + l.index_var + " " +
+           std::string(to_string(l.verdict)) + " [" + l.detail + "] " + l.directive + "\n";
+  }
+  return out;
+}
+
+TEST(ParallelFm, JobsCountDoesNotChangeAnyResult) {
+  auto a = compile(kManyLoops);
+  const std::vector<LoopAnalysis> serial = find_parallel_loops(a->program, a->cg, 1);
+  ASSERT_GE(serial.size(), 10u);  // the pool has real work to interleave
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const std::vector<LoopAnalysis> par = find_parallel_loops(a->program, a->cg, jobs);
+    ASSERT_EQ(par.size(), serial.size()) << "jobs=" << jobs;
+    EXPECT_EQ(render(par), render(serial)) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelFm, RepeatedParallelRunsAreStable) {
+  // The memo cache is per-thread, so later runs hit different warm/cold
+  // states per worker; bytes must not care.
+  auto a = compile(kManyLoops);
+  const std::string first = render(find_parallel_loops(a->program, a->cg, 4));
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(render(find_parallel_loops(a->program, a->cg, 4)), first) << "round " << round;
+  }
+}
+
+TEST(ParallelFm, InternerIsThreadSafe) {
+  // 8 threads interning an overlapping name set concurrently: every thread
+  // must observe one consistent id per name, and var_name must round-trip.
+  constexpr std::size_t kThreads = 8;
+  constexpr int kNames = 64;
+  std::vector<std::vector<support::VarId>> ids(kThreads, std::vector<support::VarId>(kNames));
+  serve::ThreadPool pool(kThreads);
+  pool.parallel_for(kThreads, [&](std::size_t w) {
+    for (int n = 0; n < kNames; ++n) {
+      const std::string name = "pfm_v" + std::to_string(n);
+      const support::VarId id = support::intern_var(name);
+      EXPECT_EQ(support::var_name(id), name);
+      ids[w][static_cast<std::size_t>(n)] = id;
+    }
+  });
+  for (std::size_t w = 1; w < kThreads; ++w) EXPECT_EQ(ids[w], ids[0]);
+}
+
+TEST(ParallelFm, ConcurrentEliminationIsRaceFree) {
+  // Workers hammer feasible()/eliminated()/const_bounds() on overlapping
+  // variable sets — shared interner reads, per-thread memo writes. Each
+  // worker checks its own results against a precomputed serial answer.
+  using regions::Constraint;
+  using regions::LinExpr;
+  using regions::LinSystem;
+  auto build = [](std::int64_t k) {
+    LinSystem sys;
+    sys.add(regions::make_ge(LinExpr::var("x"), LinExpr(0)));
+    sys.add(regions::make_le(LinExpr::var("x"), LinExpr::var("n")));
+    sys.add(regions::make_ge(LinExpr::var("y"), LinExpr(k)));
+    sys.add(regions::make_le(LinExpr::var("y") + LinExpr::var("x"), LinExpr(40)));
+    sys.add(regions::make_le(LinExpr::var("n"), LinExpr(20 + k % 7)));
+    return sys;
+  };
+  constexpr std::int64_t kSystems = 48;
+  std::vector<bool> expect_feasible(kSystems);
+  std::vector<std::string> expect_proj(kSystems);
+  for (std::int64_t s = 0; s < kSystems; ++s) {
+    expect_feasible[static_cast<std::size_t>(s)] = build(s).feasible();
+    expect_proj[static_cast<std::size_t>(s)] = build(s).eliminated("y").str();
+  }
+  std::atomic<int> mismatches{0};
+  serve::ThreadPool pool(8);
+  pool.parallel_for(kSystems * 4, [&](std::size_t i) {
+    const auto s = static_cast<std::int64_t>(i % kSystems);
+    const LinSystem sys = build(s);
+    if (sys.feasible() != expect_feasible[static_cast<std::size_t>(s)]) ++mismatches;
+    if (sys.eliminated("y").str() != expect_proj[static_cast<std::size_t>(s)]) ++mismatches;
+    (void)sys.const_bounds("x");
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace ara::lno

@@ -1,0 +1,211 @@
+// Property-based algebra suite for LinExpr (ISSUE 7). Randomized expressions
+// from a fixed-seed splitmix64 generator check the ring axioms the rest of
+// the analysis silently assumes — associativity, commutativity,
+// distributivity, substitution composition — plus the representation
+// invariants the SSO (VarId, coef) storage must uphold: canonical terms
+// (sorted, no zeros), name-ordered rendering, and evaluate() as a ring
+// homomorphism. Seeds are fixed so the suite is deterministic in CI.
+#include "regions/linexpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ara::regions {
+namespace {
+
+/// splitmix64, bit-exact on every platform (std:: distributions are not).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+const std::vector<std::string>& var_pool() {
+  static const std::vector<std::string> pool = {"i", "j", "k", "m", "n", "i0", "i1", "zz"};
+  return pool;
+}
+
+/// Random expression with up to 5 terms, coefficients in [-6, 6].
+LinExpr random_expr(Rng& rng) {
+  LinExpr e(rng.range(-20, 20));
+  const std::int64_t nterms = rng.range(0, 5);
+  for (std::int64_t t = 0; t < nterms; ++t) {
+    const auto& name = var_pool()[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(var_pool().size()) - 1))];
+    e += LinExpr::var(name, rng.range(-6, 6));
+  }
+  return e;
+}
+
+std::map<std::string, std::int64_t> random_env(Rng& rng) {
+  std::map<std::string, std::int64_t> env;
+  for (const std::string& v : var_pool()) env[v] = rng.range(-9, 9);
+  return env;
+}
+
+constexpr int kTrials = 300;
+
+TEST(LinExprProps, AdditionCommutesAndAssociates) {
+  Rng rng(101);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr a = random_expr(rng), b = random_expr(rng), c = random_expr(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(LinExprProps, AdditiveInverseAndZero) {
+  Rng rng(102);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr a = random_expr(rng);
+    EXPECT_TRUE((a - a).is_zero());
+    EXPECT_EQ(a + LinExpr(), a);
+    EXPECT_EQ(a * 1, a);
+    EXPECT_TRUE((a * 0).is_zero());
+  }
+}
+
+TEST(LinExprProps, ScalarMultiplicationDistributes) {
+  Rng rng(103);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr a = random_expr(rng), b = random_expr(rng);
+    const std::int64_t k = rng.range(-7, 7), l = rng.range(-7, 7);
+    EXPECT_EQ((a + b) * k, a * k + b * k);       // k(a+b) = ka + kb
+    EXPECT_EQ(a * (k + l), a * k + a * l);       // (k+l)a = ka + la
+    EXPECT_EQ((a * k) * l, a * (k * l));         // scalar associativity
+    EXPECT_EQ(k * a, a * k);                     // left/right scalar agree
+    EXPECT_EQ(-a, a * -1);
+  }
+}
+
+TEST(LinExprProps, EvaluateIsHomomorphism) {
+  Rng rng(104);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr a = random_expr(rng), b = random_expr(rng);
+    const std::int64_t k = rng.range(-5, 5);
+    const auto env = random_env(rng);
+    ASSERT_TRUE(a.evaluate(env).has_value());
+    EXPECT_EQ(*(a + b).evaluate(env), *a.evaluate(env) + *b.evaluate(env));
+    EXPECT_EQ(*(a - b).evaluate(env), *a.evaluate(env) - *b.evaluate(env));
+    EXPECT_EQ(*(a * k).evaluate(env), *a.evaluate(env) * k);
+  }
+}
+
+TEST(LinExprProps, SubstitutionIsEvaluationCompatible) {
+  // e[v := r] evaluated under env == e evaluated under env[v -> r(env)].
+  Rng rng(105);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr e = random_expr(rng);
+    LinExpr r = random_expr(rng);
+    const std::string& v = var_pool()[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(var_pool().size()) - 1))];
+    // Keep the substitution well-founded: r must not mention v itself.
+    r = r.substituted(v, LinExpr(rng.range(-3, 3)));
+    auto env = random_env(rng);
+    const LinExpr out = e.substituted(v, r);
+    auto env2 = env;
+    env2[v] = *r.evaluate(env);
+    EXPECT_EQ(*out.evaluate(env), *e.evaluate(env2)) << e.str() << " [" << v << " := "
+                                                     << r.str() << "]";
+  }
+}
+
+TEST(LinExprProps, SubstitutionOfDisjointVarsCommutes) {
+  Rng rng(106);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr e = random_expr(rng);
+    // r1, r2 mention neither "i" nor "j", so the two orders must agree.
+    LinExpr r1 = random_expr(rng), r2 = random_expr(rng);
+    for (const char* v : {"i", "j"}) {
+      r1 = r1.substituted(v, LinExpr(1));
+      r2 = r2.substituted(v, LinExpr(2));
+    }
+    EXPECT_EQ(e.substituted("i", r1).substituted("j", r2),
+              e.substituted("j", r2).substituted("i", r1));
+  }
+}
+
+TEST(LinExprProps, TermsStayCanonical) {
+  // Representation invariant: terms sorted ascending by VarId, no zero
+  // coefficients — after any operation sequence.
+  Rng rng(107);
+  for (int t = 0; t < kTrials; ++t) {
+    LinExpr e = random_expr(rng);
+    e += random_expr(rng);
+    e -= random_expr(rng);
+    e *= rng.range(-3, 3);
+    support::VarId prev = 0;
+    bool first = true;
+    for (const Term& term : e.terms()) {
+      EXPECT_NE(term.coef, 0);
+      if (!first) {
+        EXPECT_LT(prev, term.id);
+      }
+      prev = term.id;
+      first = false;
+    }
+  }
+}
+
+TEST(LinExprProps, NamedTermsAreNameSorted) {
+  Rng rng(108);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr e = random_expr(rng);
+    const auto named = e.named_terms();
+    ASSERT_EQ(named.size(), e.terms().size());
+    for (std::size_t i = 1; i < named.size(); ++i) {
+      EXPECT_LT(named[i - 1].first, named[i].first);
+    }
+    for (const auto& [name, c] : named) EXPECT_EQ(e.coef(name), c);
+  }
+}
+
+TEST(LinExprProps, EqualityIsExtensional) {
+  // Structurally different construction orders of the same function must
+  // compare equal (canonical representation).
+  Rng rng(109);
+  for (int t = 0; t < kTrials; ++t) {
+    const LinExpr a = random_expr(rng);
+    LinExpr rebuilt(a.constant());
+    // Rebuild from named_terms in reverse name order.
+    const auto named = a.named_terms();
+    for (auto it = named.rbegin(); it != named.rend(); ++it) {
+      rebuilt += LinExpr::var(it->first, it->second);
+    }
+    EXPECT_EQ(a, rebuilt);
+    EXPECT_EQ(a.str(), rebuilt.str());
+  }
+}
+
+TEST(LinExprProps, VarIdAndNameEntryPointsAgree) {
+  Rng rng(110);
+  for (int t = 0; t < kTrials; ++t) {
+    const std::string& name = var_pool()[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(var_pool().size()) - 1))];
+    const std::int64_t c = rng.range(-6, 6);
+    const support::VarId id = support::intern_var(name);
+    EXPECT_EQ(LinExpr::var(name, c), LinExpr::var(id, c));
+    const LinExpr e = random_expr(rng);
+    EXPECT_EQ(e.coef(name), e.coef(id));
+    const LinExpr r = random_expr(rng).substituted(name, LinExpr(3));
+    EXPECT_EQ(e.substituted(name, r), e.substituted(id, r));
+  }
+}
+
+}  // namespace
+}  // namespace ara::regions

@@ -1,0 +1,504 @@
+// Differential representation test (ISSUE 7). The region core switched from
+// map<string, int64> term storage to interned-VarId SSO vectors with a
+// memoized Fourier–Motzkin projection; nothing observable may have changed.
+// This file carries the pre-switch implementation verbatim (namespace
+// ara::regions_ref below, map-based terms, no interning, no memo) and drives
+// both implementations through mirrored randomized operation sequences,
+// comparing rendered bytes and every query result. Pipeline-level coverage
+// of the same claim lives in the workload byte-goldens (test_rgn_golden,
+// test_lu, test_heat) and the fuzz anchors — this test pins the algebra and
+// the solver in isolation, where a divergence is debuggable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "regions/linsys.hpp"
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the seed-revision region core, map-based.
+// Kept byte-for-byte faithful (only ARA_STATISTIC / histogram plumbing and
+// the class-split boilerplate dropped); do not "modernize" it — its entire
+// value is being the old behavior.
+// ---------------------------------------------------------------------------
+namespace ara::regions_ref {
+
+class LinExpr {
+ public:
+  LinExpr() = default;
+  explicit LinExpr(std::int64_t c) : c0_(c) {}
+
+  [[nodiscard]] static LinExpr var(std::string name, std::int64_t coef = 1) {
+    LinExpr e;
+    if (coef != 0) e.terms_.emplace(std::move(name), coef);
+    return e;
+  }
+
+  [[nodiscard]] std::int64_t constant() const { return c0_; }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& terms() const { return terms_; }
+  [[nodiscard]] bool is_constant() const { return terms_.empty(); }
+  [[nodiscard]] bool is_zero() const { return is_constant() && c0_ == 0; }
+
+  [[nodiscard]] std::int64_t coef(std::string_view name) const {
+    const auto it = terms_.find(std::string(name));
+    return it == terms_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] bool references(std::string_view name) const { return coef(name) != 0; }
+
+  LinExpr& operator+=(const LinExpr& rhs) {
+    c0_ += rhs.c0_;
+    for (const auto& [name, c] : rhs.terms_) {
+      terms_[name] += c;
+      prune(name);
+    }
+    return *this;
+  }
+  LinExpr& operator-=(const LinExpr& rhs) {
+    c0_ -= rhs.c0_;
+    for (const auto& [name, c] : rhs.terms_) {
+      terms_[name] -= c;
+      prune(name);
+    }
+    return *this;
+  }
+  LinExpr& operator*=(std::int64_t k) {
+    if (k == 0) {
+      c0_ = 0;
+      terms_.clear();
+      return *this;
+    }
+    c0_ *= k;
+    for (auto& [name, c] : terms_) c *= k;
+    return *this;
+  }
+
+  friend LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+  friend LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+  friend LinExpr operator*(LinExpr a, std::int64_t k) { return a *= k; }
+  friend LinExpr operator-(LinExpr a) { return a *= -1; }
+  friend bool operator==(const LinExpr&, const LinExpr&) = default;
+
+  [[nodiscard]] LinExpr substituted(std::string_view name, const LinExpr& repl) const {
+    const std::int64_t k = coef(name);
+    if (k == 0) return *this;
+    LinExpr out = *this;
+    out.terms_.erase(std::string(name));
+    out += repl * k;
+    return out;
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> evaluate(
+      const std::map<std::string, std::int64_t>& env) const {
+    std::int64_t v = c0_;
+    for (const auto& [name, c] : terms_) {
+      const auto it = env.find(name);
+      if (it == env.end()) return std::nullopt;
+      v += c * it->second;
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::string str() const {
+    if (is_constant()) return std::to_string(c0_);
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& [name, c] : terms_) {
+      if (first) {
+        if (c == -1) {
+          os << '-';
+        } else if (c != 1) {
+          os << c << '*';
+        }
+        first = false;
+      } else {
+        os << (c < 0 ? " - " : " + ");
+        const std::int64_t a = c < 0 ? -c : c;
+        if (a != 1) os << a << '*';
+      }
+      os << name;
+    }
+    if (c0_ > 0) {
+      os << " + " << c0_;
+    } else if (c0_ < 0) {
+      os << " - " << -c0_;
+    }
+    return os.str();
+  }
+
+ private:
+  void prune(const std::string& name) {
+    const auto it = terms_.find(name);
+    if (it != terms_.end() && it->second == 0) terms_.erase(it);
+  }
+
+  std::int64_t c0_ = 0;
+  std::map<std::string, std::int64_t> terms_;
+};
+
+struct Constraint {
+  LinExpr expr;
+  enum class Rel : std::uint8_t { Le0, Eq0 } rel = Rel::Le0;
+  [[nodiscard]] std::string str() const {
+    return expr.str() + (rel == Rel::Le0 ? " <= 0" : " == 0");
+  }
+  friend bool operator==(const Constraint&, const Constraint&) = default;
+};
+
+class LinSystem {
+ public:
+  static constexpr std::size_t kMaxConstraints = 512;
+
+  void add(Constraint c) { constraints_.push_back(std::move(c)); }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  [[nodiscard]] std::vector<std::string> variables() const {
+    std::set<std::string> names;
+    for (const Constraint& c : constraints_) {
+      for (const auto& [name, coef] : c.expr.terms()) names.insert(name);
+    }
+    return {names.begin(), names.end()};
+  }
+
+  [[nodiscard]] LinSystem eliminated(std::string_view name) const {
+    for (const Constraint& c : constraints_) {
+      if (c.rel != Constraint::Rel::Eq0) continue;
+      const std::int64_t k = c.expr.coef(name);
+      if (k != 1 && k != -1) continue;
+      LinExpr rest = c.expr - LinExpr::var(std::string(name), k);
+      const LinExpr value = rest * -k;
+      LinSystem out;
+      for (const Constraint& other : constraints_) {
+        if (&other == &c) continue;
+        out.add(Constraint{other.expr.substituted(name, value), other.rel});
+      }
+      out.simplify();
+      return out;
+    }
+
+    std::vector<LinExpr> uppers;
+    std::vector<LinExpr> lowers;
+    LinSystem out;
+    for (const Constraint& c : constraints_) {
+      const std::int64_t a = c.expr.coef(name);
+      if (a == 0) {
+        out.add(c);
+        continue;
+      }
+      if (c.rel == Constraint::Rel::Eq0) {
+        if (a > 0) {
+          uppers.push_back(c.expr);
+          lowers.push_back(-c.expr);
+        } else {
+          lowers.push_back(c.expr);
+          uppers.push_back(-c.expr);
+        }
+        continue;
+      }
+      (a > 0 ? uppers : lowers).push_back(c.expr);
+    }
+    for (const LinExpr& e1 : uppers) {
+      const std::int64_t a = e1.coef(name);
+      for (const LinExpr& e2 : lowers) {
+        const std::int64_t b = e2.coef(name);
+        const std::int64_t g = std::gcd(a, -b);
+        LinExpr combined = e1 * ((-b) / g) + e2 * (a / g);
+        out.add(Constraint{std::move(combined), Constraint::Rel::Le0});
+      }
+    }
+    out.simplify();
+    if (out.constraints_.size() > kMaxConstraints) out.constraints_.resize(kMaxConstraints);
+    return out;
+  }
+
+  [[nodiscard]] bool feasible() const {
+    LinSystem cur = *this;
+    while (true) {
+      auto vars = cur.variables();
+      if (vars.empty()) break;
+      std::string best = vars.front();
+      std::size_t best_count = static_cast<std::size_t>(-1);
+      for (const std::string& v : vars) {
+        std::size_t count = 0;
+        for (const Constraint& c : cur.constraints_) {
+          if (c.expr.references(v)) ++count;
+        }
+        if (count < best_count) {
+          best_count = count;
+          best = v;
+        }
+      }
+      cur = cur.eliminated(best);
+    }
+    for (const Constraint& c : cur.constraints_) {
+      const std::int64_t v = c.expr.constant();
+      if (c.rel == Constraint::Rel::Le0 && v > 0) return false;
+      if (c.rel == Constraint::Rel::Eq0 && v != 0) return false;
+    }
+    return true;
+  }
+
+  struct ConstBounds {
+    std::optional<std::int64_t> lower;
+    std::optional<std::int64_t> upper;
+  };
+  [[nodiscard]] ConstBounds const_bounds(std::string_view name) const {
+    LinSystem cur = *this;
+    while (true) {
+      auto vars = cur.variables();
+      std::erase(vars, std::string(name));
+      if (vars.empty()) break;
+      cur = cur.eliminated(vars.front());
+    }
+    ConstBounds out;
+    auto floor_div = [](std::int64_t a, std::int64_t b) {
+      std::int64_t q = a / b;
+      if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+      return q;
+    };
+    auto ceil_div = [&floor_div](std::int64_t a, std::int64_t b) { return -floor_div(-a, b); };
+    for (const Constraint& c : cur.constraints_) {
+      const std::int64_t a = c.expr.coef(name);
+      if (a == 0) continue;
+      const std::int64_t r = c.expr.constant();
+      if (a > 0 || c.rel == Constraint::Rel::Eq0) {
+        const std::int64_t coef = a > 0 ? a : -a;
+        const std::int64_t rr = a > 0 ? r : -r;
+        const std::int64_t ub = floor_div(-rr, coef);
+        if (!out.upper || ub < *out.upper) out.upper = ub;
+      }
+      if (a < 0 || c.rel == Constraint::Rel::Eq0) {
+        const std::int64_t coef = a < 0 ? -a : a;
+        const std::int64_t rr = a < 0 ? r : -r;
+        const std::int64_t lb = ceil_div(rr, coef);
+        if (!out.lower || lb > *out.lower) out.lower = lb;
+      }
+    }
+    return out;
+  }
+
+  void simplify() {
+    for (Constraint& c : constraints_) {
+      std::int64_t g = 0;
+      for (const auto& [name, coef] : c.expr.terms()) {
+        g = std::gcd(g, coef < 0 ? -coef : coef);
+      }
+      if (g > 1 && c.expr.constant() % g == 0) {
+        LinExpr scaled;
+        for (const auto& [name, coef] : c.expr.terms()) {
+          scaled += LinExpr::var(name, coef / g);
+        }
+        scaled += LinExpr(c.expr.constant() / g);
+        c.expr = std::move(scaled);
+      }
+    }
+    std::vector<Constraint> kept;
+    for (Constraint& c : constraints_) {
+      if (c.expr.is_constant()) {
+        const bool trivially_true = c.rel == Constraint::Rel::Le0 ? c.expr.constant() <= 0
+                                                                  : c.expr.constant() == 0;
+        if (trivially_true) continue;
+      }
+      if (std::find(kept.begin(), kept.end(), c) == kept.end()) kept.push_back(std::move(c));
+    }
+    constraints_ = std::move(kept);
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::ostringstream os;
+    os << '{';
+    for (std::size_t i = 0; i < constraints_.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << constraints_[i].str();
+    }
+    os << '}';
+    return os.str();
+  }
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace ara::regions_ref
+
+// ---------------------------------------------------------------------------
+// The differential driver: mirrored construction, compared observables.
+// ---------------------------------------------------------------------------
+namespace ara::regions {
+namespace {
+
+namespace ref = ara::regions_ref;
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  bool chance(int pct) { return range(0, 99) < pct; }
+
+ private:
+  std::uint64_t state_;
+};
+
+const std::vector<std::string>& var_pool() {
+  static const std::vector<std::string> pool = {"i", "j", "k", "n", "m", "i0", "q"};
+  return pool;
+}
+
+/// One random expression, built twice from one draw sequence.
+struct ExprPair {
+  LinExpr neu;
+  ref::LinExpr old;
+};
+
+ExprPair random_pair(Rng& rng, int max_terms = 5) {
+  const std::int64_t c0 = rng.range(-12, 12);
+  ExprPair p{LinExpr(c0), ref::LinExpr(c0)};
+  const std::int64_t nterms = rng.range(0, max_terms);
+  for (std::int64_t t = 0; t < nterms; ++t) {
+    const auto& name = var_pool()[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(var_pool().size()) - 1))];
+    const std::int64_t c = rng.range(-5, 5);
+    p.neu += LinExpr::var(name, c);
+    p.old += ref::LinExpr::var(name, c);
+  }
+  return p;
+}
+
+void expect_same(const LinExpr& neu, const ref::LinExpr& old) {
+  EXPECT_EQ(neu.str(), old.str());  // byte-identical rendering
+  EXPECT_EQ(neu.constant(), old.constant());
+  EXPECT_EQ(neu.is_constant(), old.is_constant());
+  EXPECT_EQ(neu.is_zero(), old.is_zero());
+  for (const std::string& v : var_pool()) EXPECT_EQ(neu.coef(v), old.coef(v)) << v;
+  // Term-by-term: named_terms() must equal the reference map's iteration.
+  const auto named = neu.named_terms();
+  ASSERT_EQ(named.size(), old.terms().size());
+  std::size_t i = 0;
+  for (const auto& [name, c] : old.terms()) {
+    EXPECT_EQ(named[i].first, name);
+    EXPECT_EQ(named[i].second, c);
+    ++i;
+  }
+}
+
+/// One random system, built twice from one draw sequence.
+struct SysPair {
+  LinSystem neu;
+  ref::LinSystem old;
+};
+
+SysPair random_sys(Rng& rng) {
+  SysPair p;
+  const std::int64_t ncons = rng.range(2, 7);
+  for (std::int64_t c = 0; c < ncons; ++c) {
+    ExprPair e = random_pair(rng, 3);
+    const bool eq = rng.chance(25);
+    p.neu.add(Constraint{e.neu, eq ? Constraint::Rel::Eq0 : Constraint::Rel::Le0});
+    p.old.add(ref::Constraint{e.old, eq ? ref::Constraint::Rel::Eq0 : ref::Constraint::Rel::Le0});
+  }
+  return p;
+}
+
+void expect_same(const LinSystem& neu, const ref::LinSystem& old) {
+  EXPECT_EQ(neu.str(), old.str());
+  ASSERT_EQ(neu.size(), old.constraints().size());
+  for (std::size_t i = 0; i < neu.size(); ++i) {
+    EXPECT_EQ(neu.constraints()[i].str(), old.constraints()[i].str()) << "constraint " << i;
+  }
+}
+
+constexpr int kTrials = 200;
+
+TEST(RepresentationDiff, ArithmeticMatchesMapReference) {
+  Rng rng(301);
+  for (int t = 0; t < kTrials; ++t) {
+    ExprPair a = random_pair(rng), b = random_pair(rng);
+    const std::int64_t k = rng.range(-6, 6);
+    expect_same(a.neu, a.old);
+    expect_same(a.neu + b.neu, a.old + b.old);
+    expect_same(a.neu - b.neu, a.old - b.old);
+    expect_same(a.neu * k, a.old * k);
+    expect_same(-a.neu, -a.old);
+    const auto env = [&] {
+      std::map<std::string, std::int64_t> e;
+      for (const std::string& v : var_pool()) e[v] = rng.range(-8, 8);
+      return e;
+    }();
+    EXPECT_EQ(a.neu.evaluate(env), a.old.evaluate(env));
+  }
+}
+
+TEST(RepresentationDiff, SubstitutionMatchesMapReference) {
+  Rng rng(302);
+  for (int t = 0; t < kTrials; ++t) {
+    const ExprPair e = random_pair(rng), r = random_pair(rng);
+    const auto& v = var_pool()[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(var_pool().size()) - 1))];
+    expect_same(e.neu.substituted(v, r.neu), e.old.substituted(v, r.old));
+  }
+}
+
+TEST(RepresentationDiff, EliminationMatchesMapReference) {
+  // Fourier–Motzkin on the new core (VarId arithmetic + memo cache) must
+  // produce byte-identical projections, constraint for constraint, in the
+  // same order — including the substitution fast path and the simplify()
+  // normalization — for every variable of every random system.
+  Rng rng(303);
+  for (int t = 0; t < kTrials; ++t) {
+    const SysPair p = random_sys(rng);
+    ASSERT_EQ(p.neu.variables(), p.old.variables());
+    for (const std::string& v : p.neu.variables()) {
+      expect_same(p.neu.eliminated(v), p.old.eliminated(v));
+    }
+  }
+}
+
+TEST(RepresentationDiff, FeasibilityAndBoundsMatchMapReference) {
+  Rng rng(304);
+  for (int t = 0; t < kTrials; ++t) {
+    const SysPair p = random_sys(rng);
+    EXPECT_EQ(p.neu.feasible(), p.old.feasible()) << p.neu.str();
+    for (const std::string& v : p.neu.variables()) {
+      const auto bn = p.neu.const_bounds(v);
+      const auto bo = p.old.const_bounds(v);
+      EXPECT_EQ(bn.lower, bo.lower) << p.neu.str() << " lower(" << v << ")";
+      EXPECT_EQ(bn.upper, bo.upper) << p.neu.str() << " upper(" << v << ")";
+    }
+  }
+}
+
+TEST(RepresentationDiff, SimplifyMatchesMapReference) {
+  Rng rng(305);
+  for (int t = 0; t < kTrials; ++t) {
+    SysPair p = random_sys(rng);
+    // Add a scaled duplicate and a trivially-true constraint: simplify()'s
+    // gcd normalization and dedupe must behave identically.
+    ExprPair e = random_pair(rng, 2);
+    const std::int64_t k = rng.range(2, 4);
+    p.neu.add(Constraint{e.neu * k, Constraint::Rel::Le0});
+    p.old.add(ref::Constraint{e.old * k, ref::Constraint::Rel::Le0});
+    p.neu.add(Constraint{LinExpr(-1), Constraint::Rel::Le0});
+    p.old.add(ref::Constraint{ref::LinExpr(-1), ref::Constraint::Rel::Le0});
+    p.neu.simplify();
+    p.old.simplify();
+    expect_same(p.neu, p.old);
+  }
+}
+
+}  // namespace
+}  // namespace ara::regions

@@ -32,6 +32,7 @@ struct CliOptions {
   bool do_minimize = false;
   bool quiet = false;
   bool crash_hunt = false;
+  bool stress_fm = false;
   std::string corpus_dir;
   std::string failpoints;
 };
@@ -52,7 +53,10 @@ void usage() {
                "               resource bombs, and hunt for exceptions escaping the\n"
                "               pipeline's error barrier (exit 1 if any found)\n"
                "  --corpus DIR write minimized crashers into DIR (crash-hunt only)\n"
-               "  --failpoints SPEC  arm fault-injection failpoints during the hunt\n";
+               "  --failpoints SPEC  arm fault-injection failpoints during the hunt\n"
+               "  --stress-fm  FM-stress generator grid: deep nests, many live\n"
+               "               induction variables, coupled subscripts (distinct\n"
+               "               program space from the default grid)\n";
 }
 
 bool parse_args(int argc, char** argv, CliOptions* cli) {
@@ -101,6 +105,8 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->replay = true;
     } else if (a == "--minimize") {
       cli->do_minimize = true;
+    } else if (a == "--stress-fm") {
+      cli->stress_fm = true;
     } else if (a == "--quiet") {
       cli->quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -168,6 +174,16 @@ int main(int argc, char** argv) {
       difftest::GenOptions gopts;
       gopts.seed = cli.seed + static_cast<std::uint64_t>(n);
       gopts.lang = lang;
+      if (cli.stress_fm) {
+        // Deep coupled-subscript / many-ivar kernels: dependence systems
+        // carry 2x the live induction variables (two renamed instances), so
+        // raising the caps stresses long Fourier-Motzkin elimination chains
+        // and the projection memo cache.
+        gopts.max_loop_depth = 5;
+        gopts.max_loop_vars = 6;
+        gopts.coupled_pct = 60;
+        gopts.stmts = 6;
+      }
       const difftest::GeneratedProgram prog = difftest::generate(gopts);
       if (cli.replay) {
         std::cout << "---- " << prog.filename << " ----\n" << prog.source << "----\n";
