@@ -11,6 +11,7 @@
 
 #include <random>
 
+#include "bench_common.hpp"
 #include "regions/convex_region.hpp"
 #include "regions/methods.hpp"
 
@@ -27,7 +28,8 @@ std::vector<Point> strided_stream(std::size_t n, std::int64_t stride) {
   return out;
 }
 
-void print_reproduction() {
+void print_reproduction(const char* argv0) {
+  ara::bench::BenchJson json("fig2_techniques", "strided-stream");
   std::printf("=== Fig 2: array analysis techniques — efficiency vs accuracy ===\n");
   std::printf("  %-18s %12s %14s %16s\n", "method", "bytes", "exact?", "false positives");
   for (const std::size_t n : {std::size_t{100}, std::size_t{10000}}) {
@@ -63,9 +65,26 @@ void print_reproduction() {
                 fp_section, total_neg);
     std::printf("  %-18s %12zu %14s %10zu/%zu\n", "reference list", reflist.bytes_used(), "yes",
                 fp_reflist, total_neg);
+    // The probe grid is seeded (mt19937(42)), so every count here is
+    // deterministic — gate them all as exact structural inventory.
+    const std::string suffix = "_n" + std::to_string(n);
+    json.metric("classic_bytes" + suffix, static_cast<double>(ClassicSummary::bytes_used()),
+                "bytes", "exact");
+    json.metric("section_bytes" + suffix, static_cast<double>(section.bytes_used()), "bytes",
+                "exact");
+    json.metric("reflist_bytes" + suffix, static_cast<double>(reflist.bytes_used()), "bytes",
+                "exact");
+    json.metric("classic_false_positives" + suffix, static_cast<double>(fp_classic), "probes",
+                "exact");
+    json.metric("section_false_positives" + suffix, static_cast<double>(fp_section), "probes",
+                "exact");
+    json.metric("reflist_false_positives" + suffix, static_cast<double>(fp_reflist), "probes",
+                "exact");
+    json.metric("negative_probes" + suffix, static_cast<double>(total_neg), "probes", "exact");
   }
   std::printf("  (expected ordering: classic storage < section < list;\n"
               "   accuracy the reverse — matching the Fig 2 axes)\n\n");
+  json.write_next_to(argv0);
 }
 
 void BM_Record(benchmark::State& state) {
@@ -113,7 +132,9 @@ BENCHMARK(BM_ConvexCompare)->DenseRange(1, 6)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_reproduction();
+  const bool json_only = ara::bench::consume_flag(&argc, argv, "--json-only");
+  print_reproduction(argv[0]);
+  if (json_only) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

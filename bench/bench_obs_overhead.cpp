@@ -22,6 +22,7 @@
 #include "bench_common.hpp"
 #include "obs/eventlog.hpp"
 #include "obs/histogram.hpp"
+#include "obs/provenance.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 
@@ -48,8 +49,8 @@ void reset_ledger() {
 }
 
 /// The disabled cost of one ledger probe, averaged over counter bumps,
-/// histogram records, and event-log records (each is a load + predicted
-/// branch when dormant).
+/// histogram records, event-log records, and provenance records (each is
+/// a load + predicted branch when dormant).
 double disabled_probe_ns() {
   static ara::obs::Counter probe_counter{"bench.obs_probe", "dormant-cost probe"};
   ARA_HISTOGRAM(probe_hist, "bench.obs_probe_ns", "dormant-cost probe", "ns");
@@ -60,10 +61,11 @@ double disabled_probe_ns() {
     probe_counter.bump();
     probe_hist.record(1);
     ara::obs::EventLog::instance().record(0, "probe", ara::obs::UnitEvent::Queued);
+    ara::obs::prov_record(ara::obs::CauseKind::NonAffineSubscript, {}, 0, {});
   }
   const auto t1 = std::chrono::steady_clock::now();
   const double total_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
-  return total_ns / (3.0 * kIters);
+  return total_ns / (4.0 * kIters);
 }
 
 /// Prints the overhead report, writes BENCH_obs_overhead.json, and returns

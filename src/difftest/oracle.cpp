@@ -99,6 +99,57 @@ std::string point_str(const Point& p) {
   return os.str();
 }
 
+/// Cause kinds emitted while translating a callee summary to a call site;
+/// they explain an interprocedural row wholesale rather than one dimension.
+bool translation_kind(obs::CauseKind k) {
+  return k == obs::CauseKind::UnresolvedCall || k == obs::CauseKind::ActualNotAffine ||
+         k == obs::CauseKind::CalleeLocalEscape || k == obs::CauseKind::CalleeImprecision ||
+         k == obs::CauseKind::LimitDemotion;
+}
+
+/// The provenance oracle: walks every published region dimension, counts
+/// the imprecise ones, and requires each Messy/Unprojected dimension to be
+/// explained by at least one captured cause record — matched by array name
+/// (a record with dim -1 covers the whole access), or for interproc rows by
+/// any translation-kind record.
+void check_provenance(const ir::Program& program, const ipa::AnalysisResult& result,
+                      DiffReport* rep) {
+  for (const ipa::AccessRecord& rec : result.records) {
+    const std::string& name = program.symtab.st(rec.array).name;
+    for (std::size_t i = 0; i < rec.region.rank(); ++i) {
+      ++rep->dims_total;
+      const regions::DimAccess& d = rec.region.dim(i);
+      const bool messy = d.lb.kind == regions::BoundKind::Messy ||
+                         d.ub.kind == regions::BoundKind::Messy;
+      const bool unproj = d.lb.kind == regions::BoundKind::Unprojected ||
+                          d.ub.kind == regions::BoundKind::Unprojected;
+      if (messy) ++rep->dims_messy;
+      if (unproj) ++rep->dims_unprojected;
+      if (!messy && !unproj) continue;
+      const bool explained =
+          std::any_of(rep->provenance.begin(), rep->provenance.end(),
+                      [&](const obs::ProvRecord& p) {
+                        if (p.array == name &&
+                            (p.dim < 0 || p.dim == static_cast<std::int32_t>(i))) {
+                          return true;
+                        }
+                        return rec.interproc && translation_kind(p.kind);
+                      });
+      if (!explained) {
+        Violation v;
+        v.kind = "provenance";
+        v.array = name;
+        v.mode = std::string(regions::to_string(rec.mode));
+        v.detail = "dimension " + std::to_string(i) + " is " +
+                   (unproj ? "Unprojected" : "Messy") + " in " + rec.region.str() +
+                   " but none of the " + std::to_string(rep->provenance.size()) +
+                   " captured provenance records explains it";
+        rep->violations.push_back(std::move(v));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 DiffReport compare(const ir::Program& program, const ipa::AnalysisResult& result,
@@ -211,7 +262,14 @@ DiffReport run_difftest(const GeneratedProgram& prog, const interp::InterpOption
     rep.violations.push_back({"compile", "", "", rep.error});
     return rep;
   }
-  const ipa::AnalysisResult result = cc.analyze();
+  // Capture the analysis's own account of its precision losses; the
+  // comparator below checks it is complete (the "provenance" oracle).
+  std::vector<obs::ProvRecord> prov;
+  ipa::AnalysisResult result;
+  {
+    const obs::ProvSink sink(&prov, 0);
+    result = cc.analyze();
+  }
 
   interp::Interpreter interp(cc.program(), iopts);
   interp::DynamicSummary dyn;
@@ -220,9 +278,13 @@ DiffReport run_difftest(const GeneratedProgram& prog, const interp::InterpOption
     rep.error = r.error;
     stat_kernel_failures.bump();
     rep.violations.push_back({"runtime", "", "", rep.error});
+    rep.provenance = std::move(prov);
     return rep;
   }
-  return compare(cc.program(), result, dyn);
+  DiffReport out = compare(cc.program(), result, dyn);
+  out.provenance = std::move(prov);
+  check_provenance(cc.program(), result, &out);
+  return out;
 }
 
 }  // namespace ara::difftest

@@ -21,12 +21,14 @@
 #include "interp/interp.hpp"
 #include "ipa/analyzer.hpp"
 #include "ir/program.hpp"
+#include "obs/provenance.hpp"
 
 namespace ara::difftest {
 
 /// One soundness failure. `kind` is one of "compile", "runtime",
-/// "containment" (a touched element no static region covers) or "refcount"
-/// (static References below the observed distinct-site count).
+/// "containment" (a touched element no static region covers), "refcount"
+/// (static References below the observed distinct-site count) or
+/// "provenance" (a Messy/Unprojected dimension no cause record explains).
 struct Violation {
   std::string kind;
   std::string array;  // source name; empty for compile/runtime failures
@@ -46,6 +48,14 @@ struct DiffReport {
   std::size_t entries_exact = 0;    // affine entries where static == observed exactly
   double max_over_approx = 0.0;     // max static/observed element-count ratio
   double sum_over_approx = 0.0;     // sum of ratios (mean = sum / entries_affine)
+
+  // Provenance oracle: cause records captured while the static analysis
+  // ran, plus the imprecise-dimension census they must explain (every
+  // Messy/Unprojected dimension needs >= 1 matching record).
+  std::vector<obs::ProvRecord> provenance;
+  std::size_t dims_total = 0;        // dimensions across all published records
+  std::size_t dims_messy = 0;        // dimensions with a Messy lb/ub
+  std::size_t dims_unprojected = 0;  // dimensions with an Unprojected lb/ub
 
   [[nodiscard]] bool sound() const { return ran && violations.empty(); }
   [[nodiscard]] double mean_over_approx() const {

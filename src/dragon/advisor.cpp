@@ -7,6 +7,7 @@
 
 #include "ipa/local.hpp"
 #include "ipa/wn_affine.hpp"
+#include "obs/provenance.hpp"
 #include "regions/convex_region.hpp"
 #include "support/string_utils.hpp"
 
@@ -385,6 +386,13 @@ std::vector<ParallelCallAdvice> advise_parallel_calls(const ir::Program& program
                 reason << "calls at lines " << calls[i]->linenum().line << " and "
                        << calls[j]->linenum().line << " conflict on '"
                        << program.symtab.st(st).name << "'";
+                if (obs::prov_capturing()) {
+                  obs::prov_record(
+                      obs::CauseKind::LoopNotParallel,
+                      {adv.proc, program.symtab.st(st).name,
+                       program.sources.name(node.proc->file), adv.loop_line},
+                      -1, reason.str());
+                }
                 return;
               }
             }

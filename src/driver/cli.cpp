@@ -4,14 +4,18 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <ostream>
+#include <sstream>
 
 #include "driver/compiler.hpp"
 #include "ir/printer.hpp"
+#include "lno/dependence.hpp"
 #include "obs/eventlog.hpp"
 #include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
@@ -20,6 +24,7 @@
 #include "serve/failure.hpp"
 #include "support/faultinject.hpp"
 #include "support/limits.hpp"
+#include "support/string_utils.hpp"
 #include "support/text_table.hpp"
 
 namespace ara::driver {
@@ -58,10 +63,25 @@ struct CliOptions {
   bool no_cache = false;
   std::string failpoints;  // fault-injection spec (--failpoints / ARA_FAILPOINTS)
   support::ResourceLimits limits;  // per-unit resource guards
+  bool explain = false;            // render cause records after analysis
+  std::string explain_target;      // "array" or "array@proc" filter ("" = all)
+  bool explain_loops = false;      // --loops: explain serial loops instead
+  std::string provenance_out;      // empty = no .provenance.jsonl export
 
   [[nodiscard]] bool telemetry() const {
     return stats || time_report || !trace_file.empty() || !metrics_out.empty() ||
            !events_file.empty() || !profile_file.empty();
+  }
+  /// True when this run must capture provenance cause records: any renderer
+  /// of them is on (--explain, --provenance-out) or telemetry wants the
+  /// precision section's causes-by-kind aggregation.
+  [[nodiscard]] bool provenance() const {
+    return explain || explain_loops || !provenance_out.empty() || telemetry();
+  }
+  /// Loop verdicts are only computed when someone will read them; they run
+  /// extra Fourier–Motzkin work the plain pipeline never did.
+  [[nodiscard]] bool want_loops() const {
+    return explain || explain_loops || !provenance_out.empty();
   }
   /// The batch engine runs whenever its flags are used; otherwise the
   /// monolithic pipeline keeps its historical behavior.
@@ -89,6 +109,15 @@ void usage(std::ostream& out) {
          "  --profile FILE    sample worker span stacks into FILE in collapsed\n"
          "                    (flamegraph.pl / speedscope) format\n"
          "  --profile-interval-us N  sampling period for --profile (default 250)\n"
+         "  --explain [ARRAY[@PROC]]  after analysis, name the cause of every\n"
+         "                    precision loss (messy/unprojected dimension) with\n"
+         "                    its source line; optional target filter\n"
+         "  --loops           with --explain: report why loops stayed serial,\n"
+         "                    citing the blocking dependence pair (monolithic\n"
+         "                    pipeline only)\n"
+         "  --provenance-out FILE  write the cause records as JSONL\n"
+         "                    (ara.prov.v1); byte-identical across --jobs\n"
+         "                    values and cache states\n"
          "  --no-ipa          skip interprocedural propagation (-IPA off)\n"
          "  --dump-ir         dump the lowered WHIRL trees to stdout\n"
          "  --quiet           suppress the region table and summary\n"
@@ -211,6 +240,21 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostr
       std::uint64_t n = 0;
       if (v == nullptr || !parse_u64(a, *v, &n, err)) return false;
       cli->limits.unit_timeout = std::chrono::milliseconds(n);
+    } else if (a == "--explain") {
+      cli->explain = true;
+      // Optional target: the next argument is a filter when it cannot be a
+      // source file (no extension dot) or is explicitly "array@proc".
+      if (i + 1 < args.size() && !args[i + 1].empty() && args[i + 1][0] != '-' &&
+          (args[i + 1].find('@') != std::string::npos ||
+           args[i + 1].find('.') == std::string::npos)) {
+        cli->explain_target = args[++i];
+      }
+    } else if (a == "--loops") {
+      cli->explain_loops = true;
+    } else if (a == "--provenance-out") {
+      const std::string* v = next("--provenance-out");
+      if (v == nullptr) return false;
+      cli->provenance_out = *v;
     } else if (a == "--no-ipa") {
       cli->no_ipa = true;
     } else if (a == "--dump-ir") {
@@ -283,6 +327,7 @@ int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
   bopts.interprocedural = !cli.no_ipa;
   bopts.limits = cli.limits;
   const serve::BatchResult result = serve::run_batch(sources, bopts, cli.name);
+  if (cli.provenance()) obs::ProvenanceLedger::instance().append(result.provenance);
 
   // Unit diagnostics come back in input order regardless of which worker
   // produced them; link diagnostics (duplicate definitions, unresolved
@@ -349,6 +394,13 @@ int run_mono(const CliOptions& cli, std::ostream& out, std::ostream& err) {
   const support::LimitScope guard(cli.limits);
   int rc = kClean;
 
+  // Provenance capture for the whole monolithic run (unit 0); the vector is
+  // handed to the process ledger once analysis (and any loop verdicts) are
+  // in, so --explain / --provenance-out render from one place.
+  std::vector<obs::ProvRecord> prov;
+  std::optional<obs::ProvSink> prov_sink;
+  if (cli.provenance()) prov_sink.emplace(&prov, 0);
+
   Compiler cc;
   for (const fs::path& src : cli.sources) {
     if (!cc.add_file(src)) {
@@ -386,6 +438,35 @@ int run_mono(const CliOptions& cli, std::ostream& out, std::ostream& err) {
           << ".{rgn,dgn,cfg" << (cli.telemetry() ? ",stats.json" : "") << "}\n";
     }
   }
+
+  // Loop verdicts, emitted as LoopNotParallel records citing the blocking
+  // dependence pair. Only runs when someone reads them (--explain /
+  // --provenance-out): the dependence tests are extra Fourier–Motzkin work.
+  if (prov_sink.has_value() && cli.want_loops()) {
+    const ir::Program& program = cc.program();
+    const std::vector<lno::LoopAnalysis> loops =
+        lno::find_parallel_loops(program, result.callgraph);
+    std::map<std::string, std::string, std::less<>> proc_file;
+    for (std::uint32_t n = 0; n < result.callgraph.size(); ++n) {
+      const ipa::CGNode& node = result.callgraph.node(n);
+      proc_file[program.symtab.st(node.proc_st).name] =
+          program.sources.name(node.proc->file);
+    }
+    for (const lno::LoopAnalysis& la : loops) {
+      if (la.verdict == lno::LoopVerdict::Parallelizable) continue;
+      std::string detail = "loop over '" + la.index_var + "' stayed serial: " + la.detail;
+      if (la.dep_line_a != 0) {
+        detail += " (DEF at line " + std::to_string(la.dep_line_a) +
+                  " conflicts with the reference at line " + std::to_string(la.dep_line_b) +
+                  ")";
+      }
+      obs::prov_record(obs::CauseKind::LoopNotParallel,
+                       {la.proc, la.dep_array, proc_file[la.proc], la.line}, -1, detail);
+    }
+  }
+
+  prov_sink.reset();
+  if (cli.provenance()) obs::ProvenanceLedger::instance().append(std::move(prov));
   return rc;
 }
 
@@ -394,6 +475,55 @@ int run_mono(const CliOptions& cli, std::ostream& out, std::ostream& err) {
 struct FaultInjectScope {
   ~FaultInjectScope() { fi::disarm(); }
 };
+
+/// `--explain` console rendering: cause records from the ledger, one line
+/// each with their source position. `target` filters by "array" or
+/// "array@proc" (case-insensitive, like the language); `loops_only` flips
+/// between the precision-loss section and the serial-loop section.
+std::string render_explain(const std::vector<obs::ProvRecord>& records,
+                           const std::string& target, bool loops_only) {
+  std::string want_array;
+  std::string want_proc;
+  if (const std::size_t at = target.find('@'); at != std::string::npos) {
+    want_array = to_lower(target.substr(0, at));
+    want_proc = to_lower(target.substr(at + 1));
+  } else {
+    want_array = to_lower(target);
+  }
+
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const obs::ProvRecord& r : records) {
+    const bool is_loop = r.kind == obs::CauseKind::LoopNotParallel;
+    if (is_loop != loops_only) continue;
+    if (!want_array.empty() && to_lower(r.array) != want_array) continue;
+    if (!want_proc.empty() && to_lower(r.proc) != want_proc) continue;
+    os << "  ";
+    if (!r.file.empty()) os << r.file << ':' << r.line << ": ";
+    if (!r.proc.empty()) os << "in " << r.proc << ": ";
+    if (!r.array.empty()) {
+      os << '\'' << r.array << '\'';
+      if (r.dim >= 0) os << " dim " << (r.dim + 1);
+      os << ": ";
+    } else if (r.dim >= 0) {
+      os << "dim " << (r.dim + 1) << ": ";
+    }
+    os << obs::describe(r.kind);
+    if (!r.detail.empty()) os << " -- " << r.detail;
+    os << '\n';
+    ++shown;
+  }
+
+  std::ostringstream head;
+  if (loops_only) {
+    head << "explain: " << shown << " loop(s) stayed serial";
+  } else {
+    head << "explain: " << shown << " precision-loss cause(s)";
+  }
+  if (!target.empty()) head << " for '" << target << "'";
+  head << (shown == 0 ? "\n" : ":\n");
+  return head.str() + os.str();
+}
 
 }  // namespace
 
@@ -424,6 +554,7 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
     obs::Timeline::instance().clear();
     obs::EventLog::instance().clear();
   }
+  if (cli.provenance()) obs::ProvenanceLedger::instance().clear();
 
   std::optional<obs::Profiler> profiler;
   if (!cli.profile_file.empty()) {
@@ -448,6 +579,28 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
   if (rc == kFatal) {
     obs::set_enabled(was_enabled);
     return rc;
+  }
+
+  // Provenance rendering: the ledger was filled by whichever pipeline ran
+  // (run_mono's sink or the batch engine's per-unit capture).
+  if (cli.explain || cli.explain_loops) {
+    const std::vector<obs::ProvRecord> merged = obs::ProvenanceLedger::instance().merged();
+    if (cli.explain_loops && cli.serve()) {
+      err << "arac: --loops explanations need the whole-program IR and are "
+             "unavailable with --jobs/--cache-dir\n";
+    } else if (cli.explain_loops) {
+      out << render_explain(merged, cli.explain_target, /*loops_only=*/true);
+    }
+    if (cli.explain) {
+      out << render_explain(merged, cli.explain_target, /*loops_only=*/false);
+    }
+  }
+  if (!cli.provenance_out.empty() &&
+      !write_file(cli.provenance_out,
+                  obs::write_provenance_jsonl(obs::ProvenanceLedger::instance().merged(),
+                                              cli.name),
+                  err)) {
+    rc = 1;
   }
 
   // Telemetry rendering happens after the compiler is destroyed so every

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ipa/wn_affine.hpp"
+#include "obs/provenance.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "support/string_utils.hpp"
@@ -15,6 +16,8 @@ ARA_STATISTIC(stat_callsites, "ipa.callsites_translated", "Call sites translated
 ARA_STATISTIC(stat_passes, "ipa.propagation_passes", "Bottom-up propagation passes run");
 ARA_STATISTIC(stat_interproc_records, "ipa.interproc_records",
               "IDEF/IUSE records generated from callee effects");
+ARA_STATISTIC(stat_unprojected_dims, "regions.unprojected_dims",
+              "Declared/translated dimensions left UNPROJECTED");
 
 using regions::AccessMode;
 using regions::Bound;
@@ -43,9 +46,13 @@ InterprocAnalyzer::CalleeInfo InterprocAnalyzer::collect_info(ir::StIdx proc_st)
 
 Region translate_region(const Region& r,
                         const std::map<std::string, std::optional<LinExpr>, std::less<>>& subst,
-                        const std::map<std::string, bool, std::less<>>& callee_locals) {
+                        const std::map<std::string, bool, std::less<>>& callee_locals,
+                        const obs::ProvCtx* prov) {
   Region out;
+  std::int32_t dim = 0;
   for (const DimAccess& d : r.dims()) {
+    std::string poison_var;     // first variable that poisoned this dim
+    bool poison_local = false;  // callee local (vs non-affine actual)
     auto translate_bound = [&](const Bound& b) -> Bound {
       if (!b.known()) return b;
       LinExpr e = b.expr;
@@ -54,9 +61,16 @@ Region translate_region(const Region& r,
       // when two formals' actuals mention each other's names.
       for (const auto& [name, coef] : b.expr.named_terms()) {
         if (const auto it = subst.find(name); it != subst.end()) {
-          if (!it->second) return Bound::unprojected();
+          if (!it->second) {
+            if (poison_var.empty()) poison_var = name;
+            return Bound::unprojected();
+          }
           e = e.substituted(name, *it->second);
         } else if (callee_locals.count(name) != 0) {
+          if (poison_var.empty()) {
+            poison_var = name;
+            poison_local = true;
+          }
           return Bound::unprojected();
         }
       }
@@ -66,7 +80,23 @@ Region translate_region(const Region& r,
     nd.lb = translate_bound(d.lb);
     nd.ub = translate_bound(d.ub);
     nd.stride = d.stride;
+    if ((d.lb.known() && !nd.lb.known()) || (d.ub.known() && !nd.ub.known())) {
+      stat_unprojected_dims.bump();
+    }
+    if (prov != nullptr && obs::prov_capturing()) {
+      if (!d.lb.known() || !d.ub.known()) {
+        obs::prov_record(obs::CauseKind::CalleeImprecision, *prov, dim,
+                         "callee summary dimension is already imprecise at the call site");
+      } else if (!poison_var.empty()) {
+        obs::prov_record(
+            poison_local ? obs::CauseKind::CalleeLocalEscape : obs::CauseKind::ActualNotAffine,
+            *prov, dim,
+            poison_local ? "bound mentions callee-local '" + poison_var + "'"
+                         : "actual bound to formal '" + poison_var + "' is not affine");
+      }
+    }
     out.push_dim(std::move(nd));
+    ++dim;
   }
   return out;
 }
@@ -86,8 +116,10 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
   const int max_passes = cg_.has_cycle() ? 5 : 1;
 
   // One call-site translation: map the callee's (array, mode) effects into
-  // the caller's symbols; returns the translated effects.
-  auto translate_call = [&](std::uint32_t caller, const CallSite& cs)
+  // the caller's symbols; returns the translated effects. `attribute` turns
+  // on provenance records — only the final IDEF/IUSE generation sweep sets
+  // it, so the fixed-point passes never duplicate cause records.
+  auto translate_call = [&](std::uint32_t caller, const CallSite& cs, bool attribute)
       -> std::vector<std::tuple<ir::StIdx, AccessMode, ModeRegions>> {
     std::vector<std::tuple<ir::StIdx, AccessMode, ModeRegions>> out;
     stat_callsites.bump();
@@ -137,14 +169,22 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
       }
       if (caller_st == ir::kInvalidSt) continue;
 
+      const obs::ProvCtx ctx{program_.symtab.st(cg_.node(caller).proc_st).name,
+                             program_.symtab.st(caller_st).name,
+                             program_.sources.name(cg_.node(caller).proc->file), cs.loc.line};
+      const obs::ProvCtx* prov =
+          attribute && obs::prov_capturing() ? &ctx : nullptr;
       ModeRegions translated;
       translated.refs = mr.refs;
       for (const Region& r : mr.regions) {
-        translated.merge(translate_region(r, subst, callee_info.local_scalar), 0);
+        // Ambient attribution for widenings inside merge — final sweep only,
+        // so fixed-point passes don't duplicate records.
+        std::optional<obs::ProvScope> scope;
+        if (prov != nullptr) scope.emplace(ctx);
+        translated.merge(translate_region(r, subst, callee_info.local_scalar, prov), 0);
       }
       out.emplace_back(caller_st, mode, std::move(translated));
     }
-    (void)caller;
     stat_summaries_propagated.bump(out.size());
     return out;
   };
@@ -156,7 +196,7 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
       obs::Span proc_span(program_.symtab.st(cg_.node(n).proc_st).name, "ipa");
       SideEffects next = locals[n].side_effects;
       for (const CallSite& cs : cg_.node(n).callsites) {
-        for (auto& [st, mode, mr] : translate_call(n, cs)) {
+        for (auto& [st, mode, mr] : translate_call(n, cs, false)) {
           next.effects[{st, mode}].merge_all(mr);
         }
       }
@@ -198,7 +238,7 @@ InterprocResult InterprocAnalyzer::run(const std::vector<LocalSummary>& locals) 
   // Generate IDEF/IUSE rows per call site from the callee's final effects.
   for (std::uint32_t n = 0; n < cg_.size(); ++n) {
     for (const CallSite& cs : cg_.node(n).callsites) {
-      for (auto& [st, mode, mr] : translate_call(n, cs)) {
+      for (auto& [st, mode, mr] : translate_call(n, cs, true)) {
         bool first = true;
         for (Region& r : mr.regions) {
           AccessRecord rec;

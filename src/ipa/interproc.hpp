@@ -22,10 +22,14 @@ namespace ara::ipa {
 /// to the caller and poison their bound to UNPROJECTED. Shared by the
 /// in-memory IPA below and the serve engine's summary-based link phase —
 /// both must translate regions identically for their outputs to agree.
+/// When `prov` is non-null (the final IDEF/IUSE generation sweep, never the
+/// fixed-point passes), every poisoned or inherited-imprecise dimension is
+/// attributed to the provenance ledger.
 [[nodiscard]] regions::Region translate_region(
     const regions::Region& r,
     const std::map<std::string, std::optional<regions::LinExpr>, std::less<>>& subst,
-    const std::map<std::string, bool, std::less<>>& callee_locals);
+    const std::map<std::string, bool, std::less<>>& callee_locals,
+    const obs::ProvCtx* prov = nullptr);
 
 struct InterprocResult {
   /// Transitive side effects per call-graph node index.

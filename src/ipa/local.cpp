@@ -5,6 +5,7 @@
 #include <set>
 
 #include "ipa/wn_affine.hpp"
+#include "obs/provenance.hpp"
 #include "obs/stats.hpp"
 #include "support/string_utils.hpp"
 
@@ -15,6 +16,38 @@ ARA_STATISTIC(stat_messy_dims, "regions.messy_dims",
               "Subscript dimensions that fell back to MESSY bounds");
 ARA_STATISTIC(stat_projected_dims, "regions.dims_projected",
               "Subscript dimensions projected through loop bounds");
+ARA_STATISTIC(stat_unprojected_dims, "regions.unprojected_dims",
+              "Declared/translated dimensions left UNPROJECTED");
+
+namespace {
+
+/// True when the subscript tree reads an array element (a(b(i))): the
+/// "subscripted subscript" pattern the ROADMAP's irregular-access item needs
+/// attributed separately from plain non-affine arithmetic.
+bool contains_array_read(const ir::WN& wn) {
+  if (wn.opr() == ir::Opr::Array || wn.opr() == ir::Opr::Iload) return true;
+  for (std::size_t i = 0; i < wn.kid_count(); ++i) {
+    if (contains_array_read(*wn.kid(i))) return true;
+  }
+  return false;
+}
+
+/// Counts + attributes UNPROJECTED dims of a freshly declared region
+/// (assumed-size formals/actuals carry no extent to project).
+void note_unknown_extents(const regions::Region& r, const obs::ProvCtx& ctx) {
+  for (std::size_t i = 0; i < r.rank(); ++i) {
+    const regions::DimAccess& d = r.dim(i);
+    if (d.lb.kind != regions::BoundKind::Unprojected &&
+        d.ub.kind != regions::BoundKind::Unprojected) {
+      continue;
+    }
+    stat_unprojected_dims.bump();
+    obs::prov_record(obs::CauseKind::UnknownExtent, ctx, static_cast<std::int32_t>(i),
+                     "dimension has no declared extent (assumed size)");
+  }
+}
+
+}  // namespace
 
 using regions::AccessMode;
 using regions::Bound;
@@ -65,6 +98,8 @@ LocalSummary LocalAnalyzer::analyze(const CGNode& node) const {
     rec.scope_proc = node.proc_st;
     rec.file = node.proc->file;
     rec.line = st.loc.line;
+    note_unknown_extents(rec.region, {symtab.st(node.proc_st).name, st.name,
+                                      program_.sources.name(node.proc->file), st.loc.line});
     add_record(std::move(rec), walk);
   }
 
@@ -85,6 +120,9 @@ void LocalAnalyzer::add_record(AccessRecord rec, Walk& walk) const {
   const bool visible =
       st.storage == ir::StStorage::Global || st.storage == ir::StStorage::Formal;
   if (visible && (rec.mode == AccessMode::Def || rec.mode == AccessMode::Use)) {
+    // Attribution for any union widening/drop the merge performs.
+    obs::ProvScope scope({program_.symtab.st(walk.node->proc_st).name, st.name,
+                          program_.sources.name(walk.node->proc->file), rec.line});
     walk.out.side_effects.effects[{rec.array, rec.mode}].merge(rec.region, rec.refs);
   }
   stat_access_records.bump();
@@ -170,7 +208,9 @@ void LocalAnalyzer::record_scalar(const ir::WN& wn, AccessMode mode, Walk& walk)
 }
 
 regions::DimAccess LocalAnalyzer::project_subscript(LinExpr subscript,
-                                                    const std::vector<LoopCtx>& loops) const {
+                                                    const std::vector<LoopCtx>& loops,
+                                                    const obs::ProvCtx* prov,
+                                                    std::int32_t dim) const {
   // Count the loop variables the subscript (transitively) depends on: inner
   // loop bounds may reference outer induction variables (triangular loops),
   // so walk innermost-out accumulating reachable variables.
@@ -187,6 +227,10 @@ regions::DimAccess LocalAnalyzer::project_subscript(LinExpr subscript,
       ++nvars;
       if (!it->affine()) {
         stat_messy_dims.bump();
+        if (prov != nullptr && obs::prov_capturing()) {
+          obs::prov_record(obs::CauseKind::NonAffineLoopBound, *prov, dim,
+                           "enclosing loop '" + it->var + "' has non-affine bounds");
+        }
         return DimAccess{Bound::messy(), Bound::messy(), 1};
       }
       for (const regions::Term& t : it->init->terms()) dep.insert(t.id);
@@ -285,6 +329,10 @@ void LocalAnalyzer::record_array(const ir::WN& arr, AccessMode mode, Walk& walk,
     rec.image = img ? img->str() : "?";
   }
 
+  const obs::ProvCtx prov{program_.symtab.st(walk.node->proc_st).name,
+                          program_.symtab.st(array_st).name,
+                          program_.sources.name(walk.node->proc->file), arr.linenum().line};
+
   for (std::size_t i = 0; i < n; ++i) {
     // Source dimension i corresponds to row-major kid i for C, reversed for
     // Fortran (lowering reversed the source order; cf. §V-B: Dragon converts
@@ -294,6 +342,14 @@ void LocalAnalyzer::record_array(const ir::WN& arr, AccessMode mode, Walk& walk,
     const auto affine = wn_to_affine(*index, program_.symtab);
     if (!affine) {
       stat_messy_dims.bump();
+      if (obs::prov_capturing()) {
+        const bool subsub = contains_array_read(*index);
+        obs::prov_record(subsub ? obs::CauseKind::SubscriptedSubscript
+                                : obs::CauseKind::NonAffineSubscript,
+                         prov, static_cast<std::int32_t>(i),
+                         subsub ? "subscript reads an array element"
+                                : "subscript is not an affine expression");
+      }
       rec.region.push_dim(DimAccess{Bound::messy(), Bound::messy(), 1});
       continue;
     }
@@ -308,7 +364,8 @@ void LocalAnalyzer::record_array(const ir::WN& arr, AccessMode mode, Walk& walk,
         src += LinExpr::var(d.lb_sym);
       }
     }
-    rec.region.push_dim(project_subscript(std::move(src), walk.loops));
+    rec.region.push_dim(
+        project_subscript(std::move(src), walk.loops, &prov, static_cast<std::int32_t>(i)));
   }
 
   add_record(std::move(rec), walk);
@@ -334,6 +391,10 @@ void LocalAnalyzer::record_call(const ir::WN& call, Walk& walk) const {
       rec.scope_proc = walk.node->proc_st;
       rec.file = walk.node->proc->file;
       rec.line = call.linenum().line;
+      note_unknown_extents(rec.region,
+                           {program_.symtab.st(walk.node->proc_st).name,
+                            program_.symtab.st(arg->st_idx()).name,
+                            program_.sources.name(walk.node->proc->file), rec.line});
       add_record(std::move(rec), walk);
       continue;
     }

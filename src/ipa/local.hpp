@@ -17,6 +17,7 @@
 
 #include "ipa/callgraph.hpp"
 #include "ipa/summary.hpp"
+#include "obs/provenance.hpp"
 
 namespace ara::ipa {
 
@@ -60,9 +61,12 @@ class LocalAnalyzer {
   void add_record(AccessRecord rec, Walk& walk) const;
 
   /// Projects all enclosing loop variables out of one source-order subscript
-  /// expression, producing the dimension's triplet.
+  /// expression, producing the dimension's triplet. `prov`/`dim` attribute a
+  /// MESSY fallback to the reference being summarized (nullable).
   [[nodiscard]] regions::DimAccess project_subscript(regions::LinExpr subscript,
-                                                     const std::vector<LoopCtx>& loops) const;
+                                                     const std::vector<LoopCtx>& loops,
+                                                     const obs::ProvCtx* prov = nullptr,
+                                                     std::int32_t dim = -1) const;
 
   const ir::Program& program_;
 };

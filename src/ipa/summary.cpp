@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/provenance.hpp"
 #include "obs/stats.hpp"
 
 namespace ara::ipa {
@@ -23,6 +24,9 @@ void ModeRegions::merge(const regions::Region& r, std::uint64_t ref_count) {
     for (std::size_t j = i + 1; j < regions.size(); ++j) {
       if (const auto h = regions::Region::hull(regions[i], regions[j])) {
         stat_union_widenings.bump();
+        obs::prov_record_ambient(obs::CauseKind::UnionWidening, -1,
+                                 "region list overflowed; two constant regions "
+                                 "collapsed into their hull");
         regions[i] = *h;
         regions.erase(regions.begin() + static_cast<std::ptrdiff_t>(j));
         return;
@@ -31,6 +35,9 @@ void ModeRegions::merge(const regions::Region& r, std::uint64_t ref_count) {
   }
   // Nothing hullable (symbolic bounds): drop the oldest to bound memory.
   stat_union_drops.bump();
+  obs::prov_record_ambient(obs::CauseKind::UnionDrop, -1,
+                           "region list overflowed with no hullable pair; oldest "
+                           "region dropped");
   regions.erase(regions.begin());
 }
 

@@ -47,6 +47,7 @@ struct RefInfo {
   StIdx array = ir::kInvalidSt;
   bool is_def = false;
   bool messy = false;
+  std::uint32_t line = 0;          // reference's source line (for citations)
   std::vector<LinExpr> subs;       // source-order affine subscripts
   std::vector<InnerLoop> context;  // inner loops enclosing this reference
 };
@@ -88,6 +89,7 @@ class Scanner {
     RefInfo info;
     info.array = arr.array_base()->st_idx();
     info.is_def = is_def;
+    info.line = arr.linenum().line;
     info.context = inner_;
     const ir::Ty& ty = program_.symtab.ty(program_.symtab.st(info.array).ty);
     const std::size_t n = arr.num_dim();
@@ -277,6 +279,9 @@ LoopAnalysis analyze_loop(const WN& loop, const ipa::CGNode& node, const ir::Pro
         out.verdict = LoopVerdict::ArrayDependence;
         out.detail = "array '" + program.symtab.st(def.array).name +
                      "' may be touched by two different iterations";
+        out.dep_array = program.symtab.st(def.array).name;
+        out.dep_line_a = def.line;
+        out.dep_line_b = other.line;
         return out;
       }
     }

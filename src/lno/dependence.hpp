@@ -41,6 +41,12 @@ struct LoopAnalysis {
   LoopVerdict verdict = LoopVerdict::NotAnalyzable;
   std::string detail;            // offending array/scalar or reason
   std::string directive;        // "!$omp parallel do" when parallelizable
+  // Blocking dependence pair (ArrayDependence only): the DEF reference and
+  // the conflicting reference that keep the loop serial, cited by source
+  // line in --explain / provenance output.
+  std::string dep_array;
+  std::uint32_t dep_line_a = 0;
+  std::uint32_t dep_line_b = 0;
 };
 
 /// Analyzes one DO_LOOP node (must belong to `node`'s procedure).

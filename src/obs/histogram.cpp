@@ -7,6 +7,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/provenance.hpp"
 #include "support/json.hpp"
 
 namespace ara::obs {
@@ -193,6 +194,7 @@ std::string write_metrics_json(std::string_view workload) {
   os << "  \"schema\": \"ara.metrics.v1\",\n";
   os << "  \"workload\": \"" << json::escape(workload) << "\",\n";
   os << render_counters_json(2) << ",\n";
+  os << render_precision_json(2) << ",\n";
   os << render_histograms_json(2) << "\n";
   os << "}\n";
   return os.str();

@@ -1,0 +1,222 @@
+#include "obs/provenance.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/stats.hpp"
+#include "support/json.hpp"
+
+namespace ara::obs {
+
+namespace detail {
+thread_local ProvSinkState t_prov_sink;
+thread_local const ProvCtx* t_prov_ctx = nullptr;
+}  // namespace detail
+
+std::string_view to_string(CauseKind kind) {
+  switch (kind) {
+    case CauseKind::NonAffineSubscript: return "non_affine_subscript";
+    case CauseKind::SubscriptedSubscript: return "subscripted_subscript";
+    case CauseKind::NonAffineLoopBound: return "non_affine_loop_bound";
+    case CauseKind::UnknownExtent: return "unknown_extent";
+    case CauseKind::UnresolvedCall: return "unresolved_call";
+    case CauseKind::FmUnprojected: return "fm_unprojected";
+    case CauseKind::ActualNotAffine: return "actual_not_affine";
+    case CauseKind::CalleeLocalEscape: return "callee_local_escape";
+    case CauseKind::CalleeImprecision: return "callee_imprecision";
+    case CauseKind::UnionWidening: return "union_widening";
+    case CauseKind::UnionDrop: return "union_drop";
+    case CauseKind::LimitDemotion: return "limit_demotion";
+    case CauseKind::LoopNotParallel: return "loop_not_parallel";
+  }
+  return "unknown";
+}
+
+std::string_view describe(CauseKind kind) {
+  switch (kind) {
+    case CauseKind::NonAffineSubscript: return "non-affine subscript";
+    case CauseKind::SubscriptedSubscript: return "subscripted subscript";
+    case CauseKind::NonAffineLoopBound: return "non-affine loop bound";
+    case CauseKind::UnknownExtent: return "unknown extent (assumed size)";
+    case CauseKind::UnresolvedCall: return "unresolved external call";
+    case CauseKind::FmUnprojected: return "projection failed to bound the dimension";
+    case CauseKind::ActualNotAffine: return "call actual is not affine";
+    case CauseKind::CalleeLocalEscape: return "callee-local variable in translated bound";
+    case CauseKind::CalleeImprecision: return "imprecision inherited from callee summary";
+    case CauseKind::UnionWidening: return "region union widened to its hull";
+    case CauseKind::UnionDrop: return "region union dropped its oldest region";
+    case CauseKind::LimitDemotion: return "unit demoted by a resource limit";
+    case CauseKind::LoopNotParallel: return "loop not parallelizable";
+  }
+  return "unknown";
+}
+
+bool cause_from_string(std::string_view tag, CauseKind* out) {
+  static constexpr CauseKind kAll[] = {
+      CauseKind::NonAffineSubscript, CauseKind::SubscriptedSubscript,
+      CauseKind::NonAffineLoopBound, CauseKind::UnknownExtent,
+      CauseKind::UnresolvedCall,     CauseKind::FmUnprojected,
+      CauseKind::ActualNotAffine,    CauseKind::CalleeLocalEscape,
+      CauseKind::CalleeImprecision,  CauseKind::UnionWidening,
+      CauseKind::UnionDrop,          CauseKind::LimitDemotion,
+      CauseKind::LoopNotParallel,
+  };
+  for (CauseKind k : kAll) {
+    if (to_string(k) == tag) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void prov_record(CauseKind kind, const ProvCtx& ctx, std::int32_t dim, std::string_view detail) {
+  detail::ProvSinkState& sink = detail::t_prov_sink;
+  if (sink.out == nullptr) return;
+  ProvRecord rec;
+  rec.unit = sink.unit;
+  rec.seq = sink.seq++;
+  rec.kind = kind;
+  rec.proc = std::string(ctx.proc);
+  rec.array = std::string(ctx.array);
+  rec.dim = dim;
+  rec.file = std::string(ctx.file);
+  rec.line = ctx.line;
+  rec.detail = std::string(detail);
+  sink.out->push_back(std::move(rec));
+}
+
+void prov_record_ambient(CauseKind kind, std::int32_t dim, std::string_view detail) {
+  if (detail::t_prov_sink.out == nullptr) return;
+  const ProvCtx* ctx = detail::t_prov_ctx;
+  if (ctx == nullptr) return;  // no attribution -> a record would be noise
+  prov_record(kind, *ctx, dim, detail);
+}
+
+ProvSink::ProvSink(std::vector<ProvRecord>* out, std::uint32_t unit) {
+  saved_ = detail::t_prov_sink;
+  detail::t_prov_sink = {out, unit, 0};
+}
+
+ProvSink::~ProvSink() { detail::t_prov_sink = saved_; }
+
+ProvScope::ProvScope(ProvCtx ctx) : ctx_(ctx), saved_(detail::t_prov_ctx) {
+  detail::t_prov_ctx = &ctx_;
+}
+
+ProvScope::~ProvScope() { detail::t_prov_ctx = saved_; }
+
+struct ProvenanceLedger::State {
+  mutable std::mutex mu;
+  std::vector<ProvRecord> records;
+};
+
+ProvenanceLedger::State& ProvenanceLedger::state() const {
+  static State s;
+  return s;
+}
+
+ProvenanceLedger& ProvenanceLedger::instance() {
+  static ProvenanceLedger ledger;
+  return ledger;
+}
+
+void ProvenanceLedger::clear() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.records.clear();
+}
+
+void ProvenanceLedger::append(std::vector<ProvRecord> records) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.records.insert(s.records.end(), std::make_move_iterator(records.begin()),
+                   std::make_move_iterator(records.end()));
+}
+
+std::vector<ProvRecord> ProvenanceLedger::merged() const {
+  State& s = state();
+  std::vector<ProvRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out = s.records;
+  }
+  // The event-log contract: deterministic (unit, site) order regardless of
+  // append order, worker count or cache state. `seq` is capture order
+  // within the unit, so (unit, seq) is already a total order per unit.
+  std::stable_sort(out.begin(), out.end(), [](const ProvRecord& a, const ProvRecord& b) {
+    if (a.unit != b.unit) return a.unit < b.unit;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+std::size_t ProvenanceLedger::size() const {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.records.size();
+}
+
+std::string write_provenance_jsonl(const std::vector<ProvRecord>& records,
+                                   std::string_view run_name) {
+  std::ostringstream os;
+  os << "{\"schema\": \"ara.prov.v1\", \"run\": \"" << json::escape(run_name)
+     << "\", \"records\": " << records.size() << "}\n";
+  for (const ProvRecord& r : records) {
+    if (r.unit == kLinkUnit) {
+      os << "{\"unit\": \"link\"";
+    } else {
+      os << "{\"unit\": " << r.unit;
+    }
+    os << ", \"seq\": " << r.seq << ", \"kind\": \"" << to_string(r.kind) << "\"";
+    if (!r.proc.empty()) os << ", \"proc\": \"" << json::escape(r.proc) << "\"";
+    if (!r.array.empty()) os << ", \"array\": \"" << json::escape(r.array) << "\"";
+    if (r.dim >= 0) os << ", \"dim\": " << r.dim;
+    if (!r.file.empty()) os << ", \"file\": \"" << json::escape(r.file) << "\"";
+    if (r.line != 0) os << ", \"line\": " << r.line;
+    if (!r.detail.empty()) os << ", \"detail\": \"" << json::escape(r.detail) << "\"";
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string render_precision_json(int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::uint64_t projected = 0, messy = 0, unprojected = 0;
+  for (const StatEntry& e : StatsRegistry::instance().snapshot(false)) {
+    if (e.name == "regions.dims_projected") projected += e.value;
+    if (e.name == "regions.messy_dims") messy += e.value;
+    if (e.name == "regions.unprojected_dims") unprojected += e.value;
+  }
+  const std::uint64_t total = projected + messy + unprojected;
+  const auto rate = [&](std::uint64_t n) {
+    return total == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(total);
+  };
+  std::map<std::string_view, std::uint64_t> causes;
+  for (const ProvRecord& r : ProvenanceLedger::instance().merged()) ++causes[to_string(r.kind)];
+
+  std::ostringstream os;
+  os << pad << "\"precision\": {\n";
+  os << pad << "  \"dims_projected\": " << projected << ",\n";
+  os << pad << "  \"dims_messy\": " << messy << ",\n";
+  os << pad << "  \"dims_unprojected\": " << unprojected << ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", rate(messy));
+  os << pad << "  \"messy_dim_rate\": " << buf << ",\n";
+  std::snprintf(buf, sizeof buf, "%.6f", rate(unprojected));
+  os << pad << "  \"unprojected_rate\": " << buf << ",\n";
+  os << pad << "  \"causes\": {";
+  bool first = true;
+  for (const auto& [tag, count] : causes) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << tag << "\": " << count;
+  }
+  os << "}\n" << pad << "}";
+  return os.str();
+}
+
+}  // namespace ara::obs

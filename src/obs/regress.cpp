@@ -37,8 +37,8 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 /// Direction by naming convention, for files whose schema carries no
 /// explicit "better" field (stats/metrics documents).
 Direction infer_direction(std::string_view name) {
-  for (const char* suf : {"_ns", "_ms", "_us", "_pct", ".p50", ".p90", ".p99", ".mean",
-                          ".max", ".sum"}) {
+  for (const char* suf : {"_ns", "_ms", "_us", "_pct", "_rate", ".p50", ".p90", ".p99",
+                          ".mean", ".max", ".sum"}) {
     if (ends_with(name, suf)) return Direction::Lower;
   }
   for (const char* suf : {"_speedup", "_per_sec"}) {
@@ -55,12 +55,40 @@ std::optional<Direction> parse_direction(std::string_view s) {
   return std::nullopt;
 }
 
+std::string_view dir_name(Direction d) {
+  switch (d) {
+    case Direction::Lower: return "lower";
+    case Direction::Higher: return "higher";
+    case Direction::Exact: return "exact";
+    case Direction::Neutral: return "neutral";
+  }
+  return "neutral";
+}
+
 /// Flattens "counters": {name: N} into `name` metrics (neutral: counter
 /// totals shift legitimately between versions; exact-compare them with an
 /// explicit --metric rule if a workload demands it).
 void flatten_counters(const json::Value& counters, MetricMap* out) {
   for (const auto& [name, v] : counters.object) {
     if (v.is_number()) (*out)[name] = Metric{v.number, Direction::Neutral};
+  }
+}
+
+/// Flattens the "precision" section (ara.stats.v2 / ara.metrics.v1):
+/// scalar fields become precision.X — the *_rate fields regress upward via
+/// infer_direction — and the causes-by-kind object becomes
+/// precision.causes.Y (neutral counts).
+void flatten_precision(const json::Value& prec, MetricMap* out) {
+  for (const auto& [name, v] : prec.object) {
+    if (v.is_number()) {
+      (*out)["precision." + name] = Metric{v.number, infer_direction(name)};
+    } else if (name == "causes" && v.is_object()) {
+      for (const auto& [tag, c] : v.object) {
+        if (c.is_number()) {
+          (*out)["precision.causes." + tag] = Metric{c.number, Direction::Neutral};
+        }
+      }
+    }
   }
 }
 
@@ -141,6 +169,7 @@ bool load_metrics(const std::string& path, MetricMap* out, std::string* error) {
   }
   if (stats_like) {
     if (const json::Value* counters = doc->find("counters")) flatten_counters(*counters, out);
+    if (const json::Value* prec = doc->find("precision")) flatten_precision(*prec, out);
     if (const json::Value* hists = doc->find("histograms")) flatten_histograms(*hists, out);
   } else {
     const json::Value* metrics = doc->find("metrics");
@@ -182,13 +211,20 @@ void usage(std::ostream& out) {
   out << "arareport — diff two run-ledger JSON files and flag regressions\n"
          "\n"
          "usage: arareport [options] <baseline.json> <current.json>\n"
+         "       arareport --list-metrics <file.json>\n"
          "\n"
          "  --help             this text\n"
-         "  --check            exit 1 when any regression is found (CI gate)\n"
+         "  --check            exit 1 when any regression is found (CI gate);\n"
+         "                     a removed gated metric (exact direction or an\n"
+         "                     explicit --metric rule) also fails\n"
          "  --threshold PCT    default tolerance for directional metrics (default 10)\n"
          "  --metric NAME=PCT  per-metric tolerance; also promotes a neutral\n"
          "                     metric (e.g. a counter) to lower-is-better\n"
+         "  --list-metrics     inspect one file: print every comparable metric\n"
+         "                     with its value and direction, then exit\n"
          "\n"
+         "One-sided metrics render as 'removed' (baseline only) or 'added'\n"
+         "(current only) rows.\n"
          "Accepted inputs: NAME.stats.json (ara.stats.v1/v2), --metrics-out\n"
          "files (ara.metrics.v1), and BENCH_*.json (ara.bench.v1). Direction\n"
          "comes from the bench \"better\" field, or the metric name (_ns/_ms/\n"
@@ -200,6 +236,7 @@ void usage(std::ostream& out) {
 
 int run_arareport(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   bool check = false;
+  bool list_metrics = false;
   double threshold = 10.0;
   std::map<std::string, double> per_metric;
   std::vector<std::string> files;
@@ -218,6 +255,8 @@ int run_arareport(const std::vector<std::string>& args, std::ostream& out, std::
       return 0;
     } else if (a == "--check") {
       check = true;
+    } else if (a == "--list-metrics") {
+      list_metrics = true;
     } else if (a == "--threshold") {
       const std::string* v = next("--threshold");
       if (v == nullptr) return 2;
@@ -246,6 +285,28 @@ int run_arareport(const std::vector<std::string>& args, std::ostream& out, std::
       files.push_back(a);
     }
   }
+  if (list_metrics) {
+    if (files.size() != 1) {
+      err << "arareport: --list-metrics expects exactly one input file, got " << files.size()
+          << "\n";
+      usage(err);
+      return 2;
+    }
+    MetricMap metrics;
+    std::string error;
+    if (!load_metrics(files[0], &metrics, &error)) {
+      err << "arareport: " << error << "\n";
+      return 2;
+    }
+    TextTable table;
+    table.set_header({"Metric", "Value", "Direction"});
+    for (const auto& [name, m] : metrics) {
+      table.add_row({name, fmt_value(m.value), std::string(dir_name(m.dir))});
+    }
+    out << table.render();
+    out << metrics.size() << " metrics\n";
+    return 0;
+  }
   if (files.size() != 2) {
     err << "arareport: expected exactly two input files, got " << files.size() << "\n";
     usage(err);
@@ -268,10 +329,11 @@ int run_arareport(const std::vector<std::string>& args, std::ostream& out, std::
   for (const auto& [name, b] : base) {
     const auto it = cur.find(name);
     if (it == cur.end()) {
-      // A vanished exact metric is a structural change the gate must see.
-      const bool fail = b.dir == Direction::Exact;
+      // A vanished gated metric — exact direction, or one the caller pinned
+      // with a --metric rule — is a structural change the gate must see.
+      const bool fail = b.dir == Direction::Exact || per_metric.count(name) != 0;
       if (fail) ++regressions;
-      table.add_row({name, fmt_value(b.value), "-", "-", fail ? "MISSING" : "gone"});
+      table.add_row({name, fmt_value(b.value), "-", "-", fail ? "MISSING" : "removed"});
       continue;
     }
     ++compared;
@@ -309,7 +371,7 @@ int run_arareport(const std::vector<std::string>& args, std::ostream& out, std::
   }
   for (const auto& [name, c] : cur) {
     if (base.find(name) == base.end()) {
-      table.add_row({name, "-", fmt_value(c.value), "-", "new"});
+      table.add_row({name, "-", fmt_value(c.value), "-", "added"});
     }
   }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/histogram.hpp"
+#include "obs/provenance.hpp"
 #include "support/json.hpp"
 
 namespace ara::obs {
@@ -74,6 +75,7 @@ std::string write_stats_json(std::string_view workload) {
   os << "  \"schema\": \"ara.stats.v2\",\n";
   os << "  \"workload\": \"" << json::escape(workload) << "\",\n";
   os << render_counters_json(2) << ",\n";
+  os << render_precision_json(2) << ",\n";
   os << render_histograms_json(2) << "\n";
   os << "}\n";
   return os.str();

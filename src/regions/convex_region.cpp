@@ -1,5 +1,7 @@
 #include "regions/convex_region.hpp"
 
+#include "obs/provenance.hpp"
+
 namespace ara::regions {
 
 ConvexRegion ConvexRegion::from_region(const Region& r) {
@@ -58,6 +60,10 @@ Region ConvexRegion::to_region() const {
       d.ub = Bound::unprojected();
     }
     d.stride = 1;
+    if (!d.lb.known() || !d.ub.known()) {
+      obs::prov_record_ambient(obs::CauseKind::FmUnprojected, static_cast<std::int32_t>(i),
+                               "Fourier-Motzkin projection left the dimension unbounded");
+    }
     out.push_dim(std::move(d));
   }
   return out;

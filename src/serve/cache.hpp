@@ -22,8 +22,9 @@ namespace ara::serve {
 /// Bumped whenever the summary format or the analysis itself changes
 /// meaning; stale entries from older builds then miss and are rewritten.
 /// v2: entries carry the unit's rendered diagnostics (warnings replay on
-/// cache hits).
-inline constexpr std::string_view kAnalyzerVersion = "openara-serve-2";
+/// cache hits). v3: entries carry the unit's provenance cause records
+/// (--explain / .provenance.jsonl replay on cache hits).
+inline constexpr std::string_view kAnalyzerVersion = "openara-serve-3";
 
 class SummaryCache {
  public:

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <fstream>
+#include <iterator>
 #include <new>
 #include <sstream>
 
 #include "frontend/compile.hpp"
 #include "obs/eventlog.hpp"
+#include "obs/provenance.hpp"
 #include "obs/histogram.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
@@ -103,6 +105,10 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
 
   std::vector<std::optional<UnitSummary>> summaries(sources.size());
   std::vector<std::string> texts(sources.size());
+  // Per-unit provenance capture. Always on — records must land in the
+  // summary (and the cache) even when this run doesn't render them, so a
+  // later warm-cache --explain replays them byte-identically.
+  std::vector<std::vector<obs::ProvRecord>> unit_prov(sources.size());
 
   auto& events = obs::EventLog::instance();
   for (std::size_t i = 0; i < sources.size(); ++i) {
@@ -130,6 +136,7 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
       UnitReport& report = result.units[i];
       report.source_name = sources[i].name;
       texts[i] = sources[i].text;
+      obs::ProvSink prov_sink(&unit_prov[i], static_cast<std::uint32_t>(i));
 
       // Error barrier: nothing one unit does — a hostile input tripping a
       // resource cap, the watchdog, an I/O fault real or injected, or a
@@ -146,6 +153,8 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
           events.record(static_cast<std::uint32_t>(i), sources[i].name,
                         obs::UnitEvent::CacheHit);
           report.diagnostics = hit->diagnostics;
+          unit_prov[i] = hit->provenance;
+          for (obs::ProvRecord& p : unit_prov[i]) p.unit = static_cast<std::uint32_t>(i);
           summaries[i] = std::move(*hit);
           report.status = UnitStatus::Cached;
           events.record(static_cast<std::uint32_t>(i), sources[i].name,
@@ -183,6 +192,7 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
           summaries[i] = summarize_unit(program, externs);
         }
         summaries[i]->diagnostics = report.diagnostics;
+        summaries[i]->provenance = unit_prov[i];
         if (cache.enabled()) cache.store(key, *summaries[i]);
         report.status = UnitStatus::Analyzed;
         events.record(static_cast<std::uint32_t>(i), sources[i].name,
@@ -202,7 +212,20 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
       }
       // A failed unit never contributes to the link, even if the exception
       // escaped mid-summarization.
-      if (report.status == UnitStatus::Failed) summaries[i].reset();
+      if (report.status == UnitStatus::Failed) {
+        summaries[i].reset();
+        // Records captured before the failure depend on where the barrier
+        // struck; keep only the demotion cause so the export stays
+        // deterministic (cross-ref: the UnitFailure in .failures.json).
+        unit_prov[i].clear();
+        obs::ProvRecord demote;
+        demote.unit = static_cast<std::uint32_t>(i);
+        demote.kind = obs::CauseKind::LimitDemotion;
+        demote.file = report.source_name;
+        demote.detail = std::string(to_string(report.failure->kind)) + ": " +
+                        report.failure->reason;
+        unit_prov[i].push_back(std::move(demote));
+      }
     });
     obs::set_lane(0);
   }
@@ -236,7 +259,18 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
   lopts.include_scalars = opts.include_scalars;
   lopts.degraded = result.failed_units > 0;
   lopts.layout = opts.layout;
-  result.link = link_units(units, unit_texts, lopts, name);
+  std::vector<obs::ProvRecord> link_prov;
+  {
+    const obs::ProvSink link_sink(&link_prov, obs::kLinkUnit);
+    result.link = link_units(units, unit_texts, lopts, name);
+  }
+  for (std::vector<obs::ProvRecord>& up : unit_prov) {
+    result.provenance.insert(result.provenance.end(), std::make_move_iterator(up.begin()),
+                             std::make_move_iterator(up.end()));
+  }
+  result.provenance.insert(result.provenance.end(),
+                           std::make_move_iterator(link_prov.begin()),
+                           std::make_move_iterator(link_prov.end()));
   for (const std::size_t i : linked_indices) {
     events.record(static_cast<std::uint32_t>(i), sources[i].name, obs::UnitEvent::Linked);
   }

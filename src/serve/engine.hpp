@@ -84,6 +84,11 @@ struct BatchResult {
   /// Valid when ok or partial: rows, .dgn project, .cfg text, the
   /// reconstructed program, and link diagnostics.
   LinkResult link;
+  /// Provenance cause records, merged in (unit, seq) order: per-unit records
+  /// in input order (replayed from the cache on hits), then the serial link
+  /// phase's records under obs::kLinkUnit. Byte-stable across --jobs values
+  /// and cache states.
+  std::vector<obs::ProvRecord> provenance;
 };
 
 /// One in-memory translation unit.

@@ -8,6 +8,7 @@
 
 #include "ipa/interproc.hpp"
 #include "obs/histogram.hpp"
+#include "obs/provenance.hpp"
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "support/string_utils.hpp"
@@ -235,6 +236,11 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
     for (const ExternSummary& ext : units[u].externs) {
       if (procs.count(ext.name) == 0 && reported.insert(ext.name).second) {
         const SourceLoc loc{file_of(u), ext.line, 0};
+        obs::prov_record(obs::CauseKind::UnresolvedCall,
+                         {"", ext.name, units[u].source_name, ext.line}, -1,
+                         opts.degraded
+                             ? "defining unit failed to analyze; callee effects unknown"
+                             : "no linked unit defines this procedure");
         if (opts.degraded) {
           // The definition may live in a unit that failed to analyze; the
           // call's effects are unknown, but the survivors still link.
@@ -351,9 +357,11 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
     // translate_call over summary actuals: the callee's (array, mode)
     // effects are rewritten onto the caller's symbols, formal scalars are
     // substituted with the actuals' affine values, and unambiguous
-    // formal-array -> actual-array bindings are recorded.
+    // formal-array -> actual-array bindings are recorded. `attribute` turns
+    // on provenance records — only the final IDEF/IUSE generation sweep sets
+    // it, so the fixed-point passes never duplicate cause records.
     auto translate_call = [&](std::uint32_t caller, std::uint32_t callee_node,
-                              const CallSummary& cs)
+                              const CallSummary& cs, bool attribute)
         -> std::vector<std::tuple<ir::StIdx, AccessMode, ipa::ModeRegions>> {
       std::vector<std::tuple<ir::StIdx, AccessMode, ipa::ModeRegions>> out;
       stat_link_callsites.bump();
@@ -391,10 +399,17 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
         }
         if (caller_st == ir::kInvalidSt) continue;
 
+        const obs::ProvCtx ctx{program.symtab.st(nodes[caller].proc_st).name,
+                               program.symtab.st(caller_st).name,
+                               program.sources.name(file_of(nodes[caller].unit)), cs.line};
+        const obs::ProvCtx* prov = attribute && obs::prov_capturing() ? &ctx : nullptr;
         ipa::ModeRegions translated;
         translated.refs = mr.refs;
         for (const Region& r : mr.regions) {
-          translated.merge(ipa::translate_region(r, subst, callee_info.local_scalar), 0);
+          // Ambient attribution for widenings inside merge — final sweep only.
+          std::optional<obs::ProvScope> scope;
+          if (prov != nullptr) scope.emplace(ctx);
+          translated.merge(ipa::translate_region(r, subst, callee_info.local_scalar, prov), 0);
         }
         out.emplace_back(caller_st, mode, std::move(translated));
       }
@@ -411,7 +426,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
         for (std::size_t c = 0; c < nodes[n].proc->callsites.size(); ++c) {
           if (nodes[n].callees[c] == kNoNode) continue;
           for (auto& [st, mode, mr] :
-               translate_call(n, nodes[n].callees[c], nodes[n].proc->callsites[c])) {
+               translate_call(n, nodes[n].callees[c], nodes[n].proc->callsites[c], false)) {
             next.effects[{st, mode}].merge_all(mr);
           }
         }
@@ -452,7 +467,7 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
         const CallSummary& cs = nodes[n].proc->callsites[c];
         const std::uint32_t callee = nodes[n].callees[c];
         if (callee == kNoNode) continue;
-        for (auto& [st, mode, mr] : translate_call(n, callee, cs)) {
+        for (auto& [st, mode, mr] : translate_call(n, callee, cs, true)) {
           bool first = true;
           for (Region& r : mr.regions) {
             ipa::AccessRecord rec;

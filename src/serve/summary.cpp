@@ -15,7 +15,7 @@ namespace io = ipa::io;
 
 namespace {
 
-constexpr std::string_view kMagic = "ARA-UNIT 2";  // v2: trailing diag section
+constexpr std::string_view kMagic = "ARA-UNIT 3";  // v3: provenance records
 
 char kind_tag(SymInfo::Kind k) {
   switch (k) {
@@ -363,6 +363,15 @@ std::string write_unit_summary(const UnitSummary& unit) {
     os << "ext " << io::enc(e.name) << ' ' << e.line << '\n';
   }
 
+  // Provenance records in capture order; unit and seq are implicit (the
+  // loader re-stamps them), so a cached entry replays under any input index.
+  os << "prov " << unit.provenance.size() << '\n';
+  for (const obs::ProvRecord& p : unit.provenance) {
+    os << "p " << obs::to_string(p.kind) << ' ' << io::enc(p.proc) << ' '
+       << io::enc(p.array) << ' ' << p.dim << ' ' << io::enc(p.file) << ' ' << p.line
+       << ' ' << io::enc(p.detail) << '\n';
+  }
+
   os << "cfg " << unit.cfg_text.size() << '\n' << unit.cfg_text << '\n';
   os << "diag " << unit.diagnostics.size() << '\n' << unit.diagnostics << "\nend\n";
   return os.str();
@@ -530,6 +539,37 @@ std::optional<UnitSummary> parse_unit_summary(std::string_view text) {
     if (!name || !read_u32_tok(t[2], &e.line)) return std::nullopt;
     e.name = *name;
     unit.externs.push_back(std::move(e));
+  }
+
+  std::size_t nprov = 0;
+  {
+    const auto l = in.line();
+    if (!l) return std::nullopt;
+    const auto t = split_ws(*l);
+    if (t.size() != 2 || t[0] != "prov" || !read_count(t[1], &nprov)) return std::nullopt;
+  }
+  for (std::size_t i = 0; i < nprov; ++i) {
+    const auto l = in.line();
+    if (!l) return std::nullopt;
+    const auto t = split_ws(*l);
+    if (t.size() != 8 || t[0] != "p") return std::nullopt;
+    obs::ProvRecord p;
+    p.seq = static_cast<std::uint32_t>(i);
+    const auto proc = io::dec(t[2]);
+    const auto array = io::dec(t[3]);
+    const auto dim = io::read_i64(t[4]);
+    const auto file = io::dec(t[5]);
+    const auto detail = io::dec(t[7]);
+    if (!obs::cause_from_string(t[1], &p.kind) || !proc || !array || !dim || *dim < -1 ||
+        *dim > 0x7fffffff || !file || !read_u32_tok(t[6], &p.line) || !detail) {
+      return std::nullopt;
+    }
+    p.proc = *proc;
+    p.array = *array;
+    p.dim = static_cast<std::int32_t>(*dim);
+    p.file = *file;
+    p.detail = *detail;
+    unit.provenance.push_back(std::move(p));
   }
 
   {

@@ -23,6 +23,7 @@
 #include "frontend/sema.hpp"
 #include "ipa/summary.hpp"
 #include "ir/program.hpp"
+#include "obs/provenance.hpp"
 
 namespace ara::serve {
 
@@ -125,6 +126,11 @@ struct UnitSummary {
   /// Rendered non-error diagnostics of the clean compile ("" when silent),
   /// cached with the summary so warnings replay byte-identically on hits.
   std::string diagnostics;
+  /// Provenance cause records captured while analyzing this unit, in capture
+  /// (seq) order. Cached with the summary (v3) so warm-cache runs replay
+  /// --explain / .provenance.jsonl byte-identically; `unit` is rewritten to
+  /// the current input index on load.
+  std::vector<obs::ProvRecord> provenance;
 };
 
 /// Builds the summary of one separately-compiled unit (a Program holding

@@ -18,6 +18,8 @@ struct BatchStats {
   std::uint64_t points = 0;
   std::uint64_t entries = 0;
   std::uint64_t exact = 0;
+  std::uint64_t imprecise_dims = 0;  // Messy/Unprojected dims (provenance oracle)
+  std::uint64_t prov_records = 0;
 
   friend bool operator==(const BatchStats&, const BatchStats&) = default;
 };
@@ -35,6 +37,8 @@ BatchStats run_batch(std::uint64_t first_seed, int count) {
       s.points += rep.points_checked;
       s.entries += rep.entries_checked;
       s.exact += rep.entries_exact;
+      s.imprecise_dims += rep.dims_messy + rep.dims_unprojected;
+      s.prov_records += rep.provenance.size();
       if (!rep.sound()) {
         ++s.failures;
         ADD_FAILURE() << "seed " << o.seed << " " << to_string(lang) << ": "
@@ -51,6 +55,11 @@ TEST(FuzzSmoke, TwoHundredProgramsSoundAndDeterministic) {
   EXPECT_EQ(first.failures, 0u);
   EXPECT_GT(first.points, 0u);
   EXPECT_GT(first.entries, 0u);
+  // The provenance oracle must actually see work: the batch produces
+  // imprecise dimensions, and each run_difftest explained every one of
+  // them (a gap would have been a "provenance" violation above).
+  EXPECT_GT(first.imprecise_dims, 0u);
+  EXPECT_GT(first.prov_records, 0u);
 
   // Determinism on repeat: regenerating and re-running the same seeds must
   // reproduce every statistic bit-for-bit.

@@ -128,7 +128,42 @@ TEST_F(ArareportTest, VanishedExactMetricIsMissing) {
       " \"metrics\": {\"renamed\": {\"value\": 7, \"better\": \"exact\"}}}\n");
   EXPECT_EQ(run({"--check", base, other}), 1);
   EXPECT_NE(out_.str().find("MISSING"), std::string::npos);
-  EXPECT_NE(out_.str().find("new"), std::string::npos) << "the renamed metric shows as new";
+  EXPECT_NE(out_.str().find("added"), std::string::npos)
+      << "the renamed metric shows as added";
+}
+
+TEST_F(ArareportTest, OneSidedMetricsRenderAsAddedAndRemoved) {
+  const std::string base = write("base.json", bench_doc(7.0, "neutral"));
+  const std::string other = write(
+      "other.json",
+      "{\"schema\": \"ara.bench.v1\", \"bench\": \"t\", \"workload\": \"w\",\n"
+      " \"metrics\": {\"renamed\": {\"value\": 7, \"better\": \"neutral\"}}}\n");
+  // A neutral metric vanishing is informational ("removed"), not a failure…
+  EXPECT_EQ(run({"--check", base, other}), 0);
+  EXPECT_NE(out_.str().find("removed"), std::string::npos);
+  EXPECT_NE(out_.str().find("added"), std::string::npos);
+  // …unless the caller gated it with an explicit --metric rule.
+  EXPECT_EQ(run({"--check", "--metric", "probe=5", base, other}), 1);
+  EXPECT_NE(out_.str().find("MISSING"), std::string::npos);
+}
+
+TEST_F(ArareportTest, ListMetricsInspectsOneFile) {
+  const std::string doc = write(
+      "stats.json",
+      "{\"schema\": \"ara.stats.v2\", \"workload\": \"w\",\n"
+      " \"counters\": {\"serve.units\": 20},\n"
+      " \"precision\": {\"dims_messy\": 3, \"messy_dim_rate\": 1.5,\n"
+      "  \"causes\": {\"non_affine_subscript\": 3}},\n"
+      " \"histograms\": {\"serve.unit_parse_ns\": {\"count\": 20, \"p50\": 1000}}}\n");
+  EXPECT_EQ(run({"--list-metrics", doc}), 0);
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("serve.units"), std::string::npos);
+  EXPECT_NE(text.find("precision.messy_dim_rate"), std::string::npos);
+  EXPECT_NE(text.find("precision.causes.non_affine_subscript"), std::string::npos);
+  // _rate names regress upward; the causes counts stay informational.
+  const std::size_t rate_pos = text.find("precision.messy_dim_rate");
+  EXPECT_NE(text.find("lower", rate_pos), std::string::npos) << text;
+  EXPECT_EQ(run({"--list-metrics", doc, doc}), 2) << "--list-metrics takes one file";
 }
 
 TEST_F(ArareportTest, NeutralMetricsNeverFailUnlessPromoted) {

@@ -1,0 +1,27 @@
+# perf-smoke precision gate: re-run the fixed fuzz corpus (200 seeds per
+# front end, seed 42) with the provenance census enabled and diff the
+# resulting BENCH_precision.json against the committed baseline with
+# arareport --check. Every count is exact over fixed seeds, so any drift in
+# the messy-dimension census or the cause distribution — an analysis change
+# silently losing (or faking) precision — fails the build; the derived
+# messy_dim_rate carries the normal lower-is-better tolerance.
+#   cmake -DARAFUZZ=... -DARAREPORT=... -DBASELINE=... -DOUT=... -P run_precision_smoke.cmake
+execute_process(
+  COMMAND "${ARAFUZZ}" --count 200 --seed 42 --quiet --precision-out "${OUT}"
+  RESULT_VARIABLE RC_FUZZ
+  OUTPUT_VARIABLE FUZZ_OUT)
+if(NOT RC_FUZZ EQUAL 0)
+  message(FATAL_ERROR "arafuzz --precision-out failed (rc=${RC_FUZZ}):\n${FUZZ_OUT}")
+endif()
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "arafuzz did not write ${OUT}")
+endif()
+
+execute_process(
+  COMMAND "${ARAREPORT}" --check "${BASELINE}" "${OUT}"
+  RESULT_VARIABLE RC_REPORT
+  OUTPUT_VARIABLE REPORT_OUT)
+message(STATUS "arareport:\n${REPORT_OUT}")
+if(NOT RC_REPORT EQUAL 0)
+  message(FATAL_ERROR "precision census drifted vs ${BASELINE} (rc=${RC_REPORT})")
+endif()

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "difftest/generator.hpp"
 #include "difftest/minimize.hpp"
 #include "difftest/oracle.hpp"
+#include "obs/provenance.hpp"
 
 namespace {
 
@@ -35,6 +38,7 @@ struct CliOptions {
   bool stress_fm = false;
   std::string corpus_dir;
   std::string failpoints;
+  std::string precision_out;
 };
 
 void usage() {
@@ -56,7 +60,11 @@ void usage() {
                "  --failpoints SPEC  arm fault-injection failpoints during the hunt\n"
                "  --stress-fm  FM-stress generator grid: deep nests, many live\n"
                "               induction variables, coupled subscripts (distinct\n"
-               "               program space from the default grid)\n";
+               "               program space from the default grid)\n"
+               "  --precision-out FILE  write an ara.bench.v1 record aggregating\n"
+               "               the corpus's precision census (messy/unprojected\n"
+               "               dimension counts + provenance cause counts) for\n"
+               "               arareport --check gating\n";
 }
 
 bool parse_args(int argc, char** argv, CliOptions* cli) {
@@ -107,6 +115,10 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
       cli->do_minimize = true;
     } else if (a == "--stress-fm") {
       cli->stress_fm = true;
+    } else if (a == "--precision-out") {
+      const char* v = next("--precision-out");
+      if (v == nullptr) return false;
+      cli->precision_out = v;
     } else if (a == "--quiet") {
       cli->quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -121,6 +133,56 @@ bool parse_args(int argc, char** argv, CliOptions* cli) {
   if (cli->replay) cli->count = 1;
   return true;
 }
+
+/// Aggregated precision census of one fuzz run. Every field is a count
+/// over fixed seeds, so the record is byte-reproducible and `exact`-gated;
+/// only the derived rate carries a tolerance direction.
+struct PrecisionCensus {
+  std::uint64_t programs = 0;
+  std::uint64_t dims_total = 0;
+  std::uint64_t dims_messy = 0;
+  std::uint64_t dims_unprojected = 0;
+  std::uint64_t prov_records = 0;
+  std::map<std::string, std::uint64_t> causes;  // snake_case kind -> count
+
+  void add(const difftest::DiffReport& rep) {
+    ++programs;
+    dims_total += rep.dims_total;
+    dims_messy += rep.dims_messy;
+    dims_unprojected += rep.dims_unprojected;
+    prov_records += rep.provenance.size();
+    for (const auto& p : rep.provenance) ++causes[std::string(obs::to_string(p.kind))];
+  }
+
+  [[nodiscard]] bool write(const std::string& path, int count) const {
+    std::ofstream f(path);
+    f << "{\n"
+      << "  \"schema\": \"ara.bench.v1\",\n"
+      << "  \"bench\": \"precision\",\n"
+      << "  \"workload\": \"fuzz-" << count << "\",\n"
+      << "  \"metrics\": {\n";
+    auto metric = [&f](const char* name, std::uint64_t v, const char* better) {
+      f << "    \"" << name << "\": {\"value\": " << v
+        << ", \"unit\": \"count\", \"better\": \"" << better << "\"},\n";
+    };
+    metric("programs", programs, "exact");
+    metric("dims_total", dims_total, "exact");
+    metric("dims_messy", dims_messy, "exact");
+    metric("dims_unprojected", dims_unprojected, "exact");
+    metric("prov_records", prov_records, "exact");
+    for (const auto& [kind, n] : causes) metric(("cause." + kind).c_str(), n, "exact");
+    const double rate = dims_total == 0
+                            ? 0.0
+                            : static_cast<double>(dims_messy + dims_unprojected) /
+                                  static_cast<double>(dims_total);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", rate);
+    f << "    \"messy_dim_rate\": {\"value\": " << buf
+      << ", \"unit\": \"ratio\", \"better\": \"lower\"}\n"
+      << "  }\n}\n";
+    return static_cast<bool>(f);
+  }
+};
 
 void print_failure(const difftest::GeneratedProgram& prog, const difftest::DiffReport& rep) {
   std::cout << "FAIL seed=" << prog.seed << " lang=" << to_string(prog.lang) << "\n";
@@ -168,6 +230,7 @@ int main(int argc, char** argv) {
 
   std::uint64_t programs = 0, failures = 0, points = 0, affine = 0, exact = 0;
   double max_ratio = 0.0, sum_ratio = 0.0;
+  PrecisionCensus census;
 
   for (int n = 0; n < cli.count; ++n) {
     for (Language lang : langs) {
@@ -190,6 +253,7 @@ int main(int argc, char** argv) {
       }
       const difftest::DiffReport rep = difftest::run_difftest(prog);
       ++programs;
+      census.add(rep);
       points += rep.points_checked;
       affine += rep.entries_affine;
       exact += rep.entries_exact;
@@ -226,5 +290,12 @@ int main(int argc, char** argv) {
                 sum_ratio / static_cast<double>(affine), max_ratio);
   }
   std::cout << "\n";
+  if (!cli.precision_out.empty()) {
+    if (!census.write(cli.precision_out, cli.count)) {
+      std::cerr << "arafuzz: cannot write " << cli.precision_out << "\n";
+      return 2;
+    }
+    if (!cli.quiet) std::cout << "wrote " << cli.precision_out << "\n";
+  }
   return failures == 0 ? 0 : 1;
 }
