@@ -1,0 +1,104 @@
+#include "daemon/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace ara::daemon {
+
+DaemonClient::~DaemonClient() { close(); }
+
+bool DaemonClient::connect(const std::string& socket_path, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    close();
+    return false;
+  };
+  close();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("cannot create socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("cannot connect to " + socket_path + ": " + std::strerror(errno));
+  }
+  return true;
+}
+
+void DaemonClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+std::optional<RpcReply> DaemonClient::call(std::string_view method,
+                                           const std::string& params_object) {
+  if (fd_ < 0) return std::nullopt;
+  const std::uint64_t id = next_id_++;
+
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"method\":\"" << method << "\",\"params\":" << params_object
+     << "}\n";
+  const std::string request = os.str();
+
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::write(fd_, request.data() + off, request.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  // One response line per request; anything past the newline stays buffered
+  // (the daemon never sends unsolicited data, but the read can split lines).
+  std::string line;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      break;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;  // daemon went away mid-call
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  const std::optional<json::Value> v = json::parse(line);
+  if (!v.has_value() || !v->is_object()) return std::nullopt;
+
+  RpcReply reply;
+  if (const json::Value* rid = v->find("id"); rid != nullptr && rid->is_number()) {
+    reply.id = static_cast<std::uint64_t>(rid->number);
+  }
+  if (const json::Value* ok = v->find("ok"); ok != nullptr && ok->is_bool()) {
+    reply.ok = ok->boolean;
+  }
+  if (reply.ok) {
+    if (const json::Value* result = v->find("result"); result != nullptr) {
+      reply.result = *result;
+    }
+  } else if (const json::Value* err = v->find("error");
+             err != nullptr && err->is_string()) {
+    reply.error = err->string;
+  }
+  return reply;
+}
+
+}  // namespace ara::daemon

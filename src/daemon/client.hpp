@@ -1,0 +1,51 @@
+// Client side of ara.rpc.v1: a blocking connection to a running arad,
+// used by `arac --daemon-connect`, the daemon tests and bench_daemon. One
+// call() is one request line out, one response line in; ids are assigned
+// monotonically and verified on the way back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+
+namespace ara::daemon {
+
+/// A parsed response: `ok` mirrors the wire field; `result` is the result
+/// object on success, `error` the message otherwise.
+struct RpcReply {
+  std::uint64_t id = 0;
+  bool ok = false;
+  json::Value result;
+  std::string error;
+};
+
+class DaemonClient {
+ public:
+  DaemonClient() = default;
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// Connects to the daemon's Unix socket. False (with `error` set) when
+  /// nothing is listening.
+  [[nodiscard]] bool connect(const std::string& socket_path, std::string* error);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends `{"id":N,"method":...,"params":<params_object>}` and blocks for
+  /// the response line. `params_object` must be serialized JSON ("{}" for
+  /// none). nullopt on transport failure (daemon died mid-call).
+  [[nodiscard]] std::optional<RpcReply> call(std::string_view method,
+                                             const std::string& params_object);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string buffer_;  // bytes read past the last response line
+};
+
+}  // namespace ara::daemon

@@ -1,0 +1,121 @@
+// arad's core: a long-lived analysis server on a Unix-domain socket. One
+// accept thread hands each connection to the serve thread pool
+// (ThreadPool::submit), so concurrent clients multiplex onto the same
+// workers the batch engine uses; each connection speaks ara.rpc.v1
+// (daemon/rpc.hpp) and each request runs inside its own error barrier — a
+// crashing request answers `ok:false` and the daemon keeps serving.
+//
+// Warm state: one serve::ProjectState per project name, holding the
+// dependency map and resident unit summaries across requests. `analyze`
+// runs the dependency-aware incremental batch (changed units + transitive
+// dependents only); `query` / `explain` answer from the latest published
+// snapshot, including while a re-analysis is in flight. The total resident
+// footprint is bounded by `max_resident_mb`: after each analyze, the
+// least-recently-used projects are evicted (dropped entirely — the disk
+// summary cache still makes their next analyze warm).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "serve/project.hpp"
+#include "serve/threadpool.hpp"
+#include "support/json.hpp"
+
+namespace ara::daemon {
+
+struct DaemonOptions {
+  std::string socket_path;
+  /// Request worker threads (connections served concurrently); 0 = hardware
+  /// concurrency. Analyze requests additionally use BatchOptions::jobs
+  /// workers inside run_batch.
+  std::size_t jobs = 2;
+  /// Resident-memory budget over all projects (snapshots + incremental
+  /// state), in MiB. 0 = unbounded.
+  std::size_t max_resident_mb = 512;
+  /// Default unit-analysis parallelism for analyze requests that do not
+  /// pass their own "jobs" param.
+  std::size_t analyze_jobs = 1;
+};
+
+class DaemonServer {
+ public:
+  explicit DaemonServer(DaemonOptions opts);
+  ~DaemonServer();
+
+  DaemonServer(const DaemonServer&) = delete;
+  DaemonServer& operator=(const DaemonServer&) = delete;
+
+  /// Binds the socket and starts the accept thread. False (with `error`
+  /// set) when the socket cannot be created — e.g. another daemon is
+  /// already listening on the path.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Blocks until a `shutdown` request (or stop()) ends the serve loop.
+  void wait();
+
+  /// Stops accepting, severs open connections, joins the accept thread.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return opts_.socket_path; }
+
+  /// Lifetime counters (tests and `status`).
+  [[nodiscard]] std::uint64_t requests() const { return requests_.load(); }
+  [[nodiscard]] std::uint64_t request_errors() const { return request_errors_.load(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_.load(); }
+
+  /// One request line in, one response line out — the transport-free core,
+  /// used directly by tests (no socket needed).
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  [[nodiscard]] std::string handle_analyze(const json::Value& params);
+  [[nodiscard]] std::string handle_query(const json::Value& params);
+  [[nodiscard]] std::string handle_explain(const json::Value& params);
+  [[nodiscard]] std::string handle_status();
+
+  /// Looks up (optionally creating) the project's warm state.
+  [[nodiscard]] std::shared_ptr<serve::ProjectState> project(const std::string& name,
+                                                             bool create);
+  /// Evicts least-recently-used projects until the resident total fits the
+  /// budget; `keep` (the project just used) is never evicted.
+  void enforce_budget(const std::string& keep);
+
+  DaemonOptions opts_;
+  int listen_fd_ = -1;
+  bool owns_socket_file_ = false;  // bind succeeded; stop() may unlink the path
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;       // guards conn_fds_
+  std::set<int> conn_fds_;   // open client connections (severed on stop)
+
+  std::mutex projects_mu_;   // guards projects_
+  std::map<std::string, std::shared_ptr<serve::ProjectState>> projects_;
+
+  std::mutex done_mu_;       // wait()/shutdown handshake
+  std::condition_variable done_cv_;
+  bool done_ = false;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> request_errors_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  /// Last member on purpose: destroyed first, so its workers (connection
+  /// handlers touching projects_ and the counters) drain before anything
+  /// they use goes away.
+  serve::ThreadPool pool_;
+};
+
+}  // namespace ara::daemon

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "daemon/client.hpp"
 #include "driver/compiler.hpp"
 #include "ir/printer.hpp"
 #include "lno/dependence.hpp"
@@ -25,7 +26,6 @@
 #include "support/faultinject.hpp"
 #include "support/limits.hpp"
 #include "support/string_utils.hpp"
-#include "support/text_table.hpp"
 
 namespace ara::driver {
 
@@ -61,6 +61,7 @@ struct CliOptions {
   long jobs = 0;          // 0 = flag absent (monolithic pipeline)
   std::string cache_dir;  // empty = no summary cache
   bool no_cache = false;
+  std::string daemon_socket;  // --daemon-connect: analyze via a running arad
   std::string failpoints;  // fault-injection spec (--failpoints / ARA_FAILPOINTS)
   support::ResourceLimits limits;  // per-unit resource guards
   bool explain = false;            // render cause records after analysis
@@ -126,6 +127,9 @@ void usage(std::ostream& out) {
          "  --cache-dir DIR   batch engine: persistent summary cache; unchanged\n"
          "                    units skip parsing and local analysis\n"
          "  --no-cache        ignore the cache for this run (don't read or write)\n"
+         "  --daemon-connect SOCKET  send the analysis to a running arad on\n"
+         "                    SOCKET instead of analyzing in-process; unchanged\n"
+         "                    units replay from the daemon's warm state\n"
          "\n"
          "robustness (see docs/robustness.md):\n"
          "  --failpoints SPEC     arm fault-injection failpoints (also via the\n"
@@ -215,6 +219,10 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostr
       cli->cache_dir = *v;
     } else if (a == "--no-cache") {
       cli->no_cache = true;
+    } else if (a == "--daemon-connect") {
+      const std::string* v = next("--daemon-connect");
+      if (v == nullptr) return false;
+      cli->daemon_socket = *v;
     } else if (a == "--failpoints") {
       const std::string* v = next("--failpoints");
       if (v == nullptr) return false;
@@ -276,18 +284,6 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostr
   }
   if (cli->name.empty()) cli->name = cli->sources.front().stem().string();
   return true;
-}
-
-/// Compact console rendering of the region rows (the full 19-column CSV
-/// lives in the .rgn export; this is the browsing view).
-std::string render_region_table(const std::vector<rgn::RegionRow>& rows) {
-  TextTable table;
-  table.set_header({"Scope", "Array", "Mode", "Refs", "LB", "UB", "Stride", "Line"});
-  for (const rgn::RegionRow& r : rows) {
-    table.add_row({r.scope, r.array, r.mode, std::to_string(r.references), r.lb, r.ub, r.stride,
-                   std::to_string(r.line)});
-  }
-  return table.render();
 }
 
 bool write_file(const fs::path& path, const std::string& text, std::ostream& err) {
@@ -366,7 +362,7 @@ int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
       out << " (partial: " << result.failed_units << " units dropped)";
     }
     out << "\n";
-    out << render_region_table(result.link.rows);
+    out << rgn::render_table(result.link.rows);
     if (!bopts.cache_dir.empty() && bopts.use_cache) {
       out << "cache: " << result.cache_hits << " hits, " << result.cache_misses << " misses\n";
     }
@@ -385,6 +381,137 @@ int run_serve(const CliOptions& cli, std::ostream& out, std::ostream& err) {
     }
   }
   return rc;
+}
+
+/// `--daemon-connect`: ship the sources to a running arad (ara.rpc.v1) and
+/// render its answers — the same console output, exports and 0/1/2 exit
+/// contract as the in-process paths, but unchanged units replay from the
+/// daemon's warm state instead of being re-analyzed.
+int run_daemon_client(const CliOptions& cli, std::ostream& out, std::ostream& err) {
+  std::vector<serve::SourceBuffer> sources;
+  for (const fs::path& src : cli.sources) {
+    std::string warning;
+    std::optional<serve::SourceBuffer> buf = serve::read_source(src, &warning);
+    if (!buf.has_value()) {
+      err << "arac: cannot read " << src.string() << "\n";
+      return kFatal;
+    }
+    if (!warning.empty()) err << "warning: " << warning << "\n";
+    sources.push_back(std::move(*buf));
+  }
+
+  daemon::DaemonClient client;
+  std::string cerror;
+  if (!client.connect(cli.daemon_socket, &cerror)) {
+    err << "arac: " << cerror << "\n";
+    return kFatal;
+  }
+
+  std::ostringstream params;
+  params << "{\"project\":\"" << json::escape(cli.name) << "\",\"sources\":[";
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (i != 0) params << ',';
+    params << "{\"name\":\"" << json::escape(sources[i].name) << "\",\"lang\":\""
+           << (sources[i].lang == Language::C ? "c" : "fortran") << "\",\"text\":\""
+           << json::escape(sources[i].text) << "\"}";
+  }
+  params << "]";
+  if (!cli.cache_dir.empty()) {
+    params << ",\"cache_dir\":\"" << json::escape(cli.cache_dir) << "\"";
+  }
+  if (cli.no_cache) params << ",\"use_cache\":false";
+  if (cli.jobs > 0) params << ",\"jobs\":" << cli.jobs;
+  params << ",\"ipa\":" << (cli.no_ipa ? "false" : "true") << "}";
+
+  const std::optional<daemon::RpcReply> reply = client.call("analyze", params.str());
+  if (!reply.has_value()) {
+    err << "arac: lost connection to the daemon mid-analysis\n";
+    return kFatal;
+  }
+  if (!reply->ok) {
+    err << "arac: daemon: " << reply->error << "\n";
+    return kFatal;
+  }
+
+  const json::Value& r = reply->result;
+  auto num = [&r](std::string_view key) -> std::uint64_t {
+    const json::Value* v = r.find(key);
+    return (v != nullptr && v->is_number()) ? static_cast<std::uint64_t>(v->number) : 0;
+  };
+  auto flag = [&r](std::string_view key) {
+    const json::Value* v = r.find(key);
+    return v != nullptr && v->is_bool() && v->boolean;
+  };
+  if (const json::Value* diags = r.find("diagnostics");
+      diags != nullptr && diags->is_string() && !diags->string.empty()) {
+    err << diags->string;
+  }
+  const int rc = flag("ok") ? kClean : (flag("partial") ? kPartial : kFatal);
+  if (num("failed_units") > 0) {
+    err << "arac: daemon: " << num("failed_units") << " of " << num("units")
+        << " units failed\n";
+  }
+  if (rc == kFatal) return rc;
+
+  // One request per artifact the caller asked for; everything is served
+  // from the snapshot the analyze call published.
+  auto fetch = [&](const char* artifact) -> std::optional<std::string> {
+    const std::optional<daemon::RpcReply> q = client.call(
+        "query", "{\"project\":\"" + json::escape(cli.name) + "\",\"artifact\":\"" +
+                     artifact + "\"}");
+    if (!q.has_value() || !q->ok) return std::nullopt;
+    const json::Value* text = q->result.find("text");
+    if (text == nullptr || !text->is_string()) return std::nullopt;
+    return text->string;
+  };
+
+  if (!cli.quiet) {
+    out << cli.name << ": " << num("rows") << " region rows (daemon generation "
+        << num("generation") << ")";
+    if (rc == kPartial) out << " (partial: " << num("failed_units") << " units dropped)";
+    out << "\n";
+    if (const std::optional<std::string> table = fetch("table")) out << *table;
+    out << "cache: " << num("cache_hits") << " hits (" << num("resident_hits")
+        << " resident), " << num("cache_misses") << " misses, "
+        << num("invalidated_units") << " invalidated\n";
+  }
+
+  int final_rc = rc;
+  if (!cli.export_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cli.export_dir, ec);
+    for (const char* ext : {"rgn", "dgn", "cfg"}) {
+      const std::optional<std::string> text = fetch(ext);
+      if (!text.has_value() ||
+          !write_file(fs::path(cli.export_dir) / (cli.name + "." + ext), *text, err)) {
+        err << "arac: cannot fetch ." << ext << " from the daemon\n";
+        return kFatal;
+      }
+    }
+    if (!cli.quiet) {
+      out << "wrote " << (fs::path(cli.export_dir) / cli.name).string() << ".{rgn,dgn,cfg}\n";
+    }
+  }
+  if (!cli.provenance_out.empty()) {
+    const std::optional<std::string> text = fetch("provenance");
+    if (!text.has_value() || !write_file(cli.provenance_out, *text, err)) final_rc = kFatal;
+  }
+  if (cli.explain_loops) {
+    err << "arac: --loops explanations need the whole-program IR and are "
+           "unavailable with --daemon-connect\n";
+  }
+  if (cli.explain) {
+    const std::optional<daemon::RpcReply> q = client.call(
+        "explain", "{\"project\":\"" + json::escape(cli.name) + "\",\"target\":\"" +
+                       json::escape(cli.explain_target) + "\"}");
+    if (q.has_value() && q->ok) {
+      if (const json::Value* text = q->result.find("text");
+          text != nullptr && text->is_string()) {
+        out << text->string;
+      }
+    }
+  }
+  return final_rc;
 }
 
 /// The monolithic pipeline (`arac` without --jobs/--cache-dir). Runs under
@@ -425,7 +552,7 @@ int run_mono(const CliOptions& cli, std::ostream& out, std::ostream& err) {
     out << cli.name << ": " << result.callgraph.size() << " procedures, "
         << result.callgraph.edge_count() << " call edges, " << result.rows.size()
         << " region rows\n";
-    out << render_region_table(result.rows);
+    out << rgn::render_table(result.rows);
   }
 
   if (!cli.export_dir.empty()) {
@@ -476,55 +603,6 @@ struct FaultInjectScope {
   ~FaultInjectScope() { fi::disarm(); }
 };
 
-/// `--explain` console rendering: cause records from the ledger, one line
-/// each with their source position. `target` filters by "array" or
-/// "array@proc" (case-insensitive, like the language); `loops_only` flips
-/// between the precision-loss section and the serial-loop section.
-std::string render_explain(const std::vector<obs::ProvRecord>& records,
-                           const std::string& target, bool loops_only) {
-  std::string want_array;
-  std::string want_proc;
-  if (const std::size_t at = target.find('@'); at != std::string::npos) {
-    want_array = to_lower(target.substr(0, at));
-    want_proc = to_lower(target.substr(at + 1));
-  } else {
-    want_array = to_lower(target);
-  }
-
-  std::ostringstream os;
-  std::size_t shown = 0;
-  for (const obs::ProvRecord& r : records) {
-    const bool is_loop = r.kind == obs::CauseKind::LoopNotParallel;
-    if (is_loop != loops_only) continue;
-    if (!want_array.empty() && to_lower(r.array) != want_array) continue;
-    if (!want_proc.empty() && to_lower(r.proc) != want_proc) continue;
-    os << "  ";
-    if (!r.file.empty()) os << r.file << ':' << r.line << ": ";
-    if (!r.proc.empty()) os << "in " << r.proc << ": ";
-    if (!r.array.empty()) {
-      os << '\'' << r.array << '\'';
-      if (r.dim >= 0) os << " dim " << (r.dim + 1);
-      os << ": ";
-    } else if (r.dim >= 0) {
-      os << "dim " << (r.dim + 1) << ": ";
-    }
-    os << obs::describe(r.kind);
-    if (!r.detail.empty()) os << " -- " << r.detail;
-    os << '\n';
-    ++shown;
-  }
-
-  std::ostringstream head;
-  if (loops_only) {
-    head << "explain: " << shown << " loop(s) stayed serial";
-  } else {
-    head << "explain: " << shown << " precision-loss cause(s)";
-  }
-  if (!target.empty()) head << " for '" << target << "'";
-  head << (shown == 0 ? "\n" : ":\n");
-  return head.str() + os.str();
-}
-
 }  // namespace
 
 int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
@@ -544,6 +622,17 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
   if (!cli.failpoints.empty() && !fi::configure(cli.failpoints, &fi_error)) {
     err << "arac: bad --failpoints: " << fi_error << "\n";
     return kFatal;
+  }
+
+  // Client mode: the daemon does the analysis (and owns the telemetry for
+  // it); this process only renders answers.
+  if (!cli.daemon_socket.empty()) {
+    try {
+      return run_daemon_client(cli, out, err);
+    } catch (const std::exception& e) {
+      err << "arac: internal error: " << e.what() << "\n";
+      return kFatal;
+    }
   }
 
   const bool was_enabled = obs::enabled();
@@ -589,10 +678,10 @@ int run_arac(const std::vector<std::string>& args, std::ostream& out, std::ostre
       err << "arac: --loops explanations need the whole-program IR and are "
              "unavailable with --jobs/--cache-dir\n";
     } else if (cli.explain_loops) {
-      out << render_explain(merged, cli.explain_target, /*loops_only=*/true);
+      out << obs::render_explain(merged, cli.explain_target, /*loops_only=*/true);
     }
     if (cli.explain) {
-      out << render_explain(merged, cli.explain_target, /*loops_only=*/false);
+      out << obs::render_explain(merged, cli.explain_target, /*loops_only=*/false);
     }
   }
   if (!cli.provenance_out.empty() &&

@@ -21,7 +21,8 @@ bool compile_program(ir::Program& program, DiagnosticEngine& diags) {
 }
 
 bool compile_program(ir::Program& program, DiagnosticEngine& diags, const CompileOptions& opts,
-                     std::vector<ExternRef>* externs) {
+                     std::vector<ExternRef>* externs,
+                     std::vector<std::string>* imported_globals) {
   // Resource guards: the AST meter is per compile, and the cooperative
   // wall-clock watchdog (armed by a LimitScope with a unit_timeout) gets a
   // checkpoint at every phase boundary below.
@@ -47,12 +48,14 @@ bool compile_program(ir::Program& program, DiagnosticEngine& diags, const Compil
 
   SemaOptions sema_opts;
   sema_opts.external_calls = opts.external_calls;
+  sema_opts.imports = opts.imports;
   Sema sema(program, diags, sema_opts);
   SemaResult resolved = [&] {
     ARA_SPAN("sema", "frontend");
     return sema.run(modules);
   }();
   if (externs != nullptr) *externs = resolved.externs;
+  if (imported_globals != nullptr) *imported_globals = resolved.imported_globals;
   if (diags.has_errors()) return false;
   support::check_deadline();
 

@@ -14,6 +14,8 @@ namespace ara::fe {
 struct CompileOptions {
   /// Separate compilation for the serve engine: see SemaOptions.
   bool external_calls = false;
+  /// Cross-unit global import table (separate compilation): see SemaOptions.
+  const GlobalImportTable* imports = nullptr;
 };
 
 /// Compiles all registered sources into program.procedures / program.symtab
@@ -22,8 +24,11 @@ struct CompileOptions {
 bool compile_program(ir::Program& program, DiagnosticEngine& diags);
 
 /// As above; `externs` (when non-null) receives the external procedure
-/// references declared on the fly under `opts.external_calls`.
+/// references declared on the fly under `opts.external_calls`, and
+/// `imported_globals` (when non-null) the lowercase names resolved from
+/// `opts.imports`.
 bool compile_program(ir::Program& program, DiagnosticEngine& diags, const CompileOptions& opts,
-                     std::vector<ExternRef>* externs);
+                     std::vector<ExternRef>* externs,
+                     std::vector<std::string>* imported_globals = nullptr);
 
 }  // namespace ara::fe

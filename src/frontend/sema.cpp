@@ -48,6 +48,32 @@ bool Sema::extern_call(const std::string& name, SourceLoc loc, FileId file) {
   return true;
 }
 
+ir::StIdx Sema::import_global(const std::string& key, Language lang, SourceLoc loc,
+                              FileId file) {
+  // Scoped v1: C units only. Fortran's implicit-typing fallback already gives
+  // undeclared names a meaning, and COMMON declarations travel with the unit.
+  if (!opts_.external_calls || opts_.imports == nullptr) return ir::kInvalidSt;
+  if (lang != Language::C) return ir::kInvalidSt;
+  const auto it = opts_.imports->find(key);
+  if (it == opts_.imports->end()) return ir::kInvalidSt;
+  const ImportDecl& decl = it->second;
+  ir::St st;
+  st.name = decl.name.empty() ? key : decl.name;
+  st.sclass = ir::StClass::Var;
+  st.storage = ir::StStorage::Global;
+  st.ty = decl.is_array
+              ? program_.symtab.make_array_ty(decl.mtype, std::vector<ir::ArrayDim>(decl.dims),
+                                              decl.row_major, /*noncontiguous=*/false,
+                                              /*coarray=*/false)
+              : program_.symtab.make_scalar_ty(decl.mtype);
+  st.loc = loc;
+  st.file = file;
+  const ir::StIdx idx = program_.symtab.make_st(std::move(st));
+  globals_[key] = idx;
+  if (result_ != nullptr) result_->imported_globals.push_back(key);
+  return idx;
+}
+
 void Sema::declare_procedures(const std::vector<ModuleAst>& modules) {
   for (const ModuleAst& mod : modules) {
     for (const ProcDecl& proc : mod.procs) {
@@ -325,6 +351,11 @@ void Sema::resolve_expr(Expr& expr, ProcScope& scope, Language lang) {
         scope.names[key] = git->second;
         return;
       }
+      if (const ir::StIdx imp = import_global(key, lang, expr.loc, scope.file);
+          imp != ir::kInvalidSt) {
+        scope.names[key] = imp;
+        return;
+      }
       implicit_scalar(expr.name, lang, scope.proc_st, scope.file, expr.loc, scope);
       return;
     }
@@ -337,6 +368,10 @@ void Sema::resolve_expr(Expr& expr, ProcScope& scope, Language lang) {
       } else if (const auto git = globals_.find(key); git != globals_.end()) {
         scope.names[key] = git->second;
         base = git->second;
+      } else if (const ir::StIdx imp = import_global(key, lang, expr.loc, scope.file);
+                 imp != ir::kInvalidSt) {
+        scope.names[key] = imp;
+        base = imp;
       }
       if (base == ir::kInvalidSt) {
         if (is_intrinsic(expr.name) || procs_.count(key) != 0) {

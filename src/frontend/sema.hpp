@@ -40,7 +40,26 @@ struct ExternRef {
 struct SemaResult {
   std::vector<ProcScope> scopes;  // parallel to the flattened proc list
   std::vector<ExternRef> externs;  // separate-compilation mode only
+  /// Lowercase names of globals resolved from the import table (separate-
+  /// compilation mode only), in first-reference order. The serve engine
+  /// records these in the unit summary so the link phase can bind them to
+  /// the sibling unit that really declares them.
+  std::vector<std::string> imported_globals;
 };
+
+/// One sibling-unit global declaration offered for import during separate
+/// compilation: the IR-level shape of a file-scope variable declared in
+/// another translation unit (see serve/globals.hpp, which builds the table).
+struct ImportDecl {
+  std::string name;  // declaring unit's spelling
+  ir::Mtype mtype = ir::Mtype::I4;
+  bool is_array = false;
+  bool row_major = true;  // C declarations are row-major
+  std::vector<ir::ArrayDim> dims;
+};
+
+/// Lowercase global name -> its canonical (first-declaring unit) shape.
+using GlobalImportTable = std::map<std::string, ImportDecl>;
 
 struct SemaOptions {
   /// Separate compilation (one translation unit at a time, as the serve
@@ -51,6 +70,12 @@ struct SemaOptions {
   /// (whole-program sema can tell undeclared arrays from cross-unit
   /// functions; a single unit cannot).
   bool external_calls = false;
+  /// Cross-unit global-declaration import (separate compilation, C units
+  /// only): an undeclared identifier that names an entry here is declared as
+  /// a Global with the imported shape instead of erroring, mirroring how
+  /// whole-program sema would have resolved it against the sibling unit's
+  /// file-scope declaration.
+  const GlobalImportTable* imports = nullptr;
 };
 
 /// True for the supported intrinsic functions (abs, sqrt, max, ...).
@@ -82,6 +107,10 @@ class Sema {
   /// Declares an extern Proc ST for `name` (separate-compilation mode) and
   /// records the reference; returns true when the mode permits it.
   bool extern_call(const std::string& name, SourceLoc loc, FileId file);
+
+  /// Declares a Global ST for lowercase `key` from the import table
+  /// (separate-compilation C units only); kInvalidSt when not importable.
+  ir::StIdx import_global(const std::string& key, Language lang, SourceLoc loc, FileId file);
 
   /// Constant-folds a dimension bound expression; nullopt if not constant.
   [[nodiscard]] std::optional<std::int64_t> fold(const Expr* e) const;

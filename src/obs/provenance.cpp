@@ -8,6 +8,7 @@
 
 #include "obs/stats.hpp"
 #include "support/json.hpp"
+#include "support/string_utils.hpp"
 
 namespace ara::obs {
 
@@ -158,6 +159,51 @@ std::size_t ProvenanceLedger::size() const {
   State& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   return s.records.size();
+}
+
+std::string render_explain(const std::vector<ProvRecord>& records, const std::string& target,
+                           bool loops_only) {
+  std::string want_array;
+  std::string want_proc;
+  if (const std::size_t at = target.find('@'); at != std::string::npos) {
+    want_array = to_lower(target.substr(0, at));
+    want_proc = to_lower(target.substr(at + 1));
+  } else {
+    want_array = to_lower(target);
+  }
+
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const ProvRecord& r : records) {
+    const bool is_loop = r.kind == CauseKind::LoopNotParallel;
+    if (is_loop != loops_only) continue;
+    if (!want_array.empty() && to_lower(r.array) != want_array) continue;
+    if (!want_proc.empty() && to_lower(r.proc) != want_proc) continue;
+    os << "  ";
+    if (!r.file.empty()) os << r.file << ':' << r.line << ": ";
+    if (!r.proc.empty()) os << "in " << r.proc << ": ";
+    if (!r.array.empty()) {
+      os << '\'' << r.array << '\'';
+      if (r.dim >= 0) os << " dim " << (r.dim + 1);
+      os << ": ";
+    } else if (r.dim >= 0) {
+      os << "dim " << (r.dim + 1) << ": ";
+    }
+    os << describe(r.kind);
+    if (!r.detail.empty()) os << " -- " << r.detail;
+    os << '\n';
+    ++shown;
+  }
+
+  std::ostringstream head;
+  if (loops_only) {
+    head << "explain: " << shown << " loop(s) stayed serial";
+  } else {
+    head << "explain: " << shown << " precision-loss cause(s)";
+  }
+  if (!target.empty()) head << " for '" << target << "'";
+  head << (shown == 0 ? "\n" : ":\n");
+  return head.str() + os.str();
 }
 
 std::string write_provenance_jsonl(const std::vector<ProvRecord>& records,

@@ -154,6 +154,14 @@ class ProvenanceLedger {
   State& state() const;
 };
 
+/// `--explain` console rendering: cause records, one line each with their
+/// source position. `target` filters by "array" or "array@proc"
+/// (case-insensitive, like the language); `loops_only` flips between the
+/// precision-loss section and the serial-loop section. Shared by the arac
+/// driver and the daemon's `explain` method.
+[[nodiscard]] std::string render_explain(const std::vector<ProvRecord>& records,
+                                         const std::string& target, bool loops_only);
+
 /// ara.prov.v1: one header object, then one compact object per record. No
 /// timestamps, no lanes — byte-identical across --jobs values and cache
 /// states by construction.

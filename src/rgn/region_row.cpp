@@ -4,6 +4,7 @@
 
 #include "obs/stats.hpp"
 #include "support/csv.hpp"
+#include "support/text_table.hpp"
 
 namespace ara::rgn {
 
@@ -36,6 +37,16 @@ std::int64_t access_density_pct(std::uint64_t refs, std::int64_t bytes) {
 double access_density_exact(std::uint64_t refs, std::int64_t bytes) {
   if (bytes <= 0) return 0.0;
   return static_cast<double>(refs) / static_cast<double>(bytes);
+}
+
+std::string render_table(const std::vector<RegionRow>& rows) {
+  TextTable table;
+  table.set_header({"Scope", "Array", "Mode", "Refs", "LB", "UB", "Stride", "Line"});
+  for (const RegionRow& r : rows) {
+    table.add_row({r.scope, r.array, r.mode, std::to_string(r.references), r.lb, r.ub, r.stride,
+                   std::to_string(r.line)});
+  }
+  return table.render();
 }
 
 std::string write_rgn(const std::vector<RegionRow>& rows) {

@@ -57,6 +57,11 @@ struct RegionRow {
 /// Exact (floating) access density for ranking hotspots; 0 when bytes == 0.
 [[nodiscard]] double access_density_exact(std::uint64_t refs, std::int64_t bytes);
 
+/// Compact console rendering of the region rows (the full 19-column CSV
+/// lives in the .rgn export; this is the browsing view shown by `arac` and
+/// served by the daemon's `query` method).
+[[nodiscard]] std::string render_table(const std::vector<RegionRow>& rows);
+
 /// Serializes rows to `.rgn` CSV text (header line + one line per row).
 [[nodiscard]] std::string write_rgn(const std::vector<RegionRow>& rows);
 

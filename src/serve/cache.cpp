@@ -100,6 +100,12 @@ std::filesystem::path SummaryCache::entry_path(std::string_view key) const {
   return dir_ / (std::string(key) + ".unit");
 }
 
+bool SummaryCache::contains(std::string_view key) const {
+  if (!enabled_) return false;
+  std::error_code ec;
+  return std::filesystem::exists(entry_path(key), ec);
+}
+
 std::optional<UnitSummary> SummaryCache::load(std::string_view key) const {
   if (!enabled_) return std::nullopt;
   obs::ScopedLatency lookup_latency(hist_cache_lookup);
@@ -138,6 +144,10 @@ std::optional<UnitSummary> SummaryCache::load(std::string_view key) const {
     // its work (and, worse, race its rename).
     DirLock lock(dir_);
     lock.acquire();
+    // Heartbeat: if this critical section runs long (slow disk, injected
+    // delay, a daemon resident for minutes), keep the lock's mtime fresh so
+    // a concurrent arac never mistakes a live holder for a dead one.
+    lock.start_heartbeat();
     try {
       unit = decode(read_file(path), key);
     } catch (const fi::IoFault&) {
@@ -197,6 +207,7 @@ bool SummaryCache::store(std::string_view key, const UnitSummary& unit) const {
         // rename and delete the entry we just wrote.
         DirLock lock(dir_);
         lock.acquire();
+        lock.start_heartbeat();  // see load(): live holders are never stale
         std::error_code rec;
         std::filesystem::rename(tmp_path, final_path, rec);
         if (rec) throw fi::IoFault("rename failed: " + final_path.string());

@@ -23,8 +23,10 @@ namespace ara::serve {
 /// meaning; stale entries from older builds then miss and are rewritten.
 /// v2: entries carry the unit's rendered diagnostics (warnings replay on
 /// cache hits). v3: entries carry the unit's provenance cause records
-/// (--explain / .provenance.jsonl replay on cache hits).
-inline constexpr std::string_view kAnalyzerVersion = "openara-serve-3";
+/// (--explain / .provenance.jsonl replay on cache hits). v4: symbols may be
+/// Kind::Import (cross-unit global import); C unit keys also fold in the
+/// import-table shapes their undeclared references resolved against.
+inline constexpr std::string_view kAnalyzerVersion = "openara-serve-4";
 
 class SummaryCache {
  public:
@@ -42,6 +44,11 @@ class SummaryCache {
 
   /// Entry file path for a key (exposed for tests that corrupt entries).
   [[nodiscard]] std::filesystem::path entry_path(std::string_view key) const;
+
+  /// Cheap existence probe (no read, no validation, no counters): used by
+  /// the invalidation pre-pass to classify units as changed vs reusable. A
+  /// corrupt entry probes true and simply misses at load() time.
+  [[nodiscard]] bool contains(std::string_view key) const;
 
   /// Returns the cached summary, or nullopt on any miss (bumping the
   /// hit/miss — and, for invalid entries, eviction — counters).

@@ -6,6 +6,8 @@
 #include <new>
 #include <sstream>
 
+#include <set>
+
 #include "frontend/compile.hpp"
 #include "obs/eventlog.hpp"
 #include "obs/provenance.hpp"
@@ -13,6 +15,7 @@
 #include "obs/stats.hpp"
 #include "obs/timeline.hpp"
 #include "serve/cache.hpp"
+#include "serve/globals.hpp"
 #include "serve/threadpool.hpp"
 #include "support/faultinject.hpp"
 #include "support/string_utils.hpp"
@@ -26,6 +29,10 @@ ARA_STATISTIC(stat_unit_failures, "serve.unit_failures",
               "Units demoted to a UnitFailure by the per-unit error barrier");
 ARA_STATISTIC(stat_degraded_runs, "serve.degraded_runs",
               "Batches that linked in degraded mode (some units dropped)");
+ARA_STATISTIC(stat_invalidated, "serve.invalidated_units",
+              "Unchanged units re-summarized because a dependency changed");
+ARA_STATISTIC(stat_resident_hits, "serve.resident_hits",
+              "Summaries reused from warm in-memory state (no disk cache read)");
 
 ARA_HISTOGRAM(hist_queue_wait, "serve.queue_wait_ns",
               "Per-unit wait between batch submission and a worker picking it up", "ns");
@@ -94,8 +101,34 @@ std::optional<SourceBuffer> read_source(const std::filesystem::path& path,
   return src;
 }
 
+std::size_t IncrementalState::resident_bytes() const {
+  // Deliberately rough: strings dominate a UnitSummary's footprint, so the
+  // estimate sums the big blobs plus a fixed per-record overhead.
+  std::size_t total = 0;
+  for (const auto& [unit_name, res] : resident) {
+    total += unit_name.size() + res.key.size() + sizeof(ResidentUnit);
+    const UnitSummary& s = res.summary;
+    total += s.source_name.size() + s.cfg_text.size() + s.diagnostics.size();
+    total += s.symbols.size() * (sizeof(SymInfo) + 24);
+    for (const ProcSummary& p : s.procs) {
+      total += sizeof(ProcSummary);
+      total += p.records.size() * (sizeof(RecordSummary) + 64);
+      total += p.effects.size() * (sizeof(EffectSummary) + 64);
+      total += p.callsites.size() * (sizeof(CallSummary) + 32);
+    }
+    total += s.externs.size() * sizeof(ExternSummary);
+    total += s.provenance.size() * (sizeof(obs::ProvRecord) + 48);
+  }
+  return total;
+}
+
 BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptions& opts,
                       const std::string& name) {
+  return run_batch(sources, opts, name, nullptr);
+}
+
+BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptions& opts,
+                      const std::string& name, IncrementalState* inc) {
   ARA_SPAN("batch", "serve");
   BatchResult result;
   result.units.resize(sources.size());
@@ -103,7 +136,60 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
   const SummaryCache cache(opts.cache_dir, opts.use_cache && !opts.cache_dir.empty());
   const std::string flags = flags_string(opts);
 
+  // Cross-unit global-declaration import (scoped v1: C units only): the
+  // shapes sema may resolve otherwise-undeclared references against.
+  const fe::GlobalImportTable import_index = build_global_index(sources);
+
+  // Plain batch runs get a throwaway state seeded from the persisted map so
+  // `arac --cache-dir` shares the daemon's dependency-aware invalidation.
+  std::optional<IncrementalState> local_state;
+  if (inc == nullptr && cache.enabled()) {
+    local_state.emplace();
+    local_state->keep_resident = false;
+    local_state->depmap = DepMap::load(opts.cache_dir);
+    inc = &*local_state;
+  }
+
+  // Serial pre-pass: per-unit lookup keys — text + flags + the import shapes
+  // this unit resolved against last run (recorded in the depmap, so the key
+  // is computable before compiling) — then the invalidation front: units
+  // with no reusable summary, plus every transitive dependent under the
+  // reverse dependency closure.
+  std::vector<std::string> keys(sources.size());
+  std::set<std::string> changed_units;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    std::string key_flags = flags;
+    if (sources[i].lang == Language::C && inc != nullptr) {
+      if (const UnitDeps* prior = inc->depmap.find(sources[i].name)) {
+        key_flags += import_flags(prior->imports, import_index);
+      }
+    }
+    keys[i] =
+        SummaryCache::key_for(sources[i].name, sources[i].text, sources[i].lang, key_flags);
+    bool reusable = false;
+    if (inc != nullptr) {
+      const auto it = inc->resident.find(sources[i].name);
+      reusable = it != inc->resident.end() && it->second.key == keys[i];
+    }
+    if (!reusable && cache.enabled()) reusable = cache.contains(keys[i]);
+    if (!reusable) changed_units.insert(sources[i].name);
+  }
+  const std::set<std::string> invalid =
+      inc != nullptr ? inc->depmap.dependents_closure(changed_units) : changed_units;
+  std::vector<char> forced(sources.size(), 0);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    forced[i] = invalid.count(sources[i].name) != 0 &&
+                changed_units.count(sources[i].name) == 0;
+    if (forced[i]) {
+      ++result.invalidated_units;
+      stat_invalidated.bump();
+    }
+  }
+
   std::vector<std::optional<UnitSummary>> summaries(sources.size());
+  std::vector<std::string> store_keys(keys);
+  std::vector<std::vector<std::string>> unit_imports(sources.size());
+  std::vector<char> resident_hit(sources.size(), 0);
   std::vector<std::string> texts(sources.size());
   // Per-unit provenance capture. Always on — records must land in the
   // summary (and the cache) even when this run doesn't render them, so a
@@ -145,41 +231,66 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
       try {
         const support::LimitScope guard(opts.limits);
 
-        const std::string key = SummaryCache::key_for(sources[i].name, sources[i].text,
-                                                      sources[i].lang, flags);
-        if (auto hit = cache.load(key)) {
-          // Replay the cached unit's rendered warnings byte-identically, so
-          // a hit is indistinguishable from a re-analysis on the console.
-          events.record(static_cast<std::uint32_t>(i), sources[i].name,
-                        obs::UnitEvent::CacheHit);
-          report.diagnostics = hit->diagnostics;
-          unit_prov[i] = hit->provenance;
-          for (obs::ProvRecord& p : unit_prov[i]) p.unit = static_cast<std::uint32_t>(i);
-          summaries[i] = std::move(*hit);
-          report.status = UnitStatus::Cached;
-          events.record(static_cast<std::uint32_t>(i), sources[i].name,
-                        obs::UnitEvent::Summarized, "cached");
-          return;
+        const std::string& key = keys[i];
+        if (!forced[i]) {
+          // Warm in-memory state first (daemon): the summary is reused
+          // verbatim, no disk read, no deserialization.
+          if (inc != nullptr) {
+            const auto it = inc->resident.find(sources[i].name);
+            if (it != inc->resident.end() && it->second.key == key) {
+              events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                            obs::UnitEvent::CacheHit, "resident");
+              stat_resident_hits.bump();
+              resident_hit[i] = 1;
+              report.diagnostics = it->second.summary.diagnostics;
+              unit_prov[i] = it->second.summary.provenance;
+              for (obs::ProvRecord& p : unit_prov[i]) {
+                p.unit = static_cast<std::uint32_t>(i);
+              }
+              summaries[i] = it->second.summary;
+              report.status = UnitStatus::Cached;
+              events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                            obs::UnitEvent::Summarized, "resident");
+              return;
+            }
+          }
+          if (auto hit = cache.load(key)) {
+            // Replay the cached unit's rendered warnings byte-identically,
+            // so a hit is indistinguishable from a re-analysis on the
+            // console.
+            events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                          obs::UnitEvent::CacheHit);
+            report.diagnostics = hit->diagnostics;
+            unit_prov[i] = hit->provenance;
+            for (obs::ProvRecord& p : unit_prov[i]) p.unit = static_cast<std::uint32_t>(i);
+            summaries[i] = std::move(*hit);
+            report.status = UnitStatus::Cached;
+            events.record(static_cast<std::uint32_t>(i), sources[i].name,
+                          obs::UnitEvent::Summarized, "cached");
+            return;
+          }
         }
         events.record(static_cast<std::uint32_t>(i), sources[i].name,
-                      obs::UnitEvent::CacheMiss);
+                      obs::UnitEvent::CacheMiss, forced[i] ? "invalidated" : "");
 
         if (ARA_FAILPOINT("unit.analyze", sources[i].name)) {
           throw fi::IoFault("injected I/O fault analyzing '" + sources[i].name + "'");
         }
 
-        // Miss (or caching off): compile this unit alone, with unresolved
-        // calls deferred to the link phase.
+        // Miss (or caching off, or dependency-invalidated): compile this
+        // unit alone, with unresolved calls deferred to the link phase and
+        // undeclared C globals resolved from the sibling-unit import index.
         ir::Program program;
         program.sources.add(sources[i].name, sources[i].text, sources[i].lang);
         DiagnosticEngine diags(&program.sources);
         std::vector<fe::ExternRef> externs;
         fe::CompileOptions copts;
         copts.external_calls = true;
+        copts.imports = import_index.empty() ? nullptr : &import_index;
         bool ok = false;
         {
           obs::ScopedLatency parse_latency(hist_unit_parse);
-          ok = fe::compile_program(program, diags, copts, &externs);
+          ok = fe::compile_program(program, diags, copts, &externs, &unit_imports[i]);
         }
         report.diagnostics = diags.render();
         if (!ok) {
@@ -189,11 +300,19 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
         stat_units_analyzed.bump();
         {
           obs::ScopedLatency summarize_latency(hist_unit_summarize);
-          summaries[i] = summarize_unit(program, externs);
+          summaries[i] = summarize_unit(program, externs, unit_imports[i]);
         }
         summaries[i]->diagnostics = report.diagnostics;
         summaries[i]->provenance = unit_prov[i];
-        if (cache.enabled()) cache.store(key, *summaries[i]);
+        // The store key folds in the shapes actually imported (the lookup
+        // key used last run's recorded imports; they agree whenever the text
+        // is unchanged, and a changed text misses on the text hash anyway).
+        if (sources[i].lang == Language::C && !unit_imports[i].empty()) {
+          store_keys[i] = SummaryCache::key_for(
+              sources[i].name, sources[i].text, sources[i].lang,
+              flags + import_flags(unit_imports[i], import_index));
+        }
+        if (cache.enabled()) cache.store(store_keys[i], *summaries[i]);
         report.status = UnitStatus::Analyzed;
         events.record(static_cast<std::uint32_t>(i), sources[i].name,
                       obs::UnitEvent::Summarized);
@@ -230,12 +349,67 @@ BatchResult run_batch(const std::vector<SourceBuffer>& sources, const BatchOptio
     obs::set_lane(0);
   }
 
-  for (const UnitReport& r : result.units) {
+  for (std::size_t i = 0; i < result.units.size(); ++i) {
+    const UnitReport& r = result.units[i];
     if (r.status == UnitStatus::Failed) ++result.failed_units;
     if (r.status == UnitStatus::Cached) {
       ++result.cache_hits;
+      if (resident_hit[i] != 0) ++result.resident_hits;
     } else {
       ++result.cache_misses;
+    }
+  }
+
+  // Refresh the dependency map from this run's summaries: per unit, the
+  // units defining its called extern procedures plus the units declaring
+  // its imported globals. Rebuilt from scratch so removed units drop out;
+  // failed units keep their previous edges (conservative — their dependents
+  // still invalidate when they change back to life).
+  if (inc != nullptr) {
+    std::map<std::string, std::string> proc_owner;    // lowercase proc -> unit
+    std::map<std::string, std::string> global_owner;  // lowercase global -> unit
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      if (!summaries[i]) continue;
+      for (const SymInfo& sym : summaries[i]->symbols) {
+        if (sym.kind == SymInfo::Kind::Proc) {
+          proc_owner.emplace(to_lower(sym.name), sources[i].name);
+        } else if (sym.kind == SymInfo::Kind::Global) {
+          global_owner.emplace(to_lower(sym.name), sources[i].name);
+        }
+      }
+    }
+    DepMap next;
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+      if (!summaries[i]) {
+        if (const UnitDeps* prior = inc->depmap.find(sources[i].name)) {
+          next.set(sources[i].name, *prior);
+        }
+        continue;
+      }
+      UnitDeps deps;
+      for (const SymInfo& sym : summaries[i]->symbols) {
+        if (sym.kind != SymInfo::Kind::Import) continue;
+        const std::string gname = to_lower(sym.name);
+        deps.imports.push_back(gname);
+        const auto owner = global_owner.find(gname);
+        if (owner != global_owner.end()) deps.deps.push_back(owner->second);
+      }
+      for (const ExternSummary& ext : summaries[i]->externs) {
+        const auto owner = proc_owner.find(ext.name);
+        if (owner != proc_owner.end()) deps.deps.push_back(owner->second);
+      }
+      next.set(sources[i].name, std::move(deps));
+    }
+    inc->depmap = std::move(next);
+    if (cache.enabled()) DepMap::store(opts.cache_dir, inc->depmap);
+    if (inc->keep_resident) {
+      for (std::size_t i = 0; i < summaries.size(); ++i) {
+        if (summaries[i]) {
+          inc->resident[sources[i].name] = ResidentUnit{store_keys[i], *summaries[i]};
+        } else {
+          inc->resident.erase(sources[i].name);
+        }
+      }
     }
   }
 

@@ -19,12 +19,14 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "ir/layout.hpp"
+#include "serve/depmap.hpp"
 #include "serve/link.hpp"
 #include "serve/summary.hpp"
 #include "support/limits.hpp"
@@ -81,6 +83,13 @@ struct BatchResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t failed_units = 0;
+  /// Units re-summarized only because a dependency changed (their own text
+  /// and cache entry were fine): the dependency-aware invalidation front
+  /// minus the changed units themselves.
+  std::uint64_t invalidated_units = 0;
+  /// Cache hits served from IncrementalState memory without touching disk
+  /// (daemon warm state); a subset of cache_hits.
+  std::uint64_t resident_hits = 0;
   /// Valid when ok or partial: rows, .dgn project, .cfg text, the
   /// reconstructed program, and link diagnostics.
   LinkResult link;
@@ -104,8 +113,37 @@ struct SourceBuffer {
 [[nodiscard]] std::optional<SourceBuffer> read_source(const std::filesystem::path& path,
                                                       std::string* warning);
 
-/// Runs the full batch: parallel per-unit phase, then serial link.
+/// One unit summary held in memory across runs (daemon warm state).
+struct ResidentUnit {
+  std::string key;      // cache key the summary was produced under
+  UnitSummary summary;  // reused verbatim while the key still matches
+};
+
+/// Warm analysis state carried across run_batch calls on the same project:
+/// the last run's dependency map (drives invalidation and import-aware
+/// cache keys) and, when `keep_resident`, the unit summaries themselves so
+/// a warm daemon never re-reads the disk cache for unchanged units.
+struct IncrementalState {
+  DepMap depmap;
+  std::map<std::string, ResidentUnit> resident;  // unit name -> last summary
+  bool keep_resident = true;
+  /// Rough resident footprint (symbols + records + texts), for the daemon's
+  /// LRU memory budget.
+  [[nodiscard]] std::size_t resident_bytes() const;
+};
+
+/// Runs the full batch: parallel per-unit phase, then serial link. With a
+/// persistent cache dir this is dependency-aware: a changed unit forces
+/// re-summarization of itself plus its transitive dependents (reverse
+/// closure over the persisted deps.map), everything else replays.
 [[nodiscard]] BatchResult run_batch(const std::vector<SourceBuffer>& sources,
                                     const BatchOptions& opts, const std::string& name);
+
+/// As above, with caller-owned warm state (the daemon's per-project state).
+/// `inc` may be null; when non-null it is consulted for resident summaries
+/// and refreshed (depmap + resident units) after the batch.
+[[nodiscard]] BatchResult run_batch(const std::vector<SourceBuffer>& sources,
+                                    const BatchOptions& opts, const std::string& name,
+                                    IncrementalState* inc);
 
 }  // namespace ara::serve

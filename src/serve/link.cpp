@@ -223,6 +223,38 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
     tock(u, t0);
   }
 
+  // Imports: a global referenced by this unit but declared by a sibling
+  // binds to the sibling's Phase-B symbol — no new ST is created, so the
+  // linked table replays the monolithic front end's creation order exactly
+  // (the declaring unit's position wins, as in declare_globals).
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto t0 = tick();
+    std::set<std::string> reported_imports;
+    for (std::uint32_t s = 0; s < units[u].symbols.size(); ++s) {
+      const SymInfo& sym = units[u].symbols[s];
+      if (sym.kind != SymInfo::Kind::Import) continue;
+      const std::string key = to_lower(sym.name);
+      const auto it = globals.find(key);
+      if (it != globals.end()) {
+        map[u][s] = it->second;
+        continue;
+      }
+      if (!reported_imports.insert(key).second) continue;
+      const SourceLoc loc{file_of(u), sym.line, sym.col};
+      if (opts.degraded) {
+        // The declaration may live in a unit that failed to analyze; the
+        // import's accesses are dropped, but the survivors still link.
+        diags.warning(loc, "imported global '" + sym.name +
+                               "' is not declared by any linked unit (its declaring "
+                               "unit may have failed to analyze)");
+      } else {
+        diags.error(loc,
+                    "imported global '" + sym.name + "' is not declared by any linked unit");
+      }
+    }
+    tock(u, t0);
+  }
+
   // External references resolve against the whole program's procedures.
   for (std::size_t u = 0; u < units.size(); ++u) {
     const auto t0 = tick();
@@ -497,8 +529,10 @@ LinkResult link_units(const std::vector<UnitSummary>& units,
     for (const RecordSummary& r : n.proc->records) {
       const SymInfo& sym = units[n.unit].symbols[r.sym];
       if (!opts.include_scalars && r.region.rank() == 0 && !sym.is_array) continue;
+      const ir::StIdx arr = mapped(n.unit, r.sym);
+      if (arr == ir::kInvalidSt) continue;  // unresolved import (degraded mode)
       ipa::AccessRecord rec;
-      rec.array = mapped(n.unit, r.sym);
+      rec.array = arr;
       rec.mode = r.mode;
       rec.remote = r.remote;
       rec.image = r.image;

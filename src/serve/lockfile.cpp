@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <string>
 #include <system_error>
 #include <thread>
@@ -60,7 +61,47 @@ bool DirLock::acquire(std::chrono::milliseconds timeout) {
   }
 }
 
+bool DirLock::refresh() {
+  if (!held_) return false;
+  // Rewriting (not recreating) keeps the O_EXCL story intact: the file must
+  // already exist, we only bump its mtime. O_TRUNC without O_CREAT fails
+  // with ENOENT when a waiter has broken the lock — in that case ownership
+  // is already lost and we must not resurrect the file.
+  const int fd = ::open(lock_path_.c_str(), O_WRONLY | O_TRUNC);
+  if (fd < 0) return false;
+  const std::string pid = std::to_string(::getpid()) + "\n";
+  [[maybe_unused]] const ssize_t n = ::write(fd, pid.data(), pid.size());
+  ::close(fd);
+  refreshes_.fetch_add(1);
+  return true;
+}
+
+void DirLock::start_heartbeat() {
+  if (!held_ || heartbeat_.joinable()) return;
+  hb_stop_ = false;
+  const auto interval =
+      std::max<std::chrono::milliseconds>(stale_after_ / 3, std::chrono::milliseconds(10));
+  heartbeat_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lk(hb_mu_);
+    for (;;) {
+      if (hb_cv_.wait_for(lk, interval, [this] { return hb_stop_; })) return;
+      refresh();
+    }
+  });
+}
+
+void DirLock::stop_heartbeat() {
+  if (!heartbeat_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lk(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  heartbeat_.join();
+}
+
 void DirLock::release() {
+  stop_heartbeat();
   if (!held_) return;
   std::error_code ec;
   fs::remove(lock_path_, ec);

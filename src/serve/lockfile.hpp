@@ -12,11 +12,22 @@
 // to dead processes), and acquisition itself is bounded by `timeout` —
 // on expiry the caller proceeds unlocked, because the cache is an
 // accelerator and a wedged lock must not wedge the analysis.
+//
+// Long-lived holders: the staleness heuristic assumes critical sections are
+// short. A daemon that legitimately holds the lock across a long re-analysis
+// would look dead to a concurrent arac run, which would break the lock out
+// from under it. refresh() bumps the lock file's mtime to re-assert
+// liveness; start_heartbeat() runs refresh() on a background thread at
+// stale_after/3 so a healthy holder is never mistaken for a dead one.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
 #include <string_view>
+#include <thread>
 
 namespace ara::serve {
 
@@ -36,13 +47,27 @@ class DirLock {
   /// whether the lock was actually taken (callers proceed either way).
   bool acquire(std::chrono::milliseconds timeout = std::chrono::milliseconds(500));
 
-  /// Removes the lock file when held; no-op otherwise.
+  /// Removes the lock file when held; no-op otherwise. Stops the heartbeat
+  /// first when one is running.
   void release();
+
+  /// Re-asserts liveness by bumping the lock file's mtime (rewriting the
+  /// pid). Returns false when the lock is not held or the file vanished —
+  /// i.e. a waiter already broke it, and this handle's "ownership" is gone.
+  bool refresh();
+
+  /// Spawns a background thread calling refresh() every `stale_after / 3`
+  /// until release() (or destruction). No-op when the lock is not held or a
+  /// heartbeat is already running.
+  void start_heartbeat();
 
   [[nodiscard]] bool held() const { return held_; }
 
   /// Stale locks broken by this handle (for tests and obs counters).
   [[nodiscard]] unsigned breaks() const { return breaks_; }
+
+  /// Heartbeat refreshes performed so far (for tests and obs counters).
+  [[nodiscard]] unsigned refreshes() const { return refreshes_.load(); }
 
   /// Failpoint name armed by tests: `cache.lock=delay:...` widens the
   /// critical-section window, `cache.lock=io` simulates an unacquirable
@@ -50,10 +75,17 @@ class DirLock {
   static constexpr std::string_view kFailpoint = "cache.lock";
 
  private:
+  void stop_heartbeat();
+
   std::filesystem::path lock_path_;
   std::chrono::milliseconds stale_after_;
   bool held_ = false;
   unsigned breaks_ = 0;
+  std::atomic<unsigned> refreshes_{0};
+  std::thread heartbeat_;
+  std::mutex hb_mu_;                 // guards hb_stop_ for the cv
+  std::condition_variable hb_cv_;    // wakes the heartbeat thread for exit
+  bool hb_stop_ = false;
 };
 
 }  // namespace ara::serve

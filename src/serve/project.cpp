@@ -1,0 +1,69 @@
+#include "serve/project.hpp"
+
+#include <algorithm>
+
+#include "obs/provenance.hpp"
+#include "rgn/region_row.hpp"
+
+namespace ara::serve {
+
+std::shared_ptr<const ProjectSnapshot> ProjectState::analyze(
+    const std::vector<SourceBuffer>& sources, const BatchOptions& opts) {
+  const std::lock_guard<std::mutex> analyzing(analyze_mu_);
+  BatchResult result = run_batch(sources, opts, name_, &inc_);
+
+  auto snap = std::make_shared<ProjectSnapshot>();
+  snap->ok = result.ok;
+  snap->partial = result.partial;
+  snap->generation = ++generation_;
+  snap->units = std::move(result.units);
+  snap->cache_hits = result.cache_hits;
+  snap->cache_misses = result.cache_misses;
+  snap->resident_hits = result.resident_hits;
+  snap->invalidated_units = result.invalidated_units;
+  snap->failed_units = result.failed_units;
+  if (result.ok || result.partial) {
+    snap->rgn_text = rgn::write_rgn(result.link.rows);
+    snap->dgn_text = rgn::write_dgn(result.link.project);
+    snap->cfg_text = result.link.cfg_text;
+    snap->rows = std::move(result.link.rows);
+    // Ledger merge order: (unit, seq); run_batch already emits it that way,
+    // the sort pins the contract (see ProvenanceLedger::merged).
+    std::stable_sort(result.provenance.begin(), result.provenance.end(),
+                     [](const obs::ProvRecord& a, const obs::ProvRecord& b) {
+                       if (a.unit != b.unit) return a.unit < b.unit;
+                       return a.seq < b.seq;
+                     });
+    snap->provenance_jsonl = obs::write_provenance_jsonl(result.provenance, name_);
+    snap->provenance = std::move(result.provenance);
+  }
+  snap->link_diagnostics = result.link.diags.render();
+
+  {
+    const std::lock_guard<std::mutex> publishing(snap_mu_);
+    snapshot_ = snap;
+  }
+  return snap;
+}
+
+std::shared_ptr<const ProjectSnapshot> ProjectState::snapshot() const {
+  const std::lock_guard<std::mutex> reading(snap_mu_);
+  return snapshot_;
+}
+
+std::size_t ProjectState::resident_bytes() const {
+  std::size_t total = 0;
+  {
+    const std::lock_guard<std::mutex> analyzing(analyze_mu_);
+    total += inc_.resident_bytes();
+  }
+  if (const auto snap = snapshot()) {
+    total += snap->rgn_text.size() + snap->dgn_text.size() + snap->cfg_text.size() +
+             snap->provenance_jsonl.size();
+    total += snap->rows.size() * (sizeof(rgn::RegionRow) + 96);
+    total += snap->provenance.size() * (sizeof(obs::ProvRecord) + 48);
+  }
+  return total;
+}
+
+}  // namespace ara::serve

@@ -1,0 +1,82 @@
+// Reusable warm project state: everything the analysis daemon keeps alive
+// for one project between requests. ProjectState owns the engine's
+// IncrementalState (dependency map + resident unit summaries) and the last
+// completed result as an immutable snapshot. analyze() serializes per
+// project and publishes a fresh snapshot atomically; query()/explain()
+// readers hold a shared_ptr to whatever snapshot was current when they
+// arrived — so while a re-analysis is in flight, clients are answered from
+// the previous result set instead of blocking or erroring. The same class
+// backs one-shot embedding (tests, tools): it has no socket or thread of
+// its own.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace ara::serve {
+
+/// Immutable result of one completed analysis. All export artifacts are
+/// pre-rendered text — byte-identical to what a cold batch `arac` run
+/// would write — so serving them is a string copy.
+struct ProjectSnapshot {
+  bool ok = false;
+  bool partial = false;
+  std::uint64_t generation = 0;  // 1 for the first analysis, then +1 each
+  std::vector<UnitReport> units;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t resident_hits = 0;
+  std::uint64_t invalidated_units = 0;
+  std::uint64_t failed_units = 0;
+  /// Valid when ok or partial.
+  std::vector<rgn::RegionRow> rows;
+  std::string rgn_text;
+  std::string dgn_text;
+  std::string cfg_text;
+  std::string provenance_jsonl;
+  std::vector<obs::ProvRecord> provenance;  // (unit, seq) merged order
+  std::string link_diagnostics;
+};
+
+class ProjectState {
+ public:
+  explicit ProjectState(std::string name) : name_(std::move(name)) { touch(); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Runs the dependency-aware incremental batch over `sources` and
+  /// publishes the result as the new snapshot (returned). Serialized per
+  /// project; concurrent snapshot()/readers are never blocked.
+  std::shared_ptr<const ProjectSnapshot> analyze(const std::vector<SourceBuffer>& sources,
+                                                 const BatchOptions& opts);
+
+  /// The latest published snapshot; nullptr before the first analyze().
+  [[nodiscard]] std::shared_ptr<const ProjectSnapshot> snapshot() const;
+
+  /// Rough resident footprint (incremental state + snapshot text), for the
+  /// daemon's LRU memory budget.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+  /// LRU bookkeeping.
+  void touch() { last_used_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] std::chrono::steady_clock::time_point last_used() const {
+    return last_used_;
+  }
+
+ private:
+  std::string name_;
+  mutable std::mutex analyze_mu_;  // one analysis at a time per project
+  mutable std::mutex snap_mu_;     // guards the snapshot_ pointer swap
+  std::shared_ptr<const ProjectSnapshot> snapshot_;
+  IncrementalState inc_;
+  std::uint64_t generation_ = 0;
+  std::chrono::steady_clock::time_point last_used_{};
+};
+
+}  // namespace ara::serve

@@ -15,7 +15,7 @@ namespace io = ipa::io;
 
 namespace {
 
-constexpr std::string_view kMagic = "ARA-UNIT 3";  // v3: provenance records
+constexpr std::string_view kMagic = "ARA-UNIT 4";  // v4: Import symbol kind
 
 char kind_tag(SymInfo::Kind k) {
   switch (k) {
@@ -29,6 +29,8 @@ char kind_tag(SymInfo::Kind k) {
       return 'F';
     case SymInfo::Kind::Local:
       return 'L';
+    case SymInfo::Kind::Import:
+      return 'I';
   }
   return '?';
 }
@@ -45,6 +47,8 @@ std::optional<SymInfo::Kind> kind_from_tag(char c) {
       return SymInfo::Kind::Formal;
     case 'L':
       return SymInfo::Kind::Local;
+    case 'I':
+      return SymInfo::Kind::Import;
     default:
       return std::nullopt;
   }
@@ -211,10 +215,12 @@ bool read_bool_tok(std::string_view tok, bool* out) {
 }  // namespace
 
 UnitSummary summarize_unit(const ir::Program& program,
-                           const std::vector<fe::ExternRef>& externs) {
+                           const std::vector<fe::ExternRef>& externs,
+                           const std::vector<std::string>& imported_globals) {
   UnitSummary unit;
   unit.source_name = program.sources.name(1);
   unit.language = program.sources.language(1);
+  const std::set<std::string> imported(imported_globals.begin(), imported_globals.end());
 
   // Symbols, in creation order (unit StIdx i -> symbols[i-1]).
   for (ir::StIdx idx : program.symtab.all_sts()) {
@@ -240,7 +246,8 @@ UnitSummary summarize_unit(const ir::Program& program,
       info.kind = program.find_procedure(idx) != nullptr ? SymInfo::Kind::Proc
                                                          : SymInfo::Kind::Extern;
     } else if (st.storage == ir::StStorage::Global) {
-      info.kind = SymInfo::Kind::Global;
+      info.kind = imported.count(to_lower(st.name)) != 0 ? SymInfo::Kind::Import
+                                                         : SymInfo::Kind::Global;
     } else if (st.storage == ir::StStorage::Formal) {
       info.kind = SymInfo::Kind::Formal;
     } else {

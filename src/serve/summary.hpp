@@ -47,6 +47,9 @@ struct SymInfo {
     Global,  // file-scope / COMMON variable (unifies by name at link)
     Formal,  // procedure formal parameter
     Local,   // procedure-local variable
+    Import,  // global referenced here but declared by a sibling unit: the
+             // link phase binds it by name to the declaring unit's Global
+             // instead of replaying a new ST (serve mode only, v4)
   };
   Kind kind = Kind::Local;
   std::string name;       // source spelling
@@ -135,9 +138,12 @@ struct UnitSummary {
 
 /// Builds the summary of one separately-compiled unit (a Program holding
 /// exactly one source file, compiled with SemaOptions::external_calls).
-/// Runs the IPL local analysis on every procedure.
+/// Runs the IPL local analysis on every procedure. `imported_globals` names
+/// (lowercase) the globals sema resolved from a cross-unit import table;
+/// their symbols are marked Kind::Import.
 [[nodiscard]] UnitSummary summarize_unit(const ir::Program& program,
-                                         const std::vector<fe::ExternRef>& externs);
+                                         const std::vector<fe::ExternRef>& externs,
+                                         const std::vector<std::string>& imported_globals = {});
 
 /// Cache payload serialization (see docs/FORMATS.md, "unit summary").
 [[nodiscard]] std::string write_unit_summary(const UnitSummary& unit);

@@ -71,6 +71,21 @@ void ThreadPool::worker_main(std::size_t me) {
   }
 }
 
+void ThreadPool::submit(std::function<void()> fn) {
+  if (jobs_ == 1) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // shutting down: drop, the caller is going away too
+    queues_[next_queue_ % jobs_].push_back(Task{std::move(fn)});
+    ++next_queue_;
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;

@@ -44,6 +44,15 @@ class ThreadPool {
   /// scheduling). Reentrant calls (from inside a task) are not supported.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Fire-and-forget: enqueues one task (round-robin over the workers) and
+  /// returns immediately; jobs == 1 runs it inline. The task must not throw
+  /// (uncaught exceptions terminate) and the caller tracks its own
+  /// completion — this is the request-multiplexing entry the daemon uses,
+  /// where each task answers its own client. Do not mix with a concurrent
+  /// parallel_for on the same pool: both count into `pending_`, so
+  /// parallel_for's drain would wait for submitted tasks too.
+  void submit(std::function<void()> fn);
+
  private:
   struct Task {
     std::function<void()> run;
@@ -61,6 +70,7 @@ class ThreadPool {
   std::condition_variable done_cv_;  // parallel_for waits for drain
   std::vector<std::deque<Task>> queues_;  // one per worker
   std::size_t pending_ = 0;               // submitted but not finished
+  std::size_t next_queue_ = 0;            // submit()'s round-robin cursor
   bool stop_ = false;
 };
 

@@ -1,0 +1,288 @@
+// End-to-end daemon tests over a real Unix socket: the full analyze /
+// query / explain / status / shutdown protocol, per-request isolation (a
+// malformed or crashing request answers ok:false and the daemon keeps
+// serving), warm incremental re-analysis across requests, concurrent
+// clients, and the LRU memory budget.
+#include "daemon/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/client.hpp"
+#include "daemon/rpc.hpp"
+#include "support/json.hpp"
+
+namespace ara::daemon {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A short-path socket in the system temp dir (sun_path is ~108 bytes).
+std::string temp_socket(const char* tag) {
+  return (fs::temp_directory_path() /
+          (std::string("ara_") + tag + "_" + std::to_string(::getpid()) + ".sock"))
+      .string();
+}
+
+std::string c_unit(const std::string& array, const std::string& proc,
+                   const std::string& extra_stmt = "") {
+  std::string text;
+  text += "double " + array + "[16][16];\n";
+  text += "void " + proc + "(void) {\n  int i, j;\n";
+  text += "  for (i = 0; i < 16; i++) {\n    for (j = 0; j < 16; j++) {\n";
+  text += "      " + array + "[i][j] = i + j;\n    }\n  }\n";
+  if (!extra_stmt.empty()) text += "  " + extra_stmt + "\n";
+  text += "}\n";
+  return text;
+}
+
+/// analyze params for a two-unit project where `caller` calls `callee`.
+std::string two_unit_params(const std::string& project, bool edited = false) {
+  std::ostringstream os;
+  os << "{\"project\":\"" << project << "\",\"sources\":["
+     << "{\"name\":\"callee.c\",\"lang\":\"c\",\"text\":\""
+     << json::escape(c_unit("a", "callee") + (edited ? "/* v2 */\n" : "")) << "\"},"
+     << "{\"name\":\"caller.c\",\"lang\":\"c\",\"text\":\""
+     << json::escape(c_unit("b", "caller", "callee();")) << "\"}]}";
+  return os.str();
+}
+
+/// A deliberately bulky project (one unit, many procedures) so a handful
+/// of them overflows a 1 MiB resident budget in the LRU test.
+std::string bulky_params(const std::string& project) {
+  std::string text;
+  for (int p = 0; p < 80; ++p) {
+    const std::string n = std::to_string(p);
+    text += c_unit("arr" + n, "proc" + n);
+  }
+  std::ostringstream os;
+  os << "{\"project\":\"" << project << "\",\"sources\":["
+     << "{\"name\":\"bulk.c\",\"lang\":\"c\",\"text\":\"" << json::escape(text)
+     << "\"}]}";
+  return os.str();
+}
+
+std::uint64_t num(const json::Value& v, std::string_view key) {
+  const json::Value* m = v.find(key);
+  return (m != nullptr && m->is_number()) ? static_cast<std::uint64_t>(m->number) : 0;
+}
+
+struct RunningDaemon {
+  explicit RunningDaemon(DaemonOptions opts) : server(std::move(opts)) {
+    std::string error;
+    started = server.start(&error);
+    EXPECT_TRUE(started) << error;
+  }
+  ~RunningDaemon() { server.stop(); }
+  DaemonServer server;
+  bool started = false;
+};
+
+TEST(Daemon, AnalyzeQueryExplainStatusShutdown) {
+  RunningDaemon d(DaemonOptions{temp_socket("proto"), 2, 64, 1});
+  ASSERT_TRUE(d.started);
+
+  DaemonClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), &error)) << error;
+
+  auto analyzed = client.call("analyze", two_unit_params("demo"));
+  ASSERT_TRUE(analyzed.has_value());
+  ASSERT_TRUE(analyzed->ok) << analyzed->error;
+  EXPECT_EQ(num(analyzed->result, "generation"), 1u);
+  EXPECT_EQ(num(analyzed->result, "units"), 2u);
+  EXPECT_GT(num(analyzed->result, "rows"), 0u);
+
+  auto table = client.call("query", R"({"project":"demo"})");
+  ASSERT_TRUE(table.has_value() && table->ok) << (table ? table->error : "no reply");
+  const json::Value* text = table->result.find("text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_NE(text->string.find("Scope"), std::string::npos);
+  EXPECT_NE(text->string.find("DEF"), std::string::npos);
+
+  auto rgn = client.call("query", R"({"project":"demo","artifact":"rgn"})");
+  ASSERT_TRUE(rgn.has_value() && rgn->ok);
+  EXPECT_EQ(rgn->result.find("text")->string.rfind("Scope,Array,", 0), 0u);
+
+  auto explain = client.call("explain", R"({"project":"demo"})");
+  ASSERT_TRUE(explain.has_value() && explain->ok);
+  EXPECT_NE(explain->result.find("text")->string.find("explain:"), std::string::npos);
+
+  auto status = client.call("status", "{}");
+  ASSERT_TRUE(status.has_value() && status->ok);
+  EXPECT_EQ(status->result.find("schema")->string, kRpcSchema);
+  ASSERT_TRUE(status->result.find("projects")->is_array());
+  EXPECT_EQ(status->result.find("projects")->array.size(), 1u);
+
+  auto bye = client.call("shutdown", "{}");
+  ASSERT_TRUE(bye.has_value() && bye->ok);
+  d.server.wait();  // returns because shutdown flipped the flag
+}
+
+TEST(Daemon, WarmStateMakesSecondAnalyzeResident) {
+  RunningDaemon d(DaemonOptions{temp_socket("warm"), 2, 64, 1});
+  ASSERT_TRUE(d.started);
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), nullptr));
+
+  auto cold = client.call("analyze", two_unit_params("warm"));
+  ASSERT_TRUE(cold.has_value() && cold->ok);
+  EXPECT_EQ(num(cold->result, "cache_misses"), 2u);
+
+  auto warm = client.call("analyze", two_unit_params("warm"));
+  ASSERT_TRUE(warm.has_value() && warm->ok);
+  EXPECT_EQ(num(warm->result, "cache_misses"), 0u);
+  EXPECT_EQ(num(warm->result, "resident_hits"), 2u);
+
+  // Editing the callee invalidates the caller too (its summary links
+  // against the callee's unit): both re-analyze, nothing resident.
+  auto inc = client.call("analyze", two_unit_params("warm", /*edited=*/true));
+  ASSERT_TRUE(inc.has_value() && inc->ok);
+  EXPECT_EQ(num(inc->result, "cache_misses"), 2u);
+  EXPECT_EQ(num(inc->result, "invalidated_units"), 1u);
+}
+
+TEST(Daemon, MalformedAndCrashingRequestsDoNotKillTheServer) {
+  RunningDaemon d(DaemonOptions{temp_socket("isolate"), 2, 64, 1});
+  ASSERT_TRUE(d.started);
+
+  // Straight through the request handler: garbage framing, unknown
+  // methods, bad params — each answers ok:false with the request's id.
+  EXPECT_NE(d.server.handle_line("this is not json").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(d.server.handle_line(R"({"id":5,"method":"frobnicate"})")
+                .find("\"id\":5,\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(
+      d.server.handle_line(R"({"id":6,"method":"analyze","params":{"sources":[]}})")
+          .find("\"ok\":false"),
+      std::string::npos);
+  EXPECT_NE(d.server.handle_line(R"({"id":7,"method":"query","params":{"project":"nope"}})")
+                .find("\"ok\":false"),
+            std::string::npos);
+  // A unit whose compile fails is NOT a request error: the analyze request
+  // itself succeeds and the result reports the failed unit — the daemon's
+  // answer to broken code is structured, not an exception.
+  const std::string broken = d.server.handle_line(
+      R"({"id":8,"method":"analyze","params":{"project":"bad","sources":[{"name":"x.c","lang":"c","text":"void f( {"}]}})");
+  EXPECT_NE(broken.find("\"id\":8,\"ok\":true"), std::string::npos);
+  EXPECT_NE(broken.find("\"failed_units\":1"), std::string::npos);
+
+  // After all of that, a clean request still works end to end.
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), nullptr));
+  auto good = client.call("analyze", two_unit_params("still-alive"));
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(good->ok) << good->error;
+  EXPECT_EQ(d.server.request_errors(), 4u);
+}
+
+TEST(Daemon, ConcurrentClientsOnDistinctProjects) {
+  RunningDaemon d(DaemonOptions{temp_socket("conc"), 4, 256, 1});
+  ASSERT_TRUE(d.started);
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> rows(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      DaemonClient client;
+      if (!client.connect(d.server.socket_path(), nullptr)) return;
+      const std::string project = std::string("p") + std::to_string(c);
+      for (int round = 0; round < 3; ++round) {
+        auto reply = client.call("analyze", two_unit_params(project));
+        if (!reply.has_value() || !reply->ok) return;
+        rows[c] = static_cast<int>(num(reply->result, "rows"));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_GT(rows[c], 0) << "client " << c << " failed";
+  }
+  EXPECT_EQ(d.server.requests(), static_cast<std::uint64_t>(kClients * 3));
+}
+
+TEST(Daemon, MemoryBudgetEvictsLeastRecentlyUsedProject) {
+  // 1 MiB budget (0 means unbounded; the project just analyzed is never
+  // evicted), with projects bulky enough that a few overflow it.
+  RunningDaemon d(DaemonOptions{temp_socket("lru"), 2, 1, 1});
+  ASSERT_TRUE(d.started);
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), nullptr));
+
+  constexpr int kProjects = 8;
+  for (int p = 0; p < kProjects; ++p) {
+    auto reply = client.call("analyze", bulky_params("proj" + std::to_string(p)));
+    ASSERT_TRUE(reply.has_value() && reply->ok);
+  }
+  EXPECT_GT(d.server.evictions(), 0u);
+
+  auto status = client.call("status", "{}");
+  ASSERT_TRUE(status.has_value() && status->ok);
+  const json::Value* projects = status->result.find("projects");
+  ASSERT_NE(projects, nullptr);
+  EXPECT_LT(projects->array.size(), static_cast<std::size_t>(kProjects));
+
+  // An evicted project's query errors cleanly; re-analyzing it recreates
+  // the state from scratch.
+  auto gone = client.call("query", R"({"project":"proj0"})");
+  ASSERT_TRUE(gone.has_value());
+  EXPECT_FALSE(gone->ok);
+  auto back = client.call("analyze", bulky_params("proj0"));
+  ASSERT_TRUE(back.has_value() && back->ok);
+  EXPECT_EQ(num(back->result, "generation"), 1u);  // fresh state
+}
+
+TEST(Daemon, RefusesASecondDaemonOnALiveSocket) {
+  const std::string path = temp_socket("dup");
+  RunningDaemon first(DaemonOptions{path, 2, 64, 1});
+  ASSERT_TRUE(first.started);
+
+  {
+    DaemonServer second(DaemonOptions{path, 2, 64, 1});
+    std::string error;
+    EXPECT_FALSE(second.start(&error));
+    EXPECT_NE(error.find("already listening"), std::string::npos);
+  }
+
+  // The refused server's teardown must not unlink the live daemon's
+  // socket: the first daemon still owns the path and still answers.
+  EXPECT_TRUE(std::filesystem::exists(path));
+  DaemonClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(path, &error)) << error;
+  const auto reply = client.call("status", "{}");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+}
+
+TEST(Daemon, ReclaimsAStaleSocketFile) {
+  // What a crashed daemon leaves behind: a bound socket file with nobody
+  // listening. bind() alone would fail EADDRINUSE forever; the connect
+  // probe sees no answer and reclaims the path.
+  const std::string path = temp_socket("stale");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);  // no listen(), no unlink: the file is stale
+  ASSERT_TRUE(fs::exists(path));
+
+  RunningDaemon fresh(DaemonOptions{path, 2, 64, 1});
+  EXPECT_TRUE(fresh.started);
+}
+
+}  // namespace
+}  // namespace ara::daemon

@@ -1,0 +1,88 @@
+// ara.rpc.v1 framing: request parsing (strict on shape, tolerant on
+// extras), response serialization, and the param accessors the handlers
+// are built on.
+#include "daemon/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ara::daemon {
+namespace {
+
+TEST(Rpc, ParsesAMinimalRequest) {
+  std::string error;
+  const auto req = parse_request(R"({"id": 3, "method": "status"})", &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->id, 3u);
+  EXPECT_EQ(req->method, "status");
+  EXPECT_TRUE(req->params.is_null());
+}
+
+TEST(Rpc, ParsesParamsAndIgnoresUnknownMembers) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"id": 1, "method": "query", "params": {"project": "p"}, "future": true})", &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  ASSERT_TRUE(req->params.is_object());
+  EXPECT_EQ(param_string(req->params, "project"), "p");
+}
+
+TEST(Rpc, RejectsMalformedRequests) {
+  for (const char* bad : {
+           "not json at all",
+           "[1,2,3]",                                  // not an object
+           R"({"method": "status"})",                  // no id
+           R"({"id": "seven", "method": "status"})",   // id not a number
+           R"({"id": -1, "method": "status"})",        // negative id
+           R"({"id": 1.5, "method": "status"})",       // fractional id
+           R"({"id": 1})",                             // no method
+           R"({"id": 1, "method": 9})",                // method not a string
+           R"({"id": 1, "method": "m", "params": 4})"  // params not an object
+       }) {
+    std::string error;
+    EXPECT_FALSE(parse_request(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(Rpc, MalformedRequestStillYieldsItsIdForTheErrorResponse) {
+  std::string error;
+  std::uint64_t id = 0;
+  EXPECT_FALSE(parse_request(R"({"id": 42, "method": 9})", &error, &id).has_value());
+  EXPECT_EQ(id, 42u);
+}
+
+TEST(Rpc, ResponsesAreSingleJsonLines) {
+  const std::string ok = ok_response(7, R"({"rows":3})");
+  EXPECT_EQ(ok, "{\"id\":7,\"ok\":true,\"result\":{\"rows\":3}}\n");
+
+  const std::string err = error_response(8, "bad \"thing\"\nhappened");
+  EXPECT_EQ(err.back(), '\n');
+  // The error body must be escaped: exactly one line on the wire.
+  EXPECT_EQ(err.find('\n'), err.size() - 1);
+
+  std::string parse_error;
+  const auto parsed = json::parse(err, &parse_error);
+  ASSERT_TRUE(parsed.has_value()) << parse_error;
+  const json::Value* msg = parsed->find("error");
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->string, "bad \"thing\"\nhappened");
+}
+
+TEST(Rpc, ParamAccessorsFallBackOnMissingOrIllTyped) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"id":1,"method":"m","params":{"s":"x","n":5,"b":true,"wrong":"type"}})", &error);
+  ASSERT_TRUE(req.has_value()) << error;
+  const json::Value& p = req->params;
+  EXPECT_EQ(param_string(p, "s"), "x");
+  EXPECT_EQ(param_string(p, "missing", "dflt"), "dflt");
+  EXPECT_EQ(param_string(p, "n", "dflt"), "dflt");  // number, not string
+  EXPECT_EQ(param_u64(p, "n"), 5u);
+  EXPECT_EQ(param_u64(p, "s", 9), 9u);
+  EXPECT_TRUE(param_bool(p, "b", false));
+  EXPECT_TRUE(param_bool(p, "missing", true));
+  EXPECT_FALSE(param_bool(p, "wrong", false));
+}
+
+}  // namespace
+}  // namespace ara::daemon

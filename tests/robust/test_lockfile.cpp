@@ -106,6 +106,53 @@ TEST_F(DirLockTest, InjectedLockFaultMeansProceedUnlocked) {
       << "an injected lock fault must not create the lock file";
 }
 
+TEST_F(DirLockTest, RefreshBumpsTheLockMtime) {
+  DirLock lock(dir_, /*stale_after=*/milliseconds(100));
+  ASSERT_TRUE(lock.acquire());
+
+  // Age the lock file past stale_after, then refresh: the mtime comes back
+  // to now, so a waiter no longer sees it as abandoned.
+  const fs::path path = dir_ / ".arac.lock";
+  fs::last_write_time(path, fs::file_time_type::clock::now() - std::chrono::hours(1));
+  ASSERT_TRUE(lock.refresh());
+  EXPECT_EQ(lock.refreshes(), 1u);
+  EXPECT_GT(fs::last_write_time(path),
+            fs::file_time_type::clock::now() - std::chrono::minutes(1));
+
+  DirLock rival(dir_, /*stale_after=*/std::chrono::minutes(1));
+  EXPECT_FALSE(rival.acquire(milliseconds(50)));
+  EXPECT_EQ(rival.breaks(), 0u);
+}
+
+TEST_F(DirLockTest, RefreshFailsWhenNotHeldOrAlreadyBroken) {
+  DirLock lock(dir_);
+  EXPECT_FALSE(lock.refresh());  // never acquired
+
+  ASSERT_TRUE(lock.acquire());
+  // A waiter broke the lock (deleted the file): refresh must NOT resurrect
+  // it — ownership is gone and recreating the file would fake a new claim.
+  fs::remove(dir_ / ".arac.lock");
+  EXPECT_FALSE(lock.refresh());
+  EXPECT_FALSE(fs::exists(dir_ / ".arac.lock"));
+}
+
+TEST_F(DirLockTest, HeartbeatKeepsALongHolderFromGoingStale) {
+  // The daemon scenario: a healthy holder sits on the lock far longer than
+  // stale_after. The heartbeat refreshes at stale_after/3, so a concurrent
+  // arac keeps seeing a fresh lock and never breaks it.
+  DirLock holder(dir_, /*stale_after=*/milliseconds(90));
+  ASSERT_TRUE(holder.acquire());
+  holder.start_heartbeat();
+
+  DirLock rival(dir_, /*stale_after=*/milliseconds(90));
+  EXPECT_FALSE(rival.acquire(milliseconds(400)));
+  EXPECT_EQ(rival.breaks(), 0u) << "a heartbeating holder must never look stale";
+  EXPECT_GE(holder.refreshes(), 2u);
+
+  holder.release();  // stops the heartbeat and frees the lock
+  EXPECT_TRUE(rival.acquire(milliseconds(100)));
+}
+
 TEST_F(DirLockTest, TwoThreadsNeverHoldTheLockSimultaneously) {
   // In-process race: both threads hammer acquire/release; the O_EXCL create
   // must never let both think they hold it. (The cross-process version of

@@ -1,0 +1,121 @@
+// The persisted reverse-dependency map (ara.deps.v1) behind dependency-
+// aware incremental re-analysis: edge bookkeeping, the reverse transitive
+// closure (including cycles), and total serde — a corrupt deps.map must
+// degrade to an empty map (full invalidation), never to junk edges.
+#include "serve/depmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+namespace ara::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::set<std::string> closure(const DepMap& map, const std::set<std::string>& changed) {
+  return map.dependents_closure(changed);
+}
+
+TEST(DepMap, SetSortsDedupsAndDropsSelfEdges) {
+  DepMap map;
+  map.set("a.c", UnitDeps{{"g", "g", "f"}, {"b.c", "a.c", "b.c", "c.c"}});
+  const UnitDeps* deps = map.find("a.c");
+  ASSERT_NE(deps, nullptr);
+  EXPECT_EQ(deps->imports, (std::vector<std::string>{"f", "g"}));
+  EXPECT_EQ(deps->deps, (std::vector<std::string>{"b.c", "c.c"}));  // no a.c
+}
+
+TEST(DepMap, RemoveForgetsTheUnit) {
+  DepMap map;
+  map.set("a.c", UnitDeps{{}, {"b.c"}});
+  map.set("b.c", UnitDeps{{}, {}});
+  map.remove("a.c");
+  EXPECT_EQ(map.find("a.c"), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  // b.c changing no longer drags the removed unit in.
+  EXPECT_EQ(closure(map, {"b.c"}), (std::set<std::string>{"b.c"}));
+}
+
+TEST(DepMap, ClosureIsTransitive) {
+  // c depends on b depends on a: editing a must re-analyze all three;
+  // editing b leaves a alone; d is independent throughout.
+  DepMap map;
+  map.set("a", UnitDeps{{}, {}});
+  map.set("b", UnitDeps{{}, {"a"}});
+  map.set("c", UnitDeps{{}, {"b"}});
+  map.set("d", UnitDeps{{}, {}});
+  EXPECT_EQ(closure(map, {"a"}), (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(closure(map, {"b"}), (std::set<std::string>{"b", "c"}));
+  EXPECT_EQ(closure(map, {"d"}), (std::set<std::string>{"d"}));
+}
+
+TEST(DepMap, ClosureHandlesCycles) {
+  // a <-> b mutual recursion plus c hanging off b: any seed inside the
+  // cycle pulls in the whole cycle and its dependents, and the BFS
+  // terminates.
+  DepMap map;
+  map.set("a", UnitDeps{{}, {"b"}});
+  map.set("b", UnitDeps{{}, {"a"}});
+  map.set("c", UnitDeps{{}, {"b"}});
+  EXPECT_EQ(closure(map, {"a"}), (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(closure(map, {"c"}), (std::set<std::string>{"c"}));
+}
+
+TEST(DepMap, ClosureOfUnknownUnitIsItself) {
+  DepMap map;
+  map.set("a", UnitDeps{{}, {}});
+  EXPECT_EQ(closure(map, {"new.c"}), (std::set<std::string>{"new.c"}));
+}
+
+TEST(DepMap, SerdeRoundTripsIncludingFunnyNames) {
+  DepMap map;
+  map.set("dir/unit with spaces.c", UnitDeps{{"g1"}, {"other unit.c"}});
+  map.set("plain.f", UnitDeps{{}, {"dir/unit with spaces.c"}});
+
+  const std::optional<DepMap> back = DepMap::parse(map.write());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_NE(back->find("dir/unit with spaces.c"), nullptr);
+  EXPECT_EQ(back->find("dir/unit with spaces.c")->imports,
+            (std::vector<std::string>{"g1"}));
+  ASSERT_NE(back->find("plain.f"), nullptr);
+  EXPECT_EQ(back->find("plain.f")->deps,
+            (std::vector<std::string>{"dir/unit with spaces.c"}));
+  EXPECT_EQ(back->unit_names(), map.unit_names());
+}
+
+TEST(DepMap, ParseRejectsCorruptInputTotally) {
+  for (const char* junk : {
+           "",                       // empty
+           "NOT-DEPS 1\nunits 0\n",  // wrong magic
+           "ARA-DEPS 2\nunits 0\n",  // wrong version
+           "ARA-DEPS 1\nunits 1\n",  // truncated
+           "ARA-DEPS 1\nunits 1\nunit a 99999999 0\n",  // absurd count
+       }) {
+    EXPECT_FALSE(DepMap::parse(junk).has_value()) << '"' << junk << '"';
+  }
+}
+
+TEST(DepMap, LoadOfMissingOrCorruptFileIsEmpty) {
+  const fs::path dir = fs::temp_directory_path() / "ara_depmap_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  EXPECT_TRUE(DepMap::load(dir).empty());
+
+  std::ofstream(DepMap::path_in(dir)) << "garbage\n";
+  EXPECT_TRUE(DepMap::load(dir).empty());
+
+  DepMap map;
+  map.set("a.c", UnitDeps{{"g"}, {"b.c"}});
+  ASSERT_TRUE(DepMap::store(dir, map));
+  const DepMap back = DepMap::load(dir);
+  ASSERT_NE(back.find("a.c"), nullptr);
+  EXPECT_EQ(back.find("a.c")->deps, (std::vector<std::string>{"b.c"}));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ara::serve

@@ -1,0 +1,117 @@
+// arad — the long-lived array-analysis daemon. Listens on a Unix socket,
+// speaks ara.rpc.v1 (docs/FORMATS.md), and keeps per-project analysis state
+// warm between requests so re-analysis after an edit touches only the
+// changed units and their transitive dependents. Runs in the foreground;
+// backgrounding is the caller's job (shell `&`, a supervisor, the tests'
+// fixture). `arac --daemon-connect SOCKET` is the matching client.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "daemon/server.hpp"
+#include "obs/stats.hpp"
+#include "serve/lockfile.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "arad — array-analysis daemon (ara.rpc.v1 over a Unix socket)\n"
+         "\n"
+         "usage: arad --socket PATH [options]\n"
+         "\n"
+         "  --help                this text\n"
+         "  --socket PATH         Unix socket to listen on (required)\n"
+         "  --jobs N              request worker threads (default 2)\n"
+         "  --analyze-jobs N      per-analyze unit parallelism (default 1)\n"
+         "  --max-resident-mb N   warm-project memory budget; least-recently\n"
+         "                        used projects are evicted past it\n"
+         "                        (default 512, 0 = unbounded)\n"
+         "  --cache-lock DIR      hold DIR's cache lock (with heartbeat) for\n"
+         "                        the daemon's lifetime\n"
+         "\n"
+         "methods: analyze, query, explain, status, shutdown — one JSON\n"
+         "request per line, one JSON response per line (docs/daemon.md)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ara::daemon::DaemonOptions opts;
+  std::string cache_lock_dir;
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* what) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        std::cerr << "arad: " << what << " expects a value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (a == "--socket") {
+      const std::string* v = next("--socket");
+      if (v == nullptr) return 1;
+      opts.socket_path = *v;
+    } else if (a == "--jobs") {
+      const std::string* v = next("--jobs");
+      if (v == nullptr) return 1;
+      opts.jobs = static_cast<std::size_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (a == "--analyze-jobs") {
+      const std::string* v = next("--analyze-jobs");
+      if (v == nullptr) return 1;
+      opts.analyze_jobs = static_cast<std::size_t>(std::strtoul(v->c_str(), nullptr, 10));
+      if (opts.analyze_jobs == 0) opts.analyze_jobs = 1;
+    } else if (a == "--max-resident-mb") {
+      const std::string* v = next("--max-resident-mb");
+      if (v == nullptr) return 1;
+      opts.max_resident_mb = static_cast<std::size_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (a == "--cache-lock") {
+      const std::string* v = next("--cache-lock");
+      if (v == nullptr) return 1;
+      cache_lock_dir = *v;
+    } else {
+      std::cerr << "arad: unknown option '" << a << "'\n";
+      usage(std::cerr);
+      return 1;
+    }
+  }
+  if (opts.socket_path.empty()) {
+    std::cerr << "arad: --socket is required\n";
+    usage(std::cerr);
+    return 1;
+  }
+
+  // Telemetry on for the daemon's lifetime: status reports the request
+  // latency histograms and the engine's counters keep counting.
+  ara::obs::set_enabled(true);
+
+  // Optional long-lived cache lock: DirLock's heartbeat keeps the lock's
+  // mtime fresh, so a concurrent `arac --cache-dir DIR` never breaks a
+  // healthy daemon's lock as "stale" (it degrades to unlocked atomic
+  // stores instead, per the lockfile contract).
+  ara::serve::DirLock cache_lock(cache_lock_dir.empty() ? "." : cache_lock_dir);
+  if (!cache_lock_dir.empty()) {
+    if (cache_lock.acquire()) {
+      cache_lock.start_heartbeat();
+    } else {
+      std::cerr << "arad: warning: could not take the cache lock in " << cache_lock_dir
+                << " (continuing without it)\n";
+    }
+  }
+
+  ara::daemon::DaemonServer server(std::move(opts));
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "arad: " << error << "\n";
+    return 1;
+  }
+  std::cout << "arad: listening on " << server.socket_path() << std::endl;
+  server.wait();
+  server.stop();
+  std::cout << "arad: shut down after " << server.requests() << " request(s)\n";
+  return 0;
+}
