@@ -1,0 +1,311 @@
+// Overload behavior of the daemon under saturating client load (ISSUE 10):
+// 8 persistent clients spam warm queries against an admission budget of 2,
+// while a connection storm hammers the accept path against a 4-deep queue.
+// Reports the shed rate, the p99 of admitted requests vs the uncontended
+// warm-query p99 (the acceptance wants <= 2x), the latency of shed replies
+// (the acceptance wants < 10 ms — they are answered without queuing), and
+// the maximum queue depth observed (bounded by --max-queue).
+//
+// The committed baseline (bench/baselines/BENCH_daemon_overload.json) pins
+// only the exact inventory — clients, requests, responses, budgets — so the
+// perf-smoke gate catches silently shrunk load or lost responses without
+// flaking on host timing; the latency and shed-rate metrics ride along
+// informationally.
+#include <benchmark/benchmark.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "daemon/client.hpp"
+#include "daemon/server.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ara::daemon::DaemonClient;
+using ara::daemon::DaemonOptions;
+using ara::daemon::DaemonServer;
+
+constexpr int kClients = 8;            // persistent spamming clients
+constexpr int kRequestsPerClient = 300;
+constexpr int kStormConnections = 32;  // one-shot connections during the spam
+constexpr std::size_t kMaxInflight = 1;
+constexpr std::size_t kMaxQueue = 4;
+constexpr std::uint64_t kRetryAfterMs = 5;
+constexpr int kProcsPerUnit = 150;     // enough table rows that queries overlap
+
+std::string c_unit(int n) {
+  const std::string i = std::to_string(n);
+  return "double arr" + i + "[16][16];\nvoid proc" + i +
+         "(void) {\n  int i, j;\n  for (i = 0; i < 16; i++) {\n"
+         "    for (j = 0; j < 16; j++) {\n      arr" + i +
+         "[i][j] = i + j;\n    }\n  }\n}\n";
+}
+
+std::string analyze_params() {
+  // One bulky unit: the rendered query table is big enough (kProcsPerUnit
+  // scopes) that concurrent queries genuinely overlap inside handle_line,
+  // which is what drives the admission budget into shedding.
+  std::string text;
+  for (int p = 0; p < kProcsPerUnit; ++p) text += c_unit(p);
+  std::string os = "{\"project\":\"overload\",\"sources\":[";
+  os += "{\"name\":\"bulk.c\",\"lang\":\"c\",\"text\":\"" + ara::json::escape(text) + "\"}";
+  os += "]}";
+  return os;
+}
+
+double percentile(std::vector<double>& ms, int pct) {
+  if (ms.empty()) return 0;
+  std::sort(ms.begin(), ms.end());
+  return ms[std::min(ms.size() - 1, (ms.size() * static_cast<std::size_t>(pct)) / 100)];
+}
+
+/// One storm probe: raw socket, 50 ms client-side read timeout (a queued
+/// connection must not block the bench until the spam phase ends). Returns
+/// the round-trip latency and which outcome the connection met.
+enum class StormOutcome { Shed, Served, TimedOut, Failed };
+StormOutcome storm_probe(const std::string& socket_path, double* latency_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return StormOutcome::Failed;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  timeval tv{0, 50'000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  StormOutcome outcome = StormOutcome::Failed;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const char req[] = "{\"id\":1,\"method\":\"query\",\"params\":{\"project\":\"overload\"}}\n";
+    (void)::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL);
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      const std::string_view reply(buf, static_cast<std::size_t>(n));
+      outcome = reply.find("\"overloaded\"") != std::string_view::npos ? StormOutcome::Shed
+                                                                       : StormOutcome::Served;
+    } else {
+      outcome = StormOutcome::TimedOut;  // sat in the (bounded) queue
+    }
+  }
+  ::close(fd);
+  *latency_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+  return outcome;
+}
+
+void print_reproduction(const char* argv0) {
+  DaemonOptions opts{
+      (fs::temp_directory_path() / ("ara_bench_overload_" + std::to_string(::getpid()) + ".sock"))
+          .string(),
+      /*jobs=*/kClients + 1,  // 8 spammers + the status poller, all persistent
+      /*max_resident_mb=*/256, /*analyze_jobs=*/1};
+  opts.max_inflight = kMaxInflight;
+  opts.max_queue = kMaxQueue;
+  opts.retry_after_ms = kRetryAfterMs;
+  DaemonServer server(std::move(opts));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cannot start daemon: %s\n", error.c_str());
+    std::exit(1);
+  }
+
+  const std::string query = "{\"project\":\"overload\"}";
+  std::vector<double> uncontended;
+  {
+    DaemonClient setup;
+    if (!setup.connect(server.socket_path(), &error)) {
+      std::fprintf(stderr, "cannot connect: %s\n", error.c_str());
+      std::exit(1);
+    }
+    const auto analyzed = setup.call("analyze", analyze_params());
+    if (!analyzed.has_value() || !analyzed->ok) {
+      std::fprintf(stderr, "warm analyze failed\n");
+      std::exit(1);
+    }
+    // Uncontended warm-query p99: the reference the loaded p99 is held to.
+    for (int i = 0; i < 20; ++i) (void)setup.call("query", query);
+    for (int i = 0; i < 300; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = setup.call("query", query);
+      if (!r.has_value() || !r->ok) {
+        std::fprintf(stderr, "uncontended query failed\n");
+        std::exit(1);
+      }
+      uncontended.push_back(
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }  // close the setup connection: its pool worker goes back to the spammers
+
+  // Saturating load: every reply is classified, every request must be
+  // answered. Admitted requests (ok) and sheds (code "overloaded") are
+  // timed separately.
+  std::atomic<bool> load_running{true};
+  std::atomic<int> admitted{0}, shed{0}, lost{0};
+  std::vector<std::vector<double>> admitted_ms(kClients), shed_ms(kClients);
+  std::atomic<std::size_t> max_queued{0};
+
+  std::thread poller([&] {
+    DaemonClient status;
+    if (!status.connect(server.socket_path(), nullptr)) return;
+    while (load_running.load()) {
+      const auto r = status.call("status", "{}");
+      if (r.has_value() && r->ok) {
+        if (const ara::json::Value* o = r->result.find("overload")) {
+          if (const ara::json::Value* q = o->find("queued"); q != nullptr && q->is_number()) {
+            std::size_t depth = static_cast<std::size_t>(q->number);
+            std::size_t seen = max_queued.load();
+            while (depth > seen && !max_queued.compare_exchange_weak(seen, depth)) {
+            }
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> spammers;
+  spammers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    spammers.emplace_back([&, c] {
+      DaemonClient client;
+      (void)client.connect(server.socket_path(), nullptr);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        // A connection shed at the accept gate is answered then closed, so
+        // a compliant spammer reconnects on transport loss (exactly what
+        // call_retry does; spelled out here so sheds stay classifiable).
+        // The timed window is the single round trip that produced the
+        // reply — reconnect backoffs are client policy, not service time.
+        std::optional<ara::daemon::RpcReply> reply;
+        double ms = 0;
+        for (int attempt = 0; attempt < 5 && !reply.has_value(); ++attempt) {
+          if (!client.connected() && !client.connect(server.socket_path(), nullptr)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(kRetryAfterMs));
+            continue;
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          reply = client.call("query", query);
+          ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                   .count();
+          if (!reply.has_value()) {
+            client.close();
+            std::this_thread::sleep_for(std::chrono::milliseconds(kRetryAfterMs));
+          }
+        }
+        if (!reply.has_value()) {
+          ++lost;
+        } else if (reply->ok) {
+          ++admitted;
+          admitted_ms[static_cast<std::size_t>(c)].push_back(ms);
+          // Closed-loop think time: real interactive clients do not spin —
+          // and 8 threads busy-spinning on one core would measure the OS
+          // scheduler, not the daemon.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        } else {
+          ++shed;
+          shed_ms[static_cast<std::size_t>(c)].push_back(ms);
+          // A compliant client backs off as told before hammering again —
+          // without this the spam degenerates into a shed-reply microbench.
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              reply->retry_after_ms >= 0 ? static_cast<std::uint64_t>(reply->retry_after_ms)
+                                         : kRetryAfterMs));
+        }
+      }
+    });
+  }
+
+  // Connection storm against the bounded accept queue, while the spam runs:
+  // the workers are all pinned to persistent connections, so a stormer is
+  // either shed from the accept thread (the fast path under test) or parks
+  // in the queue until its 50 ms client-side timeout trips.
+  int storm_shed = 0, storm_served = 0, storm_timeout = 0;
+  std::vector<double> storm_shed_ms;
+  for (int s = 0; s < kStormConnections; ++s) {
+    double ms = 0;
+    switch (storm_probe(server.socket_path(), &ms)) {
+      case StormOutcome::Shed:
+        ++storm_shed;
+        storm_shed_ms.push_back(ms);
+        break;
+      case StormOutcome::Served:
+        ++storm_served;
+        break;
+      default:
+        ++storm_timeout;
+        break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  for (std::thread& t : spammers) t.join();
+  load_running.store(false);
+  poller.join();
+
+  std::vector<double> all_admitted, all_shed;
+  for (const auto& v : admitted_ms) all_admitted.insert(all_admitted.end(), v.begin(), v.end());
+  for (const auto& v : shed_ms) all_shed.insert(all_shed.end(), v.begin(), v.end());
+
+  const double p99_uncontended = percentile(uncontended, 99);
+  const double p99_admitted = percentile(all_admitted, 99);
+  const double p99_shed = percentile(all_shed, 99);
+  const double p99_storm_shed = percentile(storm_shed_ms, 99);
+  const int responses = admitted.load() + shed.load();
+  const double shed_rate =
+      responses == 0 ? 0 : 100.0 * static_cast<double>(shed.load()) / responses;
+
+  std::printf("=== arad under saturating load (%d clients x %d requests, inflight budget %zu) ===\n",
+              kClients, kRequestsPerClient, kMaxInflight);
+  std::printf("  uncontended warm query:  p99 %.3f ms\n", p99_uncontended);
+  std::printf("  admitted under load:     %5d requests, p99 %.3f ms (%.2fx uncontended)\n",
+              admitted.load(), p99_admitted,
+              p99_uncontended > 0 ? p99_admitted / p99_uncontended : 0);
+  std::printf("  shed under load:         %5d requests (%.1f%%), p99 %.3f ms\n", shed.load(),
+              shed_rate, p99_shed);
+  std::printf("  lost (no response):      %5d requests\n", lost.load());
+  std::printf("  storm (%d conns):        %d shed (p99 %.3f ms), %d served, %d queued out\n",
+              kStormConnections, storm_shed, p99_storm_shed, storm_served, storm_timeout);
+  std::printf("  max queue depth seen:    %zu (budget %zu)\n", max_queued.load(), kMaxQueue);
+
+  server.request_shutdown(false);
+  server.stop();
+
+  ara::bench::BenchJson json("daemon_overload", "synthetic-bulk");
+  json.metric("clients", kClients, "count", "exact");
+  json.metric("requests_per_client", kRequestsPerClient, "count", "exact");
+  json.metric("requests_total", kClients * kRequestsPerClient, "count", "exact");
+  json.metric("responses_total", responses, "count", "exact");
+  json.metric("lost_requests", lost.load(), "count", "exact");
+  json.metric("storm_connections", kStormConnections, "count", "exact");
+  json.metric("max_inflight", static_cast<double>(kMaxInflight), "count", "exact");
+  json.metric("max_queue", static_cast<double>(kMaxQueue), "count", "exact");
+  json.metric("shed_rate_pct", shed_rate, "%", "neutral");
+  json.metric("uncontended_query_p99_ms", p99_uncontended, "ms", "lower");
+  json.metric("admitted_p99_ms", p99_admitted, "ms", "lower");
+  json.metric("admitted_p99_over_uncontended",
+              p99_uncontended > 0 ? p99_admitted / p99_uncontended : 0, "x", "neutral");
+  json.metric("shed_p99_ms", p99_shed, "ms", "lower");
+  json.metric("storm_shed_p99_ms", p99_storm_shed, "ms", "lower");
+  json.metric("max_queue_depth_observed", static_cast<double>(max_queued.load()), "count",
+              "neutral");
+  json.write_next_to(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)ara::bench::consume_flag(&argc, argv, "--json-only");
+  print_reproduction(argv[0]);
+  return 0;
+}

@@ -4,9 +4,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 namespace ara::daemon {
 
@@ -32,6 +35,7 @@ bool DaemonClient::connect(const std::string& socket_path, std::string* error) {
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     return fail("cannot connect to " + socket_path + ": " + std::strerror(errno));
   }
+  socket_path_ = socket_path;
   return true;
 }
 
@@ -55,7 +59,9 @@ std::optional<RpcReply> DaemonClient::call(std::string_view method,
 
   std::size_t off = 0;
   while (off < request.size()) {
-    const ssize_t n = ::write(fd_, request.data() + off, request.size() - off);
+    // MSG_NOSIGNAL: a daemon that died mid-call must surface as a nullopt
+    // (so call_retry can reconnect), not as a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, request.data() + off, request.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return std::nullopt;
@@ -98,7 +104,40 @@ std::optional<RpcReply> DaemonClient::call(std::string_view method,
              err != nullptr && err->is_string()) {
     reply.error = err->string;
   }
+  if (const json::Value* code = v->find("code"); code != nullptr && code->is_string()) {
+    reply.code = code->string;
+  }
+  if (const json::Value* after = v->find("retry_after_ms");
+      after != nullptr && after->is_number() && after->number >= 0) {
+    reply.retry_after_ms = static_cast<std::int64_t>(after->number);
+  }
   return reply;
+}
+
+std::optional<RpcReply> DaemonClient::call_retry(std::string_view method,
+                                                 const std::string& params_object,
+                                                 const RetryOptions& retry) {
+  const int attempts = retry.backoff.attempts < 1 ? 1 : retry.backoff.attempts;
+  for (int attempt = 1;; ++attempt) {
+    if (fd_ < 0 && !socket_path_.empty()) {
+      (void)connect(socket_path_, nullptr);  // transparent reconnect
+    }
+    std::optional<RpcReply> reply = call(method, params_object);
+    if (reply.has_value() && !reply->transient()) return reply;
+
+    if (attempt >= attempts) return reply;  // exhausted: last shed reply or nullopt
+    ++retries_;
+    // Transport loss severs the connection; reconnect happens at the top of
+    // the next attempt after the backoff (an arad restart needs a moment to
+    // re-bind its socket).
+    if (!reply.has_value()) close();
+    std::chrono::milliseconds delay =
+        support::backoff_ms(retry.backoff, attempt, retry.seed);
+    if (reply.has_value() && reply->retry_after_ms >= 0) {
+      delay = std::max(delay, std::chrono::milliseconds(reply->retry_after_ms));
+    }
+    std::this_thread::sleep_for(delay);
+  }
 }
 
 }  // namespace ara::daemon

@@ -10,16 +10,35 @@
 #include <string_view>
 
 #include "support/json.hpp"
+#include "support/retry.hpp"
 
 namespace ara::daemon {
 
 /// A parsed response: `ok` mirrors the wire field; `result` is the result
-/// object on success, `error` the message otherwise.
+/// object on success, `error` the message otherwise. Shed responses also
+/// carry `code` ("overloaded"/"shutting_down"/...) and the daemon's backoff
+/// hint `retry_after_ms` (-1 when absent).
 struct RpcReply {
   std::uint64_t id = 0;
   bool ok = false;
   json::Value result;
   std::string error;
+  std::string code;
+  std::int64_t retry_after_ms = -1;
+
+  /// Whether a retry can succeed: the daemon shed this request (overload or
+  /// drain), it did not deterministically fail it.
+  [[nodiscard]] bool transient() const {
+    return !ok && (code == "overloaded" || code == "shutting_down");
+  }
+};
+
+/// Bounds for call_retry: how many total tries, and the backoff between
+/// them. The daemon's `retry_after_ms` hint, when present, is honored as a
+/// floor under the computed backoff.
+struct RetryOptions {
+  support::BackoffPolicy backoff;
+  std::uint64_t seed = 0;  // decorrelates concurrent clients' jitter
 };
 
 class DaemonClient {
@@ -42,10 +61,26 @@ class DaemonClient {
   [[nodiscard]] std::optional<RpcReply> call(std::string_view method,
                                              const std::string& params_object);
 
+  /// call() with bounded resilience: reconnects transparently when the
+  /// transport drops (daemon restarted mid-call) and retries shed responses
+  /// (`transient()`) with exponential backoff + jitter, honoring the
+  /// daemon's `retry_after_ms` hint as a floor. Returns the first
+  /// non-transient reply, or nullopt when every attempt failed. Safe for
+  /// idempotent methods (all of ara.rpc.v1 is).
+  [[nodiscard]] std::optional<RpcReply> call_retry(std::string_view method,
+                                                   const std::string& params_object,
+                                                   const RetryOptions& retry);
+
+  /// Retries performed by call_retry over this client's lifetime
+  /// (reconnects + backoff waits; tests and arac --verbose report it).
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
  private:
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
-  std::string buffer_;  // bytes read past the last response line
+  std::string buffer_;       // bytes read past the last response line
+  std::string socket_path_;  // remembered for call_retry's reconnects
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace ara::daemon

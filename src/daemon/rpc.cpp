@@ -49,6 +49,16 @@ std::string error_response(std::uint64_t id, std::string_view message) {
   return os.str();
 }
 
+std::string error_response(std::uint64_t id, std::string_view code, std::string_view message,
+                           std::int64_t retry_after_ms) {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"ok\":false,\"code\":\"" << json::escape(code)
+     << "\",\"error\":\"" << json::escape(message) << "\"";
+  if (retry_after_ms >= 0) os << ",\"retry_after_ms\":" << retry_after_ms;
+  os << "}\n";
+  return os.str();
+}
+
 std::string param_string(const json::Value& params, std::string_view key,
                          std::string_view fallback) {
   const json::Value* v = params.find(key);

@@ -47,6 +47,22 @@ struct RpcRequest {
 /// `{"id":N,"ok":false,"error":"..."}\n`.
 [[nodiscard]] std::string error_response(std::uint64_t id, std::string_view message);
 
+/// Machine-readable failure classes for `ok:false` responses. Clients key
+/// their retry decisions off these, never off the human-readable `error`
+/// text: `overloaded` and `shutting_down` are transient (retry after
+/// `retry_after_ms`), the rest are deterministic and must not be retried.
+inline constexpr std::string_view kCodeOverloaded = "overloaded";
+inline constexpr std::string_view kCodeTooLarge = "too_large";
+inline constexpr std::string_view kCodeDeadline = "deadline";
+inline constexpr std::string_view kCodeShuttingDown = "shutting_down";
+
+/// Coded failure: `{"id":N,"ok":false,"code":"...","error":"..."
+/// [,"retry_after_ms":M]}\n`. `retry_after_ms` is emitted when >= 0 — the
+/// backoff hint a shedding daemon sends with `overloaded`/`shutting_down`.
+[[nodiscard]] std::string error_response(std::uint64_t id, std::string_view code,
+                                         std::string_view message,
+                                         std::int64_t retry_after_ms);
+
 /// Convenience param accessors (nullptr / fallback when absent or
 /// ill-typed). `params` may be any Value; only objects yield members.
 [[nodiscard]] std::string param_string(const json::Value& params, std::string_view key,

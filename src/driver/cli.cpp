@@ -62,6 +62,8 @@ struct CliOptions {
   std::string cache_dir;  // empty = no summary cache
   bool no_cache = false;
   std::string daemon_socket;  // --daemon-connect: analyze via a running arad
+  int daemon_retries = 0;     // --retry: extra attempts on shed/severed calls
+  std::uint64_t daemon_deadline_ms = 0;  // --deadline-ms: per-request deadline
   std::string failpoints;  // fault-injection spec (--failpoints / ARA_FAILPOINTS)
   support::ResourceLimits limits;  // per-unit resource guards
   bool explain = false;            // render cause records after analysis
@@ -130,6 +132,13 @@ void usage(std::ostream& out) {
          "  --daemon-connect SOCKET  send the analysis to a running arad on\n"
          "                    SOCKET instead of analyzing in-process; unchanged\n"
          "                    units replay from the daemon's warm state\n"
+         "  --retry N         with --daemon-connect: retry shed (overloaded /\n"
+         "                    shutting_down) or severed calls up to N times,\n"
+         "                    backing off exponentially with jitter and\n"
+         "                    honoring the daemon's retry_after_ms hint\n"
+         "  --deadline-ms N   with --daemon-connect: per-request analyze\n"
+         "                    deadline; over-deadline units demote to\n"
+         "                    structured timeout failures (default: daemon's)\n"
          "\n"
          "robustness (see docs/robustness.md):\n"
          "  --failpoints SPEC     arm fault-injection failpoints (also via the\n"
@@ -223,6 +232,14 @@ bool parse_args(const std::vector<std::string>& args, CliOptions* cli, std::ostr
       const std::string* v = next("--daemon-connect");
       if (v == nullptr) return false;
       cli->daemon_socket = *v;
+    } else if (a == "--retry") {
+      const std::string* v = next("--retry");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(a, *v, &n, err)) return false;
+      cli->daemon_retries = static_cast<int>(n);
+    } else if (a == "--deadline-ms") {
+      const std::string* v = next("--deadline-ms");
+      if (v == nullptr || !parse_u64(a, *v, &cli->daemon_deadline_ms, err)) return false;
     } else if (a == "--failpoints") {
       const std::string* v = next("--failpoints");
       if (v == nullptr) return false;
@@ -421,15 +438,27 @@ int run_daemon_client(const CliOptions& cli, std::ostream& out, std::ostream& er
   }
   if (cli.no_cache) params << ",\"use_cache\":false";
   if (cli.jobs > 0) params << ",\"jobs\":" << cli.jobs;
+  if (cli.daemon_deadline_ms > 0) params << ",\"deadline_ms\":" << cli.daemon_deadline_ms;
   params << ",\"ipa\":" << (cli.no_ipa ? "false" : "true") << "}";
 
-  const std::optional<daemon::RpcReply> reply = client.call("analyze", params.str());
+  // --retry N = N extra attempts past the first; jitter is seeded per
+  // process so concurrent aracs retrying the same shed decorrelate.
+  daemon::RetryOptions retry;
+  retry.backoff.attempts = cli.daemon_retries + 1;
+  retry.seed = static_cast<std::uint64_t>(::getpid());
+
+  const std::optional<daemon::RpcReply> reply =
+      client.call_retry("analyze", params.str(), retry);
   if (!reply.has_value()) {
     err << "arac: lost connection to the daemon mid-analysis\n";
     return kFatal;
   }
   if (!reply->ok) {
-    err << "arac: daemon: " << reply->error << "\n";
+    if (!reply->code.empty()) {
+      err << "arac: daemon: " << reply->error << " (code " << reply->code << ")\n";
+    } else {
+      err << "arac: daemon: " << reply->error << "\n";
+    }
     return kFatal;
   }
 
@@ -456,9 +485,11 @@ int run_daemon_client(const CliOptions& cli, std::ostream& out, std::ostream& er
   // One request per artifact the caller asked for; everything is served
   // from the snapshot the analyze call published.
   auto fetch = [&](const char* artifact) -> std::optional<std::string> {
-    const std::optional<daemon::RpcReply> q = client.call(
-        "query", "{\"project\":\"" + json::escape(cli.name) + "\",\"artifact\":\"" +
-                     artifact + "\"}");
+    const std::optional<daemon::RpcReply> q = client.call_retry(
+        "query",
+        "{\"project\":\"" + json::escape(cli.name) + "\",\"artifact\":\"" + artifact +
+            "\"}",
+        retry);
     if (!q.has_value() || !q->ok) return std::nullopt;
     const json::Value* text = q->result.find("text");
     if (text == nullptr || !text->is_string()) return std::nullopt;
@@ -501,9 +532,11 @@ int run_daemon_client(const CliOptions& cli, std::ostream& out, std::ostream& er
            "unavailable with --daemon-connect\n";
   }
   if (cli.explain) {
-    const std::optional<daemon::RpcReply> q = client.call(
-        "explain", "{\"project\":\"" + json::escape(cli.name) + "\",\"target\":\"" +
-                       json::escape(cli.explain_target) + "\"}");
+    const std::optional<daemon::RpcReply> q = client.call_retry(
+        "explain",
+        "{\"project\":\"" + json::escape(cli.name) + "\",\"target\":\"" +
+            json::escape(cli.explain_target) + "\"}",
+        retry);
     if (q.has_value() && q->ok) {
       if (const json::Value* text = q->result.find("text");
           text != nullptr && text->is_string()) {

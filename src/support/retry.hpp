@@ -10,7 +10,9 @@
 // callers that want a retry counter bump it in `on_retry`.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <utility>
 
@@ -22,6 +24,46 @@ struct RetryPolicy {
   int attempts = 3;                              // total tries, including the first
   std::chrono::milliseconds initial_backoff{1};  // doubles after each failure
 };
+
+/// Exponential backoff with jitter for client-side retries (daemon clients
+/// backing off a shedding server). Distinct from RetryPolicy: backoff is
+/// capped, and jitter decorrelates competing clients so sheds don't retry
+/// in lockstep (the thundering herd a fixed schedule would produce).
+struct BackoffPolicy {
+  int attempts = 5;                       // total tries, including the first
+  std::chrono::milliseconds initial{10};  // base before the first retry
+  std::chrono::milliseconds max{2'000};   // exponential growth cap
+  double jitter = 0.5;                    // fraction of the base randomized away
+};
+
+/// SplitMix64 finalizer — a tiny, seedable, allocation-free mixer. Good
+/// enough to decorrelate retry schedules; deliberately not <random> so the
+/// jitter is a pure function of (seed, attempt) and tests can assert it.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The delay before retry `attempt` (>= 1): initial * 2^(attempt-1), capped
+/// at `max`, minus a deterministic jitter drawn from [0, jitter*base) keyed
+/// on (seed, attempt). Monotone non-decreasing in expectation, never above
+/// `max`, never below (1-jitter)*base — the bounds the unit tests pin down.
+[[nodiscard]] inline std::chrono::milliseconds backoff_ms(const BackoffPolicy& policy,
+                                                          int attempt,
+                                                          std::uint64_t seed) {
+  if (attempt < 1) attempt = 1;
+  std::int64_t base = policy.initial.count();
+  for (int i = 1; i < attempt && base < policy.max.count(); ++i) base *= 2;
+  base = std::min<std::int64_t>(base, policy.max.count());
+  if (base <= 0) return std::chrono::milliseconds(0);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const auto span = static_cast<std::uint64_t>(static_cast<double>(base) * jitter);
+  const std::uint64_t cut =
+      span == 0 ? 0 : mix64(seed ^ (0x9e37ULL * static_cast<std::uint64_t>(attempt))) % span;
+  return std::chrono::milliseconds(base - static_cast<std::int64_t>(cut));
+}
 
 /// Runs `fn` until it returns true or the attempts are exhausted. An
 /// fi::IoFault thrown by `fn` counts as a failed attempt (injected and real

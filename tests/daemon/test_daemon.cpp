@@ -10,8 +10,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,6 +21,7 @@
 
 #include "daemon/client.hpp"
 #include "daemon/rpc.hpp"
+#include "support/faultinject.hpp"
 #include "support/json.hpp"
 
 namespace ara::daemon {
@@ -262,6 +265,232 @@ TEST(Daemon, RefusesASecondDaemonOnALiveSocket) {
   std::string error;
   ASSERT_TRUE(client.connect(path, &error)) << error;
   const auto reply = client.call("status", "{}");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+}
+
+// --- Overload-and-failure survival (ISSUE 10) ---
+
+const json::Value* overload_section(const json::Value& status_result) {
+  const json::Value* o = status_result.find("overload");
+  return (o != nullptr && o->is_object()) ? o : nullptr;
+}
+
+TEST(Daemon, OversizedRequestLineAnswersTooLargeAndSevers) {
+  DaemonOptions opts{temp_socket("toolarge"), 2, 64, 1};
+  opts.max_request_bytes = 256;
+  RunningDaemon d(std::move(opts));
+  ASSERT_TRUE(d.started);
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), nullptr));
+  // two_unit_params is well over 256 bytes: the daemon must refuse to even
+  // parse it, answer with the structured code, and drop the connection
+  // (framing is unrecoverable once a line is oversized).
+  auto reply = client.call("analyze", two_unit_params("big"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->code, "too_large");
+  EXPECT_EQ(d.server.too_large_requests(), 1u);
+  EXPECT_FALSE(client.call("status", "{}").has_value());  // severed
+
+  // A trickled oversized *partial* line (no newline yet) is cut off too —
+  // the buffer must not grow without bound waiting for the terminator.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, d.server.socket_path().c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string blob(512, 'x');  // > max_request_bytes, never a newline
+  ASSERT_EQ(::write(fd, blob.data(), blob.size()), static_cast<ssize_t>(blob.size()));
+  char buf[512];
+  std::string got;
+  for (ssize_t n = ::read(fd, buf, sizeof(buf)); n > 0; n = ::read(fd, buf, sizeof(buf))) {
+    got.append(buf, static_cast<std::size_t>(n));  // ends with EOF: connection closed
+  }
+  EXPECT_NE(got.find("\"code\":\"too_large\""), std::string::npos);
+  ::close(fd);
+
+  // Within budget still works: the cap rejects requests, not the daemon.
+  DaemonClient ok_client;
+  ASSERT_TRUE(ok_client.connect(d.server.socket_path(), nullptr));
+  auto status = ok_client.call("status", "{}");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok);
+}
+
+TEST(Daemon, ShedsPastTheInflightBudgetAndRetriedAnalyzeIsByteIdentical) {
+  DaemonOptions opts{temp_socket("shed"), 4, 256, 1};
+  opts.max_inflight = 1;
+  opts.retry_after_ms = 25;
+  RunningDaemon d(std::move(opts));
+  ASSERT_TRUE(d.started);
+
+  // The unshed reference first, with no faults armed.
+  DaemonClient ref;
+  ASSERT_TRUE(ref.connect(d.server.socket_path(), nullptr));
+  ASSERT_TRUE(ref.call("analyze", two_unit_params("unshed"))->ok);
+  const std::string unshed_rgn =
+      ref.call("query", R"({"project":"unshed","artifact":"rgn"})")->result.find("text")->string;
+  ASSERT_FALSE(unshed_rgn.empty());
+
+  // Every handled request now dwells 250 ms inside handle_line, so a second
+  // concurrent request reliably finds busy_ over the budget of 1.
+  ASSERT_TRUE(fi::configure("daemon.handle=delay:250", nullptr));
+  std::thread holder([&] {
+    DaemonClient a;
+    if (!a.connect(d.server.socket_path(), nullptr)) return;
+    auto r = a.call("analyze", two_unit_params("held"));
+    EXPECT_TRUE(r.has_value() && r->ok)
+        << (r.has_value() ? "error=" + r->error + " code=" + r->code : "no reply");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  DaemonClient b;
+  ASSERT_TRUE(b.connect(d.server.socket_path(), nullptr));
+  auto shed = b.call("analyze", two_unit_params("shed"));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_FALSE(shed->ok);
+  EXPECT_EQ(shed->code, "overloaded");
+  EXPECT_EQ(shed->retry_after_ms, 25);
+  EXPECT_TRUE(shed->transient());
+  EXPECT_GE(d.server.shed_requests(), 1u);
+
+  // The bounded-backoff retry gets through once the held request drains.
+  RetryOptions retry;
+  retry.backoff.attempts = 20;
+  retry.backoff.initial = std::chrono::milliseconds(30);
+  auto retried = b.call_retry("analyze", two_unit_params("shed"), retry);
+  holder.join();
+  fi::disarm();
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_TRUE(retried->ok) << retried->error;
+
+  // Replay determinism: a shed-then-retried analyze and an unshed one of
+  // the same sources produce byte-identical artifacts.
+  const std::string shed_rgn =
+      b.call("query", R"({"project":"shed","artifact":"rgn"})")->result.find("text")->string;
+  EXPECT_EQ(shed_rgn, unshed_rgn);
+
+  // Shedding is observable in status, not silent.
+  auto status = b.call("status", "{}");
+  ASSERT_TRUE(status.has_value() && status->ok);
+  const json::Value* overload = overload_section(status->result);
+  ASSERT_NE(overload, nullptr);
+  EXPECT_EQ(num(*overload, "max_inflight"), 1u);
+  EXPECT_GE(num(*overload, "shed_requests"), 1u);
+}
+
+TEST(Daemon, DeadlineDemotesOverBudgetUnitsToStructuredTimeouts) {
+  RunningDaemon d(DaemonOptions{temp_socket("deadline"), 2, 256, 1});
+  ASSERT_TRUE(d.started);
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), nullptr));
+
+  // Pin the unit over its 1 ms budget: the unit.analyze failpoint sleeps
+  // inside the LimitScope, so the per-token check_deadline() watchdog is
+  // guaranteed to trip regardless of how warm the allocator is. The unit is
+  // demoted to a structured Timeout failure — the analyze request itself
+  // still answers ok:true.
+  ASSERT_TRUE(fi::configure("unit.analyze=delay:25", nullptr));
+  std::string params = bulky_params("slow");
+  params.insert(params.size() - 1, ",\"deadline_ms\":1");
+  auto reply = client.call("analyze", params);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok) << reply->error;
+  EXPECT_GE(num(reply->result, "failed_units"), 1u);
+  EXPECT_GE(num(reply->result, "timeout_units"), 1u);
+  EXPECT_GE(d.server.deadline_expired(), 1u);
+
+  // Without the deadline the same (still delayed) unit analyzes clean: the
+  // demotion was the deadline's doing, not the unit's.
+  auto ok = client.call("analyze", bulky_params("fast"));
+  fi::disarm();
+  ASSERT_TRUE(ok.has_value() && ok->ok);
+  EXPECT_EQ(num(ok->result, "failed_units"), 0u);
+  EXPECT_EQ(num(ok->result, "timeout_units"), 0u);
+}
+
+TEST(Daemon, DefaultDeadlineAppliesWhenTheRequestCarriesNone) {
+  DaemonOptions opts{temp_socket("defdl"), 2, 256, 1};
+  opts.default_deadline_ms = 1;
+  RunningDaemon d(std::move(opts));
+  ASSERT_TRUE(d.started);
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), nullptr));
+  // Same trick as above: sleep past the 1 ms default inside the unit's
+  // LimitScope so the watchdog trips deterministically.
+  ASSERT_TRUE(fi::configure("unit.analyze=delay:25", nullptr));
+  auto reply = client.call("analyze", bulky_params("slow"));
+  fi::disarm();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok) << reply->error;
+  EXPECT_GE(num(reply->result, "timeout_units"), 1u);
+}
+
+TEST(Daemon, GracefulDrainRefusesNewWorkAndAnswersStatus) {
+  RunningDaemon d(DaemonOptions{temp_socket("drain"), 2, 64, 1});
+  ASSERT_TRUE(d.started);
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(d.server.socket_path(), nullptr));
+  ASSERT_TRUE(client.call("analyze", two_unit_params("work"))->ok);
+
+  auto bye = client.call("shutdown", R"({"drain":true})");
+  ASSERT_TRUE(bye.has_value() && bye->ok);
+  EXPECT_NE(bye->result.find("drain"), nullptr);
+  d.server.wait();
+  EXPECT_TRUE(d.server.draining());
+
+  // Draining: new work is shed with the structured code; status (how the
+  // drain is observed) still answers.
+  const std::string refused = d.server.handle_line(
+      R"({"id":9,"method":"query","params":{"project":"work"}})");
+  EXPECT_NE(refused.find("\"code\":\"shutting_down\""), std::string::npos);
+  EXPECT_NE(refused.find("\"retry_after_ms\""), std::string::npos);
+  const std::string status = d.server.handle_line(R"({"id":10,"method":"status"})");
+  EXPECT_NE(status.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(status.find("\"draining\":true"), std::string::npos);
+
+  d.server.stop();  // drain-wait: no in-flight work left, returns promptly
+}
+
+TEST(Daemon, ClientReconnectsAcrossADaemonRestart) {
+  const std::string path = temp_socket("restart");
+  auto first = std::make_unique<RunningDaemon>(DaemonOptions{path, 2, 64, 1});
+  ASSERT_TRUE(first->started);
+
+  DaemonClient client;
+  ASSERT_TRUE(client.connect(path, nullptr));
+  ASSERT_TRUE(client.call("status", "{}")->ok);
+
+  first.reset();  // daemon gone: the client's connection is severed
+
+  RunningDaemon second(DaemonOptions{path, 2, 64, 1});
+  ASSERT_TRUE(second.started);
+
+  RetryOptions retry;
+  retry.backoff.attempts = 10;
+  retry.backoff.initial = std::chrono::milliseconds(20);
+  auto reply = client.call_retry("status", "{}", retry);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok);
+  EXPECT_GE(client.retries(), 1u);  // at least one reconnect happened
+}
+
+TEST(Daemon, AcceptFailpointLosesTheConnectionNotTheListener) {
+  RunningDaemon d(DaemonOptions{temp_socket("acceptfi"), 2, 64, 1});
+  ASSERT_TRUE(d.started);
+
+  ASSERT_TRUE(fi::configure("daemon.accept=io*1", nullptr));  // exactly one
+  DaemonClient doomed;
+  ASSERT_TRUE(doomed.connect(d.server.socket_path(), nullptr));
+  EXPECT_FALSE(doomed.call("status", "{}").has_value());  // fd closed at accept
+  fi::disarm();
+
+  DaemonClient fine;
+  ASSERT_TRUE(fine.connect(d.server.socket_path(), nullptr));
+  auto reply = fine.call("status", "{}");
   ASSERT_TRUE(reply.has_value());
   EXPECT_TRUE(reply->ok);
 }

@@ -68,6 +68,28 @@ TEST(Rpc, ResponsesAreSingleJsonLines) {
   EXPECT_EQ(msg->string, "bad \"thing\"\nhappened");
 }
 
+TEST(Rpc, CodedErrorsCarryCodeAndOptionalRetryHint) {
+  // The shedding shape: code + retry_after_ms, still one line on the wire.
+  const std::string shed = error_response(9, kCodeOverloaded, "busy", 50);
+  EXPECT_EQ(shed,
+            "{\"id\":9,\"ok\":false,\"code\":\"overloaded\",\"error\":\"busy\","
+            "\"retry_after_ms\":50}\n");
+
+  // Deterministic failures carry a code but no hint (negative = omit).
+  const std::string big = error_response(10, kCodeTooLarge, "2 MiB line", -1);
+  EXPECT_EQ(big.find("retry_after_ms"), std::string::npos);
+  std::string parse_error;
+  const auto parsed = json::parse(big, &parse_error);
+  ASSERT_TRUE(parsed.has_value()) << parse_error;
+  EXPECT_EQ(parsed->find("code")->string, kCodeTooLarge);
+  EXPECT_FALSE(parsed->find("ok")->boolean);
+
+  // The message is escaped exactly like the uncoded form's.
+  const std::string tricky = error_response(11, kCodeDeadline, "a\"b\nc", -1);
+  EXPECT_EQ(tricky.find('\n'), tricky.size() - 1);
+  EXPECT_EQ(json::parse(tricky)->find("error")->string, "a\"b\nc");
+}
+
 TEST(Rpc, ParamAccessorsFallBackOnMissingOrIllTyped) {
   std::string error;
   const auto req = parse_request(
